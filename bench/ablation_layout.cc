@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Ablation H: computation reordering vs data reordering on N-body.
+ *
+ * The paper's related-work section separates two locality families:
+ * rearranging *data structures* and reordering *computation* (its
+ * contribution). Barnes-Hut admits both: locality-scheduled force
+ * threads (computation) and a DFS rewrite of the octree node pool
+ * (data). This bench crosses the two, showing that they attack the
+ * same misses from different ends and compose.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "harness/experiment.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+#include "workloads/nbody.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsched;
+    using namespace lsched::workloads;
+
+    Cli cli("ablation_layout",
+            "Ablation: computation vs data reordering (N-body)");
+    cli.addInt("bodies", 8000, "number of bodies");
+    cli.addDouble("theta", 0.6, "opening angle");
+    lsched::bench::addOutputOptions(cli);
+    lsched::bench::addMachineOptions(cli, 8);
+    cli.parse(argc, argv);
+
+    NBodyConfig cfg;
+    cfg.bodies = cli.getFlag("full")
+                     ? 64000
+                     : static_cast<std::size_t>(cli.getInt("bodies"));
+    cfg.theta = cli.getDouble("theta");
+    const auto machine = lsched::bench::machineFromCli(cli);
+    lsched::bench::banner("Ablation H",
+                          "computation vs data reordering", machine);
+    std::printf("bodies = %zu, one iteration\n\n", cfg.bodies);
+
+    auto run = [&](bool threaded, bool dfs) {
+        return harness::simulateOn(machine, [&](SimModel &m) {
+            BarnesHut sim(cfg);
+            if (!threaded) {
+                sim.stepUnthreaded(m, dfs);
+                return;
+            }
+            threads::SchedulerConfig scfg;
+            scfg.dims = 3;
+            scfg.cacheBytes = machine.l2Size();
+            threads::LocalityScheduler sched(scfg);
+            sim.stepThreaded(sched, m, 4 * machine.l2Size() / 3, dfs);
+        });
+    };
+
+    TextTable table("L2 misses (thousands)",
+                    {"configuration", "L2 misses", "capacity",
+                     "conflict"});
+    struct Case
+    {
+        const char *name;
+        bool threaded;
+        bool dfs;
+    };
+    for (const Case c :
+         {Case{"baseline (neither)", false, false},
+          Case{"data reordering only (DFS tree)", false, true},
+          Case{"computation reordering only (threads)", true, false},
+          Case{"both", true, true}}) {
+        const auto outcome = run(c.threaded, c.dfs);
+        table.addRow({c.name, TextTable::thousands(outcome.l2.misses),
+                      TextTable::thousands(outcome.l2.capacityMisses),
+                      TextTable::thousands(outcome.l2.conflictMisses)});
+        std::printf("  %s done\n", c.name);
+    }
+
+    std::printf("\n");
+    lsched::bench::emitTable(cli, table);
+    std::printf("\nexpected: computation reordering (the paper's "
+                "method) is the dominant win — a DFS data layout "
+                "alone barely helps, because bodies still arrive in "
+                "arbitrary order and each walk's footprint exceeds "
+                "the cache; once the walks are grouped, the layout "
+                "shaves the remaining capacity misses. The two "
+                "compose, with scheduling doing the heavy lifting.\n");
+    return 0;
+}

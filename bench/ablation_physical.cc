@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation G: physically-indexed L2 under different page mappings.
+ *
+ * Paper Section 2.2: "Second-level caches are often physically
+ * indexed, while the addresses associated with the threads are
+ * virtual ... the virtual-to-physical memory mapping maintained by
+ * the virtual memory system can significantly affect second-level
+ * cache behavior." This bench runs the threaded and untiled matmul
+ * against the same L2 indexed virtually (identity), first-touch,
+ * page-coloured (Kessler & Hill), and randomly mapped — showing that
+ * the locality-scheduling win survives every mapping (it targets
+ * capacity misses, which translation cannot create or destroy) while
+ * conflict misses move around.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "harness/experiment.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+#include "workloads/matmul.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::workloads;
+
+harness::SimOutcome
+runOnce(const machine::MachineConfig &mc,
+        cachesim::PageMapPolicy policy, bool threaded,
+        const Matrix &a, const Matrix &b)
+{
+    machine::MachineConfig machine = mc;
+    machine.caches.l2PageMap = policy;
+    return harness::simulateOn(machine, [&](SimModel &m) {
+        const std::size_t n = a.rows();
+        Matrix c(n, n);
+        if (!threaded) {
+            matmulInterchanged(a, b, c, m);
+            return;
+        }
+        threads::SchedulerConfig cfg;
+        cfg.dims = 2;
+        cfg.cacheBytes = machine.l2Size();
+        cfg.blockBytes = machine.l2Size() / 2;
+        threads::LocalityScheduler sched(cfg);
+        matmulThreaded(a, b, c, sched, m);
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("ablation_physical",
+            "Ablation: physically-indexed L2 vs page mapping");
+    cli.addInt("n", 192, "matrix dimension");
+    lsched::bench::addMachineOptions(cli);
+    cli.parse(argc, argv);
+
+    const auto n = static_cast<std::size_t>(cli.getInt("n"));
+    const auto mc = lsched::bench::machineFromCli(cli);
+    lsched::bench::banner("Ablation G",
+                          "physical indexing and page mapping", mc);
+    std::printf("matmul, n = %zu\n\n", n);
+
+    Matrix a(n, n), b(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+
+    TextTable table("L2 misses (thousands)",
+                    {"page mapping", "untiled", "unt. conflict",
+                     "threaded", "thr. conflict", "reduction"});
+
+    struct Row
+    {
+        const char *name;
+        cachesim::PageMapPolicy policy;
+    };
+    for (const Row row :
+         {Row{"identity (virtual)", cachesim::PageMapPolicy::Identity},
+          Row{"first-touch", cachesim::PageMapPolicy::FirstTouch},
+          Row{"page-coloured", cachesim::PageMapPolicy::Colored},
+          Row{"random frames", cachesim::PageMapPolicy::Random}}) {
+        const auto untiled = runOnce(mc, row.policy, false, a, b);
+        const auto threaded = runOnce(mc, row.policy, true, a, b);
+        table.addRow(
+            {row.name, TextTable::thousands(untiled.l2.misses),
+             TextTable::thousands(untiled.l2.conflictMisses),
+             TextTable::thousands(threaded.l2.misses),
+             TextTable::thousands(threaded.l2.conflictMisses),
+             TextTable::num(
+                 static_cast<double>(untiled.l2.misses) /
+                     static_cast<double>(std::max<std::uint64_t>(
+                         1, threaded.l2.misses)),
+                 1) +
+                 "x"});
+        std::printf("  %s done\n", row.name);
+    }
+
+    std::printf("\n%s\n", table.toText().c_str());
+    std::printf("expected: the threaded reduction holds under every "
+                "mapping; page-coloured matches identity exactly; "
+                "random mapping shifts conflict misses without "
+                "touching the capacity story — the Section 2.2 "
+                "effect, bounded\n");
+    return 0;
+}

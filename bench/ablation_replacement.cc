@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation F: cache organization sensitivity. Replays the threaded
+ * and untiled matmul reference streams against L2 configurations
+ * sweeping associativity (1..8 plus fully associative) and
+ * replacement policy (LRU / FIFO / random) — the knobs the authors'
+ * modified DineroIII exposed (after Hill & Smith's associativity
+ * methodology). Shows that the locality-scheduling win is robust to
+ * the cache organization, not an LRU artifact.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "harness/experiment.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+#include "workloads/matmul.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::workloads;
+
+harness::SimOutcome
+runOnce(const machine::MachineConfig &mc, bool threaded,
+        const Matrix &a, const Matrix &b)
+{
+    return harness::simulateOn(mc, [&](SimModel &m) {
+        const std::size_t n = a.rows();
+        Matrix c(n, n);
+        if (!threaded) {
+            matmulInterchanged(a, b, c, m);
+            return;
+        }
+        threads::SchedulerConfig cfg;
+        cfg.dims = 2;
+        cfg.cacheBytes = mc.l2Size();
+        cfg.blockBytes = mc.l2Size() / 2;
+        threads::LocalityScheduler sched(cfg);
+        matmulThreaded(a, b, c, sched, m);
+    });
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("ablation_replacement",
+            "Ablation: L2 associativity and replacement policy");
+    cli.addInt("n", 192, "matrix dimension");
+    lsched::bench::addMachineOptions(cli);
+    cli.parse(argc, argv);
+
+    const auto n = static_cast<std::size_t>(cli.getInt("n"));
+    const auto base = lsched::bench::machineFromCli(cli);
+    lsched::bench::banner("Ablation F",
+                          "L2 organization sensitivity", base);
+    std::printf("matmul, n = %zu\n\n", n);
+
+    Matrix a(n, n), b(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+
+    TextTable table("L2 misses (thousands)",
+                    {"L2 organization", "untiled", "threaded",
+                     "reduction"});
+
+    auto sweep = [&](const char *label, unsigned assoc,
+                     cachesim::Replacement repl) {
+        machine::MachineConfig mc = base;
+        mc.caches.l2.associativity = assoc;
+        mc.caches.l2.replacement = repl;
+        const auto untiled = runOnce(mc, false, a, b);
+        const auto threaded = runOnce(mc, true, a, b);
+        table.addRow(
+            {label, TextTable::thousands(untiled.l2.misses),
+             TextTable::thousands(threaded.l2.misses),
+             TextTable::num(static_cast<double>(untiled.l2.misses) /
+                                static_cast<double>(std::max<
+                                    std::uint64_t>(
+                                    1, threaded.l2.misses)),
+                            1) +
+                 "x"});
+        std::printf("  %s done\n", label);
+    };
+
+    sweep("direct-mapped LRU", 1, cachesim::Replacement::Lru);
+    sweep("2-way LRU", 2, cachesim::Replacement::Lru);
+    sweep("4-way LRU (R8000)", 4, cachesim::Replacement::Lru);
+    sweep("8-way LRU", 8, cachesim::Replacement::Lru);
+    sweep("fully assoc LRU", 0, cachesim::Replacement::Lru);
+    table.addRule();
+    sweep("4-way FIFO", 4, cachesim::Replacement::Fifo);
+    sweep("4-way random", 4, cachesim::Replacement::Random);
+
+    std::printf("\n%s\n", table.toText().c_str());
+    std::printf("expected: the threaded version wins by a large "
+                "factor under every organization; higher "
+                "associativity trims untiled conflict misses but "
+                "cannot touch its capacity misses\n");
+    return 0;
+}

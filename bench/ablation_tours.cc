@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Ablation A: bin tour strategy. The paper traverses bins in creation
+ * order and remarks the tour should "preferably [be] the shortest";
+ * this bench quantifies how much the traversal order matters by
+ * running threaded matmul under four tours and reporting tour length
+ * (Manhattan, in blocks) and estimated execution time.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "harness/experiment.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+#include "threads/tour.hh"
+#include "workloads/matmul.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsched;
+    using namespace lsched::workloads;
+
+    Cli cli("ablation_tours", "Ablation: bin traversal order");
+    cli.addInt("n", 192, "matrix dimension");
+    lsched::bench::addMachineOptions(cli);
+    cli.parse(argc, argv);
+
+    const auto n = static_cast<std::size_t>(cli.getInt("n"));
+    const auto mc = lsched::bench::machineFromCli(cli);
+    lsched::bench::banner("Ablation A", "bin tour strategies", mc);
+    std::printf("threaded matmul, n = %zu\n\n", n);
+
+    Matrix a(n, n), b(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+
+    TextTable table("", {"tour", "tour length (blocks)", "L2 misses",
+                         "est. seconds"});
+    for (const auto policy :
+         {threads::TourPolicy::CreationOrder,
+          threads::TourPolicy::SortedSnake,
+          threads::TourPolicy::NearestNeighbor,
+          threads::TourPolicy::Hilbert}) {
+        std::uint64_t tour_len = 0;
+        const auto outcome = harness::simulateOn(mc, [&](SimModel &m) {
+            Matrix c(n, n);
+            threads::SchedulerConfig cfg;
+            cfg.dims = 2;
+            cfg.cacheBytes = mc.l2Size();
+            cfg.blockBytes = mc.l2Size() / 2;
+            cfg.tour = policy;
+            threads::LocalityScheduler sched(cfg);
+
+            // Capture the tour length before run() recycles the bins.
+            const std::size_t nn = n;
+            Matrix at(nn, nn);
+            transpose(a, at, m);
+            DotProductCtx<SimModel> ctx{&at, &b, &c, &m};
+            for (std::size_t i = 0; i < nn; ++i)
+                for (std::size_t j = 0; j < nn; ++j)
+                    sched.fork(&dotProductThread<SimModel>, &ctx,
+                               reinterpret_cast<void *>((i << 32) | j),
+                               threads::hintOf(at.col(i)),
+                               threads::hintOf(b.col(j)));
+            tour_len = sched.stats().tourLength;
+            sched.run(false);
+            Matrix dummy(nn, nn);
+            transpose(at, dummy, m);
+        });
+        table.addRow({threads::tourPolicyName(policy),
+                      TextTable::count(tour_len),
+                      TextTable::count(outcome.l2.misses),
+                      TextTable::num(outcome.estimatedSeconds(mc), 4)});
+        std::printf("  %s done\n", threads::tourPolicyName(policy));
+    }
+
+    std::printf("\n%s\n", table.toText().c_str());
+    std::printf("expected: locality-aware tours (snake/hilbert/"
+                "nearest) shorten the tour; execution time changes "
+                "little because within-bin locality dominates — "
+                "supporting the paper's simple creation-order "
+                "choice\n");
+    return 0;
+}

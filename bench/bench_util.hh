@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: machine
+ * selection (paper scale vs proportionally scaled), and the standard
+ * preamble every bench prints so outputs are self-describing.
+ */
+
+#ifndef LSCHED_BENCH_BENCH_UTIL_HH
+#define LSCHED_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+
+#include "machine/machine_config.hh"
+#include "support/cli.hh"
+#include "support/panic.hh"
+#include "support/table.hh"
+
+namespace lsched::bench
+{
+
+/** Default cache-shrink factor for laptop-speed runs. */
+constexpr unsigned kDefaultScale = 16;
+
+/** Resolve the simulated machine from --machine / --scale / --full. */
+inline machine::MachineConfig
+machineFromCli(const Cli &cli)
+{
+    const std::string name = cli.getString("machine");
+    machine::MachineConfig m;
+    if (name == "r8000") {
+        m = machine::powerIndigo2R8000();
+    } else if (name == "r10000") {
+        m = machine::indigo2ImpactR10000();
+    } else {
+        LSCHED_FATAL("unknown --machine '", name,
+                     "' (want r8000|r10000)");
+    }
+    const unsigned scale =
+        cli.getFlag("full") ? 1u
+                            : static_cast<unsigned>(cli.getInt("scale"));
+    return machine::scaled(m, scale);
+}
+
+/** Register the options machineFromCli() consumes. */
+inline void
+addMachineOptions(Cli &cli, unsigned default_scale = kDefaultScale)
+{
+    cli.addString("machine", "r8000", "simulated machine model");
+    cli.addInt("scale", default_scale,
+               "cache shrink factor (power of two)");
+    cli.addFlag("full", "paper-scale run (scale 1, paper problem size)");
+}
+
+/** Print the standard bench banner. */
+inline void
+banner(const char *table, const char *description,
+       const machine::MachineConfig &m)
+{
+    std::printf("== %s: %s ==\n", table, description);
+    std::printf("machine: %s (L2 %llu KB)\n\n", m.name.c_str(),
+                static_cast<unsigned long long>(m.l2Size() / 1024));
+}
+
+/** Register the machine-readable output option emitTable() honours. */
+inline void
+addOutputOptions(Cli &cli)
+{
+    cli.addString("csv", "",
+                  "also append the result table as CSV to this file");
+}
+
+/**
+ * Print @p table and, when --csv was given, append its CSV rendering
+ * to that file (creating it if needed).
+ */
+inline void
+emitTable(const Cli &cli, const TextTable &table)
+{
+    std::fputs(table.toText().c_str(), stdout);
+    const std::string &path = cli.getString("csv");
+    if (path.empty())
+        return;
+    std::FILE *f = std::fopen(path.c_str(), "a");
+    if (!f)
+        LSCHED_FATAL("cannot open CSV output file '", path, "'");
+    const std::string csv = table.toCsv();
+    std::fwrite(csv.data(), 1, csv.size(), f);
+    std::fclose(f);
+    std::printf("(CSV appended to %s)\n", path.c_str());
+}
+
+} // namespace lsched::bench
+
+#endif // LSCHED_BENCH_BENCH_UTIL_HH

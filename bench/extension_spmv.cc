@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Extension experiment: locality scheduling for indirect access.
+ *
+ * The paper's opening argument for runtime scheduling is that tiling
+ * is infeasible when "data might be allocated dynamically or accessed
+ * indirectly" (Section 1). This bench quantifies that case with a
+ * banded-random sparse matrix-vector multiply whose rows are stored
+ * in shuffled order: the column pattern — and hence the x-vector
+ * reuse structure — exists only at run time, yet the program can hand
+ * it to the scheduler as one address hint per row.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "support/cli.hh"
+#include "support/timer.hh"
+#include "workloads/spmv.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsched;
+    using namespace lsched::workloads;
+
+    Cli cli("extension_spmv",
+            "extension: SpMV with runtime locality hints");
+    cli.addInt("rows", 32768, "matrix rows");
+    cli.addInt("cols", 131072, "matrix columns (x size)");
+    cli.addInt("nnz", 24, "nonzeros per row");
+    cli.addInt("band", 512, "band half-width");
+    lsched::bench::addOutputOptions(cli);
+    lsched::bench::addMachineOptions(cli);
+    cli.parse(argc, argv);
+
+    SpmvConfig cfg;
+    cfg.rows = static_cast<std::size_t>(cli.getInt("rows"));
+    cfg.cols = static_cast<std::size_t>(cli.getInt("cols"));
+    cfg.rowNnz = static_cast<std::size_t>(cli.getInt("nnz"));
+    cfg.bandHalfWidth = static_cast<std::size_t>(cli.getInt("band"));
+    const auto machine = lsched::bench::machineFromCli(cli);
+
+    lsched::bench::banner("Extension", "sparse matrix-vector multiply",
+                          machine);
+    std::printf("%zu x %zu, %zu nnz/row, band +-%zu, x = %zu KB\n\n",
+                cfg.rows, cfg.cols, cfg.rowNnz, cfg.bandHalfWidth,
+                cfg.cols * sizeof(double) / 1024);
+
+    const CsrMatrix m = makeBandedRandom(cfg);
+    Prng prng(5);
+    std::vector<double> x(cfg.cols);
+    for (double &v : x)
+        v = prng.nextDouble(-1.0, 1.0);
+
+    const auto natural = harness::simulateOn(machine, [&](SimModel &s) {
+        std::vector<double> y(m.rows, 0.0);
+        spmvNatural(m, x, y, s);
+    });
+    std::printf("  natural order done\n");
+    const auto threaded =
+        harness::simulateOn(machine, [&](SimModel &s) {
+            std::vector<double> y(m.rows, 0.0);
+            threads::SchedulerConfig scfg;
+            scfg.dims = 1;
+            scfg.cacheBytes = machine.l2Size();
+            scfg.blockBytes = machine.l2Size() / 3;
+            threads::LocalityScheduler sched(scfg);
+            spmvThreaded(m, x, y, sched, s);
+        });
+    std::printf("  locality-scheduled done\n\n");
+
+    const auto table = harness::cacheTable(
+        "SpMV references and cache misses (thousands)",
+        {{"Natural order", natural},
+         {"Locality-scheduled", threaded}});
+    lsched::bench::emitTable(cli, table);
+
+    std::printf("\nest. seconds (crude model, R8000-class): natural "
+                "%.3f, threaded %.3f (%.2fx)\n",
+                natural.estimatedSeconds(machine),
+                threaded.estimatedSeconds(machine),
+                natural.estimatedSeconds(machine) /
+                    threaded.estimatedSeconds(machine));
+    std::printf("expected: large L2-miss reduction from x-vector "
+                "reuse that no compile-time transformation could "
+                "recover — the paper's 'indirect access' motivation, "
+                "quantified\n");
+    return 0;
+}

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the primitives behind Table 1:
+ * fork cost, run cost, hint hashing, cache-simulator access, and the
+ * fully-associative shadow — the per-operation costs the paper's
+ * overhead analysis rests on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cachesim/cache.hh"
+#include "cachesim/fully_assoc.hh"
+#include "cachesim/hierarchy.hh"
+#include "support/prng.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+using namespace lsched;
+
+void
+nullThread(void *, void *)
+{
+}
+
+void
+BM_ForkRunNullThreads(benchmark::State &state)
+{
+    threads::SchedulerConfig cfg;
+    cfg.dims = 2;
+    cfg.blockBytes = 1 << 20;
+    threads::LocalityScheduler sched(cfg);
+    const auto batch = static_cast<std::uint64_t>(state.range(0));
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < batch; ++i)
+            sched.fork(&nullThread, nullptr, nullptr,
+                       (i % 16) << 20, ((i / 16) % 16) << 20);
+        sched.run(false);
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * batch));
+}
+BENCHMARK(BM_ForkRunNullThreads)->Arg(1 << 10)->Arg(1 << 16);
+
+void
+BM_ForkOnly(benchmark::State &state)
+{
+    threads::SchedulerConfig cfg;
+    cfg.dims = 2;
+    cfg.blockBytes = 1 << 20;
+    threads::LocalityScheduler sched(cfg);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        sched.fork(&nullThread, nullptr, nullptr, (i % 16) << 20,
+                   ((i / 16) % 16) << 20);
+        if (++i % (1 << 16) == 0) {
+            state.PauseTiming();
+            sched.run(false);
+            state.ResumeTiming();
+        }
+    }
+    sched.clear();
+    state.SetItemsProcessed(static_cast<std::int64_t>(i));
+}
+BENCHMARK(BM_ForkOnly);
+
+void
+BM_KeepReRun(benchmark::State &state)
+{
+    threads::SchedulerConfig cfg;
+    cfg.dims = 2;
+    cfg.blockBytes = 1 << 20;
+    threads::LocalityScheduler sched(cfg);
+    const std::uint64_t batch = 1 << 14;
+    for (std::uint64_t i = 0; i < batch; ++i)
+        sched.fork(&nullThread, nullptr, nullptr, (i % 16) << 20, 0);
+    for (auto _ : state)
+        sched.run(true);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations() * batch));
+    sched.clear();
+}
+BENCHMARK(BM_KeepReRun);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cachesim::Cache cache(
+        {"L2", 2 * 1024 * 1024, 128, 4},
+        state.range(0) != 0 /* classification on/off */);
+    Prng prng(1);
+    std::vector<std::uint64_t> lines(1 << 16);
+    for (auto &l : lines)
+        l = prng.nextBelow(1 << 16);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.accessLine(lines[i++ & 0xffff], false));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(0)->Arg(1);
+
+void
+BM_HierarchyLoad(benchmark::State &state)
+{
+    cachesim::HierarchyConfig cfg;
+    cfg.l1i = {"L1I", 16 * 1024, 32, 1};
+    cfg.l1d = {"L1D", 16 * 1024, 32, 1};
+    cfg.l2 = {"L2", 2 * 1024 * 1024, 128, 4};
+    cachesim::Hierarchy h(cfg);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        h.load(addr, 8);
+        addr += 8;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HierarchyLoad);
+
+void
+BM_FullyAssocAccess(benchmark::State &state)
+{
+    cachesim::FullyAssocLru lru(16384);
+    Prng prng(2);
+    std::vector<std::uint64_t> lines(1 << 16);
+    for (auto &l : lines)
+        l = prng.nextBelow(32768);
+    std::size_t i = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(lru.access(lines[i++ & 0xffff]));
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FullyAssocAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Table 1 reproduction: thread overhead in microseconds.
+ *
+ * The paper forks 1,048,576 null threads evenly distributed across the
+ * scheduling plane, then runs them, and reports the per-thread fork
+ * cost, run cost, and total, next to the cost of an L2 cache miss.
+ * We measure the same loop on the host and report the modeled L2-miss
+ * costs of both paper machines for the comparison row.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "machine/machine_config.hh"
+#include "support/cli.hh"
+#include "support/table.hh"
+#include "support/timer.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+void
+nullThread(void *, void *)
+{
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsched;
+
+    Cli cli("table1_overhead", "Table 1: thread overhead");
+    cli.addInt("threads", 1 << 20, "null threads per measurement");
+    cli.addInt("repeats", 3, "measurement repetitions (best taken)");
+    cli.parse(argc, argv);
+
+    const auto n = static_cast<std::uint64_t>(cli.getInt("threads"));
+    const int repeats = static_cast<int>(cli.getInt("repeats"));
+
+    threads::SchedulerConfig cfg;
+    cfg.dims = 2;
+    cfg.cacheBytes = 2 * 1024 * 1024;
+    cfg.blockBytes = cfg.cacheBytes / 2;
+    threads::LocalityScheduler sched(cfg);
+
+    std::printf("== Table 1: thread overhead (microseconds) ==\n");
+    std::printf("forking %llu null threads evenly over the plane\n\n",
+                static_cast<unsigned long long>(n));
+
+    double best_fork = 1e99, best_run = 1e99;
+    for (int rep = 0; rep < repeats; ++rep) {
+        CpuTimer fork_timer;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            // Even distribution across a 16x16 block grid, as in the
+            // paper's micro-benchmark setup.
+            const threads::Hint h1 =
+                (i % 16) * cfg.blockBytes;
+            const threads::Hint h2 =
+                ((i / 16) % 16) * cfg.blockBytes;
+            sched.fork(&nullThread, nullptr, nullptr, h1, h2);
+        }
+        const double fork_s = fork_timer.seconds();
+
+        CpuTimer run_timer;
+        sched.run(false);
+        const double run_s = run_timer.seconds();
+
+        best_fork = std::min(best_fork, fork_s);
+        best_run = std::min(best_run, run_s);
+    }
+
+    const double fork_us = best_fork / static_cast<double>(n) * 1e6;
+    const double run_us = best_run / static_cast<double>(n) * 1e6;
+
+    const auto r8k = machine::powerIndigo2R8000();
+    const auto r10k = machine::indigo2ImpactR10000();
+
+    TextTable table("", {"", "host (measured)", "R8000 (paper)",
+                         "R10000 (paper)"});
+    table.addRow({"Fork", TextTable::num(fork_us, 3), "1.38", "0.95"});
+    table.addRow({"Run", TextTable::num(run_us, 3), "0.22", "0.14"});
+    table.addRow({"Total", TextTable::num(fork_us + run_us, 3), "1.60",
+                  "1.09"});
+    table.addRule();
+    table.addRow({"L2 miss", "-",
+                  TextTable::num(r8k.l2MissSeconds * 1e6, 2),
+                  TextTable::num(r10k.l2MissSeconds * 1e6, 2)});
+    std::fputs(table.toText().c_str(), stdout);
+
+    std::printf("\nshape check: total thread overhead should be the "
+                "same order as one L2 miss\n");
+    std::printf("host total/fork ratio vs paper: host %.2f, paper "
+                "R8000 %.2f\n",
+                (fork_us + run_us) / fork_us, 1.60 / 1.38);
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Table 8 reproduction: N-body performance for the unthreaded and
+ * threaded versions (paper: 64,000 bodies, 4 iterations).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "support/cli.hh"
+#include "support/timer.hh"
+#include "workloads/nbody.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::workloads;
+
+template <class M>
+void
+runVariant(bool threaded, NBodyConfig cfg, unsigned steps,
+           std::uint64_t l2, M &model)
+{
+    BarnesHut sim(cfg);
+    if (!threaded) {
+        for (unsigned s = 0; s < steps; ++s)
+            sim.stepUnthreaded(model);
+        return;
+    }
+    threads::SchedulerConfig scfg;
+    scfg.dims = 3;
+    scfg.cacheBytes = l2;
+    threads::LocalityScheduler sched(scfg);
+    for (unsigned s = 0; s < steps; ++s)
+        sim.stepThreaded(sched, model, 4 * l2 / 3);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Cli cli("table8_nbody", "Table 8: N-body performance");
+    cli.addInt("bodies", 8000, "number of bodies");
+    cli.addInt("steps", 4, "time steps");
+    cli.addDouble("theta", 0.6, "opening angle");
+    lsched::bench::addOutputOptions(cli);
+    lsched::bench::addMachineOptions(cli, 8);
+    cli.parse(argc, argv);
+
+    NBodyConfig cfg;
+    cfg.bodies = cli.getFlag("full")
+                     ? 64000
+                     : static_cast<std::size_t>(cli.getInt("bodies"));
+    cfg.theta = cli.getDouble("theta");
+    const auto steps = static_cast<unsigned>(cli.getInt("steps"));
+    const auto r8k = lsched::bench::machineFromCli(cli);
+    auto r10k = machine::scaled(
+        machine::indigo2ImpactR10000(),
+        cli.getFlag("full") ? 1u
+                            : static_cast<unsigned>(cli.getInt("scale")));
+
+    lsched::bench::banner("Table 8", "N-body performance", r8k);
+    std::printf("bodies = %zu, steps = %u (paper: 64000, 4)\n\n",
+                cfg.bodies, steps);
+
+    std::vector<harness::PerfRow> rows;
+    for (const bool threaded : {false, true}) {
+        harness::PerfRow row;
+        row.name = threaded ? "Threaded" : "Unthreaded";
+        for (const auto &mc : {r8k, r10k}) {
+            const auto outcome =
+                harness::simulateOn(mc, [&](SimModel &m) {
+                    runVariant(threaded, cfg, steps, mc.l2Size(), m);
+                });
+            row.estimatedSeconds.push_back(
+                outcome.estimatedSeconds(mc));
+        }
+        {
+            NativeModel native;
+            CpuTimer timer;
+            runVariant(threaded, cfg, steps, r8k.l2Size(), native);
+            row.hostSeconds = timer.seconds();
+        }
+        rows.push_back(std::move(row));
+        std::printf("  %-10s done\n", row.name.c_str());
+    }
+
+    {
+        const auto table = harness::perfTable(
+                    "Table 8 (estimated seconds, crude timing model)",
+                    {"R8000-class", "R10000-class"}, rows);
+        std::printf("\n");
+        lsched::bench::emitTable(cli, table);
+        std::printf("\n");
+    }
+    std::printf("paper (R8000/R10000): unthreaded 153.81/53.22, "
+                "threaded 148.60/46.34\n");
+    std::printf("shape: threaded faster on both machines "
+                "(~3-15%%); here: %.1f%% (R8000-class est.)\n",
+                100.0 * (1.0 - rows[1].estimatedSeconds[0] /
+                                   rows[0].estimatedSeconds[0]));
+    return 0;
+}

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * A single set-associative (or fully-associative) write-back,
+ * write-allocate cache with LRU replacement and optional single-run
+ * three-C miss classification.
+ */
+
+#ifndef LSCHED_CACHESIM_CACHE_HH
+#define LSCHED_CACHESIM_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cachesim/cache_config.hh"
+#include "cachesim/classify.hh"
+#include "cachesim/stats.hh"
+#include "support/prng.hh"
+
+namespace lsched::cachesim
+{
+
+/** One cache level operating on line addresses. */
+class Cache
+{
+  public:
+    /** Outcome of a single line access. */
+    struct Result
+    {
+        bool miss = false;
+        /** A dirty line was evicted to make room. */
+        bool writeback = false;
+        /** The store must also be sent downstream (write-through). */
+        bool propagateWrite = false;
+        /** Line address of the evicted dirty victim (when writeback). */
+        std::uint64_t victimLine = 0;
+        /** Classification, valid only when miss and classify enabled. */
+        MissKind kind = MissKind::Compulsory;
+    };
+
+    /**
+     * @param config validated geometry.
+     * @param classify attach a MissClassifier (costs one shadow
+     *        access per reference).
+     */
+    explicit Cache(CacheConfig config, bool classify = false);
+
+    /**
+     * Reference the line containing byte address @p line_addr (already
+     * shifted to line granularity). @p is_write marks the line dirty.
+     */
+    Result accessLine(std::uint64_t line_addr, bool is_write);
+
+    /**
+     * Update-only probe used for writebacks arriving from an upper
+     * level: marks the line dirty if present and reports presence.
+     * Does not touch statistics, recency, or the classifier.
+     */
+    bool updateIfPresent(std::uint64_t line_addr);
+
+    /** True if the line is resident (no state change). */
+    bool probeLine(std::uint64_t line_addr) const;
+
+    /** Convert a byte address to this cache's line address. */
+    std::uint64_t
+    lineOf(std::uint64_t byte_addr) const
+    {
+        return byte_addr >> lineShift_;
+    }
+
+    /** log2(line size). */
+    unsigned lineShift() const { return lineShift_; }
+
+    /** Accumulated statistics. */
+    const CacheStats &stats() const { return stats_; }
+
+    /** Geometry. */
+    const CacheConfig &config() const { return config_; }
+
+    /** Invalidate all lines and zero the statistics. */
+    void reset();
+
+  private:
+    static constexpr std::uint64_t kInvalid = ~std::uint64_t{0};
+
+    void installAt(std::uint64_t set, unsigned way,
+                   std::uint64_t line_addr, bool dirty, Result &res);
+
+    CacheConfig config_;
+    unsigned lineShift_;
+    unsigned ways_;
+    std::uint64_t setMask_;
+
+    // tags_[set * ways_ + i]; for LRU/FIFO ordered newest-first.
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint8_t> dirty_;
+
+    CacheStats stats_;
+    std::unique_ptr<MissClassifier> classifier_;
+    Prng victimPrng_{0xCACEull};
+};
+
+} // namespace lsched::cachesim
+
+#endif // LSCHED_CACHESIM_CACHE_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Geometry description of a single cache level.
+ */
+
+#ifndef LSCHED_CACHESIM_CACHE_CONFIG_HH
+#define LSCHED_CACHESIM_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/align.hh"
+#include "support/panic.hh"
+
+namespace lsched::cachesim
+{
+
+/** Replacement policy within a set. */
+enum class Replacement : std::uint8_t
+{
+    Lru,    ///< least recently used (DineroIII's and our default)
+    Fifo,   ///< evict the oldest fill
+    Random, ///< evict a deterministic pseudo-random way
+};
+
+/** Write handling. */
+enum class WritePolicy : std::uint8_t
+{
+    /** Write-back, write-allocate (the default; what the SGI L2s do). */
+    WriteBackAllocate,
+    /** Write-through, no-write-allocate: stores update only on hit
+     *  and never fill the cache; every store propagates downstream. */
+    WriteThroughNoAllocate,
+};
+
+/**
+ * Static parameters of one cache. Sizes must be powers of two and the
+ * capacity must be divisible by line size times associativity.
+ */
+struct CacheConfig
+{
+    /** Human-readable level name ("L1D", "L2", ...). */
+    std::string name = "cache";
+    /** Total capacity in bytes. */
+    std::uint64_t sizeBytes = 0;
+    /** Line (block) size in bytes. */
+    std::uint64_t lineBytes = 0;
+    /** Ways per set; 0 requests full associativity. */
+    unsigned associativity = 1;
+    /** Replacement policy. */
+    Replacement replacement = Replacement::Lru;
+    /** Write policy. */
+    WritePolicy writePolicy = WritePolicy::WriteBackAllocate;
+
+    /** Number of lines the cache can hold. */
+    std::uint64_t
+    numLines() const
+    {
+        return sizeBytes / lineBytes;
+    }
+
+    /** Effective ways per set after resolving 0 = fully associative. */
+    unsigned
+    ways() const
+    {
+        return associativity == 0
+                   ? static_cast<unsigned>(numLines())
+                   : associativity;
+    }
+
+    /** Number of sets. */
+    std::uint64_t
+    numSets() const
+    {
+        return numLines() / ways();
+    }
+
+    /** Abort unless the geometry is realizable. */
+    void
+    validate() const
+    {
+        LSCHED_ASSERT(sizeBytes > 0 && lineBytes > 0,
+                      name, ": size and line must be non-zero");
+        LSCHED_ASSERT(isPowerOfTwo(sizeBytes), name,
+                      ": size must be a power of two, got ", sizeBytes);
+        LSCHED_ASSERT(isPowerOfTwo(lineBytes), name,
+                      ": line must be a power of two, got ", lineBytes);
+        LSCHED_ASSERT(lineBytes <= sizeBytes, name,
+                      ": line larger than cache");
+        const unsigned w = ways();
+        LSCHED_ASSERT(w > 0 && numLines() % w == 0, name,
+                      ": lines (", numLines(),
+                      ") not divisible by ways (", w, ")");
+        LSCHED_ASSERT(isPowerOfTwo(numSets()), name,
+                      ": set count must be a power of two");
+    }
+};
+
+} // namespace lsched::cachesim
+
+#endif // LSCHED_CACHESIM_CACHE_CONFIG_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Single-run compulsory / capacity / conflict miss classification.
+ *
+ * The paper's authors modified DineroIII "to classify misses as
+ * compulsory, capacity, or conflict in a single run"; this is that
+ * classifier, following Hill's three-C model:
+ *
+ *   - compulsory: the line has never been referenced before;
+ *   - capacity:   the reference would also miss in a fully-associative
+ *                 LRU cache of the same capacity;
+ *   - conflict:   the reference misses only because of limited
+ *                 associativity (the fully-associative shadow hits).
+ *
+ * The shadow cache must observe *every* access (hits included) so its
+ * LRU stack stays faithful.
+ */
+
+#ifndef LSCHED_CACHESIM_CLASSIFY_HH
+#define LSCHED_CACHESIM_CLASSIFY_HH
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "cachesim/fully_assoc.hh"
+
+namespace lsched::cachesim
+{
+
+/** Kind of cache miss under the three-C model. */
+enum class MissKind : std::uint8_t
+{
+    Compulsory,
+    Capacity,
+    Conflict,
+};
+
+/** Tracks the shadow state needed to label each miss. */
+class MissClassifier
+{
+  public:
+    /** @param capacity_lines line capacity of the cache being shadowed. */
+    explicit MissClassifier(std::uint64_t capacity_lines)
+        : shadow_(capacity_lines)
+    {
+        everSeen_.reserve(capacity_lines * 4);
+    }
+
+    /**
+     * Observe one access to @p line and, when @p missed, return its
+     * classification. Must be called for hits too (result is
+     * meaningless then) so the shadow LRU stack stays in sync.
+     */
+    MissKind
+    observe(std::uint64_t line, bool missed)
+    {
+        const bool shadow_hit = shadow_.access(line);
+        if (!missed)
+            return MissKind::Compulsory; // ignored by caller
+        if (everSeen_.insert(line).second)
+            return MissKind::Compulsory;
+        return shadow_hit ? MissKind::Conflict : MissKind::Capacity;
+    }
+
+    /** Forget all history. */
+    void
+    clear()
+    {
+        shadow_.clear();
+        everSeen_.clear();
+    }
+
+  private:
+    FullyAssocLru shadow_;
+    std::unordered_set<std::uint64_t> everSeen_;
+};
+
+} // namespace lsched::cachesim
+
+#endif // LSCHED_CACHESIM_CLASSIFY_HH

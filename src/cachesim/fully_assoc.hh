@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fully-associative LRU line store.
+ *
+ * Used two ways: as the shadow cache that drives single-run 3C miss
+ * classification (a miss that would have hit a fully-associative cache
+ * of equal capacity is a conflict miss, otherwise a capacity miss), and
+ * directly as a cache replacement state when a CacheConfig requests
+ * full associativity.
+ *
+ * Implementation: open hash map from line address to a slot in a
+ * vector-backed intrusive doubly-linked LRU list, so every operation is
+ * O(1) with no per-access allocation.
+ */
+
+#ifndef LSCHED_CACHESIM_FULLY_ASSOC_HH
+#define LSCHED_CACHESIM_FULLY_ASSOC_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/panic.hh"
+
+namespace lsched::cachesim
+{
+
+/** Fully-associative LRU set of line addresses with fixed capacity. */
+class FullyAssocLru
+{
+  public:
+    /** @param capacity maximum number of lines held (> 0). */
+    explicit FullyAssocLru(std::uint64_t capacity)
+        : capacity_(capacity)
+    {
+        LSCHED_ASSERT(capacity_ > 0, "fully-associative capacity is 0");
+        slots_.reserve(capacity_);
+        index_.reserve(capacity_ * 2);
+    }
+
+    /**
+     * Touch @p line: returns true on hit. On miss the line is inserted,
+     * evicting the least-recently-used line when full. Either way the
+     * line becomes most-recently-used.
+     */
+    bool
+    access(std::uint64_t line)
+    {
+        auto it = index_.find(line);
+        if (it != index_.end()) {
+            moveToFront(it->second);
+            return true;
+        }
+        insert(line);
+        return false;
+    }
+
+    /** Hit test without updating recency or inserting. */
+    bool
+    contains(std::uint64_t line) const
+    {
+        return index_.find(line) != index_.end();
+    }
+
+    /** Number of resident lines. */
+    std::uint64_t size() const { return index_.size(); }
+
+    /** Maximum number of resident lines. */
+    std::uint64_t capacity() const { return capacity_; }
+
+    /** Drop all state. */
+    void
+    clear()
+    {
+        slots_.clear();
+        index_.clear();
+        head_ = kNone;
+        tail_ = kNone;
+    }
+
+  private:
+    static constexpr std::uint32_t kNone = ~std::uint32_t{0};
+
+    struct Slot
+    {
+        std::uint64_t line;
+        std::uint32_t prev;
+        std::uint32_t next;
+    };
+
+    void
+    unlink(std::uint32_t s)
+    {
+        Slot &slot = slots_[s];
+        if (slot.prev != kNone)
+            slots_[slot.prev].next = slot.next;
+        else
+            head_ = slot.next;
+        if (slot.next != kNone)
+            slots_[slot.next].prev = slot.prev;
+        else
+            tail_ = slot.prev;
+    }
+
+    void
+    linkFront(std::uint32_t s)
+    {
+        Slot &slot = slots_[s];
+        slot.prev = kNone;
+        slot.next = head_;
+        if (head_ != kNone)
+            slots_[head_].prev = s;
+        head_ = s;
+        if (tail_ == kNone)
+            tail_ = s;
+    }
+
+    void
+    moveToFront(std::uint32_t s)
+    {
+        if (head_ == s)
+            return;
+        unlink(s);
+        linkFront(s);
+    }
+
+    void
+    insert(std::uint64_t line)
+    {
+        std::uint32_t s;
+        if (index_.size() >= capacity_) {
+            // Recycle the LRU victim's slot.
+            s = tail_;
+            index_.erase(slots_[s].line);
+            unlink(s);
+        } else {
+            s = static_cast<std::uint32_t>(slots_.size());
+            slots_.push_back({});
+        }
+        slots_[s].line = line;
+        linkFront(s);
+        index_.emplace(line, s);
+    }
+
+    std::uint64_t capacity_;
+    std::vector<Slot> slots_;
+    std::unordered_map<std::uint64_t, std::uint32_t> index_;
+    std::uint32_t head_ = kNone;
+    std::uint32_t tail_ = kNone;
+};
+
+} // namespace lsched::cachesim
+
+#endif // LSCHED_CACHESIM_FULLY_ASSOC_HH

@@ -1,0 +1,80 @@
+#include "hierarchy.hh"
+
+#include "support/panic.hh"
+
+namespace lsched::cachesim
+{
+
+Hierarchy::Hierarchy(const HierarchyConfig &config)
+    : l1i_(config.l1i, config.classifyL1),
+      l1d_(config.l1d, config.classifyL1),
+      l2_(config.l2, config.classifyL2),
+      pageMap_(config.l2PageMap, config.pageBytes,
+               std::max<std::uint64_t>(
+                   1, config.l2.numSets() * config.l2.lineBytes /
+                          config.pageBytes),
+               config.pageMapSeed),
+      translate_(config.l2PageMap != PageMapPolicy::Identity)
+{
+    LSCHED_ASSERT(config.l2.lineBytes >= config.l1i.lineBytes &&
+                      config.l2.lineBytes >= config.l1d.lineBytes,
+                  "L2 line must be at least as large as the L1 lines");
+    l1iToL2Shift_ = l2_.lineShift() - l1i_.lineShift();
+    l1dToL2Shift_ = l2_.lineShift() - l1d_.lineShift();
+}
+
+std::uint64_t
+Hierarchy::l2LineOf(std::uint64_t l1_line, unsigned shift)
+{
+    if (!translate_)
+        return l1_line >> shift;
+    // Translate at byte granularity; pages are >= L2 lines, so the
+    // whole line maps within one page.
+    const unsigned l1_shift = l2_.lineShift() - shift;
+    return l2_.lineOf(pageMap_.translate(l1_line << l1_shift));
+}
+
+void
+Hierarchy::accessThrough(Cache &l1, std::uint64_t l1_line, bool is_write)
+{
+    const Cache::Result r1 = l1.accessLine(l1_line, is_write);
+    if (!r1.miss && !r1.writeback && !r1.propagateWrite)
+        return;
+
+    const unsigned shift = (&l1 == &l1i_) ? l1iToL2Shift_ : l1dToL2Shift_;
+    if (r1.propagateWrite) {
+        // Write-through L1: the store itself travels to L2 (both on
+        // hit and on the no-allocate miss).
+        l2_.accessLine(l2LineOf(l1_line, shift), true);
+    } else if (r1.miss) {
+        // Demand fetch from L2. The fill is a read even when the
+        // triggering reference is a store (write-allocate fetches the
+        // line first); the dirtiness lives in L1 until eviction.
+        const Cache::Result r2 =
+            l2_.accessLine(l2LineOf(l1_line, shift), false);
+        // Dirty victim leaving L2 goes to memory; counted in
+        // l2 stats' writebacks by the cache itself.
+        (void)r2;
+    }
+    if (r1.writeback) {
+        // Dirty L1 victim updates L2 in place when resident. Because
+        // every L1 fill also filled L2, absence is rare (the line was
+        // evicted from the much larger L2 in the meantime); in that
+        // case the data retires to memory without disturbing the
+        // demand statistics.
+        l2_.updateIfPresent(l2LineOf(r1.victimLine, shift));
+    }
+}
+
+void
+Hierarchy::reset()
+{
+    l1i_.reset();
+    l1d_.reset();
+    l2_.reset();
+    pageMap_.clear();
+    ifetches_ = 0;
+    dataRefs_ = 0;
+}
+
+} // namespace lsched::cachesim

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Counters reported by the cache simulator, mirroring the rows of the
+ * paper's cache tables (references, misses, miss rate, and the
+ * compulsory / capacity / conflict split).
+ */
+
+#ifndef LSCHED_CACHESIM_STATS_HH
+#define LSCHED_CACHESIM_STATS_HH
+
+#include <cstdint>
+
+namespace lsched::cachesim
+{
+
+/** Per-cache access statistics. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    // Populated only when a MissClassifier is attached.
+    std::uint64_t compulsoryMisses = 0;
+    std::uint64_t capacityMisses = 0;
+    std::uint64_t conflictMisses = 0;
+
+    /** Hits = accesses - misses. */
+    std::uint64_t hits() const { return accesses - misses; }
+
+    /** Miss rate in percent (0 when no accesses). */
+    double
+    missRatePercent() const
+    {
+        return accesses
+                   ? 100.0 * static_cast<double>(misses) /
+                         static_cast<double>(accesses)
+                   : 0.0;
+    }
+
+    /** Merge another stats block into this one. */
+    CacheStats &
+    operator+=(const CacheStats &o)
+    {
+        accesses += o.accesses;
+        misses += o.misses;
+        writebacks += o.writebacks;
+        compulsoryMisses += o.compulsoryMisses;
+        capacityMisses += o.capacityMisses;
+        conflictMisses += o.conflictMisses;
+        return *this;
+    }
+};
+
+} // namespace lsched::cachesim
+
+#endif // LSCHED_CACHESIM_STATS_HH

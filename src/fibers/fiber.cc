@@ -1,0 +1,93 @@
+#include "fiber.hh"
+
+#include "support/panic.hh"
+
+namespace lsched::fibers
+{
+
+namespace
+{
+
+thread_local Fiber *t_current = nullptr;
+
+} // namespace
+
+Fiber *
+Fiber::current()
+{
+    return t_current;
+}
+
+Fiber::Fiber(std::size_t stack_bytes)
+    : stack_(std::make_unique<char[]>(stack_bytes)),
+      stackBytes_(stack_bytes)
+{
+    LSCHED_ASSERT(stack_bytes >= 16 * 1024,
+                  "fiber stack too small: ", stack_bytes);
+}
+
+void
+Fiber::bind(EntryFn entry, void *arg)
+{
+    LSCHED_ASSERT(state_ == FiberState::Finished,
+                  "bind() on a live fiber");
+    entry_ = entry;
+    arg_ = arg;
+    if (getcontext(&context_) != 0)
+        LSCHED_PANIC("getcontext failed");
+    context_.uc_stack.ss_sp = stack_.get();
+    context_.uc_stack.ss_size = stackBytes_;
+    context_.uc_link = &returnContext_;
+    makecontext(&context_, reinterpret_cast<void (*)()>(&trampoline),
+                0);
+    state_ = FiberState::Ready;
+}
+
+void
+Fiber::trampoline()
+{
+    Fiber *self = t_current;
+    self->entry_(self->arg_);
+    self->state_ = FiberState::Finished;
+    // uc_link returns control to returnContext_ when the body falls
+    // off the end of the trampoline.
+}
+
+void
+Fiber::resume()
+{
+    LSCHED_ASSERT(state_ == FiberState::Ready,
+                  "resume() of a fiber that is not Ready");
+    LSCHED_ASSERT(t_current == nullptr,
+                  "resume() from inside another fiber");
+    state_ = FiberState::Running;
+    t_current = this;
+    if (swapcontext(&returnContext_, &context_) != 0)
+        LSCHED_PANIC("swapcontext into fiber failed");
+    t_current = nullptr;
+}
+
+void
+Fiber::markReady()
+{
+    LSCHED_ASSERT(state_ == FiberState::Blocked,
+                  "markReady() on a fiber that is not Blocked");
+    state_ = FiberState::Ready;
+}
+
+void
+Fiber::suspend(FiberState next_state)
+{
+    LSCHED_ASSERT(t_current == this,
+                  "suspend() of a fiber that is not running");
+    LSCHED_ASSERT(next_state == FiberState::Ready ||
+                      next_state == FiberState::Blocked,
+                  "suspend() target state must be Ready or Blocked");
+    state_ = next_state;
+    if (swapcontext(&context_, &returnContext_) != 0)
+        LSCHED_PANIC("swapcontext out of fiber failed");
+    // Resumed: we are running again.
+    state_ = FiberState::Running;
+}
+
+} // namespace lsched::fibers

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Stack-switching fibers (ucontext-based coroutines).
+ *
+ * The locality thread package deliberately supports only
+ * run-to-completion threads with no blocking, which is why it needs
+ * no assembly and a single stack (paper Section 3). Section 7 leaves
+ * open "whether the scheduling algorithm can be efficiently
+ * implemented with a general-purpose thread package that supports
+ * synchronization and preemptive scheduling". This substrate answers
+ * the synchronization half: real suspendable fibers, each with its
+ * own stack, that a general-purpose scheduler (fiber_scheduler.hh)
+ * can drive with the same locality-bin algorithm — so the overhead
+ * gap between the two designs can be measured directly
+ * (bench/ablation_package).
+ */
+
+#ifndef LSCHED_FIBERS_FIBER_HH
+#define LSCHED_FIBERS_FIBER_HH
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lsched::fibers
+{
+
+/** Execution states of a fiber. */
+enum class FiberState : std::uint8_t
+{
+    Ready,    ///< created or yielded, can be resumed
+    Running,  ///< currently on the CPU
+    Blocked,  ///< waiting on an event
+    Finished, ///< body returned
+};
+
+/** A suspendable unit of execution with its own stack. */
+class Fiber
+{
+  public:
+    using EntryFn = void (*)(void *);
+
+    /**
+     * @param stack_bytes stack size for this fiber.
+     * Construct an unstarted fiber; bind() must be called before the
+     * first resume().
+     */
+    explicit Fiber(std::size_t stack_bytes);
+
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /** (Re)bind the fiber to a body; resets it to Ready. */
+    void bind(EntryFn entry, void *arg);
+
+    /**
+     * Switch from the caller (the scheduler context) into the fiber;
+     * returns when the fiber yields, blocks, or finishes.
+     */
+    void resume();
+
+    /**
+     * Switch from inside the fiber back to the scheduler, leaving the
+     * fiber in @p next_state (Ready or Blocked). Must be called on
+     * the currently running fiber.
+     */
+    void suspend(FiberState next_state);
+
+    /** Current state. */
+    FiberState state() const { return state_; }
+
+    /** Transition Blocked -> Ready (event signalled). */
+    void markReady();
+
+    /** The fiber currently running on this thread (null = scheduler). */
+    static Fiber *current();
+
+  private:
+    static void trampoline();
+
+    ucontext_t context_;
+    ucontext_t returnContext_;
+    std::unique_ptr<char[]> stack_;
+    std::size_t stackBytes_;
+    EntryFn entry_ = nullptr;
+    void *arg_ = nullptr;
+    FiberState state_ = FiberState::Finished;
+};
+
+/** Recycling allocator for fibers (stacks are expensive to create). */
+class FiberPool
+{
+  public:
+    explicit FiberPool(std::size_t stack_bytes)
+        : stackBytes_(stack_bytes)
+    {
+    }
+
+    /** Obtain a fiber bound to @p entry/@p arg (recycled if possible). */
+    Fiber *
+    acquire(Fiber::EntryFn entry, void *arg)
+    {
+        Fiber *f;
+        if (!free_.empty()) {
+            f = free_.back();
+            free_.pop_back();
+        } else {
+            owned_.push_back(std::make_unique<Fiber>(stackBytes_));
+            f = owned_.back().get();
+        }
+        f->bind(entry, arg);
+        return f;
+    }
+
+    /** Return a finished fiber for reuse. */
+    void release(Fiber *fiber) { free_.push_back(fiber); }
+
+    /** Fibers ever created (stack-allocation statistic). */
+    std::size_t createdCount() const { return owned_.size(); }
+
+  private:
+    std::size_t stackBytes_;
+    std::vector<std::unique_ptr<Fiber>> owned_;
+    std::vector<Fiber *> free_;
+};
+
+} // namespace lsched::fibers
+
+#endif // LSCHED_FIBERS_FIBER_HH

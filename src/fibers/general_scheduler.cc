@@ -1,0 +1,176 @@
+#include "general_scheduler.hh"
+
+#include "support/panic.hh"
+
+namespace lsched::fibers
+{
+
+namespace
+{
+
+thread_local GeneralScheduler *t_scheduler = nullptr;
+
+} // namespace
+
+GeneralScheduler *
+GeneralScheduler::current()
+{
+    return t_scheduler;
+}
+
+GeneralScheduler::GeneralScheduler(const GeneralSchedulerConfig &config)
+    : config_(config),
+      blockMap_(config.dims,
+                config.blockBytes ? config.blockBytes
+                                  : config.cacheBytes / config.dims),
+      pool_(config.stackBytes)
+{
+    if (!config_.locality)
+        queues_.emplace_back(); // the single FIFO queue
+}
+
+std::size_t
+GeneralScheduler::queueIndexFor(std::span<const threads::Hint> hints)
+{
+    if (!config_.locality)
+        return 0;
+    const threads::BlockCoords coords = blockMap_.coordsFor(hints);
+    auto [it, created] = binIndex_.try_emplace(coords, queues_.size());
+    if (created)
+        queues_.emplace_back();
+    return it->second;
+}
+
+void
+GeneralScheduler::fork(EntryFn entry, void *arg, threads::Hint hint1,
+                       threads::Hint hint2, threads::Hint hint3)
+{
+    LSCHED_ASSERT(entry != nullptr, "fork of a null fiber body");
+    const threads::Hint hints[3] = {hint1, hint2, hint3};
+    const std::size_t index =
+        queueIndexFor(std::span<const threads::Hint>(hints, 3));
+    queues_[index].push_back(Task{entry, arg, nullptr});
+    ++live_;
+}
+
+void
+GeneralScheduler::requeue(Fiber *fiber)
+{
+    const auto it = home_.find(fiber);
+    LSCHED_ASSERT(it != home_.end(), "requeue of an unknown fiber");
+    queues_[it->second].push_back(Task{nullptr, nullptr, fiber});
+}
+
+std::uint64_t
+GeneralScheduler::run()
+{
+    LSCHED_ASSERT(!running_, "recursive run()");
+    LSCHED_ASSERT(t_scheduler == nullptr,
+                  "run() from inside a fiber of another scheduler");
+    running_ = true;
+    t_scheduler = this;
+    std::uint64_t finished = 0;
+
+    while (live_ > 0) {
+        // Bins in creation order; within a bin, queue order. A
+        // yielded fiber rejoins its own bin's tail, so one pass over
+        // a bin drains it unless fibers keep yielding.
+        bool progressed = false;
+        for (std::size_t q = 0; q < queues_.size(); ++q) {
+            while (!queues_[q].empty()) {
+                Task task = queues_[q].front();
+                queues_[q].pop_front();
+                Fiber *fiber = task.fiber;
+                if (!fiber) {
+                    fiber = pool_.acquire(task.entry, task.arg);
+                    home_[fiber] = q;
+                }
+                fiber->resume();
+                progressed = true;
+                switch (fiber->state()) {
+                  case FiberState::Finished:
+                    home_.erase(fiber);
+                    pool_.release(fiber);
+                    --live_;
+                    ++finished;
+                    break;
+                  case FiberState::Ready:
+                    requeue(fiber);
+                    break;
+                  case FiberState::Blocked:
+                    break; // the Event holds it
+                  case FiberState::Running:
+                    LSCHED_PANIC("fiber returned in Running state");
+                }
+            }
+        }
+        if (!progressed && live_ > 0) {
+            t_scheduler = nullptr;
+            running_ = false;
+            LSCHED_FATAL("fiber deadlock: ", live_,
+                         " live fibers, none runnable");
+        }
+    }
+
+    t_scheduler = nullptr;
+    running_ = false;
+    return finished;
+}
+
+void
+GeneralScheduler::yield()
+{
+    Fiber *fiber = Fiber::current();
+    LSCHED_ASSERT(fiber != nullptr, "yield() outside a fiber");
+    fiber->suspend(FiberState::Ready);
+}
+
+void
+GeneralScheduler::blockCurrentOn(Event &event)
+{
+    Fiber *fiber = Fiber::current();
+    LSCHED_ASSERT(fiber != nullptr, "wait() outside a fiber");
+    event.waiters_.push_back(fiber);
+    fiber->suspend(FiberState::Blocked);
+}
+
+void
+GeneralScheduler::unblock(Fiber *fiber)
+{
+    fiber->markReady();
+    requeue(fiber);
+}
+
+void
+Event::wait()
+{
+    if (signalled_)
+        return;
+    GeneralScheduler *sched = GeneralScheduler::current();
+    LSCHED_ASSERT(sched != nullptr,
+                  "Event::wait() outside a running scheduler");
+    sched->blockCurrentOn(*this);
+}
+
+void
+Event::signal()
+{
+    signalled_ = true;
+    GeneralScheduler *sched = GeneralScheduler::current();
+    if (waiters_.empty())
+        return;
+    LSCHED_ASSERT(sched != nullptr,
+                  "Event::signal() with waiters outside a scheduler");
+    for (Fiber *fiber : waiters_)
+        sched->unblock(fiber);
+    waiters_.clear();
+}
+
+void
+Event::reset()
+{
+    LSCHED_ASSERT(waiters_.empty(), "reset() with waiting fibers");
+    signalled_ = false;
+}
+
+} // namespace lsched::fibers

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * A general-purpose fiber scheduler driven by the paper's locality
+ * algorithm — the experiment Section 7 calls for.
+ *
+ * Unlike the run-to-completion package (threads/scheduler.hh), every
+ * task here is a real fiber with its own stack: it may yield(), block
+ * on an Event, and resume later. Tasks are still binned by address
+ * hints (the same block map), bins still run in creation order, and a
+ * yielded fiber re-queues at the tail of its own bin so locality is
+ * preserved across suspensions. A FIFO mode (locality off) provides
+ * the conventional-thread-package baseline.
+ *
+ * The cost of this generality — stack allocation, two context
+ * switches per task, per-task bookkeeping — versus the
+ * run-to-completion design is measured by bench/ablation_package.
+ */
+
+#ifndef LSCHED_FIBERS_GENERAL_SCHEDULER_HH
+#define LSCHED_FIBERS_GENERAL_SCHEDULER_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "fibers/fiber.hh"
+#include "threads/block_map.hh"
+#include "threads/hints.hh"
+
+namespace lsched::fibers
+{
+
+class Event;
+
+/** Tunables for the general-purpose scheduler. */
+struct GeneralSchedulerConfig
+{
+    /** Bin tasks by hints (false = plain FIFO). */
+    bool locality = true;
+    /** Scheduling-space dimensionality. */
+    unsigned dims = 3;
+    /** Block dimension size in bytes; 0 selects cache/dims. */
+    std::uint64_t blockBytes = 0;
+    /** Cache capacity the block map targets. */
+    std::uint64_t cacheBytes = 2 * 1024 * 1024;
+    /** Stack size per fiber. */
+    std::size_t stackBytes = 64 * 1024;
+};
+
+/** Fiber scheduler with optional locality binning. */
+class GeneralScheduler
+{
+  public:
+    using EntryFn = void (*)(void *);
+
+    explicit GeneralScheduler(const GeneralSchedulerConfig &config = {});
+
+    GeneralScheduler(const GeneralScheduler &) = delete;
+    GeneralScheduler &operator=(const GeneralScheduler &) = delete;
+
+    /**
+     * Create a fiber to call entry(arg), binned by the given address
+     * hints (ignored in FIFO mode).
+     */
+    void fork(EntryFn entry, void *arg, threads::Hint hint1 = 0,
+              threads::Hint hint2 = 0, threads::Hint hint3 = 0);
+
+    /**
+     * Run until every forked fiber has finished. Returns the number
+     * of fibers completed by this call. Fatal on deadlock (all live
+     * fibers blocked on events nobody can signal).
+     */
+    std::uint64_t run();
+
+    /**
+     * Re-queue the calling fiber at the tail of its bin and switch
+     * back to the scheduler. Must be called from inside a fiber.
+     */
+    static void yield();
+
+    /** The scheduler driving the currently running fiber. */
+    static GeneralScheduler *current();
+
+    /** Fibers forked and not yet finished. */
+    std::uint64_t liveFibers() const { return live_; }
+
+    /** Bins created so far (locality mode). */
+    std::size_t binCount() const { return queues_.size(); }
+
+    /** Stacks ever allocated (recycling statistic). */
+    std::size_t stacksAllocated() const { return pool_.createdCount(); }
+
+  private:
+    friend class Event;
+
+    /**
+     * A schedulable unit: the body is materialized as a fiber (stack
+     * and all) only when first dispatched, so run-to-completion
+     * workloads recycle a single stack.
+     */
+    struct Task
+    {
+        EntryFn entry = nullptr;
+        void *arg = nullptr;
+        Fiber *fiber = nullptr; ///< null until first dispatched
+    };
+
+    /** Block the calling fiber on @p event. */
+    void blockCurrentOn(Event &event);
+    /** Make a previously blocked fiber runnable again. */
+    void unblock(Fiber *fiber);
+
+    std::size_t queueIndexFor(std::span<const threads::Hint> hints);
+    void requeue(Fiber *fiber);
+
+    GeneralSchedulerConfig config_;
+    threads::BlockMap blockMap_;
+    FiberPool pool_;
+
+    /** Ready queues: one per bin (index 0 = the FIFO queue). */
+    std::vector<std::deque<Task>> queues_;
+    std::map<threads::BlockCoords, std::size_t> binIndex_;
+    std::unordered_map<Fiber *, std::size_t> home_;
+
+    std::uint64_t live_ = 0;
+    bool running_ = false;
+};
+
+/**
+ * A one-shot broadcast event: fibers wait() until some other fiber
+ * (or the code between runs) calls signal(), which wakes all current
+ * waiters. wait() after signal() does not block (the event latches).
+ */
+class Event
+{
+  public:
+    /** Block the calling fiber until the event is signalled. */
+    void wait();
+
+    /** Wake all waiting fibers and latch the event. */
+    void signal();
+
+    /** True once signal() has been called. */
+    bool signalled() const { return signalled_; }
+
+    /** Reset the latch (no fibers may be waiting). */
+    void reset();
+
+  private:
+    friend class GeneralScheduler;
+
+    std::vector<Fiber *> waiters_;
+    bool signalled_ = false;
+};
+
+} // namespace lsched::fibers
+
+#endif // LSCHED_FIBERS_GENERAL_SCHEDULER_HH

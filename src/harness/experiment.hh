@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared experiment plumbing for the paper-reproduction benches:
+ * running a kernel under the cache simulator of a given machine,
+ * snapshotting the statistics the paper's tables report, and
+ * estimating execution time with the crude timing model.
+ */
+
+#ifndef LSCHED_HARNESS_EXPERIMENT_HH
+#define LSCHED_HARNESS_EXPERIMENT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/machine_config.hh"
+#include "machine/timing_model.hh"
+#include "workloads/memmodel.hh"
+
+namespace lsched::harness
+{
+
+/** Everything a paper-style cache table row needs. */
+struct SimOutcome
+{
+    std::uint64_t ifetches = 0;
+    std::uint64_t dataRefs = 0;
+    cachesim::CacheStats l1;
+    cachesim::CacheStats l2;
+    /** L1 misses / (I-fetches + data refs), percent. */
+    double l1RatePercent = 0;
+    /** L2 misses / L2 accesses, percent. */
+    double l2RatePercent = 0;
+
+    /** Crude-model estimated seconds on @p machine. */
+    double
+    estimatedSeconds(const machine::MachineConfig &machine) const
+    {
+        machine::ExecutionProfile p;
+        p.instructions = ifetches;
+        p.l1Misses = l1.misses;
+        p.l2Misses = l2.misses;
+        return machine::estimateSeconds(machine, p);
+    }
+};
+
+/** Capture the current statistics of @p hierarchy. */
+inline SimOutcome
+snapshot(const cachesim::Hierarchy &hierarchy)
+{
+    SimOutcome o;
+    o.ifetches = hierarchy.ifetches();
+    o.dataRefs = hierarchy.dataRefs();
+    o.l1 = hierarchy.l1Stats();
+    o.l2 = hierarchy.l2Stats();
+    o.l1RatePercent = hierarchy.l1MissRatePercent();
+    o.l2RatePercent = o.l2.missRatePercent();
+    return o;
+}
+
+/**
+ * Run @p kernel (a callable taking workloads::SimModel&) against a
+ * fresh simulated hierarchy configured from @p machine and return the
+ * outcome. @p ifetch_mode selects the synthetic instruction-fetch
+ * model (analytic by default; Full streams one fetch per instruction
+ * for fidelity checks — roughly 10x slower).
+ */
+template <typename Kernel>
+SimOutcome
+simulateOn(const machine::MachineConfig &machine, Kernel &&kernel,
+           trace::SynthIFetch::Mode ifetch_mode =
+               trace::SynthIFetch::Mode::Analytic)
+{
+    cachesim::Hierarchy hierarchy(machine.caches);
+    workloads::SimModel model(hierarchy, ifetch_mode);
+    std::forward<Kernel>(kernel)(model);
+    return snapshot(hierarchy);
+}
+
+} // namespace lsched::harness
+
+#endif // LSCHED_HARNESS_EXPERIMENT_HH

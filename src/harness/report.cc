@@ -1,0 +1,75 @@
+#include "report.hh"
+
+namespace lsched::harness
+{
+
+TextTable
+cacheTable(const std::string &title,
+           const std::vector<NamedOutcome> &outcomes)
+{
+    std::vector<std::string> headers{"(thousands)"};
+    for (const auto &[name, outcome] : outcomes)
+        headers.push_back(name);
+    TextTable table(title, headers);
+
+    auto row = [&](const std::string &label, auto getter,
+                   bool as_thousands = true, int precision = 1) {
+        std::vector<std::string> cells{label};
+        for (const auto &[name, outcome] : outcomes) {
+            const auto v = getter(outcome);
+            if constexpr (std::is_integral_v<decltype(v)>) {
+                cells.push_back(as_thousands
+                                    ? TextTable::thousands(v)
+                                    : TextTable::count(v));
+            } else {
+                cells.push_back(TextTable::num(v, precision));
+            }
+        }
+        table.addRow(std::move(cells));
+    };
+
+    row("I fetches", [](const SimOutcome &o) { return o.ifetches; });
+    row("D references", [](const SimOutcome &o) { return o.dataRefs; });
+    row("L1 misses", [](const SimOutcome &o) { return o.l1.misses; });
+    row("  rate %", [](const SimOutcome &o) { return o.l1RatePercent; });
+    row("L2 misses", [](const SimOutcome &o) { return o.l2.misses; });
+    row("  rate %", [](const SimOutcome &o) { return o.l2RatePercent; });
+    row("L2 compulsory",
+        [](const SimOutcome &o) { return o.l2.compulsoryMisses; });
+    row("L2 capacity",
+        [](const SimOutcome &o) { return o.l2.capacityMisses; });
+    row("L2 conflict",
+        [](const SimOutcome &o) { return o.l2.conflictMisses; });
+    return table;
+}
+
+TextTable
+perfTable(const std::string &title,
+          const std::vector<std::string> &machines,
+          const std::vector<PerfRow> &rows)
+{
+    std::vector<std::string> headers{"version"};
+    for (const auto &m : machines)
+        headers.push_back(m + " est. s");
+    bool any_host = false;
+    for (const auto &r : rows)
+        any_host = any_host || r.hostSeconds >= 0;
+    if (any_host)
+        headers.push_back("host CPU s");
+
+    TextTable table(title, headers);
+    for (const auto &r : rows) {
+        std::vector<std::string> cells{r.name};
+        for (double s : r.estimatedSeconds)
+            cells.push_back(TextTable::num(s, 2));
+        if (any_host) {
+            cells.push_back(r.hostSeconds >= 0
+                                ? TextTable::num(r.hostSeconds, 2)
+                                : "-");
+        }
+        table.addRow(std::move(cells));
+    }
+    return table;
+}
+
+} // namespace lsched::harness

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Paper-style table rendering: given per-variant outcomes, produce
+ * tables with exactly the rows of the paper's Tables 2-9 (memory
+ * references and cache misses in thousands, miss rates, and the
+ * compulsory / capacity / conflict split) plus the estimated-seconds
+ * performance tables.
+ */
+
+#ifndef LSCHED_HARNESS_REPORT_HH
+#define LSCHED_HARNESS_REPORT_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "harness/experiment.hh"
+#include "machine/machine_config.hh"
+#include "support/table.hh"
+
+namespace lsched::harness
+{
+
+/** A named variant outcome. */
+using NamedOutcome = std::pair<std::string, SimOutcome>;
+
+/**
+ * The paper's cache-simulation table layout (Tables 3, 5, 7, 9):
+ * I fetches, D references, L1 misses + rate, L2 misses + rate,
+ * L2 compulsory / capacity / conflict; counts in thousands.
+ */
+TextTable cacheTable(const std::string &title,
+                     const std::vector<NamedOutcome> &outcomes);
+
+/**
+ * A performance table (Tables 2, 4, 6, 8): per variant the estimated
+ * seconds on each machine (crude timing model over the simulated
+ * counts) and, when provided, measured host CPU seconds.
+ */
+struct PerfRow
+{
+    std::string name;
+    /** Estimated seconds per machine, aligned with the header list. */
+    std::vector<double> estimatedSeconds;
+    /** Host CPU seconds of the uninstrumented run; < 0 when absent. */
+    double hostSeconds = -1;
+};
+
+TextTable perfTable(const std::string &title,
+                    const std::vector<std::string> &machines,
+                    const std::vector<PerfRow> &rows);
+
+} // namespace lsched::harness
+
+#endif // LSCHED_HARNESS_REPORT_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Descriptions of the machines the paper evaluates on — the SGI Power
+ * Indigo2 (75 MHz MIPS R8000) and the SGI Indigo2 IMPACT (195 MHz MIPS
+ * R10000) — plus proportionally scaled variants used so benches can
+ * run paper-shaped experiments at laptop-friendly sizes.
+ */
+
+#ifndef LSCHED_MACHINE_MACHINE_CONFIG_HH
+#define LSCHED_MACHINE_MACHINE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cachesim/hierarchy.hh"
+
+namespace lsched::machine
+{
+
+/** Everything the simulator and timing model need about a machine. */
+struct MachineConfig
+{
+    std::string name;
+    /** Core clock in Hz. */
+    double clockHz = 0;
+    /** Cache geometry fed to the simulator. */
+    cachesim::HierarchyConfig caches;
+    /** Crude per-instruction cost in cycles (the paper assumes 1). */
+    double cyclesPerInstruction = 1.0;
+    /** L1 miss penalty in cycles (paper cites 7 for the R8000). */
+    double l1MissCycles = 7.0;
+    /** L2 miss (main memory) penalty in seconds (Table 1 bottom row). */
+    double l2MissSeconds = 0;
+
+    /** L2 capacity in bytes — the scheduler's default plane size. */
+    std::uint64_t l2Size() const { return caches.l2.sizeBytes; }
+
+    /** Seconds per clock cycle. */
+    double cycleSeconds() const { return 1.0 / clockHz; }
+};
+
+/**
+ * SGI Power Indigo2: 75 MHz R8000, split 16 KB L1 I/D (32 B lines),
+ * unified 2 MB 4-way L2 (128 B lines), 1.06 us L2 miss.
+ */
+MachineConfig powerIndigo2R8000();
+
+/**
+ * SGI Indigo2 IMPACT: 195 MHz R10000, 32 KB 2-way L1 I (64 B lines)
+ * and D (32 B lines), unified 1 MB 2-way L2 (128 B lines), 0.85 us
+ * L2 miss.
+ */
+MachineConfig indigo2ImpactR10000();
+
+/**
+ * Shrink a machine's caches by @p factor (a power of two), keeping
+ * line sizes, associativities, clock, and miss penalties. Experiments
+ * that also shrink their data sets by the same factor preserve the
+ * data-size : cache-size ratio — and hence the paper's miss behaviour
+ * — while running orders of magnitude faster.
+ */
+MachineConfig scaled(const MachineConfig &base, unsigned factor);
+
+} // namespace lsched::machine
+
+#endif // LSCHED_MACHINE_MACHINE_CONFIG_HH

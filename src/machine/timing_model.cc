@@ -1,0 +1,37 @@
+#include "timing_model.hh"
+
+namespace lsched::machine
+{
+
+double
+estimateSeconds(const MachineConfig &machine,
+                const ExecutionProfile &profile)
+{
+    const double cycle = machine.cycleSeconds();
+    const double instr_s = static_cast<double>(profile.instructions) *
+                           machine.cyclesPerInstruction * cycle;
+    const double l1_s = static_cast<double>(profile.l1Misses) *
+                        machine.l1MissCycles * cycle;
+    const double l2_s = static_cast<double>(profile.l2Misses) *
+                        machine.l2MissSeconds;
+    return instr_s + l1_s + l2_s;
+}
+
+ExecutionProfile
+profileOf(const cachesim::Hierarchy &hierarchy)
+{
+    ExecutionProfile p;
+    p.instructions = hierarchy.ifetches();
+    p.l1Misses = hierarchy.l1Stats().misses;
+    p.l2Misses = hierarchy.l2Stats().misses;
+    return p;
+}
+
+double
+estimateSeconds(const MachineConfig &machine,
+                const cachesim::Hierarchy &hierarchy)
+{
+    return estimateSeconds(machine, profileOf(hierarchy));
+}
+
+} // namespace lsched::machine

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The paper's "crude analysis" as a reusable timing model.
+ *
+ * Sections 4.2-4.4 repeatedly estimate execution time as
+ *
+ *     t = I * cpi / clock  +  miss_L1 * 7 / clock  +  miss_L2 * t_mem
+ *
+ * and validate it against measured time ("the difference ... is only
+ * about 4 seconds", "close to the actual time saved"). We use the same
+ * model to turn simulated reference counts into machine-independent
+ * estimated seconds for the wall-clock tables (2, 4, 6, 8).
+ */
+
+#ifndef LSCHED_MACHINE_TIMING_MODEL_HH
+#define LSCHED_MACHINE_TIMING_MODEL_HH
+
+#include <cstdint>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/machine_config.hh"
+
+namespace lsched::machine
+{
+
+/** Inputs to the crude timing estimate. */
+struct ExecutionProfile
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+};
+
+/** Estimated seconds for @p profile on @p machine (crude analysis). */
+double estimateSeconds(const MachineConfig &machine,
+                       const ExecutionProfile &profile);
+
+/**
+ * Extract an ExecutionProfile from a simulated hierarchy:
+ * instructions = total I-fetches, L1 misses = I + D L1 misses,
+ * L2 misses = unified L2 misses.
+ */
+ExecutionProfile profileOf(const cachesim::Hierarchy &hierarchy);
+
+/** estimateSeconds(machine, profileOf(hierarchy)). */
+double estimateSeconds(const MachineConfig &machine,
+                       const cachesim::Hierarchy &hierarchy);
+
+} // namespace lsched::machine
+
+#endif // LSCHED_MACHINE_TIMING_MODEL_HH

@@ -1,0 +1,157 @@
+#include "perf_counters.hh"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace lsched::perfcount
+{
+
+namespace
+{
+
+long
+perfEventOpen(perf_event_attr *attr, pid_t pid, int cpu, int group_fd,
+              unsigned long flags)
+{
+    return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd,
+                   flags);
+}
+
+perf_event_attr
+attrFor(HwEvent event)
+{
+    perf_event_attr attr{};
+    attr.size = sizeof(attr);
+    attr.disabled = 1;
+    attr.exclude_kernel = 1;
+    attr.exclude_hv = 1;
+    switch (event) {
+      case HwEvent::Instructions:
+        attr.type = PERF_TYPE_HARDWARE;
+        attr.config = PERF_COUNT_HW_INSTRUCTIONS;
+        break;
+      case HwEvent::CpuCycles:
+        attr.type = PERF_TYPE_HARDWARE;
+        attr.config = PERF_COUNT_HW_CPU_CYCLES;
+        break;
+      case HwEvent::CacheReferences:
+        attr.type = PERF_TYPE_HARDWARE;
+        attr.config = PERF_COUNT_HW_CACHE_REFERENCES;
+        break;
+      case HwEvent::CacheMisses:
+        attr.type = PERF_TYPE_HARDWARE;
+        attr.config = PERF_COUNT_HW_CACHE_MISSES;
+        break;
+      case HwEvent::L1dReadMisses:
+        attr.type = PERF_TYPE_HW_CACHE;
+        attr.config = PERF_COUNT_HW_CACHE_L1D |
+                      (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                      (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+        break;
+    }
+    return attr;
+}
+
+} // namespace
+
+const char *
+hwEventName(HwEvent event)
+{
+    switch (event) {
+      case HwEvent::Instructions:
+        return "instructions";
+      case HwEvent::CpuCycles:
+        return "cpu-cycles";
+      case HwEvent::CacheReferences:
+        return "cache-references";
+      case HwEvent::CacheMisses:
+        return "cache-misses";
+      case HwEvent::L1dReadMisses:
+        return "L1d-read-misses";
+    }
+    return "?";
+}
+
+PerfCounterGroup::PerfCounterGroup(std::vector<HwEvent> events)
+    : events_(std::move(events))
+{
+    fds_.reserve(events_.size());
+    for (const HwEvent event : events_) {
+        perf_event_attr attr = attrFor(event);
+        const int group_fd = fds_.empty() ? -1 : fds_.front();
+        const long fd =
+            perfEventOpen(&attr, 0 /* this thread */, -1, group_fd, 0);
+        if (fd < 0) {
+            error_ = std::string("perf_event_open(") +
+                     hwEventName(event) +
+                     ") failed: " + std::strerror(errno);
+            for (const int open_fd : fds_)
+                close(open_fd);
+            fds_.clear();
+            return;
+        }
+        fds_.push_back(static_cast<int>(fd));
+    }
+    usable_ = !fds_.empty();
+}
+
+PerfCounterGroup::~PerfCounterGroup()
+{
+    for (const int fd : fds_)
+        close(fd);
+}
+
+void
+PerfCounterGroup::start()
+{
+    if (!usable_)
+        return;
+    ioctl(fds_.front(), PERF_EVENT_IOC_RESET,
+          PERF_IOC_FLAG_GROUP);
+    ioctl(fds_.front(), PERF_EVENT_IOC_ENABLE,
+          PERF_IOC_FLAG_GROUP);
+}
+
+PerfSample
+PerfCounterGroup::stop()
+{
+    PerfSample sample;
+    sample.values.assign(events_.size(), 0);
+    if (!usable_)
+        return sample;
+    ioctl(fds_.front(), PERF_EVENT_IOC_DISABLE,
+          PERF_IOC_FLAG_GROUP);
+    sample.valid = true;
+    for (std::size_t i = 0; i < fds_.size(); ++i) {
+        std::uint64_t value = 0;
+        if (read(fds_[i], &value, sizeof(value)) !=
+            static_cast<ssize_t>(sizeof(value))) {
+            sample.valid = false;
+            break;
+        }
+        sample.values[i] = value;
+    }
+    return sample;
+}
+
+bool
+countersAvailable()
+{
+    PerfCounterGroup probe({HwEvent::Instructions});
+    if (!probe.usable())
+        return false;
+    probe.start();
+    // Something for the counter to see.
+    volatile std::uint64_t x = 0;
+    for (int i = 0; i < 1000; ++i)
+        x = x + static_cast<std::uint64_t>(i);
+    const PerfSample sample = probe.stop();
+    return sample.valid && sample.values[0] > 0;
+}
+
+} // namespace lsched::perfcount

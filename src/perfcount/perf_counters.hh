@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Hardware performance counters via Linux perf_event_open.
+ *
+ * The paper validated its cache simulations against real machines;
+ * this substrate does the analogue on the host: native workload runs
+ * can be measured with real instruction / cache-reference /
+ * cache-miss counters and compared with the simulator's prediction
+ * (bench/host_validation).
+ *
+ * Counters are frequently unavailable — containers, locked-down
+ * perf_event_paranoid, or missing PMU virtualization — so the API
+ * degrades gracefully: available() reports usability, and reads on an
+ * unavailable group return zeros with valid() == false rather than
+ * failing.
+ */
+
+#ifndef LSCHED_PERFCOUNT_PERF_COUNTERS_HH
+#define LSCHED_PERFCOUNT_PERF_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsched::perfcount
+{
+
+/** The hardware events the validation benches use. */
+enum class HwEvent
+{
+    Instructions,
+    CpuCycles,
+    CacheReferences, ///< last-level cache references
+    CacheMisses,     ///< last-level cache misses
+    L1dReadMisses,
+};
+
+/** Printable name of an event. */
+const char *hwEventName(HwEvent event);
+
+/** Counter values captured by PerfCounterGroup::read(). */
+struct PerfSample
+{
+    /** Aligned with the events the group was built with. */
+    std::vector<std::uint64_t> values;
+    /** False when the counters could not be collected. */
+    bool valid = false;
+};
+
+/**
+ * A group of hardware counters measured over start()/stop() windows
+ * on the calling thread.
+ */
+class PerfCounterGroup
+{
+  public:
+    /** Try to open the given events; failures leave the group
+     *  unusable but harmless. */
+    explicit PerfCounterGroup(std::vector<HwEvent> events);
+    ~PerfCounterGroup();
+
+    PerfCounterGroup(const PerfCounterGroup &) = delete;
+    PerfCounterGroup &operator=(const PerfCounterGroup &) = delete;
+
+    /** True when every requested counter opened successfully. */
+    bool usable() const { return usable_; }
+
+    /** Why the group is not usable (empty when usable). */
+    const std::string &error() const { return error_; }
+
+    /** Zero and enable the counters. */
+    void start();
+
+    /** Disable the counters and read their values. */
+    PerfSample stop();
+
+    /** The events this group was built with. */
+    const std::vector<HwEvent> &events() const { return events_; }
+
+  private:
+    std::vector<HwEvent> events_;
+    std::vector<int> fds_;
+    bool usable_ = false;
+    std::string error_;
+};
+
+/**
+ * Quick probe: can this process use hardware counters at all?
+ * (Opens and closes a trial instruction counter.)
+ */
+bool countersAvailable();
+
+} // namespace lsched::perfcount
+
+#endif // LSCHED_PERFCOUNT_PERF_COUNTERS_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Power-of-two and alignment arithmetic used by the cache simulator and
+ * the scheduler's block map.
+ */
+
+#ifndef LSCHED_SUPPORT_ALIGN_HH
+#define LSCHED_SUPPORT_ALIGN_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace lsched
+{
+
+/** True iff @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    return 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Ceiling of log2(@p v); @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return floorLog2(v) + (isPowerOfTwo(v) ? 0u : 1u);
+}
+
+/** Smallest power of two >= @p v (v == 0 maps to 1). */
+constexpr std::uint64_t
+roundUpPowerOfTwo(std::uint64_t v)
+{
+    return v <= 1 ? 1 : std::uint64_t{1} << ceilLog2(v);
+}
+
+/** Largest power of two <= @p v; @p v must be non-zero. */
+constexpr std::uint64_t
+roundDownPowerOfTwo(std::uint64_t v)
+{
+    return std::uint64_t{1} << floorLog2(v);
+}
+
+/** Round @p v up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_ALIGN_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal command-line parsing for benches and examples.
+ *
+ * Supports --name=value, --name value, and boolean --name flags, plus
+ * automatic --help generated from the registered options.
+ */
+
+#ifndef LSCHED_SUPPORT_CLI_HH
+#define LSCHED_SUPPORT_CLI_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsched
+{
+
+/** Declarative command-line parser. */
+class Cli
+{
+  public:
+    /** @param program short program name, @param blurb one-line help. */
+    Cli(std::string program, std::string blurb);
+
+    /** Register an integer option with a default. */
+    void addInt(const std::string &name, std::int64_t def,
+                const std::string &help);
+    /** Register a floating-point option with a default. */
+    void addDouble(const std::string &name, double def,
+                   const std::string &help);
+    /** Register a string option with a default. */
+    void addString(const std::string &name, const std::string &def,
+                   const std::string &help);
+    /** Register a boolean flag (default false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. Prints help and exits(0) on --help; calls
+     * LSCHED_FATAL on unknown options or malformed values.
+     */
+    void parse(int argc, const char *const *argv);
+
+    /** Look up parsed values (fatal if the name was never added). */
+    std::int64_t getInt(const std::string &name) const;
+    double getDouble(const std::string &name) const;
+    const std::string &getString(const std::string &name) const;
+    bool getFlag(const std::string &name) const;
+
+    /** The generated help text. */
+    std::string helpText() const;
+
+  private:
+    enum class Kind { Int, Double, String, Flag };
+
+    struct Option
+    {
+        std::string name;
+        Kind kind;
+        std::string help;
+        std::string value; // textual; parsed on get
+        std::string def;
+    };
+
+    const Option &find(const std::string &name, Kind kind) const;
+    Option *lookup(const std::string &name);
+
+    std::string program_;
+    std::string blurb_;
+    std::vector<Option> options_;
+};
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_CLI_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error-reporting primitives in the gem5 tradition.
+ *
+ * panic()  — an internal invariant was violated (a library bug);
+ *            prints location and aborts so a debugger or core dump can
+ *            capture the state.
+ * fatal()  — the caller asked for something impossible (bad
+ *            configuration, invalid arguments); prints a message and
+ *            exits with status 1.
+ * warn()   — something suspicious but survivable happened.
+ * inform() — plain status output.
+ */
+
+#ifndef LSCHED_SUPPORT_PANIC_HH
+#define LSCHED_SUPPORT_PANIC_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace lsched
+{
+
+namespace detail
+{
+
+/** Concatenate any streamable arguments into one string. */
+template <typename... Args>
+std::string
+concatMessage(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+} // namespace lsched
+
+/** Abort with a message; use for violated internal invariants. */
+#define LSCHED_PANIC(...)                                                   \
+    ::lsched::detail::panicImpl(                                            \
+        __FILE__, __LINE__, ::lsched::detail::concatMessage(__VA_ARGS__))
+
+/** Exit(1) with a message; use for unusable user input/configuration. */
+#define LSCHED_FATAL(...)                                                   \
+    ::lsched::detail::fatalImpl(                                            \
+        __FILE__, __LINE__, ::lsched::detail::concatMessage(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define LSCHED_WARN(...)                                                    \
+    ::lsched::detail::warnImpl(::lsched::detail::concatMessage(__VA_ARGS__))
+
+/** Status message to stderr. */
+#define LSCHED_INFORM(...)                                                  \
+    ::lsched::detail::informImpl(                                           \
+        ::lsched::detail::concatMessage(__VA_ARGS__))
+
+/** Panic unless a library invariant holds. */
+#define LSCHED_ASSERT(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            LSCHED_PANIC("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+        }                                                                   \
+    } while (0)
+
+#endif // LSCHED_SUPPORT_PANIC_HH

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**).
+ *
+ * Every stochastic element of the library (N-body initial conditions,
+ * randomized property tests, random replacement) draws from a seeded
+ * Prng so results are reproducible run to run.
+ */
+
+#ifndef LSCHED_SUPPORT_PRNG_HH
+#define LSCHED_SUPPORT_PRNG_HH
+
+#include <cstdint>
+
+namespace lsched
+{
+
+/**
+ * xoshiro256** 1.0 by Blackman & Vigna (public domain), seeded through
+ * splitmix64 so any 64-bit seed gives a well-mixed state.
+ */
+class Prng
+{
+  public:
+    /** Construct with a 64-bit seed; the same seed replays the stream. */
+    explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next uniformly distributed 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be non-zero. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        // Debiased modulo via rejection on the top range.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    // UniformRandomBitGenerator interface for <algorithm> shuffles.
+    using result_type = std::uint64_t;
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~result_type{0}; }
+    result_type operator()() { return next(); }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_PRNG_HH

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Small statistics helpers: running summaries and integer histograms.
+ *
+ * Used for the per-bin thread-distribution numbers the paper quotes
+ * ("1,048,576 threads distributed in 81 bins for an average of 12,945
+ * threads per bin ... quite uniform").
+ */
+
+#ifndef LSCHED_SUPPORT_STATS_HH
+#define LSCHED_SUPPORT_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace lsched
+{
+
+/** Running mean / min / max / stddev over double samples. */
+class Summary
+{
+  public:
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++n_;
+        sum_ += x;
+        sumSq_ += x * x;
+        if (x < min_)
+            min_ = x;
+        if (x > max_)
+            max_ = x;
+    }
+
+    /** Number of samples seen. */
+    std::uint64_t count() const { return n_; }
+
+    /** Sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Mean of samples (0 when empty). */
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0; }
+
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Population standard deviation (0 when fewer than 2 samples). */
+    double
+    stddev() const
+    {
+        if (n_ < 2)
+            return 0;
+        const double m = mean();
+        const double var = sumSq_ / static_cast<double>(n_) - m * m;
+        return var > 0 ? std::sqrt(var) : 0;
+    }
+
+    /**
+     * Coefficient of variation (stddev / mean); 0 when the mean is 0.
+     * Low values back the paper's "quite uniform" distribution claims.
+     */
+    double
+    coefficientOfVariation() const
+    {
+        const double m = mean();
+        return m != 0 ? stddev() / m : 0;
+    }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0;
+    double sumSq_ = 0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/** Summarize a vector of counts (e.g. threads per bin). */
+inline Summary
+summarize(const std::vector<std::uint64_t> &counts)
+{
+    Summary s;
+    for (auto c : counts)
+        s.add(static_cast<double>(c));
+    return s;
+}
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_STATS_HH

@@ -1,0 +1,138 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "panic.hh"
+
+namespace lsched
+{
+
+TextTable::TextTable(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    LSCHED_ASSERT(!headers_.empty(), "table needs at least one column");
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    LSCHED_ASSERT(cells.size() == headers_.size(),
+                  "row width ", cells.size(), " != header width ",
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::addRule()
+{
+    ruleBefore_.push_back(rows_.size());
+}
+
+std::string
+TextTable::toText() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            // Left-align the label column, right-align the rest.
+            if (c == 0) {
+                os << row[c]
+                   << std::string(width[c] - row[c].size(), ' ');
+            } else {
+                os << std::string(width[c] - row[c].size(), ' ')
+                   << row[c];
+            }
+        }
+        os << " |\n";
+    };
+
+    std::ostringstream os;
+    std::size_t total = 1;
+    for (auto w : width)
+        total += w + 3;
+    if (!title_.empty())
+        os << title_ << "\n";
+    const std::string rule(total, '-');
+    os << rule << "\n";
+    emit_row(os, headers_);
+    os << rule << "\n";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (std::find(ruleBefore_.begin(), ruleBefore_.end(), r) !=
+            ruleBefore_.end()) {
+            os << rule << "\n";
+        }
+        emit_row(os, rows_[r]);
+    }
+    os << rule << "\n";
+    return os.str();
+}
+
+std::string
+TextTable::toCsv() const
+{
+    auto quote = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << quote(headers_[c]);
+    os << "\n";
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << quote(row[c]);
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+TextTable::count(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int run = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (run && run % 3 == 0)
+            out += ',';
+        out += *it;
+        ++run;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+std::string
+TextTable::thousands(std::uint64_t v)
+{
+    return count((v + 500) / 1000);
+}
+
+} // namespace lsched

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Plain-text table formatting for the benchmark harness.
+ *
+ * Benches print their results in the same row/column layout as the
+ * paper's Tables 1-9; TextTable right-aligns numeric columns and
+ * left-aligns the label column, and can also emit CSV for scripting.
+ */
+
+#ifndef LSCHED_SUPPORT_TABLE_HH
+#define LSCHED_SUPPORT_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lsched
+{
+
+/** A simple text table with a header row and string cells. */
+class TextTable
+{
+  public:
+    /** Create a table titled @p title with the given column headers. */
+    TextTable(std::string title, std::vector<std::string> headers);
+
+    /** Append a full row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a separator rule before the next row. */
+    void addRule();
+
+    /** Render as aligned monospace text. */
+    std::string toText() const;
+
+    /** Render as CSV (no title line). */
+    std::string toCsv() const;
+
+    /** Number of data rows added so far. */
+    std::size_t rowCount() const { return rows_.size(); }
+
+    /** Format helpers used by the benches. */
+    static std::string num(double v, int precision = 2);
+    /** Format an integer count with thousands separators. */
+    static std::string count(std::uint64_t v);
+    /** Format @p v scaled to thousands (the paper's cache tables). */
+    static std::string thousands(std::uint64_t v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::size_t> ruleBefore_;
+};
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_TABLE_HH

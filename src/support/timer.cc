@@ -1,0 +1,17 @@
+#include "timer.hh"
+
+#include <ctime>
+
+namespace lsched
+{
+
+double
+CpuTimer::now()
+{
+    timespec ts{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+} // namespace lsched

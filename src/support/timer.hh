@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Wall-clock and CPU-time timers used by the benchmark harness.
+ *
+ * The paper reports CPU seconds; we expose both CPU time
+ * (CLOCK_PROCESS_CPUTIME_ID) and wall time (steady_clock) and let each
+ * bench choose.
+ */
+
+#ifndef LSCHED_SUPPORT_TIMER_HH
+#define LSCHED_SUPPORT_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace lsched
+{
+
+/** Monotonic wall-clock stopwatch. */
+class WallTimer
+{
+  public:
+    WallTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds since construction or the last reset(). */
+    double
+    seconds() const
+    {
+        const auto d = Clock::now() - start_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+/** Per-process CPU-time stopwatch (what the paper's tables report). */
+class CpuTimer
+{
+  public:
+    CpuTimer() { reset(); }
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = now(); }
+
+    /** CPU seconds since construction or the last reset(). */
+    double seconds() const { return now() - start_; }
+
+  private:
+    static double now();
+
+    double start_;
+};
+
+/**
+ * Call a thunk repeatedly until at least @p min_seconds of wall time
+ * has elapsed; return the mean seconds per call. Used by the Table-1
+ * micro-benchmarks where a single call is too short to time.
+ */
+template <typename Fn>
+double
+measureSecondsPerCall(Fn &&fn, double min_seconds = 0.2)
+{
+    std::uint64_t calls = 0;
+    WallTimer timer;
+    do {
+        fn();
+        ++calls;
+    } while (timer.seconds() < min_seconds);
+    return timer.seconds() / static_cast<double>(calls);
+}
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_TIMER_HH

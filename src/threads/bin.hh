@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The scheduling bin (paper Section 3.2): carries a search key (the
+ * block coordinates) and three links — the hash-bucket chain, the
+ * chain of thread groups scheduled into the bin, and the ready-list
+ * link used for run-time traversal.
+ */
+
+#ifndef LSCHED_THREADS_BIN_HH
+#define LSCHED_THREADS_BIN_HH
+
+#include <cstdint>
+
+#include "threads/hints.hh"
+#include "threads/thread_group.hh"
+
+namespace lsched::threads
+{
+
+/** One bin of the scheduling space. */
+struct Bin
+{
+    /** Search key: block coordinates in the scheduling space. */
+    BlockCoords coords{};
+
+    /** Link 1: next bin in the same hash bucket. */
+    Bin *hashNext = nullptr;
+
+    /** Link 2: chain of thread groups, in fork order. */
+    ThreadGroup *groupsHead = nullptr;
+    ThreadGroup *groupsTail = nullptr;
+
+    /** Link 3: next bin on the ready list (allocation order). */
+    Bin *readyNext = nullptr;
+
+    /** Threads currently scheduled in this bin. */
+    std::uint64_t threadCount = 0;
+
+    /** True while the bin is linked on the ready list. */
+    bool onReadyList = false;
+
+    /** Detach all thread groups (they go back to the pool). */
+    void
+    clearGroups()
+    {
+        groupsHead = nullptr;
+        groupsTail = nullptr;
+        threadCount = 0;
+    }
+};
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_BIN_HH

@@ -1,0 +1,68 @@
+#include "c_api.hh"
+
+namespace
+{
+
+/** Lazily constructed global scheduler. */
+lsched::threads::LocalityScheduler &
+instance()
+{
+    static lsched::threads::LocalityScheduler scheduler;
+    return scheduler;
+}
+
+} // namespace
+
+lsched::threads::LocalityScheduler &
+th_default_scheduler()
+{
+    return instance();
+}
+
+void
+th_init(std::size_t blocksize, std::size_t hashsize)
+{
+    lsched::threads::SchedulerConfig config = instance().config();
+    config.blockBytes = blocksize; // 0 selects cacheBytes / dims
+    config.hashBuckets = hashsize; // 0 selects the default
+    instance().configure(config);
+}
+
+void
+th_fork(void (*f)(void *, void *), void *arg1, void *arg2,
+        const void *hint1, const void *hint2, const void *hint3)
+{
+    instance().fork(f, arg1, arg2, lsched::threads::hintOf(hint1),
+                    lsched::threads::hintOf(hint2),
+                    lsched::threads::hintOf(hint3));
+}
+
+void
+th_run(int keep)
+{
+    instance().run(keep != 0);
+}
+
+extern "C" {
+
+void
+th_init_(const long *blocksize, const long *hashsize)
+{
+    th_init(blocksize ? static_cast<std::size_t>(*blocksize) : 0,
+            hashsize ? static_cast<std::size_t>(*hashsize) : 0);
+}
+
+void
+th_fork_(void (*f)(void *, void *), void *arg1, void *arg2,
+         const void *hint1, const void *hint2, const void *hint3)
+{
+    th_fork(f, arg1, arg2, hint1, hint2, hint3);
+}
+
+void
+th_run_(const int *keep)
+{
+    th_run(keep ? *keep : 0);
+}
+
+} // extern "C"

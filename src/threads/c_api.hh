@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The paper's user interface, verbatim (Section 3.1):
+ *
+ *   th_init(blocksize, hashsize)  — set block size and hash table
+ *       size; may be called more than once; 0 selects the
+ *       configuration-dependent default.
+ *   th_fork(f, arg1, arg2, hint1, hint2, hint3) — create and schedule
+ *       a thread to call f(arg1, arg2); hints are memory addresses;
+ *       hint3 == 0 gives the two-dimensional case, hint2 == hint3 == 0
+ *       the one-dimensional case.
+ *   th_run(keep) — run all scheduled threads and return; thread
+ *       specifications are destroyed if keep is 0, saved for
+ *       re-execution otherwise.
+ *
+ * The functions return no values; there are no thread handles and no
+ * per-thread operations. State lives in one process-global scheduler;
+ * th_default_scheduler() exposes it for inspection and statistics.
+ */
+
+#ifndef LSCHED_THREADS_C_API_HH
+#define LSCHED_THREADS_C_API_HH
+
+#include <cstddef>
+
+#include "threads/scheduler.hh"
+
+/** Set block size and hash table size (0 = default). */
+void th_init(std::size_t blocksize, std::size_t hashsize);
+
+/** Create and schedule a thread to call f(arg1, arg2). */
+void th_fork(void (*f)(void *, void *), void *arg1, void *arg2,
+             const void *hint1, const void *hint2, const void *hint3);
+
+/** Run all scheduled threads; keep != 0 preserves them for re-runs. */
+void th_run(int keep);
+
+/** The global scheduler behind the C interface. */
+lsched::threads::LocalityScheduler &th_default_scheduler();
+
+// Fortran-callable bindings (the paper's package shipped both C and
+// Fortran interfaces). Fortran passes every argument by reference and
+// appends a trailing underscore to external names; hints arrive as
+// array elements, whose addresses are exactly the hint values.
+extern "C" {
+
+/** Fortran: CALL TH_INIT(BLOCKSIZE, HASHSIZE) — 0 selects defaults. */
+void th_init_(const long *blocksize, const long *hashsize);
+
+/**
+ * Fortran: CALL TH_FORK(F, ARG1, ARG2, HINT1, HINT2, HINT3) — F is an
+ * EXTERNAL subroutine taking two by-reference arguments; HINTn are
+ * array elements (their addresses are the hints).
+ */
+void th_fork_(void (*f)(void *, void *), void *arg1, void *arg2,
+              const void *hint1, const void *hint2, const void *hint3);
+
+/** Fortran: CALL TH_RUN(KEEP). */
+void th_run_(const int *keep);
+
+} // extern "C"
+
+#endif // LSCHED_THREADS_C_API_HH

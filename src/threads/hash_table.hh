@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The bin hash table (paper Section 3.2): organizes bins by hashing
+ * their block coordinates; collisions are resolved by chaining. The
+ * table size is configurable via th_init / SchedulerConfig.
+ */
+
+#ifndef LSCHED_THREADS_HASH_TABLE_HH
+#define LSCHED_THREADS_HASH_TABLE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "support/align.hh"
+#include "support/panic.hh"
+#include "threads/bin.hh"
+#include "threads/hints.hh"
+
+namespace lsched::threads
+{
+
+/** Owns all bins and finds them by block coordinates. */
+class BinTable
+{
+  public:
+    /**
+     * @param dims scheduling-space dimensionality.
+     * @param buckets hash bucket count (rounded up to a power of two).
+     */
+    BinTable(unsigned dims, std::size_t buckets)
+        : dims_(dims),
+          mask_(roundUpPowerOfTwo(buckets ? buckets : 1) - 1),
+          table_(mask_ + 1, nullptr)
+    {
+        LSCHED_ASSERT(dims_ >= 1 && dims_ <= kMaxDims,
+                      "bad dimensionality ", dims_);
+    }
+
+    /**
+     * Find the bin with coordinates @p coords, creating it on first
+     * use (the scheduler "does not allocate a bin ... until it
+     * schedules the first thread in it", Section 3.2). Returns the bin
+     * and whether it was newly created.
+     */
+    std::pair<Bin *, bool>
+    findOrCreate(const BlockCoords &coords)
+    {
+        const std::size_t bucket = hash(coords) & mask_;
+        for (Bin *b = table_[bucket]; b; b = b->hashNext) {
+            if (sameCoords(b->coords, coords))
+                return {b, false};
+        }
+        bins_.emplace_back();
+        Bin *b = &bins_.back();
+        b->coords = coords;
+        b->hashNext = table_[bucket];
+        table_[bucket] = b;
+        return {b, true};
+    }
+
+    /** Find without creating; nullptr when absent. */
+    Bin *
+    find(const BlockCoords &coords)
+    {
+        const std::size_t bucket = hash(coords) & mask_;
+        for (Bin *b = table_[bucket]; b; b = b->hashNext)
+            if (sameCoords(b->coords, coords))
+                return b;
+        return nullptr;
+    }
+
+    /** Number of bins ever allocated. */
+    std::size_t binCount() const { return bins_.size(); }
+
+    /** Number of hash buckets. */
+    std::size_t bucketCount() const { return mask_ + 1; }
+
+    /**
+     * Longest bucket chain — the collision statistic the hash-size
+     * ablation reports.
+     */
+    std::size_t
+    maxChainLength() const
+    {
+        std::size_t longest = 0;
+        for (Bin *b : table_) {
+            std::size_t len = 0;
+            for (; b; b = b->hashNext)
+                ++len;
+            longest = std::max(longest, len);
+        }
+        return longest;
+    }
+
+    /** Drop every bin. */
+    void
+    clear()
+    {
+        bins_.clear();
+        std::fill(table_.begin(), table_.end(), nullptr);
+    }
+
+  private:
+    bool
+    sameCoords(const BlockCoords &a, const BlockCoords &b) const
+    {
+        for (unsigned d = 0; d < dims_; ++d)
+            if (a[d] != b[d])
+                return false;
+        return true;
+    }
+
+    std::size_t
+    hash(const BlockCoords &coords) const
+    {
+        // splitmix64-style mixing of each coordinate.
+        std::uint64_t h = 0x9e3779b97f4a7c15ull;
+        for (unsigned d = 0; d < dims_; ++d) {
+            std::uint64_t z = coords[d] + 0x9e3779b97f4a7c15ull * (d + 1);
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            h ^= z ^ (z >> 31);
+            h *= 0xff51afd7ed558ccdull;
+        }
+        return static_cast<std::size_t>(h ^ (h >> 33));
+    }
+
+    unsigned dims_;
+    std::size_t mask_;
+    std::vector<Bin *> table_;
+    std::deque<Bin> bins_;
+};
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_HASH_TABLE_HH

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Scheduling hints: the memory addresses a thread will reference most,
+ * supplied at fork time (paper Section 2.2). Up to kMaxDims hints are
+ * supported; the paper's package implements the three-dimensional
+ * case and notes the extension to k dimensions is straightforward.
+ */
+
+#ifndef LSCHED_THREADS_HINTS_HH
+#define LSCHED_THREADS_HINTS_HH
+
+#include <array>
+#include <cstdint>
+
+namespace lsched::threads
+{
+
+/** An address hint; 0 means "dimension unused" as in the paper. */
+using Hint = std::uintptr_t;
+
+/** Maximum scheduling-space dimensionality supported. */
+constexpr unsigned kMaxDims = 8;
+
+/** Block coordinates of a thread in the scheduling space. */
+using BlockCoords = std::array<std::uint64_t, kMaxDims>;
+
+/** Convert a pointer to a Hint. */
+inline Hint
+hintOf(const void *p)
+{
+    return reinterpret_cast<Hint>(p);
+}
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_HINTS_HH

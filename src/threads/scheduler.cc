@@ -1,0 +1,225 @@
+#include "scheduler.hh"
+
+#include "support/panic.hh"
+
+namespace lsched::threads
+{
+
+namespace
+{
+
+SchedulerConfig
+validated(SchedulerConfig config)
+{
+    LSCHED_ASSERT(config.dims >= 1 && config.dims <= kMaxDims,
+                  "dims must be in [1, ", kMaxDims, "]");
+    if (config.cacheBytes == 0)
+        config.cacheBytes = 2 * 1024 * 1024;
+    if (config.blockBytes == 0)
+        config.blockBytes = config.cacheBytes / config.dims;
+    LSCHED_ASSERT(config.blockBytes > 0, "block size underflow");
+    if (config.hashBuckets == 0)
+        config.hashBuckets = 4096;
+    if (config.groupCapacity == 0)
+        config.groupCapacity = 64;
+    return config;
+}
+
+} // namespace
+
+LocalityScheduler::LocalityScheduler(const SchedulerConfig &config)
+    : config_(validated(config)),
+      blockMap_(config_.dims, config_.blockBytes, config_.symmetricHints),
+      table_(config_.dims, config_.hashBuckets),
+      pool_(config_.groupCapacity)
+{
+}
+
+void
+LocalityScheduler::configure(const SchedulerConfig &config)
+{
+    if (running_)
+        LSCHED_FATAL("cannot reconfigure a running scheduler");
+    if (pendingThreads_ != 0)
+        LSCHED_FATAL("cannot reconfigure with ", pendingThreads_,
+                     " threads pending; run or clear them first");
+    config_ = validated(config);
+    blockMap_ = BlockMap(config_.dims, config_.blockBytes,
+                         config_.symmetricHints);
+    table_ = BinTable(config_.dims, config_.hashBuckets);
+    pool_ = GroupPool(config_.groupCapacity);
+    readyHead_ = nullptr;
+    readyTail_ = nullptr;
+}
+
+void
+LocalityScheduler::appendReady(Bin *bin)
+{
+    bin->readyNext = nullptr;
+    bin->onReadyList = true;
+    if (readyTail_)
+        readyTail_->readyNext = bin;
+    else
+        readyHead_ = bin;
+    readyTail_ = bin;
+}
+
+void
+LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
+                        std::span<const Hint> hints)
+{
+    LSCHED_ASSERT(fn != nullptr, "fork of a null thread function");
+    if (running_ && !nestedForkOk_) {
+        LSCHED_FATAL("fork during run() requires keep == false and the "
+                     "creation-order tour");
+    }
+
+    const BlockCoords coords = blockMap_.coordsFor(hints);
+    Bin *bin = table_.findOrCreate(coords).first;
+
+    ThreadGroup *group = bin->groupsTail;
+    if (!group || group->full()) {
+        group = pool_.allocate();
+        if (bin->groupsTail)
+            bin->groupsTail->next = group;
+        else
+            bin->groupsHead = group;
+        bin->groupsTail = group;
+    }
+    group->push(fn, arg1, arg2);
+    ++bin->threadCount;
+    ++pendingThreads_;
+
+    if (!bin->onReadyList)
+        appendReady(bin);
+}
+
+namespace
+{
+
+/**
+ * Execute all threads in @p bin, in fork order. Re-reads group counts
+ * and next links each step so threads forked into this very bin during
+ * execution (nested fork) are picked up.
+ */
+std::uint64_t
+runBin(Bin *bin)
+{
+    std::uint64_t executed = 0;
+    for (ThreadGroup *g = bin->groupsHead; g; g = g->next) {
+        for (std::uint32_t i = 0; i < g->count; ++i) {
+            const ThreadSpec &t = g->specs[i];
+            t.fn(t.arg1, t.arg2);
+            ++executed;
+        }
+    }
+    return executed;
+}
+
+} // namespace
+
+std::uint64_t
+LocalityScheduler::run(bool keep)
+{
+    LSCHED_ASSERT(!running_, "recursive run()");
+    running_ = true;
+    nestedForkOk_ = !keep && config_.tour == TourPolicy::CreationOrder;
+    std::uint64_t executed = 0;
+
+    if (nestedForkOk_) {
+        // Streaming traversal: pop bins off the ready list as they
+        // run; nested forks may append bins (including already-run
+        // ones) at the tail and are executed before we return.
+        while (readyHead_) {
+            Bin *bin = readyHead_;
+            readyHead_ = bin->readyNext;
+            if (!readyHead_)
+                readyTail_ = nullptr;
+            bin->readyNext = nullptr;
+            bin->onReadyList = false;
+            executed += runBin(bin);
+            pool_.recycleChain(bin->groupsHead);
+            bin->clearGroups();
+        }
+        LSCHED_ASSERT(pendingThreads_ <= executed,
+                      "pending threads outlived the streaming run");
+        pendingThreads_ = 0;
+    } else {
+        const std::vector<Bin *> tour =
+            orderBins(config_.tour, readyBins(), config_.dims);
+        for (Bin *bin : tour)
+            executed += runBin(bin);
+        if (!keep) {
+            for (Bin *bin : tour) {
+                pool_.recycleChain(bin->groupsHead);
+                bin->clearGroups();
+                bin->readyNext = nullptr;
+                bin->onReadyList = false;
+            }
+            readyHead_ = nullptr;
+            readyTail_ = nullptr;
+            pendingThreads_ = 0;
+        }
+    }
+
+    executedThreads_ += executed;
+    running_ = false;
+    return executed;
+}
+
+void
+LocalityScheduler::clear()
+{
+    LSCHED_ASSERT(!running_, "clear() during run()");
+    for (Bin *bin = readyHead_; bin;) {
+        Bin *next = bin->readyNext;
+        pool_.recycleChain(bin->groupsHead);
+        bin->clearGroups();
+        bin->readyNext = nullptr;
+        bin->onReadyList = false;
+        bin = next;
+    }
+    readyHead_ = nullptr;
+    readyTail_ = nullptr;
+    pendingThreads_ = 0;
+}
+
+std::vector<Bin *>
+LocalityScheduler::readyBins() const
+{
+    std::vector<Bin *> bins;
+    for (Bin *bin = readyHead_; bin; bin = bin->readyNext)
+        bins.push_back(bin);
+    return bins;
+}
+
+std::vector<std::uint64_t>
+LocalityScheduler::binOccupancy() const
+{
+    std::vector<std::uint64_t> counts;
+    for (const Bin *bin = readyHead_; bin; bin = bin->readyNext)
+        counts.push_back(bin->threadCount);
+    return counts;
+}
+
+SchedulerStats
+LocalityScheduler::stats() const
+{
+    SchedulerStats s;
+    s.pendingThreads = pendingThreads_;
+    s.executedThreads = executedThreads_;
+    s.bins = table_.binCount();
+    s.maxHashChain = table_.maxChainLength();
+    const std::vector<Bin *> bins = readyBins();
+    for (const Bin *bin : bins) {
+        if (bin->threadCount > 0) {
+            ++s.occupiedBins;
+            s.threadsPerBin.add(static_cast<double>(bin->threadCount));
+        }
+    }
+    s.tourLength = tourLength(
+        orderBins(config_.tour, bins, config_.dims), config_.dims);
+    return s;
+}
+
+} // namespace lsched::threads

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The locality thread scheduler — the paper's primary contribution.
+ *
+ * Threads are forked with up to k address hints; the hints select a
+ * block of the k-dimensional scheduling space (block dimensions sum to
+ * the cache size), the block hashes to a bin, and running all threads
+ * of a bin consecutively keeps their combined working set within the
+ * second-level cache (Sections 2.3 and 3.2).
+ *
+ * Guarantees:
+ *  - threads with hints in the same block always share a bin;
+ *  - bins run in tour order (creation order by default, the paper's
+ *    ready list), threads within a bin in fork order;
+ *  - run(keep=true) preserves all thread specifications so the same
+ *    schedule can be re-executed (the paper's th_run(keep));
+ *  - forking from inside a running thread is legal when keep is
+ *    false: the new thread lands in its bin and runs before run()
+ *    returns (an extension past the paper's batch model).
+ */
+
+#ifndef LSCHED_THREADS_SCHEDULER_HH
+#define LSCHED_THREADS_SCHEDULER_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/stats.hh"
+#include "threads/block_map.hh"
+#include "threads/hash_table.hh"
+#include "threads/hints.hh"
+#include "threads/thread_group.hh"
+#include "threads/tour.hh"
+
+namespace lsched::threads
+{
+
+/** Tunables of a LocalityScheduler (th_init's knobs and more). */
+struct SchedulerConfig
+{
+    /** Scheduling-space dimensionality k (the paper implements 3). */
+    unsigned dims = 3;
+    /**
+     * Target cache capacity in bytes; the sum of the k block
+     * dimensions defaults to this (paper Sections 2.3, 3.2).
+     */
+    std::uint64_t cacheBytes = 2 * 1024 * 1024;
+    /** Block dimension size; 0 selects cacheBytes / dims. */
+    std::uint64_t blockBytes = 0;
+    /** Hash table buckets (rounded up to a power of two). */
+    std::size_t hashBuckets = 4096;
+    /** Threads per thread group (amortization chunk). */
+    std::uint32_t groupCapacity = 64;
+    /** Fold symmetric hint permutations into one bin. */
+    bool symmetricHints = false;
+    /** Bin traversal order. */
+    TourPolicy tour = TourPolicy::CreationOrder;
+
+    /** The block dimension actually used. */
+    std::uint64_t
+    effectiveBlockBytes() const
+    {
+        return blockBytes ? blockBytes : cacheBytes / dims;
+    }
+};
+
+/** Occupancy and shape statistics for reporting. */
+struct SchedulerStats
+{
+    /** Threads currently scheduled (pending). */
+    std::uint64_t pendingThreads = 0;
+    /** Threads executed over the scheduler's lifetime. */
+    std::uint64_t executedThreads = 0;
+    /** Bins currently allocated. */
+    std::uint64_t bins = 0;
+    /** Non-empty bins. */
+    std::uint64_t occupiedBins = 0;
+    /** Distribution of threads over non-empty bins. */
+    Summary threadsPerBin;
+    /** Longest hash-bucket chain. */
+    std::uint64_t maxHashChain = 0;
+    /** Manhattan tour length over the current ready list. */
+    std::uint64_t tourLength = 0;
+};
+
+/** The locality-scheduling thread package. */
+class LocalityScheduler
+{
+  public:
+    /** Build with the given configuration. */
+    explicit LocalityScheduler(const SchedulerConfig &config = {});
+
+    LocalityScheduler(const LocalityScheduler &) = delete;
+    LocalityScheduler &operator=(const LocalityScheduler &) = delete;
+
+    /**
+     * Reconfigure (the paper's th_init, which "can be called more
+     * than once to change those sizes"). Fatal while threads are
+     * pending or running.
+     */
+    void configure(const SchedulerConfig &config);
+
+    /** Current configuration. */
+    const SchedulerConfig &config() const { return config_; }
+
+    /**
+     * Create and schedule a thread (the paper's th_fork). Hints are
+     * the addresses of the data the thread will reference; unused
+     * hints are 0.
+     */
+    void
+    fork(ThreadFn fn, void *arg1, void *arg2, Hint hint1 = 0,
+         Hint hint2 = 0, Hint hint3 = 0)
+    {
+        const Hint hints[3] = {hint1, hint2, hint3};
+        fork(fn, arg1, arg2, std::span<const Hint>(hints, 3));
+    }
+
+    /** Fork with an arbitrary hint vector (k-dimensional case). */
+    void fork(ThreadFn fn, void *arg1, void *arg2,
+              std::span<const Hint> hints);
+
+    /**
+     * Run every scheduled thread, bins in tour order, threads within
+     * a bin in fork order (the paper's th_run). With @p keep the
+     * specifications survive for re-execution; otherwise all bins and
+     * groups are recycled. Returns the number of threads executed.
+     */
+    std::uint64_t run(bool keep = false);
+
+    /**
+     * SMP extension (paper Section 7 notes the idea "can be extended
+     * in a straightforward manner to ... symmetric multiprocessors"):
+     * distribute the bin tour over @p workers OS threads, each worker
+     * running whole bins so per-bin locality is preserved on its CPU.
+     * User threads must be mutually independent. Forking from inside
+     * a running thread is not supported here. Returns the number of
+     * threads executed. Implemented in parallel_scheduler.cc.
+     */
+    std::uint64_t runParallel(unsigned workers, bool keep = false);
+
+    /** Drop all pending threads without running them. */
+    void clear();
+
+    /** Number of threads waiting to run. */
+    std::uint64_t pendingThreads() const { return pendingThreads_; }
+
+    /** Bins allocated so far. */
+    std::uint64_t binCount() const { return table_.binCount(); }
+
+    /** Snapshot of occupancy statistics. */
+    SchedulerStats stats() const;
+
+    /** Per-bin thread counts in ready order (for tests/reports). */
+    std::vector<std::uint64_t> binOccupancy() const;
+
+    /** Block coordinates a given hint vector maps to (for tests). */
+    BlockCoords
+    coordsFor(std::span<const Hint> hints) const
+    {
+        return blockMap_.coordsFor(hints);
+    }
+
+  private:
+    void rebuild();
+    std::vector<Bin *> readyBins() const;
+    void appendReady(Bin *bin);
+
+    SchedulerConfig config_;
+    BlockMap blockMap_;
+    BinTable table_;
+    GroupPool pool_;
+
+    Bin *readyHead_ = nullptr;
+    Bin *readyTail_ = nullptr;
+
+    std::uint64_t pendingThreads_ = 0;
+    std::uint64_t executedThreads_ = 0;
+    bool running_ = false;
+    bool nestedForkOk_ = false;
+};
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_SCHEDULER_HH

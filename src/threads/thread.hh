@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The thread representation of the locality scheduling package.
+ *
+ * Because threads are independent and run to completion with no
+ * blocking, no preemption, and no per-thread stack (paper Section 3.2),
+ * a thread is nothing but a function pointer and the two user
+ * arguments — 24 bytes, no handle, no identity.
+ */
+
+#ifndef LSCHED_THREADS_THREAD_HH
+#define LSCHED_THREADS_THREAD_HH
+
+namespace lsched::threads
+{
+
+/** Body signature: f(arg1, arg2), run on the caller's stack. */
+using ThreadFn = void (*)(void *, void *);
+
+/** A scheduled-but-not-yet-run thread. */
+struct ThreadSpec
+{
+    ThreadFn fn = nullptr;
+    void *arg1 = nullptr;
+    void *arg2 = nullptr;
+};
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_THREAD_HH

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Thread groups: chunked storage for thread specifications.
+ *
+ * Grouping threads in fixed-capacity arrays amortizes management cost
+ * (paper Section 3.2): forking is usually a pointer bump into the
+ * current group, and group objects are recycled between runs so steady
+ * state forking performs no allocation.
+ */
+
+#ifndef LSCHED_THREADS_THREAD_GROUP_HH
+#define LSCHED_THREADS_THREAD_GROUP_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "support/panic.hh"
+#include "threads/thread.hh"
+
+namespace lsched::threads
+{
+
+/** A chunk of thread specifications chained within one bin. */
+struct ThreadGroup
+{
+    /** Chunk storage; allocated once, recycled across runs. */
+    std::unique_ptr<ThreadSpec[]> specs;
+    /** Capacity of specs. */
+    std::uint32_t capacity = 0;
+    /** Number of live specs. */
+    std::uint32_t count = 0;
+    /** Next group in the same bin (fork order). */
+    ThreadGroup *next = nullptr;
+
+    /** True when no further spec fits. */
+    bool full() const { return count == capacity; }
+
+    /** Append a spec; the group must not be full. */
+    void
+    push(ThreadFn fn, void *arg1, void *arg2)
+    {
+        specs[count++] = {fn, arg1, arg2};
+    }
+};
+
+/**
+ * Allocator/recycler for ThreadGroups. Uses a deque so group addresses
+ * stay stable, plus an intrusive free list for constant-time reuse.
+ */
+class GroupPool
+{
+  public:
+    /** @param capacity threads per group (> 0). */
+    explicit GroupPool(std::uint32_t capacity)
+        : capacity_(capacity)
+    {
+        LSCHED_ASSERT(capacity_ > 0, "group capacity must be positive");
+    }
+
+    /** Obtain an empty group (recycled when possible). */
+    ThreadGroup *
+    allocate()
+    {
+        ThreadGroup *g;
+        if (free_) {
+            g = free_;
+            free_ = g->next;
+        } else {
+            pool_.emplace_back();
+            g = &pool_.back();
+            g->specs = std::make_unique<ThreadSpec[]>(capacity_);
+            g->capacity = capacity_;
+        }
+        g->count = 0;
+        g->next = nullptr;
+        return g;
+    }
+
+    /** Return a whole bin chain of groups to the free list. */
+    void
+    recycleChain(ThreadGroup *head)
+    {
+        while (head) {
+            ThreadGroup *next = head->next;
+            head->count = 0;
+            head->next = free_;
+            free_ = head;
+            head = next;
+        }
+    }
+
+    /** Threads per group. */
+    std::uint32_t capacity() const { return capacity_; }
+
+    /** Total groups ever allocated (capacity planning statistic). */
+    std::size_t allocatedGroups() const { return pool_.size(); }
+
+  private:
+    std::uint32_t capacity_;
+    std::deque<ThreadGroup> pool_;
+    ThreadGroup *free_ = nullptr;
+};
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_THREAD_GROUP_HH

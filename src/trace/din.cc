@@ -1,0 +1,92 @@
+#include "din.hh"
+
+#include <cinttypes>
+
+#include "support/panic.hh"
+
+namespace lsched::trace
+{
+
+DinWriter::DinWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "w"))
+{
+    if (!file_)
+        LSCHED_FATAL("cannot open din trace '", path, "' for writing");
+}
+
+DinWriter::~DinWriter()
+{
+    close();
+}
+
+void
+DinWriter::ref(RefType type, std::uint64_t addr, std::uint32_t)
+{
+    LSCHED_ASSERT(file_, "write to closed din trace");
+    std::fprintf(file_, "%d %" PRIx64 "\n", label(type), addr);
+    ++count_;
+}
+
+void
+DinWriter::close()
+{
+    if (file_) {
+        std::fclose(file_);
+        file_ = nullptr;
+    }
+}
+
+DinReader::DinReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "r"))
+{
+    if (!file_)
+        LSCHED_FATAL("cannot open din trace '", path, "' for reading");
+}
+
+DinReader::~DinReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+DinReader::next(TraceRecord &out)
+{
+    int label = 0;
+    std::uint64_t addr = 0;
+    const int got =
+        std::fscanf(file_, "%d %" SCNx64 "\n", &label, &addr);
+    if (got == EOF)
+        return false;
+    ++line_;
+    if (got != 2 || label < 0 || label > 2)
+        LSCHED_FATAL("malformed din record at line ", line_);
+    switch (label) {
+      case 0:
+        out.type = RefType::Load;
+        break;
+      case 1:
+        out.type = RefType::Store;
+        break;
+      default:
+        out.type = RefType::IFetch;
+        break;
+    }
+    out.size = 4;
+    out.addr = addr;
+    return true;
+}
+
+std::uint64_t
+DinReader::replay(TraceSink &sink)
+{
+    TraceRecord rec;
+    std::uint64_t n = 0;
+    while (next(rec)) {
+        sink.ref(rec.type, rec.addr, rec.size);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace lsched::trace

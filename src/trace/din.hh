@@ -1,0 +1,95 @@
+/**
+ * @file
+ * DineroIII "din" trace format interoperability.
+ *
+ * The classic din format is one ASCII record per reference:
+ *
+ *     <label> <hex-address>
+ *
+ * with label 0 = data read, 1 = data write, 2 = instruction fetch —
+ * the format the paper's (modified) DineroIII consumed. Exporting our
+ * reference streams as din lets results be cross-checked against any
+ * dineroIII/dineroIV installation.
+ */
+
+#ifndef LSCHED_TRACE_DIN_HH
+#define LSCHED_TRACE_DIN_HH
+
+#include <cstdio>
+#include <string>
+
+#include "trace/record.hh"
+#include "trace/recorder.hh"
+
+namespace lsched::trace
+{
+
+/** Streaming din writer; usable as a TraceSink. */
+class DinWriter final : public TraceSink
+{
+  public:
+    /** Open @p path for writing; fatal on failure. */
+    explicit DinWriter(const std::string &path);
+    ~DinWriter() override;
+
+    DinWriter(const DinWriter &) = delete;
+    DinWriter &operator=(const DinWriter &) = delete;
+
+    void ref(RefType type, std::uint64_t addr,
+             std::uint32_t size) override;
+
+    /** Flush and close (idempotent). */
+    void close();
+
+    /** Records written. */
+    std::uint64_t count() const { return count_; }
+
+    /** The din label for a reference type. */
+    static int
+    label(RefType type)
+    {
+        switch (type) {
+          case RefType::Load:
+            return 0;
+          case RefType::Store:
+            return 1;
+          case RefType::IFetch:
+            return 2;
+        }
+        return 0;
+    }
+
+  private:
+    std::FILE *file_;
+    std::uint64_t count_ = 0;
+};
+
+/** Streaming din reader. */
+class DinReader
+{
+  public:
+    /** Open @p path; fatal on failure. */
+    explicit DinReader(const std::string &path);
+    ~DinReader();
+
+    DinReader(const DinReader &) = delete;
+    DinReader &operator=(const DinReader &) = delete;
+
+    /**
+     * Read the next record (size reported as 4 bytes, the din
+     * convention of address-only traces); false at end of file.
+     * Fatal on malformed lines.
+     */
+    bool next(TraceRecord &out);
+
+    /** Pump the remaining records into @p sink. */
+    std::uint64_t replay(TraceSink &sink);
+
+  private:
+    std::FILE *file_;
+    std::uint64_t line_ = 0;
+};
+
+} // namespace lsched::trace
+
+#endif // LSCHED_TRACE_DIN_HH

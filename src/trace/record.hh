@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Address-trace record types — the moral equivalent of a Pixie trace
+ * entry (the paper generated traces with Pixie and fed them to a
+ * modified DineroIII; we record references at source level instead).
+ */
+
+#ifndef LSCHED_TRACE_RECORD_HH
+#define LSCHED_TRACE_RECORD_HH
+
+#include <cstdint>
+
+namespace lsched::trace
+{
+
+/** Kind of memory reference. */
+enum class RefType : std::uint8_t
+{
+    IFetch = 0,
+    Load = 1,
+    Store = 2,
+};
+
+/** One reference: type, access size in bytes, byte address. */
+struct TraceRecord
+{
+    RefType type = RefType::Load;
+    std::uint8_t size = 8;
+    std::uint64_t addr = 0;
+
+    bool
+    operator==(const TraceRecord &o) const
+    {
+        return type == o.type && size == o.size && addr == o.addr;
+    }
+};
+
+} // namespace lsched::trace
+
+#endif // LSCHED_TRACE_RECORD_HH

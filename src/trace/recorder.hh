@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Sinks that consume a reference stream.
+ *
+ * Workload kernels are templated on a memory-model policy
+ * (workloads/memmodel.hh); in traced mode every load/store is
+ * forwarded to one of these sinks — straight into the cache hierarchy
+ * (the common case: online simulation without materializing a trace),
+ * into a trace file, or into counting state for tests.
+ */
+
+#ifndef LSCHED_TRACE_RECORDER_HH
+#define LSCHED_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cachesim/hierarchy.hh"
+#include "trace/record.hh"
+
+namespace lsched::trace
+{
+
+/** Abstract consumer of a reference stream. */
+class TraceSink
+{
+  public:
+    virtual ~TraceSink() = default;
+
+    /** Consume one reference. */
+    virtual void ref(RefType type, std::uint64_t addr,
+                     std::uint32_t size) = 0;
+
+    /** Convenience wrappers. */
+    void load(std::uint64_t a, std::uint32_t s) { ref(RefType::Load, a, s); }
+    void store(std::uint64_t a, std::uint32_t s) { ref(RefType::Store, a, s); }
+    void ifetch(std::uint64_t a, std::uint32_t s)
+    {
+        ref(RefType::IFetch, a, s);
+    }
+};
+
+/** Feeds references directly into a simulated cache hierarchy. */
+class HierarchySink final : public TraceSink
+{
+  public:
+    explicit HierarchySink(cachesim::Hierarchy &hierarchy)
+        : hierarchy_(hierarchy)
+    {
+    }
+
+    void
+    ref(RefType type, std::uint64_t addr, std::uint32_t size) override
+    {
+        switch (type) {
+          case RefType::IFetch:
+            hierarchy_.ifetch(addr, size);
+            break;
+          case RefType::Load:
+            hierarchy_.load(addr, size);
+            break;
+          case RefType::Store:
+            hierarchy_.store(addr, size);
+            break;
+        }
+    }
+
+  private:
+    cachesim::Hierarchy &hierarchy_;
+};
+
+/** Buffers the full stream in memory; used by tests and small traces. */
+class VectorSink final : public TraceSink
+{
+  public:
+    void
+    ref(RefType type, std::uint64_t addr, std::uint32_t size) override
+    {
+        records_.push_back(
+            {type, static_cast<std::uint8_t>(size), addr});
+    }
+
+    /** The captured trace. */
+    const std::vector<TraceRecord> &records() const { return records_; }
+
+  private:
+    std::vector<TraceRecord> records_;
+};
+
+/** Counts references by type without storing them. */
+class CountingSink final : public TraceSink
+{
+  public:
+    void
+    ref(RefType type, std::uint64_t, std::uint32_t) override
+    {
+        switch (type) {
+          case RefType::IFetch:
+            ++ifetches_;
+            break;
+          case RefType::Load:
+            ++loads_;
+            break;
+          case RefType::Store:
+            ++stores_;
+            break;
+        }
+    }
+
+    std::uint64_t ifetches() const { return ifetches_; }
+    std::uint64_t loads() const { return loads_; }
+    std::uint64_t stores() const { return stores_; }
+    std::uint64_t dataRefs() const { return loads_ + stores_; }
+
+  private:
+    std::uint64_t ifetches_ = 0;
+    std::uint64_t loads_ = 0;
+    std::uint64_t stores_ = 0;
+};
+
+} // namespace lsched::trace
+
+#endif // LSCHED_TRACE_RECORDER_HH

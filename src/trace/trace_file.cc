@@ -1,0 +1,175 @@
+#include "trace_file.hh"
+
+#include <cstring>
+
+#include "support/panic.hh"
+
+namespace lsched::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[4] = {'L', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+std::uint64_t
+zigzag(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+unzigzag(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path)
+{
+    if (!file_)
+        LSCHED_FATAL("cannot open trace file '", path, "' for writing");
+    buffer_.reserve(1 << 16);
+    // Header with a placeholder count, patched in close().
+    char header[16];
+    std::memcpy(header, kMagic, 4);
+    std::memcpy(header + 4, &kVersion, 4);
+    std::uint64_t zero = 0;
+    std::memcpy(header + 8, &zero, 8);
+    std::fwrite(header, 1, sizeof(header), file_);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::putByte(std::uint8_t b)
+{
+    buffer_.push_back(static_cast<char>(b));
+    if (buffer_.size() >= (1 << 16))
+        flushBuffer();
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (!buffer_.empty()) {
+        std::fwrite(buffer_.data(), 1, buffer_.size(), file_);
+        buffer_.clear();
+    }
+}
+
+void
+TraceWriter::ref(RefType type, std::uint64_t addr, std::uint32_t size)
+{
+    LSCHED_ASSERT(file_, "write to closed trace '", path_, "'");
+    LSCHED_ASSERT(size < 64, "trace record size must be < 64 bytes");
+    const auto t = static_cast<unsigned>(type);
+    putByte(static_cast<std::uint8_t>((t << 6) | size));
+    const std::int64_t delta =
+        static_cast<std::int64_t>(addr - lastAddr_[t]);
+    lastAddr_[t] = addr;
+    std::uint64_t u = zigzag(delta);
+    do {
+        std::uint8_t b = u & 0x7f;
+        u >>= 7;
+        if (u)
+            b |= 0x80;
+        putByte(b);
+    } while (u);
+    ++count_;
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    flushBuffer();
+    std::fseek(file_, 8, SEEK_SET);
+    std::fwrite(&count_, 8, 1, file_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        LSCHED_FATAL("cannot open trace file '", path, "' for reading");
+    char header[16];
+    if (std::fread(header, 1, sizeof(header), file_) != sizeof(header))
+        LSCHED_FATAL("trace file '", path, "' truncated header");
+    if (std::memcmp(header, kMagic, 4) != 0)
+        LSCHED_FATAL("trace file '", path, "' has bad magic");
+    std::uint32_t version;
+    std::memcpy(&version, header + 4, 4);
+    if (version != kVersion)
+        LSCHED_FATAL("trace file '", path, "' has unsupported version ",
+                     version);
+    std::memcpy(&count_, header + 8, 8);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+int
+TraceReader::getByte()
+{
+    return std::fgetc(file_);
+}
+
+bool
+TraceReader::next(TraceRecord &out)
+{
+    if (seen_ >= count_)
+        return false;
+    const int meta = getByte();
+    if (meta == EOF)
+        LSCHED_FATAL("trace truncated at record ", seen_);
+    const unsigned t = static_cast<unsigned>(meta) >> 6;
+    LSCHED_ASSERT(t <= 2, "corrupt trace record type");
+    std::uint64_t u = 0;
+    unsigned shift = 0;
+    for (;;) {
+        const int b = getByte();
+        if (b == EOF)
+            LSCHED_FATAL("trace truncated at record ", seen_);
+        u |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+        if (!(b & 0x80))
+            break;
+        shift += 7;
+        LSCHED_ASSERT(shift < 64, "corrupt trace varint");
+    }
+    lastAddr_[t] = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(lastAddr_[t]) + unzigzag(u));
+    out.type = static_cast<RefType>(t);
+    out.size = static_cast<std::uint8_t>(meta & 0x3f);
+    out.addr = lastAddr_[t];
+    ++seen_;
+    return true;
+}
+
+std::uint64_t
+TraceReader::replay(TraceSink &sink)
+{
+    TraceRecord rec;
+    std::uint64_t n = 0;
+    while (next(rec)) {
+        sink.ref(rec.type, rec.addr, rec.size);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace lsched::trace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Memory-model policies for instrumented kernels.
+ *
+ * Every workload kernel is a template over a model M with the
+ * interface below. NativeModel compiles to nothing, so the timed
+ * binaries run uninstrumented machine code; SimModel plays the role
+ * of Pixie + DineroIII, forwarding each load/store to the simulated
+ * hierarchy and accounting instructions through the synthetic
+ * instruction-fetch model (see trace/synth_ifetch.hh).
+ */
+
+#ifndef LSCHED_WORKLOADS_MEMMODEL_HH
+#define LSCHED_WORKLOADS_MEMMODEL_HH
+
+#include <cstdint>
+
+#include "cachesim/hierarchy.hh"
+#include "trace/synth_ifetch.hh"
+
+namespace lsched::workloads
+{
+
+/**
+ * Instructions charged per forked-and-run thread in traced kernels,
+ * calibrated to the paper's Table 1 total overhead (1.60 us at
+ * 75 MHz ~ 120 cycles).
+ */
+constexpr std::uint64_t kThreadOverheadInstr = 120;
+
+/** Uninstrumented policy: all hooks vanish at -O1 and above. */
+struct NativeModel
+{
+    static constexpr bool traced = false;
+
+    void load(const void *, std::uint32_t) {}
+    void store(const void *, std::uint32_t) {}
+    /** Account @p n executed instructions. */
+    void instructions(std::uint64_t) {}
+    /** Mark entry into the kernel whose synthetic text is @p id. */
+    void enterKernel(unsigned) {}
+};
+
+/** Pixie-like policy: every reference reaches the cache simulator. */
+class SimModel
+{
+  public:
+    static constexpr bool traced = true;
+
+    /** Size of each kernel's synthetic text region. */
+    static constexpr std::uint64_t kKernelBytes = 512;
+    /** Base virtual address of the synthetic text segment. */
+    static constexpr std::uint64_t kTextBase = 0x00400000;
+
+    explicit SimModel(cachesim::Hierarchy &hierarchy,
+                      trace::SynthIFetch::Mode mode =
+                          trace::SynthIFetch::Mode::Analytic)
+        : hierarchy_(&hierarchy), mode_(mode)
+    {
+    }
+
+    void
+    load(const void *p, std::uint32_t bytes)
+    {
+        hierarchy_->load(reinterpret_cast<std::uintptr_t>(p), bytes);
+    }
+
+    void
+    store(const void *p, std::uint32_t bytes)
+    {
+        hierarchy_->store(reinterpret_cast<std::uintptr_t>(p), bytes);
+    }
+
+    void
+    instructions(std::uint64_t n)
+    {
+        ifetch_.execute(n);
+    }
+
+    void
+    enterKernel(unsigned id)
+    {
+        // Each kernel id owns a disjoint synthetic text region; the
+        // first entry after a switch touches its code lines so
+        // compulsory I-misses register.
+        if (id != kernelId_ || !entered_) {
+            kernelId_ = id;
+            entered_ = true;
+            ifetch_ = trace::SynthIFetch(
+                hierarchy_, kTextBase + id * kKernelBytes, kKernelBytes,
+                mode_);
+            ifetch_.enter();
+        }
+    }
+
+    /** The hierarchy being driven. */
+    cachesim::Hierarchy &hierarchy() { return *hierarchy_; }
+
+  private:
+    cachesim::Hierarchy *hierarchy_;
+    trace::SynthIFetch::Mode mode_;
+    trace::SynthIFetch ifetch_{nullptr, 0, 1};
+    unsigned kernelId_ = ~0u;
+    bool entered_ = false;
+};
+
+} // namespace lsched::workloads
+
+#endif // LSCHED_WORKLOADS_MEMMODEL_HH

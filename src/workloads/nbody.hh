@@ -1,0 +1,505 @@
+/**
+ * @file
+ * The paper's Section 4.4 workload: a three-dimensional N-body
+ * simulation using the Barnes-Hut algorithm. Each step builds an
+ * octree over the bodies, computes the force on every body by walking
+ * the tree with the opening-angle criterion, and advances positions
+ * with a leapfrog integrator.
+ *
+ * This is the paper's irregular, dynamic case: data structures are
+ * small, positions change every step, the tree is rebuilt every step,
+ * and no reference information exists at compile time, so tiling is
+ * infeasible — but the threaded variant forks one thread per body
+ * with the body's (x, y, z) position scaled into the scheduling plane
+ * as hints, so bodies that are near each other in space (and
+ * therefore share tree paths) are computed together.
+ *
+ * Force results are independent of body evaluation order, so the
+ * threaded and unthreaded variants produce bitwise-identical
+ * trajectories — asserted by the tests.
+ */
+
+#ifndef LSCHED_WORKLOADS_NBODY_HH
+#define LSCHED_WORKLOADS_NBODY_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "support/panic.hh"
+#include "support/prng.hh"
+#include "threads/hints.hh"
+#include "threads/scheduler.hh"
+#include "workloads/memmodel.hh"
+
+namespace lsched::workloads
+{
+
+/** Synthetic-text ids for the N-body kernels. */
+enum NBodyKernelId : unsigned
+{
+    kNBodyBuild = 16,
+    kNBodyForce,
+    kNBodyAdvance,
+};
+
+/** One particle. */
+struct Body
+{
+    double x, y, z;
+    double vx, vy, vz;
+    double ax, ay, az;
+    double mass;
+};
+
+/** One octree cell (internal or leaf). */
+struct BhNode
+{
+    /** Geometric centre of the cell. */
+    double cx, cy, cz;
+    /** Half the cell edge length. */
+    double half;
+    /** Centre of mass (valid after finalize). */
+    double mx, my, mz;
+    /** Total mass. */
+    double mass;
+    /** Child node indices; -1 when absent. */
+    std::int32_t child[8];
+    /** Body index for a leaf holding one body; -1 otherwise. */
+    std::int32_t body;
+    /** True until the node is split. */
+    bool leaf;
+};
+
+/** Parameters of the simulation. */
+struct NBodyConfig
+{
+    std::size_t bodies = 8000;
+    /** Opening-angle criterion (cell size / distance < theta). */
+    double theta = 0.6;
+    /** Plummer softening length. */
+    double softening = 1e-2;
+    /** Leapfrog time step. */
+    double dt = 1e-3;
+    std::uint64_t seed = 42;
+};
+
+/** The Barnes-Hut simulation state. */
+class BarnesHut
+{
+  public:
+    explicit BarnesHut(const NBodyConfig &config) : config_(config)
+    {
+        initPlummer();
+    }
+
+    /** Bodies (read-only view). */
+    const std::vector<Body> &bodies() const { return bodies_; }
+
+    /** Mutable access for tests. */
+    std::vector<Body> &mutableBodies() { return bodies_; }
+
+    /** Nodes of the most recent tree (for tests). */
+    const std::vector<BhNode> &nodes() const { return nodes_; }
+
+    const NBodyConfig &config() const { return config_; }
+
+    /**
+     * Build the octree over current positions. Charges one child-
+     * pointer load per level descended and the body coordinates read,
+     * plus a bottom-up centre-of-mass pass.
+     */
+    template <class M>
+    void
+    buildTree(M &model)
+    {
+        model.enterKernel(kNBodyBuild);
+        nodes_.clear();
+        // Bounding cube.
+        double lo = bodies_[0].x, hi = bodies_[0].x;
+        for (const Body &b : bodies_) {
+            model.load(&b.x, 24);
+            lo = std::min({lo, b.x, b.y, b.z});
+            hi = std::max({hi, b.x, b.y, b.z});
+        }
+        model.instructions(bodies_.size() * 8);
+        const double centre = 0.5 * (lo + hi);
+        const double half = 0.5 * (hi - lo) + 1e-12;
+        nodes_.push_back(makeCell(centre, centre, centre, half));
+        for (std::size_t i = 0; i < bodies_.size(); ++i)
+            insert(0, static_cast<std::int32_t>(i), model, 0);
+        finalize(0, model);
+    }
+
+    /**
+     * Compute the acceleration of body @p i from the current tree.
+     * Pure function of the (old) positions, so evaluation order
+     * across bodies is irrelevant — the key independence property.
+     */
+    template <class M>
+    void
+    computeForce(std::size_t i, M &model)
+    {
+        Body &b = bodies_[static_cast<std::size_t>(i)];
+        model.load(&b.x, 24);
+        double ax = 0, ay = 0, az = 0;
+        walk(0, b, static_cast<std::int32_t>(i), ax, ay, az, model);
+        b.ax = ax;
+        b.ay = ay;
+        b.az = az;
+        model.store(&b.ax, 24);
+        model.instructions(12);
+    }
+
+    /** Leapfrog: advance velocity and position of every body. */
+    template <class M>
+    void
+    advance(M &model)
+    {
+        model.enterKernel(kNBodyAdvance);
+        const double dt = config_.dt;
+        for (Body &b : bodies_) {
+            model.load(&b.vx, 24);
+            model.load(&b.ax, 24);
+            b.vx += b.ax * dt;
+            b.vy += b.ay * dt;
+            b.vz += b.az * dt;
+            b.x += b.vx * dt;
+            b.y += b.vy * dt;
+            b.z += b.vz * dt;
+            model.store(&b.x, 24);
+            model.store(&b.vx, 24);
+        }
+        model.instructions(bodies_.size() * 18);
+    }
+
+    /**
+     * Rewrite the node pool in depth-first order. Tree walks then
+     * touch memory roughly monotonically, so subtree working sets
+     * are contiguous — the *data-reordering* counterpart to the
+     * paper's computation reordering (its Section 5 cites early work
+     * on "arranging data structures to maximize locality"). The two
+     * compose: see bench/ablation_layout.
+     */
+    void
+    reorderTreeDfs()
+    {
+        if (nodes_.empty())
+            return;
+        std::vector<BhNode> reordered;
+        reordered.reserve(nodes_.size());
+        // Iterative DFS assigning new indices as nodes are emitted.
+        struct Frame
+        {
+            std::int32_t old;
+            std::int32_t parent; // index in `reordered`
+            unsigned slot;       // child slot in the parent
+        };
+        std::vector<Frame> work{{0, -1, 0}};
+        while (!work.empty()) {
+            const Frame f = work.back();
+            work.pop_back();
+            const auto idx =
+                static_cast<std::int32_t>(reordered.size());
+            reordered.push_back(
+                nodes_[static_cast<std::size_t>(f.old)]);
+            if (f.parent >= 0) {
+                reordered[static_cast<std::size_t>(f.parent)]
+                    .child[f.slot] = idx;
+            }
+            // Push children in reverse so slot 0 is emitted first.
+            for (unsigned q = 8; q-- > 0;) {
+                const std::int32_t child =
+                    reordered[static_cast<std::size_t>(idx)].child[q];
+                if (child >= 0)
+                    work.push_back({child, idx, q});
+            }
+        }
+        nodes_ = std::move(reordered);
+    }
+
+    /** One unthreaded step: build, force on all bodies in array
+     *  order, advance. @p dfs_layout applies reorderTreeDfs after
+     *  the build. */
+    template <class M>
+    void
+    stepUnthreaded(M &model, bool dfs_layout = false)
+    {
+        buildTree(model);
+        if (dfs_layout)
+            reorderTreeDfs();
+        model.enterKernel(kNBodyForce);
+        for (std::size_t i = 0; i < bodies_.size(); ++i)
+            computeForce(i, model);
+        advance(model);
+    }
+
+    /**
+     * One threaded step (paper Section 4.4): one thread per body,
+     * hinted with the body's position normalized to the unit cube and
+     * scaled to the scheduling plane, so spatially adjacent bodies —
+     * which share tree paths — land in the same bin.
+     */
+    template <class M>
+    void
+    stepThreaded(threads::LocalityScheduler &scheduler, M &model,
+                 std::uint64_t plane_extent, bool dfs_layout = false)
+    {
+        buildTree(model);
+        if (dfs_layout)
+            reorderTreeDfs();
+        model.enterKernel(kNBodyForce);
+
+        // Normalize over the root cell (covers all bodies).
+        const BhNode &root = nodes_[0];
+        const double lox = root.cx - root.half;
+        const double loy = root.cy - root.half;
+        const double loz = root.cz - root.half;
+        const double scale =
+            static_cast<double>(plane_extent) / (2.0 * root.half);
+
+        struct Ctx
+        {
+            BarnesHut *self;
+            M *model;
+        } ctx{this, &model};
+
+        auto body_thread = [](void *ctx_p, void *i_p) {
+            auto *c = static_cast<Ctx *>(ctx_p);
+            const std::size_t i = reinterpret_cast<std::uintptr_t>(i_p);
+            c->self->computeForce(i, *c->model);
+            c->model->instructions(kNBodyThreadOverheadInstr);
+        };
+
+        for (std::size_t i = 0; i < bodies_.size(); ++i) {
+            const Body &b = bodies_[i];
+            const auto hx = static_cast<threads::Hint>(
+                (b.x - lox) * scale);
+            const auto hy = static_cast<threads::Hint>(
+                (b.y - loy) * scale);
+            const auto hz = static_cast<threads::Hint>(
+                (b.z - loz) * scale);
+            scheduler.fork(body_thread, &ctx,
+                           reinterpret_cast<void *>(i), hx, hy, hz);
+        }
+        scheduler.run(false);
+        advance(model);
+    }
+
+    /** Total momentum magnitude (a conservation sanity metric). */
+    double
+    momentum() const
+    {
+        double px = 0, py = 0, pz = 0;
+        for (const Body &b : bodies_) {
+            px += b.mass * b.vx;
+            py += b.mass * b.vy;
+            pz += b.mass * b.vz;
+        }
+        return std::sqrt(px * px + py * py + pz * pz);
+    }
+
+    /** Instructions charged per forked body thread. */
+    static constexpr std::uint64_t kNBodyThreadOverheadInstr = 120;
+
+  private:
+    static BhNode
+    makeCell(double cx, double cy, double cz, double half)
+    {
+        BhNode n;
+        n.cx = cx;
+        n.cy = cy;
+        n.cz = cz;
+        n.half = half;
+        n.mx = n.my = n.mz = 0;
+        n.mass = 0;
+        for (auto &c : n.child)
+            c = -1;
+        n.body = -1;
+        n.leaf = true;
+        return n;
+    }
+
+    /** Octant of (x, y, z) within node @p n. */
+    static unsigned
+    octant(const BhNode &n, double x, double y, double z)
+    {
+        return (x >= n.cx ? 1u : 0u) | (y >= n.cy ? 2u : 0u) |
+               (z >= n.cz ? 4u : 0u);
+    }
+
+    template <class M>
+    void
+    insert(std::int32_t node, std::int32_t body, M &model, int depth)
+    {
+        // Iterative descent; recursion depth is bounded but the
+        // explicit loop keeps deep clusters safe.
+        for (;;) {
+            BhNode &n = nodes_[static_cast<std::size_t>(node)];
+            model.load(&n.child, 32);
+            model.instructions(10);
+            if (n.leaf && n.body < 0) {
+                n.body = body;
+                return;
+            }
+            if (n.leaf) {
+                // Split: push the resident body down one level.
+                const std::int32_t old = n.body;
+                n.body = -1;
+                n.leaf = false;
+                const Body &ob =
+                    bodies_[static_cast<std::size_t>(old)];
+                model.load(&ob.x, 24);
+                const unsigned q = octant(n, ob.x, ob.y, ob.z);
+                const std::int32_t child = newChild(node, q);
+                nodes_[static_cast<std::size_t>(child)].body = old;
+                // fall through to re-dispatch the incoming body
+            }
+            BhNode &n2 = nodes_[static_cast<std::size_t>(node)];
+            const Body &nb = bodies_[static_cast<std::size_t>(body)];
+            model.load(&nb.x, 24);
+            const unsigned q = octant(n2, nb.x, nb.y, nb.z);
+            std::int32_t child = n2.child[q];
+            if (child < 0)
+                child = newChild(node, q);
+            node = child;
+            if (++depth > 512) {
+                LSCHED_PANIC("octree depth > 512: coincident bodies? "
+                             "increase softening/jitter");
+            }
+        }
+    }
+
+    std::int32_t
+    newChild(std::int32_t parent, unsigned q)
+    {
+        const BhNode p = nodes_[static_cast<std::size_t>(parent)];
+        const double h = p.half * 0.5;
+        const double cx = p.cx + ((q & 1) ? h : -h);
+        const double cy = p.cy + ((q & 2) ? h : -h);
+        const double cz = p.cz + ((q & 4) ? h : -h);
+        nodes_.push_back(makeCell(cx, cy, cz, h));
+        const auto idx = static_cast<std::int32_t>(nodes_.size() - 1);
+        nodes_[static_cast<std::size_t>(parent)].child[q] = idx;
+        return idx;
+    }
+
+    /** Bottom-up centre-of-mass computation. */
+    template <class M>
+    void
+    finalize(std::int32_t node, M &model)
+    {
+        BhNode &n = nodes_[static_cast<std::size_t>(node)];
+        model.load(&n.child, 32);
+        if (n.leaf) {
+            if (n.body >= 0) {
+                const Body &b =
+                    bodies_[static_cast<std::size_t>(n.body)];
+                model.load(&b.x, 32);
+                n.mass = b.mass;
+                n.mx = b.x;
+                n.my = b.y;
+                n.mz = b.z;
+            }
+            model.instructions(8);
+            return;
+        }
+        double m = 0, mx = 0, my = 0, mz = 0;
+        for (unsigned q = 0; q < 8; ++q) {
+            if (n.child[q] < 0)
+                continue;
+            finalize(n.child[q], model);
+            const BhNode &c =
+                nodes_[static_cast<std::size_t>(n.child[q])];
+            model.load(&c.mx, 32);
+            m += c.mass;
+            mx += c.mass * c.mx;
+            my += c.mass * c.my;
+            mz += c.mass * c.mz;
+        }
+        BhNode &n3 = nodes_[static_cast<std::size_t>(node)];
+        n3.mass = m;
+        if (m > 0) {
+            n3.mx = mx / m;
+            n3.my = my / m;
+            n3.mz = mz / m;
+        }
+        model.store(&n3.mx, 32);
+        model.instructions(40);
+    }
+
+    /** Tree walk accumulating the acceleration on body @p self. */
+    template <class M>
+    void
+    walk(std::int32_t node, const Body &b, std::int32_t self,
+         double &ax, double &ay, double &az, M &model)
+    {
+        const BhNode &n = nodes_[static_cast<std::size_t>(node)];
+        model.load(&n.mx, 8);
+        model.load(&n.my, 8);
+        model.load(&n.mz, 8);
+        model.load(&n.mass, 8);
+        model.load(&n.half, 8);
+        model.instructions(20);
+        if (n.mass <= 0)
+            return;
+        if (n.leaf && n.body == self)
+            return;
+        const double dx = n.mx - b.x;
+        const double dy = n.my - b.y;
+        const double dz = n.mz - b.z;
+        const double d2 = dx * dx + dy * dy + dz * dz +
+                          config_.softening * config_.softening;
+        const double d = std::sqrt(d2);
+        if (n.leaf || (2.0 * n.half) / d < config_.theta) {
+            const double f = n.mass / (d2 * d);
+            ax += f * dx;
+            ay += f * dy;
+            az += f * dz;
+            return;
+        }
+        for (unsigned q = 0; q < 8; ++q) {
+            model.load(&n.child[q], 4);
+            if (n.child[q] >= 0)
+                walk(n.child[q], b, self, ax, ay, az, model);
+        }
+    }
+
+    /** Plummer-sphere positions with small random velocities. */
+    void
+    initPlummer()
+    {
+        LSCHED_ASSERT(config_.bodies > 0, "need at least one body");
+        Prng prng(config_.seed);
+        bodies_.resize(config_.bodies);
+        const double m = 1.0 / static_cast<double>(config_.bodies);
+        for (Body &b : bodies_) {
+            // Radius from the Plummer cumulative mass profile,
+            // truncated so the cluster stays bounded.
+            double u = prng.nextDouble(1e-6, 0.999);
+            double r = 1.0 / std::sqrt(std::pow(u, -2.0 / 3.0) - 1.0);
+            r = std::min(r, 8.0);
+            // Uniform direction.
+            const double ct = prng.nextDouble(-1.0, 1.0);
+            const double st = std::sqrt(
+                std::max(0.0, 1.0 - ct * ct));
+            const double phi = prng.nextDouble(0.0, 6.283185307179586);
+            b.x = r * st * std::cos(phi);
+            b.y = r * st * std::sin(phi);
+            b.z = r * ct;
+            b.vx = prng.nextDouble(-0.05, 0.05);
+            b.vy = prng.nextDouble(-0.05, 0.05);
+            b.vz = prng.nextDouble(-0.05, 0.05);
+            b.ax = b.ay = b.az = 0;
+            b.mass = m;
+        }
+    }
+
+    NBodyConfig config_;
+    std::vector<Body> bodies_;
+    std::vector<BhNode> nodes_;
+};
+
+} // namespace lsched::workloads
+
+#endif // LSCHED_WORKLOADS_NBODY_HH

@@ -1,0 +1,264 @@
+/**
+ * @file
+ * The paper's Section 4.3 PDE workload: red-black ordered Gauss-Seidel
+ * relaxation of Laplace's equation on a uniform mesh, with the
+ * residual computed after the final iteration — the smoother inside a
+ * multigrid solver (iters ~ 5 in practice).
+ *
+ * Variants:
+ *  - Regular:         per iteration a full red sweep then a full black
+ *                     sweep; a separate residual pass at the end. Data
+ *                     passes through the cache 2*iters + 1 times.
+ *  - CacheConscious:  Douglas's fused ordering — red points of line j
+ *                     and black points of line j-1 in one pass, with
+ *                     the residual computed along with the black
+ *                     points of the last iteration. One pass per
+ *                     iteration.
+ *  - Threaded:        the fused line-pair block becomes a thread;
+ *                     ny + 1 threads per iteration, hinted with the
+ *                     line addresses of u and b.
+ *
+ * Because every black update depends only on current-iteration red
+ * values and every red update only on previous-iteration black
+ * values, all three variants compute bitwise-identical grids — the
+ * property the correctness tests assert.
+ *
+ * "Line" here is a grid column (contiguous in our column-major
+ * storage, as in the paper's Fortran).
+ */
+
+#ifndef LSCHED_WORKLOADS_PDE_HH
+#define LSCHED_WORKLOADS_PDE_HH
+
+#include <cstdint>
+
+#include "support/prng.hh"
+#include "threads/hints.hh"
+#include "threads/scheduler.hh"
+#include "workloads/matrix.hh"
+#include "workloads/memmodel.hh"
+
+namespace lsched::workloads
+{
+
+/** Synthetic-text ids for the PDE kernels. */
+enum PdeKernelId : unsigned
+{
+    kPdeRegular = 8,
+    kPdeCacheConscious,
+    kPdeThreadedBlock,
+};
+
+/** The mesh: solution u, right-hand side b, residual r, with halo. */
+struct PdeGrid
+{
+    /** @param n interior points per dimension. */
+    explicit PdeGrid(std::size_t n)
+        : n(n), u(n + 2, n + 2), b(n + 2, n + 2), r(n + 2, n + 2)
+    {
+    }
+
+    /** Deterministic right-hand side in [-1, 1); u and r zeroed. */
+    void
+    init(std::uint64_t seed)
+    {
+        Prng prng(seed);
+        u.fill(0.0);
+        r.fill(0.0);
+        for (std::size_t j = 1; j <= n; ++j)
+            for (std::size_t i = 1; i <= n; ++i)
+                b(i, j) = prng.nextDouble(-1.0, 1.0);
+    }
+
+    std::size_t n;
+    Matrix u;
+    Matrix b;
+    Matrix r;
+};
+
+namespace pde_detail
+{
+
+/**
+ * Relax the points of colour @p red on line (column) @p j.
+ * u[i,j] = (b[i,j] - u[i-1,j] - u[i+1,j] - u[i,j-1] - u[i,j+1]) / 4.
+ * Charges 4 loads + 1 store and 12 (regular) or 11 (fused)
+ * instructions per point, matching the paper's reference counts.
+ */
+template <class M>
+void
+relaxLine(PdeGrid &g, std::size_t j, bool red, M &model,
+          std::uint64_t instr_per_point)
+{
+    // Colour of (i, j): red when (i + j) is even.
+    const std::size_t start = 1 + ((1 + j + (red ? 0 : 1)) & 1);
+    double *const uj = g.u.col(j);
+    const double *const ujm = g.u.col(j - 1);
+    const double *const ujp = g.u.col(j + 1);
+    const double *const bj = g.b.col(j);
+    std::uint64_t points = 0;
+    for (std::size_t i = start; i <= g.n; i += 2) {
+        model.load(&bj[i], 8);
+        model.load(&uj[i - 1], 8);
+        model.load(&ujm[i], 8);
+        model.load(&ujp[i], 8);
+        uj[i] = 0.25 *
+                (bj[i] - uj[i - 1] - uj[i + 1] - ujm[i] - ujp[i]);
+        model.store(&uj[i], 8);
+        ++points;
+    }
+    model.instructions(points * instr_per_point + 6);
+}
+
+/**
+ * Residual on line @p j: r = b - 4u - (four neighbours).
+ * @p fused charges the cache-conscious cost (3 loads + 1 store, the
+ * u values being warm from the adjoining black relaxation); the
+ * standalone pass charges 6 loads + 1 store.
+ */
+template <class M>
+void
+residualLine(PdeGrid &g, std::size_t j, M &model, bool fused)
+{
+    double *const rj = g.r.col(j);
+    const double *const uj = g.u.col(j);
+    const double *const ujm = g.u.col(j - 1);
+    const double *const ujp = g.u.col(j + 1);
+    const double *const bj = g.b.col(j);
+    for (std::size_t i = 1; i <= g.n; ++i) {
+        model.load(&bj[i], 8);
+        if (!fused) {
+            model.load(&uj[i], 8);
+            model.load(&uj[i - 1], 8);
+            model.load(&uj[i + 1], 8);
+            model.load(&ujm[i], 8);
+        } else {
+            model.load(&uj[i], 8);
+            model.load(&ujp[i], 8);
+        }
+        if (!fused)
+            model.load(&ujp[i], 8);
+        rj[i] = bj[i] - 4.0 * uj[i] - uj[i - 1] - uj[i + 1] - ujm[i] -
+                ujp[i];
+        model.store(&rj[i], 8);
+    }
+    model.instructions(g.n * (fused ? 12 : 14) + 6);
+}
+
+} // namespace pde_detail
+
+/** Regular red-black Gauss-Seidel: full sweeps, residual afterwards. */
+template <class M>
+void
+pdeRegular(PdeGrid &g, unsigned iters, M &model)
+{
+    model.enterKernel(kPdeRegular);
+    for (unsigned it = 0; it < iters; ++it) {
+        for (std::size_t j = 1; j <= g.n; ++j)
+            pde_detail::relaxLine(g, j, true, model, 12);
+        for (std::size_t j = 1; j <= g.n; ++j)
+            pde_detail::relaxLine(g, j, false, model, 12);
+    }
+    for (std::size_t j = 1; j <= g.n; ++j)
+        pde_detail::residualLine(g, j, model, false);
+}
+
+/**
+ * Cache-conscious fused ordering: red line j with black line j-1 in
+ * one pass; residual fused into the last iteration. Each iteration
+ * passes the data through the cache once instead of twice.
+ */
+template <class M>
+void
+pdeCacheConscious(PdeGrid &g, unsigned iters, M &model)
+{
+    model.enterKernel(kPdeCacheConscious);
+    for (unsigned it = 0; it < iters; ++it) {
+        const bool last = (it + 1 == iters);
+        pde_detail::relaxLine(g, 1, true, model, 11);
+        for (std::size_t j = 2; j <= g.n; ++j) {
+            pde_detail::relaxLine(g, j, true, model, 11);
+            pde_detail::relaxLine(g, j - 1, false, model, 11);
+            // r[.,j-2] needs final u on lines j-3..j-1; black(j-1)
+            // just completed line j-1's final values.
+            if (last && j >= 3)
+                pde_detail::residualLine(g, j - 2, model, true);
+        }
+        pde_detail::relaxLine(g, g.n, false, model, 11);
+        if (last) {
+            if (g.n >= 2)
+                pde_detail::residualLine(g, g.n - 1, model, true);
+            pde_detail::residualLine(g, g.n, model, true);
+        }
+    }
+}
+
+/** Work descriptor of one PDE line-pair thread. */
+template <class M>
+struct PdeThreadCtx
+{
+    PdeGrid *grid;
+    M *model;
+    unsigned itersLeftToResidual; // 0 on the last iteration
+};
+
+/**
+ * Thread body: red line j, black line j-1, fused residual on the last
+ * iteration. arg2 packs the line index j in [1, n+1]; j == n+1 is the
+ * trailing black/residual cleanup thread.
+ */
+template <class M>
+void
+pdeLinePairThread(void *ctx_p, void *j_p)
+{
+    auto *ctx = static_cast<PdeThreadCtx<M> *>(ctx_p);
+    PdeGrid &g = *ctx->grid;
+    M &model = *ctx->model;
+    const std::size_t j = reinterpret_cast<std::uintptr_t>(j_p);
+    const bool last = ctx->itersLeftToResidual == 0;
+    if (j <= g.n) {
+        pde_detail::relaxLine(g, j, true, model, 11);
+        if (j >= 2)
+            pde_detail::relaxLine(g, j - 1, false, model, 11);
+        if (last && j >= 3)
+            pde_detail::residualLine(g, j - 2, model, true);
+    } else {
+        pde_detail::relaxLine(g, g.n, false, model, 11);
+        if (last) {
+            if (g.n >= 2)
+                pde_detail::residualLine(g, g.n - 1, model, true);
+            pde_detail::residualLine(g, g.n, model, true);
+        }
+    }
+    model.instructions(kThreadOverheadInstr);
+}
+
+/**
+ * Threaded variant (paper Section 4.3): ny + 1 line-pair threads per
+ * iteration, hinted with the u and b line addresses; one th_run per
+ * iteration preserves the red-black dependence structure because
+ * lines ascend through the address space and therefore through the
+ * bins in creation order.
+ */
+template <class M>
+void
+pdeThreaded(PdeGrid &g, unsigned iters,
+            threads::LocalityScheduler &scheduler, M &model)
+{
+    model.enterKernel(kPdeThreadedBlock);
+    PdeThreadCtx<M> ctx{&g, &model, 0};
+    for (unsigned it = 0; it < iters; ++it) {
+        ctx.itersLeftToResidual = iters - 1 - it;
+        for (std::size_t j = 1; j <= g.n + 1; ++j) {
+            scheduler.fork(&pdeLinePairThread<M>, &ctx,
+                           reinterpret_cast<void *>(j),
+                           threads::hintOf(g.u.col(std::min(j, g.n))),
+                           threads::hintOf(g.b.col(std::min(j, g.n))));
+        }
+        scheduler.run(false);
+    }
+}
+
+} // namespace lsched::workloads
+
+#endif // LSCHED_WORKLOADS_PDE_HH

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * The paper's Section 4.3 SOR workload: the standard compiler-
+ * community test case (Lam, Rothberg & Wolf), t Gauss-Seidel-style
+ * sweeps of a 5-point averaging stencil over an n x n array.
+ *
+ * Variants:
+ *  - Untiled:   t full sweeps in storage order; every sweep streams
+ *               the whole array through the cache.
+ *  - HandTiled: time-skewed tiling (tile size s, the paper uses 18):
+ *               a strip of s skewed columns is relaxed for all t
+ *               iterations while resident. Preserves the sequential
+ *               update order exactly (results are bitwise identical
+ *               to Untiled) at the cost of extra loop overhead — the
+ *               paper's hand-tiled version executes ~1.6x the
+ *               instructions of the untiled one.
+ *  - Threaded:  the paper's chaotic-relaxation trick: all t*(n-2)
+ *               column-update threads are forked up front (iteration-
+ *               major) and ONE th_run executes them bin by bin, so a
+ *               cache-sized strip of columns receives all t updates
+ *               while resident. Threads in a bin see slightly stale
+ *               neighbour strips ("the algorithm works fine because
+ *               the goal is to reach convergence").
+ *
+ * Reference accounting per column update point: 3 loads + 1 store
+ * (centre and one vertical neighbour are register-carried), matching
+ * the paper's 482M data references for n=2005, t=30.
+ */
+
+#ifndef LSCHED_WORKLOADS_SOR_HH
+#define LSCHED_WORKLOADS_SOR_HH
+
+#include <cstdint>
+
+#include "support/prng.hh"
+#include "threads/hints.hh"
+#include "threads/scheduler.hh"
+#include "workloads/matrix.hh"
+#include "workloads/memmodel.hh"
+
+namespace lsched::workloads
+{
+
+/** Synthetic-text ids for the SOR kernels. */
+enum SorKernelId : unsigned
+{
+    kSorUntiled = 12,
+    kSorHandTiled,
+    kSorThreadedColumn,
+};
+
+/** Deterministic initial array in [-1, 1). */
+inline Matrix
+sorInit(std::size_t n, std::uint64_t seed)
+{
+    Matrix a(n, n);
+    Prng prng(seed);
+    for (std::size_t j = 0; j < n; ++j)
+        for (std::size_t i = 0; i < n; ++i)
+            a(i, j) = prng.nextDouble(-1.0, 1.0);
+    return a;
+}
+
+namespace sor_detail
+{
+
+/**
+ * Relax interior points of column @p j in place:
+ * A[i,j] = 0.2 * (A[i,j] + A[i+1,j] + A[i-1,j] + A[i,j+1] + A[i,j-1]).
+ * @p instr_per_point models the variant's loop-overhead difference.
+ */
+template <class M>
+void
+relaxColumn(Matrix &a, std::size_t j, M &model,
+            std::uint64_t instr_per_point, std::uint64_t refs_per_point)
+{
+    double *const aj = a.col(j);
+    const double *const ajm = a.col(j - 1);
+    const double *const ajp = a.col(j + 1);
+    const std::size_t n = a.rows();
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+        // Centre and the just-written upper neighbour are register-
+        // carried in the 4-reference accounting; the hand-tiled code
+        // reloads everything (6 references).
+        model.load(&aj[i + 1], 8);
+        model.load(&ajm[i], 8);
+        model.load(&ajp[i], 8);
+        if (refs_per_point >= 6) {
+            model.load(&aj[i], 8);
+            model.load(&aj[i - 1], 8);
+        }
+        aj[i] = 0.2 * (aj[i] + aj[i + 1] + aj[i - 1] + ajm[i] + ajp[i]);
+        model.store(&aj[i], 8);
+    }
+    model.instructions((n - 2) * instr_per_point + 6);
+}
+
+} // namespace sor_detail
+
+/** Untiled SOR: t sweeps in storage order (10 instructions/point). */
+template <class M>
+void
+sorUntiled(Matrix &a, unsigned t, M &model)
+{
+    model.enterKernel(kSorUntiled);
+    for (unsigned it = 0; it < t; ++it)
+        for (std::size_t j = 1; j + 1 < a.cols(); ++j)
+            sor_detail::relaxColumn(a, j, model, 10, 4);
+}
+
+/**
+ * Hand-tiled SOR with two-dimensional time skewing, after Lam,
+ * Rothberg & Wolf: both spatial coordinates are skewed by 2*it and
+ * tiled into s x s tiles; within a tile the t time steps run in
+ * order over a window that slides by (-2, -2) per step, so the reuse
+ * distance between consecutive time steps is only s*s*8 bytes (L1-
+ * resident for the paper's s = 18) while the whole array streams
+ * through the cache once overall. Every flow dependence of the
+ * sequential order is respected, so the result is bitwise identical
+ * to sorUntiled; the bookkeeping costs ~1.6x the instructions, as
+ * the paper's Table 7 reports.
+ */
+template <class M>
+void
+sorHandTiled(Matrix &a, unsigned t, M &model, std::size_t s = 18)
+{
+    model.enterKernel(kSorHandTiled);
+    const std::size_t n = a.cols();
+    if (n < 3 || t == 0)
+        return;
+    // Interior points are 1 .. n-2 in each dimension; the skewed
+    // coordinate p' = p + 2*it ranges over [3, (n-2) + 2t].
+    const std::size_t skew_max =
+        (n - 2) + 2 * static_cast<std::size_t>(t);
+    for (std::size_t tj = 3; tj <= skew_max; tj += s) {
+        for (std::size_t ti = 3; ti <= skew_max; ti += s) {
+            for (unsigned it = 1; it <= t; ++it) {
+                const std::size_t shift =
+                    2 * static_cast<std::size_t>(it);
+                // Map the tile's skewed ranges back to array indices
+                // valid at this time step.
+                const std::size_t j_lo =
+                    tj > shift ? tj - shift : 0;
+                const std::size_t j_hi =
+                    std::min(tj + s - 1, skew_max) - shift;
+                const std::size_t i_lo =
+                    ti > shift ? ti - shift : 0;
+                const std::size_t i_hi =
+                    std::min(ti + s - 1, skew_max) - shift;
+                if (tj + s - 1 < shift + 1 || ti + s - 1 < shift + 1)
+                    continue;
+                for (std::size_t j = std::max<std::size_t>(j_lo, 1);
+                     j <= std::min(j_hi, n - 2); ++j) {
+                    double *const aj = a.col(j);
+                    const double *const ajm = a.col(j - 1);
+                    const double *const ajp = a.col(j + 1);
+                    std::uint64_t points = 0;
+                    for (std::size_t i = std::max<std::size_t>(i_lo, 1);
+                         i <= std::min(i_hi, n - 2); ++i) {
+                        model.load(&aj[i], 8);
+                        model.load(&aj[i + 1], 8);
+                        model.load(&aj[i - 1], 8);
+                        model.load(&ajm[i], 8);
+                        model.load(&ajp[i], 8);
+                        aj[i] = 0.2 * (aj[i] + aj[i + 1] + aj[i - 1] +
+                                       ajm[i] + ajp[i]);
+                        model.store(&aj[i], 8);
+                        ++points;
+                    }
+                    model.instructions(points * 16 + 8);
+                }
+            }
+        }
+    }
+}
+
+/** Context of one SOR column thread. */
+template <class M>
+struct SorThreadCtx
+{
+    Matrix *a;
+    M *model;
+};
+
+/** Thread body: relax one column; arg2 carries the column index. */
+template <class M>
+void
+sorColumnThread(void *ctx_p, void *j_p)
+{
+    auto *ctx = static_cast<SorThreadCtx<M> *>(ctx_p);
+    const std::size_t j = reinterpret_cast<std::uintptr_t>(j_p);
+    sor_detail::relaxColumn(*ctx->a, j, *ctx->model, 10, 4);
+    ctx->model->instructions(kThreadOverheadInstr);
+}
+
+/**
+ * The paper's threaded SOR: fork all t*(n-2) column threads up front,
+ * hinted with the start of the left neighbour column and the end of
+ * the right neighbour column (its th_fork passes A(0, i3-1) and
+ * A(n, i3+1)), then execute them with a single run().
+ */
+template <class M>
+void
+sorThreaded(Matrix &a, unsigned t,
+            threads::LocalityScheduler &scheduler, M &model)
+{
+    model.enterKernel(kSorThreadedColumn);
+    SorThreadCtx<M> ctx{&a, &model};
+    const std::size_t n = a.cols();
+    for (unsigned it = 0; it < t; ++it) {
+        for (std::size_t j = 1; j + 1 < n; ++j) {
+            scheduler.fork(&sorColumnThread<M>, &ctx,
+                           reinterpret_cast<void *>(j),
+                           threads::hintOf(a.col(j - 1)),
+                           threads::hintOf(a.col(j + 1) + (a.rows() - 1)));
+        }
+    }
+    scheduler.run(false);
+}
+
+/** Mean absolute 5-point defect — the convergence metric tests use. */
+inline double
+sorDefect(const Matrix &a)
+{
+    double total = 0;
+    const std::size_t n = a.cols();
+    for (std::size_t j = 1; j + 1 < n; ++j) {
+        for (std::size_t i = 1; i + 1 < a.rows(); ++i) {
+            const double v = 0.2 * (a(i, j) + a(i + 1, j) + a(i - 1, j) +
+                                    a(i, j + 1) + a(i, j - 1)) -
+                             a(i, j);
+            total += v < 0 ? -v : v;
+        }
+    }
+    const double points = static_cast<double>((n - 2) * (a.rows() - 2));
+    return points > 0 ? total / points : 0.0;
+}
+
+} // namespace lsched::workloads
+
+#endif // LSCHED_WORKLOADS_SOR_HH

@@ -1,0 +1,134 @@
+/**
+ * @file Quantitative cross-checks: simulated miss counts must match
+ * closed-form analytic predictions for streaming workloads. These pin
+ * the simulator + workload integration to first-principles numbers,
+ * not just to relative shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "machine/machine_config.hh"
+#include "workloads/matmul.hh"
+#include "workloads/sor.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::workloads;
+
+TEST(AnalyticBounds, SorUntiledStreamsArrayOncePerIteration)
+{
+    // Array (n^2 * 8 bytes) >> L2: every sweep re-streams it, so
+    // L2 misses ~= t * array_lines (three concurrently live columns
+    // prevent any cross-iteration reuse, halo effects are O(n)).
+    const std::size_t n = 256;
+    const unsigned t = 6;
+    const auto machine =
+        machine::scaled(machine::powerIndigo2R8000(), 32); // 64 KB L2
+    const auto outcome =
+        harness::simulateOn(machine, [&](SimModel &m) {
+            Matrix a = sorInit(n, 3);
+            sorUntiled(a, t, m);
+        });
+    const double array_lines =
+        static_cast<double>(n * n * sizeof(double)) /
+        static_cast<double>(machine.caches.l2.lineBytes);
+    const double predicted = t * array_lines;
+    EXPECT_NEAR(static_cast<double>(outcome.l2.misses), predicted,
+                predicted * 0.15);
+}
+
+TEST(AnalyticBounds, SorDataRefsAreExact)
+{
+    // 3 loads + 1 store per interior point per iteration, by design.
+    const std::size_t n = 100;
+    const unsigned t = 7;
+    const auto machine =
+        machine::scaled(machine::powerIndigo2R8000(), 64);
+    const auto outcome =
+        harness::simulateOn(machine, [&](SimModel &m) {
+            Matrix a = sorInit(n, 3);
+            sorUntiled(a, t, m);
+        });
+    EXPECT_EQ(outcome.dataRefs,
+              4ull * (n - 2) * (n - 2) * t);
+}
+
+TEST(AnalyticBounds, MatmulUntiledMissesMatchStreamingModel)
+{
+    // jki order with B registered: per (j, k) pair the A column
+    // streams (n*8/line L2 lines, re-fetched every j because A >> L2)
+    // and the C column stays resident within j. Dominant term:
+    //   misses ~= n^2 * (n * 8 / line)   [A re-streams]
+    //           + n * (n * 8 / line)     [C, once per j]
+    //           + n^2 * 8 / line         [B, compulsory]
+    const std::size_t n = 192;
+    const auto machine =
+        machine::scaled(machine::powerIndigo2R8000(), 64); // 32 KB L2
+    const auto outcome =
+        harness::simulateOn(machine, [&](SimModel &m) {
+            Matrix a(n, n), b(n, n), c(n, n);
+            randomize(a, 1);
+            randomize(b, 2);
+            matmulInterchanged(a, b, c, m);
+        });
+    const double line =
+        static_cast<double>(machine.caches.l2.lineBytes);
+    const double col_lines = static_cast<double>(n) * 8 / line;
+    const double predicted =
+        static_cast<double>(n) * n * col_lines + // A
+        static_cast<double>(n) * col_lines +     // C
+        static_cast<double>(n) * n * 8 / line;   // B
+    EXPECT_NEAR(static_cast<double>(outcome.l2.misses), predicted,
+                predicted * 0.2);
+}
+
+TEST(AnalyticBounds, MatmulInstructionChargesFollowThePaper)
+{
+    // Paper Section 4.2: ~5 instructions per madd for the untiled
+    // interchanged form; our analytic I-fetch model must land there.
+    const std::size_t n = 64;
+    const auto machine =
+        machine::scaled(machine::powerIndigo2R8000(), 64);
+    const auto outcome =
+        harness::simulateOn(machine, [&](SimModel &m) {
+            Matrix a(n, n), b(n, n), c(n, n);
+            randomize(a, 1);
+            randomize(b, 2);
+            matmulInterchanged(a, b, c, m);
+        });
+    const double per_madd =
+        static_cast<double>(outcome.ifetches) /
+        static_cast<double>(n) / n / n;
+    EXPECT_GT(per_madd, 4.9);
+    EXPECT_LT(per_madd, 5.4);
+}
+
+TEST(AnalyticBounds, ThreadedMatmulLowerBoundIsCompulsory)
+{
+    // No schedule can beat compulsory misses: total data is three
+    // matrices plus the transpose buffer.
+    const std::size_t n = 128;
+    const auto machine =
+        machine::scaled(machine::powerIndigo2R8000(), 32);
+    const auto outcome =
+        harness::simulateOn(machine, [&](SimModel &m) {
+            Matrix a(n, n), b(n, n), c(n, n);
+            randomize(a, 1);
+            randomize(b, 2);
+            threads::SchedulerConfig cfg;
+            cfg.dims = 2;
+            cfg.cacheBytes = machine.l2Size();
+            cfg.blockBytes = machine.l2Size() / 2;
+            threads::LocalityScheduler sched(cfg);
+            matmulThreaded(a, b, c, sched, m);
+        });
+    const std::uint64_t matrix_lines =
+        n * n * sizeof(double) / machine.caches.l2.lineBytes;
+    EXPECT_GE(outcome.l2.misses, 4 * matrix_lines); // A, At, B, C
+    EXPECT_EQ(outcome.l2.compulsoryMisses >= 4 * matrix_lines, true);
+}
+
+} // namespace

@@ -1,0 +1,98 @@
+/** @file Unit tests for the hint -> block-coordinate map. */
+
+#include <gtest/gtest.h>
+
+#include "threads/block_map.hh"
+
+namespace
+{
+
+using namespace lsched::threads;
+
+TEST(BlockMap, PowerOfTwoBlockUsesShift)
+{
+    BlockMap map(2, 1024);
+    const Hint hints[] = {0, 1023};
+    auto c = map.coordsFor(hints);
+    EXPECT_EQ(c[0], 0u);
+    EXPECT_EQ(c[1], 0u);
+    const Hint hints2[] = {1024, 4096};
+    c = map.coordsFor(hints2);
+    EXPECT_EQ(c[0], 1u);
+    EXPECT_EQ(c[1], 4u);
+}
+
+TEST(BlockMap, NonPowerOfTwoBlockDivides)
+{
+    BlockMap map(1, 1000);
+    const Hint hints[] = {999};
+    EXPECT_EQ(map.coordsFor(hints)[0], 0u);
+    const Hint hints2[] = {1000};
+    EXPECT_EQ(map.coordsFor(hints2)[0], 1u);
+    const Hint hints3[] = {2999};
+    EXPECT_EQ(map.coordsFor(hints3)[0], 2u);
+}
+
+TEST(BlockMap, MissingHintsActAsZero)
+{
+    BlockMap map(3, 1024);
+    const Hint one[] = {5000};
+    const auto c = map.coordsFor(std::span<const Hint>(one, 1));
+    EXPECT_EQ(c[0], 4u);
+    EXPECT_EQ(c[1], 0u);
+    EXPECT_EQ(c[2], 0u);
+}
+
+TEST(BlockMap, ExtraHintsIgnored)
+{
+    BlockMap map(2, 1024);
+    const Hint four[] = {1024, 2048, 4096, 8192};
+    const auto c = map.coordsFor(four);
+    EXPECT_EQ(c[0], 1u);
+    EXPECT_EQ(c[1], 2u);
+    EXPECT_EQ(c[2], 0u); // untouched dimension
+}
+
+TEST(BlockMap, SymmetricFoldingSortsCoords)
+{
+    BlockMap map(2, 1024, true);
+    const Hint ab[] = {1024, 4096};
+    const Hint ba[] = {4096, 1024};
+    EXPECT_EQ(map.coordsFor(ab), map.coordsFor(ba));
+}
+
+TEST(BlockMap, AsymmetricKeepsOrder)
+{
+    BlockMap map(2, 1024, false);
+    const Hint ab[] = {1024, 4096};
+    const Hint ba[] = {4096, 1024};
+    EXPECT_NE(map.coordsFor(ab), map.coordsFor(ba));
+}
+
+TEST(BlockMap, AdjacentAddressesWithinBlockShareCoords)
+{
+    // The core scheduling property: two hints within the same block
+    // (whose dimensions sum to the cache size) give equal coords.
+    const std::uint64_t cache = 1 << 20;
+    BlockMap map(2, cache / 2);
+    const Hint a[] = {0x100000, 0x300000};
+    const Hint b[] = {0x100000 + cache / 2 - 1, 0x300000 + 1};
+    EXPECT_EQ(map.coordsFor(a), map.coordsFor(b));
+}
+
+TEST(BlockMapDeathTest, ZeroDimsPanics)
+{
+    EXPECT_DEATH(BlockMap(0, 1024), "dims");
+}
+
+TEST(BlockMapDeathTest, TooManyDimsPanics)
+{
+    EXPECT_DEATH(BlockMap(kMaxDims + 1, 1024), "dims");
+}
+
+TEST(BlockMapDeathTest, ZeroBlockPanics)
+{
+    EXPECT_DEATH(BlockMap(2, 0), "block size");
+}
+
+} // namespace

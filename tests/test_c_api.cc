@@ -1,0 +1,102 @@
+/** @file Unit tests for the paper's th_init/th_fork/th_run interface. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "threads/c_api.hh"
+
+namespace
+{
+
+std::vector<std::uintptr_t> g_order;
+
+void
+record(void *, void *tag)
+{
+    g_order.push_back(reinterpret_cast<std::uintptr_t>(tag));
+}
+
+class CApiTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        g_order.clear();
+        th_default_scheduler().clear();
+        th_init(0, 0); // paper defaults
+    }
+};
+
+TEST_F(CApiTest, InitZeroSelectsDefaults)
+{
+    const auto &cfg = th_default_scheduler().config();
+    EXPECT_EQ(cfg.dims, 3u);
+    EXPECT_EQ(cfg.blockBytes, cfg.cacheBytes / 3);
+    EXPECT_GT(cfg.hashBuckets, 0u);
+}
+
+TEST_F(CApiTest, ForkAndRunExecutesAll)
+{
+    for (std::uintptr_t i = 0; i < 50; ++i) {
+        th_fork(&record, nullptr, reinterpret_cast<void *>(i),
+                reinterpret_cast<void *>(i * 64), nullptr, nullptr);
+    }
+    th_run(0);
+    EXPECT_EQ(g_order.size(), 50u);
+    EXPECT_EQ(th_default_scheduler().pendingThreads(), 0u);
+}
+
+TEST_F(CApiTest, KeepReRunsSchedule)
+{
+    th_fork(&record, nullptr, reinterpret_cast<void *>(7), nullptr,
+            nullptr, nullptr);
+    th_run(1);
+    th_run(1);
+    th_run(0);
+    EXPECT_EQ(g_order,
+              (std::vector<std::uintptr_t>{7, 7, 7}));
+}
+
+TEST_F(CApiTest, InitChangesBlockSize)
+{
+    th_init(4096, 128);
+    const auto &cfg = th_default_scheduler().config();
+    EXPECT_EQ(cfg.blockBytes, 4096u);
+    EXPECT_EQ(cfg.hashBuckets, 128u);
+}
+
+TEST_F(CApiTest, HintsClusterAsInPaperExample)
+{
+    // Paper Section 2.4: the 4x4 matrix-multiply example — 16 dot-
+    // product threads over 4 "vectors" per matrix, block = 2 vectors,
+    // must land in exactly 4 bins of 4 threads each.
+    const std::size_t vec_bytes = 1024;
+    th_init(2 * vec_bytes, 0);
+    // Two synthetic matrices: a at 0x100000, b at 0x200000.
+    const std::uintptr_t a = 0x100000, b = 0x200000;
+    for (std::uintptr_t i = 0; i < 4; ++i) {
+        for (std::uintptr_t j = 0; j < 4; ++j) {
+            th_fork(&record, nullptr,
+                    reinterpret_cast<void *>(i * 4 + j),
+                    reinterpret_cast<void *>(a + i * vec_bytes),
+                    reinterpret_cast<void *>(b + j * vec_bytes),
+                    nullptr);
+        }
+    }
+    auto &sched = th_default_scheduler();
+    EXPECT_EQ(sched.binCount(), 4u);
+    const auto occupancy = sched.binOccupancy();
+    ASSERT_EQ(occupancy.size(), 4u);
+    for (auto c : occupancy)
+        EXPECT_EQ(c, 4u);
+    th_run(0);
+    // Threads of bin 1 (rows 0-1 x cols 0-1) run first, in fork order:
+    // t(0,0), t(0,1), t(1,0), t(1,1) = tags 0, 1, 4, 5.
+    EXPECT_EQ((std::vector<std::uintptr_t>(g_order.begin(),
+                                           g_order.begin() + 4)),
+              (std::vector<std::uintptr_t>{0, 1, 4, 5}));
+}
+
+} // namespace

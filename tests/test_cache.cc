@@ -1,0 +1,167 @@
+/** @file Unit tests for the set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hh"
+
+namespace
+{
+
+using lsched::cachesim::Cache;
+using lsched::cachesim::CacheConfig;
+
+TEST(CacheConfig, GeometryDerivation)
+{
+    CacheConfig c{"L2", 2 * 1024 * 1024, 128, 4};
+    c.validate();
+    EXPECT_EQ(c.numLines(), 16384u);
+    EXPECT_EQ(c.ways(), 4u);
+    EXPECT_EQ(c.numSets(), 4096u);
+}
+
+TEST(CacheConfig, FullyAssociativeWays)
+{
+    CacheConfig c{"FA", 1024, 64, 0};
+    c.validate();
+    EXPECT_EQ(c.ways(), 16u);
+    EXPECT_EQ(c.numSets(), 1u);
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache({"c", 1024, 64, 2});
+    EXPECT_TRUE(cache.accessLine(0, false).miss);
+    EXPECT_FALSE(cache.accessLine(0, false).miss);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().hits(), 1u);
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    // 4 sets of 1 way; lines 0 and 4 share set 0.
+    Cache cache({"c", 256, 64, 1});
+    EXPECT_TRUE(cache.accessLine(0, false).miss);
+    EXPECT_TRUE(cache.accessLine(4, false).miss);
+    EXPECT_TRUE(cache.accessLine(0, false).miss); // evicted by 4
+}
+
+TEST(Cache, TwoWayHoldsBothConflictingLines)
+{
+    // 4 sets of 2 ways.
+    Cache cache({"c", 512, 64, 2});
+    EXPECT_TRUE(cache.accessLine(0, false).miss);
+    EXPECT_TRUE(cache.accessLine(4, false).miss);
+    EXPECT_FALSE(cache.accessLine(0, false).miss);
+    EXPECT_FALSE(cache.accessLine(4, false).miss);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed)
+{
+    // One set, 2 ways: lines 0, 4, touch 0, insert 8 -> 4 evicted.
+    Cache cache({"c", 128, 64, 2});
+    cache.accessLine(0, false);
+    cache.accessLine(4, false);
+    cache.accessLine(0, false);           // 0 is MRU
+    EXPECT_TRUE(cache.accessLine(8, false).miss);
+    EXPECT_FALSE(cache.accessLine(0, false).miss); // survived
+    EXPECT_TRUE(cache.accessLine(4, false).miss);  // evicted
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache cache({"c", 128, 64, 1}); // 2 sets, direct-mapped
+    cache.accessLine(0, true);      // dirty
+    const auto r = cache.accessLine(2, false); // same set 0
+    EXPECT_TRUE(r.miss);
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimLine, 0u);
+    EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback)
+{
+    Cache cache({"c", 128, 64, 1});
+    cache.accessLine(0, false);
+    const auto r = cache.accessLine(2, false);
+    EXPECT_TRUE(r.miss);
+    EXPECT_FALSE(r.writeback);
+}
+
+TEST(Cache, WriteHitMarksDirty)
+{
+    Cache cache({"c", 128, 64, 1});
+    cache.accessLine(0, false); // clean fill
+    cache.accessLine(0, true);  // write hit -> dirty
+    const auto r = cache.accessLine(2, false);
+    EXPECT_TRUE(r.writeback);
+}
+
+TEST(Cache, UpdateIfPresent)
+{
+    Cache cache({"c", 128, 64, 2});
+    cache.accessLine(0, false);
+    EXPECT_TRUE(cache.updateIfPresent(0));
+    EXPECT_FALSE(cache.updateIfPresent(99));
+    // The update marked line 0 dirty.
+    cache.accessLine(2, false);
+    const auto r = cache.accessLine(4, false); // evicts LRU = 0
+    EXPECT_TRUE(r.writeback);
+    EXPECT_EQ(r.victimLine, 0u);
+}
+
+TEST(Cache, UpdateIfPresentDoesNotTouchStats)
+{
+    Cache cache({"c", 128, 64, 2});
+    cache.accessLine(0, false);
+    const auto before = cache.stats().accesses;
+    cache.updateIfPresent(0);
+    EXPECT_EQ(cache.stats().accesses, before);
+}
+
+TEST(Cache, ProbeDoesNotDisturbLru)
+{
+    Cache cache({"c", 128, 64, 2}); // one set, 2 ways
+    cache.accessLine(0, false);
+    cache.accessLine(1, false); // MRU=1, LRU=0
+    EXPECT_TRUE(cache.probeLine(0));
+    EXPECT_TRUE(cache.probeLine(1));
+    EXPECT_FALSE(cache.probeLine(2));
+    // Probe of 0 must not have promoted it.
+    cache.accessLine(2, false); // evicts LRU = 0
+    EXPECT_FALSE(cache.probeLine(0));
+    EXPECT_TRUE(cache.probeLine(1));
+}
+
+TEST(Cache, ResetClearsContentsAndStats)
+{
+    Cache cache({"c", 128, 64, 2});
+    cache.accessLine(0, true);
+    cache.reset();
+    EXPECT_EQ(cache.stats().accesses, 0u);
+    EXPECT_FALSE(cache.probeLine(0));
+    EXPECT_TRUE(cache.accessLine(0, false).miss);
+}
+
+TEST(Cache, LineOfUsesLineShift)
+{
+    Cache cache({"c", 1024, 128, 1});
+    EXPECT_EQ(cache.lineOf(0), 0u);
+    EXPECT_EQ(cache.lineOf(127), 0u);
+    EXPECT_EQ(cache.lineOf(128), 1u);
+    EXPECT_EQ(cache.lineShift(), 7u);
+}
+
+TEST(Cache, FullyAssociativeConfigBehavesLru)
+{
+    Cache cache({"fa", 256, 64, 0}); // 4 lines fully associative
+    for (std::uint64_t l = 0; l < 4; ++l)
+        EXPECT_TRUE(cache.accessLine(l, false).miss);
+    for (std::uint64_t l = 0; l < 4; ++l)
+        EXPECT_FALSE(cache.accessLine(l, false).miss);
+    EXPECT_TRUE(cache.accessLine(100, false).miss); // evicts line 0
+    EXPECT_TRUE(cache.accessLine(0, false).miss);
+    EXPECT_FALSE(cache.accessLine(100, false).miss);
+}
+
+} // namespace

@@ -1,0 +1,163 @@
+/** @file Unit tests for replacement and write policies. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hh"
+#include "cachesim/hierarchy.hh"
+#include "support/prng.hh"
+
+namespace
+{
+
+using namespace lsched::cachesim;
+
+CacheConfig
+base(Replacement r = Replacement::Lru,
+     WritePolicy w = WritePolicy::WriteBackAllocate)
+{
+    CacheConfig c{"c", 256, 64, 2};
+    c.replacement = r;
+    c.writePolicy = w;
+    return c;
+}
+
+TEST(ReplacementFifo, DoesNotPromoteOnHit)
+{
+    // One set of 2 ways (capacity 128 here).
+    CacheConfig cfg{"c", 128, 64, 2};
+    cfg.replacement = Replacement::Fifo;
+    Cache cache(cfg);
+    cache.accessLine(0, false); // fill order: 0
+    cache.accessLine(1, false); // fill order: 0, 1
+    cache.accessLine(0, false); // hit; FIFO order unchanged
+    cache.accessLine(2, false); // evicts the OLDEST fill = 0
+    EXPECT_TRUE(cache.probeLine(1));
+    EXPECT_TRUE(cache.probeLine(2));
+    EXPECT_FALSE(cache.probeLine(0));
+}
+
+TEST(ReplacementLru, PromotesOnHit)
+{
+    CacheConfig cfg{"c", 128, 64, 2};
+    Cache cache(cfg);
+    cache.accessLine(0, false);
+    cache.accessLine(1, false);
+    cache.accessLine(0, false); // LRU promotes 0
+    cache.accessLine(2, false); // evicts 1
+    EXPECT_TRUE(cache.probeLine(0));
+    EXPECT_FALSE(cache.probeLine(1));
+}
+
+TEST(ReplacementRandom, StaysWithinCapacityAndIsDeterministic)
+{
+    CacheConfig cfg{"c", 512, 64, 4};
+    cfg.replacement = Replacement::Random;
+    auto run = [&] {
+        Cache cache(cfg);
+        lsched::Prng prng(3);
+        std::uint64_t misses = 0;
+        for (int i = 0; i < 20000; ++i)
+            misses += cache.accessLine(prng.nextBelow(32), false).miss;
+        return misses;
+    };
+    const auto first = run();
+    EXPECT_EQ(first, run()); // seeded victim selection replays
+    EXPECT_GT(first, 8u);    // compulsory at least
+    EXPECT_LT(first, 20000u);
+}
+
+TEST(ReplacementRandom, FillsInvalidWaysFirst)
+{
+    CacheConfig cfg{"c", 256, 64, 4}; // one set, 4 ways
+    cfg.replacement = Replacement::Random;
+    Cache cache(cfg);
+    for (std::uint64_t l = 0; l < 4; ++l)
+        cache.accessLine(l, false);
+    // All four must be resident: no premature random eviction.
+    for (std::uint64_t l = 0; l < 4; ++l)
+        EXPECT_TRUE(cache.probeLine(l)) << "line " << l;
+}
+
+TEST(WriteThrough, StoresPropagateOnHitAndMiss)
+{
+    Cache cache(base(Replacement::Lru,
+                     WritePolicy::WriteThroughNoAllocate));
+    // Store miss: propagate, do not allocate.
+    auto r = cache.accessLine(0, true);
+    EXPECT_TRUE(r.miss);
+    EXPECT_TRUE(r.propagateWrite);
+    EXPECT_FALSE(cache.probeLine(0));
+    // Load fills the line.
+    cache.accessLine(0, false);
+    EXPECT_TRUE(cache.probeLine(0));
+    // Store hit: still propagates, still no dirty data.
+    r = cache.accessLine(0, true);
+    EXPECT_FALSE(r.miss);
+    EXPECT_TRUE(r.propagateWrite);
+}
+
+TEST(WriteThrough, NeverWritesBack)
+{
+    CacheConfig cfg{"c", 128, 64, 1};
+    cfg.writePolicy = WritePolicy::WriteThroughNoAllocate;
+    Cache cache(cfg);
+    cache.accessLine(0, false);
+    cache.accessLine(0, true);  // hit store; line stays clean
+    const auto r = cache.accessLine(2, false); // evicts line 0
+    EXPECT_FALSE(r.writeback);
+    EXPECT_EQ(cache.stats().writebacks, 0u);
+}
+
+TEST(WriteBack, LoadsNeverPropagate)
+{
+    Cache cache(base());
+    const auto r = cache.accessLine(0, false);
+    EXPECT_FALSE(r.propagateWrite);
+}
+
+TEST(WriteThroughHierarchy, StoresReachL2)
+{
+    HierarchyConfig cfg;
+    cfg.l1i = {"L1I", 1024, 32, 1};
+    cfg.l1d = {"L1D", 1024, 32, 1};
+    cfg.l1d.writePolicy = WritePolicy::WriteThroughNoAllocate;
+    cfg.l2 = {"L2", 8192, 128, 4};
+    Hierarchy h(cfg);
+    h.load(0, 8);  // fills L1D and L2
+    h.store(0, 8); // L1 hit, but the store must still reach L2
+    EXPECT_EQ(h.l2Stats().accesses, 2u);
+    h.store(4096, 8); // store miss: no L1 fill, L2 write access
+    EXPECT_FALSE(h.l1d().probeLine(4096 / 32));
+    EXPECT_EQ(h.l2Stats().accesses, 3u);
+}
+
+TEST(Policies, LruBeatsFifoAndRandomOnLoopingPattern)
+{
+    // A pattern with strong recency (repeated small working set plus
+    // streaming noise) favours LRU; deterministic seeds make this a
+    // stable regression check rather than a statistical one.
+    auto misses = [](Replacement r) {
+        CacheConfig cfg{"c", 2048, 64, 4};
+        cfg.replacement = r;
+        Cache cache(cfg);
+        lsched::Prng prng(17);
+        std::uint64_t count = 0;
+        std::uint64_t stream = 1000;
+        for (int i = 0; i < 30000; ++i) {
+            if (i % 4 == 3) {
+                count += cache.accessLine(stream++, false).miss;
+            } else {
+                count +=
+                    cache.accessLine(prng.nextBelow(24), false).miss;
+            }
+        }
+        return count;
+    };
+    const auto lru = misses(Replacement::Lru);
+    const auto fifo = misses(Replacement::Fifo);
+    const auto random = misses(Replacement::Random);
+    EXPECT_LE(lru, fifo);
+    EXPECT_LE(lru, random);
+}
+
+} // namespace

@@ -1,0 +1,116 @@
+/** @file Unit tests for support/cli.hh. */
+
+#include <gtest/gtest.h>
+
+#include "support/cli.hh"
+
+namespace
+{
+
+using lsched::Cli;
+
+Cli
+makeCli()
+{
+    Cli cli("prog", "test program");
+    cli.addInt("n", 64, "problem size");
+    cli.addDouble("theta", 0.5, "opening angle");
+    cli.addString("machine", "r8000", "machine model");
+    cli.addFlag("full", "paper-scale run");
+    return cli;
+}
+
+TEST(Cli, DefaultsApply)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog"};
+    cli.parse(1, argv);
+    EXPECT_EQ(cli.getInt("n"), 64);
+    EXPECT_DOUBLE_EQ(cli.getDouble("theta"), 0.5);
+    EXPECT_EQ(cli.getString("machine"), "r8000");
+    EXPECT_FALSE(cli.getFlag("full"));
+}
+
+TEST(Cli, EqualsSyntax)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--n=128", "--theta=0.9",
+                          "--machine=r10000", "--full"};
+    cli.parse(5, argv);
+    EXPECT_EQ(cli.getInt("n"), 128);
+    EXPECT_DOUBLE_EQ(cli.getDouble("theta"), 0.9);
+    EXPECT_EQ(cli.getString("machine"), "r10000");
+    EXPECT_TRUE(cli.getFlag("full"));
+}
+
+TEST(Cli, SpaceSeparatedValue)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--n", "256"};
+    cli.parse(3, argv);
+    EXPECT_EQ(cli.getInt("n"), 256);
+}
+
+TEST(Cli, HexIntegerAccepted)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--n=0x40"};
+    cli.parse(2, argv);
+    EXPECT_EQ(cli.getInt("n"), 64);
+}
+
+TEST(Cli, HelpTextMentionsAllOptions)
+{
+    Cli cli = makeCli();
+    const std::string help = cli.helpText();
+    EXPECT_NE(help.find("--n"), std::string::npos);
+    EXPECT_NE(help.find("--theta"), std::string::npos);
+    EXPECT_NE(help.find("--machine"), std::string::npos);
+    EXPECT_NE(help.find("--full"), std::string::npos);
+    EXPECT_NE(help.find("--help"), std::string::npos);
+}
+
+using CliDeathTest = ::testing::Test;
+
+TEST(CliDeathTest, UnknownOptionIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--bogus=1"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(CliDeathTest, MalformedIntIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--n=abc"};
+    cli.parse(2, argv);
+    EXPECT_EXIT((void)cli.getInt("n"), ::testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(CliDeathTest, MissingValueIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--n"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(CliDeathTest, PositionalArgumentIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "stray"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "positional");
+}
+
+TEST(CliDeathTest, FlagWithValueIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--full=1"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "takes no value");
+}
+
+} // namespace

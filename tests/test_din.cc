@@ -1,0 +1,104 @@
+/** @file Unit tests for the DineroIII din trace format. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/din.hh"
+#include "trace/recorder.hh"
+
+namespace
+{
+
+using namespace lsched::trace;
+
+std::string
+tmpPath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "lsched_" + tag + ".din";
+}
+
+TEST(Din, LabelsMatchDineroConvention)
+{
+    EXPECT_EQ(DinWriter::label(RefType::Load), 0);
+    EXPECT_EQ(DinWriter::label(RefType::Store), 1);
+    EXPECT_EQ(DinWriter::label(RefType::IFetch), 2);
+}
+
+TEST(Din, RoundTrip)
+{
+    const std::string path = tmpPath("roundtrip");
+    {
+        DinWriter w(path);
+        w.load(0x1000, 8);
+        w.store(0xdeadbeef, 8);
+        w.ifetch(0x400000, 4);
+        EXPECT_EQ(w.count(), 3u);
+    }
+    DinReader r(path);
+    TraceRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.type, RefType::Load);
+    EXPECT_EQ(rec.addr, 0x1000u);
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.type, RefType::Store);
+    EXPECT_EQ(rec.addr, 0xdeadbeefu);
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec.type, RefType::IFetch);
+    EXPECT_EQ(rec.addr, 0x400000u);
+    EXPECT_FALSE(r.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(Din, FileIsPlainAscii)
+{
+    const std::string path = tmpPath("ascii");
+    {
+        DinWriter w(path);
+        w.load(0xff, 8);
+        w.store(0x10, 8);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[64];
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "0 ff\n");
+    ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+    EXPECT_STREQ(buf, "1 10\n");
+    std::fclose(f);
+    std::remove(path.c_str());
+}
+
+TEST(Din, ReplayFeedsSink)
+{
+    const std::string path = tmpPath("replay");
+    {
+        DinWriter w(path);
+        for (int i = 0; i < 64; ++i)
+            w.load(static_cast<std::uint64_t>(i) * 64, 8);
+        for (int i = 0; i < 32; ++i)
+            w.ifetch(0x400000 + static_cast<std::uint64_t>(i) * 4, 4);
+    }
+    DinReader r(path);
+    CountingSink sink;
+    EXPECT_EQ(r.replay(sink), 96u);
+    EXPECT_EQ(sink.loads(), 64u);
+    EXPECT_EQ(sink.ifetches(), 32u);
+    std::remove(path.c_str());
+}
+
+TEST(DinDeathTest, MalformedLineIsFatal)
+{
+    const std::string path = tmpPath("malformed");
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    std::fputs("7 zz\n", f);
+    std::fclose(f);
+    DinReader r(path);
+    TraceRecord rec;
+    EXPECT_EXIT((void)r.next(rec), ::testing::ExitedWithCode(1),
+                "malformed din record");
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,144 @@
+/** @file Unit tests for the fiber primitive. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fibers/fiber.hh"
+
+namespace
+{
+
+using namespace lsched::fibers;
+
+constexpr std::size_t kStack = 64 * 1024;
+
+TEST(Fiber, RunsToCompletion)
+{
+    int ran = 0;
+    Fiber f(kStack);
+    f.bind([](void *arg) { ++*static_cast<int *>(arg); }, &ran);
+    EXPECT_EQ(f.state(), FiberState::Ready);
+    f.resume();
+    EXPECT_EQ(f.state(), FiberState::Finished);
+    EXPECT_EQ(ran, 1);
+}
+
+TEST(Fiber, SuspendAndResumeRoundTrip)
+{
+    struct State
+    {
+        std::vector<int> events;
+    } state;
+
+    Fiber f(kStack);
+    f.bind(
+        [](void *arg) {
+            auto *s = static_cast<State *>(arg);
+            s->events.push_back(1);
+            Fiber::current()->suspend(FiberState::Ready);
+            s->events.push_back(3);
+        },
+        &state);
+    f.resume();
+    state.events.push_back(2);
+    EXPECT_EQ(f.state(), FiberState::Ready);
+    f.resume();
+    EXPECT_EQ(f.state(), FiberState::Finished);
+    EXPECT_EQ(state.events, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Fiber, CurrentIsNullOutsideFibers)
+{
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, CurrentPointsToRunningFiber)
+{
+    struct Probe
+    {
+        Fiber *fiber = nullptr;
+        Fiber *seen = nullptr;
+    } probe;
+    Fiber f(kStack);
+    probe.fiber = &f;
+    f.bind(
+        [](void *arg) {
+            static_cast<Probe *>(arg)->seen = Fiber::current();
+        },
+        &probe);
+    f.resume();
+    EXPECT_EQ(probe.seen, probe.fiber);
+    EXPECT_EQ(Fiber::current(), nullptr);
+}
+
+TEST(Fiber, StackStateSurvivesSuspension)
+{
+    // Locals on the fiber stack must be intact across suspend/resume.
+    struct Out
+    {
+        long sum = 0;
+    } out;
+    Fiber f(kStack);
+    f.bind(
+        [](void *arg) {
+            long locals[64];
+            for (int i = 0; i < 64; ++i)
+                locals[i] = i * i;
+            Fiber::current()->suspend(FiberState::Ready);
+            long sum = 0;
+            for (int i = 0; i < 64; ++i)
+                sum += locals[i];
+            static_cast<Out *>(arg)->sum = sum;
+        },
+        &out);
+    f.resume();
+    f.resume();
+    long expect = 0;
+    for (int i = 0; i < 64; ++i)
+        expect += static_cast<long>(i) * i;
+    EXPECT_EQ(out.sum, expect);
+}
+
+TEST(Fiber, RebindReusesStack)
+{
+    int count = 0;
+    Fiber f(kStack);
+    for (int round = 0; round < 5; ++round) {
+        f.bind([](void *arg) { ++*static_cast<int *>(arg); }, &count);
+        f.resume();
+        EXPECT_EQ(f.state(), FiberState::Finished);
+    }
+    EXPECT_EQ(count, 5);
+}
+
+TEST(FiberPool, RecyclesFinishedFibers)
+{
+    FiberPool pool(kStack);
+    int dummy = 0;
+    auto body = [](void *arg) { ++*static_cast<int *>(arg); };
+    Fiber *a = pool.acquire(body, &dummy);
+    a->resume();
+    pool.release(a);
+    Fiber *b = pool.acquire(body, &dummy);
+    EXPECT_EQ(a, b);
+    b->resume();
+    pool.release(b);
+    EXPECT_EQ(pool.createdCount(), 1u);
+    EXPECT_EQ(dummy, 2);
+}
+
+TEST(FiberPool, AllocatesWhenEmpty)
+{
+    FiberPool pool(kStack);
+    int dummy = 0;
+    auto body = [](void *arg) { ++*static_cast<int *>(arg); };
+    Fiber *a = pool.acquire(body, &dummy);
+    Fiber *b = pool.acquire(body, &dummy);
+    EXPECT_NE(a, b);
+    EXPECT_EQ(pool.createdCount(), 2u);
+    a->resume();
+    b->resume();
+}
+
+} // namespace

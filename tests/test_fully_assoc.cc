@@ -1,0 +1,100 @@
+/** @file Unit tests for the fully-associative LRU line store. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cachesim/fully_assoc.hh"
+#include "support/prng.hh"
+
+namespace
+{
+
+using lsched::Prng;
+using lsched::cachesim::FullyAssocLru;
+
+TEST(FullyAssocLru, MissThenHit)
+{
+    FullyAssocLru lru(4);
+    EXPECT_FALSE(lru.access(7));
+    EXPECT_TRUE(lru.access(7));
+    EXPECT_EQ(lru.size(), 1u);
+}
+
+TEST(FullyAssocLru, EvictsLeastRecentlyUsed)
+{
+    FullyAssocLru lru(3);
+    lru.access(1);
+    lru.access(2);
+    lru.access(3);
+    lru.access(1);      // order (MRU..LRU): 1 3 2
+    lru.access(4);      // evicts 2
+    EXPECT_TRUE(lru.contains(1));
+    EXPECT_TRUE(lru.contains(3));
+    EXPECT_TRUE(lru.contains(4));
+    EXPECT_FALSE(lru.contains(2));
+    EXPECT_EQ(lru.size(), 3u);
+}
+
+TEST(FullyAssocLru, CapacityOneThrashes)
+{
+    FullyAssocLru lru(1);
+    EXPECT_FALSE(lru.access(1));
+    EXPECT_FALSE(lru.access(2));
+    EXPECT_FALSE(lru.access(1));
+    EXPECT_TRUE(lru.access(1));
+}
+
+TEST(FullyAssocLru, ContainsDoesNotPromote)
+{
+    FullyAssocLru lru(2);
+    lru.access(1);
+    lru.access(2); // MRU=2, LRU=1
+    EXPECT_TRUE(lru.contains(1));
+    lru.access(3); // must evict 1, not 2
+    EXPECT_FALSE(lru.contains(1));
+    EXPECT_TRUE(lru.contains(2));
+}
+
+TEST(FullyAssocLru, ClearEmpties)
+{
+    FullyAssocLru lru(4);
+    lru.access(1);
+    lru.access(2);
+    lru.clear();
+    EXPECT_EQ(lru.size(), 0u);
+    EXPECT_FALSE(lru.access(1));
+}
+
+/**
+ * Property: FullyAssocLru must agree with a naive reference LRU
+ * implementation on a random access stream.
+ */
+TEST(FullyAssocLru, MatchesReferenceModelOnRandomStream)
+{
+    const std::uint64_t capacity = 16;
+    FullyAssocLru lru(capacity);
+    std::vector<std::uint64_t> ref; // front = MRU
+
+    Prng prng(2024);
+    for (int step = 0; step < 20000; ++step) {
+        const std::uint64_t line = prng.nextBelow(40);
+        // Reference model.
+        bool ref_hit = false;
+        for (std::size_t i = 0; i < ref.size(); ++i) {
+            if (ref[i] == line) {
+                ref.erase(ref.begin() + static_cast<std::ptrdiff_t>(i));
+                ref_hit = true;
+                break;
+            }
+        }
+        ref.insert(ref.begin(), line);
+        if (ref.size() > capacity)
+            ref.pop_back();
+
+        ASSERT_EQ(lru.access(line), ref_hit) << "step " << step;
+        ASSERT_EQ(lru.size(), ref.size());
+    }
+}
+
+} // namespace

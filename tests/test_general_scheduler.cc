@@ -1,0 +1,186 @@
+/** @file Unit tests for the general-purpose (fiber) scheduler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fibers/general_scheduler.hh"
+
+namespace
+{
+
+using namespace lsched::fibers;
+using lsched::threads::Hint;
+
+struct Log
+{
+    std::vector<int> order;
+};
+
+TEST(GeneralScheduler, RunsAllFibers)
+{
+    GeneralScheduler sched;
+    int count = 0;
+    for (int i = 0; i < 100; ++i)
+        sched.fork([](void *arg) { ++*static_cast<int *>(arg); },
+                   &count);
+    EXPECT_EQ(sched.liveFibers(), 100u);
+    EXPECT_EQ(sched.run(), 100u);
+    EXPECT_EQ(count, 100);
+    EXPECT_EQ(sched.liveFibers(), 0u);
+}
+
+TEST(GeneralScheduler, LocalityBinsClusterExecution)
+{
+    GeneralSchedulerConfig cfg;
+    cfg.dims = 1;
+    cfg.blockBytes = 1 << 16;
+    GeneralScheduler sched(cfg);
+    static Log log;
+    log.order.clear();
+
+    // Interleave forks into two far-apart blocks; execution must
+    // cluster by block, in fork order within a block.
+    for (int i = 0; i < 6; ++i) {
+        const bool far = i % 2;
+        struct Tag
+        {
+            int value;
+        };
+        static Tag tags[6];
+        tags[i].value = i;
+        sched.fork(
+            [](void *arg) {
+                log.order.push_back(static_cast<Tag *>(arg)->value);
+            },
+            &tags[i], far ? (64u << 16) : 0);
+    }
+    sched.run();
+    EXPECT_EQ(log.order, (std::vector<int>{0, 2, 4, 1, 3, 5}));
+    EXPECT_EQ(sched.binCount(), 2u);
+}
+
+TEST(GeneralScheduler, FifoModeRunsInForkOrder)
+{
+    GeneralSchedulerConfig cfg;
+    cfg.locality = false;
+    GeneralScheduler sched(cfg);
+    static Log log;
+    log.order.clear();
+    static int tags[6] = {0, 1, 2, 3, 4, 5};
+    for (int i = 0; i < 6; ++i) {
+        sched.fork(
+            [](void *arg) {
+                log.order.push_back(*static_cast<int *>(arg));
+            },
+            &tags[i], static_cast<Hint>((i % 2) * (64u << 20)));
+    }
+    sched.run();
+    EXPECT_EQ(log.order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(GeneralScheduler, YieldInterleavesWithinBin)
+{
+    GeneralScheduler sched;
+    static Log log;
+    log.order.clear();
+    static int tags[2] = {1, 2};
+    for (int i = 0; i < 2; ++i) {
+        sched.fork(
+            [](void *arg) {
+                const int tag = *static_cast<int *>(arg);
+                log.order.push_back(tag);
+                GeneralScheduler::yield();
+                log.order.push_back(tag + 10);
+            },
+            &tags[i]);
+    }
+    sched.run();
+    // Both fibers run their first half, then their second half.
+    EXPECT_EQ(log.order, (std::vector<int>{1, 2, 11, 12}));
+}
+
+TEST(GeneralScheduler, EventBlocksUntilSignalled)
+{
+    GeneralScheduler sched;
+    static Log log;
+    log.order.clear();
+    static Event event;
+    event.reset();
+
+    sched.fork([](void *) {
+        log.order.push_back(1);
+        event.wait();
+        log.order.push_back(3);
+    },
+               nullptr);
+    sched.fork([](void *) {
+        log.order.push_back(2);
+        event.signal();
+        log.order.push_back(21);
+    },
+               nullptr);
+    EXPECT_EQ(sched.run(), 2u);
+    EXPECT_EQ(log.order, (std::vector<int>{1, 2, 21, 3}));
+}
+
+TEST(GeneralScheduler, LatchedEventDoesNotBlock)
+{
+    GeneralScheduler sched;
+    static Event event;
+    event.reset();
+    static bool ran = false;
+    ran = false;
+    sched.fork([](void *) { event.signal(); }, nullptr);
+    sched.run();
+    sched.fork([](void *) {
+        event.wait(); // already signalled: no block
+        ran = true;
+    },
+               nullptr);
+    sched.run();
+    EXPECT_TRUE(ran);
+}
+
+TEST(GeneralScheduler, StacksAreRecycledAcrossRuns)
+{
+    GeneralScheduler sched;
+    auto noop = [](void *) {};
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 50; ++i)
+            sched.fork(noop, nullptr);
+        sched.run();
+    }
+    // Sequential execution of run-to-completion bodies needs 1 stack.
+    EXPECT_LE(sched.stacksAllocated(), 2u);
+}
+
+TEST(GeneralScheduler, ManyFibersWithYields)
+{
+    GeneralScheduler sched;
+    static int counter;
+    counter = 0;
+    for (int i = 0; i < 2000; ++i) {
+        sched.fork(
+            [](void *) {
+                GeneralScheduler::yield();
+                ++counter;
+                GeneralScheduler::yield();
+                ++counter;
+            },
+            nullptr);
+    }
+    EXPECT_EQ(sched.run(), 2000u);
+    EXPECT_EQ(counter, 4000);
+}
+
+TEST(GeneralSchedulerDeathTest, DeadlockIsFatal)
+{
+    GeneralScheduler sched;
+    static Event never;
+    never.reset();
+    sched.fork([](void *) { never.wait(); }, nullptr);
+    EXPECT_EXIT(sched.run(), ::testing::ExitedWithCode(1), "deadlock");
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+/** @file Unit tests for the experiment harness and report rendering. */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "workloads/matmul.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::harness;
+
+TEST(Experiment, SimulateOnProducesConsistentSnapshot)
+{
+    const auto machine = machine::scaled(
+        machine::powerIndigo2R8000(), 64);
+    const SimOutcome o = simulateOn(machine, [](workloads::SimModel &m) {
+        workloads::Matrix a(16, 16), b(16, 16), c(16, 16);
+        workloads::randomize(a, 1);
+        workloads::randomize(b, 2);
+        workloads::matmulInterchanged(a, b, c, m);
+    });
+    EXPECT_GT(o.ifetches, 0u);
+    EXPECT_GT(o.dataRefs, 0u);
+    EXPECT_GT(o.l1.accesses, 0u);
+    EXPECT_LE(o.l2.accesses, o.l1.misses);
+    EXPECT_EQ(o.l2.compulsoryMisses + o.l2.capacityMisses +
+                  o.l2.conflictMisses,
+              o.l2.misses);
+    EXPECT_GE(o.l1RatePercent, 0.0);
+    EXPECT_LE(o.l1RatePercent, 100.0);
+}
+
+TEST(Experiment, EstimatedSecondsScalesWithWork)
+{
+    SimOutcome small, big;
+    small.ifetches = 1000000;
+    big.ifetches = 2000000;
+    const auto m = machine::powerIndigo2R8000();
+    EXPECT_NEAR(big.estimatedSeconds(m),
+                2 * small.estimatedSeconds(m), 1e-12);
+}
+
+TEST(Report, CacheTableHasPaperRows)
+{
+    SimOutcome o;
+    o.ifetches = 5388645000;
+    o.dataRefs = 3222274000;
+    o.l1.accesses = 8610919000;
+    o.l1.misses = 408756000;
+    o.l2.accesses = 408756000;
+    o.l2.misses = 68225000;
+    o.l2.compulsoryMisses = 199000;
+    o.l2.capacityMisses = 68025000;
+    o.l2.conflictMisses = 1000;
+    o.l1RatePercent = 4.8;
+    o.l2RatePercent = 16.7;
+    const TextTable t = cacheTable("Table 3", {{"Untiled", o}});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("I fetches"), std::string::npos);
+    EXPECT_NE(text.find("D references"), std::string::npos);
+    EXPECT_NE(text.find("L2 compulsory"), std::string::npos);
+    EXPECT_NE(text.find("L2 capacity"), std::string::npos);
+    EXPECT_NE(text.find("L2 conflict"), std::string::npos);
+    EXPECT_NE(text.find("5,388,645"), std::string::npos);
+    EXPECT_NE(text.find("68,225"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 9u);
+}
+
+TEST(Report, PerfTableListsMachinesAndHost)
+{
+    PerfRow row;
+    row.name = "Threaded";
+    row.estimatedSeconds = {20.32, 16.85};
+    row.hostSeconds = 0.42;
+    const TextTable t =
+        perfTable("Table 2", {"R8000", "R10000"}, {row});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("R8000 est. s"), std::string::npos);
+    EXPECT_NE(text.find("R10000 est. s"), std::string::npos);
+    EXPECT_NE(text.find("host CPU s"), std::string::npos);
+    EXPECT_NE(text.find("20.32"), std::string::npos);
+    EXPECT_NE(text.find("0.42"), std::string::npos);
+}
+
+TEST(Report, PerfTableOmitsHostColumnWhenAbsent)
+{
+    PerfRow row;
+    row.name = "Untiled";
+    row.estimatedSeconds = {102.98};
+    const TextTable t = perfTable("Table", {"R8000"}, {row});
+    EXPECT_EQ(t.toText().find("host"), std::string::npos);
+}
+
+} // namespace

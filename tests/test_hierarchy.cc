@@ -1,0 +1,155 @@
+/** @file Unit tests for the two-level cache hierarchy. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hh"
+
+namespace
+{
+
+using lsched::cachesim::Hierarchy;
+using lsched::cachesim::HierarchyConfig;
+
+HierarchyConfig
+tinyConfig()
+{
+    HierarchyConfig c;
+    c.l1i = {"L1I", 1024, 32, 1};
+    c.l1d = {"L1D", 1024, 32, 1};
+    c.l2 = {"L2", 8192, 128, 4};
+    return c;
+}
+
+TEST(Hierarchy, LoadsCountAsDataRefs)
+{
+    Hierarchy h(tinyConfig());
+    h.load(0, 8);
+    h.store(8, 8);
+    h.ifetch(0x1000, 4);
+    EXPECT_EQ(h.dataRefs(), 2u);
+    EXPECT_EQ(h.ifetches(), 1u);
+}
+
+TEST(Hierarchy, L1MissGoesToL2)
+{
+    Hierarchy h(tinyConfig());
+    h.load(0, 8);
+    EXPECT_EQ(h.l1dStats().misses, 1u);
+    EXPECT_EQ(h.l2Stats().accesses, 1u);
+    EXPECT_EQ(h.l2Stats().misses, 1u);
+    // Second touch hits L1; L2 sees nothing new.
+    h.load(0, 8);
+    EXPECT_EQ(h.l1dStats().misses, 1u);
+    EXPECT_EQ(h.l2Stats().accesses, 1u);
+}
+
+TEST(Hierarchy, L1HitNeverReachesL2)
+{
+    Hierarchy h(tinyConfig());
+    for (int i = 0; i < 100; ++i)
+        h.load(64, 8);
+    EXPECT_EQ(h.l2Stats().accesses, 1u);
+}
+
+TEST(Hierarchy, SameL2LineDifferentL1Lines)
+{
+    // L1 lines are 32 B, L2 lines 128 B: four adjacent L1 misses map
+    // to one L2 line, so only the first L2 access misses.
+    Hierarchy h(tinyConfig());
+    h.load(0, 8);
+    h.load(32, 8);
+    h.load(64, 8);
+    h.load(96, 8);
+    EXPECT_EQ(h.l1dStats().misses, 4u);
+    EXPECT_EQ(h.l2Stats().accesses, 4u);
+    EXPECT_EQ(h.l2Stats().misses, 1u);
+}
+
+TEST(Hierarchy, SplitL1)
+{
+    Hierarchy h(tinyConfig());
+    h.ifetch(0, 4);
+    h.load(0, 8);
+    EXPECT_EQ(h.l1iStats().misses, 1u);
+    EXPECT_EQ(h.l1dStats().misses, 1u);
+    // Both miss in L1 but share the L2 line.
+    EXPECT_EQ(h.l2Stats().misses, 1u);
+}
+
+TEST(Hierarchy, CrossLineAccessTouchesBothLines)
+{
+    Hierarchy h(tinyConfig());
+    h.load(28, 8); // spans L1 lines 0 and 1
+    EXPECT_EQ(h.l1dStats().accesses, 2u);
+    EXPECT_EQ(h.dataRefs(), 1u);
+}
+
+TEST(Hierarchy, CombinedL1Stats)
+{
+    Hierarchy h(tinyConfig());
+    h.ifetch(0, 4);
+    h.load(0x4000, 8);
+    const auto l1 = h.l1Stats();
+    EXPECT_EQ(l1.accesses, 2u);
+    EXPECT_EQ(l1.misses, 2u);
+}
+
+TEST(Hierarchy, L1MissRateUsesAllRefs)
+{
+    Hierarchy h(tinyConfig());
+    h.load(0, 8);        // miss
+    h.load(0, 8);        // hit
+    h.ifetch(0x1000, 4); // miss
+    h.ifetch(0x1000, 4); // hit
+    EXPECT_DOUBLE_EQ(h.l1MissRatePercent(), 50.0);
+}
+
+TEST(Hierarchy, CountIFetchesIsAnalytic)
+{
+    Hierarchy h(tinyConfig());
+    h.countIFetches(1000);
+    EXPECT_EQ(h.ifetches(), 1000u);
+    EXPECT_EQ(h.l1iStats().accesses, 0u);
+}
+
+TEST(Hierarchy, DirtyL1VictimUpdatesL2)
+{
+    Hierarchy h(tinyConfig());
+    h.store(0, 8);          // L1D line 0 dirty; L2 line 0 filled
+    h.store(1024, 8);       // L1D direct-mapped: evicts line 0 dirty
+    EXPECT_EQ(h.l1dStats().writebacks, 1u);
+    // The L2 line must now be dirty: evicting it writes back.
+    EXPECT_TRUE(h.l2().probeLine(0));
+}
+
+TEST(Hierarchy, ResetZeroesEverything)
+{
+    Hierarchy h(tinyConfig());
+    h.load(0, 8);
+    h.ifetch(0, 4);
+    h.reset();
+    EXPECT_EQ(h.dataRefs(), 0u);
+    EXPECT_EQ(h.ifetches(), 0u);
+    EXPECT_EQ(h.l1dStats().accesses, 0u);
+    EXPECT_EQ(h.l2Stats().accesses, 0u);
+    EXPECT_TRUE(h.l1d().accessLine(0, false).miss);
+}
+
+TEST(Hierarchy, L2ClassificationEnabledByDefault)
+{
+    Hierarchy h(tinyConfig());
+    // Stream more distinct L2 lines than L2 holds (64 lines).
+    for (std::uint64_t a = 0; a < 3 * 8192; a += 128)
+        h.load(a, 8);
+    // Second pass: all capacity misses at L2.
+    for (std::uint64_t a = 0; a < 3 * 8192; a += 128)
+        h.load(a, 8);
+    const auto &l2 = h.l2Stats();
+    EXPECT_GT(l2.capacityMisses, 0u);
+    EXPECT_EQ(l2.compulsoryMisses, 192u);
+    EXPECT_EQ(l2.compulsoryMisses + l2.capacityMisses +
+                  l2.conflictMisses,
+              l2.misses);
+}
+
+} // namespace

@@ -1,0 +1,259 @@
+/**
+ * @file Integration tests: the paper's headline claims, checked end to
+ * end on proportionally scaled machines (DESIGN.md substitution 5).
+ * These exercise scheduler + workloads + cache simulator together and
+ * assert the *shape* of each result: who wins and roughly by how much.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "machine/machine_config.hh"
+#include "threads/scheduler.hh"
+#include "workloads/matmul.hh"
+#include "workloads/nbody.hh"
+#include "workloads/pde.hh"
+#include "workloads/sor.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::workloads;
+using harness::SimOutcome;
+using harness::simulateOn;
+
+/**
+ * R8000 with caches shrunk 32x: L2 = 64 KB, L1 = 8 KB. Problem sizes
+ * below keep the paper's data-size : L2-size ratios (DESIGN.md
+ * substitution 5), and threads stay coarse enough (hundreds of
+ * iterations) that fork/run overhead keeps its paper-scale proportion.
+ */
+machine::MachineConfig
+scaledMachine()
+{
+    return machine::scaled(machine::powerIndigo2R8000(), 32);
+}
+
+TEST(IntegrationMatmul, ThreadedRemovesMostL2CapacityMisses)
+{
+    const std::size_t n = 256; // 512 KB per matrix vs 64 KB L2
+    Matrix a(n, n), b(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+    const auto machine = scaledMachine();
+
+    const SimOutcome untiled =
+        simulateOn(machine, [&](SimModel &m) {
+            Matrix c(n, n);
+            matmulInterchanged(a, b, c, m);
+        });
+    const SimOutcome threaded =
+        simulateOn(machine, [&](SimModel &m) {
+            Matrix c(n, n);
+            threads::SchedulerConfig cfg;
+            cfg.dims = 2;
+            cfg.cacheBytes = machine.l2Size();
+            cfg.blockBytes = machine.l2Size() / 2;
+            threads::LocalityScheduler sched(cfg);
+            matmulThreaded(a, b, c, sched, m);
+        });
+
+    // Untiled is dominated by L2 capacity misses (paper Table 3)...
+    EXPECT_GT(untiled.l2.capacityMisses,
+              untiled.l2.compulsoryMisses * 5);
+    // ...and threading eliminates the bulk of them.
+    EXPECT_LT(threaded.l2.capacityMisses,
+              untiled.l2.capacityMisses / 5);
+    EXPECT_LT(threaded.l2.misses, untiled.l2.misses / 3);
+    // The crude model then predicts a clear speedup. Paper: 5x
+    // measured, ~2x by its own crude analysis; at 1/32 scale the
+    // (unchanged) L1-miss term weighs relatively more, so the
+    // modelled ratio lands near 1.5.
+    EXPECT_GT(untiled.estimatedSeconds(machine) /
+                  threaded.estimatedSeconds(machine),
+              1.4);
+}
+
+TEST(IntegrationMatmul, TiledBeatsThreadedWhichBeatsUntiled)
+{
+    const std::size_t n = 256;
+    Matrix a(n, n), b(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+    const auto machine = scaledMachine();
+    const auto l1 = machine.caches.l1d.sizeBytes;
+    const auto l2 = machine.l2Size();
+
+    const SimOutcome untiled = simulateOn(machine, [&](SimModel &m) {
+        Matrix c(n, n);
+        matmulInterchanged(a, b, c, m);
+    });
+    const SimOutcome tiled = simulateOn(machine, [&](SimModel &m) {
+        Matrix c(n, n);
+        matmulTiledTransposed(a, b, c, m, l1, l2);
+    });
+    const SimOutcome threaded = simulateOn(machine, [&](SimModel &m) {
+        Matrix c(n, n);
+        threads::SchedulerConfig cfg;
+        cfg.dims = 2;
+        cfg.cacheBytes = l2;
+        cfg.blockBytes = l2 / 2;
+        threads::LocalityScheduler sched(cfg);
+        matmulThreaded(a, b, c, sched, m);
+    });
+
+    const double t_untiled = untiled.estimatedSeconds(machine);
+    const double t_tiled = tiled.estimatedSeconds(machine);
+    const double t_threaded = threaded.estimatedSeconds(machine);
+    // Paper Table 2 ordering: tiled < threaded < untiled, with tiled
+    // ahead of threaded because it also tiles registers and L1.
+    EXPECT_LT(t_tiled, t_threaded);
+    EXPECT_LT(t_threaded, t_untiled);
+    // Tiled also reduces total references (register tiling).
+    EXPECT_LT(tiled.dataRefs, untiled.dataRefs);
+    EXPECT_LT(tiled.ifetches, untiled.ifetches);
+}
+
+TEST(IntegrationPde, FusedVariantsHalveL2CapacityMisses)
+{
+    const std::size_t n = 256; // three ~530 KB arrays vs 64 KB L2
+    const unsigned iters = 5;
+    const auto machine = scaledMachine();
+
+    const SimOutcome regular = simulateOn(machine, [&](SimModel &m) {
+        PdeGrid g(n);
+        g.init(7);
+        pdeRegular(g, iters, m);
+    });
+    const SimOutcome threaded = simulateOn(machine, [&](SimModel &m) {
+        PdeGrid g(n);
+        g.init(7);
+        threads::SchedulerConfig cfg;
+        cfg.cacheBytes = machine.l2Size();
+        threads::LocalityScheduler sched(cfg);
+        pdeThreaded(g, iters, sched, m);
+    });
+
+    // Paper Table 5: threading avoids ~50% of L2 capacity misses and
+    // clearly lowers estimated time.
+    EXPECT_LT(threaded.l2.capacityMisses,
+              regular.l2.capacityMisses * 7 / 10);
+    EXPECT_LT(threaded.estimatedSeconds(machine),
+              regular.estimatedSeconds(machine));
+}
+
+TEST(IntegrationSor, TiledAndThreadedRemoveCapacityMisses)
+{
+    const std::size_t n = 256; // 512 KB array vs 64 KB L2
+    const unsigned t = 8;
+    const auto machine = scaledMachine();
+    // Cross-tile-column reuse in the 2-D skewed tiling needs the
+    // (s + 2t)-column margin to stay L2-resident:
+    // (s + 2t) * n * 8 <= ~0.6 L2, the ratio behind the paper's
+    // s = 18, t = 30, n = 2005 on a 2 MB cache. Here: 20 columns *
+    // 2 KB = 40 KB of 64 KB.
+    const std::size_t s = 4;
+
+    const SimOutcome untiled = simulateOn(machine, [&](SimModel &m) {
+        Matrix a = sorInit(n, 5);
+        sorUntiled(a, t, m);
+    });
+    const SimOutcome tiled = simulateOn(machine, [&](SimModel &m) {
+        Matrix a = sorInit(n, 5);
+        sorHandTiled(a, t, m, s);
+    });
+    const SimOutcome threaded = simulateOn(machine, [&](SimModel &m) {
+        Matrix a = sorInit(n, 5);
+        threads::SchedulerConfig cfg;
+        cfg.cacheBytes = machine.l2Size();
+        threads::LocalityScheduler sched(cfg);
+        sorThreaded(a, t, sched, m);
+    });
+
+    // Paper Table 7: untiled L2 misses are nearly all capacity; both
+    // alternatives remove almost all of them.
+    EXPECT_GT(untiled.l2.capacityMisses,
+              untiled.l2.compulsoryMisses * 3);
+    EXPECT_LT(tiled.l2.capacityMisses,
+              untiled.l2.capacityMisses / 10);
+    EXPECT_LT(threaded.l2.capacityMisses,
+              untiled.l2.capacityMisses / 10);
+    // And the threaded version stays close to untiled in references.
+    EXPECT_LT(threaded.dataRefs, untiled.dataRefs * 11 / 10);
+}
+
+TEST(IntegrationNBody, ThreadingCutsL2CapacityMisses)
+{
+    // The walk footprint of one body (~hundreds of tree nodes) must
+    // fit the scaled L2 for spatial grouping to pay off, as it does
+    // at paper scale; scale 8 gives a 256 KB L2 against ~1 MB of
+    // bodies + tree.
+    const std::size_t bodies = 4096;
+    const auto machine =
+        machine::scaled(machine::powerIndigo2R8000(), 8);
+
+    NBodyConfig cfg;
+    cfg.bodies = bodies;
+    cfg.seed = 13;
+
+    const SimOutcome unthreaded = simulateOn(machine, [&](SimModel &m) {
+        BarnesHut sim(cfg);
+        sim.stepUnthreaded(m);
+    });
+    const SimOutcome threaded = simulateOn(machine, [&](SimModel &m) {
+        BarnesHut sim(cfg);
+        threads::SchedulerConfig scfg;
+        scfg.dims = 3;
+        scfg.cacheBytes = machine.l2Size();
+        threads::LocalityScheduler sched(scfg);
+        sim.stepThreaded(sched, m, 4 * machine.l2Size() / 3);
+    });
+
+    // Paper Table 9: L2 capacity misses drop by ~2.3x; total misses
+    // drop clearly; references grow only slightly.
+    EXPECT_LT(threaded.l2.capacityMisses,
+              unthreaded.l2.capacityMisses * 3 / 4);
+    EXPECT_LT(threaded.l2.misses, unthreaded.l2.misses);
+    EXPECT_LT(threaded.ifetches, unthreaded.ifetches * 11 / 10);
+}
+
+TEST(IntegrationBlockSize, OversizedBlocksDegradeMatmul)
+{
+    // Paper Figure 4: performance is flat while the block-dimension
+    // sum stays within L2 and degrades sharply beyond it.
+    const std::size_t n = 256;
+    Matrix a(n, n), b(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+    const auto machine = scaledMachine();
+    const auto l2 = machine.l2Size();
+
+    auto run_with_block = [&](std::uint64_t block) {
+        return simulateOn(machine, [&](SimModel &m) {
+            Matrix c(n, n);
+            threads::SchedulerConfig cfg;
+            cfg.dims = 2;
+            cfg.cacheBytes = l2;
+            cfg.blockBytes = block;
+            threads::LocalityScheduler sched(cfg);
+            matmulThreaded(a, b, c, sched, m);
+        });
+    };
+
+    const SimOutcome half = run_with_block(l2 / 2);
+    const SimOutcome quarter = run_with_block(l2 / 4);
+    const SimOutcome huge = run_with_block(l2 * 8);
+
+    // Within-cache blocks perform comparably...
+    const double t_half = half.estimatedSeconds(machine);
+    const double t_quarter = quarter.estimatedSeconds(machine);
+    EXPECT_LT(std::abs(t_half - t_quarter) / t_half, 0.35);
+    // ...but blocks larger than the cache lose the clustering: the
+    // L2 misses explode (the Figure-4 cliff) and the modelled time
+    // degrades.
+    EXPECT_GT(huge.l2.misses, 5 * half.l2.misses);
+    EXPECT_GT(huge.estimatedSeconds(machine), 1.3 * t_half);
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+/** @file Unit tests for the machine configurations. */
+
+#include <gtest/gtest.h>
+
+#include "machine/machine_config.hh"
+
+namespace
+{
+
+using namespace lsched::machine;
+
+TEST(MachineConfig, R8000MatchesPaper)
+{
+    const MachineConfig m = powerIndigo2R8000();
+    EXPECT_DOUBLE_EQ(m.clockHz, 75e6);
+    EXPECT_EQ(m.caches.l1i.sizeBytes, 16u * 1024);
+    EXPECT_EQ(m.caches.l1d.sizeBytes, 16u * 1024);
+    EXPECT_EQ(m.caches.l1d.lineBytes, 32u);
+    EXPECT_EQ(m.caches.l2.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(m.caches.l2.lineBytes, 128u);
+    EXPECT_EQ(m.caches.l2.associativity, 4u);
+    EXPECT_DOUBLE_EQ(m.l2MissSeconds, 1.06e-6);
+    m.caches.l1i.validate();
+    m.caches.l1d.validate();
+    m.caches.l2.validate();
+}
+
+TEST(MachineConfig, R10000MatchesPaper)
+{
+    const MachineConfig m = indigo2ImpactR10000();
+    EXPECT_DOUBLE_EQ(m.clockHz, 195e6);
+    EXPECT_EQ(m.caches.l1i.sizeBytes, 32u * 1024);
+    EXPECT_EQ(m.caches.l1i.lineBytes, 64u);
+    EXPECT_EQ(m.caches.l1i.associativity, 2u);
+    EXPECT_EQ(m.caches.l1d.lineBytes, 32u);
+    EXPECT_EQ(m.caches.l2.sizeBytes, 1u * 1024 * 1024);
+    EXPECT_EQ(m.caches.l2.associativity, 2u);
+    EXPECT_DOUBLE_EQ(m.l2MissSeconds, 0.85e-6);
+}
+
+TEST(MachineConfig, L2SizeAccessor)
+{
+    EXPECT_EQ(powerIndigo2R8000().l2Size(), 2u * 1024 * 1024);
+}
+
+TEST(MachineConfig, ScalingShrinksCaches)
+{
+    const MachineConfig m = scaled(powerIndigo2R8000(), 16);
+    EXPECT_EQ(m.caches.l2.sizeBytes, 128u * 1024);
+    // L1 is floored at 8 KB so L1 misses do not swamp the timing
+    // model at small scales (DESIGN.md substitution 5).
+    EXPECT_EQ(m.caches.l1d.sizeBytes, 8u * 1024);
+    // Invariants preserved.
+    EXPECT_EQ(m.caches.l2.lineBytes, 128u);
+    EXPECT_EQ(m.caches.l2.associativity, 4u);
+    EXPECT_DOUBLE_EQ(m.l2MissSeconds, 1.06e-6);
+    m.caches.l1i.validate();
+    m.caches.l1d.validate();
+    m.caches.l2.validate();
+}
+
+TEST(MachineConfig, ScalingClampsAtOneLinePerWay)
+{
+    const MachineConfig m = scaled(powerIndigo2R8000(), 1u << 20);
+    EXPECT_GE(m.caches.l2.sizeBytes,
+              m.caches.l2.ways() * m.caches.l2.lineBytes);
+    m.caches.l2.validate();
+}
+
+TEST(MachineConfig, ScaleByOneIsIdentity)
+{
+    const MachineConfig base = powerIndigo2R8000();
+    const MachineConfig m = scaled(base, 1);
+    EXPECT_EQ(m.name, base.name);
+    EXPECT_EQ(m.caches.l2.sizeBytes, base.caches.l2.sizeBytes);
+}
+
+TEST(MachineConfigDeathTest, NonPowerOfTwoFactorPanics)
+{
+    EXPECT_DEATH((void)scaled(powerIndigo2R8000(), 3), "power of two");
+}
+
+} // namespace

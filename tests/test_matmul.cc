@@ -1,0 +1,162 @@
+/** @file Unit tests for the matrix-multiply workload variants. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/machine_config.hh"
+#include "workloads/matmul.hh"
+
+namespace
+{
+
+using namespace lsched::workloads;
+
+/** Naive reference multiply. */
+Matrix
+reference(const Matrix &a, const Matrix &b)
+{
+    const std::size_t n = a.rows();
+    Matrix c(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t j = 0; j < n; ++j) {
+            double s = 0;
+            for (std::size_t k = 0; k < n; ++k)
+                s += a(i, k) * b(k, j);
+            c(i, j) = s;
+        }
+    return c;
+}
+
+class MatmulTest : public ::testing::TestWithParam<std::size_t>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        n_ = GetParam();
+        a_ = std::make_unique<Matrix>(n_, n_);
+        b_ = std::make_unique<Matrix>(n_, n_);
+        randomize(*a_, 1);
+        randomize(*b_, 2);
+        ref_ = std::make_unique<Matrix>(reference(*a_, *b_));
+    }
+
+    std::size_t n_ = 0;
+    std::unique_ptr<Matrix> a_, b_, ref_;
+};
+
+TEST_P(MatmulTest, InterchangedMatchesReference)
+{
+    Matrix c(n_, n_);
+    NativeModel m;
+    matmulInterchanged(*a_, *b_, c, m);
+    EXPECT_LT(c.maxAbsDiff(*ref_), 1e-9 * static_cast<double>(n_));
+}
+
+TEST_P(MatmulTest, TransposedMatchesReference)
+{
+    Matrix c(n_, n_);
+    NativeModel m;
+    matmulTransposed(*a_, *b_, c, m);
+    EXPECT_LT(c.maxAbsDiff(*ref_), 1e-9 * static_cast<double>(n_));
+}
+
+TEST_P(MatmulTest, TiledInterchangedMatchesReference)
+{
+    Matrix c(n_, n_);
+    NativeModel m;
+    matmulTiledInterchanged(*a_, *b_, c, m, 16 * 1024, 128 * 1024);
+    EXPECT_LT(c.maxAbsDiff(*ref_), 1e-9 * static_cast<double>(n_));
+}
+
+TEST_P(MatmulTest, TiledTransposedMatchesReference)
+{
+    Matrix c(n_, n_);
+    NativeModel m;
+    matmulTiledTransposed(*a_, *b_, c, m, 16 * 1024, 128 * 1024);
+    EXPECT_LT(c.maxAbsDiff(*ref_), 1e-9 * static_cast<double>(n_));
+}
+
+TEST_P(MatmulTest, ThreadedMatchesReference)
+{
+    Matrix c(n_, n_);
+    NativeModel m;
+    lsched::threads::SchedulerConfig cfg;
+    cfg.dims = 2;
+    cfg.blockBytes = 4096;
+    lsched::threads::LocalityScheduler sched(cfg);
+    matmulThreaded(*a_, *b_, c, sched, m);
+    EXPECT_LT(c.maxAbsDiff(*ref_), 1e-9 * static_cast<double>(n_));
+    EXPECT_EQ(sched.stats().executedThreads, n_ * n_);
+}
+
+// Sizes straddle the 3x3 register-block and tile boundaries.
+INSTANTIATE_TEST_SUITE_P(Sizes, MatmulTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 16, 17,
+                                           24, 33, 48));
+
+TEST(MatmulTraced, TracedResultsMatchNative)
+{
+    const std::size_t n = 24;
+    Matrix a(n, n), b(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+
+    Matrix c_native(n, n);
+    NativeModel nm;
+    matmulTransposed(a, b, c_native, nm);
+
+    lsched::cachesim::Hierarchy h(
+        lsched::machine::scaled(lsched::machine::powerIndigo2R8000(), 64)
+            .caches);
+    SimModel sm(h);
+    Matrix c_traced(n, n);
+    matmulTransposed(a, b, c_traced, sm);
+    EXPECT_EQ(c_traced.maxAbsDiff(c_native), 0.0);
+    EXPECT_GT(h.dataRefs(), 2 * n * n * n);
+}
+
+TEST(MatmulTraced, InterchangedReferenceCountsMatchModel)
+{
+    // Per paper Section 4.2: the untiled interchanged inner iteration
+    // performs 2 loads + 1 store and 5 instructions per madd.
+    const std::size_t n = 16;
+    Matrix a(n, n), b(n, n), c(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+    lsched::cachesim::Hierarchy h(
+        lsched::machine::powerIndigo2R8000().caches);
+    SimModel sm(h);
+    matmulInterchanged(a, b, c, sm);
+    const std::uint64_t madds = n * n * n;
+    // zero: n^2 stores; B: n^2 loads; inner: 3 per madd.
+    EXPECT_EQ(h.dataRefs(), 3 * madds + 2 * n * n);
+    EXPECT_GT(h.ifetches(), 5 * madds);
+    EXPECT_LT(h.ifetches(), 6 * madds + 10 * n * n);
+}
+
+TEST(MatmulTraced, ThreadedUsesExpectedBinCount)
+{
+    // Paper Section 4.2 (scaled): with block = L2/2 the threads must
+    // spread over roughly (2 * matrix_bytes / L2)^2 bins.
+    const std::size_t n = 64; // 32 KB per matrix
+    Matrix a(n, n), b(n, n), c(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+    const auto machine =
+        lsched::machine::scaled(lsched::machine::powerIndigo2R8000(),
+                                128); // L2 = 16 KB
+    lsched::threads::SchedulerConfig cfg;
+    cfg.dims = 2;
+    cfg.cacheBytes = machine.l2Size();
+    cfg.blockBytes = machine.l2Size() / 2; // 8 KB
+    lsched::threads::LocalityScheduler sched(cfg);
+    NativeModel m;
+    matmulThreaded(a, b, c, sched, m);
+    // 32 KB of columns per matrix / 8 KB blocks = 4 blocks per axis,
+    // 16 bins (allow one extra per axis for allocator offsets).
+    EXPECT_GE(sched.binCount(), 16u);
+    EXPECT_LE(sched.binCount(), 25u);
+}
+
+} // namespace

@@ -1,0 +1,90 @@
+/** @file Unit tests for the column-major matrix container. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "workloads/matrix.hh"
+
+namespace
+{
+
+using lsched::workloads::Matrix;
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(4, 3);
+    for (std::size_t j = 0; j < 3; ++j)
+        for (std::size_t i = 0; i < 4; ++i)
+            EXPECT_EQ(m(i, j), 0.0);
+}
+
+TEST(Matrix, ColumnMajorLayout)
+{
+    Matrix m(4, 3);
+    m(1, 2) = 7.0;
+    EXPECT_EQ(m.data()[2 * 4 + 1], 7.0);
+    EXPECT_EQ(m.col(2)[1], 7.0);
+}
+
+TEST(Matrix, ColumnsAreContiguous)
+{
+    Matrix m(8, 2);
+    EXPECT_EQ(m.col(1) - m.col(0), 8);
+}
+
+TEST(Matrix, PageAlignedStorage)
+{
+    Matrix m(100, 100);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(m.data()) % 4096, 0u);
+}
+
+TEST(Matrix, FillSetsEverything)
+{
+    Matrix m(5, 5);
+    m.fill(2.5);
+    for (std::size_t j = 0; j < 5; ++j)
+        for (std::size_t i = 0; i < 5; ++i)
+            EXPECT_EQ(m(i, j), 2.5);
+}
+
+TEST(Matrix, MaxAbsDiff)
+{
+    Matrix a(3, 3), b(3, 3);
+    a.fill(1.0);
+    b.fill(1.0);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0);
+    b(2, 1) = 1.5;
+    EXPECT_DOUBLE_EQ(a.maxAbsDiff(b), 0.5);
+}
+
+TEST(Matrix, CopyIsDeep)
+{
+    Matrix a(2, 2);
+    a(0, 0) = 3.0;
+    Matrix b(a);
+    b(0, 0) = 9.0;
+    EXPECT_EQ(a(0, 0), 3.0);
+    EXPECT_EQ(b(0, 0), 9.0);
+}
+
+TEST(Matrix, MoveTransfersStorage)
+{
+    Matrix a(2, 2);
+    a(1, 1) = 4.0;
+    const double *ptr = a.data();
+    Matrix b(std::move(a));
+    EXPECT_EQ(b.data(), ptr);
+    EXPECT_EQ(b(1, 1), 4.0);
+}
+
+TEST(Matrix, NonSquareShapes)
+{
+    Matrix m(2, 7);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 7u);
+    m(1, 6) = 1.0;
+    EXPECT_EQ(m.col(6)[1], 1.0);
+}
+
+} // namespace

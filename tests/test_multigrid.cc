@@ -1,0 +1,135 @@
+/** @file Unit tests for the multigrid Poisson solver. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/prng.hh"
+#include "workloads/multigrid.hh"
+
+namespace
+{
+
+using namespace lsched::workloads;
+
+void
+fillRhs(MultigridSolver &solver, std::uint64_t seed)
+{
+    lsched::Prng prng(seed);
+    Matrix &b = solver.rhs();
+    for (std::size_t j = 1; j <= solver.n(); ++j)
+        for (std::size_t i = 1; i <= solver.n(); ++i)
+            b(i, j) = prng.nextDouble(-1.0, 1.0);
+}
+
+TEST(Multigrid, HierarchyDepthMatchesGridSize)
+{
+    MultigridSolver s63(63);
+    // 63 -> 31 -> 15 -> 7 -> 3.
+    EXPECT_EQ(s63.levelCount(), 5u);
+    MultigridSolver s3(3);
+    EXPECT_EQ(s3.levelCount(), 1u);
+}
+
+TEST(MultigridDeathTest, RejectsNonPowerOfTwoMinusOne)
+{
+    EXPECT_DEATH(MultigridSolver s(64), "2\\^k - 1");
+}
+
+TEST(Multigrid, VcycleContractsResidual)
+{
+    MultigridSolver solver(63);
+    fillRhs(solver, 11);
+    const double r0 = solver.residualNorm();
+    const double r1 = solver.vcycle();
+    const double r2 = solver.vcycle();
+    const double r3 = solver.vcycle();
+    // Textbook multigrid: about an order of magnitude per V-cycle.
+    EXPECT_LT(r1, r0 * 0.2);
+    EXPECT_LT(r2, r1 * 0.2);
+    EXPECT_LT(r3, r2 * 0.2);
+}
+
+TEST(Multigrid, SolveReachesTargetQuickly)
+{
+    MultigridSolver solver(63);
+    fillRhs(solver, 4);
+    const double r0 = solver.residualNorm();
+    const unsigned cycles = solver.solve(r0 * 1e-8, 30);
+    EXPECT_LE(cycles, 12u);
+    EXPECT_LE(solver.residualNorm(), r0 * 1e-8);
+}
+
+TEST(Multigrid, SolutionSatisfiesTheStencil)
+{
+    MultigridSolver solver(31);
+    fillRhs(solver, 9);
+    solver.solve(1e-10, 40);
+    const Matrix &u = solver.solution();
+    const Matrix &b = solver.rhs();
+    for (std::size_t j = 1; j <= solver.n(); ++j) {
+        for (std::size_t i = 1; i <= solver.n(); ++i) {
+            const double lhs = 4.0 * u(i, j) - u(i - 1, j) -
+                               u(i + 1, j) - u(i, j - 1) - u(i, j + 1);
+            EXPECT_NEAR(lhs, b(i, j), 1e-7);
+        }
+    }
+}
+
+TEST(Multigrid, ThreadedSmootherGivesIdenticalResults)
+{
+    // The threaded line-pair smoother preserves the red-black update
+    // order exactly, so whole V-cycles are bitwise reproducible.
+    MultigridConfig plain;
+    MultigridConfig threaded;
+    threaded.threaded = true;
+    MultigridSolver a(63, plain), b(63, threaded);
+    fillRhs(a, 21);
+    fillRhs(b, 21);
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        a.vcycle();
+        b.vcycle();
+    }
+    double worst = 0;
+    for (std::size_t j = 1; j <= a.n(); ++j)
+        for (std::size_t i = 1; i <= a.n(); ++i)
+            worst = std::max(worst, std::abs(a.solution()(i, j) -
+                                             b.solution()(i, j)));
+    EXPECT_EQ(worst, 0.0);
+}
+
+TEST(Multigrid, VcyclesBeatPlainSmoothingAtEqualSweeps)
+{
+    // The multigrid point: a V-cycle's coarse corrections kill the
+    // low-frequency error a smoother alone cannot reach.
+    MultigridConfig mg_cfg;
+    MultigridSolver mg(63, mg_cfg);
+    fillRhs(mg, 5);
+
+    MultigridConfig smooth_cfg;
+    smooth_cfg.coarsestN = 63; // degenerate: one level, smoother only
+    smooth_cfg.coarseSweeps = 40;
+    MultigridSolver smoother(63, smooth_cfg);
+    fillRhs(smoother, 5);
+
+    const double mg_r = [&] {
+        double r = 0;
+        for (int i = 0; i < 3; ++i)
+            r = mg.vcycle();
+        return r;
+    }();
+    const double smooth_r = smoother.vcycle();
+    EXPECT_LT(mg_r, smooth_r / 10);
+}
+
+TEST(Multigrid, ResetSolutionStartsOver)
+{
+    MultigridSolver solver(31);
+    fillRhs(solver, 2);
+    const double r0 = solver.residualNorm();
+    solver.vcycle();
+    solver.resetSolution();
+    EXPECT_NEAR(solver.residualNorm(), r0, 1e-12);
+}
+
+} // namespace

@@ -1,0 +1,250 @@
+/** @file Unit tests for the Barnes-Hut N-body workload. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/machine_config.hh"
+#include "workloads/nbody.hh"
+
+namespace
+{
+
+using namespace lsched::workloads;
+
+NBodyConfig
+smallConfig(std::size_t bodies = 256)
+{
+    NBodyConfig c;
+    c.bodies = bodies;
+    c.theta = 0.6;
+    c.seed = 99;
+    return c;
+}
+
+TEST(NBodyTree, EveryBodyInsertedExactlyOnce)
+{
+    BarnesHut sim(smallConfig());
+    NativeModel m;
+    sim.buildTree(m);
+    std::size_t leaf_bodies = 0;
+    for (const auto &node : sim.nodes())
+        if (node.leaf && node.body >= 0)
+            ++leaf_bodies;
+    EXPECT_EQ(leaf_bodies, sim.bodies().size());
+}
+
+TEST(NBodyTree, RootMassIsTotalMass)
+{
+    BarnesHut sim(smallConfig());
+    NativeModel m;
+    sim.buildTree(m);
+    double total = 0;
+    for (const auto &b : sim.bodies())
+        total += b.mass;
+    EXPECT_NEAR(sim.nodes()[0].mass, total, 1e-12);
+}
+
+TEST(NBodyTree, CentreOfMassIsMassWeightedMean)
+{
+    BarnesHut sim(smallConfig(64));
+    NativeModel m;
+    sim.buildTree(m);
+    double mx = 0, total = 0;
+    for (const auto &b : sim.bodies()) {
+        mx += b.mass * b.x;
+        total += b.mass;
+    }
+    EXPECT_NEAR(sim.nodes()[0].mx, mx / total, 1e-10);
+}
+
+TEST(NBodyTree, ChildrenNestInsideParents)
+{
+    BarnesHut sim(smallConfig(128));
+    NativeModel m;
+    sim.buildTree(m);
+    const auto &nodes = sim.nodes();
+    for (const auto &node : nodes) {
+        for (const auto child_idx : node.child) {
+            if (child_idx < 0)
+                continue;
+            const auto &child =
+                nodes[static_cast<std::size_t>(child_idx)];
+            EXPECT_NEAR(child.half * 2, node.half, 1e-12);
+            EXPECT_LE(std::abs(child.cx - node.cx), node.half);
+            EXPECT_LE(std::abs(child.cy - node.cy), node.half);
+            EXPECT_LE(std::abs(child.cz - node.cz), node.half);
+        }
+    }
+}
+
+TEST(NBody, TwoBodyForceIsNewtonian)
+{
+    NBodyConfig cfg;
+    cfg.bodies = 2;
+    cfg.theta = 0.0; // always open: exact pairwise
+    cfg.softening = 0.0;
+    BarnesHut sim(cfg);
+    auto &bodies = sim.mutableBodies();
+    bodies[0] = {0, 0, 0, 0, 0, 0, 0, 0, 0, 2.0};
+    bodies[1] = {3, 4, 0, 0, 0, 0, 0, 0, 0, 1.0};
+    NativeModel m;
+    sim.buildTree(m);
+    sim.computeForce(0, m);
+    sim.computeForce(1, m);
+    // |a0| = m1 / r^2 = 1 / 25, direction towards body 1.
+    const double r = 5.0;
+    EXPECT_NEAR(sim.bodies()[0].ax, (3.0 / r) * 1.0 / 25.0, 1e-12);
+    EXPECT_NEAR(sim.bodies()[0].ay, (4.0 / r) * 1.0 / 25.0, 1e-12);
+    EXPECT_NEAR(sim.bodies()[1].ax, -(3.0 / r) * 2.0 / 25.0, 1e-12);
+    // Newton's third law with equal masses scaled.
+    EXPECT_NEAR(sim.bodies()[0].ax * 2.0, -sim.bodies()[1].ax * 1.0,
+                1e-12);
+}
+
+TEST(NBody, ThetaZeroMatchesDirectSummation)
+{
+    const std::size_t n = 64;
+    NBodyConfig cfg = smallConfig(n);
+    cfg.theta = 0.0;
+    BarnesHut sim(cfg);
+    NativeModel m;
+    sim.buildTree(m);
+    for (std::size_t i = 0; i < n; ++i)
+        sim.computeForce(i, m);
+
+    // Direct O(n^2) reference with the same softening.
+    const auto &bodies = sim.bodies();
+    for (std::size_t i = 0; i < n; ++i) {
+        double ax = 0, ay = 0, az = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const double dx = bodies[j].x - bodies[i].x;
+            const double dy = bodies[j].y - bodies[i].y;
+            const double dz = bodies[j].z - bodies[i].z;
+            const double d2 = dx * dx + dy * dy + dz * dz +
+                              cfg.softening * cfg.softening;
+            const double f = bodies[j].mass / (d2 * std::sqrt(d2));
+            ax += f * dx;
+            ay += f * dy;
+            az += f * dz;
+        }
+        EXPECT_NEAR(bodies[i].ax, ax, 1e-9) << "body " << i;
+        EXPECT_NEAR(bodies[i].ay, ay, 1e-9);
+        EXPECT_NEAR(bodies[i].az, az, 1e-9);
+    }
+}
+
+TEST(NBody, ModerateThetaApproximatesDirectForce)
+{
+    const std::size_t n = 256;
+    NBodyConfig cfg = smallConfig(n);
+    cfg.theta = 0.5;
+    BarnesHut sim(cfg);
+    NativeModel m;
+    sim.buildTree(m);
+    double err = 0, mag = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        sim.computeForce(i, m);
+        const Body &b = sim.bodies()[i];
+        double ax = 0, ay = 0, az = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const Body &o = sim.bodies()[j];
+            const double dx = o.x - b.x, dy = o.y - b.y, dz = o.z - b.z;
+            const double d2 = dx * dx + dy * dy + dz * dz +
+                              cfg.softening * cfg.softening;
+            const double f = o.mass / (d2 * std::sqrt(d2));
+            ax += f * dx;
+            ay += f * dy;
+            az += f * dz;
+        }
+        err += std::abs(b.ax - ax) + std::abs(b.ay - ay) +
+               std::abs(b.az - az);
+        mag += std::abs(ax) + std::abs(ay) + std::abs(az);
+    }
+    EXPECT_LT(err / mag, 0.05); // within 5% aggregate
+}
+
+TEST(NBody, ThreadedTrajectoryBitwiseEqualsUnthreaded)
+{
+    const std::size_t n = 512;
+    BarnesHut a(smallConfig(n));
+    BarnesHut b(smallConfig(n));
+    NativeModel m;
+    lsched::threads::SchedulerConfig cfg;
+    cfg.dims = 3;
+    cfg.cacheBytes = 1 << 16;
+    lsched::threads::LocalityScheduler sched(cfg);
+    for (int step = 0; step < 3; ++step) {
+        a.stepUnthreaded(m);
+        b.stepThreaded(sched, m, 4 * (1u << 16) / 3);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(a.bodies()[i].x, b.bodies()[i].x);
+        EXPECT_EQ(a.bodies()[i].y, b.bodies()[i].y);
+        EXPECT_EQ(a.bodies()[i].z, b.bodies()[i].z);
+        EXPECT_EQ(a.bodies()[i].vx, b.bodies()[i].vx);
+    }
+}
+
+TEST(NBody, ThreadedBinsFollowSpatialClustering)
+{
+    const std::size_t n = 2048;
+    BarnesHut sim(smallConfig(n));
+    NativeModel m;
+    lsched::threads::SchedulerConfig cfg;
+    cfg.dims = 3;
+    cfg.cacheBytes = 3 << 16;
+    lsched::threads::LocalityScheduler sched(cfg);
+    sim.stepThreaded(sched, m, 4 * (1u << 16));
+    const auto st = sched.stats();
+    EXPECT_EQ(st.executedThreads, n);
+    // Plummer clustering: several bins, non-uniform occupancy.
+    EXPECT_GT(st.bins, 8u);
+    EXPECT_LT(st.bins, 128u);
+}
+
+TEST(NBody, MomentumApproximatelyConserved)
+{
+    BarnesHut sim(smallConfig(256));
+    NativeModel m;
+    const double before = sim.momentum();
+    for (int step = 0; step < 5; ++step)
+        sim.stepUnthreaded(m);
+    // theta > 0 breaks exact symmetry; drift must stay small relative
+    // to typical velocities (~0.05 * 256 bodies * mass 1/256).
+    EXPECT_NEAR(sim.momentum(), before, 0.02);
+}
+
+TEST(NBody, DeterministicAcrossRuns)
+{
+    BarnesHut a(smallConfig(128));
+    BarnesHut b(smallConfig(128));
+    NativeModel m;
+    a.stepUnthreaded(m);
+    b.stepUnthreaded(m);
+    for (std::size_t i = 0; i < 128; ++i)
+        EXPECT_EQ(a.bodies()[i].x, b.bodies()[i].x);
+}
+
+TEST(NBody, TracedStepMatchesNative)
+{
+    BarnesHut a(smallConfig(128));
+    BarnesHut b(smallConfig(128));
+    NativeModel nm;
+    lsched::cachesim::Hierarchy h(
+        lsched::machine::scaled(lsched::machine::powerIndigo2R8000(), 64)
+            .caches);
+    SimModel sm(h);
+    a.stepUnthreaded(nm);
+    b.stepUnthreaded(sm);
+    for (std::size_t i = 0; i < 128; ++i)
+        EXPECT_EQ(a.bodies()[i].x, b.bodies()[i].x);
+    EXPECT_GT(h.dataRefs(), 128u * 20);
+}
+
+} // namespace

@@ -1,0 +1,117 @@
+/** @file Tests for the DFS tree-layout pass (data-reordering
+ *  counterpart of the paper's computation reordering). */
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hh"
+#include "machine/machine_config.hh"
+#include "workloads/nbody.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::workloads;
+
+NBodyConfig
+cfg(std::size_t bodies)
+{
+    NBodyConfig c;
+    c.bodies = bodies;
+    c.seed = 77;
+    return c;
+}
+
+TEST(NBodyLayout, ReorderPreservesTreeStructure)
+{
+    BarnesHut sim(cfg(512));
+    NativeModel m;
+    sim.buildTree(m);
+    const std::size_t nodes_before = sim.nodes().size();
+    const double root_mass = sim.nodes()[0].mass;
+    sim.reorderTreeDfs();
+    ASSERT_EQ(sim.nodes().size(), nodes_before);
+    EXPECT_EQ(sim.nodes()[0].mass, root_mass);
+
+    // Every node reachable exactly once; child geometry nests.
+    std::vector<bool> visited(sim.nodes().size(), false);
+    std::vector<std::int32_t> stack{0};
+    std::size_t count = 0;
+    while (!stack.empty()) {
+        const std::int32_t i = stack.back();
+        stack.pop_back();
+        ASSERT_GE(i, 0);
+        ASSERT_LT(static_cast<std::size_t>(i), sim.nodes().size());
+        ASSERT_FALSE(visited[static_cast<std::size_t>(i)]);
+        visited[static_cast<std::size_t>(i)] = true;
+        ++count;
+        const auto &n = sim.nodes()[static_cast<std::size_t>(i)];
+        for (const auto c : n.child) {
+            if (c < 0)
+                continue;
+            const auto &ch = sim.nodes()[static_cast<std::size_t>(c)];
+            EXPECT_NEAR(ch.half * 2, n.half, 1e-12);
+            stack.push_back(c);
+        }
+    }
+    EXPECT_EQ(count, sim.nodes().size());
+}
+
+TEST(NBodyLayout, ChildrenFollowParentsInMemory)
+{
+    BarnesHut sim(cfg(2048));
+    NativeModel m;
+    sim.buildTree(m);
+    sim.reorderTreeDfs();
+    // DFS preorder: every child index exceeds its parent's.
+    for (std::size_t i = 0; i < sim.nodes().size(); ++i) {
+        for (const auto c : sim.nodes()[i].child) {
+            if (c >= 0) {
+                EXPECT_GT(static_cast<std::size_t>(c), i);
+            }
+        }
+    }
+    // And the first child is immediately adjacent.
+    std::size_t adjacent = 0, internal = 0;
+    for (std::size_t i = 0; i < sim.nodes().size(); ++i) {
+        std::int32_t first = -1;
+        for (const auto c : sim.nodes()[i].child)
+            if (c >= 0 && (first < 0 || c < first))
+                first = c;
+        if (first >= 0) {
+            ++internal;
+            adjacent += static_cast<std::size_t>(first) == i + 1;
+        }
+    }
+    EXPECT_EQ(adjacent, internal);
+}
+
+TEST(NBodyLayout, ForcesIdenticalAfterReorder)
+{
+    BarnesHut plain(cfg(1024)), reordered(cfg(1024));
+    NativeModel m;
+    plain.stepUnthreaded(m, false);
+    reordered.stepUnthreaded(m, true);
+    for (std::size_t i = 0; i < 1024; ++i) {
+        EXPECT_EQ(plain.bodies()[i].ax, reordered.bodies()[i].ax);
+        EXPECT_EQ(plain.bodies()[i].x, reordered.bodies()[i].x);
+    }
+}
+
+TEST(NBodyLayout, DfsLayoutReducesL2Misses)
+{
+    const auto machine =
+        machine::scaled(machine::powerIndigo2R8000(), 8);
+    auto misses = [&](bool dfs) {
+        return harness::simulateOn(machine, [&](SimModel &m) {
+                   BarnesHut sim(cfg(4096));
+                   sim.stepUnthreaded(m, dfs);
+               })
+            .l2.misses;
+    };
+    const auto insertion = misses(false);
+    const auto dfs = misses(true);
+    EXPECT_LT(dfs, insertion);
+}
+
+} // namespace

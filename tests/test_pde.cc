@@ -1,0 +1,144 @@
+/** @file Unit tests for the PDE (red-black Gauss-Seidel) workload. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/machine_config.hh"
+#include "workloads/pde.hh"
+
+namespace
+{
+
+using namespace lsched::workloads;
+
+class PdeTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(PdeTest, CacheConsciousBitwiseEqualsRegular)
+{
+    const std::size_t n = GetParam();
+    PdeGrid a(n), b(n);
+    a.init(7);
+    b.init(7);
+    NativeModel m;
+    pdeRegular(a, 5, m);
+    pdeCacheConscious(b, 5, m);
+    EXPECT_EQ(a.u.maxAbsDiff(b.u), 0.0);
+    EXPECT_EQ(a.r.maxAbsDiff(b.r), 0.0);
+}
+
+TEST_P(PdeTest, ThreadedBitwiseEqualsRegular)
+{
+    const std::size_t n = GetParam();
+    PdeGrid a(n), b(n);
+    a.init(7);
+    b.init(7);
+    NativeModel m;
+    pdeRegular(a, 5, m);
+    lsched::threads::SchedulerConfig cfg;
+    cfg.blockBytes = 2048; // small blocks: many bins, order stress
+    lsched::threads::LocalityScheduler sched(cfg);
+    pdeThreaded(b, 5, sched, m);
+    EXPECT_EQ(a.u.maxAbsDiff(b.u), 0.0);
+    EXPECT_EQ(a.r.maxAbsDiff(b.r), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PdeTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 17, 33, 64));
+
+TEST(Pde, ThreadCountIsIterationsTimesLinesPlusOne)
+{
+    const std::size_t n = 16;
+    PdeGrid g(n);
+    g.init(1);
+    NativeModel m;
+    lsched::threads::LocalityScheduler sched;
+    pdeThreaded(g, 3, sched, m);
+    EXPECT_EQ(sched.stats().executedThreads, 3 * (n + 1));
+}
+
+TEST(Pde, RelaxationReducesDefect)
+{
+    // The smoother must actually smooth: the residual norm after 20
+    // iterations is far below the initial one.
+    const std::size_t n = 32;
+    PdeGrid g0(n), g(n);
+    g0.init(3);
+    g.init(3);
+    NativeModel m;
+    pdeRegular(g0, 1, m);
+    pdeRegular(g, 40, m);
+    auto norm = [&](const PdeGrid &grid) {
+        double s = 0;
+        for (std::size_t j = 1; j <= grid.n; ++j)
+            for (std::size_t i = 1; i <= grid.n; ++i)
+                s += grid.r(i, j) * grid.r(i, j);
+        return s;
+    };
+    EXPECT_LT(norm(g), norm(g0) * 0.5);
+}
+
+TEST(Pde, IterationZeroLeavesGridUntouched)
+{
+    PdeGrid g(8);
+    g.init(5);
+    NativeModel m;
+    pdeCacheConscious(g, 0, m);
+    for (std::size_t j = 0; j < 10; ++j)
+        for (std::size_t i = 0; i < 10; ++i)
+            EXPECT_EQ(g.u(i, j), 0.0);
+}
+
+TEST(Pde, TracedMatchesNativeAndCountsRefs)
+{
+    const std::size_t n = 24;
+    PdeGrid a(n), b(n);
+    a.init(11);
+    b.init(11);
+    NativeModel nm;
+    pdeRegular(a, 2, nm);
+
+    lsched::cachesim::Hierarchy h(
+        lsched::machine::scaled(lsched::machine::powerIndigo2R8000(), 64)
+            .caches);
+    SimModel sm(h);
+    pdeRegular(b, 2, sm);
+    EXPECT_EQ(a.u.maxAbsDiff(b.u), 0.0);
+    // Update: 5 refs/point over 2 iterations; residual: 7 refs/point.
+    EXPECT_EQ(h.dataRefs(), n * n * (2 * 5 + 7));
+}
+
+TEST(Pde, FusedVariantsIssueFewerReferences)
+{
+    const std::size_t n = 32;
+    PdeGrid a(n), b(n);
+    a.init(1);
+    b.init(1);
+    const auto caches =
+        lsched::machine::scaled(lsched::machine::powerIndigo2R8000(), 64)
+            .caches;
+    lsched::cachesim::Hierarchy hr(caches), hc(caches);
+    SimModel mr(hr), mc(hc);
+    pdeRegular(a, 5, mr);
+    pdeCacheConscious(b, 5, mc);
+    EXPECT_LT(hc.dataRefs(), hr.dataRefs());
+    EXPECT_LT(hc.ifetches(), hr.ifetches());
+}
+
+TEST(Pde, BoundaryHaloStaysZero)
+{
+    const std::size_t n = 12;
+    PdeGrid g(n);
+    g.init(9);
+    NativeModel m;
+    pdeRegular(g, 5, m);
+    for (std::size_t k = 0; k < n + 2; ++k) {
+        EXPECT_EQ(g.u(0, k), 0.0);
+        EXPECT_EQ(g.u(n + 1, k), 0.0);
+        EXPECT_EQ(g.u(k, 0), 0.0);
+        EXPECT_EQ(g.u(k, n + 1), 0.0);
+    }
+}
+
+} // namespace

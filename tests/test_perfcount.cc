@@ -1,0 +1,98 @@
+/** @file Unit tests for the hardware-performance-counter substrate.
+ *  Counter availability depends on the host (perf_event_paranoid,
+ *  containers, PMU virtualization), so behavioural tests skip
+ *  gracefully when counters cannot be opened — the graceful
+ *  degradation itself is part of the contract under test. */
+
+#include <gtest/gtest.h>
+
+#include "perfcount/perf_counters.hh"
+
+namespace
+{
+
+using namespace lsched::perfcount;
+
+TEST(PerfCounters, EventNamesAreStable)
+{
+    EXPECT_STREQ(hwEventName(HwEvent::Instructions), "instructions");
+    EXPECT_STREQ(hwEventName(HwEvent::CpuCycles), "cpu-cycles");
+    EXPECT_STREQ(hwEventName(HwEvent::CacheReferences),
+                 "cache-references");
+    EXPECT_STREQ(hwEventName(HwEvent::CacheMisses), "cache-misses");
+    EXPECT_STREQ(hwEventName(HwEvent::L1dReadMisses),
+                 "L1d-read-misses");
+}
+
+TEST(PerfCounters, UnusableGroupIsHarmless)
+{
+    PerfCounterGroup group({HwEvent::Instructions});
+    if (group.usable())
+        GTEST_SKIP() << "counters available; nothing to degrade";
+    EXPECT_FALSE(group.error().empty());
+    group.start(); // must not crash
+    const PerfSample sample = group.stop();
+    EXPECT_FALSE(sample.valid);
+    ASSERT_EQ(sample.values.size(), 1u);
+    EXPECT_EQ(sample.values[0], 0u);
+}
+
+TEST(PerfCounters, ProbeAgreesWithGroupUsability)
+{
+    PerfCounterGroup group({HwEvent::Instructions});
+    EXPECT_EQ(countersAvailable(), group.usable());
+}
+
+TEST(PerfCounters, CountsInstructionsWhenAvailable)
+{
+    if (!countersAvailable())
+        GTEST_SKIP() << "perf counters unavailable on this host";
+    PerfCounterGroup group({HwEvent::Instructions});
+    ASSERT_TRUE(group.usable());
+    group.start();
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 100000; ++i)
+        sink = sink + static_cast<std::uint64_t>(i);
+    const PerfSample sample = group.stop();
+    ASSERT_TRUE(sample.valid);
+    // The loop is >= 100k iterations of >= 1 instruction.
+    EXPECT_GT(sample.values[0], 100000u);
+}
+
+TEST(PerfCounters, LargerWorkCountsMoreInstructions)
+{
+    if (!countersAvailable())
+        GTEST_SKIP() << "perf counters unavailable on this host";
+    auto measure = [](int iters) {
+        PerfCounterGroup group({HwEvent::Instructions});
+        group.start();
+        volatile std::uint64_t sink = 0;
+        for (int i = 0; i < iters; ++i)
+            sink = sink + static_cast<std::uint64_t>(i);
+        return group.stop().values[0];
+    };
+    const auto small = measure(10000);
+    const auto big = measure(200000);
+    EXPECT_GT(big, small * 5);
+}
+
+TEST(PerfCounters, MultiEventGroupReadsAllValues)
+{
+    if (!countersAvailable())
+        GTEST_SKIP() << "perf counters unavailable on this host";
+    PerfCounterGroup group(
+        {HwEvent::Instructions, HwEvent::CpuCycles});
+    if (!group.usable())
+        GTEST_SKIP() << "multi-event group refused: " << group.error();
+    group.start();
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 50000; ++i)
+        sink = sink + static_cast<std::uint64_t>(i);
+    const PerfSample sample = group.stop();
+    ASSERT_TRUE(sample.valid);
+    ASSERT_EQ(sample.values.size(), 2u);
+    EXPECT_GT(sample.values[0], 0u);
+    EXPECT_GT(sample.values[1], 0u);
+}
+
+} // namespace

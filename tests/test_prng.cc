@@ -1,0 +1,75 @@
+/** @file Unit tests for support/prng.hh. */
+
+#include <gtest/gtest.h>
+
+#include "support/prng.hh"
+
+namespace
+{
+
+using lsched::Prng;
+
+TEST(Prng, DeterministicForSameSeed)
+{
+    Prng a(12345), b(12345);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge)
+{
+    Prng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Prng, NextBelowInRange)
+{
+    Prng prng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(prng.nextBelow(17), 17u);
+}
+
+TEST(Prng, NextBelowCoversRange)
+{
+    Prng prng(7);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[prng.nextBelow(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Prng, NextDoubleInUnitInterval)
+{
+    Prng prng(99);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = prng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Prng, NextDoubleRangeRespected)
+{
+    Prng prng(99);
+    for (int i = 0; i < 1000; ++i) {
+        const double d = prng.nextDouble(-2.5, 3.5);
+        EXPECT_GE(d, -2.5);
+        EXPECT_LT(d, 3.5);
+    }
+}
+
+TEST(Prng, MeanIsCentered)
+{
+    Prng prng(4242);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += prng.nextDouble();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+/**
+ * @file Property-based tests of the cache simulator, swept over
+ * geometries with parameterized gtest and randomized access streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cachesim/cache.hh"
+#include "cachesim/fully_assoc.hh"
+#include "support/prng.hh"
+
+namespace
+{
+
+using namespace lsched::cachesim;
+
+struct Geometry
+{
+    std::uint64_t size;
+    std::uint64_t line;
+    unsigned assoc;
+};
+
+class CacheProperty : public ::testing::TestWithParam<Geometry>
+{
+};
+
+TEST_P(CacheProperty, ClassCountsAlwaysSumToMisses)
+{
+    const Geometry g = GetParam();
+    Cache cache({"c", g.size, g.line, g.assoc}, true);
+    lsched::Prng prng(g.size ^ g.assoc);
+    const std::uint64_t universe = 4 * g.size / g.line;
+    for (int i = 0; i < 30000; ++i)
+        cache.accessLine(prng.nextBelow(universe), i % 4 == 0);
+    const auto &s = cache.stats();
+    EXPECT_EQ(s.accesses, 30000u);
+    EXPECT_EQ(s.compulsoryMisses + s.capacityMisses + s.conflictMisses,
+              s.misses);
+    EXPECT_LE(s.misses, s.accesses);
+}
+
+TEST_P(CacheProperty, FullyAssociativeHasNoConflictMisses)
+{
+    const Geometry g = GetParam();
+    Cache cache({"fa", g.size, g.line, 0}, true);
+    lsched::Prng prng(g.size + 1);
+    for (int i = 0; i < 20000; ++i)
+        cache.accessLine(prng.nextBelow(8 * g.size / g.line), false);
+    EXPECT_EQ(cache.stats().conflictMisses, 0u);
+}
+
+TEST_P(CacheProperty, WorkingSetWithinCacheNeverCapacityMisses)
+{
+    const Geometry g = GetParam();
+    Cache cache({"c", g.size, g.line, g.assoc}, true);
+    lsched::Prng prng(7);
+    const std::uint64_t lines = g.size / g.line;
+    // Random accesses confined to exactly the cache's line count:
+    // the fully-associative shadow never evicts, so no miss can be
+    // classified as capacity.
+    for (int i = 0; i < 20000; ++i)
+        cache.accessLine(prng.nextBelow(lines), false);
+    EXPECT_EQ(cache.stats().capacityMisses, 0u);
+}
+
+TEST_P(CacheProperty, SetAssocNeverBeatsFullyAssocLruOnMisses)
+{
+    // LRU stack property: a fully-associative LRU cache of equal
+    // capacity is an upper bound on hit count... equivalently a lower
+    // bound on misses for any same-capacity LRU organization.
+    const Geometry g = GetParam();
+    Cache real({"c", g.size, g.line, g.assoc}, false);
+    FullyAssocLru shadow(g.size / g.line);
+    lsched::Prng prng(123);
+    std::uint64_t real_misses = 0, shadow_misses = 0;
+    for (int i = 0; i < 30000; ++i) {
+        const std::uint64_t line =
+            prng.nextBelow(3 * g.size / g.line);
+        real_misses += real.accessLine(line, false).miss;
+        shadow_misses += !shadow.access(line);
+    }
+    EXPECT_GE(real_misses, shadow_misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(Geometry{1024, 32, 1}, Geometry{1024, 32, 2},
+                      Geometry{1024, 32, 4}, Geometry{4096, 64, 1},
+                      Geometry{4096, 64, 2}, Geometry{4096, 128, 4},
+                      Geometry{16384, 128, 4}, Geometry{16384, 32, 8},
+                      Geometry{512, 64, 8}, Geometry{2048, 128, 2}));
+
+TEST(CacheStackProperty, LargerFullyAssocCacheNeverMissesMore)
+{
+    // LRU inclusion: on any trace, misses are non-increasing in
+    // capacity.
+    lsched::Prng prng(555);
+    std::vector<std::uint64_t> trace(50000);
+    for (auto &t : trace)
+        t = prng.nextBelow(300);
+
+    std::uint64_t last_misses = ~0ull;
+    for (std::uint64_t capacity : {16u, 32u, 64u, 128u, 256u, 512u}) {
+        FullyAssocLru lru(capacity);
+        std::uint64_t misses = 0;
+        for (auto t : trace)
+            misses += !lru.access(t);
+        EXPECT_LE(misses, last_misses)
+            << "capacity " << capacity << " violated inclusion";
+        last_misses = misses;
+    }
+}
+
+TEST(CacheStackProperty, SequentialStreamMissesOncePerLine)
+{
+    for (unsigned assoc : {1u, 2u, 4u}) {
+        Cache cache({"c", 4096, 64, assoc}, true);
+        for (std::uint64_t rep = 0; rep < 3; ++rep)
+            for (std::uint64_t l = 0; l < 32; ++l) // half the cache
+                cache.accessLine(l, false);
+        EXPECT_EQ(cache.stats().misses, 32u) << "assoc " << assoc;
+    }
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/**
+ * @file Property tests of cross-level hierarchy invariants over
+ * randomized reference streams and geometries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hh"
+#include "support/prng.hh"
+
+namespace
+{
+
+using namespace lsched::cachesim;
+
+struct HierarchyCase
+{
+    std::uint64_t seed;
+    std::uint64_t l1Bytes;
+    std::uint64_t l2Bytes;
+    unsigned l1Assoc;
+    unsigned l2Assoc;
+    WritePolicy l1Write;
+};
+
+class HierarchyProperty
+    : public ::testing::TestWithParam<HierarchyCase>
+{
+  protected:
+    HierarchyConfig
+    config() const
+    {
+        const HierarchyCase &hc = GetParam();
+        HierarchyConfig c;
+        c.l1i = {"L1I", hc.l1Bytes, 32, hc.l1Assoc};
+        c.l1d = {"L1D", hc.l1Bytes, 32, hc.l1Assoc};
+        c.l1d.writePolicy = hc.l1Write;
+        c.l2 = {"L2", hc.l2Bytes, 128, hc.l2Assoc};
+        return c;
+    }
+};
+
+TEST_P(HierarchyProperty, L2TrafficEqualsL1MissesPlusWriteThroughs)
+{
+    const HierarchyCase &hc = GetParam();
+    Hierarchy h(config());
+    lsched::Prng prng(hc.seed);
+    std::uint64_t stores = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t addr =
+            prng.nextBelow(4 * hc.l2Bytes) & ~7ull;
+        const std::uint64_t kind = prng.nextBelow(10);
+        if (kind < 6) {
+            h.load(addr, 8);
+        } else if (kind < 9) {
+            h.store(addr, 8);
+            ++stores;
+        } else {
+            h.ifetch(addr, 4);
+        }
+    }
+    const bool wt =
+        hc.l1Write == WritePolicy::WriteThroughNoAllocate;
+    const std::uint64_t l1_misses =
+        h.l1iStats().misses + h.l1dStats().misses;
+    if (!wt) {
+        // Write-back: every L2 access is exactly one L1 miss.
+        EXPECT_EQ(h.l2Stats().accesses, l1_misses);
+    } else {
+        // Write-through: every store reaches L2 once (on a hit it is
+        // the propagated write, on a miss it replaces the fetch), and
+        // every non-store miss fetches. The aggregate stats cannot
+        // split store misses out, so bound the traffic:
+        //   lower bound: all stores (each reaches L2) plus I-misses;
+        //   upper bound: all stores plus all misses.
+        EXPECT_GE(h.l2Stats().accesses,
+                  stores + h.l1iStats().misses);
+        EXPECT_LE(h.l2Stats().accesses, stores + l1_misses);
+    }
+}
+
+TEST_P(HierarchyProperty, ClassesPartitionMissesAtL2)
+{
+    const HierarchyCase &hc = GetParam();
+    Hierarchy h(config());
+    lsched::Prng prng(hc.seed ^ 0xabcdef);
+    for (int i = 0; i < 50000; ++i)
+        h.load(prng.nextBelow(8 * hc.l2Bytes) & ~7ull, 8);
+    const auto &l2 = h.l2Stats();
+    EXPECT_EQ(l2.compulsoryMisses + l2.capacityMisses +
+                  l2.conflictMisses,
+              l2.misses);
+    EXPECT_LE(l2.misses, l2.accesses);
+}
+
+TEST_P(HierarchyProperty, RepeatedRunIsDeterministic)
+{
+    auto run = [&] {
+        Hierarchy h(config());
+        lsched::Prng prng(99);
+        for (int i = 0; i < 20000; ++i) {
+            const std::uint64_t addr = prng.nextBelow(1 << 20) & ~7ull;
+            if (i % 3)
+                h.load(addr, 8);
+            else
+                h.store(addr, 8);
+        }
+        return std::make_tuple(h.l1dStats().misses, h.l2Stats().misses,
+                               h.l2Stats().capacityMisses,
+                               h.l2Stats().writebacks);
+    };
+    EXPECT_EQ(run(), run());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, HierarchyProperty,
+    ::testing::Values(
+        HierarchyCase{1, 1024, 8192, 1, 4,
+                      WritePolicy::WriteBackAllocate},
+        HierarchyCase{2, 2048, 16384, 2, 2,
+                      WritePolicy::WriteBackAllocate},
+        HierarchyCase{3, 1024, 32768, 1, 8,
+                      WritePolicy::WriteBackAllocate},
+        HierarchyCase{4, 4096, 65536, 4, 4,
+                      WritePolicy::WriteBackAllocate},
+        HierarchyCase{5, 1024, 8192, 1, 4,
+                      WritePolicy::WriteThroughNoAllocate},
+        HierarchyCase{6, 2048, 32768, 2, 4,
+                      WritePolicy::WriteThroughNoAllocate}));
+
+} // namespace

@@ -1,0 +1,163 @@
+/**
+ * @file Property-based tests of the scheduler invariants, swept over
+ * configurations with parameterized gtest and randomized fork streams.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "support/prng.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+using namespace lsched::threads;
+
+struct ParamCase
+{
+    unsigned dims;
+    std::uint64_t blockBytes;
+    std::size_t hashBuckets;
+    std::uint32_t groupCapacity;
+    bool symmetric;
+};
+
+class SchedulerProperty : public ::testing::TestWithParam<ParamCase>
+{
+};
+
+/** Execution record: (thread tag) in run order. */
+struct Trace
+{
+    std::vector<std::uint64_t> order;
+
+    static void
+    record(void *self, void *tag)
+    {
+        static_cast<Trace *>(self)->order.push_back(
+            reinterpret_cast<std::uintptr_t>(tag));
+    }
+};
+
+TEST_P(SchedulerProperty, EveryForkRunsOnceAndBinsAreContiguous)
+{
+    const ParamCase pc = GetParam();
+    SchedulerConfig cfg;
+    cfg.dims = pc.dims;
+    cfg.cacheBytes = pc.blockBytes * pc.dims;
+    cfg.blockBytes = pc.blockBytes;
+    cfg.hashBuckets = pc.hashBuckets;
+    cfg.groupCapacity = pc.groupCapacity;
+    cfg.symmetricHints = pc.symmetric;
+    LocalityScheduler sched(cfg);
+
+    lsched::Prng prng(pc.dims * 1000003 + pc.blockBytes);
+    const std::size_t n_threads = 2000;
+    Trace trace;
+    std::vector<BlockCoords> coords_of(n_threads);
+
+    for (std::uint64_t t = 0; t < n_threads; ++t) {
+        Hint hints[kMaxDims] = {};
+        for (unsigned d = 0; d < pc.dims; ++d)
+            hints[d] = prng.nextBelow(pc.blockBytes * 8);
+        std::span<const Hint> span(hints, pc.dims);
+        coords_of[t] = sched.coordsFor(span);
+        sched.fork(&Trace::record, &trace,
+                   reinterpret_cast<void *>(t), span);
+    }
+
+    // Invariant: occupancy over ready bins sums to pending threads.
+    const auto occupancy = sched.binOccupancy();
+    std::uint64_t total = 0;
+    for (auto c : occupancy)
+        total += c;
+    EXPECT_EQ(total, n_threads);
+
+    // Invariant: bin count equals the number of distinct coordinates.
+    std::map<BlockCoords, std::uint64_t> groups;
+    for (const auto &c : coords_of)
+        ++groups[c];
+    EXPECT_EQ(sched.binCount(), groups.size());
+
+    EXPECT_EQ(sched.run(), n_threads);
+
+    // Invariant: a permutation — every tag exactly once.
+    ASSERT_EQ(trace.order.size(), n_threads);
+    std::vector<bool> seen(n_threads, false);
+    for (auto tag : trace.order) {
+        ASSERT_LT(tag, n_threads);
+        ASSERT_FALSE(seen[tag]);
+        seen[tag] = true;
+    }
+
+    // Invariant: threads sharing block coordinates run contiguously
+    // (the "cluster property" of Section 2.3), in fork order.
+    std::map<BlockCoords, std::uint64_t> remaining = groups;
+    std::map<BlockCoords, std::uint64_t> last_tag;
+    BlockCoords current{};
+    bool have_current = false;
+    for (auto tag : trace.order) {
+        const BlockCoords &c = coords_of[tag];
+        if (!have_current || !(c == current)) {
+            // Entering a bin: it must be untouched so far.
+            EXPECT_EQ(remaining[c], groups[c])
+                << "bin re-entered after being left";
+            current = c;
+            have_current = true;
+        }
+        if (auto it = last_tag.find(c); it != last_tag.end()) {
+            EXPECT_LT(it->second, tag) << "fork order violated";
+        }
+        last_tag[c] = tag;
+        --remaining[c];
+    }
+    for (const auto &[c, count] : remaining)
+        EXPECT_EQ(count, 0u);
+}
+
+TEST_P(SchedulerProperty, KeepRunIsIdempotentOnOrder)
+{
+    const ParamCase pc = GetParam();
+    SchedulerConfig cfg;
+    cfg.dims = pc.dims;
+    cfg.blockBytes = pc.blockBytes;
+    cfg.hashBuckets = pc.hashBuckets;
+    cfg.groupCapacity = pc.groupCapacity;
+    cfg.symmetricHints = pc.symmetric;
+    LocalityScheduler sched(cfg);
+
+    lsched::Prng prng(99);
+    Trace trace;
+    const std::size_t n_threads = 300;
+    for (std::uint64_t t = 0; t < n_threads; ++t) {
+        Hint hints[kMaxDims] = {};
+        for (unsigned d = 0; d < pc.dims; ++d)
+            hints[d] = prng.nextBelow(pc.blockBytes * 4);
+        sched.fork(&Trace::record, &trace, reinterpret_cast<void *>(t),
+                   std::span<const Hint>(hints, pc.dims));
+    }
+    sched.run(true);
+    sched.run(true);
+    ASSERT_EQ(trace.order.size(), 2 * n_threads);
+    for (std::size_t i = 0; i < n_threads; ++i)
+        EXPECT_EQ(trace.order[i], trace.order[i + n_threads]);
+    sched.clear();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchedulerProperty,
+    ::testing::Values(ParamCase{1, 4096, 64, 8, false},
+                      ParamCase{2, 4096, 64, 8, false},
+                      ParamCase{2, 4096, 1, 1, false},
+                      ParamCase{2, 1000, 64, 8, false},
+                      ParamCase{2, 65536, 16, 64, true},
+                      ParamCase{3, 4096, 64, 8, false},
+                      ParamCase{3, 4096, 2048, 256, true},
+                      ParamCase{4, 8192, 128, 16, false},
+                      ParamCase{8, 4096, 64, 8, false},
+                      ParamCase{8, 4096, 64, 3, true}));
+
+} // namespace

@@ -1,0 +1,153 @@
+/**
+ * @file State-machine fuzz of the scheduler: random interleavings of
+ * fork / run / run-keep / clear, checked against an executable
+ * reference model of the paper's algorithm (bins keyed by block
+ * coordinates in first-fork order; threads in fork order; keep
+ * preserves everything; clear drops everything).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "support/prng.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+using namespace lsched::threads;
+
+/** The reference model: what the paper says should happen. */
+class ModelScheduler
+{
+  public:
+    explicit ModelScheduler(const BlockMap &map) : map_(map) {}
+
+    void
+    fork(std::uint64_t tag, std::span<const Hint> hints)
+    {
+        const BlockCoords coords = map_.coordsFor(hints);
+        auto it = binOf_.find(coords);
+        if (it == binOf_.end()) {
+            it = binOf_.emplace(coords, bins_.size()).first;
+            bins_.emplace_back();
+        }
+        bins_[it->second].push_back(tag);
+        ++pending_;
+    }
+
+    std::vector<std::uint64_t>
+    run(bool keep)
+    {
+        std::vector<std::uint64_t> order;
+        for (const auto &bin : bins_)
+            order.insert(order.end(), bin.begin(), bin.end());
+        if (!keep)
+            clear();
+        return order;
+    }
+
+    void
+    clear()
+    {
+        bins_.clear();
+        binOf_.clear();
+        pending_ = 0;
+    }
+
+    std::uint64_t pending() const { return pending_; }
+
+  private:
+    const BlockMap &map_;
+    std::vector<std::vector<std::uint64_t>> bins_;
+    std::map<BlockCoords, std::size_t> binOf_;
+    std::uint64_t pending_ = 0;
+};
+
+struct FuzzCase
+{
+    std::uint64_t seed;
+    unsigned dims;
+    std::uint64_t blockBytes;
+    std::uint32_t groupCapacity;
+};
+
+class SchedulerFuzz : public ::testing::TestWithParam<FuzzCase>
+{
+};
+
+std::vector<std::uint64_t> g_executed;
+
+void
+record(void *, void *tag)
+{
+    g_executed.push_back(reinterpret_cast<std::uintptr_t>(tag));
+}
+
+TEST_P(SchedulerFuzz, AgreesWithReferenceModel)
+{
+    const FuzzCase fc = GetParam();
+    SchedulerConfig cfg;
+    cfg.dims = fc.dims;
+    cfg.blockBytes = fc.blockBytes;
+    cfg.groupCapacity = fc.groupCapacity;
+    cfg.hashBuckets = 32;
+    LocalityScheduler sched(cfg);
+    BlockMap map(fc.dims, fc.blockBytes);
+    ModelScheduler model(map);
+
+    lsched::Prng prng(fc.seed);
+    std::uint64_t next_tag = 0;
+
+    for (int step = 0; step < 4000; ++step) {
+        const std::uint64_t op = prng.nextBelow(100);
+        if (op < 85) {
+            // fork
+            Hint hints[kMaxDims] = {};
+            for (unsigned d = 0; d < fc.dims; ++d)
+                hints[d] = prng.nextBelow(fc.blockBytes * 6);
+            std::span<const Hint> span(hints, fc.dims);
+            model.fork(next_tag, span);
+            sched.fork(&record, nullptr,
+                       reinterpret_cast<void *>(next_tag), span);
+            ++next_tag;
+        } else if (op < 93) {
+            // run (keep with probability 1/3)
+            const bool keep = prng.nextBelow(3) == 0;
+            const auto expected = model.run(keep);
+            g_executed.clear();
+            const std::uint64_t n = sched.run(keep);
+            ASSERT_EQ(n, expected.size()) << "step " << step;
+            ASSERT_EQ(g_executed, expected) << "step " << step;
+        } else if (op < 97) {
+            // clear
+            model.clear();
+            sched.clear();
+        } else {
+            // cross-check pending counters
+            ASSERT_EQ(sched.pendingThreads(), model.pending())
+                << "step " << step;
+        }
+    }
+    // Drain at the end.
+    const auto expected = model.run(false);
+    g_executed.clear();
+    ASSERT_EQ(sched.run(false), expected.size());
+    ASSERT_EQ(g_executed, expected);
+    ASSERT_EQ(sched.pendingThreads(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, SchedulerFuzz,
+    ::testing::Values(FuzzCase{1, 1, 4096, 4},
+                      FuzzCase{2, 2, 4096, 64},
+                      FuzzCase{3, 2, 1000, 1},
+                      FuzzCase{4, 3, 65536, 8},
+                      FuzzCase{5, 3, 4096, 3},
+                      FuzzCase{6, 4, 8192, 16},
+                      FuzzCase{7, 8, 4096, 64},
+                      FuzzCase{8, 2, 512, 2}));
+
+} // namespace

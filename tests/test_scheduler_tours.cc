@@ -1,0 +1,155 @@
+/** @file Scheduler + tour-policy interplay tests. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+using namespace lsched::threads;
+
+struct Log
+{
+    std::vector<std::uintptr_t> order;
+
+    static void
+    record(void *self, void *tag)
+    {
+        static_cast<Log *>(self)->order.push_back(
+            reinterpret_cast<std::uintptr_t>(tag));
+    }
+};
+
+SchedulerConfig
+config(TourPolicy tour)
+{
+    SchedulerConfig c;
+    c.dims = 2;
+    c.blockBytes = 1 << 16;
+    c.tour = tour;
+    return c;
+}
+
+TEST(SchedulerTours, SnakeRunsBinsInSortedOrder)
+{
+    LocalityScheduler s(config(TourPolicy::SortedSnake));
+    Log log;
+    // Create bins out of order along one axis: 3, 0, 2, 1.
+    for (std::uintptr_t b : {3u, 0u, 2u, 1u}) {
+        s.fork(&Log::record, &log, reinterpret_cast<void *>(b),
+               static_cast<Hint>(b) << 16, 0);
+    }
+    s.run();
+    EXPECT_EQ(log.order,
+              (std::vector<std::uintptr_t>{0, 1, 2, 3}));
+}
+
+TEST(SchedulerTours, SnakeAlternatesSecondDimension)
+{
+    LocalityScheduler s(config(TourPolicy::SortedSnake));
+    Log log;
+    // Four bins forming a 2x2 grid, forked in scrambled order.
+    auto fork_at = [&](std::uintptr_t tag, Hint x, Hint y) {
+        s.fork(&Log::record, &log, reinterpret_cast<void *>(tag),
+               x << 16, y << 16);
+    };
+    fork_at(11, 1, 1);
+    fork_at(0, 0, 0);
+    fork_at(10, 1, 0);
+    fork_at(1, 0, 1);
+    s.run();
+    // Row 0 ascending (0,0) (0,1); row 1 descending (1,1) (1,0).
+    EXPECT_EQ(log.order,
+              (std::vector<std::uintptr_t>{0, 1, 11, 10}));
+}
+
+TEST(SchedulerTours, EveryPolicyRunsEveryThreadOnce)
+{
+    for (auto policy :
+         {TourPolicy::CreationOrder, TourPolicy::SortedSnake,
+          TourPolicy::NearestNeighbor, TourPolicy::Hilbert}) {
+        LocalityScheduler s(config(policy));
+        Log log;
+        for (std::uintptr_t i = 0; i < 200; ++i) {
+            s.fork(&Log::record, &log, reinterpret_cast<void *>(i),
+                   static_cast<Hint>((i * 7) % 13) << 16,
+                   static_cast<Hint>((i * 3) % 11) << 16);
+        }
+        EXPECT_EQ(s.run(), 200u) << tourPolicyName(policy);
+        std::vector<bool> seen(200, false);
+        for (auto tag : log.order) {
+            ASSERT_LT(tag, 200u);
+            EXPECT_FALSE(seen[tag]) << tourPolicyName(policy);
+            seen[tag] = true;
+        }
+    }
+}
+
+TEST(SchedulerTours, KeepRunIsStableUnderNonCreationTours)
+{
+    LocalityScheduler s(config(TourPolicy::NearestNeighbor));
+    Log log;
+    for (std::uintptr_t i = 0; i < 50; ++i) {
+        s.fork(&Log::record, &log, reinterpret_cast<void *>(i),
+               static_cast<Hint>((i * 5) % 9) << 16,
+               static_cast<Hint>((i * 2) % 7) << 16);
+    }
+    s.run(true);
+    s.run(true);
+    ASSERT_EQ(log.order.size(), 100u);
+    for (std::size_t i = 0; i < 50; ++i)
+        EXPECT_EQ(log.order[i], log.order[i + 50]);
+    s.clear();
+}
+
+TEST(SchedulerTours, WithinBinOrderUnaffectedByTour)
+{
+    LocalityScheduler s(config(TourPolicy::Hilbert));
+    Log log;
+    // One bin, many threads: fork order must survive any tour.
+    for (std::uintptr_t i = 0; i < 30; ++i)
+        s.fork(&Log::record, &log, reinterpret_cast<void *>(i), 64, 64);
+    s.run();
+    for (std::uintptr_t i = 0; i < 30; ++i)
+        EXPECT_EQ(log.order[i], i);
+}
+
+TEST(SchedulerToursDeathTest, NestedForkRequiresCreationOrder)
+{
+    LocalityScheduler s(config(TourPolicy::SortedSnake));
+    struct Ctx
+    {
+        LocalityScheduler *sched;
+    } ctx{&s};
+    auto forker = [](void *c, void *) {
+        auto *ctx = static_cast<Ctx *>(c);
+        auto noop = [](void *, void *) {};
+        ctx->sched->fork(noop, nullptr, nullptr, 0, 0);
+    };
+    s.fork(forker, &ctx, nullptr, 0, 0);
+    EXPECT_EXIT(s.run(false), ::testing::ExitedWithCode(1),
+                "creation-order");
+}
+
+TEST(SchedulerToursDeathTest, NestedForkWithKeepIsFatal)
+{
+    SchedulerConfig cfg = config(TourPolicy::CreationOrder);
+    LocalityScheduler s(cfg);
+    struct Ctx
+    {
+        LocalityScheduler *sched;
+    } ctx{&s};
+    auto forker = [](void *c, void *) {
+        auto *ctx = static_cast<Ctx *>(c);
+        auto noop = [](void *, void *) {};
+        ctx->sched->fork(noop, nullptr, nullptr, 0, 0);
+    };
+    s.fork(forker, &ctx, nullptr, 0, 0);
+    EXPECT_EXIT(s.run(true), ::testing::ExitedWithCode(1),
+                "keep");
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+/** @file Unit tests for the SOR workload. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/machine_config.hh"
+#include "workloads/sor.hh"
+
+namespace
+{
+
+using namespace lsched::workloads;
+
+class SorTiledTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, unsigned,
+                                                 std::size_t>>
+{
+};
+
+TEST_P(SorTiledTest, HandTiledBitwiseEqualsUntiled)
+{
+    const auto [n, t, s] = GetParam();
+    Matrix a = sorInit(n, 5);
+    Matrix b = sorInit(n, 5);
+    NativeModel m;
+    sorUntiled(a, t, m);
+    sorHandTiled(b, t, m, s);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SorTiledTest,
+    ::testing::Values(std::make_tuple(3u, 1u, 18u),
+                      std::make_tuple(8u, 3u, 2u),
+                      std::make_tuple(16u, 5u, 18u),
+                      std::make_tuple(33u, 7u, 5u),
+                      std::make_tuple(64u, 10u, 18u),
+                      std::make_tuple(65u, 4u, 1u),
+                      std::make_tuple(20u, 30u, 18u)));
+
+TEST(Sor, ThreadedConvergesToSameFixedPoint)
+{
+    // Chaotic relaxation: one sorThreaded call runs each cache-sized
+    // strip of columns through all t iterations before the next strip
+    // starts — a block-relaxation pass, not t global sweeps. Repeated
+    // passes converge to the same unique fixed point (harmonic values
+    // with fixed boundary) as the sequential order; "the goal is to
+    // reach convergence" (paper Section 4.3).
+    const std::size_t n = 16;
+    Matrix a = sorInit(n, 5);
+    Matrix b = sorInit(n, 5);
+    NativeModel m;
+    sorUntiled(a, 800, m);
+    lsched::threads::SchedulerConfig cfg;
+    cfg.blockBytes = 512; // 4-column strips: worst case for staleness
+    lsched::threads::LocalityScheduler sched(cfg);
+    for (int outer = 0; outer < 200; ++outer)
+        sorThreaded(b, 4, sched, m);
+    EXPECT_LT(sorDefect(a), 1e-12);
+    EXPECT_LT(sorDefect(b), 1e-12);
+    EXPECT_LT(a.maxAbsDiff(b), 1e-9);
+}
+
+TEST(Sor, SingleThreadedPassStillSmooths)
+{
+    // Even the paper's single th_run (all t iterations of a strip
+    // before the next strip) reduces the defect substantially versus
+    // the initial random array.
+    const std::size_t n = 32;
+    Matrix b = sorInit(n, 5);
+    const double before = sorDefect(b);
+    NativeModel m;
+    lsched::threads::SchedulerConfig cfg;
+    cfg.blockBytes = 2048;
+    lsched::threads::LocalityScheduler sched(cfg);
+    sorThreaded(b, 30, sched, m);
+    EXPECT_LT(sorDefect(b), before / 10);
+}
+
+TEST(Sor, ThreadedForksAllThreadsUpFront)
+{
+    const std::size_t n = 16;
+    const unsigned t = 4;
+    Matrix a = sorInit(n, 1);
+    NativeModel m;
+    lsched::threads::LocalityScheduler sched;
+    sorThreaded(a, t, sched, m);
+    EXPECT_EQ(sched.stats().executedThreads,
+              static_cast<std::uint64_t>(t) * (n - 2));
+}
+
+TEST(Sor, DefectDecreasesMonotonically)
+{
+    const std::size_t n = 20;
+    Matrix a = sorInit(n, 9);
+    NativeModel m;
+    double last = sorDefect(a);
+    for (int round = 0; round < 5; ++round) {
+        sorUntiled(a, 10, m);
+        const double d = sorDefect(a);
+        EXPECT_LT(d, last);
+        last = d;
+    }
+}
+
+TEST(Sor, TracedMatchesNativeAndCountsRefs)
+{
+    const std::size_t n = 20;
+    const unsigned t = 3;
+    Matrix a = sorInit(n, 2);
+    Matrix b = sorInit(n, 2);
+    NativeModel nm;
+    sorUntiled(a, t, nm);
+    lsched::cachesim::Hierarchy h(
+        lsched::machine::scaled(lsched::machine::powerIndigo2R8000(), 64)
+            .caches);
+    SimModel sm(h);
+    sorUntiled(b, t, sm);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0);
+    // 3 loads + 1 store per interior point per iteration.
+    EXPECT_EQ(h.dataRefs(), 4u * (n - 2) * (n - 2) * t);
+}
+
+TEST(Sor, HandTiledChargesMoreInstructions)
+{
+    const std::size_t n = 32;
+    const unsigned t = 8;
+    Matrix a = sorInit(n, 2);
+    Matrix b = sorInit(n, 2);
+    const auto caches =
+        lsched::machine::scaled(lsched::machine::powerIndigo2R8000(), 64)
+            .caches;
+    lsched::cachesim::Hierarchy hu(caches), ht(caches);
+    SimModel mu(hu), mt(ht);
+    sorUntiled(a, t, mu);
+    sorHandTiled(b, t, mt);
+    EXPECT_GT(ht.ifetches(), hu.ifetches());
+    EXPECT_GT(ht.dataRefs(), hu.dataRefs());
+}
+
+TEST(Sor, DegenerateSizesAreSafe)
+{
+    NativeModel m;
+    Matrix tiny = sorInit(2, 1); // no interior points
+    sorUntiled(tiny, 5, m);
+    sorHandTiled(tiny, 5, m);
+    lsched::threads::LocalityScheduler sched;
+    sorThreaded(tiny, 5, sched, m);
+    EXPECT_EQ(sched.stats().executedThreads, 0u);
+}
+
+} // namespace

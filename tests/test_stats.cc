@@ -1,0 +1,60 @@
+/** @file Unit tests for support/stats.hh. */
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hh"
+
+namespace
+{
+
+using lsched::Summary;
+using lsched::summarize;
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, SingleSample)
+{
+    Summary s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Summary, KnownMoments)
+{
+    Summary s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.stddev(), 2.0, 1e-12); // classic population-sd example
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.coefficientOfVariation(), 0.4, 1e-12);
+}
+
+TEST(Summary, UniformDistributionHasLowCov)
+{
+    Summary s;
+    for (int i = 0; i < 100; ++i)
+        s.add(1000.0);
+    EXPECT_DOUBLE_EQ(s.coefficientOfVariation(), 0.0);
+}
+
+TEST(Summary, SummarizeVector)
+{
+    const Summary s = summarize({1, 2, 3, 4});
+    EXPECT_EQ(s.count(), 4u);
+    EXPECT_DOUBLE_EQ(s.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+}
+
+} // namespace

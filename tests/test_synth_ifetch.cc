@@ -1,0 +1,74 @@
+/** @file Unit tests for the synthetic instruction-fetch model. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hh"
+#include "trace/synth_ifetch.hh"
+
+namespace
+{
+
+using lsched::cachesim::Hierarchy;
+using lsched::cachesim::HierarchyConfig;
+using lsched::trace::SynthIFetch;
+
+HierarchyConfig
+cfg()
+{
+    HierarchyConfig c;
+    c.l1i = {"L1I", 1024, 32, 1};
+    c.l1d = {"L1D", 1024, 32, 1};
+    c.l2 = {"L2", 8192, 128, 4};
+    return c;
+}
+
+TEST(SynthIFetch, AnalyticEnterTouchesEachCodeLineOnce)
+{
+    Hierarchy h(cfg());
+    SynthIFetch f(&h, 0x400000, 512);
+    f.enter();
+    // 512 bytes / 32-byte L1I lines = 16 simulated fetches.
+    EXPECT_EQ(h.l1iStats().accesses, 16u);
+    EXPECT_EQ(h.l1iStats().misses, 16u); // all compulsory
+    EXPECT_EQ(h.ifetches(), 16u);
+}
+
+TEST(SynthIFetch, AnalyticExecuteCountsWithoutSimulating)
+{
+    Hierarchy h(cfg());
+    SynthIFetch f(&h, 0x400000, 512);
+    f.execute(1000000);
+    EXPECT_EQ(h.ifetches(), 1000000u);
+    EXPECT_EQ(h.l1iStats().accesses, 0u);
+}
+
+TEST(SynthIFetch, FullModeSimulatesEveryFetch)
+{
+    Hierarchy h(cfg());
+    SynthIFetch f(&h, 0x400000, 512, SynthIFetch::Mode::Full);
+    f.execute(1000);
+    EXPECT_EQ(h.ifetches(), 1000u);
+    EXPECT_EQ(h.l1iStats().accesses, 1000u);
+    // The 512-byte body has 16 lines; the rest hit.
+    EXPECT_EQ(h.l1iStats().misses, 16u);
+}
+
+TEST(SynthIFetch, NullHierarchyIsNoop)
+{
+    SynthIFetch f(nullptr, 0x400000, 512);
+    f.enter();
+    f.execute(100);
+    EXPECT_FALSE(f.active());
+}
+
+TEST(SynthIFetch, DisjointKernelsMissSeparately)
+{
+    Hierarchy h(cfg());
+    SynthIFetch a(&h, 0x400000, 256);
+    SynthIFetch b(&h, 0x401000, 256);
+    a.enter();
+    b.enter();
+    EXPECT_EQ(h.l1iStats().misses, 16u); // 8 lines each
+}
+
+} // namespace

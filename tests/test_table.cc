@@ -1,0 +1,110 @@
+/** @file Unit tests for support/table.hh. */
+
+#include <gtest/gtest.h>
+
+#include "support/table.hh"
+
+namespace
+{
+
+using lsched::TextTable;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t("Title", {"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "22"});
+    const std::string text = t.toText();
+    EXPECT_NE(text.find("Title"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("22"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t("", {"n", "v"});
+    t.addRow({"x", "1"});
+    t.addRow({"longer", "100"});
+    const std::string text = t.toText();
+    // All data lines must have equal width.
+    std::size_t width = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::string line = text.substr(pos, eol - pos);
+        if (!line.empty() && line[0] == '|') {
+            if (!width)
+                width = line.size();
+            EXPECT_EQ(line.size(), width);
+        }
+        pos = eol + 1;
+    }
+}
+
+TEST(TextTable, CsvEscapesCommasAndQuotes)
+{
+    TextTable t("", {"a", "b"});
+    t.addRow({"x,y", "he said \"hi\""});
+    const std::string csv = t.toCsv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, RuleSeparatesRowGroups)
+{
+    TextTable t("", {"a", "b"});
+    t.addRow({"x", "1"});
+    t.addRule();
+    t.addRow({"y", "2"});
+    const std::string text = t.toText();
+    // Count horizontal rules: top, under header, mid, bottom = 4.
+    std::size_t rules = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        if (text[pos] == '-')
+            ++rules;
+        pos = eol + 1;
+    }
+    EXPECT_EQ(rules, 4u);
+}
+
+TEST(TextTable, CsvIgnoresRules)
+{
+    TextTable t("", {"a"});
+    t.addRow({"1"});
+    t.addRule();
+    t.addRow({"2"});
+    EXPECT_EQ(t.toCsv(), "a\n1\n2\n");
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t("", {"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "row width");
+}
+
+TEST(TextTable, NumFormatsPrecision)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::num(2.0, 0), "2");
+    EXPECT_EQ(TextTable::num(-1.5, 1), "-1.5");
+}
+
+TEST(TextTable, CountAddsThousandsSeparators)
+{
+    EXPECT_EQ(TextTable::count(0), "0");
+    EXPECT_EQ(TextTable::count(999), "999");
+    EXPECT_EQ(TextTable::count(1000), "1,000");
+    EXPECT_EQ(TextTable::count(1048576), "1,048,576");
+}
+
+TEST(TextTable, ThousandsRoundsToNearest)
+{
+    EXPECT_EQ(TextTable::thousands(1499), "1");
+    EXPECT_EQ(TextTable::thousands(1500), "2");
+    EXPECT_EQ(TextTable::thousands(68225000), "68,225");
+}
+
+} // namespace

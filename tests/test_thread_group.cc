@@ -1,0 +1,91 @@
+/** @file Unit tests for thread groups and the group pool. */
+
+#include <gtest/gtest.h>
+
+#include "threads/thread_group.hh"
+
+namespace
+{
+
+using namespace lsched::threads;
+
+void
+noop(void *, void *)
+{
+}
+
+TEST(GroupPool, AllocatesEmptyGroups)
+{
+    GroupPool pool(8);
+    ThreadGroup *g = pool.allocate();
+    ASSERT_NE(g, nullptr);
+    EXPECT_EQ(g->count, 0u);
+    EXPECT_EQ(g->capacity, 8u);
+    EXPECT_EQ(g->next, nullptr);
+    EXPECT_FALSE(g->full());
+}
+
+TEST(GroupPool, PushFillsGroup)
+{
+    GroupPool pool(2);
+    ThreadGroup *g = pool.allocate();
+    g->push(&noop, reinterpret_cast<void *>(1),
+            reinterpret_cast<void *>(2));
+    EXPECT_EQ(g->count, 1u);
+    EXPECT_FALSE(g->full());
+    g->push(&noop, nullptr, nullptr);
+    EXPECT_TRUE(g->full());
+    EXPECT_EQ(g->specs[0].arg1, reinterpret_cast<void *>(1));
+    EXPECT_EQ(g->specs[0].arg2, reinterpret_cast<void *>(2));
+}
+
+TEST(GroupPool, RecycleChainReusesMemory)
+{
+    GroupPool pool(4);
+    ThreadGroup *a = pool.allocate();
+    ThreadGroup *b = pool.allocate();
+    a->next = b;
+    a->push(&noop, nullptr, nullptr);
+    b->push(&noop, nullptr, nullptr);
+    pool.recycleChain(a);
+    EXPECT_EQ(pool.allocatedGroups(), 2u);
+
+    // Recycled groups come back reset, no new allocation.
+    ThreadGroup *c = pool.allocate();
+    ThreadGroup *d = pool.allocate();
+    EXPECT_EQ(c->count, 0u);
+    EXPECT_EQ(d->count, 0u);
+    EXPECT_EQ(pool.allocatedGroups(), 2u);
+    // Set semantics: the two recycled groups are a and b in some order.
+    EXPECT_TRUE((c == a && d == b) || (c == b && d == a));
+}
+
+TEST(GroupPool, RecycleNullChainIsSafe)
+{
+    GroupPool pool(4);
+    pool.recycleChain(nullptr);
+    EXPECT_EQ(pool.allocatedGroups(), 0u);
+}
+
+TEST(GroupPool, SteadyStateForkingAllocatesNothingNew)
+{
+    GroupPool pool(16);
+    // Simulate three run cycles of 10 groups each.
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        ThreadGroup *head = nullptr;
+        for (int i = 0; i < 10; ++i) {
+            ThreadGroup *g = pool.allocate();
+            g->next = head;
+            head = g;
+        }
+        pool.recycleChain(head);
+    }
+    EXPECT_EQ(pool.allocatedGroups(), 10u);
+}
+
+TEST(GroupPoolDeathTest, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(GroupPool(0), "capacity");
+}
+
+} // namespace

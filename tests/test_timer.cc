@@ -1,0 +1,75 @@
+/** @file Unit tests for the timing utilities. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/timer.hh"
+
+namespace
+{
+
+using namespace lsched;
+
+TEST(WallTimer, AdvancesMonotonically)
+{
+    WallTimer t;
+    double last = t.seconds();
+    for (int i = 0; i < 1000; ++i) {
+        const double now = t.seconds();
+        EXPECT_GE(now, last);
+        last = now;
+    }
+    EXPECT_GE(last, 0.0);
+}
+
+TEST(WallTimer, ResetStartsOver)
+{
+    WallTimer t;
+    volatile double sink = 0;
+    for (int i = 0; i < 2000000; ++i)
+        sink = sink + std::sqrt(static_cast<double>(i));
+    const double before = t.seconds();
+    t.reset();
+    EXPECT_LT(t.seconds(), before);
+}
+
+TEST(CpuTimer, MeasuresBusyWork)
+{
+    CpuTimer t;
+    volatile double sink = 0;
+    for (int i = 0; i < 5000000; ++i)
+        sink = sink + std::sqrt(static_cast<double>(i));
+    // Several million sqrt calls cost measurable CPU time.
+    EXPECT_GT(t.seconds(), 0.0);
+}
+
+TEST(CpuTimer, NonNegativeAndMonotonic)
+{
+    CpuTimer t;
+    double last = 0;
+    for (int i = 0; i < 100; ++i) {
+        const double now = t.seconds();
+        EXPECT_GE(now, last);
+        last = now;
+    }
+}
+
+TEST(MeasureSecondsPerCall, AveragesOverManyCalls)
+{
+    int calls = 0;
+    const double per_call = measureSecondsPerCall(
+        [&] { ++calls; }, 0.01);
+    EXPECT_GT(calls, 100);     // a trivial body runs many times
+    EXPECT_GE(per_call, 0.0);
+    EXPECT_LT(per_call, 0.01); // far less than the whole window
+}
+
+TEST(MeasureSecondsPerCall, RunsBodyAtLeastOnce)
+{
+    bool ran = false;
+    measureSecondsPerCall([&] { ran = true; }, 0.0);
+    EXPECT_TRUE(ran);
+}
+
+} // namespace

@@ -1,0 +1,79 @@
+/** @file Unit tests for the crude timing model against the paper's
+ *  own arithmetic. */
+
+#include <gtest/gtest.h>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/timing_model.hh"
+
+namespace
+{
+
+using namespace lsched::machine;
+
+TEST(TimingModel, PureInstructionTime)
+{
+    const MachineConfig m = powerIndigo2R8000();
+    ExecutionProfile p;
+    p.instructions = 75000000; // one second of 1-IPC work at 75 MHz
+    EXPECT_NEAR(estimateSeconds(m, p), 1.0, 1e-9);
+}
+
+TEST(TimingModel, L2MissCostMatchesTable1)
+{
+    // Table 1: an L2 miss costs 1.06 us on the R8000.
+    const MachineConfig m = powerIndigo2R8000();
+    ExecutionProfile p;
+    p.l2Misses = 1000000;
+    EXPECT_NEAR(estimateSeconds(m, p), 1.06, 1e-9);
+}
+
+TEST(TimingModel, L1MissCostIsSevenCycles)
+{
+    const MachineConfig m = powerIndigo2R8000();
+    ExecutionProfile p;
+    p.l1Misses = 75000000 / 7;
+    EXPECT_NEAR(estimateSeconds(m, p), 1.0, 1e-6);
+}
+
+TEST(TimingModel, PaperSection42CrudeEstimate)
+{
+    // Section 4.2: the untiled-vs-tiled delta on the R8000 — 193M L1
+    // misses (7 cycles each) plus 67.5M L2 misses (1.06 us) should be
+    // "about 83 seconds".
+    const MachineConfig m = powerIndigo2R8000();
+    ExecutionProfile delta;
+    delta.l1Misses = 193000000;
+    delta.l2Misses = 67500000;
+    const double saved = estimateSeconds(m, delta);
+    EXPECT_NEAR(saved, 83.0, 8.0);
+}
+
+TEST(TimingModel, ProfileOfHierarchy)
+{
+    lsched::cachesim::HierarchyConfig cfg;
+    cfg.l1i = {"L1I", 1024, 32, 1};
+    cfg.l1d = {"L1D", 1024, 32, 1};
+    cfg.l2 = {"L2", 8192, 128, 4};
+    lsched::cachesim::Hierarchy h(cfg);
+    h.load(0, 8);         // L1D miss + L2 miss
+    h.ifetch(0x1000, 4);  // L1I miss + L2 miss
+    h.countIFetches(98);
+    const ExecutionProfile p = profileOf(h);
+    EXPECT_EQ(p.instructions, 99u);
+    EXPECT_EQ(p.l1Misses, 2u);
+    EXPECT_EQ(p.l2Misses, 2u);
+}
+
+TEST(TimingModel, FasterMachineRunsFaster)
+{
+    ExecutionProfile p;
+    p.instructions = 1000000000;
+    p.l1Misses = 10000000;
+    p.l2Misses = 1000000;
+    const double t8k = estimateSeconds(powerIndigo2R8000(), p);
+    const double t10k = estimateSeconds(indigo2ImpactR10000(), p);
+    EXPECT_LT(t10k, t8k);
+}
+
+} // namespace

@@ -1,0 +1,211 @@
+/** @file Unit tests for trace sinks and the .ltrc file format. */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cachesim/hierarchy.hh"
+#include "support/prng.hh"
+#include "trace/record.hh"
+#include "trace/recorder.hh"
+#include "trace/trace_file.hh"
+
+namespace
+{
+
+using namespace lsched::trace;
+
+std::string
+tempTracePath(const char *tag)
+{
+    return std::string(::testing::TempDir()) + "lsched_" + tag + ".ltrc";
+}
+
+TEST(VectorSink, CapturesRecordsInOrder)
+{
+    VectorSink sink;
+    sink.load(100, 8);
+    sink.store(200, 4);
+    sink.ifetch(300, 4);
+    ASSERT_EQ(sink.records().size(), 3u);
+    EXPECT_EQ(sink.records()[0],
+              (TraceRecord{RefType::Load, 8, 100}));
+    EXPECT_EQ(sink.records()[1],
+              (TraceRecord{RefType::Store, 4, 200}));
+    EXPECT_EQ(sink.records()[2],
+              (TraceRecord{RefType::IFetch, 4, 300}));
+}
+
+TEST(CountingSink, CountsByType)
+{
+    CountingSink sink;
+    sink.load(0, 8);
+    sink.load(8, 8);
+    sink.store(16, 8);
+    sink.ifetch(0, 4);
+    EXPECT_EQ(sink.loads(), 2u);
+    EXPECT_EQ(sink.stores(), 1u);
+    EXPECT_EQ(sink.ifetches(), 1u);
+    EXPECT_EQ(sink.dataRefs(), 3u);
+}
+
+TEST(HierarchySink, ForwardsToHierarchy)
+{
+    lsched::cachesim::HierarchyConfig cfg;
+    cfg.l1i = {"L1I", 1024, 32, 1};
+    cfg.l1d = {"L1D", 1024, 32, 1};
+    cfg.l2 = {"L2", 8192, 128, 4};
+    lsched::cachesim::Hierarchy h(cfg);
+    HierarchySink sink(h);
+    sink.load(0, 8);
+    sink.store(8, 8);
+    sink.ifetch(0x1000, 4);
+    EXPECT_EQ(h.dataRefs(), 2u);
+    EXPECT_EQ(h.ifetches(), 1u);
+}
+
+TEST(TraceFile, RoundTripSmall)
+{
+    const std::string path = tempTracePath("roundtrip");
+    {
+        TraceWriter w(path);
+        w.load(0x1000, 8);
+        w.store(0x1008, 8);
+        w.ifetch(0x400000, 4);
+        w.load(0x0, 8); // negative delta
+    }
+    TraceReader r(path);
+    EXPECT_EQ(r.count(), 4u);
+    TraceRecord rec;
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{RefType::Load, 8, 0x1000}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{RefType::Store, 8, 0x1008}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{RefType::IFetch, 4, 0x400000}));
+    ASSERT_TRUE(r.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{RefType::Load, 8, 0x0}));
+    EXPECT_FALSE(r.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RoundTripRandomStream)
+{
+    const std::string path = tempTracePath("random");
+    std::vector<TraceRecord> expected;
+    lsched::Prng prng(31337);
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 10000; ++i) {
+            const auto type = static_cast<RefType>(prng.nextBelow(3));
+            const auto size =
+                static_cast<std::uint8_t>(1 + prng.nextBelow(32));
+            const std::uint64_t addr = prng.next() >> 12;
+            w.ref(type, addr, size);
+            expected.push_back({type, size, addr});
+        }
+        EXPECT_EQ(w.count(), 10000u);
+    }
+    TraceReader r(path);
+    TraceRecord rec;
+    for (const auto &e : expected) {
+        ASSERT_TRUE(r.next(rec));
+        ASSERT_EQ(rec, e);
+    }
+    EXPECT_FALSE(r.next(rec));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayDrivesSink)
+{
+    const std::string path = tempTracePath("replay");
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 100; ++i)
+            w.load(static_cast<std::uint64_t>(i) * 8, 8);
+        for (int i = 0; i < 50; ++i)
+            w.store(static_cast<std::uint64_t>(i) * 8, 8);
+    }
+    TraceReader r(path);
+    CountingSink sink;
+    EXPECT_EQ(r.replay(sink), 150u);
+    EXPECT_EQ(sink.loads(), 100u);
+    EXPECT_EQ(sink.stores(), 50u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, StridedStreamCompressesWell)
+{
+    const std::string path = tempTracePath("compression");
+    const int n = 100000;
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < n; ++i)
+            w.load(0x10000000 + static_cast<std::uint64_t>(i) * 8, 8);
+    }
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 0, SEEK_END);
+    const long bytes = std::ftell(f);
+    std::fclose(f);
+    // Fixed-stride deltas need ~2 bytes per record.
+    EXPECT_LT(bytes, n * 3);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, CloseIsIdempotent)
+{
+    const std::string path = tempTracePath("close");
+    TraceWriter w(path);
+    w.load(0x100, 8);
+    w.close();
+    w.close(); // second close must be harmless
+    TraceReader r(path);
+    EXPECT_EQ(r.count(), 1u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, TruncatedBodyIsFatal)
+{
+    const std::string path = tempTracePath("truncbody");
+    {
+        TraceWriter w(path);
+        for (int i = 0; i < 100; ++i)
+            w.load(0x123456789abcull + static_cast<std::uint64_t>(i) *
+                                           0x10000,
+                   8);
+    }
+    // Chop the file mid-record.
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), size - 3), 0);
+
+    TraceReader r(path);
+    TraceRecord rec;
+    EXPECT_EXIT(
+        {
+            while (r.next(rec)) {
+            }
+        },
+        ::testing::ExitedWithCode(1), "truncated");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeathTest, BadMagicIsFatal)
+{
+    const std::string path = tempTracePath("badmagic");
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    std::fwrite("NOPE____________", 1, 16, f);
+    std::fclose(f);
+    EXPECT_EXIT(TraceReader r(path), ::testing::ExitedWithCode(1),
+                "bad magic");
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,186 @@
+/**
+ * @file Integration tests of the trace substrate: online simulation,
+ * trace capture, offline replay, and din export must all agree — the
+ * Pixie -> DineroIII pipeline property the paper's methodology rests
+ * on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cachesim/hierarchy.hh"
+#include "machine/machine_config.hh"
+#include "support/prng.hh"
+#include "trace/din.hh"
+#include "trace/recorder.hh"
+#include "trace/trace_file.hh"
+#include "workloads/matmul.hh"
+
+namespace
+{
+
+using namespace lsched;
+using namespace lsched::trace;
+using namespace lsched::workloads;
+
+std::string
+tmpPath(const char *tag, const char *ext)
+{
+    return std::string(::testing::TempDir()) + "lsched_" + tag + ext;
+}
+
+/** Duplicates a reference stream into two sinks. */
+class FanSink final : public TraceSink
+{
+  public:
+    FanSink(TraceSink &a, TraceSink &b) : a_(a), b_(b) {}
+
+    void
+    ref(RefType t, std::uint64_t addr, std::uint32_t s) override
+    {
+        a_.ref(t, addr, s);
+        b_.ref(t, addr, s);
+    }
+
+  private:
+    TraceSink &a_;
+    TraceSink &b_;
+};
+
+/** Memory-model policy that forwards data references to a TraceSink. */
+struct SinkModel
+{
+    static constexpr bool traced = true;
+    TraceSink *sink;
+
+    void
+    load(const void *p, std::uint32_t s)
+    {
+        sink->ref(RefType::Load, reinterpret_cast<std::uintptr_t>(p),
+                  s);
+    }
+    void
+    store(const void *p, std::uint32_t s)
+    {
+        sink->ref(RefType::Store, reinterpret_cast<std::uintptr_t>(p),
+                  s);
+    }
+    void instructions(std::uint64_t) {}
+    void enterKernel(unsigned) {}
+};
+
+/** Emit the data-reference stream of a small matmul into @p sink. */
+void
+recordWorkload(TraceSink &sink)
+{
+    const std::size_t n = 16;
+    Matrix a(n, n), b(n, n), c(n, n);
+    randomize(a, 1);
+    randomize(b, 2);
+    SinkModel model{&sink};
+    matmulInterchanged(a, b, c, model);
+}
+
+TEST(TracePipeline, OfflineReplayMatchesOnlineSimulation)
+{
+    const std::string path = tmpPath("pipeline", ".ltrc");
+    const cachesim::HierarchyConfig cfg =
+        machine::scaled(machine::powerIndigo2R8000(), 64).caches;
+
+    // Online: simulate while recording the same stream to disk.
+    cachesim::Hierarchy online(cfg);
+    {
+        HierarchySink live(online);
+        TraceWriter writer(path);
+        FanSink fan(live, writer);
+        recordWorkload(fan);
+    }
+
+    // Offline: replay the file into a fresh identical hierarchy.
+    cachesim::Hierarchy offline(cfg);
+    {
+        TraceReader reader(path);
+        HierarchySink sink(offline);
+        reader.replay(sink);
+    }
+
+    EXPECT_GT(online.dataRefs(), 10000u);
+    EXPECT_EQ(offline.dataRefs(), online.dataRefs());
+    EXPECT_EQ(offline.l1dStats().accesses, online.l1dStats().accesses);
+    EXPECT_EQ(offline.l1dStats().misses, online.l1dStats().misses);
+    EXPECT_EQ(offline.l2Stats().misses, online.l2Stats().misses);
+    EXPECT_EQ(offline.l2Stats().capacityMisses,
+              online.l2Stats().capacityMisses);
+    EXPECT_EQ(offline.l2Stats().conflictMisses,
+              online.l2Stats().conflictMisses);
+    std::remove(path.c_str());
+}
+
+TEST(TracePipeline, LtrcAndDinExportsDescribeTheSameStream)
+{
+    const std::string ltrc = tmpPath("same", ".ltrc");
+    const std::string din = tmpPath("same", ".din");
+    {
+        TraceWriter lw(ltrc);
+        DinWriter dw(din);
+        FanSink fan(lw, dw);
+        recordWorkload(fan);
+        EXPECT_EQ(lw.count(), dw.count());
+    }
+    TraceReader lr(ltrc);
+    DinReader dr(din);
+    TraceRecord a, b;
+    std::uint64_t records = 0;
+    while (lr.next(a)) {
+        ASSERT_TRUE(dr.next(b));
+        ASSERT_EQ(a.type, b.type) << "record " << records;
+        ASSERT_EQ(a.addr, b.addr) << "record " << records;
+        ++records;
+    }
+    EXPECT_FALSE(dr.next(b));
+    EXPECT_GT(records, 10000u);
+    std::remove(ltrc.c_str());
+    std::remove(din.c_str());
+}
+
+TEST(TracePipeline, DinReplayProducesSameMissesAsLtrcReplay)
+{
+    const std::string ltrc = tmpPath("misses", ".ltrc");
+    const std::string din = tmpPath("misses", ".din");
+    {
+        TraceWriter lw(ltrc);
+        DinWriter dw(din);
+        FanSink fan(lw, dw);
+        // A deterministic synthetic stream exercising all types.
+        Prng prng(5);
+        for (int i = 0; i < 20000; ++i) {
+            const auto type = static_cast<RefType>(prng.nextBelow(3));
+            const std::uint64_t addr = prng.nextBelow(1 << 16) & ~3ull;
+            fan.ref(type, addr, 4);
+        }
+    }
+    const cachesim::HierarchyConfig cfg =
+        machine::scaled(machine::powerIndigo2R8000(), 128).caches;
+    cachesim::Hierarchy from_ltrc(cfg), from_din(cfg);
+    {
+        TraceReader r(ltrc);
+        HierarchySink s(from_ltrc);
+        r.replay(s);
+    }
+    {
+        DinReader r(din);
+        HierarchySink s(from_din);
+        r.replay(s);
+    }
+    EXPECT_EQ(from_ltrc.l1dStats().misses,
+              from_din.l1dStats().misses);
+    EXPECT_EQ(from_ltrc.l1iStats().misses,
+              from_din.l1iStats().misses);
+    EXPECT_EQ(from_ltrc.l2Stats().misses, from_din.l2Stats().misses);
+    std::remove(ltrc.c_str());
+    std::remove(din.c_str());
+}
+
+} // namespace
