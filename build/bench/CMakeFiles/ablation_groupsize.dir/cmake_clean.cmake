@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_groupsize.dir/ablation_groupsize.cc.o"
+  "CMakeFiles/ablation_groupsize.dir/ablation_groupsize.cc.o.d"
+  "ablation_groupsize"
+  "ablation_groupsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_groupsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hash.dir/ablation_hash.cc.o"
+  "CMakeFiles/ablation_hash.dir/ablation_hash.cc.o.d"
+  "ablation_hash"
+  "ablation_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layout.dir/ablation_layout.cc.o"
+  "CMakeFiles/ablation_layout.dir/ablation_layout.cc.o.d"
+  "ablation_layout"
+  "ablation_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_package.dir/ablation_package.cc.o"
+  "CMakeFiles/ablation_package.dir/ablation_package.cc.o.d"
+  "ablation_package"
+  "ablation_package.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_package.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

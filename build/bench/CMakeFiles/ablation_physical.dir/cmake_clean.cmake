@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_physical.dir/ablation_physical.cc.o"
+  "CMakeFiles/ablation_physical.dir/ablation_physical.cc.o.d"
+  "ablation_physical"
+  "ablation_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_replacement.dir/ablation_replacement.cc.o"
+  "CMakeFiles/ablation_replacement.dir/ablation_replacement.cc.o.d"
+  "ablation_replacement"
+  "ablation_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_smp.dir/ablation_smp.cc.o"
+  "CMakeFiles/ablation_smp.dir/ablation_smp.cc.o.d"
+  "ablation_smp"
+  "ablation_smp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tours.dir/ablation_tours.cc.o"
+  "CMakeFiles/ablation_tours.dir/ablation_tours.cc.o.d"
+  "ablation_tours"
+  "ablation_tours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_spmv.dir/extension_spmv.cc.o"
+  "CMakeFiles/extension_spmv.dir/extension_spmv.cc.o.d"
+  "extension_spmv"
+  "extension_spmv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_spmv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_blocksize.dir/fig4_blocksize.cc.o"
+  "CMakeFiles/fig4_blocksize.dir/fig4_blocksize.cc.o.d"
+  "fig4_blocksize"
+  "fig4_blocksize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_blocksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_validation.dir/host_validation.cc.o"
+  "CMakeFiles/host_validation.dir/host_validation.cc.o.d"
+  "host_validation"
+  "host_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_gbench.dir/microbench_gbench.cc.o"
+  "CMakeFiles/microbench_gbench.dir/microbench_gbench.cc.o.d"
+  "microbench_gbench"
+  "microbench_gbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_gbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

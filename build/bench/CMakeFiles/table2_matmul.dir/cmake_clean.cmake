@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_matmul.dir/table2_matmul.cc.o"
+  "CMakeFiles/table2_matmul.dir/table2_matmul.cc.o.d"
+  "table2_matmul"
+  "table2_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

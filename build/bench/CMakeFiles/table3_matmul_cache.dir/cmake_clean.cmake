@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_matmul_cache.dir/table3_matmul_cache.cc.o"
+  "CMakeFiles/table3_matmul_cache.dir/table3_matmul_cache.cc.o.d"
+  "table3_matmul_cache"
+  "table3_matmul_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_matmul_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

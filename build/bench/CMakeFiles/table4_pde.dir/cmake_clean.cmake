@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_pde.dir/table4_pde.cc.o"
+  "CMakeFiles/table4_pde.dir/table4_pde.cc.o.d"
+  "table4_pde"
+  "table4_pde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_pde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

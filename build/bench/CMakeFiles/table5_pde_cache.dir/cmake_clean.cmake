@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_pde_cache.dir/table5_pde_cache.cc.o"
+  "CMakeFiles/table5_pde_cache.dir/table5_pde_cache.cc.o.d"
+  "table5_pde_cache"
+  "table5_pde_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_pde_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_sor.dir/table6_sor.cc.o"
+  "CMakeFiles/table6_sor.dir/table6_sor.cc.o.d"
+  "table6_sor"
+  "table6_sor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_sor_cache.dir/table7_sor_cache.cc.o"
+  "CMakeFiles/table7_sor_cache.dir/table7_sor_cache.cc.o.d"
+  "table7_sor_cache"
+  "table7_sor_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_sor_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

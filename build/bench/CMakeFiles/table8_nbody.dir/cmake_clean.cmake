@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_nbody.dir/table8_nbody.cc.o"
+  "CMakeFiles/table8_nbody.dir/table8_nbody.cc.o.d"
+  "table8_nbody"
+  "table8_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_nbody_cache.dir/table9_nbody_cache.cc.o"
+  "CMakeFiles/table9_nbody_cache.dir/table9_nbody_cache.cc.o.d"
+  "table9_nbody_cache"
+  "table9_nbody_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_nbody_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

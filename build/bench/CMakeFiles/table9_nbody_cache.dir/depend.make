@@ -1,0 +1,2 @@
+# Empty dependencies file for table9_nbody_cache.
+# This may be replaced when dependencies are built.

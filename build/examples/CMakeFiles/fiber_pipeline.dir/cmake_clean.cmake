@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fiber_pipeline.dir/fiber_pipeline.cpp.o"
+  "CMakeFiles/fiber_pipeline.dir/fiber_pipeline.cpp.o.d"
+  "fiber_pipeline"
+  "fiber_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fiber_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

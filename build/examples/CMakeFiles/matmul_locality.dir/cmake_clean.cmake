@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_locality.dir/matmul_locality.cpp.o"
+  "CMakeFiles/matmul_locality.dir/matmul_locality.cpp.o.d"
+  "matmul_locality"
+  "matmul_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for matmul_locality.
+# This may be replaced when dependencies are built.

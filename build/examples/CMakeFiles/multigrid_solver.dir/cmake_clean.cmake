@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multigrid_solver.dir/multigrid_solver.cpp.o"
+  "CMakeFiles/multigrid_solver.dir/multigrid_solver.cpp.o.d"
+  "multigrid_solver"
+  "multigrid_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multigrid_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbody_sim.dir/nbody_sim.cpp.o"
+  "CMakeFiles/nbody_sim.dir/nbody_sim.cpp.o.d"
+  "nbody_sim"
+  "nbody_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbody_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plane_visualizer.dir/plane_visualizer.cpp.o"
+  "CMakeFiles/plane_visualizer.dir/plane_visualizer.cpp.o.d"
+  "plane_visualizer"
+  "plane_visualizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plane_visualizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lsched_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/lsched_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lsched_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/lsched_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fibers/CMakeFiles/lsched_fibers.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfcount/CMakeFiles/lsched_perfcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/lsched_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

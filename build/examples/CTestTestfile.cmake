@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "64")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_matmul_locality "/root/repo/build/examples/matmul_locality" "64" "128")
+set_tests_properties(example_matmul_locality PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_nbody_sim "/root/repo/build/examples/nbody_sim" "1024" "2")
+set_tests_properties(example_nbody_sim PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cache_explorer "/root/repo/build/examples/cache_explorer" "r8000" "1024")
+set_tests_properties(example_cache_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_multigrid_solver "/root/repo/build/examples/multigrid_solver" "63" "4")
+set_tests_properties(example_multigrid_solver PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fiber_pipeline "/root/repo/build/examples/fiber_pipeline" "16" "4096")
+set_tests_properties(example_fiber_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plane_visualizer_matmul "/root/repo/build/examples/plane_visualizer" "matmul" "64")
+set_tests_properties(example_plane_visualizer_matmul PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_plane_visualizer_nbody "/root/repo/build/examples/plane_visualizer" "nbody" "2048")
+set_tests_properties(example_plane_visualizer_nbody PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_cachesim.dir/cache.cc.o"
+  "CMakeFiles/lsched_cachesim.dir/cache.cc.o.d"
+  "CMakeFiles/lsched_cachesim.dir/hierarchy.cc.o"
+  "CMakeFiles/lsched_cachesim.dir/hierarchy.cc.o.d"
+  "liblsched_cachesim.a"
+  "liblsched_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fibers/fiber.cc" "src/fibers/CMakeFiles/lsched_fibers.dir/fiber.cc.o" "gcc" "src/fibers/CMakeFiles/lsched_fibers.dir/fiber.cc.o.d"
+  "/root/repo/src/fibers/general_scheduler.cc" "src/fibers/CMakeFiles/lsched_fibers.dir/general_scheduler.cc.o" "gcc" "src/fibers/CMakeFiles/lsched_fibers.dir/general_scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lsched_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/lsched_threads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_fibers.dir/fiber.cc.o"
+  "CMakeFiles/lsched_fibers.dir/fiber.cc.o.d"
+  "CMakeFiles/lsched_fibers.dir/general_scheduler.cc.o"
+  "CMakeFiles/lsched_fibers.dir/general_scheduler.cc.o.d"
+  "liblsched_fibers.a"
+  "liblsched_fibers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_fibers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

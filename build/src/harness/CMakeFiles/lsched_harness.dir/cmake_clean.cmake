@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_harness.dir/report.cc.o"
+  "CMakeFiles/lsched_harness.dir/report.cc.o.d"
+  "liblsched_harness.a"
+  "liblsched_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/machine/machine_config.cc" "src/machine/CMakeFiles/lsched_machine.dir/machine_config.cc.o" "gcc" "src/machine/CMakeFiles/lsched_machine.dir/machine_config.cc.o.d"
+  "/root/repo/src/machine/timing_model.cc" "src/machine/CMakeFiles/lsched_machine.dir/timing_model.cc.o" "gcc" "src/machine/CMakeFiles/lsched_machine.dir/timing_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lsched_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/lsched_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

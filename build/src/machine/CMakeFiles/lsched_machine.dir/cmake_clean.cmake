@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_machine.dir/machine_config.cc.o"
+  "CMakeFiles/lsched_machine.dir/machine_config.cc.o.d"
+  "CMakeFiles/lsched_machine.dir/timing_model.cc.o"
+  "CMakeFiles/lsched_machine.dir/timing_model.cc.o.d"
+  "liblsched_machine.a"
+  "liblsched_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

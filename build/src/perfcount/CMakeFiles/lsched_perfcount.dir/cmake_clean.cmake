@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_perfcount.dir/perf_counters.cc.o"
+  "CMakeFiles/lsched_perfcount.dir/perf_counters.cc.o.d"
+  "liblsched_perfcount.a"
+  "liblsched_perfcount.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_perfcount.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblsched_perfcount.a"
+)

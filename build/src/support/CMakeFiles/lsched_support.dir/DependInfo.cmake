@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/cli.cc" "src/support/CMakeFiles/lsched_support.dir/cli.cc.o" "gcc" "src/support/CMakeFiles/lsched_support.dir/cli.cc.o.d"
+  "/root/repo/src/support/panic.cc" "src/support/CMakeFiles/lsched_support.dir/panic.cc.o" "gcc" "src/support/CMakeFiles/lsched_support.dir/panic.cc.o.d"
+  "/root/repo/src/support/table.cc" "src/support/CMakeFiles/lsched_support.dir/table.cc.o" "gcc" "src/support/CMakeFiles/lsched_support.dir/table.cc.o.d"
+  "/root/repo/src/support/timer.cc" "src/support/CMakeFiles/lsched_support.dir/timer.cc.o" "gcc" "src/support/CMakeFiles/lsched_support.dir/timer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

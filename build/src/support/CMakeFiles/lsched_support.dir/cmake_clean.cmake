@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_support.dir/cli.cc.o"
+  "CMakeFiles/lsched_support.dir/cli.cc.o.d"
+  "CMakeFiles/lsched_support.dir/panic.cc.o"
+  "CMakeFiles/lsched_support.dir/panic.cc.o.d"
+  "CMakeFiles/lsched_support.dir/table.cc.o"
+  "CMakeFiles/lsched_support.dir/table.cc.o.d"
+  "CMakeFiles/lsched_support.dir/timer.cc.o"
+  "CMakeFiles/lsched_support.dir/timer.cc.o.d"
+  "liblsched_support.a"
+  "liblsched_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

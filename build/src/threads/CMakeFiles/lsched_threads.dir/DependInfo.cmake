@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/threads/c_api.cc" "src/threads/CMakeFiles/lsched_threads.dir/c_api.cc.o" "gcc" "src/threads/CMakeFiles/lsched_threads.dir/c_api.cc.o.d"
+  "/root/repo/src/threads/parallel_scheduler.cc" "src/threads/CMakeFiles/lsched_threads.dir/parallel_scheduler.cc.o" "gcc" "src/threads/CMakeFiles/lsched_threads.dir/parallel_scheduler.cc.o.d"
+  "/root/repo/src/threads/scheduler.cc" "src/threads/CMakeFiles/lsched_threads.dir/scheduler.cc.o" "gcc" "src/threads/CMakeFiles/lsched_threads.dir/scheduler.cc.o.d"
+  "/root/repo/src/threads/tour.cc" "src/threads/CMakeFiles/lsched_threads.dir/tour.cc.o" "gcc" "src/threads/CMakeFiles/lsched_threads.dir/tour.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lsched_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_threads.dir/c_api.cc.o"
+  "CMakeFiles/lsched_threads.dir/c_api.cc.o.d"
+  "CMakeFiles/lsched_threads.dir/parallel_scheduler.cc.o"
+  "CMakeFiles/lsched_threads.dir/parallel_scheduler.cc.o.d"
+  "CMakeFiles/lsched_threads.dir/scheduler.cc.o"
+  "CMakeFiles/lsched_threads.dir/scheduler.cc.o.d"
+  "CMakeFiles/lsched_threads.dir/tour.cc.o"
+  "CMakeFiles/lsched_threads.dir/tour.cc.o.d"
+  "liblsched_threads.a"
+  "liblsched_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lsched_trace.dir/din.cc.o"
+  "CMakeFiles/lsched_trace.dir/din.cc.o.d"
+  "CMakeFiles/lsched_trace.dir/trace_file.cc.o"
+  "CMakeFiles/lsched_trace.dir/trace_file.cc.o.d"
+  "liblsched_trace.a"
+  "liblsched_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lsched_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_align.cc" "tests/CMakeFiles/lsched_tests.dir/test_align.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_align.cc.o.d"
+  "/root/repo/tests/test_analytic_bounds.cc" "tests/CMakeFiles/lsched_tests.dir/test_analytic_bounds.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_analytic_bounds.cc.o.d"
+  "/root/repo/tests/test_block_map.cc" "tests/CMakeFiles/lsched_tests.dir/test_block_map.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_block_map.cc.o.d"
+  "/root/repo/tests/test_c_api.cc" "tests/CMakeFiles/lsched_tests.dir/test_c_api.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_c_api.cc.o.d"
+  "/root/repo/tests/test_cache.cc" "tests/CMakeFiles/lsched_tests.dir/test_cache.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_cache.cc.o.d"
+  "/root/repo/tests/test_cache_policies.cc" "tests/CMakeFiles/lsched_tests.dir/test_cache_policies.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_cache_policies.cc.o.d"
+  "/root/repo/tests/test_classify.cc" "tests/CMakeFiles/lsched_tests.dir/test_classify.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_classify.cc.o.d"
+  "/root/repo/tests/test_cli.cc" "tests/CMakeFiles/lsched_tests.dir/test_cli.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_cli.cc.o.d"
+  "/root/repo/tests/test_din.cc" "tests/CMakeFiles/lsched_tests.dir/test_din.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_din.cc.o.d"
+  "/root/repo/tests/test_fiber_workload.cc" "tests/CMakeFiles/lsched_tests.dir/test_fiber_workload.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_fiber_workload.cc.o.d"
+  "/root/repo/tests/test_fibers.cc" "tests/CMakeFiles/lsched_tests.dir/test_fibers.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_fibers.cc.o.d"
+  "/root/repo/tests/test_fortran_api.cc" "tests/CMakeFiles/lsched_tests.dir/test_fortran_api.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_fortran_api.cc.o.d"
+  "/root/repo/tests/test_fully_assoc.cc" "tests/CMakeFiles/lsched_tests.dir/test_fully_assoc.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_fully_assoc.cc.o.d"
+  "/root/repo/tests/test_general_scheduler.cc" "tests/CMakeFiles/lsched_tests.dir/test_general_scheduler.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_general_scheduler.cc.o.d"
+  "/root/repo/tests/test_harness.cc" "tests/CMakeFiles/lsched_tests.dir/test_harness.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_harness.cc.o.d"
+  "/root/repo/tests/test_hash_table.cc" "tests/CMakeFiles/lsched_tests.dir/test_hash_table.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_hash_table.cc.o.d"
+  "/root/repo/tests/test_hierarchy.cc" "tests/CMakeFiles/lsched_tests.dir/test_hierarchy.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_hierarchy.cc.o.d"
+  "/root/repo/tests/test_ifetch_fidelity.cc" "tests/CMakeFiles/lsched_tests.dir/test_ifetch_fidelity.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_ifetch_fidelity.cc.o.d"
+  "/root/repo/tests/test_integration.cc" "tests/CMakeFiles/lsched_tests.dir/test_integration.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_integration.cc.o.d"
+  "/root/repo/tests/test_machine.cc" "tests/CMakeFiles/lsched_tests.dir/test_machine.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_machine.cc.o.d"
+  "/root/repo/tests/test_matmul.cc" "tests/CMakeFiles/lsched_tests.dir/test_matmul.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_matmul.cc.o.d"
+  "/root/repo/tests/test_matrix.cc" "tests/CMakeFiles/lsched_tests.dir/test_matrix.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_matrix.cc.o.d"
+  "/root/repo/tests/test_multigrid.cc" "tests/CMakeFiles/lsched_tests.dir/test_multigrid.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_multigrid.cc.o.d"
+  "/root/repo/tests/test_nbody.cc" "tests/CMakeFiles/lsched_tests.dir/test_nbody.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_nbody.cc.o.d"
+  "/root/repo/tests/test_nbody_layout.cc" "tests/CMakeFiles/lsched_tests.dir/test_nbody_layout.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_nbody_layout.cc.o.d"
+  "/root/repo/tests/test_page_map.cc" "tests/CMakeFiles/lsched_tests.dir/test_page_map.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_page_map.cc.o.d"
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/lsched_tests.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_parallel.cc.o.d"
+  "/root/repo/tests/test_pde.cc" "tests/CMakeFiles/lsched_tests.dir/test_pde.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_pde.cc.o.d"
+  "/root/repo/tests/test_perfcount.cc" "tests/CMakeFiles/lsched_tests.dir/test_perfcount.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_perfcount.cc.o.d"
+  "/root/repo/tests/test_prng.cc" "tests/CMakeFiles/lsched_tests.dir/test_prng.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_prng.cc.o.d"
+  "/root/repo/tests/test_property_cache.cc" "tests/CMakeFiles/lsched_tests.dir/test_property_cache.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_property_cache.cc.o.d"
+  "/root/repo/tests/test_property_hierarchy.cc" "tests/CMakeFiles/lsched_tests.dir/test_property_hierarchy.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_property_hierarchy.cc.o.d"
+  "/root/repo/tests/test_property_scheduler.cc" "tests/CMakeFiles/lsched_tests.dir/test_property_scheduler.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_property_scheduler.cc.o.d"
+  "/root/repo/tests/test_property_statemachine.cc" "tests/CMakeFiles/lsched_tests.dir/test_property_statemachine.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_property_statemachine.cc.o.d"
+  "/root/repo/tests/test_scheduler.cc" "tests/CMakeFiles/lsched_tests.dir/test_scheduler.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_scheduler.cc.o.d"
+  "/root/repo/tests/test_scheduler_tours.cc" "tests/CMakeFiles/lsched_tests.dir/test_scheduler_tours.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_scheduler_tours.cc.o.d"
+  "/root/repo/tests/test_sor.cc" "tests/CMakeFiles/lsched_tests.dir/test_sor.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_sor.cc.o.d"
+  "/root/repo/tests/test_spmv.cc" "tests/CMakeFiles/lsched_tests.dir/test_spmv.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_spmv.cc.o.d"
+  "/root/repo/tests/test_stats.cc" "tests/CMakeFiles/lsched_tests.dir/test_stats.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_stats.cc.o.d"
+  "/root/repo/tests/test_synth_ifetch.cc" "tests/CMakeFiles/lsched_tests.dir/test_synth_ifetch.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_synth_ifetch.cc.o.d"
+  "/root/repo/tests/test_table.cc" "tests/CMakeFiles/lsched_tests.dir/test_table.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_table.cc.o.d"
+  "/root/repo/tests/test_thread_group.cc" "tests/CMakeFiles/lsched_tests.dir/test_thread_group.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_thread_group.cc.o.d"
+  "/root/repo/tests/test_timer.cc" "tests/CMakeFiles/lsched_tests.dir/test_timer.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_timer.cc.o.d"
+  "/root/repo/tests/test_timing_model.cc" "tests/CMakeFiles/lsched_tests.dir/test_timing_model.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_timing_model.cc.o.d"
+  "/root/repo/tests/test_tour.cc" "tests/CMakeFiles/lsched_tests.dir/test_tour.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_tour.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/lsched_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_trace_pipeline.cc" "tests/CMakeFiles/lsched_tests.dir/test_trace_pipeline.cc.o" "gcc" "tests/CMakeFiles/lsched_tests.dir/test_trace_pipeline.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/lsched_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/cachesim/CMakeFiles/lsched_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lsched_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/lsched_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/threads/CMakeFiles/lsched_threads.dir/DependInfo.cmake"
+  "/root/repo/build/src/fibers/CMakeFiles/lsched_fibers.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfcount/CMakeFiles/lsched_perfcount.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/lsched_harness.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
