@@ -62,32 +62,39 @@ banner(const char *table, const char *description,
                 static_cast<unsigned long long>(m.l2Size() / 1024));
 }
 
-/** Register the machine-readable output option emitTable() honours. */
+/** Register the machine-readable output options emitTable() honours. */
 inline void
 addOutputOptions(Cli &cli)
 {
     cli.addString("csv", "",
                   "also append the result table as CSV to this file");
+    cli.addString("json", "",
+                  "also append the result table as JSON to this file");
 }
 
 /**
- * Print @p table and, when --csv was given, append its CSV rendering
- * to that file (creating it if needed).
+ * Print @p table and, when --csv / --json were given, append the
+ * matching rendering to those files (creating them if needed). JSON
+ * output is one table object per line (JSON lines).
  */
 inline void
 emitTable(const Cli &cli, const TextTable &table)
 {
     std::fputs(table.toText().c_str(), stdout);
-    const std::string &path = cli.getString("csv");
-    if (path.empty())
-        return;
-    std::FILE *f = std::fopen(path.c_str(), "a");
-    if (!f)
-        LSCHED_FATAL("cannot open CSV output file '", path, "'");
-    const std::string csv = table.toCsv();
-    std::fwrite(csv.data(), 1, csv.size(), f);
-    std::fclose(f);
-    std::printf("(CSV appended to %s)\n", path.c_str());
+    auto append = [&](const char *opt, const std::string &body) {
+        const std::string &path = cli.getString(opt);
+        if (path.empty())
+            return;
+        std::FILE *f = std::fopen(path.c_str(), "a");
+        if (!f)
+            LSCHED_FATAL("cannot open --", opt, " output file '", path,
+                         "'");
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+        std::printf("(%s appended to %s)\n", opt, path.c_str());
+    };
+    append("csv", table.toCsv());
+    append("json", table.toJson() + "\n");
 }
 
 } // namespace lsched::bench

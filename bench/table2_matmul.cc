@@ -44,6 +44,8 @@ main(int argc, char **argv)
 {
     Cli cli("table2_matmul", "Table 2: matrix multiply performance");
     cli.addInt("n", 256, "matrix dimension");
+    cli.addInt("workers", 1,
+               "OS threads for the host Threaded pass (runParallel)");
     lsched::bench::addOutputOptions(cli);
     lsched::bench::addMachineOptions(cli);
     cli.parse(argc, argv);
@@ -73,12 +75,19 @@ main(int argc, char **argv)
             run;
     };
 
+    const unsigned workers =
+        static_cast<unsigned>(cli.getInt("workers"));
+
     auto run_variant = [&](const char *which,
                            const machine::MachineConfig &mc,
                            SimModel *sim, NativeModel *native) {
         Matrix c(n, n);
         const std::size_t l1 = mc.caches.l1d.sizeBytes;
         const std::size_t l2 = mc.l2Size();
+        // SimModel mutates shared simulator state, so the simulated
+        // pass always runs single-worker; --workers applies to the
+        // host-timing pass only.
+        const unsigned w = sim ? 1 : workers;
         const std::string v(which);
         auto dispatch = [&](auto &model) {
             if (v == "Interchanged") {
@@ -91,7 +100,7 @@ main(int argc, char **argv)
                 matmulTiledTransposed(a, b, c, model, l1, l2);
             } else {
                 auto sched = makeScheduler(l2);
-                matmulThreaded(a, b, c, sched, model);
+                matmulThreaded(a, b, c, sched, model, w);
             }
         };
         if (sim)

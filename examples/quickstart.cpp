@@ -9,12 +9,15 @@
  *   th_fork(f, arg1, arg2, h1, h2, h3);
  *   th_run(keep);
  *
- * Build and run:  ./examples/quickstart [n]
+ * Build and run:  ./examples/quickstart --n=256
+ * Add --trace=run.json to capture a Perfetto-loadable timeline or
+ * --metrics=run.txt for the scheduler counters (built-in Cli options).
  */
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "support/cli.hh"
 #include "threads/c_api.hh"
 #include "workloads/matmul.hh"
 
@@ -50,8 +53,12 @@ dotProduct(void *problem_p, void *ij_p)
 int
 main(int argc, char **argv)
 {
-    const std::size_t n =
-        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 256;
+    lsched::Cli cli("quickstart",
+                    "the paper's th_init/th_fork/th_run interface on "
+                    "its matrix-multiply running example");
+    cli.addInt("n", 256, "matrix dimension");
+    cli.parse(argc, argv);
+    const std::size_t n = static_cast<std::size_t>(cli.getInt("n"));
 
     Matrix a(n, n), b(n, n), c(n, n), at(n, n);
     lsched::workloads::randomize(a, 1);
@@ -78,15 +85,14 @@ main(int argc, char **argv)
     // Run all threads, bins in creation order.
     th_run(0);
 
-    // Show how the scheduler clustered the work.
-    const auto stats = th_default_scheduler().stats();
+    // Show how the scheduler clustered the work, via the plain-C
+    // statistics interface.
+    const th_stats_t stats = th_stats();
     std::printf("quickstart: C = A * B with %zu x %zu fine-grained "
                 "threads\n",
                 n, n);
-    std::printf("  threads executed : %llu\n",
-                static_cast<unsigned long long>(stats.executedThreads));
-    std::printf("  bins used        : %llu\n",
-                static_cast<unsigned long long>(stats.bins));
+    std::printf("  threads executed : %llu\n", stats.executed_threads);
+    std::printf("  bins used        : %llu\n", stats.bins);
     std::printf("  spot check       : C[0,0] = %.6f\n", c(0, 0));
 
     // Verify against a plain triple loop.

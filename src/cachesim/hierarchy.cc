@@ -1,5 +1,7 @@
 #include "hierarchy.hh"
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "support/panic.hh"
 
 namespace lsched::cachesim
@@ -75,6 +77,28 @@ Hierarchy::reset()
     pageMap_.clear();
     ifetches_ = 0;
     dataRefs_ = 0;
+}
+
+void
+Hierarchy::publishMetrics(const std::string &prefix) const
+{
+    if (!obs::metricsOn())
+        return;
+    obs::Registry &r = obs::Registry::global();
+    auto level = [&](const char *name, const CacheStats &s) {
+        const std::string base = prefix + "." + name;
+        r.gauge(base + ".accesses").set(s.accesses);
+        r.gauge(base + ".misses").set(s.misses);
+        r.gauge(base + ".writebacks").set(s.writebacks);
+        r.gauge(base + ".misses.compulsory").set(s.compulsoryMisses);
+        r.gauge(base + ".misses.capacity").set(s.capacityMisses);
+        r.gauge(base + ".misses.conflict").set(s.conflictMisses);
+    };
+    r.gauge(prefix + ".ifetches").set(ifetches_);
+    r.gauge(prefix + ".datarefs").set(dataRefs_);
+    level("l1i", l1i_.stats());
+    level("l1d", l1d_.stats());
+    level("l2", l2_.stats());
 }
 
 } // namespace lsched::cachesim

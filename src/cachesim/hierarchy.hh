@@ -19,6 +19,7 @@
 #define LSCHED_CACHESIM_HIERARCHY_HH
 
 #include <cstdint>
+#include <string>
 
 #include "cachesim/cache.hh"
 #include "cachesim/cache_config.hh"
@@ -131,6 +132,13 @@ class Hierarchy
 
     /** Invalidate everything and zero all statistics. */
     void reset();
+
+    /**
+     * Publish the hierarchy's counters as gauges named
+     * "<prefix>.l1i.misses" etc. in the global metrics registry.
+     * A cheap no-op unless metrics collection is enabled.
+     */
+    void publishMetrics(const std::string &prefix = "cachesim") const;
 
     /** The virtual-to-physical mapping used for L2 indexing. */
     const PageMap &pageMap() const { return pageMap_; }

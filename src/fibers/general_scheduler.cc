@@ -1,5 +1,7 @@
 #include "general_scheduler.hh"
 
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "support/panic.hh"
 
 namespace lsched::fibers
@@ -9,6 +11,30 @@ namespace
 {
 
 thread_local GeneralScheduler *t_scheduler = nullptr;
+
+/** Process-global fiber instruments, resolved once. */
+struct FiberInstruments
+{
+    obs::Counter *forked;
+    obs::Counter *finished;
+    obs::Counter *requeues;
+    obs::Counter *runs;
+};
+
+const FiberInstruments &
+fiberInstruments()
+{
+    static const FiberInstruments ins = [] {
+        obs::Registry &r = obs::Registry::global();
+        return FiberInstruments{
+            &r.counter("fibers.forked"),
+            &r.counter("fibers.finished"),
+            &r.counter("fibers.requeues"),
+            &r.counter("fibers.runs"),
+        };
+    }();
+    return ins;
+}
 
 } // namespace
 
@@ -36,8 +62,11 @@ GeneralScheduler::queueIndexFor(std::span<const threads::Hint> hints)
         return 0;
     const threads::BlockCoords coords = blockMap_.coordsFor(hints);
     auto [it, created] = binIndex_.try_emplace(coords, queues_.size());
-    if (created)
+    if (created) {
         queues_.emplace_back();
+        LSCHED_TRACE_EVENT(obs::EventType::BinCreate, it->second,
+                           coords[0], coords[1]);
+    }
     return it->second;
 }
 
@@ -51,6 +80,9 @@ GeneralScheduler::fork(EntryFn entry, void *arg, threads::Hint hint1,
         queueIndexFor(std::span<const threads::Hint>(hints, 3));
     queues_[index].push_back(Task{entry, arg, nullptr});
     ++live_;
+    LSCHED_TRACE_EVENT(obs::EventType::ThreadFork, index);
+    if (obs::metricsOn())
+        fiberInstruments().forked->add();
 }
 
 void
@@ -71,6 +103,11 @@ GeneralScheduler::run()
     t_scheduler = this;
     std::uint64_t finished = 0;
 
+    LSCHED_TRACE_EVENT(obs::EventType::RunBegin, live_,
+                       queues_.size(), 1);
+    if (obs::metricsOn())
+        fiberInstruments().runs->add();
+
     while (live_ > 0) {
         // Bins in creation order; within a bin, queue order. A
         // yielded fiber rejoins its own bin's tail, so one pass over
@@ -85,7 +122,9 @@ GeneralScheduler::run()
                     fiber = pool_.acquire(task.entry, task.arg);
                     home_[fiber] = q;
                 }
+                LSCHED_TRACE_EVENT(obs::EventType::ThreadStart, q);
                 fiber->resume();
+                LSCHED_TRACE_EVENT(obs::EventType::ThreadEnd, q);
                 progressed = true;
                 switch (fiber->state()) {
                   case FiberState::Finished:
@@ -93,9 +132,13 @@ GeneralScheduler::run()
                     pool_.release(fiber);
                     --live_;
                     ++finished;
+                    if (obs::metricsOn())
+                        fiberInstruments().finished->add();
                     break;
                   case FiberState::Ready:
                     requeue(fiber);
+                    if (obs::metricsOn())
+                        fiberInstruments().requeues->add();
                     break;
                   case FiberState::Blocked:
                     break; // the Event holds it
@@ -114,6 +157,7 @@ GeneralScheduler::run()
 
     t_scheduler = nullptr;
     running_ = false;
+    LSCHED_TRACE_EVENT(obs::EventType::RunEnd, finished);
     return finished;
 }
 

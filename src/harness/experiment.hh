@@ -16,6 +16,7 @@
 #include "cachesim/hierarchy.hh"
 #include "machine/machine_config.hh"
 #include "machine/timing_model.hh"
+#include "obs/trace.hh"
 #include "workloads/memmodel.hh"
 
 namespace lsched::harness
@@ -56,6 +57,8 @@ snapshot(const cachesim::Hierarchy &hierarchy)
     o.l2 = hierarchy.l2Stats();
     o.l1RatePercent = hierarchy.l1MissRatePercent();
     o.l2RatePercent = o.l2.missRatePercent();
+    if (obs::metricsOn())
+        hierarchy.publishMetrics();
     return o;
 }
 

@@ -1,5 +1,10 @@
 #include "report.hh"
 
+#include <fstream>
+#include <sstream>
+
+#include "obs/registry.hh"
+
 namespace lsched::harness
 {
 
@@ -70,6 +75,42 @@ perfTable(const std::string &title,
         table.addRow(std::move(cells));
     }
     return table;
+}
+
+void
+JsonReport::addTable(const TextTable &table)
+{
+    tables_.push_back(table.toJson());
+}
+
+void
+JsonReport::includeMetrics()
+{
+    metrics_ = obs::Registry::global().toJson();
+}
+
+std::string
+JsonReport::str() const
+{
+    std::ostringstream os;
+    os << "{\"tables\":[";
+    for (std::size_t i = 0; i < tables_.size(); ++i)
+        os << (i ? "," : "") << tables_[i];
+    os << "]";
+    if (!metrics_.empty())
+        os << ",\"metrics\":" << metrics_;
+    os << "}\n";
+    return os.str();
+}
+
+bool
+JsonReport::writeTo(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << str();
+    return static_cast<bool>(out);
 }
 
 } // namespace lsched::harness

@@ -50,6 +50,32 @@ TextTable perfTable(const std::string &title,
                     const std::vector<std::string> &machines,
                     const std::vector<PerfRow> &rows);
 
+/**
+ * Machine-readable companion to the text tables: collects the same
+ * TextTable objects (via their JSON form) plus, optionally, the global
+ * metrics registry, and renders one JSON document
+ * `{"tables":[...],"metrics":{...}}`.
+ */
+class JsonReport
+{
+  public:
+    /** Append a table (same object handed to the text renderer). */
+    void addTable(const TextTable &table);
+
+    /** Include a snapshot of the global metrics registry. */
+    void includeMetrics();
+
+    /** Render the collected document. */
+    std::string str() const;
+
+    /** Write the document to @p path. Returns false on I/O error. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    std::vector<std::string> tables_;
+    std::string metrics_;
+};
+
 } // namespace lsched::harness
 
 #endif // LSCHED_HARNESS_REPORT_HH

@@ -1,0 +1,228 @@
+#include "chrome_trace.hh"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <optional>
+
+#include "support/json.hh"
+
+namespace lsched::obs
+{
+
+namespace
+{
+
+/** One trace-event row, pre-serialization. */
+struct TraceRow
+{
+    std::uint64_t tsNs = 0;
+    std::uint32_t tid = 0;
+    char phase = 'i'; ///< 'X' (complete) or 'i' (instant)
+    std::uint64_t durNs = 0;
+    std::string name;
+    std::string args; ///< rendered JSON object body, may be empty
+};
+
+std::string
+sliceName(const Event &e)
+{
+    char buf[48];
+    switch (e.type) {
+      case EventType::RunBegin:
+        std::snprintf(buf, sizeof buf, "run");
+        break;
+      case EventType::BinStart:
+        std::snprintf(buf, sizeof buf, "bin %" PRIu64, e.a);
+        break;
+      case EventType::ThreadStart:
+        std::snprintf(buf, sizeof buf, "thread");
+        break;
+      case EventType::ThreadFork:
+        std::snprintf(buf, sizeof buf, "fork");
+        break;
+      case EventType::BinCreate:
+        std::snprintf(buf, sizeof buf, "bin %" PRIu64 " create", e.a);
+        break;
+      case EventType::WorkerClaimBin:
+        std::snprintf(buf, sizeof buf, "claim bin %" PRIu64, e.a);
+        break;
+      default:
+        std::snprintf(buf, sizeof buf, "%s", eventTypeName(e.type));
+        break;
+    }
+    return buf;
+}
+
+std::string
+sliceArgs(const Event &e)
+{
+    char buf[128];
+    switch (e.type) {
+      case EventType::RunBegin:
+        std::snprintf(buf, sizeof buf,
+                      "\"pending\":%" PRIu64 ",\"bins\":%" PRIu64
+                      ",\"workers\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
+      case EventType::BinStart:
+        std::snprintf(buf, sizeof buf,
+                      "\"bin\":%" PRIu64 ",\"threads\":%" PRIu64, e.a,
+                      e.b);
+        break;
+      case EventType::ThreadFork:
+      case EventType::ThreadStart:
+        std::snprintf(buf, sizeof buf, "\"bin\":%" PRIu64, e.a);
+        break;
+      case EventType::BinCreate:
+        std::snprintf(buf, sizeof buf,
+                      "\"bin\":%" PRIu64 ",\"coord0\":%" PRIu64
+                      ",\"coord1\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
+      case EventType::WorkerClaimBin:
+        std::snprintf(buf, sizeof buf,
+                      "\"bin\":%" PRIu64 ",\"tour_index\":%" PRIu64
+                      ",\"worker\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
+      default:
+        return "";
+    }
+    return buf;
+}
+
+/** The Begin type an End type closes, if any. */
+std::optional<EventType>
+beginTypeOf(EventType end)
+{
+    switch (end) {
+      case EventType::RunEnd:    return EventType::RunBegin;
+      case EventType::BinEnd:    return EventType::BinStart;
+      case EventType::ThreadEnd: return EventType::ThreadStart;
+      default:                   return std::nullopt;
+    }
+}
+
+bool
+isBeginType(EventType t)
+{
+    return t == EventType::RunBegin || t == EventType::BinStart ||
+           t == EventType::ThreadStart;
+}
+
+/**
+ * Turn one lane's event stream into rows: well-nested Begin/End pairs
+ * become complete slices; Begins left open at the end of the lane are
+ * closed at the lane's last timestamp; everything else is an instant.
+ */
+void
+laneRows(const LaneSnapshot &lane, std::vector<TraceRow> &rows)
+{
+    const std::uint64_t lane_end =
+        lane.events.empty() ? 0 : lane.events.back().ns;
+    std::vector<Event> open;
+    for (const Event &e : lane.events) {
+        if (isBeginType(e.type)) {
+            open.push_back(e);
+            continue;
+        }
+        if (const auto begin = beginTypeOf(e.type); begin) {
+            // Close the innermost matching Begin; instrumentation is
+            // well-nested, so it is normally the stack top.
+            auto it = std::find_if(
+                open.rbegin(), open.rend(),
+                [&](const Event &b) { return b.type == *begin; });
+            if (it != open.rend()) {
+                const Event b = *it;
+                open.erase(std::next(it).base());
+                rows.push_back({b.ns, lane.id, 'X', e.ns - b.ns,
+                                sliceName(b), sliceArgs(b)});
+            }
+            continue;
+        }
+        rows.push_back(
+            {e.ns, lane.id, 'i', 0, sliceName(e), sliceArgs(e)});
+    }
+    for (const Event &b : open) {
+        rows.push_back({b.ns, lane.id, 'X',
+                        lane_end > b.ns ? lane_end - b.ns : 0,
+                        sliceName(b), sliceArgs(b)});
+    }
+}
+
+} // namespace
+
+std::string
+chromeTraceJson(const std::vector<LaneSnapshot> &lanes)
+{
+    std::vector<TraceRow> rows;
+    std::uint64_t base = ~0ull;
+    for (const LaneSnapshot &lane : lanes) {
+        laneRows(lane, rows);
+        for (const Event &e : lane.events)
+            base = std::min(base, e.ns);
+    }
+    if (base == ~0ull)
+        base = 0;
+
+    std::sort(rows.begin(), rows.end(),
+              [](const TraceRow &x, const TraceRow &y) {
+                  if (x.tid != y.tid)
+                      return x.tid < y.tid;
+                  if (x.tsNs != y.tsNs)
+                      return x.tsNs < y.tsNs;
+                  return x.durNs > y.durNs; // enclosing slice first
+              });
+
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    char buf[256];
+    for (const LaneSnapshot &lane : lanes) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":\"thread_name\",\"ph\":\"M\","
+                      "\"pid\":1,\"tid\":%u,\"args\":{\"name\":%s}}",
+                      first ? "" : ",", lane.id,
+                      jsonString(lane.name).c_str());
+        out += buf;
+        first = false;
+    }
+    for (const TraceRow &r : rows) {
+        std::snprintf(buf, sizeof buf,
+                      "%s{\"name\":%s,\"cat\":\"sched\",\"ph\":\"%c\","
+                      "\"pid\":1,\"tid\":%u,\"ts\":%.3f",
+                      first ? "" : ",", jsonString(r.name).c_str(),
+                      r.phase, r.tid,
+                      static_cast<double>(r.tsNs - base) / 1000.0);
+        out += buf;
+        if (r.phase == 'X') {
+            std::snprintf(buf, sizeof buf, ",\"dur\":%.3f",
+                          static_cast<double>(r.durNs) / 1000.0);
+            out += buf;
+        } else {
+            out += ",\"s\":\"t\"";
+        }
+        if (!r.args.empty())
+            out += ",\"args\":{" + r.args + "}";
+        out += "}";
+        first = false;
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    const std::string json =
+        chromeTraceJson(TraceSession::global().snapshot());
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+} // namespace lsched::obs

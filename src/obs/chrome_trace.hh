@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chrome trace-event JSON export (chrome://tracing / Perfetto).
+ *
+ * Each lane (thread) becomes one timeline: Begin/End event pairs
+ * (RunBegin/RunEnd, BinStart/BinEnd, ThreadStart/ThreadEnd) are
+ * rendered as complete "X" duration slices, the remaining events as
+ * instants, plus one metadata record naming the lane. Timestamps are
+ * rebased to the earliest event and emitted in microseconds, ordered
+ * chronologically within each lane, which is exactly what Perfetto's
+ * legacy-JSON importer expects.
+ */
+
+#ifndef LSCHED_OBS_CHROME_TRACE_HH
+#define LSCHED_OBS_CHROME_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace lsched::obs
+{
+
+/** Render lane snapshots as a Chrome trace-event JSON document. */
+std::string chromeTraceJson(const std::vector<LaneSnapshot> &lanes);
+
+/**
+ * Snapshot the global session and write it to @p path. Returns false
+ * when the file cannot be opened.
+ */
+bool writeChromeTrace(const std::string &path);
+
+} // namespace lsched::obs
+
+#endif // LSCHED_OBS_CHROME_TRACE_HH

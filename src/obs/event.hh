@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Typed scheduler trace events.
+ *
+ * Every event is a fixed-size POD: a nanosecond timestamp, a type tag,
+ * and three 64-bit payload words whose meaning depends on the type
+ * (documented per enumerator). Events are recorded into per-thread
+ * ring buffers (ring_buffer.hh) and rendered by the exporters
+ * (chrome_trace.hh), so the hot path never formats strings.
+ */
+
+#ifndef LSCHED_OBS_EVENT_HH
+#define LSCHED_OBS_EVENT_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace lsched::obs
+{
+
+/** What happened. Payload word meaning is (a, b, c). */
+enum class EventType : std::uint8_t
+{
+    /** A thread was forked: (bin id, block coord 0, block coord 1). */
+    ThreadFork,
+    /** A bin was allocated: (bin id, block coord 0, block coord 1). */
+    BinCreate,
+    /** A bin's threads start running: (bin id, thread count, 0). */
+    BinStart,
+    /** A bin finished: (bin id, threads executed, 0). */
+    BinEnd,
+    /** One user thread starts: (bin id, 0, 0). */
+    ThreadStart,
+    /** One user thread finished: (bin id, 0, 0). */
+    ThreadEnd,
+    /** run()/runParallel() entered: (pending threads, bins, workers). */
+    RunBegin,
+    /** run()/runParallel() returned: (threads executed, 0, 0). */
+    RunEnd,
+    /** An SMP worker claimed a bin: (bin id, tour index, worker id). */
+    WorkerClaimBin,
+};
+
+/** Printable name of an event type. */
+inline const char *
+eventTypeName(EventType type)
+{
+    switch (type) {
+      case EventType::ThreadFork:     return "ThreadFork";
+      case EventType::BinCreate:      return "BinCreate";
+      case EventType::BinStart:       return "BinStart";
+      case EventType::BinEnd:         return "BinEnd";
+      case EventType::ThreadStart:    return "ThreadStart";
+      case EventType::ThreadEnd:      return "ThreadEnd";
+      case EventType::RunBegin:       return "RunBegin";
+      case EventType::RunEnd:         return "RunEnd";
+      case EventType::WorkerClaimBin: return "WorkerClaimBin";
+    }
+    return "?";
+}
+
+/** One recorded trace event. */
+struct Event
+{
+    /** Timestamp in nanoseconds (steady clock). */
+    std::uint64_t ns = 0;
+    /** Payload words; meaning depends on type. */
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint64_t c = 0;
+    EventType type = EventType::ThreadFork;
+};
+
+/** Monotonic timestamp in nanoseconds. */
+inline std::uint64_t
+nowNs()
+{
+    const auto t = std::chrono::steady_clock::now().time_since_epoch();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t).count());
+}
+
+} // namespace lsched::obs
+
+#endif // LSCHED_OBS_EVENT_HH

@@ -1,0 +1,48 @@
+#include "metrics.hh"
+
+#include <cstdio>
+
+namespace lsched::obs
+{
+
+namespace
+{
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(), suffix) ==
+               0;
+}
+
+} // namespace
+
+bool
+writeMetricsFile(const std::string &path, const Registry &registry)
+{
+    std::string body;
+    if (endsWith(path, ".json"))
+        body = registry.toJson();
+    else if (endsWith(path, ".csv"))
+        body = registry.toCsv();
+    else
+        body = registry.toText();
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fwrite(body.data(), 1, body.size(), f);
+    if (body.empty() || body.back() != '\n')
+        std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
+bool
+writeMetricsFile(const std::string &path)
+{
+    return writeMetricsFile(path, Registry::global());
+}
+
+} // namespace lsched::obs

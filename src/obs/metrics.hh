@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Metrics-registry file export: text, CSV, or JSON chosen by file
+ * extension. This is the sink behind the --metrics CLI flag; the
+ * harness JSON report (harness/report.hh) embeds the same JSON
+ * rendering via Registry::toJson().
+ */
+
+#ifndef LSCHED_OBS_METRICS_HH
+#define LSCHED_OBS_METRICS_HH
+
+#include <string>
+
+#include "obs/registry.hh"
+
+namespace lsched::obs
+{
+
+/**
+ * Write @p registry to @p path: ".json" renders Registry::toJson(),
+ * ".csv" Registry::toCsv(), anything else Registry::toText().
+ * Returns false when the file cannot be opened.
+ */
+bool writeMetricsFile(const std::string &path,
+                      const Registry &registry);
+
+/** Same, for the global registry. */
+bool writeMetricsFile(const std::string &path);
+
+} // namespace lsched::obs
+
+#endif // LSCHED_OBS_METRICS_HH

@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Process-wide counter / gauge / histogram registry.
+ *
+ * Named instruments live forever once created (stable addresses), so
+ * hot paths resolve a name once and keep the pointer; all mutation is
+ * a relaxed atomic, safe from any thread. The registry renders itself
+ * as text, CSV, and JSON — the metrics exporters (metrics.hh) and the
+ * harness JSON report sink (harness/report.hh) both build on those.
+ *
+ * Instrument kinds:
+ *  - Counter: monotonic event count (forks, runs, bins created);
+ *  - Gauge: last-written value (occupancy snapshots, cachesim misses);
+ *  - Histogram: power-of-two-bucket distribution with exact count /
+ *    sum / min / max (bin dwell time, threads per bin, tour hop
+ *    distance, hash-chain probes).
+ */
+
+#ifndef LSCHED_OBS_REGISTRY_HH
+#define LSCHED_OBS_REGISTRY_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsched::obs
+{
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    /** Add @p n (relaxed; callable from any thread). */
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Current value. */
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the counter (registry reset). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-value gauge. */
+class Gauge
+{
+  public:
+    /** Overwrite the value (relaxed; callable from any thread). */
+    void
+    set(std::uint64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    /** Current value. */
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the gauge (registry reset). */
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/**
+ * Concurrent histogram over unsigned samples: bucket i counts samples
+ * whose bit width is i (bucket 0 holds the value 0), giving a
+ * power-of-two resolution that needs no configuration, plus exact
+ * count / sum / min / max for the summary rows.
+ */
+class Histogram
+{
+  public:
+    /** One bucket per possible bit width of a uint64, plus zero. */
+    static constexpr std::size_t kBuckets = 65;
+
+    /** Record one sample (relaxed atomics; any thread). */
+    void record(std::uint64_t v);
+
+    /** Samples recorded. */
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /** Sum of all samples. */
+    std::uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Smallest sample (0 when empty). */
+    std::uint64_t min() const;
+
+    /** Largest sample (0 when empty). */
+    std::uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    /** Mean sample (0 when empty). */
+    double
+    mean() const
+    {
+        const std::uint64_t n = count();
+        return n ? static_cast<double>(sum()) / static_cast<double>(n)
+                 : 0.0;
+    }
+
+    /** Count in bucket @p i (samples of bit width i). */
+    std::uint64_t
+    bucket(std::size_t i) const
+    {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+
+    /** Index of the bucket @p v falls into. */
+    static std::size_t bucketOf(std::uint64_t v);
+
+    /** Zero every cell (registry reset). */
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~0ull};
+    std::atomic<std::uint64_t> max_{0};
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/** Named-instrument registry; see the file comment. */
+class Registry
+{
+  public:
+    /** The process-wide registry every subsystem publishes into. */
+    static Registry &global();
+
+    Registry() = default;
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    /** Find or create; the returned reference is valid forever. */
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** A flat scalar view of one instrument for export. */
+    struct Row
+    {
+        std::string name;
+        std::string kind; ///< "counter", "gauge", or "histogram"
+        std::uint64_t value = 0; ///< counter/gauge value, histogram count
+        /** Histogram summary; zeros for scalar instruments. */
+        std::uint64_t sum = 0;
+        std::uint64_t min = 0;
+        std::uint64_t max = 0;
+        double mean = 0;
+    };
+
+    /** Every instrument, sorted by name within kind. */
+    std::vector<Row> rows() const;
+
+    /** Aligned plain-text rendering. */
+    std::string toText() const;
+
+    /** CSV rendering (header + one line per instrument). */
+    std::string toCsv() const;
+
+    /** JSON object {"counters":{...},"gauges":{...},"histograms":[...]}. */
+    std::string toJson() const;
+
+    /** Zero every instrument's value; registrations survive. */
+    void reset();
+
+  private:
+    mutable std::mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+} // namespace lsched::obs
+
+#endif // LSCHED_OBS_REGISTRY_HH

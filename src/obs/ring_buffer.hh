@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Fixed-capacity single-writer event ring buffer.
+ *
+ * Each traced thread owns one EventRing (see trace.hh); only that
+ * thread pushes, so the write path is a plain store plus one released
+ * atomic increment — no locks, no CAS, no allocation. On overflow the
+ * ring overwrites the oldest slot (keep-the-newest semantics) and
+ * counts the drop, so tracing a million-thread run costs bounded
+ * memory and the tail of the timeline — the part an investigation
+ * usually needs — survives.
+ *
+ * snapshot() is meant for the exporters, which run after the traced
+ * threads have quiesced (run() returned, workers joined); a snapshot
+ * taken while the writer is mid-push may miss the in-flight event but
+ * never yields torn earlier slots, because the head is only advanced
+ * after the slot write with release ordering.
+ */
+
+#ifndef LSCHED_OBS_RING_BUFFER_HH
+#define LSCHED_OBS_RING_BUFFER_HH
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "obs/event.hh"
+#include "support/align.hh"
+
+namespace lsched::obs
+{
+
+/** Lock-free single-writer, snapshot-reader ring of trace events. */
+class EventRing
+{
+  public:
+    /** @param capacity slot count, rounded up to a power of two. */
+    explicit EventRing(std::size_t capacity)
+        : mask_(roundUpPowerOfTwo(capacity ? capacity : 1) - 1),
+          slots_(mask_ + 1)
+    {
+    }
+
+    /** Append one event (single writer only). */
+    void
+    push(const Event &e)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        slots_[h & mask_] = e;
+        head_.store(h + 1, std::memory_order_release);
+    }
+
+    /** Slots available before the ring wraps. */
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** Events ever pushed (including overwritten ones). */
+    std::uint64_t
+    recorded() const
+    {
+        return head_.load(std::memory_order_acquire);
+    }
+
+    /** Events lost to wrap-around. */
+    std::uint64_t
+    dropped() const
+    {
+        const std::uint64_t h = recorded();
+        return h > capacity() ? h - capacity() : 0;
+    }
+
+    /** Events currently retained. */
+    std::size_t
+    size() const
+    {
+        const std::uint64_t h = recorded();
+        return h > capacity() ? capacity() : static_cast<std::size_t>(h);
+    }
+
+    /**
+     * Copy the retained events, oldest first. Exact when the writer is
+     * quiescent (the exporters' case).
+     */
+    std::vector<Event>
+    snapshot() const
+    {
+        const std::uint64_t h = head_.load(std::memory_order_acquire);
+        const std::uint64_t first = h > capacity() ? h - capacity() : 0;
+        std::vector<Event> out;
+        out.reserve(static_cast<std::size_t>(h - first));
+        for (std::uint64_t i = first; i < h; ++i)
+            out.push_back(slots_[i & mask_]);
+        return out;
+    }
+
+  private:
+    std::size_t mask_;
+    std::vector<Event> slots_;
+    std::atomic<std::uint64_t> head_{0};
+};
+
+} // namespace lsched::obs
+
+#endif // LSCHED_OBS_RING_BUFFER_HH

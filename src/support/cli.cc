@@ -9,9 +9,28 @@
 namespace lsched
 {
 
+namespace
+{
+
+CliObsHook g_obsHook = nullptr;
+
+} // namespace
+
+void
+setCliObsHook(CliObsHook hook)
+{
+    g_obsHook = hook;
+}
+
 Cli::Cli(std::string program, std::string blurb)
     : program_(std::move(program)), blurb_(std::move(blurb))
 {
+    addString("trace", "",
+              "write a Chrome trace-event JSON (Perfetto-loadable) of "
+              "this run to the given file");
+    addString("metrics", "",
+              "write the metrics registry to the given file "
+              "(.json/.csv/plain text by extension)");
 }
 
 void
@@ -86,6 +105,16 @@ Cli::parse(int argc, const char *const *argv)
             value = argv[++i];
         }
         opt->value = value;
+    }
+
+    const std::string &trace_path = getString("trace");
+    const std::string &metrics_path = getString("metrics");
+    if (!trace_path.empty() || !metrics_path.empty()) {
+        if (!g_obsHook) {
+            LSCHED_FATAL("--trace/--metrics need the observability "
+                         "library (lsched_obs) linked in");
+        }
+        g_obsHook(trace_path, metrics_path);
     }
 }
 

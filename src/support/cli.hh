@@ -4,6 +4,13 @@
  *
  * Supports --name=value, --name value, and boolean --name flags, plus
  * automatic --help generated from the registered options.
+ *
+ * Every Cli additionally understands the observability flags
+ * --trace=<file> (Chrome trace-event JSON of the run) and
+ * --metrics=<file> (metrics-registry dump; .json/.csv/text by
+ * extension). They are forwarded to the hook the obs library installs
+ * at static-initialization time (setCliObsHook), so any binary linking
+ * the schedulers honours them with no per-program code.
  */
 
 #ifndef LSCHED_SUPPORT_CLI_HH
@@ -15,6 +22,18 @@
 
 namespace lsched
 {
+
+/** Receiver for the built-in --trace/--metrics values. */
+using CliObsHook = void (*)(const std::string &trace_path,
+                            const std::string &metrics_path);
+
+/**
+ * Install the observability hook Cli::parse() calls when --trace or
+ * --metrics was given. Registered by the obs library's static
+ * initializer; a program that somehow lacks it fails fatally when the
+ * flags are used rather than dropping them silently.
+ */
+void setCliObsHook(CliObsHook hook);
 
 /** Declarative command-line parser. */
 class Cli

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Minimal JSON string escaping, shared by every JSON emitter in the
+ * tree (support/table, obs exporters, harness report sink). We only
+ * ever *emit* JSON; there is deliberately no parser here.
+ */
+
+#ifndef LSCHED_SUPPORT_JSON_HH
+#define LSCHED_SUPPORT_JSON_HH
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace lsched
+{
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+inline std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char ch : s) {
+        switch (ch) {
+          case '"':  out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+    return out;
+}
+
+/** Quote and escape @p s as a JSON string literal. */
+inline std::string
+jsonString(std::string_view s)
+{
+    return "\"" + jsonEscape(s) + "\"";
+}
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_JSON_HH

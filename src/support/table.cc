@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "json.hh"
 #include "panic.hh"
 
 namespace lsched
@@ -102,6 +103,24 @@ TextTable::toCsv() const
             os << (c ? "," : "") << quote(row[c]);
         os << "\n";
     }
+    return os.str();
+}
+
+std::string
+TextTable::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"title\":" << jsonString(title_) << ",\"headers\":[";
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << jsonString(headers_[c]);
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        os << (r ? "," : "") << "[";
+        for (std::size_t c = 0; c < rows_[r].size(); ++c)
+            os << (c ? "," : "") << jsonString(rows_[r][c]);
+        os << "]";
+    }
+    os << "]}";
     return os.str();
 }
 

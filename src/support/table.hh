@@ -36,6 +36,17 @@ class TextTable
     /** Render as CSV (no title line). */
     std::string toCsv() const;
 
+    /**
+     * Render as a JSON object
+     * {"title":...,"headers":[...],"rows":[[...],...]} — the
+     * machine-readable twin of toText() used by the harness JSON
+     * report sink.
+     */
+    std::string toJson() const;
+
+    /** The table title. */
+    const std::string &title() const { return title_; }
+
     /** Number of data rows added so far. */
     std::size_t rowCount() const { return rows_.size(); }
 

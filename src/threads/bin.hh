@@ -23,6 +23,9 @@ struct Bin
     /** Search key: block coordinates in the scheduling space. */
     BlockCoords coords{};
 
+    /** Stable allocation index, used as the bin's trace identity. */
+    std::uint32_t id = 0;
+
     /** Link 1: next bin in the same hash bucket. */
     Bin *hashNext = nullptr;
 

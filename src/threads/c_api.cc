@@ -1,5 +1,9 @@
 #include "c_api.hh"
 
+#include "obs/chrome_trace.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
 namespace
 {
 
@@ -44,6 +48,55 @@ th_run(int keep)
 }
 
 extern "C" {
+
+th_stats_t
+th_stats(void)
+{
+    const lsched::threads::SchedulerStats s = instance().stats();
+    th_stats_t out;
+    out.pending_threads = s.pendingThreads;
+    out.executed_threads = s.executedThreads;
+    out.bins = s.bins;
+    out.occupied_bins = s.occupiedBins;
+    out.max_hash_chain = s.maxHashChain;
+    out.tour_length = s.tourLength;
+    const bool any = s.threadsPerBin.count() > 0;
+    out.threads_per_bin_mean = any ? s.threadsPerBin.mean() : 0;
+    out.threads_per_bin_min = any ? s.threadsPerBin.min() : 0;
+    out.threads_per_bin_max = any ? s.threadsPerBin.max() : 0;
+    out.threads_per_bin_stddev = any ? s.threadsPerBin.stddev() : 0;
+    return out;
+}
+
+void
+th_trace_enable(void)
+{
+    lsched::obs::setTraceEnabled(true);
+    lsched::obs::setMetricsEnabled(true);
+}
+
+void
+th_trace_disable(void)
+{
+    lsched::obs::setTraceEnabled(false);
+    lsched::obs::setMetricsEnabled(false);
+}
+
+int
+th_trace_write(const char *path)
+{
+    if (!path || !lsched::obs::kTraceCompiled)
+        return -1;
+    return lsched::obs::writeChromeTrace(path) ? 0 : -1;
+}
+
+int
+th_metrics_write(const char *path)
+{
+    if (!path)
+        return -1;
+    return lsched::obs::writeMetricsFile(path) ? 0 : -1;
+}
 
 void
 th_init_(const long *blocksize, const long *hashsize)

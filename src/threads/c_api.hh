@@ -38,6 +38,52 @@ void th_run(int keep);
 /** The global scheduler behind the C interface. */
 lsched::threads::LocalityScheduler &th_default_scheduler();
 
+extern "C" {
+
+/**
+ * Snapshot of the global scheduler's occupancy statistics, as a plain
+ * C struct so C and Fortran callers can report the paper's
+ * threads-per-bin numbers without touching the C++ types.
+ */
+typedef struct th_stats_t
+{
+    unsigned long long pending_threads;
+    unsigned long long executed_threads;
+    unsigned long long bins;
+    unsigned long long occupied_bins;
+    unsigned long long max_hash_chain;
+    unsigned long long tour_length;
+    /** Distribution over non-empty bins; all 0 when no bin is. */
+    double threads_per_bin_mean;
+    double threads_per_bin_min;
+    double threads_per_bin_max;
+    double threads_per_bin_stddev;
+} th_stats_t;
+
+/** Statistics of the scheduler behind th_fork/th_run. */
+th_stats_t th_stats(void);
+
+/** Turn event tracing and metrics collection on. */
+void th_trace_enable(void);
+
+/** Turn event tracing and metrics collection off. */
+void th_trace_disable(void);
+
+/**
+ * Write the recorded event timeline as Chrome trace-event JSON
+ * (load with Perfetto / chrome://tracing). Returns 0 on success,
+ * -1 on I/O error or when tracing is compiled out.
+ */
+int th_trace_write(const char *path);
+
+/**
+ * Write the metrics registry to @p path (.json / .csv by extension,
+ * text otherwise). Returns 0 on success, -1 on error.
+ */
+int th_metrics_write(const char *path);
+
+} // extern "C"
+
 // Fortran-callable bindings (the paper's package shipped both C and
 // Fortran interfaces). Fortran passes every argument by reference and
 // appends a trailing underscore to external names; hints arrive as

@@ -41,21 +41,32 @@ class BinTable
      * Find the bin with coordinates @p coords, creating it on first
      * use (the scheduler "does not allocate a bin ... until it
      * schedules the first thread in it", Section 3.2). Returns the bin
-     * and whether it was newly created.
+     * and whether it was newly created. When @p probes is non-null it
+     * receives the number of chained bins inspected — the collision
+     * statistic the metrics registry histograms.
      */
     std::pair<Bin *, bool>
-    findOrCreate(const BlockCoords &coords)
+    findOrCreate(const BlockCoords &coords,
+                 std::uint32_t *probes = nullptr)
     {
         const std::size_t bucket = hash(coords) & mask_;
+        std::uint32_t walked = 0;
         for (Bin *b = table_[bucket]; b; b = b->hashNext) {
-            if (sameCoords(b->coords, coords))
+            ++walked;
+            if (sameCoords(b->coords, coords)) {
+                if (probes)
+                    *probes = walked;
                 return {b, false};
+            }
         }
         bins_.emplace_back();
         Bin *b = &bins_.back();
         b->coords = coords;
+        b->id = static_cast<std::uint32_t>(bins_.size() - 1);
         b->hashNext = table_[bucket];
         table_[bucket] = b;
+        if (probes)
+            *probes = walked + 1;
         return {b, true};
     }
 

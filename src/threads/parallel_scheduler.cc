@@ -9,33 +9,16 @@
  */
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "support/panic.hh"
+#include "threads/sched_obs.hh"
 #include "threads/scheduler.hh"
 
 namespace lsched::threads
 {
-
-namespace
-{
-
-std::uint64_t
-runWholeBin(Bin *bin)
-{
-    std::uint64_t executed = 0;
-    for (ThreadGroup *g = bin->groupsHead; g; g = g->next) {
-        for (std::uint32_t i = 0; i < g->count; ++i) {
-            const ThreadSpec &t = g->specs[i];
-            t.fn(t.arg1, t.arg2);
-            ++executed;
-        }
-    }
-    return executed;
-}
-
-} // namespace
 
 std::uint64_t
 LocalityScheduler::runParallel(unsigned workers, bool keep)
@@ -52,17 +35,33 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     const std::vector<Bin *> tour =
         orderBins(config_.tour, readyBins(), config_.dims);
 
+    LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
+                       table_.binCount(), workers);
+    if (obs::metricsOn()) {
+        detail::schedInstruments().runs->add();
+        // Hops of the nominal tour; interleaving across workers is
+        // visible in the trace, not the histogram.
+        detail::recordTourHops(tour, config_.dims);
+    }
+
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::uint64_t> executed{0};
 
-    auto worker_body = [&]() {
+    auto worker_body = [&](unsigned w) {
+        if (obs::traceOn()) {
+            obs::TraceSession::global().setLaneName(
+                "worker " + std::to_string(w));
+        }
         std::uint64_t mine = 0;
         for (;;) {
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= tour.size())
                 break;
-            mine += runWholeBin(tour[i]);
+            Bin *bin = tour[i];
+            LSCHED_TRACE_EVENT(obs::EventType::WorkerClaimBin, bin->id,
+                               i, w);
+            mine += detail::executeBin(bin);
         }
         executed.fetch_add(mine, std::memory_order_relaxed);
     };
@@ -70,8 +69,8 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
     for (unsigned w = 1; w < workers; ++w)
-        pool.emplace_back(worker_body);
-    worker_body();
+        pool.emplace_back(worker_body, w);
+    worker_body(0);
     for (auto &t : pool)
         t.join();
 
@@ -89,6 +88,7 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
 
     executedThreads_ += executed.load();
     running_ = false;
+    LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed.load());
     return executed.load();
 }
 

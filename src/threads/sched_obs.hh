@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Internal observability glue for the locality scheduler: the cached
+ * registry instruments shared by scheduler.cc and
+ * parallel_scheduler.cc, and the instrumented bin-execution loop both
+ * run paths use.
+ *
+ * Everything here is gated on obs::traceOn() / obs::metricsOn(); with
+ * the LSCHED_TRACE_ENABLED build option off those fold to constant
+ * false and the instrumented branches compile away, leaving the
+ * original tight loops.
+ */
+
+#ifndef LSCHED_THREADS_SCHED_OBS_HH
+#define LSCHED_THREADS_SCHED_OBS_HH
+
+#include <vector>
+
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+#include "threads/bin.hh"
+
+namespace lsched::threads::detail
+{
+
+/** The scheduler's process-global instruments, resolved once. */
+struct SchedInstruments
+{
+    obs::Counter *forked;
+    obs::Counter *executed;
+    obs::Counter *runs;
+    obs::Counter *binsCreated;
+    obs::Histogram *hashProbes;
+    obs::Histogram *threadsPerBin;
+    obs::Histogram *binDwellNs;
+    obs::Histogram *tourHop;
+};
+
+/** Lazily resolved singleton (defined in scheduler.cc). */
+const SchedInstruments &schedInstruments();
+
+/**
+ * Execute all threads in @p bin, in fork order. Re-reads group counts
+ * and next links each step so threads forked into this very bin during
+ * execution (nested fork) are picked up. Emits BinStart/ThreadStart/
+ * ThreadEnd/BinEnd events when tracing and the per-bin dwell-time and
+ * threads-per-bin histograms when metrics are on.
+ */
+inline std::uint64_t
+executeBin(Bin *bin)
+{
+    const bool traced = obs::traceOn();
+    const bool metered = obs::metricsOn();
+    const std::uint64_t t0 = (traced || metered) ? obs::nowNs() : 0;
+
+    std::uint64_t executed = 0;
+    if (traced) {
+        obs::TraceSession &session = obs::TraceSession::global();
+        session.record(obs::EventType::BinStart, bin->id,
+                       bin->threadCount);
+        for (ThreadGroup *g = bin->groupsHead; g; g = g->next) {
+            for (std::uint32_t i = 0; i < g->count; ++i) {
+                const ThreadSpec &t = g->specs[i];
+                session.record(obs::EventType::ThreadStart, bin->id);
+                t.fn(t.arg1, t.arg2);
+                session.record(obs::EventType::ThreadEnd, bin->id);
+                ++executed;
+            }
+        }
+        session.record(obs::EventType::BinEnd, bin->id, executed);
+    } else {
+        for (ThreadGroup *g = bin->groupsHead; g; g = g->next) {
+            for (std::uint32_t i = 0; i < g->count; ++i) {
+                const ThreadSpec &t = g->specs[i];
+                t.fn(t.arg1, t.arg2);
+                ++executed;
+            }
+        }
+    }
+
+    if (metered) {
+        const SchedInstruments &ins = schedInstruments();
+        ins.executed->add(executed);
+        ins.threadsPerBin->record(executed);
+        ins.binDwellNs->record(obs::nowNs() - t0);
+    }
+    return executed;
+}
+
+/** Manhattan distance between two bins' block coordinates. */
+inline std::uint64_t
+hopDistance(const Bin *from, const Bin *to, unsigned dims)
+{
+    std::uint64_t hop = 0;
+    for (unsigned d = 0; d < dims; ++d) {
+        const std::uint64_t a = from->coords[d];
+        const std::uint64_t b = to->coords[d];
+        hop += a > b ? a - b : b - a;
+    }
+    return hop;
+}
+
+/** Histogram every hop of an ordered tour (metrics path). */
+inline void
+recordTourHops(const std::vector<Bin *> &tour, unsigned dims)
+{
+    obs::Histogram *h = schedInstruments().tourHop;
+    for (std::size_t i = 1; i < tour.size(); ++i)
+        h->record(hopDistance(tour[i - 1], tour[i], dims));
+}
+
+} // namespace lsched::threads::detail
+
+#endif // LSCHED_THREADS_SCHED_OBS_HH

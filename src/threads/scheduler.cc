@@ -1,9 +1,34 @@
 #include "scheduler.hh"
 
 #include "support/panic.hh"
+#include "threads/sched_obs.hh"
 
 namespace lsched::threads
 {
+
+namespace detail
+{
+
+const SchedInstruments &
+schedInstruments()
+{
+    static const SchedInstruments ins = [] {
+        obs::Registry &r = obs::Registry::global();
+        return SchedInstruments{
+            &r.counter("sched.threads.forked"),
+            &r.counter("sched.threads.executed"),
+            &r.counter("sched.runs"),
+            &r.counter("sched.bins.created"),
+            &r.histogram("sched.hash.probes"),
+            &r.histogram("sched.bin.threads"),
+            &r.histogram("sched.bin.dwell_ns"),
+            &r.histogram("sched.tour.hop_distance"),
+        };
+    }();
+    return ins;
+}
+
+} // namespace detail
 
 namespace
 {
@@ -75,7 +100,24 @@ LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
     }
 
     const BlockCoords coords = blockMap_.coordsFor(hints);
-    Bin *bin = table_.findOrCreate(coords).first;
+    std::uint32_t probes = 0;
+    const auto [bin, created] = table_.findOrCreate(coords, &probes);
+    if (obs::anyOn()) [[unlikely]] {
+        if (obs::metricsOn()) {
+            const detail::SchedInstruments &ins =
+                detail::schedInstruments();
+            ins.forked->add();
+            ins.hashProbes->record(probes);
+            if (created)
+                ins.binsCreated->add();
+        }
+        if (created) {
+            LSCHED_TRACE_EVENT(obs::EventType::BinCreate, bin->id,
+                               coords[0], coords[1]);
+        }
+        LSCHED_TRACE_EVENT(obs::EventType::ThreadFork, bin->id,
+                           coords[0], coords[1]);
+    }
 
     ThreadGroup *group = bin->groupsTail;
     if (!group || group->full()) {
@@ -94,30 +136,6 @@ LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
         appendReady(bin);
 }
 
-namespace
-{
-
-/**
- * Execute all threads in @p bin, in fork order. Re-reads group counts
- * and next links each step so threads forked into this very bin during
- * execution (nested fork) are picked up.
- */
-std::uint64_t
-runBin(Bin *bin)
-{
-    std::uint64_t executed = 0;
-    for (ThreadGroup *g = bin->groupsHead; g; g = g->next) {
-        for (std::uint32_t i = 0; i < g->count; ++i) {
-            const ThreadSpec &t = g->specs[i];
-            t.fn(t.arg1, t.arg2);
-            ++executed;
-        }
-    }
-    return executed;
-}
-
-} // namespace
-
 std::uint64_t
 LocalityScheduler::run(bool keep)
 {
@@ -126,10 +144,16 @@ LocalityScheduler::run(bool keep)
     nestedForkOk_ = !keep && config_.tour == TourPolicy::CreationOrder;
     std::uint64_t executed = 0;
 
+    LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
+                       table_.binCount(), 1);
+    if (obs::metricsOn())
+        detail::schedInstruments().runs->add();
+
     if (nestedForkOk_) {
         // Streaming traversal: pop bins off the ready list as they
         // run; nested forks may append bins (including already-run
         // ones) at the tail and are executed before we return.
+        const Bin *prev = nullptr;
         while (readyHead_) {
             Bin *bin = readyHead_;
             readyHead_ = bin->readyNext;
@@ -137,7 +161,14 @@ LocalityScheduler::run(bool keep)
                 readyTail_ = nullptr;
             bin->readyNext = nullptr;
             bin->onReadyList = false;
-            executed += runBin(bin);
+            if (obs::metricsOn()) {
+                if (prev) {
+                    detail::schedInstruments().tourHop->record(
+                        detail::hopDistance(prev, bin, config_.dims));
+                }
+                prev = bin;
+            }
+            executed += detail::executeBin(bin);
             pool_.recycleChain(bin->groupsHead);
             bin->clearGroups();
         }
@@ -147,8 +178,10 @@ LocalityScheduler::run(bool keep)
     } else {
         const std::vector<Bin *> tour =
             orderBins(config_.tour, readyBins(), config_.dims);
+        if (obs::metricsOn())
+            detail::recordTourHops(tour, config_.dims);
         for (Bin *bin : tour)
-            executed += runBin(bin);
+            executed += detail::executeBin(bin);
         if (!keep) {
             for (Bin *bin : tour) {
                 pool_.recycleChain(bin->groupsHead);
@@ -164,6 +197,7 @@ LocalityScheduler::run(bool keep)
 
     executedThreads_ += executed;
     running_ = false;
+    LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed);
     return executed;
 }
 
@@ -219,6 +253,20 @@ LocalityScheduler::stats() const
     }
     s.tourLength = tourLength(
         orderBins(config_.tour, bins, config_.dims), config_.dims);
+
+    // The registry is the export path for these numbers: every
+    // snapshot refreshes the scheduler gauges so a --metrics dump (or
+    // the harness JSON report) carries the same values this struct
+    // reports.
+    if (obs::metricsOn()) {
+        obs::Registry &r = obs::Registry::global();
+        r.gauge("sched.pending_threads").set(s.pendingThreads);
+        r.gauge("sched.executed_threads").set(s.executedThreads);
+        r.gauge("sched.bins").set(s.bins);
+        r.gauge("sched.bins.occupied").set(s.occupiedBins);
+        r.gauge("sched.hash.max_chain").set(s.maxHashChain);
+        r.gauge("sched.tour.length").set(s.tourLength);
+    }
     return s;
 }
 

@@ -400,11 +400,17 @@ dotProductThread(void *ctx_p, void *ij_p)
  * dot product, forked with the base addresses of the two columns it
  * reads as hints, then run in bin order by @p scheduler. Includes
  * both transpose passes, as the paper's timings do.
+ *
+ * With @p workers > 1 the bin tour is distributed over that many OS
+ * threads (Section 7's SMP extension). The model must then be
+ * thread-safe: NativeModel is (it is stateless); SimModel is not, so
+ * simulated runs must keep workers == 1.
  */
 template <class M>
 void
 matmulThreaded(const Matrix &a, const Matrix &b, Matrix &c,
-               threads::LocalityScheduler &scheduler, M &model)
+               threads::LocalityScheduler &scheduler, M &model,
+               unsigned workers = 1)
 {
     const std::size_t n = a.rows();
     Matrix at(n, n);
@@ -421,7 +427,10 @@ matmulThreaded(const Matrix &a, const Matrix &b, Matrix &c,
                            threads::hintOf(b.col(j)));
         }
     }
-    scheduler.run(false);
+    if (workers > 1)
+        scheduler.runParallel(workers, false);
+    else
+        scheduler.run(false);
 
     Matrix dummy(n, n);
     transpose(at, dummy, model);

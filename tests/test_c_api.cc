@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "threads/c_api.hh"
 
 namespace
@@ -97,6 +100,59 @@ TEST_F(CApiTest, HintsClusterAsInPaperExample)
     EXPECT_EQ((std::vector<std::uintptr_t>(g_order.begin(),
                                            g_order.begin() + 4)),
               (std::vector<std::uintptr_t>{0, 1, 4, 5}));
+}
+
+TEST_F(CApiTest, StatsReturnsPlainCSnapshot)
+{
+    th_init(4096, 0);
+    // Three threads in each of two far-apart blocks.
+    for (std::uintptr_t i = 0; i < 6; ++i) {
+        th_fork(&record, nullptr, reinterpret_cast<void *>(i),
+                reinterpret_cast<void *>((i % 2) * 0x100000 + 64),
+                nullptr, nullptr);
+    }
+    const th_stats_t before = th_stats();
+    EXPECT_EQ(before.pending_threads, 6u);
+    EXPECT_EQ(before.bins, 2u);
+    EXPECT_EQ(before.occupied_bins, 2u);
+    EXPECT_GE(before.max_hash_chain, 1u);
+    EXPECT_DOUBLE_EQ(before.threads_per_bin_mean, 3.0);
+    EXPECT_DOUBLE_EQ(before.threads_per_bin_min, 3.0);
+    EXPECT_DOUBLE_EQ(before.threads_per_bin_max, 3.0);
+    EXPECT_DOUBLE_EQ(before.threads_per_bin_stddev, 0.0);
+
+    th_run(0);
+    const th_stats_t after = th_stats();
+    EXPECT_EQ(after.pending_threads, 0u);
+    EXPECT_EQ(after.executed_threads - before.executed_threads, 6u);
+    // Empty distribution reports zeros, not infinities.
+    EXPECT_EQ(after.occupied_bins, 0u);
+    EXPECT_DOUBLE_EQ(after.threads_per_bin_min, 0.0);
+    EXPECT_DOUBLE_EQ(after.threads_per_bin_max, 0.0);
+}
+
+TEST_F(CApiTest, TraceControlsWriteFiles)
+{
+    if (!lsched::obs::kTraceCompiled)
+        GTEST_SKIP() << "tracing compiled out (LSCHED_TRACE_ENABLED=0)";
+
+    th_trace_enable();
+    th_fork(&record, nullptr, reinterpret_cast<void *>(1), nullptr,
+            nullptr, nullptr);
+    th_run(0);
+
+    const std::string trace_path =
+        ::testing::TempDir() + "capi_trace.json";
+    const std::string metrics_path =
+        ::testing::TempDir() + "capi_metrics.csv";
+    EXPECT_EQ(th_trace_write(trace_path.c_str()), 0);
+    EXPECT_EQ(th_metrics_write(metrics_path.c_str()), 0);
+    EXPECT_EQ(th_trace_write(nullptr), -1);
+    EXPECT_EQ(th_metrics_write(nullptr), -1);
+    th_trace_disable();
+    lsched::obs::TraceSession::global().clear();
+    std::remove(trace_path.c_str());
+    std::remove(metrics_path.c_str());
 }
 
 } // namespace

@@ -1,0 +1,79 @@
+/** @file Unit tests for the single-writer trace event ring. */
+
+#include <gtest/gtest.h>
+
+#include "obs/ring_buffer.hh"
+
+namespace
+{
+
+using lsched::obs::Event;
+using lsched::obs::EventRing;
+using lsched::obs::EventType;
+
+Event
+eventAt(std::uint64_t i)
+{
+    return Event{i, i, i * 2, i * 3, EventType::ThreadFork};
+}
+
+TEST(ObsRing, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(EventRing(0).capacity(), 1u);
+    EXPECT_EQ(EventRing(1).capacity(), 1u);
+    EXPECT_EQ(EventRing(3).capacity(), 4u);
+    EXPECT_EQ(EventRing(8).capacity(), 8u);
+    EXPECT_EQ(EventRing(100).capacity(), 128u);
+}
+
+TEST(ObsRing, RetainsEverythingBelowCapacity)
+{
+    EventRing ring(8);
+    for (std::uint64_t i = 0; i < 5; ++i)
+        ring.push(eventAt(i));
+    EXPECT_EQ(ring.recorded(), 5u);
+    EXPECT_EQ(ring.size(), 5u);
+    EXPECT_EQ(ring.dropped(), 0u);
+
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), 5u);
+    for (std::uint64_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(events[i].ns, i);
+        EXPECT_EQ(events[i].a, i);
+        EXPECT_EQ(events[i].b, i * 2);
+        EXPECT_EQ(events[i].c, i * 3);
+    }
+}
+
+TEST(ObsRing, WrapKeepsNewestAndCountsDrops)
+{
+    EventRing ring(8);
+    const std::uint64_t total = 20; // 2.5x capacity
+    for (std::uint64_t i = 0; i < total; ++i)
+        ring.push(eventAt(i));
+    EXPECT_EQ(ring.recorded(), total);
+    EXPECT_EQ(ring.size(), ring.capacity());
+    EXPECT_EQ(ring.dropped(), total - ring.capacity());
+
+    // The retained window is the newest capacity() events, oldest
+    // first.
+    const auto events = ring.snapshot();
+    ASSERT_EQ(events.size(), ring.capacity());
+    for (std::size_t i = 0; i < events.size(); ++i)
+        EXPECT_EQ(events[i].ns, total - ring.capacity() + i);
+}
+
+TEST(ObsRing, ExactlyFullIsNotADrop)
+{
+    EventRing ring(4);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ring.push(eventAt(i));
+    EXPECT_EQ(ring.size(), 4u);
+    EXPECT_EQ(ring.dropped(), 0u);
+    ring.push(eventAt(4));
+    EXPECT_EQ(ring.dropped(), 1u);
+    EXPECT_EQ(ring.snapshot().front().ns, 1u);
+    EXPECT_EQ(ring.snapshot().back().ns, 4u);
+}
+
+} // namespace

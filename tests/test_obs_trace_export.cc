@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the trace session and the Chrome trace-event exporter: a
+ * golden rendering of a hand-built lane, structural well-formedness of
+ * a live multi-worker capture, and session hygiene (wrap accounting,
+ * clear, runtime disable).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace.hh"
+#include "obs/trace.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+namespace obs = lsched::obs;
+namespace threads = lsched::threads;
+
+using obs::Event;
+using obs::EventType;
+using obs::LaneSnapshot;
+
+/** Every brace/bracket closes in order and the document is one value. */
+bool
+balancedJson(const std::string &s)
+{
+    std::vector<char> stack;
+    bool in_string = false;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char ch = s[i];
+        if (in_string) {
+            if (ch == '\\')
+                ++i;
+            else if (ch == '"')
+                in_string = false;
+            continue;
+        }
+        switch (ch) {
+          case '"':
+            in_string = true;
+            break;
+          case '{':
+          case '[':
+            stack.push_back(ch);
+            break;
+          case '}':
+            if (stack.empty() || stack.back() != '{')
+                return false;
+            stack.pop_back();
+            break;
+          case ']':
+            if (stack.empty() || stack.back() != '[')
+                return false;
+            stack.pop_back();
+            break;
+          default:
+            break;
+        }
+    }
+    return stack.empty() && !in_string;
+}
+
+TEST(ObsChromeTrace, GoldenRenderingOfHandBuiltLane)
+{
+    LaneSnapshot lane;
+    lane.id = 7;
+    lane.name = "worker 7";
+    lane.events = {
+        {1000, 5, 2, 1, EventType::RunBegin},
+        {1500, 3, 0, 0, EventType::ThreadFork},
+        {2000, 3, 1, 0, EventType::BinStart},
+        {2500, 3, 0, 0, EventType::ThreadStart},
+        {3000, 3, 0, 0, EventType::ThreadEnd},
+        {4000, 3, 1, 0, EventType::BinEnd},
+        {5000, 1, 0, 0, EventType::RunEnd},
+    };
+
+    const std::string expected =
+        "{\"traceEvents\":["
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":7,"
+        "\"args\":{\"name\":\"worker 7\"}},"
+        "{\"name\":\"run\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":7,\"ts\":0.000,\"dur\":4.000,"
+        "\"args\":{\"pending\":5,\"bins\":2,\"workers\":1}},"
+        "{\"name\":\"fork\",\"cat\":\"sched\",\"ph\":\"i\",\"pid\":1,"
+        "\"tid\":7,\"ts\":0.500,\"s\":\"t\",\"args\":{\"bin\":3}},"
+        "{\"name\":\"bin 3\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":7,\"ts\":1.000,\"dur\":2.000,"
+        "\"args\":{\"bin\":3,\"threads\":1}},"
+        "{\"name\":\"thread\",\"cat\":\"sched\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":7,\"ts\":1.500,\"dur\":0.500,\"args\":{\"bin\":3}}"
+        "],\"displayTimeUnit\":\"ms\"}";
+
+    EXPECT_EQ(obs::chromeTraceJson({lane}), expected);
+}
+
+TEST(ObsChromeTrace, UnpairedBeginClosesAtLaneEnd)
+{
+    LaneSnapshot lane;
+    lane.id = 0;
+    lane.name = "thread 0";
+    lane.events = {
+        {100, 1, 0, 1, EventType::RunBegin},
+        {400, 2, 0, 0, EventType::ThreadFork},
+    };
+    const std::string json = obs::chromeTraceJson({lane});
+    EXPECT_TRUE(balancedJson(json)) << json;
+    // The open run slice is closed at the lane's last timestamp.
+    EXPECT_NE(json.find("\"name\":\"run\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":0.300"), std::string::npos) << json;
+}
+
+TEST(ObsChromeTrace, EmptySessionRendersValidDocument)
+{
+    const std::string json = obs::chromeTraceJson({});
+    EXPECT_TRUE(balancedJson(json)) << json;
+    EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+void
+noopThread(void *, void *)
+{
+}
+
+class ObsTraceLiveTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        if (!obs::kTraceCompiled)
+            GTEST_SKIP() << "tracing compiled out "
+                            "(LSCHED_TRACE_ENABLED=0)";
+        obs::TraceSession::global().clear();
+        obs::setTraceEnabled(true);
+    }
+
+    void
+    TearDown() override
+    {
+        obs::setTraceEnabled(false);
+        obs::TraceSession::global().clear();
+    }
+};
+
+TEST_F(ObsTraceLiveTest, ParallelRunProducesOrderedWorkerLanes)
+{
+    threads::SchedulerConfig cfg;
+    cfg.dims = 1;
+    cfg.blockBytes = 4096;
+    threads::LocalityScheduler sched(cfg);
+    for (std::uint64_t i = 0; i < 200; ++i) {
+        sched.fork(&noopThread, nullptr, nullptr,
+                   static_cast<threads::Hint>(i * 1024));
+    }
+    ASSERT_EQ(sched.runParallel(4, false), 200u);
+
+    const auto lanes = obs::TraceSession::global().snapshot();
+    // Main thread (worker 0) plus three spawned workers.
+    ASSERT_EQ(lanes.size(), 4u);
+
+    std::size_t named_workers = 0;
+    bool saw_claim = false;
+    for (const auto &lane : lanes) {
+        if (lane.name.rfind("worker ", 0) == 0)
+            ++named_workers;
+        // Within a lane, timestamps never go backwards.
+        for (std::size_t i = 1; i < lane.events.size(); ++i)
+            EXPECT_GE(lane.events[i].ns, lane.events[i - 1].ns);
+        for (const Event &e : lane.events)
+            saw_claim |= e.type == EventType::WorkerClaimBin;
+    }
+    EXPECT_EQ(named_workers, 4u);
+    EXPECT_TRUE(saw_claim);
+
+    const std::string json = obs::chromeTraceJson(lanes);
+    EXPECT_TRUE(balancedJson(json));
+    EXPECT_NE(json.find("claim bin"), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"run\""), std::string::npos);
+}
+
+TEST_F(ObsTraceLiveTest, LaneWrapSurfacesDropCount)
+{
+    auto &session = obs::TraceSession::global();
+    session.setLaneCapacity(16);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        session.record(EventType::ThreadFork, i);
+    const auto lanes = session.snapshot();
+    ASSERT_EQ(lanes.size(), 1u);
+    EXPECT_EQ(lanes[0].events.size(), 16u);
+    EXPECT_EQ(lanes[0].dropped, 84u);
+    // The retained tail is the newest events.
+    EXPECT_EQ(lanes[0].events.back().a, 99u);
+    session.setLaneCapacity(obs::TraceSession::kDefaultLaneCapacity);
+}
+
+TEST_F(ObsTraceLiveTest, DisableStopsRecordingAndClearDropsLanes)
+{
+    threads::LocalityScheduler sched;
+    sched.fork(&noopThread, nullptr, nullptr);
+    sched.run(false);
+    ASSERT_GE(obs::TraceSession::global().laneCount(), 1u);
+
+    obs::setTraceEnabled(false);
+    obs::TraceSession::global().clear();
+    EXPECT_EQ(obs::TraceSession::global().laneCount(), 0u);
+
+    // With tracing off, scheduler activity registers no lanes.
+    sched.fork(&noopThread, nullptr, nullptr);
+    sched.run(false);
+    EXPECT_EQ(obs::TraceSession::global().laneCount(), 0u);
+}
+
+TEST_F(ObsTraceLiveTest, WriteChromeTraceCreatesLoadableFile)
+{
+    threads::LocalityScheduler sched;
+    sched.fork(&noopThread, nullptr, nullptr);
+    sched.run(false);
+
+    const std::string path =
+        ::testing::TempDir() + "lsched_trace_test.json";
+    ASSERT_TRUE(obs::writeChromeTrace(path));
+
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::string content;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        content.append(buf, n);
+    std::fclose(f);
+    std::remove(path.c_str());
+
+    EXPECT_TRUE(balancedJson(content)) << content;
+    EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(content.find("\"ph\":\"X\""), std::string::npos);
+}
+
+} // namespace
