@@ -33,6 +33,7 @@ Fiber::bind(EntryFn entry, void *arg)
                   "bind() on a live fiber");
     entry_ = entry;
     arg_ = arg;
+    exception_ = nullptr;
     if (getcontext(&context_) != 0)
         LSCHED_PANIC("getcontext failed");
     context_.uc_stack.ss_sp = stack_.get();
@@ -47,7 +48,14 @@ void
 Fiber::trampoline()
 {
     Fiber *self = t_current;
-    self->entry_(self->arg_);
+    try {
+        self->entry_(self->arg_);
+    } catch (...) {
+        // Unwinding across the ucontext switch below is undefined
+        // behavior, so the exception is parked here for the scheduler
+        // to collect (takeException) after the switch back.
+        self->exception_ = std::current_exception();
+    }
     self->state_ = FiberState::Finished;
     // uc_link returns control to returnContext_ when the body falls
     // off the end of the trampoline.
@@ -65,6 +73,14 @@ Fiber::resume()
     if (swapcontext(&returnContext_, &context_) != 0)
         LSCHED_PANIC("swapcontext into fiber failed");
     t_current = nullptr;
+}
+
+std::exception_ptr
+Fiber::takeException()
+{
+    std::exception_ptr e = exception_;
+    exception_ = nullptr;
+    return e;
 }
 
 void

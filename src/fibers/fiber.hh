@@ -22,6 +22,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <vector>
 
@@ -75,6 +76,16 @@ class Fiber
     /** Transition Blocked -> Ready (event signalled). */
     void markReady();
 
+    /**
+     * The exception that escaped the fiber body, if any; non-null
+     * only once the fiber is Finished. Ownership transfers to the
+     * caller (subsequent calls return null). An exception cannot be
+     * allowed to unwind through the ucontext switch — that is
+     * undefined behavior — so the trampoline captures it here and
+     * the scheduler decides its fate (fibers/general_scheduler.hh).
+     */
+    std::exception_ptr takeException();
+
     /** The fiber currently running on this thread (null = scheduler). */
     static Fiber *current();
 
@@ -87,6 +98,7 @@ class Fiber
     std::size_t stackBytes_;
     EntryFn entry_ = nullptr;
     void *arg_ = nullptr;
+    std::exception_ptr exception_;
     FiberState state_ = FiberState::Finished;
 };
 

@@ -2,6 +2,7 @@
 
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "support/error.hh"
 #include "support/panic.hh"
 
 namespace lsched::fibers
@@ -11,6 +12,19 @@ namespace
 {
 
 thread_local GeneralScheduler *t_scheduler = nullptr;
+
+/** what() of @p e, or a placeholder for non-std exceptions. */
+std::string
+faultMessage(const std::exception_ptr &e)
+{
+    try {
+        std::rethrow_exception(e);
+    } catch (const std::exception &ex) {
+        return ex.what();
+    } catch (...) {
+        return "unknown exception";
+    }
+}
 
 /** Process-global fiber instruments, resolved once. */
 struct FiberInstruments
@@ -101,7 +115,24 @@ GeneralScheduler::run()
                   "run() from inside a fiber of another scheduler");
     running_ = true;
     t_scheduler = this;
+    lastFaults_.clear();
+    lastFaultsTotal_ = 0;
     std::uint64_t finished = 0;
+
+    // Unwind protection: a rethrown fiber fault or the deadlock error
+    // below must not leave running_ stuck or half a tour queued.
+    struct RunReset
+    {
+        GeneralScheduler &s;
+        bool committed = false;
+        ~RunReset()
+        {
+            t_scheduler = nullptr;
+            s.running_ = false;
+            if (!committed)
+                s.abandon();
+        }
+    } reset{*this};
 
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, live_,
                        queues_.size(), 1);
@@ -127,14 +158,28 @@ GeneralScheduler::run()
                 LSCHED_TRACE_EVENT(obs::EventType::ThreadEnd, q);
                 progressed = true;
                 switch (fiber->state()) {
-                  case FiberState::Finished:
+                  case FiberState::Finished: {
+                    const std::exception_ptr fault =
+                        fiber->takeException();
                     home_.erase(fiber);
                     pool_.release(fiber);
                     --live_;
+                    if (fault) {
+                        noteFiberFault(q, fault);
+                        if (config_.onError !=
+                            threads::ErrorPolicy::ContinueAndCollect) {
+                            // Abort/StopTour: first fault ends the
+                            // run on the caller; RunReset abandons
+                            // the remaining work.
+                            std::rethrow_exception(fault);
+                        }
+                        break;
+                    }
                     ++finished;
                     if (obs::metricsOn())
                         fiberInstruments().finished->add();
                     break;
+                  }
                   case FiberState::Ready:
                     requeue(fiber);
                     if (obs::metricsOn())
@@ -148,17 +193,42 @@ GeneralScheduler::run()
             }
         }
         if (!progressed && live_ > 0) {
-            t_scheduler = nullptr;
-            running_ = false;
-            LSCHED_FATAL("fiber deadlock: ", live_,
-                         " live fibers, none runnable");
+            throw UsageError(lsched::detail::concatMessage(
+                "fiber deadlock: ", live_,
+                " live fibers, none runnable"));
         }
     }
 
-    t_scheduler = nullptr;
-    running_ = false;
+    reset.committed = true;
     LSCHED_TRACE_EVENT(obs::EventType::RunEnd, finished);
     return finished;
+}
+
+void
+GeneralScheduler::abandon() noexcept
+{
+    queues_.clear();
+    if (!config_.locality)
+        queues_.emplace_back(); // the single FIFO queue
+    binIndex_.clear();
+    home_.clear();
+    live_ = 0;
+}
+
+void
+GeneralScheduler::noteFiberFault(std::size_t queue,
+                                 const std::exception_ptr &e)
+{
+    ++lastFaultsTotal_;
+    ++faultedFibers_;
+    if (lastFaults_.size() <
+        threads::detail::FaultCtx::kMaxRecordedFaults) {
+        lastFaults_.push_back({static_cast<std::uint32_t>(queue), 0,
+                               faultMessage(e)});
+    }
+    LSCHED_TRACE_EVENT(obs::EventType::ThreadFault, queue, 0);
+    if (obs::metricsOn())
+        obs::Registry::global().counter("fibers.faulted").add();
 }
 
 void

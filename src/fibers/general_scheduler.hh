@@ -27,6 +27,7 @@
 
 #include "fibers/fiber.hh"
 #include "threads/block_map.hh"
+#include "threads/fault.hh"
 #include "threads/hints.hh"
 
 namespace lsched::fibers
@@ -47,6 +48,15 @@ struct GeneralSchedulerConfig
     std::uint64_t cacheBytes = 2 * 1024 * 1024;
     /** Stack size per fiber. */
     std::size_t stackBytes = 64 * 1024;
+    /**
+     * What run() does with an exception escaping a fiber body.
+     * Abort and StopTour both rethrow the first exception on the
+     * caller and drop all remaining work (the tour is sequential
+     * here, so there is nothing to drain); ContinueAndCollect records
+     * the fault and keeps scheduling. The trampoline always catches —
+     * unwinding across a context switch is undefined behavior.
+     */
+    threads::ErrorPolicy onError = threads::ErrorPolicy::Abort;
 };
 
 /** Fiber scheduler with optional locality binning. */
@@ -69,8 +79,11 @@ class GeneralScheduler
 
     /**
      * Run until every forked fiber has finished. Returns the number
-     * of fibers completed by this call. Fatal on deadlock (all live
-     * fibers blocked on events nobody can signal).
+     * of fibers that completed without faulting. Throws UsageError on
+     * deadlock (all live fibers blocked on events nobody can signal);
+     * fiber exceptions are handled per config onError. After any
+     * throw the scheduler is reset to an empty, reusable state —
+     * outstanding Events must not be reused across such a reset.
      */
     std::uint64_t run();
 
@@ -92,6 +105,18 @@ class GeneralScheduler
     /** Stacks ever allocated (recycling statistic). */
     std::size_t stacksAllocated() const { return pool_.createdCount(); }
 
+    /** Faults contained during the most recent run() (capped). */
+    const std::vector<threads::ThreadFault> &lastFaults() const
+    {
+        return lastFaults_;
+    }
+
+    /** Total faults in the most recent run, including past the cap. */
+    std::uint64_t lastFaultCount() const { return lastFaultsTotal_; }
+
+    /** Fibers whose exception was contained (lifetime). */
+    std::uint64_t faultedFibers() const { return faultedFibers_; }
+
   private:
     friend class Event;
 
@@ -111,6 +136,15 @@ class GeneralScheduler
     void blockCurrentOn(Event &event);
     /** Make a previously blocked fiber runnable again. */
     void unblock(Fiber *fiber);
+    /**
+     * Reset to an empty, reusable state after a faulted run: drop all
+     * queued tasks, home bins, and live-fiber accounting. Suspended
+     * fibers' stacks stay owned by the pool and are reclaimed with
+     * the scheduler.
+     */
+    void abandon() noexcept;
+    /** Record a contained fiber fault (call from a catch/with ptr). */
+    void noteFiberFault(std::size_t queue, const std::exception_ptr &e);
 
     std::size_t queueIndexFor(std::span<const threads::Hint> hints);
     void requeue(Fiber *fiber);
@@ -125,6 +159,9 @@ class GeneralScheduler
     std::unordered_map<Fiber *, std::size_t> home_;
 
     std::uint64_t live_ = 0;
+    std::vector<threads::ThreadFault> lastFaults_;
+    std::uint64_t lastFaultsTotal_ = 0;
+    std::uint64_t faultedFibers_ = 0;
     bool running_ = false;
 };
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <optional>
 
+#include "support/failpoint.hh"
 #include "support/json.hh"
 
 namespace lsched::obs
@@ -84,6 +85,17 @@ sliceArgs(const Event &e)
         std::snprintf(buf, sizeof buf,
                       "\"bin\":%" PRIu64 ",\"tour_index\":%" PRIu64
                       ",\"worker\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
+      case EventType::ThreadFault:
+        std::snprintf(buf, sizeof buf,
+                      "\"bin\":%" PRIu64 ",\"worker\":%" PRIu64, e.a,
+                      e.b);
+        break;
+      case EventType::WatchdogStall:
+        std::snprintf(buf, sizeof buf,
+                      "\"stalled_workers\":%" PRIu64 ",\"bin\":%" PRIu64
+                      ",\"deadline_ms\":%" PRIu64,
                       e.a, e.b, e.c);
         break;
       default:
@@ -214,6 +226,8 @@ chromeTraceJson(const std::vector<LaneSnapshot> &lanes)
 bool
 writeChromeTrace(const std::string &path)
 {
+    if (LSCHED_FAILPOINT_HIT("obs.trace.write"))
+        return false;
     const std::string json =
         chromeTraceJson(TraceSession::global().snapshot());
     std::FILE *f = std::fopen(path.c_str(), "w");

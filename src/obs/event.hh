@@ -39,6 +39,13 @@ enum class EventType : std::uint8_t
     RunEnd,
     /** An SMP worker claimed a bin: (bin id, tour index, worker id). */
     WorkerClaimBin,
+    /** A user thread faulted and was contained: (bin id, worker, 0). */
+    ThreadFault,
+    /**
+     * The runParallel watchdog saw the deadline pass:
+     * (stalled workers, bin id of the first stalled worker, deadline ms).
+     */
+    WatchdogStall,
 };
 
 /** Printable name of an event type. */
@@ -55,6 +62,8 @@ eventTypeName(EventType type)
       case EventType::RunBegin:       return "RunBegin";
       case EventType::RunEnd:         return "RunEnd";
       case EventType::WorkerClaimBin: return "WorkerClaimBin";
+      case EventType::ThreadFault:    return "ThreadFault";
+      case EventType::WatchdogStall:  return "WatchdogStall";
     }
     return "?";
 }

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "support/failpoint.hh"
+
 namespace lsched::obs
 {
 
@@ -21,6 +23,8 @@ endsWith(const std::string &s, const std::string &suffix)
 bool
 writeMetricsFile(const std::string &path, const Registry &registry)
 {
+    if (LSCHED_FAILPOINT_HIT("obs.metrics.write"))
+        return false;
     std::string body;
     if (endsWith(path, ".json"))
         body = registry.toJson();

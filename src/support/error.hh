@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Recoverable error types — the third tier of the error model.
+ *
+ * The library distinguishes four failure classes (see DESIGN.md §8):
+ *
+ *  panic()            — a library invariant was violated; abort().
+ *  fatal()            — unusable input in a context where unwinding is
+ *                       unsafe (e.g. misuse detected on a worker
+ *                       thread); exit(1) with a diagnostic.
+ *  RecoverableError   — the caller asked for something impossible but
+ *                       the library state is intact; thrown as an
+ *                       exception so long-lived embedders can catch,
+ *                       report, and keep running. The C API translates
+ *                       these into th_last_error().
+ *  contained faults   — exceptions escaping *user* thread bodies,
+ *                       handled per ErrorPolicy (threads/fault.hh).
+ */
+
+#ifndef LSCHED_SUPPORT_ERROR_HH
+#define LSCHED_SUPPORT_ERROR_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace lsched
+{
+
+/** Base of every error the library reports by throwing. */
+class RecoverableError : public std::runtime_error
+{
+  public:
+    explicit RecoverableError(const std::string &msg)
+        : std::runtime_error(msg)
+    {
+    }
+};
+
+/** The supplied configuration is unusable; prior state is retained. */
+class ConfigError : public RecoverableError
+{
+  public:
+    using RecoverableError::RecoverableError;
+};
+
+/** An API call outside its contract that can be refused safely. */
+class UsageError : public RecoverableError
+{
+  public:
+    using RecoverableError::RecoverableError;
+};
+
+} // namespace lsched
+
+#endif // LSCHED_SUPPORT_ERROR_HH

@@ -1,0 +1,331 @@
+#include "failpoint.hh"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/panic.hh"
+#include "support/prng.hh"
+
+namespace lsched::failpoint
+{
+
+namespace detail
+{
+std::atomic<int> g_armed{0};
+} // namespace detail
+
+#if LSCHED_FAILPOINTS_ENABLED
+
+namespace
+{
+
+enum class Mode : std::uint8_t
+{
+    Always,
+    Once,
+    Nth,   ///< fire on exactly the param-th evaluation
+    Every, ///< fire on every param-th evaluation
+    Prob,  ///< fire with probability param / 2^32, seeded
+};
+
+struct Site
+{
+    Mode mode = Mode::Always;
+    std::uint64_t param = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+    Prng prng{1};
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, Site> sites;
+};
+
+Registry &
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+bool
+parseUint(const std::string &s, std::uint64_t *out)
+{
+    if (s.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+}
+
+/** Parse one spec into a Site; false with reason on bad grammar. */
+bool
+parseSpec(const std::string &spec, Site *site, bool *off,
+          std::string *error)
+{
+    *off = false;
+    const auto fail = [&](const std::string &why) {
+        if (error)
+            *error = "bad fail-point spec '" + spec + "': " + why;
+        return false;
+    };
+    if (spec == "off") {
+        *off = true;
+        return true;
+    }
+    if (spec == "always") {
+        site->mode = Mode::Always;
+        return true;
+    }
+    if (spec == "once") {
+        site->mode = Mode::Once;
+        return true;
+    }
+    if (spec.rfind("hit=", 0) == 0 || spec.rfind("every=", 0) == 0) {
+        const bool every = spec[0] == 'e';
+        std::uint64_t n = 0;
+        if (!parseUint(spec.substr(spec.find('=') + 1), &n) || n == 0)
+            return fail("expected a positive integer");
+        site->mode = every ? Mode::Every : Mode::Nth;
+        site->param = n;
+        return true;
+    }
+    if (spec.rfind("prob=", 0) == 0) {
+        std::string body = spec.substr(5);
+        std::uint64_t seed = 1;
+        if (const std::size_t at = body.find('@');
+            at != std::string::npos) {
+            if (!parseUint(body.substr(at + 1), &seed))
+                return fail("expected an integer seed after '@'");
+            body = body.substr(0, at);
+        }
+        char *end = nullptr;
+        const double p = std::strtod(body.c_str(), &end);
+        if (end == body.c_str() || *end != '\0' || p < 0.0 || p > 1.0)
+            return fail("expected a probability in [0, 1]");
+        site->mode = Mode::Prob;
+        site->param =
+            static_cast<std::uint64_t>(p * 4294967296.0); // p * 2^32
+        site->prng = Prng(seed);
+        return true;
+    }
+    return fail("unknown form (want off|always|once|hit=N|every=N|"
+                "prob=P[@seed])");
+}
+
+/**
+ * Arm sites from LSCHED_FAILPOINTS before main() so env-driven runs
+ * need no code changes. A malformed value cannot throw this early;
+ * warn and ignore the rest of the list instead.
+ */
+const bool g_envArmed = [] {
+    const char *env = std::getenv("LSCHED_FAILPOINTS");
+    if (!env || !*env)
+        return false;
+    std::string error;
+    if (!armList(env, &error))
+        LSCHED_WARN("ignoring LSCHED_FAILPOINTS: ", error);
+    return true;
+}();
+
+} // namespace
+
+namespace detail
+{
+
+bool
+evaluate(const char *name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(name);
+    if (it == r.sites.end())
+        return false;
+    Site &site = it->second;
+    ++site.hits;
+    bool fire = false;
+    switch (site.mode) {
+      case Mode::Always:
+        fire = true;
+        break;
+      case Mode::Once:
+        fire = site.fires == 0;
+        break;
+      case Mode::Nth:
+        fire = site.hits == site.param;
+        break;
+      case Mode::Every:
+        fire = site.hits % site.param == 0;
+        break;
+      case Mode::Prob:
+        fire = (site.prng.next() >> 32) < site.param;
+        break;
+    }
+    if (fire)
+        ++site.fires;
+    return fire;
+}
+
+} // namespace detail
+
+bool
+arm(const std::string &name, const std::string &spec, std::string *error)
+{
+    if (name.empty() || name.find_first_of(",:") != std::string::npos) {
+        if (error)
+            *error = "bad fail-point name '" + name + "'";
+        return false;
+    }
+    Site site;
+    bool off = false;
+    if (!parseSpec(spec, &site, &off, error))
+        return false;
+    if (off) {
+        disarm(name);
+        return true;
+    }
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto [it, created] = r.sites.insert_or_assign(name, site);
+    (void)it;
+    if (created)
+        detail::g_armed.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+void
+disarm(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    if (r.sites.erase(name) > 0)
+        detail::g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+disarmAll()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    detail::g_armed.fetch_sub(static_cast<int>(r.sites.size()),
+                              std::memory_order_relaxed);
+    r.sites.clear();
+}
+
+std::uint64_t
+hitCount(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(name);
+    return it == r.sites.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t
+fireCount(const std::string &name)
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const auto it = r.sites.find(name);
+    return it == r.sites.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string>
+armedSites()
+{
+    Registry &r = registry();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    std::vector<std::string> names;
+    names.reserve(r.sites.size());
+    for (const auto &[name, site] : r.sites)
+        names.push_back(name);
+    return names;
+}
+
+bool
+armList(const std::string &list, std::string *error)
+{
+    std::size_t pos = 0;
+    while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        const std::string entry = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (entry.empty())
+            continue;
+        const std::size_t colon = entry.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            if (error)
+                *error = "bad fail-point entry '" + entry +
+                         "' (want <site>:<spec>)";
+            return false;
+        }
+        if (!arm(entry.substr(0, colon), entry.substr(colon + 1), error))
+            return false;
+    }
+    return true;
+}
+
+#else // !LSCHED_FAILPOINTS_ENABLED
+
+// Compiled-out stubs: arming always fails so tests can detect the
+// configuration, everything else is a no-op.
+
+bool
+arm(const std::string &, const std::string &spec, std::string *error)
+{
+    if (spec == "off")
+        return true;
+    if (error)
+        *error = "fail points compiled out (LSCHED_FAILPOINTS_ENABLED=0)";
+    return false;
+}
+
+void
+disarm(const std::string &)
+{
+}
+
+void
+disarmAll()
+{
+}
+
+std::uint64_t
+hitCount(const std::string &)
+{
+    return 0;
+}
+
+std::uint64_t
+fireCount(const std::string &)
+{
+    return 0;
+}
+
+std::vector<std::string>
+armedSites()
+{
+    return {};
+}
+
+bool
+armList(const std::string &, std::string *error)
+{
+    if (error)
+        *error = "fail points compiled out (LSCHED_FAILPOINTS_ENABLED=0)";
+    return false;
+}
+
+#endif // LSCHED_FAILPOINTS_ENABLED
+
+} // namespace lsched::failpoint

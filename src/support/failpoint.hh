@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Deterministic fail points: named fault-injection sites.
+ *
+ * A fail point is a named site in library code that tests (or an
+ * operator chasing a bug) can arm to inject a failure — on the Nth
+ * hit, on every Nth hit, with seeded probability, once, or always.
+ * Sites are armed programmatically (arm()/disarm()) or through the
+ * environment:
+ *
+ *   LSCHED_FAILPOINTS="grouppool.allocate:hit=3,obs.trace.write:always"
+ *
+ * Spec grammar (one entry per site, entries comma-separated):
+ *
+ *   <entry> ::= <site> ':' <spec>
+ *   <spec>  ::= 'off' | 'always' | 'once'
+ *             | 'hit='  N          fire on exactly the Nth evaluation
+ *             | 'every=' N         fire on every Nth evaluation
+ *             | 'prob=' P ['@' S]  fire with probability P (seed S,
+ *                                  default seed 1; deterministic)
+ *
+ * Gating mirrors the tracing layer's two levels:
+ *  - compile time: the LSCHED_FAILPOINTS_ENABLED CMake option
+ *    (default ON) defines the macro of the same name; when 0 every
+ *    site compiles to nothing and the library carries zero cost;
+ *  - run time: with the layer compiled in but no site armed, a site
+ *    costs one relaxed atomic load and a predictable branch. Armed
+ *    evaluation takes a mutex — fault injection is not a hot path.
+ */
+
+#ifndef LSCHED_SUPPORT_FAILPOINT_HH
+#define LSCHED_SUPPORT_FAILPOINT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#ifndef LSCHED_FAILPOINTS_ENABLED
+#define LSCHED_FAILPOINTS_ENABLED 1
+#endif
+
+namespace lsched::failpoint
+{
+
+/** True when the fail-point layer is compiled into this build. */
+constexpr bool kCompiled = LSCHED_FAILPOINTS_ENABLED != 0;
+
+/** The exception LSCHED_FAILPOINT sites throw when they fire. */
+class Injected : public std::runtime_error
+{
+  public:
+    explicit Injected(const std::string &site)
+        : std::runtime_error("injected fault at fail point '" + site +
+                             "'"),
+          site_(site)
+    {
+    }
+
+    /** Name of the site that fired. */
+    const std::string &site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+namespace detail
+{
+/** Number of currently armed sites; 0 short-circuits every check. */
+extern std::atomic<int> g_armed;
+/** Slow path: count a hit at @p name and decide whether to fire. */
+bool evaluate(const char *name);
+} // namespace detail
+
+/** Is any site armed? The one-load fast-path guard. */
+inline bool
+anyArmed()
+{
+#if LSCHED_FAILPOINTS_ENABLED
+    return detail::g_armed.load(std::memory_order_relaxed) > 0;
+#else
+    return false;
+#endif
+}
+
+/** Should the site @p name fire now? */
+inline bool
+shouldFail(const char *name)
+{
+#if LSCHED_FAILPOINTS_ENABLED
+    return anyArmed() && detail::evaluate(name);
+#else
+    (void)name;
+    return false;
+#endif
+}
+
+/**
+ * Arm @p name with @p spec (grammar above). Returns false (with the
+ * reason in @p error when non-null) on a malformed spec or when the
+ * layer is compiled out; 'off' disarms.
+ */
+bool arm(const std::string &name, const std::string &spec,
+         std::string *error = nullptr);
+
+/** Disarm one site (no-op when not armed). */
+void disarm(const std::string &name);
+
+/** Disarm every site and forget all hit counts. */
+void disarmAll();
+
+/** Evaluations of @p name since it was armed (0 when never armed). */
+std::uint64_t hitCount(const std::string &name);
+
+/** Times @p name actually fired since it was armed. */
+std::uint64_t fireCount(const std::string &name);
+
+/** Names of all currently armed sites. */
+std::vector<std::string> armedSites();
+
+/**
+ * Arm every "<site>:<spec>" entry of a comma-separated list (the
+ * LSCHED_FAILPOINTS format). Stops at the first malformed entry and
+ * returns false with the reason in @p error.
+ */
+bool armList(const std::string &list, std::string *error = nullptr);
+
+} // namespace lsched::failpoint
+
+/**
+ * A named injection site that fails by throwing failpoint::Injected.
+ * Place where a real failure (allocation, I/O, a misbehaving callee)
+ * would surface as an exception.
+ */
+#if LSCHED_FAILPOINTS_ENABLED
+#define LSCHED_FAILPOINT(name)                                              \
+    do {                                                                    \
+        if (::lsched::failpoint::shouldFail(name)) [[unlikely]]             \
+            throw ::lsched::failpoint::Injected(name);                      \
+    } while (0)
+#else
+#define LSCHED_FAILPOINT(name) ((void)0)
+#endif
+
+/**
+ * Expression form for sites with bespoke failure behaviour (return an
+ * error code, throw std::bad_alloc, ...): true when the site fires.
+ * Constant false when the layer is compiled out.
+ */
+#if LSCHED_FAILPOINTS_ENABLED
+#define LSCHED_FAILPOINT_HIT(name) (::lsched::failpoint::shouldFail(name))
+#else
+#define LSCHED_FAILPOINT_HIT(name) false
+#endif
+
+#endif // LSCHED_SUPPORT_FAILPOINT_HH

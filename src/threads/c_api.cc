@@ -1,8 +1,14 @@
 #include "c_api.hh"
 
+#include <mutex>
+#include <new>
+#include <string>
+
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "support/error.hh"
+#include "support/failpoint.hh"
 
 namespace
 {
@@ -13,6 +19,51 @@ instance()
 {
     static lsched::threads::LocalityScheduler scheduler;
     return scheduler;
+}
+
+thread_local std::string t_lastError;
+thread_local bool t_hasError = false;
+
+std::mutex g_handlerMutex;
+th_error_handler_t g_handler = nullptr;
+void *g_handlerUser = nullptr;
+
+void
+recordError(std::string message)
+{
+    t_lastError = std::move(message);
+    t_hasError = true;
+    th_error_handler_t handler;
+    void *user;
+    {
+        std::lock_guard<std::mutex> lock(g_handlerMutex);
+        handler = g_handler;
+        user = g_handlerUser;
+    }
+    if (handler)
+        handler(t_lastError.c_str(), user);
+}
+
+/**
+ * Run @p fn, translating every exception a th_* call can legally
+ * produce into a recorded error. Exceptions here are always
+ * recoverable by construction — panics abort before unwinding.
+ */
+template <typename Fn>
+bool
+guarded(Fn &&fn)
+{
+    try {
+        fn();
+        return true;
+    } catch (const std::bad_alloc &) {
+        recordError("out of memory");
+    } catch (const std::exception &e) {
+        recordError(e.what());
+    } catch (...) {
+        recordError("unknown error");
+    }
+    return false;
 }
 
 } // namespace
@@ -26,25 +77,35 @@ th_default_scheduler()
 void
 th_init(std::size_t blocksize, std::size_t hashsize)
 {
-    lsched::threads::SchedulerConfig config = instance().config();
-    config.blockBytes = blocksize; // 0 selects cacheBytes / dims
-    config.hashBuckets = hashsize; // 0 selects the default
-    instance().configure(config);
+    guarded([&] {
+        lsched::threads::SchedulerConfig config = instance().config();
+        config.blockBytes = blocksize; // 0 selects cacheBytes / dims
+        config.hashBuckets = hashsize; // 0 selects the default
+        instance().configure(config);
+    });
 }
 
 void
 th_fork(void (*f)(void *, void *), void *arg1, void *arg2,
         const void *hint1, const void *hint2, const void *hint3)
 {
-    instance().fork(f, arg1, arg2, lsched::threads::hintOf(hint1),
-                    lsched::threads::hintOf(hint2),
-                    lsched::threads::hintOf(hint3));
+    if (!f) {
+        // The C++ API treats a null body as a library-invariant panic;
+        // at the C boundary it is a reportable caller error.
+        recordError("th_fork: NULL thread function");
+        return;
+    }
+    guarded([&] {
+        instance().fork(f, arg1, arg2, lsched::threads::hintOf(hint1),
+                        lsched::threads::hintOf(hint2),
+                        lsched::threads::hintOf(hint3));
+    });
 }
 
 void
 th_run(int keep)
 {
-    instance().run(keep != 0);
+    guarded([&] { instance().run(keep != 0); });
 }
 
 extern "C" {
@@ -96,6 +157,55 @@ th_metrics_write(const char *path)
     if (!path)
         return -1;
     return lsched::obs::writeMetricsFile(path) ? 0 : -1;
+}
+
+const char *
+th_last_error(void)
+{
+    return t_hasError ? t_lastError.c_str() : nullptr;
+}
+
+void
+th_clear_error(void)
+{
+    t_hasError = false;
+    t_lastError.clear();
+}
+
+void
+th_set_error_handler(th_error_handler_t handler, void *user)
+{
+    std::lock_guard<std::mutex> lock(g_handlerMutex);
+    g_handler = handler;
+    g_handlerUser = user;
+}
+
+int
+th_failpoint_arm(const char *name, const char *spec)
+{
+    if (!name || !spec) {
+        recordError("th_failpoint_arm: NULL name or spec");
+        return -1;
+    }
+    std::string error;
+    if (!lsched::failpoint::arm(name, spec, &error)) {
+        recordError(error);
+        return -1;
+    }
+    return 0;
+}
+
+void
+th_failpoint_disarm(const char *name)
+{
+    if (name)
+        lsched::failpoint::disarm(name);
+}
+
+void
+th_failpoint_disarm_all(void)
+{
+    lsched::failpoint::disarmAll();
 }
 
 void

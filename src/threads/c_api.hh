@@ -16,6 +16,14 @@
  * The functions return no values; there are no thread handles and no
  * per-thread operations. State lives in one process-global scheduler;
  * th_default_scheduler() exposes it for inspection and statistics.
+ *
+ * Error model at this boundary: C callers cannot catch C++
+ * exceptions, so every recoverable error (bad configuration, API
+ * misuse, a StopTour fault, an injected allocation failure) is caught
+ * here, recorded per-thread, and reported through th_last_error();
+ * an optional process-wide handler (th_set_error_handler) is invoked
+ * at the point of failure. Library invariant violations still
+ * panic/abort.
  */
 
 #ifndef LSCHED_THREADS_C_API_HH
@@ -81,6 +89,39 @@ int th_trace_write(const char *path);
  * text otherwise). Returns 0 on success, -1 on error.
  */
 int th_metrics_write(const char *path);
+
+/**
+ * Message of the last recoverable error hit by the calling thread in
+ * a th_* call, or NULL when none since the last th_clear_error().
+ * The storage is thread-local and overwritten by the next error.
+ */
+const char *th_last_error(void);
+
+/** Forget the calling thread's last error. */
+void th_clear_error(void);
+
+/**
+ * Error handler hook: called (from the failing thread, at the point
+ * of failure) with the message and @p user for every recoverable
+ * error a th_* call contains. Pass NULL to remove. One process-wide
+ * handler; th_last_error() works with or without it.
+ */
+typedef void (*th_error_handler_t)(const char *message, void *user);
+void th_set_error_handler(th_error_handler_t handler, void *user);
+
+/**
+ * Arm the named fail point with a spec ("always", "once", "hit=N",
+ * "every=N", "prob=P@seed", "off" — see support/failpoint.hh).
+ * Returns 0 on success, -1 on a malformed spec or when fail points
+ * are compiled out (the reason lands in th_last_error()).
+ */
+int th_failpoint_arm(const char *name, const char *spec);
+
+/** Disarm one fail point (no-op when not armed). */
+void th_failpoint_disarm(const char *name);
+
+/** Disarm every fail point. */
+void th_failpoint_disarm_all(void);
 
 } // extern "C"
 

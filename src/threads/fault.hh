@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fault containment for user threads.
+ *
+ * The paper's package ran trusted batch code: an exception escaping a
+ * thread body killed the process (std::terminate from a worker, or a
+ * scheduler left stuck with running_ == true). A production embedder
+ * must survive misbehaving user threads, so run()/runParallel()
+ * execute thread bodies under a configurable ErrorPolicy, and every
+ * containment path records a ThreadFault for reporting.
+ */
+
+#ifndef LSCHED_THREADS_FAULT_HH
+#define LSCHED_THREADS_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lsched::threads
+{
+
+/** What run()/runParallel() does with an exception from a thread. */
+enum class ErrorPolicy : std::uint8_t
+{
+    /**
+     * Do not contain (the package's historic behavior): the exception
+     * propagates out of run() on the caller, or out of a worker
+     * thread — std::terminate — under runParallel(). The run-guard
+     * still restores scheduler state when the caller-side unwind is
+     * catchable.
+     */
+    Abort,
+    /**
+     * Stop the tour: no further bins are claimed, in-flight bins
+     * drain, and the first exception is rethrown exactly once on the
+     * calling thread after all workers join. Un-run threads are
+     * dropped; the scheduler is immediately reusable.
+     */
+    StopTour,
+    /**
+     * Run everything: each faulted thread is recorded and the rest of
+     * the tour executes normally. run() returns the count of threads
+     * that completed; lastFaults() reports the faults.
+     */
+    ContinueAndCollect,
+};
+
+/** Printable name of a policy. */
+inline const char *
+errorPolicyName(ErrorPolicy policy)
+{
+    switch (policy) {
+      case ErrorPolicy::Abort:              return "Abort";
+      case ErrorPolicy::StopTour:           return "StopTour";
+      case ErrorPolicy::ContinueAndCollect: return "ContinueAndCollect";
+    }
+    return "?";
+}
+
+/** One contained user-thread failure. */
+struct ThreadFault
+{
+    /** Bin the faulted thread belonged to. */
+    std::uint32_t binId = 0;
+    /** Worker that ran it (0 for sequential run()). */
+    unsigned worker = 0;
+    /** what() of the escaped exception ("unknown exception" else). */
+    std::string message;
+};
+
+namespace detail
+{
+
+struct RunGuard; // RAII unwind protection, defined in scheduler.cc
+
+/** Shared fault-collection state for one run()/runParallel() call. */
+struct FaultCtx
+{
+    ErrorPolicy policy = ErrorPolicy::Abort;
+    /** Set under StopTour once a fault is seen; workers stop claiming. */
+    std::atomic<bool> stop{false};
+    std::mutex mutex;
+    /** First escaped exception (StopTour rethrows it on the caller). */
+    std::exception_ptr first;
+    /** Recorded faults (capped at kMaxRecordedFaults). */
+    std::vector<ThreadFault> *faults = nullptr;
+    /** Total faults, including those past the cap. */
+    std::uint64_t totalFaults = 0;
+
+    /** Faults retained with full detail per run. */
+    static constexpr std::size_t kMaxRecordedFaults = 64;
+
+    FaultCtx(ErrorPolicy p, std::vector<ThreadFault> *sink)
+        : policy(p), faults(sink)
+    {
+    }
+
+    /** Should this worker stop claiming bins? */
+    bool
+    stopRequested() const
+    {
+        return policy == ErrorPolicy::StopTour &&
+               stop.load(std::memory_order_relaxed);
+    }
+};
+
+/**
+ * Record the in-flight exception (call from a catch block only) as a
+ * fault of @p binId on @p worker; under StopTour also captures the
+ * first exception and raises the stop flag. Defined in scheduler.cc.
+ */
+void noteFault(FaultCtx &ctx, std::uint32_t binId, unsigned worker);
+
+/**
+ * True on a thread currently executing bins for runParallel().
+ * fork() uses it to reject the silent ready-list data race that
+ * forking from inside a parallel tour would be. Defined in
+ * parallel_scheduler.cc.
+ */
+bool inParallelWorker();
+
+} // namespace detail
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_FAULT_HH

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <deque>
+#include <new>
 #include <vector>
 
 #include "support/align.hh"
+#include "support/failpoint.hh"
 #include "support/panic.hh"
 #include "threads/bin.hh"
 #include "threads/hints.hh"
@@ -59,6 +61,10 @@ class BinTable
                 return {b, false};
             }
         }
+        // Fail point standing in for a real out-of-memory from the bin
+        // growth below.
+        if (LSCHED_FAILPOINT_HIT("bintable.grow"))
+            throw std::bad_alloc();
         bins_.emplace_back();
         Bin *b = &bins_.back();
         b->coords = coords;

@@ -6,9 +6,22 @@
  * so the per-bin working-set property carries over to each CPU's own
  * cache. Bins are handed out dynamically from a shared cursor, which
  * balances load when bin occupancy is skewed (as in N-body).
+ *
+ * Fault containment: with ErrorPolicy::StopTour or
+ * ::ContinueAndCollect each worker catches user-thread exceptions
+ * (sched_obs.hh, executeBinGuarded) instead of letting them hit the
+ * std::thread boundary and std::terminate. The optional watchdog
+ * (SchedulerConfig::watchdogMillis) is a monitor thread that warns —
+ * and emits a WatchdogStall trace event — when the tour overruns its
+ * deadline, naming the stuck workers and the bins they hold.
  */
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -19,6 +32,93 @@
 
 namespace lsched::threads
 {
+
+namespace
+{
+
+/** Worker "current bin" states for the watchdog. */
+constexpr std::int64_t kWorkerIdle = -1;
+constexpr std::int64_t kWorkerDone = -2;
+
+thread_local bool t_inParallelWorker = false;
+
+/** Scoped thread-local marker for runParallel worker bodies. */
+struct ParallelWorkerScope
+{
+    ParallelWorkerScope() { t_inParallelWorker = true; }
+    ~ParallelWorkerScope() { t_inParallelWorker = false; }
+};
+
+/** Rendezvous between the tour and its watchdog monitor. */
+struct WatchdogChannel
+{
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+};
+
+/**
+ * Monitor body: wake every deadline period; while workers are still
+ * running past a deadline, warn with the stuck worker/bin ids and
+ * record a WatchdogStall event. Purely observational — it never stops
+ * or kills the tour.
+ */
+void
+watchdogBody(WatchdogChannel &channel, std::uint32_t deadlineMillis,
+             const std::atomic<std::int64_t> *currentBin,
+             unsigned workers)
+{
+    if (obs::traceOn())
+        obs::TraceSession::global().setLaneName("watchdog");
+    std::unique_lock<std::mutex> lock(channel.mutex);
+    const auto period = std::chrono::milliseconds(deadlineMillis);
+    while (!channel.done) {
+        if (channel.cv.wait_for(lock, period,
+                                [&] { return channel.done; }))
+            return;
+        // Deadline passed with workers still out there.
+        std::uint64_t stalled = 0;
+        std::int64_t firstStuckBin = kWorkerIdle;
+        std::ostringstream who;
+        for (unsigned w = 0; w < workers; ++w) {
+            const std::int64_t bin =
+                currentBin[w].load(std::memory_order_relaxed);
+            if (bin == kWorkerDone)
+                continue;
+            ++stalled;
+            if (who.tellp() > 0)
+                who << ", ";
+            if (bin == kWorkerIdle)
+                who << "worker " << w << " (between bins)";
+            else
+                who << "worker " << w << " (bin " << bin << ")";
+            if (firstStuckBin == kWorkerIdle && bin >= 0)
+                firstStuckBin = bin;
+        }
+        LSCHED_WARN("runParallel watchdog: tour still running after ",
+                    deadlineMillis, " ms deadline; ", stalled,
+                    " worker(s) busy: ", who.str());
+        LSCHED_TRACE_EVENT(
+            obs::EventType::WatchdogStall, stalled,
+            firstStuckBin >= 0
+                ? static_cast<std::uint64_t>(firstStuckBin)
+                : 0,
+            deadlineMillis);
+    }
+}
+
+} // namespace
+
+namespace detail
+{
+
+bool
+inParallelWorker()
+{
+    return t_inParallelWorker;
+}
+
+} // namespace detail
 
 std::uint64_t
 LocalityScheduler::runParallel(unsigned workers, bool keep)
@@ -31,6 +131,12 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
 
     running_ = true;
     nestedForkOk_ = false;
+    lastFaults_.clear();
+    lastFaultsTotal_ = 0;
+
+    detail::RunGuard guard{*this, nullptr};
+    detail::FaultCtx ctx(config_.onError, &lastFaults_);
+    const bool contain = ctx.policy != ErrorPolicy::Abort;
 
     const std::vector<Bin *> tour =
         orderBins(config_.tour, readyBins(), config_.dims);
@@ -46,25 +152,46 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
 
     std::atomic<std::size_t> cursor{0};
     std::atomic<std::uint64_t> executed{0};
+    const std::unique_ptr<std::atomic<std::int64_t>[]> currentBin(
+        new std::atomic<std::int64_t>[workers]);
+    for (unsigned w = 0; w < workers; ++w)
+        currentBin[w].store(kWorkerIdle, std::memory_order_relaxed);
 
     auto worker_body = [&](unsigned w) {
+        ParallelWorkerScope in_worker;
         if (obs::traceOn()) {
             obs::TraceSession::global().setLaneName(
                 "worker " + std::to_string(w));
         }
         std::uint64_t mine = 0;
         for (;;) {
+            if (ctx.stopRequested())
+                break;
             const std::size_t i =
                 cursor.fetch_add(1, std::memory_order_relaxed);
             if (i >= tour.size())
                 break;
             Bin *bin = tour[i];
+            currentBin[w].store(bin->id, std::memory_order_relaxed);
             LSCHED_TRACE_EVENT(obs::EventType::WorkerClaimBin, bin->id,
                                i, w);
-            mine += detail::executeBin(bin);
+            // Abort keeps the historic uncontained fast path: an
+            // escaped exception hits the std::thread boundary.
+            mine += contain ? detail::executeBinGuarded(bin, ctx, w)
+                            : detail::executeBin(bin);
+            currentBin[w].store(kWorkerIdle, std::memory_order_relaxed);
         }
+        currentBin[w].store(kWorkerDone, std::memory_order_relaxed);
         executed.fetch_add(mine, std::memory_order_relaxed);
     };
+
+    WatchdogChannel channel;
+    std::thread watchdog;
+    if (config_.watchdogMillis > 0) {
+        watchdog = std::thread(watchdogBody, std::ref(channel),
+                               config_.watchdogMillis, currentBin.get(),
+                               workers);
+    }
 
     std::vector<std::thread> pool;
     pool.reserve(workers - 1);
@@ -74,7 +201,17 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     for (auto &t : pool)
         t.join();
 
-    if (!keep) {
+    if (watchdog.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(channel.mutex);
+            channel.done = true;
+        }
+        channel.cv.notify_one();
+        watchdog.join();
+    }
+
+    const bool faultedStop = ctx.first != nullptr;
+    if (!keep && !faultedStop) {
         for (Bin *bin : tour) {
             pool_.recycleChain(bin->groupsHead);
             bin->clearGroups();
@@ -87,7 +224,15 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     }
 
     executedThreads_ += executed.load();
-    running_ = false;
+    lastFaultsTotal_ = ctx.totalFaults;
+    faultedThreads_ += lastFaultsTotal_;
+    if (faultedStop) {
+        // StopTour: all workers have joined; rethrow the first user
+        // exception exactly once on the caller. The guard's unwind
+        // path recycles every bin and zeroes the pending count.
+        std::rethrow_exception(ctx.first);
+    }
+    guard.commit();
     LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed.load());
     return executed.load();
 }

@@ -18,7 +18,9 @@
 
 #include "obs/registry.hh"
 #include "obs/trace.hh"
+#include "support/failpoint.hh"
 #include "threads/bin.hh"
+#include "threads/fault.hh"
 
 namespace lsched::threads::detail
 {
@@ -30,6 +32,7 @@ struct SchedInstruments
     obs::Counter *executed;
     obs::Counter *runs;
     obs::Counter *binsCreated;
+    obs::Counter *faulted;
     obs::Histogram *hashProbes;
     obs::Histogram *threadsPerBin;
     obs::Histogram *binDwellNs;
@@ -49,6 +52,10 @@ const SchedInstruments &schedInstruments();
 inline std::uint64_t
 executeBin(Bin *bin)
 {
+    // Under ErrorPolicy::Abort this injected failure propagates like
+    // any user-thread exception would (the guarded variant below
+    // contains it instead).
+    LSCHED_FAILPOINT("sched.bin.execute");
     const bool traced = obs::traceOn();
     const bool metered = obs::metricsOn();
     const std::uint64_t t0 = (traced || metered) ? obs::nowNs() : 0;
@@ -76,6 +83,72 @@ executeBin(Bin *bin)
                 ++executed;
             }
         }
+    }
+
+    if (metered) {
+        const SchedInstruments &ins = schedInstruments();
+        ins.executed->add(executed);
+        ins.threadsPerBin->record(executed);
+        ins.binDwellNs->record(obs::nowNs() - t0);
+    }
+    return executed;
+}
+
+/**
+ * executeBin with per-thread exception containment — the run loops
+ * select this variant when the policy is StopTour or
+ * ContinueAndCollect, so the Abort fast path above stays untouched.
+ * Returns the number of threads that completed; faulted threads are
+ * recorded through noteFault(). Under StopTour the remainder of the
+ * bin is skipped after the first fault.
+ */
+inline std::uint64_t
+executeBinGuarded(Bin *bin, FaultCtx &ctx, unsigned worker)
+{
+    const bool traced = obs::traceOn();
+    const bool metered = obs::metricsOn();
+    const std::uint64_t t0 = (traced || metered) ? obs::nowNs() : 0;
+
+    std::uint64_t executed = 0;
+    if (traced) {
+        obs::TraceSession::global().record(obs::EventType::BinStart,
+                                           bin->id, bin->threadCount);
+    }
+    bool stopped = false;
+    try {
+        // Injection site standing in for a failure at the top of bin
+        // execution (a bad bin, a poisoned group chain, ...).
+        LSCHED_FAILPOINT("sched.bin.execute");
+    } catch (...) {
+        noteFault(ctx, bin->id, worker);
+        stopped = ctx.policy == ErrorPolicy::StopTour;
+    }
+    for (ThreadGroup *g = bin->groupsHead; g && !stopped; g = g->next) {
+        for (std::uint32_t i = 0; i < g->count; ++i) {
+            try {
+                if (traced) {
+                    obs::TraceSession::global().record(
+                        obs::EventType::ThreadStart, bin->id);
+                }
+                const ThreadSpec &t = g->specs[i];
+                t.fn(t.arg1, t.arg2);
+                if (traced) {
+                    obs::TraceSession::global().record(
+                        obs::EventType::ThreadEnd, bin->id);
+                }
+                ++executed;
+            } catch (...) {
+                noteFault(ctx, bin->id, worker);
+                if (ctx.policy == ErrorPolicy::StopTour) {
+                    stopped = true;
+                    break;
+                }
+            }
+        }
+    }
+    if (traced) {
+        obs::TraceSession::global().record(obs::EventType::BinEnd,
+                                           bin->id, executed);
     }
 
     if (metered) {

@@ -1,5 +1,6 @@
 #include "scheduler.hh"
 
+#include "support/error.hh"
 #include "support/panic.hh"
 #include "threads/sched_obs.hh"
 
@@ -19,6 +20,7 @@ schedInstruments()
             &r.counter("sched.threads.executed"),
             &r.counter("sched.runs"),
             &r.counter("sched.bins.created"),
+            &r.counter("sched.threads.faulted"),
             &r.histogram("sched.hash.probes"),
             &r.histogram("sched.bin.threads"),
             &r.histogram("sched.bin.dwell_ns"),
@@ -28,25 +30,73 @@ schedInstruments()
     return ins;
 }
 
+void
+noteFault(FaultCtx &ctx, std::uint32_t binId, unsigned worker)
+{
+    std::string message = "unknown exception";
+    try {
+        throw;
+    } catch (const std::exception &e) {
+        message = e.what();
+    } catch (...) {
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(ctx.mutex);
+        ++ctx.totalFaults;
+        if (ctx.faults &&
+            ctx.faults->size() < FaultCtx::kMaxRecordedFaults)
+            ctx.faults->push_back({binId, worker, std::move(message)});
+        if (ctx.policy == ErrorPolicy::StopTour && !ctx.first)
+            ctx.first = std::current_exception();
+    }
+    if (ctx.policy == ErrorPolicy::StopTour)
+        ctx.stop.store(true, std::memory_order_relaxed);
+
+    LSCHED_TRACE_EVENT(obs::EventType::ThreadFault, binId, worker);
+    if (obs::metricsOn())
+        schedInstruments().faulted->add();
+}
+
 } // namespace detail
 
 namespace
 {
 
+/**
+ * Normalize defaults and reject unusable configurations. The zeros
+ * that the paper's th_init documents as "pick the default" stay
+ * defaults (blockBytes, hashBuckets); everything that would flow into
+ * a div-by-zero or a degenerate block map is a ConfigError.
+ */
 SchedulerConfig
 validated(SchedulerConfig config)
 {
-    LSCHED_ASSERT(config.dims >= 1 && config.dims <= kMaxDims,
-                  "dims must be in [1, ", kMaxDims, "]");
+    if (config.dims < 1 || config.dims > kMaxDims) {
+        throw ConfigError(lsched::detail::concatMessage(
+            "dims must be in [1, ", kMaxDims, "], got ", config.dims));
+    }
     if (config.cacheBytes == 0)
-        config.cacheBytes = 2 * 1024 * 1024;
+        throw ConfigError("cacheBytes must be non-zero");
+    if (config.groupCapacity == 0)
+        throw ConfigError("groupCapacity must be non-zero");
     if (config.blockBytes == 0)
         config.blockBytes = config.cacheBytes / config.dims;
-    LSCHED_ASSERT(config.blockBytes > 0, "block size underflow");
+    if (config.blockBytes == 0) {
+        throw ConfigError(lsched::detail::concatMessage(
+            "cacheBytes (", config.cacheBytes, ") too small for ",
+            config.dims, " dimensions"));
+    }
+    if (config.blockBytes > config.cacheBytes) {
+        // Legal but almost certainly a mistake outside deliberate
+        // degradation experiments (Figure 4 sweeps past the cache on
+        // purpose), so this warns instead of rejecting.
+        LSCHED_WARN("blockBytes (", config.blockBytes,
+                    ") exceeds cacheBytes (", config.cacheBytes,
+                    "); every bin will overflow the cache");
+    }
     if (config.hashBuckets == 0)
         config.hashBuckets = 4096;
-    if (config.groupCapacity == 0)
-        config.groupCapacity = 64;
     return config;
 }
 
@@ -64,11 +114,16 @@ void
 LocalityScheduler::configure(const SchedulerConfig &config)
 {
     if (running_)
-        LSCHED_FATAL("cannot reconfigure a running scheduler");
-    if (pendingThreads_ != 0)
-        LSCHED_FATAL("cannot reconfigure with ", pendingThreads_,
-                     " threads pending; run or clear them first");
-    config_ = validated(config);
+        throw UsageError("cannot reconfigure a running scheduler");
+    if (pendingThreads_ != 0) {
+        throw UsageError(lsched::detail::concatMessage(
+            "cannot reconfigure with ", pendingThreads_,
+            " threads pending; run or clear them first"));
+    }
+    // Validate before touching anything so a bad config leaves the
+    // previous one fully intact.
+    const SchedulerConfig next = validated(config);
+    config_ = next;
     blockMap_ = BlockMap(config_.dims, config_.blockBytes,
                          config_.symmetricHints);
     table_ = BinTable(config_.dims, config_.hashBuckets);
@@ -94,9 +149,20 @@ LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
                         std::span<const Hint> hints)
 {
     LSCHED_ASSERT(fn != nullptr, "fork of a null thread function");
+    if (detail::inParallelWorker()) {
+        // Checked via thread-local state *before* touching the ready
+        // list: reading scheduler fields from a worker would itself be
+        // the data race this diagnostic exists to prevent. fatal, not
+        // throw — unwinding a worker mid-tour is not safe here.
+        LSCHED_FATAL(
+            "fork() from a thread running under runParallel() is not "
+            "supported: the ready list is not synchronized during a "
+            "parallel tour. Fork before runParallel(), or use run() "
+            "with keep == false for nested forking.");
+    }
     if (running_ && !nestedForkOk_) {
-        LSCHED_FATAL("fork during run() requires keep == false and the "
-                     "creation-order tour");
+        throw UsageError("fork during run() requires keep == false and "
+                         "the creation-order tour");
     }
 
     const BlockCoords coords = blockMap_.coordsFor(hints);
@@ -142,7 +208,14 @@ LocalityScheduler::run(bool keep)
     LSCHED_ASSERT(!running_, "recursive run()");
     running_ = true;
     nestedForkOk_ = !keep && config_.tour == TourPolicy::CreationOrder;
+    lastFaults_.clear();
+    lastFaultsTotal_ = 0;
     std::uint64_t executed = 0;
+
+    Bin *inFlight = nullptr;
+    detail::RunGuard guard{*this, &inFlight};
+    detail::FaultCtx ctx(config_.onError, &lastFaults_);
+    const bool contain = ctx.policy != ErrorPolicy::Abort;
 
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
                        table_.binCount(), 1);
@@ -154,13 +227,14 @@ LocalityScheduler::run(bool keep)
         // run; nested forks may append bins (including already-run
         // ones) at the tail and are executed before we return.
         const Bin *prev = nullptr;
-        while (readyHead_) {
+        while (readyHead_ && !ctx.stopRequested()) {
             Bin *bin = readyHead_;
             readyHead_ = bin->readyNext;
             if (!readyHead_)
                 readyTail_ = nullptr;
             bin->readyNext = nullptr;
             bin->onReadyList = false;
+            inFlight = bin;
             if (obs::metricsOn()) {
                 if (prev) {
                     detail::schedInstruments().tourHop->record(
@@ -168,21 +242,33 @@ LocalityScheduler::run(bool keep)
                 }
                 prev = bin;
             }
-            executed += detail::executeBin(bin);
+            executed += contain ? detail::executeBinGuarded(bin, ctx, 0)
+                                : detail::executeBin(bin);
             pool_.recycleChain(bin->groupsHead);
             bin->clearGroups();
+            inFlight = nullptr;
         }
-        LSCHED_ASSERT(pendingThreads_ <= executed,
-                      "pending threads outlived the streaming run");
-        pendingThreads_ = 0;
+        if (ctx.stopRequested()) {
+            // Un-run bins stay on the ready list; the rethrow below
+            // lets the guard recycle them.
+        } else {
+            LSCHED_ASSERT(pendingThreads_ <=
+                              executed + ctx.totalFaults,
+                          "pending threads outlived the streaming run");
+            pendingThreads_ = 0;
+        }
     } else {
         const std::vector<Bin *> tour =
             orderBins(config_.tour, readyBins(), config_.dims);
         if (obs::metricsOn())
             detail::recordTourHops(tour, config_.dims);
-        for (Bin *bin : tour)
-            executed += detail::executeBin(bin);
-        if (!keep) {
+        for (Bin *bin : tour) {
+            if (ctx.stopRequested())
+                break;
+            executed += contain ? detail::executeBinGuarded(bin, ctx, 0)
+                                : detail::executeBin(bin);
+        }
+        if (!keep && !ctx.stopRequested()) {
             for (Bin *bin : tour) {
                 pool_.recycleChain(bin->groupsHead);
                 bin->clearGroups();
@@ -196,15 +282,46 @@ LocalityScheduler::run(bool keep)
     }
 
     executedThreads_ += executed;
-    running_ = false;
+    lastFaultsTotal_ = ctx.totalFaults;
+    faultedThreads_ += lastFaultsTotal_;
+    if (ctx.first) {
+        // StopTour: rethrow the first user exception exactly once on
+        // the caller; the guard's unwind path drops what never ran.
+        std::rethrow_exception(ctx.first);
+    }
+    guard.commit();
     LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed);
     return executed;
 }
 
 void
+LocalityScheduler::abandonRun(Bin *inFlight) noexcept
+{
+    if (inFlight && !inFlight->onReadyList) {
+        pool_.recycleChain(inFlight->groupsHead);
+        inFlight->clearGroups();
+        inFlight->readyNext = nullptr;
+    }
+    for (Bin *bin = readyHead_; bin;) {
+        Bin *next = bin->readyNext;
+        pool_.recycleChain(bin->groupsHead);
+        bin->clearGroups();
+        bin->readyNext = nullptr;
+        bin->onReadyList = false;
+        bin = next;
+    }
+    readyHead_ = nullptr;
+    readyTail_ = nullptr;
+    pendingThreads_ = 0;
+    running_ = false;
+    nestedForkOk_ = false;
+}
+
+void
 LocalityScheduler::clear()
 {
-    LSCHED_ASSERT(!running_, "clear() during run()");
+    if (running_)
+        throw UsageError("clear() during run()");
     for (Bin *bin = readyHead_; bin;) {
         Bin *next = bin->readyNext;
         pool_.recycleChain(bin->groupsHead);
@@ -242,6 +359,7 @@ LocalityScheduler::stats() const
     SchedulerStats s;
     s.pendingThreads = pendingThreads_;
     s.executedThreads = executedThreads_;
+    s.faultedThreads = faultedThreads_;
     s.bins = table_.binCount();
     s.maxHashChain = table_.maxChainLength();
     const std::vector<Bin *> bins = readyBins();
@@ -262,6 +380,7 @@ LocalityScheduler::stats() const
         obs::Registry &r = obs::Registry::global();
         r.gauge("sched.pending_threads").set(s.pendingThreads);
         r.gauge("sched.executed_threads").set(s.executedThreads);
+        r.gauge("sched.faulted_threads").set(s.faultedThreads);
         r.gauge("sched.bins").set(s.bins);
         r.gauge("sched.bins.occupied").set(s.occupiedBins);
         r.gauge("sched.hash.max_chain").set(s.maxHashChain);

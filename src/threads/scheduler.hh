@@ -17,6 +17,13 @@
  *  - forking from inside a running thread is legal when keep is
  *    false: the new thread lands in its bin and runs before run()
  *    returns (an extension past the paper's batch model).
+ *
+ * Beyond the paper: configuration errors and API misuse are
+ * recoverable exceptions (support/error.hh), user-thread exceptions
+ * are contained per ErrorPolicy (threads/fault.hh), runParallel() has
+ * an optional stall watchdog, and named fail points
+ * (support/failpoint.hh) inject faults into the allocation and
+ * execution paths for testing.
  */
 
 #ifndef LSCHED_THREADS_SCHEDULER_HH
@@ -28,6 +35,7 @@
 
 #include "support/stats.hh"
 #include "threads/block_map.hh"
+#include "threads/fault.hh"
 #include "threads/hash_table.hh"
 #include "threads/hints.hh"
 #include "threads/thread_group.hh"
@@ -56,6 +64,15 @@ struct SchedulerConfig
     bool symmetricHints = false;
     /** Bin traversal order. */
     TourPolicy tour = TourPolicy::CreationOrder;
+    /** What to do with an exception escaping a user thread. */
+    ErrorPolicy onError = ErrorPolicy::Abort;
+    /**
+     * runParallel() watchdog deadline in milliseconds; 0 disables.
+     * When a tour overruns the deadline a monitor thread warns with
+     * the stuck worker/bin ids and emits a WatchdogStall trace event —
+     * it never kills anything, it makes the degradation visible.
+     */
+    std::uint32_t watchdogMillis = 0;
 
     /** The block dimension actually used. */
     std::uint64_t
@@ -72,6 +89,8 @@ struct SchedulerStats
     std::uint64_t pendingThreads = 0;
     /** Threads executed over the scheduler's lifetime. */
     std::uint64_t executedThreads = 0;
+    /** User threads whose exception was contained (lifetime). */
+    std::uint64_t faultedThreads = 0;
     /** Bins currently allocated. */
     std::uint64_t bins = 0;
     /** Non-empty bins. */
@@ -96,8 +115,9 @@ class LocalityScheduler
 
     /**
      * Reconfigure (the paper's th_init, which "can be called more
-     * than once to change those sizes"). Fatal while threads are
-     * pending or running.
+     * than once to change those sizes"). Throws ConfigError on an
+     * unusable configuration and UsageError while threads are pending
+     * or running; the previous configuration is retained either way.
      */
     void configure(const SchedulerConfig &config);
 
@@ -126,6 +146,11 @@ class LocalityScheduler
      * a bin in fork order (the paper's th_run). With @p keep the
      * specifications survive for re-execution; otherwise all bins and
      * groups are recycled. Returns the number of threads executed.
+     *
+     * Exceptions escaping user threads are handled per
+     * config().onError; after a StopTour rethrow (or any unwind) the
+     * scheduler is back in a clean, reusable state with no pending
+     * threads.
      */
     std::uint64_t run(bool keep = false);
 
@@ -135,8 +160,11 @@ class LocalityScheduler
      * distribute the bin tour over @p workers OS threads, each worker
      * running whole bins so per-bin locality is preserved on its CPU.
      * User threads must be mutually independent. Forking from inside
-     * a running thread is not supported here. Returns the number of
-     * threads executed. Implemented in parallel_scheduler.cc.
+     * a running thread is not supported here — it is detected and
+     * fatal, naming the restriction. Exceptions from user threads are
+     * handled per config().onError; config().watchdogMillis arms a
+     * stall watchdog. Returns the number of threads executed.
+     * Implemented in parallel_scheduler.cc.
      */
     std::uint64_t runParallel(unsigned workers, bool keep = false);
 
@@ -155,6 +183,18 @@ class LocalityScheduler
     /** Per-bin thread counts in ready order (for tests/reports). */
     std::vector<std::uint64_t> binOccupancy() const;
 
+    /**
+     * Faults contained during the most recent run()/runParallel()
+     * (at most FaultCtx::kMaxRecordedFaults retained in detail).
+     */
+    const std::vector<ThreadFault> &lastFaults() const
+    {
+        return lastFaults_;
+    }
+
+    /** Total faults in the most recent run, including past the cap. */
+    std::uint64_t lastFaultCount() const { return lastFaultsTotal_; }
+
     /** Block coordinates a given hint vector maps to (for tests). */
     BlockCoords
     coordsFor(std::span<const Hint> hints) const
@@ -163,9 +203,18 @@ class LocalityScheduler
     }
 
   private:
+    friend struct detail::RunGuard;
+
     void rebuild();
     std::vector<Bin *> readyBins() const;
     void appendReady(Bin *bin);
+    /**
+     * Reset to a clean idle state after an abandoned run: recycles
+     * @p inFlight (a bin already unlinked by the streaming loop) and
+     * every bin still on the ready list, then zeroes the pending count
+     * and the running flag. noexcept — runs during unwinds.
+     */
+    void abandonRun(Bin *inFlight) noexcept;
 
     SchedulerConfig config_;
     BlockMap blockMap_;
@@ -177,9 +226,47 @@ class LocalityScheduler
 
     std::uint64_t pendingThreads_ = 0;
     std::uint64_t executedThreads_ = 0;
+    std::uint64_t faultedThreads_ = 0;
+    std::vector<ThreadFault> lastFaults_;
+    std::uint64_t lastFaultsTotal_ = 0;
     bool running_ = false;
     bool nestedForkOk_ = false;
 };
+
+namespace detail
+{
+
+/**
+ * Unwind protection for run()/runParallel(): unless the run commits,
+ * destruction abandons it — every ready bin is recycled, the pending
+ * count zeroed, and the running flag dropped — so a throw (user
+ * exception under Abort, StopTour rethrow, injected allocation
+ * failure) can never leave the scheduler stuck with running_ == true.
+ */
+struct RunGuard
+{
+    LocalityScheduler &scheduler;
+    /** Bin the streaming loop has unlinked but not finished. */
+    Bin **inFlight = nullptr;
+    bool committed = false;
+
+    /** Normal completion: the run loop restored state itself. */
+    void
+    commit()
+    {
+        committed = true;
+        scheduler.running_ = false;
+        scheduler.nestedForkOk_ = false;
+    }
+
+    ~RunGuard()
+    {
+        if (!committed)
+            scheduler.abandonRun(inFlight ? *inFlight : nullptr);
+    }
+};
+
+} // namespace detail
 
 } // namespace lsched::threads
 

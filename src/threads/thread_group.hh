@@ -14,7 +14,9 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <new>
 
+#include "support/failpoint.hh"
 #include "support/panic.hh"
 #include "threads/thread.hh"
 
@@ -67,6 +69,10 @@ class GroupPool
             g = free_;
             free_ = g->next;
         } else {
+            // Fail point standing in for a real out-of-memory from the
+            // group allocation below.
+            if (LSCHED_FAILPOINT_HIT("grouppool.allocate"))
+                throw std::bad_alloc();
             pool_.emplace_back();
             g = &pool_.back();
             g->specs = std::make_unique<ThreadSpec[]>(capacity_);

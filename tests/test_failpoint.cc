@@ -1,0 +1,202 @@
+/** @file Fail-point subsystem tests (support/failpoint.hh). */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "support/failpoint.hh"
+
+namespace
+{
+
+namespace fp = lsched::failpoint;
+
+// Defined (and therefore run) before the disarming fixture below:
+// when the driver sets LSCHED_FAILPOINTS, its sites must have been
+// armed by static initialization, before main().
+TEST(FailpointEnv, EnvListIsArmedAtStartup)
+{
+    const char *env = std::getenv("LSCHED_FAILPOINTS");
+    if (!env || !*env)
+        GTEST_SKIP() << "LSCHED_FAILPOINTS not set";
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    EXPECT_FALSE(fp::armedSites().empty()) << "env: " << env;
+}
+
+TEST(FailpointCompiledOut, EverythingIsInertWhenCompiledOut)
+{
+    if (fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled in";
+    std::string error;
+    EXPECT_FALSE(fp::arm("test.site", "always", &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(fp::anyArmed());
+    EXPECT_FALSE(fp::shouldFail("test.site"));
+    EXPECT_TRUE(fp::armedSites().empty());
+    EXPECT_NO_THROW(LSCHED_FAILPOINT("test.site"));
+    EXPECT_FALSE(LSCHED_FAILPOINT_HIT("test.site"));
+}
+
+/**
+ * Disarm everything around each test so sites never leak; skipped
+ * wholesale in a compiled-out build (the nofailpoints preset), which
+ * FailpointCompiledOut covers instead.
+ */
+class Failpoint : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        if (!fp::kCompiled)
+            GTEST_SKIP() << "fail points compiled out";
+        fp::disarmAll();
+    }
+    void TearDown() override { fp::disarmAll(); }
+};
+
+TEST_F(Failpoint, DisarmedSiteNeverFires)
+{
+    for (int i = 0; i < 100; ++i)
+        EXPECT_FALSE(fp::shouldFail("test.nowhere"));
+    EXPECT_EQ(fp::hitCount("test.nowhere"), 0u);
+    EXPECT_FALSE(fp::anyArmed());
+}
+
+TEST_F(Failpoint, AlwaysFiresEveryTime)
+{
+    ASSERT_TRUE(fp::arm("test.site", "always"));
+    EXPECT_TRUE(fp::anyArmed());
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(fp::shouldFail("test.site"));
+    EXPECT_EQ(fp::hitCount("test.site"), 5u);
+    EXPECT_EQ(fp::fireCount("test.site"), 5u);
+}
+
+TEST_F(Failpoint, OnceFiresExactlyOnce)
+{
+    ASSERT_TRUE(fp::arm("test.site", "once"));
+    EXPECT_TRUE(fp::shouldFail("test.site"));
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(fp::shouldFail("test.site"));
+    EXPECT_EQ(fp::fireCount("test.site"), 1u);
+}
+
+TEST_F(Failpoint, HitFiresOnExactlyTheNthEvaluation)
+{
+    ASSERT_TRUE(fp::arm("test.site", "hit=3"));
+    EXPECT_FALSE(fp::shouldFail("test.site"));
+    EXPECT_FALSE(fp::shouldFail("test.site"));
+    EXPECT_TRUE(fp::shouldFail("test.site"));
+    EXPECT_FALSE(fp::shouldFail("test.site"));
+    EXPECT_EQ(fp::hitCount("test.site"), 4u);
+    EXPECT_EQ(fp::fireCount("test.site"), 1u);
+}
+
+TEST_F(Failpoint, EveryFiresPeriodically)
+{
+    ASSERT_TRUE(fp::arm("test.site", "every=3"));
+    std::vector<bool> fired;
+    for (int i = 0; i < 9; ++i)
+        fired.push_back(fp::shouldFail("test.site"));
+    const std::vector<bool> expect = {false, false, true,  false, false,
+                                      true,  false, false, true};
+    EXPECT_EQ(fired, expect);
+}
+
+TEST_F(Failpoint, ProbIsDeterministicForAFixedSeed)
+{
+    ASSERT_TRUE(fp::arm("test.site", "prob=0.5@42"));
+    std::vector<bool> first;
+    for (int i = 0; i < 64; ++i)
+        first.push_back(fp::shouldFail("test.site"));
+    // Re-arming resets the sequence: identical spec, identical run.
+    ASSERT_TRUE(fp::arm("test.site", "prob=0.5@42"));
+    std::vector<bool> second;
+    for (int i = 0; i < 64; ++i)
+        second.push_back(fp::shouldFail("test.site"));
+    EXPECT_EQ(first, second);
+    // p = 0.5 over 64 draws virtually never yields all-true/all-false.
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+    EXPECT_NE(std::count(first.begin(), first.end(), true), 64);
+}
+
+TEST_F(Failpoint, ProbExtremesAreExact)
+{
+    ASSERT_TRUE(fp::arm("test.never", "prob=0"));
+    ASSERT_TRUE(fp::arm("test.ever", "prob=1"));
+    for (int i = 0; i < 32; ++i) {
+        EXPECT_FALSE(fp::shouldFail("test.never"));
+        EXPECT_TRUE(fp::shouldFail("test.ever"));
+    }
+}
+
+TEST_F(Failpoint, OffAndDisarmStopTheSite)
+{
+    ASSERT_TRUE(fp::arm("test.site", "always"));
+    ASSERT_TRUE(fp::arm("test.site", "off"));
+    EXPECT_FALSE(fp::shouldFail("test.site"));
+    ASSERT_TRUE(fp::arm("test.site", "always"));
+    fp::disarm("test.site");
+    EXPECT_FALSE(fp::shouldFail("test.site"));
+    EXPECT_FALSE(fp::anyArmed());
+}
+
+TEST_F(Failpoint, MalformedSpecsAreRejectedWithAReason)
+{
+    const char *bad[] = {"",        "bogus",    "hit=",     "hit=0",
+                         "hit=x",   "every=0",  "prob=",    "prob=2",
+                         "prob=-1", "prob=0.5@"};
+    for (const char *spec : bad) {
+        std::string error;
+        EXPECT_FALSE(fp::arm("test.site", spec, &error))
+            << "spec accepted: " << spec;
+        EXPECT_FALSE(error.empty()) << "no reason for: " << spec;
+    }
+    EXPECT_FALSE(fp::anyArmed());
+}
+
+TEST_F(Failpoint, ArmedSitesListsEveryArmedSite)
+{
+    ASSERT_TRUE(fp::arm("test.a", "always"));
+    ASSERT_TRUE(fp::arm("test.b", "hit=2"));
+    std::vector<std::string> sites = fp::armedSites();
+    std::sort(sites.begin(), sites.end());
+    EXPECT_EQ(sites, (std::vector<std::string>{"test.a", "test.b"}));
+    fp::disarmAll();
+    EXPECT_TRUE(fp::armedSites().empty());
+}
+
+TEST_F(Failpoint, ArmListParsesTheEnvFormat)
+{
+    ASSERT_TRUE(fp::armList("test.a:hit=2,test.b:always"));
+    EXPECT_FALSE(fp::shouldFail("test.a"));
+    EXPECT_TRUE(fp::shouldFail("test.a"));
+    EXPECT_TRUE(fp::shouldFail("test.b"));
+
+    std::string error;
+    EXPECT_FALSE(fp::armList("test.c", &error)); // no ':'
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(fp::armList("test.c:bogus", &error));
+}
+
+TEST_F(Failpoint, MacroThrowsInjectedWithTheSiteName)
+{
+    ASSERT_TRUE(fp::arm("test.macro", "always"));
+    try {
+        LSCHED_FAILPOINT("test.macro");
+        FAIL() << "fail point did not fire";
+    } catch (const fp::Injected &e) {
+        EXPECT_EQ(e.site(), "test.macro");
+        EXPECT_NE(std::string(e.what()).find("test.macro"),
+                  std::string::npos);
+    }
+    // Disarmed, the same macro is a no-op.
+    fp::disarm("test.macro");
+    EXPECT_NO_THROW(LSCHED_FAILPOINT("test.macro"));
+}
+
+} // namespace

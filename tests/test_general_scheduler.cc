@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "fibers/general_scheduler.hh"
+#include "support/error.hh"
 
 namespace
 {
@@ -174,13 +175,19 @@ TEST(GeneralScheduler, ManyFibersWithYields)
     EXPECT_EQ(counter, 4000);
 }
 
-TEST(GeneralSchedulerDeathTest, DeadlockIsFatal)
+TEST(GeneralSchedulerMisuse, DeadlockThrows)
 {
     GeneralScheduler sched;
     static Event never;
     never.reset();
     sched.fork([](void *) { never.wait(); }, nullptr);
-    EXPECT_EXIT(sched.run(), ::testing::ExitedWithCode(1), "deadlock");
+    EXPECT_THROW(sched.run(), lsched::UsageError);
+    // The throw reset the scheduler to an empty, reusable state.
+    EXPECT_EQ(sched.liveFibers(), 0u);
+    static int ran = 0;
+    sched.fork([](void *) { ++ran; }, nullptr);
+    EXPECT_EQ(sched.run(), 1u);
+    EXPECT_EQ(ran, 1);
 }
 
 } // namespace

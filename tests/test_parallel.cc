@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <stdexcept>
 #include <vector>
 
 #include "threads/scheduler.hh"
@@ -123,6 +124,39 @@ TEST(ParallelScheduler, ZeroWorkersUsesHardwareConcurrency)
                static_cast<Hint>(i * 64), 0);
     EXPECT_EQ(s.runParallel(0), 200u);
     EXPECT_EQ(counter.value.load(), 200u);
+}
+
+TEST(ParallelSchedulerDeathTest, ForkFromAWorkerIsFatal)
+{
+    // The ready list is not synchronized during a parallel tour, so
+    // fork() from a worker must die with a diagnostic, not race.
+    LocalityScheduler s(cfg());
+    struct Ctx
+    {
+        LocalityScheduler *sched;
+    } ctx{&s};
+    auto forker = [](void *c, void *) {
+        auto *ctx = static_cast<Ctx *>(c);
+        auto noop = [](void *, void *) {};
+        ctx->sched->fork(noop, nullptr, nullptr, 0, 0);
+    };
+    s.fork(forker, &ctx, nullptr, 0, 0);
+    EXPECT_EXIT(s.runParallel(2), ::testing::ExitedWithCode(1),
+                "fork\\(\\) from a thread running under runParallel");
+}
+
+TEST(ParallelSchedulerDeathTest, AbortPolicyTerminatesOnWorkerFault)
+{
+    // Historic behavior, kept as the Abort policy: an exception
+    // escaping a worker std::thread reaches std::terminate.
+    SchedulerConfig c = cfg();
+    c.onError = ErrorPolicy::Abort;
+    LocalityScheduler s(c);
+    auto thrower = [](void *, void *) {
+        throw std::runtime_error("unhandled worker fault");
+    };
+    s.fork(thrower, nullptr, nullptr, 0, 0);
+    EXPECT_DEATH(s.runParallel(2), "");
 }
 
 } // namespace

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "support/error.hh"
 #include "threads/scheduler.hh"
 
 namespace
@@ -275,13 +276,16 @@ TEST(Scheduler, ConfigureResetsBins)
     EXPECT_EQ(s.config().blockBytes, 1u << 10);
 }
 
-TEST(SchedulerDeathTest, ConfigureWithPendingThreadsIsFatal)
+TEST(SchedulerMisuse, ConfigureWithPendingThreadsThrows)
 {
     LocalityScheduler s(smallConfig());
     Log log;
     s.fork(&Log::record, &log, nullptr, 0, 0);
-    EXPECT_EXIT(s.configure(smallConfig()),
-                ::testing::ExitedWithCode(1), "pending");
+    EXPECT_THROW(s.configure(smallConfig()), lsched::UsageError);
+    // The pending thread is untouched by the failed configure().
+    EXPECT_EQ(s.stats().pendingThreads, 1u);
+    s.run();
+    EXPECT_EQ(log.order.size(), 1u);
 }
 
 TEST(SchedulerDeathTest, NullFunctionPanics)

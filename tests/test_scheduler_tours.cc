@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "support/error.hh"
 #include "threads/scheduler.hh"
 
 namespace
@@ -117,7 +118,7 @@ TEST(SchedulerTours, WithinBinOrderUnaffectedByTour)
         EXPECT_EQ(log.order[i], i);
 }
 
-TEST(SchedulerToursDeathTest, NestedForkRequiresCreationOrder)
+TEST(SchedulerToursMisuse, NestedForkRequiresCreationOrder)
 {
     LocalityScheduler s(config(TourPolicy::SortedSnake));
     struct Ctx
@@ -130,11 +131,17 @@ TEST(SchedulerToursDeathTest, NestedForkRequiresCreationOrder)
         ctx->sched->fork(noop, nullptr, nullptr, 0, 0);
     };
     s.fork(forker, &ctx, nullptr, 0, 0);
-    EXPECT_EXIT(s.run(false), ::testing::ExitedWithCode(1),
-                "creation-order");
+    EXPECT_THROW(s.run(false), lsched::UsageError);
+    // The run-guard abandoned the tour: the scheduler is reusable.
+    EXPECT_EQ(s.stats().pendingThreads, 0u);
+    Log log;
+    s.fork(&Log::record, &log, reinterpret_cast<void *>(7), 0, 0);
+    s.run();
+    ASSERT_EQ(log.order.size(), 1u);
+    EXPECT_EQ(log.order[0], 7u);
 }
 
-TEST(SchedulerToursDeathTest, NestedForkWithKeepIsFatal)
+TEST(SchedulerToursMisuse, NestedForkWithKeepThrows)
 {
     SchedulerConfig cfg = config(TourPolicy::CreationOrder);
     LocalityScheduler s(cfg);
@@ -148,8 +155,7 @@ TEST(SchedulerToursDeathTest, NestedForkWithKeepIsFatal)
         ctx->sched->fork(noop, nullptr, nullptr, 0, 0);
     };
     s.fork(forker, &ctx, nullptr, 0, 0);
-    EXPECT_EXIT(s.run(true), ::testing::ExitedWithCode(1),
-                "keep");
+    EXPECT_THROW(s.run(true), lsched::UsageError);
 }
 
 } // namespace
