@@ -1,78 +1,163 @@
 /**
  * @file
- * Ablation C: the SMP extension (paper Section 7 future work). Runs
- * threaded matmul natively with the bin tour distributed over 1..N
- * workers and reports host wall-clock speedup. Bins remain the unit
- * of distribution so per-bin locality carries to each CPU.
+ * Ablation C: the SMP extension (paper Section 7 future work), now
+ * benchmarking the persistent work-stealing pool itself.
+ *
+ * Workload: a deliberately skewed synthetic tour — bin b carries
+ * 1 + skew*(b % 4) threads, each doing a fixed FMA loop over
+ * bin-local data — so the occupancy-weighted partition and tail
+ * stealing both matter. For every worker count the bench reports,
+ * side by side:
+ *
+ *   cold s/tour  — SchedulerConfig::persistentPool = false: the
+ *                  historic behavior, spawn + join fresh OS threads
+ *                  every tour;
+ *   warm setup   — the first tour on a persistent pool (includes
+ *                  spawning the workers once);
+ *   warm s/tour  — subsequent tours on the parked pool;
+ *   speedup      — cold / warm per-tour time;
+ *   steals       — bins claimed across segments (warm run).
+ *
+ * Pool setup is deliberately separated from tour time: setup is paid
+ * once per scheduler, tours are paid per run() — conflating them is
+ * exactly the mistake the persistent pool fixes.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <thread>
+#include <vector>
 
+#include "harness/report.hh"
 #include "support/cli.hh"
 #include "support/table.hh"
 #include "support/timer.hh"
 #include "threads/scheduler.hh"
-#include "workloads/matmul.hh"
+
+namespace
+{
+
+/** Bin-local FMA workload: thread i of a bin chews on its bin's lane. */
+struct Workload
+{
+    std::vector<double> lanes; // one cache-line-ish lane per bin
+    std::uint64_t iters = 0;
+
+    static void
+    chew(void *self, void *tag)
+    {
+        auto *w = static_cast<Workload *>(self);
+        const auto bin = reinterpret_cast<std::uintptr_t>(tag);
+        double x = w->lanes[bin * 8];
+        for (std::uint64_t i = 0; i < w->iters; ++i)
+            x = x * 1.0000001 + 0.03125;
+        w->lanes[bin * 8] = x;
+    }
+};
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace lsched;
-    using namespace lsched::workloads;
 
-    Cli cli("ablation_smp", "Ablation: SMP extension speedup");
-    cli.addInt("n", 512, "matrix dimension");
-    cli.addInt("max-workers", 0, "max workers (0 = hardware)");
+    Cli cli("ablation_smp",
+            "Ablation: persistent pool vs per-tour thread spawn");
+    cli.addInt("bins", 32, "bins in the tour");
+    cli.addInt("skew", 7, "bin b gets 1 + skew*(b%4) threads");
+    cli.addInt("work", 50, "FMA iterations per thread");
+    cli.addInt("tours", 50, "measured tours per configuration");
+    cli.addInt("max-workers", 0,
+               "max workers (0 = max(4, hardware))");
+    cli.addString("json", "", "also write the table as JSON here");
     cli.parse(argc, argv);
 
-    const auto n = static_cast<std::size_t>(cli.getInt("n"));
+    const auto bins = static_cast<std::size_t>(cli.getInt("bins"));
+    const auto skew = static_cast<std::uint64_t>(cli.getInt("skew"));
+    const auto work = static_cast<std::uint64_t>(cli.getInt("work"));
+    const int tours = static_cast<int>(cli.getInt("tours"));
     unsigned max_workers =
         static_cast<unsigned>(cli.getInt("max-workers"));
     if (max_workers == 0)
-        max_workers = std::max(1u, std::thread::hardware_concurrency());
+        max_workers =
+            std::max(4u, std::thread::hardware_concurrency());
 
-    std::printf("== Ablation C: SMP extension ==\n");
-    std::printf("threaded matmul, n = %zu, up to %u workers\n\n", n,
-                max_workers);
-
-    Matrix a(n, n), b(n, n);
-    randomize(a, 1);
-    randomize(b, 2);
-    Matrix at(n, n);
-    NativeModel model;
-    transpose(a, at, model);
+    std::printf("== Ablation C: SMP worker pool ==\n");
+    std::printf("skewed tour: %zu bins, 1+%llu*(b%%4) threads each, "
+                "%llu FMAs per thread, %d tours\n\n",
+                bins, static_cast<unsigned long long>(skew),
+                static_cast<unsigned long long>(work), tours);
 
     threads::SchedulerConfig cfg;
     cfg.dims = 2;
     cfg.cacheBytes = 2 * 1024 * 1024;
-    cfg.blockBytes = cfg.cacheBytes / 2;
-    threads::LocalityScheduler sched(cfg);
+    cfg.blockBytes = 1 << 16;
 
-    TextTable table("", {"workers", "wall seconds", "speedup"});
-    double base = 0;
+    Workload wl;
+    wl.lanes.assign(bins * 8, 1.0);
+    wl.iters = work;
+
+    const auto forkAll = [&](threads::LocalityScheduler &s) {
+        for (std::size_t b = 0; b < bins; ++b) {
+            const std::uint64_t count = 1 + skew * (b % 4);
+            for (std::uint64_t i = 0; i < count; ++i)
+                s.fork(&Workload::chew, &wl,
+                       reinterpret_cast<void *>(b),
+                       static_cast<threads::Hint>(b) *
+                           cfg.blockBytes * 2,
+                       0);
+        }
+    };
+
+    TextTable table("", {"workers", "cold s/tour", "warm setup s",
+                         "warm s/tour", "speedup", "steals"});
+
     for (unsigned w = 1; w <= max_workers; w *= 2) {
-        Matrix c(n, n);
-        DotProductCtx<NativeModel> ctx{&at, &b, &c, &model};
-        for (std::size_t i = 0; i < n; ++i)
-            for (std::size_t j = 0; j < n; ++j)
-                sched.fork(&dotProductThread<NativeModel>, &ctx,
-                           reinterpret_cast<void *>((i << 32) | j),
-                           threads::hintOf(at.col(i)),
-                           threads::hintOf(b.col(j)));
-        WallTimer timer;
-        sched.runParallel(w, false);
-        const double t = timer.seconds();
-        if (w == 1)
-            base = t;
-        table.addRow({TextTable::count(w), TextTable::num(t, 3),
-                      TextTable::num(base / t, 2) + "x"});
+        // Cold: a throwaway pool per tour (spawn + join every run).
+        cfg.persistentPool = false;
+        threads::LocalityScheduler cold(cfg);
+        forkAll(cold);
+        WallTimer coldTimer;
+        for (int t = 0; t < tours; ++t)
+            cold.runParallel(w, /*keep=*/true);
+        const double coldPerTour = coldTimer.seconds() / tours;
+
+        // Warm: one persistent pool; its first tour pays the spawn.
+        cfg.persistentPool = true;
+        threads::LocalityScheduler warm(cfg);
+        forkAll(warm);
+        WallTimer setupTimer;
+        warm.runParallel(w, /*keep=*/true);
+        const double setup = setupTimer.seconds();
+        WallTimer warmTimer;
+        for (int t = 0; t < tours; ++t)
+            warm.runParallel(w, /*keep=*/true);
+        const double warmPerTour = warmTimer.seconds() / tours;
+
+        table.addRow(
+            {TextTable::count(w), TextTable::num(coldPerTour, 6),
+             TextTable::num(setup, 6), TextTable::num(warmPerTour, 6),
+             TextTable::num(coldPerTour / warmPerTour, 2) + "x",
+             TextTable::count(warm.workerPoolStats().steals)});
         std::printf("  %u workers done\n", w);
     }
 
     std::printf("\n%s\n", table.toText().c_str());
-    std::printf("expected: near-linear speedup for small worker "
-                "counts — the paper's claim that the idea 'can be "
-                "extended in a straightforward manner' to SMPs\n");
+    std::printf("expected: warm s/tour beats cold s/tour once workers "
+                "> 1 — repeat tours on the parked pool pay no thread "
+                "creation; setup is a one-time cost\n");
+
+    const std::string jsonPath = cli.getString("json");
+    if (!jsonPath.empty()) {
+        harness::JsonReport report;
+        report.addTable(table);
+        report.includeMetrics();
+        if (!report.writeTo(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        std::printf("JSON written to %s\n", jsonPath.c_str());
+    }
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.hh"
+#include "harness/report.hh"
 #include "machine/machine_config.hh"
 #include "support/cli.hh"
 #include "support/table.hh"
@@ -36,6 +37,7 @@ main(int argc, char **argv)
     Cli cli("table1_overhead", "Table 1: thread overhead");
     cli.addInt("threads", 1 << 20, "null threads per measurement");
     cli.addInt("repeats", 3, "measurement repetitions (best taken)");
+    cli.addString("json", "", "also write the table as JSON here");
     cli.parse(argc, argv);
 
     const auto n = static_cast<std::uint64_t>(cli.getInt("threads"));
@@ -89,6 +91,14 @@ main(int argc, char **argv)
     table.addRow({"L2 miss", "-",
                   TextTable::num(r8k.l2MissSeconds * 1e6, 2),
                   TextTable::num(r10k.l2MissSeconds * 1e6, 2)});
+    table.addRule();
+    // Fork rate in millions/second: the direct view of the th_fork
+    // fast path (group slab recycling + the bin-table probe).
+    table.addRow({"Forks/sec (M)",
+                  TextTable::num(1.0 / best_fork *
+                                     static_cast<double>(n) / 1e6,
+                                 2),
+                  "-", "-"});
     std::fputs(table.toText().c_str(), stdout);
 
     std::printf("\nshape check: total thread overhead should be the "
@@ -96,5 +106,16 @@ main(int argc, char **argv)
     std::printf("host total/fork ratio vs paper: host %.2f, paper "
                 "R8000 %.2f\n",
                 (fork_us + run_us) / fork_us, 1.60 / 1.38);
+
+    const std::string jsonPath = cli.getString("json");
+    if (!jsonPath.empty()) {
+        harness::JsonReport report;
+        report.addTable(table);
+        if (!report.writeTo(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n", jsonPath.c_str());
+            return 1;
+        }
+        std::printf("JSON written to %s\n", jsonPath.c_str());
+    }
     return 0;
 }

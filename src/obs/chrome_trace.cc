@@ -48,6 +48,9 @@ sliceName(const Event &e)
       case EventType::WorkerClaimBin:
         std::snprintf(buf, sizeof buf, "claim bin %" PRIu64, e.a);
         break;
+      case EventType::StealBin:
+        std::snprintf(buf, sizeof buf, "steal bin %" PRIu64, e.a);
+        break;
       default:
         std::snprintf(buf, sizeof buf, "%s", eventTypeName(e.type));
         break;
@@ -97,6 +100,17 @@ sliceArgs(const Event &e)
                       "\"stalled_workers\":%" PRIu64 ",\"bin\":%" PRIu64
                       ",\"deadline_ms\":%" PRIu64,
                       e.a, e.b, e.c);
+        break;
+      case EventType::StealBin:
+        std::snprintf(buf, sizeof buf,
+                      "\"bin\":%" PRIu64 ",\"victim\":%" PRIu64
+                      ",\"thief\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
+      case EventType::WorkerPark:
+        std::snprintf(buf, sizeof buf,
+                      "\"worker\":%" PRIu64 ",\"epoch\":%" PRIu64, e.a,
+                      e.b);
         break;
       default:
         return "";

@@ -37,7 +37,10 @@ enum class EventType : std::uint8_t
     RunBegin,
     /** run()/runParallel() returned: (threads executed, 0, 0). */
     RunEnd,
-    /** An SMP worker claimed a bin: (bin id, tour index, worker id). */
+    /**
+     * An SMP worker claimed a bin: (bin id, worker whose segment held
+     * it, claiming worker id) — the first two differ on a steal.
+     */
     WorkerClaimBin,
     /** A user thread faulted and was contained: (bin id, worker, 0). */
     ThreadFault,
@@ -46,6 +49,13 @@ enum class EventType : std::uint8_t
      * (stalled workers, bin id of the first stalled worker, deadline ms).
      */
     WatchdogStall,
+    /**
+     * An idle worker stole a bin from another worker's segment:
+     * (bin id, victim worker, stealing worker).
+     */
+    StealBin,
+    /** A pool worker parked between tours: (worker id, epoch, 0). */
+    WorkerPark,
 };
 
 /** Printable name of an event type. */
@@ -64,6 +74,8 @@ eventTypeName(EventType type)
       case EventType::WorkerClaimBin: return "WorkerClaimBin";
       case EventType::ThreadFault:    return "ThreadFault";
       case EventType::WatchdogStall:  return "WatchdogStall";
+      case EventType::StealBin:       return "StealBin";
+      case EventType::WorkerPark:     return "WorkerPark";
     }
     return "?";
 }

@@ -1,9 +1,9 @@
 /**
  * @file
  * The scheduling bin (paper Section 3.2): carries a search key (the
- * block coordinates) and three links — the hash-bucket chain, the
- * chain of thread groups scheduled into the bin, and the ready-list
- * link used for run-time traversal.
+ * block coordinates, plus its cached hash for the open-addressing
+ * table) and two links — the chain of thread groups scheduled into
+ * the bin, and the ready-list link used for run-time traversal.
  */
 
 #ifndef LSCHED_THREADS_BIN_HH
@@ -26,14 +26,14 @@ struct Bin
     /** Stable allocation index, used as the bin's trace identity. */
     std::uint32_t id = 0;
 
-    /** Link 1: next bin in the same hash bucket. */
-    Bin *hashNext = nullptr;
+    /** Cached hash of coords (avoids re-mixing on probe and rehash). */
+    std::uint64_t hashVal = 0;
 
-    /** Link 2: chain of thread groups, in fork order. */
+    /** Link 1: chain of thread groups, in fork order. */
     ThreadGroup *groupsHead = nullptr;
     ThreadGroup *groupsTail = nullptr;
 
-    /** Link 3: next bin on the ready list (allocation order). */
+    /** Link 2: next bin on the ready list (allocation order). */
     Bin *readyNext = nullptr;
 
     /** Threads currently scheduled in this bin. */

@@ -108,6 +108,16 @@ th_run(int keep)
     guarded([&] { instance().run(keep != 0); });
 }
 
+void
+th_run_parallel(int workers, int keep)
+{
+    guarded([&] {
+        instance().runParallel(
+            workers < 0 ? 0u : static_cast<unsigned>(workers),
+            keep != 0);
+    });
+}
+
 extern "C" {
 
 th_stats_t
@@ -121,6 +131,9 @@ th_stats(void)
     out.occupied_bins = s.occupiedBins;
     out.max_hash_chain = s.maxHashChain;
     out.tour_length = s.tourLength;
+    out.pool_threads_spawned = s.pool.threadsSpawned;
+    out.pool_steals = s.pool.steals;
+    out.pool_parks = s.pool.parks;
     const bool any = s.threadsPerBin.count() > 0;
     out.threads_per_bin_mean = any ? s.threadsPerBin.mean() : 0;
     out.threads_per_bin_min = any ? s.threadsPerBin.min() : 0;
@@ -226,6 +239,12 @@ void
 th_run_(const int *keep)
 {
     th_run(keep ? *keep : 0);
+}
+
+void
+th_run_parallel_(const int *workers, const int *keep)
+{
+    th_run_parallel(workers ? *workers : 0, keep ? *keep : 0);
 }
 
 } // extern "C"

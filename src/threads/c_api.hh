@@ -43,6 +43,15 @@ void th_fork(void (*f)(void *, void *), void *arg1, void *arg2,
 /** Run all scheduled threads; keep != 0 preserves them for re-runs. */
 void th_run(int keep);
 
+/**
+ * Run all scheduled threads across @p workers CPUs (Section 7);
+ * workers == 0 uses the hardware concurrency, workers <= 1 falls back
+ * to the serial th_run. The worker pool persists between calls (see
+ * SchedulerConfig::persistentPool), so repeat tours pay no thread
+ * creation cost.
+ */
+void th_run_parallel(int workers, int keep);
+
 /** The global scheduler behind the C interface. */
 lsched::threads::LocalityScheduler &th_default_scheduler();
 
@@ -61,6 +70,11 @@ typedef struct th_stats_t
     unsigned long long occupied_bins;
     unsigned long long max_hash_chain;
     unsigned long long tour_length;
+    /** Parallel worker pool: OS threads ever spawned, bins stolen
+     *  across segments, and worker park episodes (th_run_parallel). */
+    unsigned long long pool_threads_spawned;
+    unsigned long long pool_steals;
+    unsigned long long pool_parks;
     /** Distribution over non-empty bins; all 0 when no bin is. */
     double threads_per_bin_mean;
     double threads_per_bin_min;
@@ -144,6 +158,9 @@ void th_fork_(void (*f)(void *, void *), void *arg1, void *arg2,
 
 /** Fortran: CALL TH_RUN(KEEP). */
 void th_run_(const int *keep);
+
+/** Fortran: CALL TH_RUN_PARALLEL(WORKERS, KEEP). */
+void th_run_parallel_(const int *workers, const int *keep);
 
 } // extern "C"
 

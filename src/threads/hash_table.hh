@@ -1,8 +1,13 @@
 /**
  * @file
  * The bin hash table (paper Section 3.2): organizes bins by hashing
- * their block coordinates; collisions are resolved by chaining. The
- * table size is configurable via th_init / SchedulerConfig.
+ * their block coordinates. The paper's implementation chained
+ * collisions off fixed buckets; here the table is open-addressing
+ * with linear probing over a power-of-two slot array — one cache line
+ * usually covers the whole probe sequence, where a chain walk paid a
+ * dependent load per collision on the hot th_fork path. The table
+ * grows (and rehashes) past 3/4 load, so the configured size
+ * (th_init / SchedulerConfig) is a starting point, not a ceiling.
  */
 
 #ifndef LSCHED_THREADS_HASH_TABLE_HH
@@ -26,14 +31,20 @@ namespace lsched::threads
 class BinTable
 {
   public:
+    /** Slots below this are rounded up (headroom for early growth). */
+    static constexpr std::size_t kMinSlots = 16;
+
     /**
      * @param dims scheduling-space dimensionality.
-     * @param buckets hash bucket count (rounded up to a power of two).
+     * @param buckets initial slot count (rounded up to a power of
+     *        two, minimum kMinSlots).
      */
     BinTable(unsigned dims, std::size_t buckets)
         : dims_(dims),
-          mask_(roundUpPowerOfTwo(buckets ? buckets : 1) - 1),
-          table_(mask_ + 1, nullptr)
+          mask_(roundUpPowerOfTwo(
+                    buckets < kMinSlots ? kMinSlots : buckets) -
+                1),
+          slots_(mask_ + 1, nullptr)
     {
         LSCHED_ASSERT(dims_ >= 1 && dims_ <= kMaxDims,
                       "bad dimensionality ", dims_);
@@ -44,18 +55,19 @@ class BinTable
      * use (the scheduler "does not allocate a bin ... until it
      * schedules the first thread in it", Section 3.2). Returns the bin
      * and whether it was newly created. When @p probes is non-null it
-     * receives the number of chained bins inspected — the collision
-     * statistic the metrics registry histograms.
+     * receives the number of slots inspected — the collision statistic
+     * the metrics registry histograms.
      */
     std::pair<Bin *, bool>
     findOrCreate(const BlockCoords &coords,
                  std::uint32_t *probes = nullptr)
     {
-        const std::size_t bucket = hash(coords) & mask_;
-        std::uint32_t walked = 0;
-        for (Bin *b = table_[bucket]; b; b = b->hashNext) {
-            ++walked;
-            if (sameCoords(b->coords, coords)) {
+        const std::uint64_t h = hash(coords);
+        std::size_t i = h & mask_;
+        std::uint32_t walked = 1;
+        for (; slots_[i]; i = (i + 1) & mask_, ++walked) {
+            Bin *b = slots_[i];
+            if (b->hashVal == h && sameCoords(b->coords, coords)) {
                 if (probes)
                     *probes = walked;
                 return {b, false};
@@ -68,11 +80,15 @@ class BinTable
         bins_.emplace_back();
         Bin *b = &bins_.back();
         b->coords = coords;
+        b->hashVal = h;
         b->id = static_cast<std::uint32_t>(bins_.size() - 1);
-        b->hashNext = table_[bucket];
-        table_[bucket] = b;
+        slots_[i] = b;
         if (probes)
-            *probes = walked + 1;
+            *probes = walked;
+        // Keep load under 3/4 so probe sequences stay short and an
+        // empty slot always terminates the loop above.
+        if ((bins_.size() + 1) * 4 > (mask_ + 1) * 3)
+            grow();
         return {b, true};
     }
 
@@ -80,42 +96,48 @@ class BinTable
     Bin *
     find(const BlockCoords &coords)
     {
-        const std::size_t bucket = hash(coords) & mask_;
-        for (Bin *b = table_[bucket]; b; b = b->hashNext)
-            if (sameCoords(b->coords, coords))
+        const std::uint64_t h = hash(coords);
+        for (std::size_t i = h & mask_; slots_[i];
+             i = (i + 1) & mask_) {
+            Bin *b = slots_[i];
+            if (b->hashVal == h && sameCoords(b->coords, coords))
                 return b;
+        }
         return nullptr;
     }
 
     /** Number of bins ever allocated. */
     std::size_t binCount() const { return bins_.size(); }
 
-    /** Number of hash buckets. */
+    /** Number of slots in the probe table. */
     std::size_t bucketCount() const { return mask_ + 1; }
 
     /**
-     * Longest bucket chain — the collision statistic the hash-size
-     * ablation reports.
+     * Longest probe sequence needed to reach a bin — the collision
+     * statistic the hash-size ablation reports (the open-addressing
+     * successor of the chained table's longest bucket chain).
      */
     std::size_t
     maxChainLength() const
     {
         std::size_t longest = 0;
-        for (Bin *b : table_) {
-            std::size_t len = 0;
-            for (; b; b = b->hashNext)
-                ++len;
-            longest = std::max(longest, len);
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            const Bin *b = slots_[i];
+            if (!b)
+                continue;
+            const std::size_t home = b->hashVal & mask_;
+            const std::size_t dist = (i - home) & mask_;
+            longest = std::max(longest, dist + 1);
         }
         return longest;
     }
 
-    /** Drop every bin. */
+    /** Drop every bin (slot capacity is retained). */
     void
     clear()
     {
         bins_.clear();
-        std::fill(table_.begin(), table_.end(), nullptr);
+        std::fill(slots_.begin(), slots_.end(), nullptr);
     }
 
   private:
@@ -128,7 +150,7 @@ class BinTable
         return true;
     }
 
-    std::size_t
+    std::uint64_t
     hash(const BlockCoords &coords) const
     {
         // splitmix64-style mixing of each coordinate.
@@ -140,12 +162,26 @@ class BinTable
             h ^= z ^ (z >> 31);
             h *= 0xff51afd7ed558ccdull;
         }
-        return static_cast<std::size_t>(h ^ (h >> 33));
+        return h ^ (h >> 33);
+    }
+
+    /** Double the slot array and reinsert by cached hash. */
+    void
+    grow()
+    {
+        mask_ = (mask_ + 1) * 2 - 1;
+        slots_.assign(mask_ + 1, nullptr);
+        for (Bin &b : bins_) {
+            std::size_t i = b.hashVal & mask_;
+            while (slots_[i])
+                i = (i + 1) & mask_;
+            slots_[i] = &b;
+        }
     }
 
     unsigned dims_;
     std::size_t mask_;
-    std::vector<Bin *> table_;
+    std::vector<Bin *> slots_;
     std::deque<Bin> bins_;
 };
 

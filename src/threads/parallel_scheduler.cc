@@ -4,16 +4,24 @@
  *
  * Bins are the unit of distribution: a worker always runs a whole bin
  * so the per-bin working-set property carries over to each CPU's own
- * cache. Bins are handed out dynamically from a shared cursor, which
- * balances load when bin occupancy is skewed (as in N-body).
+ * cache. The tour is split into contiguous, occupancy-weighted
+ * segments — each worker walks neighboring bins, preserving the
+ * tour-order locality the paper's ready list provides — and load skew
+ * is absorbed by work stealing from segment tails (worker_pool.hh).
+ * Workers are persistent: parked between tours and reused, so repeat
+ * tours pay no thread creation cost (SchedulerConfig::persistentPool
+ * restores the historic spawn-per-tour behavior when false).
  *
  * Fault containment: with ErrorPolicy::StopTour or
  * ::ContinueAndCollect each worker catches user-thread exceptions
  * (sched_obs.hh, executeBinGuarded) instead of letting them hit the
- * std::thread boundary and std::terminate. The optional watchdog
- * (SchedulerConfig::watchdogMillis) is a monitor thread that warns —
- * and emits a WatchdogStall trace event — when the tour overruns its
- * deadline, naming the stuck workers and the bins they hold.
+ * worker-thread boundary and std::terminate. Under StopTour workers
+ * stop claiming; unclaimed bins stay in the deques, whose segments are
+ * per-tour, and the caller's unwind path recycles them off the ready
+ * list. The optional watchdog (SchedulerConfig::watchdogMillis) is a
+ * monitor thread that warns — and emits a WatchdogStall trace event —
+ * when the tour overruns its deadline, naming the stuck workers and
+ * the bins they hold.
  */
 
 #include <atomic>
@@ -29,16 +37,13 @@
 #include "support/panic.hh"
 #include "threads/sched_obs.hh"
 #include "threads/scheduler.hh"
+#include "threads/worker_pool.hh"
 
 namespace lsched::threads
 {
 
 namespace
 {
-
-/** Worker "current bin" states for the watchdog. */
-constexpr std::int64_t kWorkerIdle = -1;
-constexpr std::int64_t kWorkerDone = -2;
 
 thread_local bool t_inParallelWorker = false;
 
@@ -78,21 +83,21 @@ watchdogBody(WatchdogChannel &channel, std::uint32_t deadlineMillis,
             return;
         // Deadline passed with workers still out there.
         std::uint64_t stalled = 0;
-        std::int64_t firstStuckBin = kWorkerIdle;
+        std::int64_t firstStuckBin = detail::kWorkerIdle;
         std::ostringstream who;
         for (unsigned w = 0; w < workers; ++w) {
             const std::int64_t bin =
                 currentBin[w].load(std::memory_order_relaxed);
-            if (bin == kWorkerDone)
+            if (bin == detail::kWorkerDone)
                 continue;
             ++stalled;
             if (who.tellp() > 0)
                 who << ", ";
-            if (bin == kWorkerIdle)
+            if (bin == detail::kWorkerIdle)
                 who << "worker " << w << " (between bins)";
             else
                 who << "worker " << w << " (bin " << bin << ")";
-            if (firstStuckBin == kWorkerIdle && bin >= 0)
+            if (firstStuckBin == detail::kWorkerIdle && bin >= 0)
                 firstStuckBin = bin;
         }
         LSCHED_WARN("runParallel watchdog: tour still running after ",
@@ -105,6 +110,62 @@ watchdogBody(WatchdogChannel &channel, std::uint32_t deadlineMillis,
                 : 0,
             deadlineMillis);
     }
+}
+
+/**
+ * RAII watchdog: armed when the config asks for one, always stopped
+ * and joined on scope exit — including the unwind when a worker-0
+ * exception propagates out of the tour.
+ */
+struct WatchdogGuard
+{
+    WatchdogChannel channel;
+    std::thread monitor;
+
+    WatchdogGuard(std::uint32_t deadlineMillis,
+                  const std::atomic<std::int64_t> *currentBin,
+                  unsigned workers)
+    {
+        if (deadlineMillis > 0) {
+            monitor = std::thread(watchdogBody, std::ref(channel),
+                                  deadlineMillis, currentBin, workers);
+        }
+    }
+
+    ~WatchdogGuard()
+    {
+        if (monitor.joinable()) {
+            {
+                std::lock_guard<std::mutex> lock(channel.mutex);
+                channel.done = true;
+            }
+            channel.cv.notify_one();
+            monitor.join();
+        }
+    }
+};
+
+/** Per-tour context threaded through the pool's execute callback. */
+struct BinExecCtx
+{
+    detail::FaultCtx *fault;
+    bool contain;
+};
+
+std::uint64_t
+executeOneBin(Bin *bin, unsigned worker, void *ctxRaw)
+{
+    auto *ctx = static_cast<BinExecCtx *>(ctxRaw);
+    // The thread-local marker covers exactly the span where user
+    // threads run, so fork() can reject the unsynchronized-ready-list
+    // race from any pool worker, persistent or not.
+    ParallelWorkerScope in_worker;
+    // Abort keeps the historic uncontained fast path: an escaped
+    // exception hits the worker-thread boundary (std::terminate on a
+    // helper; rethrown on the caller for worker 0).
+    return ctx->contain
+               ? detail::executeBinGuarded(bin, *ctx->fault, worker)
+               : detail::executeBin(bin);
 }
 
 } // namespace
@@ -150,66 +211,48 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
         detail::recordTourHops(tour, config_.dims);
     }
 
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<std::uint64_t> executed{0};
     const std::unique_ptr<std::atomic<std::int64_t>[]> currentBin(
         new std::atomic<std::int64_t>[workers]);
     for (unsigned w = 0; w < workers; ++w)
-        currentBin[w].store(kWorkerIdle, std::memory_order_relaxed);
+        currentBin[w].store(detail::kWorkerIdle,
+                            std::memory_order_relaxed);
 
-    auto worker_body = [&](unsigned w) {
-        ParallelWorkerScope in_worker;
-        if (obs::traceOn()) {
-            obs::TraceSession::global().setLaneName(
-                "worker " + std::to_string(w));
-        }
-        std::uint64_t mine = 0;
-        for (;;) {
-            if (ctx.stopRequested())
-                break;
-            const std::size_t i =
-                cursor.fetch_add(1, std::memory_order_relaxed);
-            if (i >= tour.size())
-                break;
-            Bin *bin = tour[i];
-            currentBin[w].store(bin->id, std::memory_order_relaxed);
-            LSCHED_TRACE_EVENT(obs::EventType::WorkerClaimBin, bin->id,
-                               i, w);
-            // Abort keeps the historic uncontained fast path: an
-            // escaped exception hits the std::thread boundary.
-            mine += contain ? detail::executeBinGuarded(bin, ctx, w)
-                            : detail::executeBin(bin);
-            currentBin[w].store(kWorkerIdle, std::memory_order_relaxed);
-        }
-        currentBin[w].store(kWorkerDone, std::memory_order_relaxed);
-        executed.fetch_add(mine, std::memory_order_relaxed);
-    };
+    BinExecCtx execCtx{&ctx, contain};
+    detail::PoolJob job;
+    job.tour = tour.data();
+    job.bins = tour.size();
+    job.workers = workers;
+    job.execute = &executeOneBin;
+    job.ctx = &execCtx;
+    job.stop = ctx.policy == ErrorPolicy::StopTour ? &ctx.stop : nullptr;
+    job.currentBin = currentBin.get();
 
-    WatchdogChannel channel;
-    std::thread watchdog;
-    if (config_.watchdogMillis > 0) {
-        watchdog = std::thread(watchdogBody, std::ref(channel),
-                               config_.watchdogMillis, currentBin.get(),
+    {
+        WatchdogGuard watchdog(config_.watchdogMillis, currentBin.get(),
                                workers);
-    }
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers - 1);
-    for (unsigned w = 1; w < workers; ++w)
-        pool.emplace_back(worker_body, w);
-    worker_body(0);
-    for (auto &t : pool)
-        t.join();
-
-    if (watchdog.joinable()) {
-        {
-            std::lock_guard<std::mutex> lock(channel.mutex);
-            channel.done = true;
+        if (config_.persistentPool) {
+            if (!workerPool_) {
+                workerPool_ =
+                    std::make_unique<WorkerPool>(config_.pinWorkers);
+            }
+            workerPool_->runTour(job);
+        } else {
+            // Historic cold path: a throwaway pool, so every tour pays
+            // thread creation/join — the baseline ablation_smp compares
+            // the warm pool against.
+            WorkerPool cold(config_.pinWorkers);
+            try {
+                cold.runTour(job);
+            } catch (...) {
+                retiredPoolStats_ += cold.stats();
+                throw;
+            }
+            retiredPoolStats_ += cold.stats();
         }
-        channel.cv.notify_one();
-        watchdog.join();
     }
 
+    const std::uint64_t executed =
+        job.executed.load(std::memory_order_relaxed);
     const bool faultedStop = ctx.first != nullptr;
     if (!keep && !faultedStop) {
         for (Bin *bin : tour) {
@@ -223,18 +266,18 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
         pendingThreads_ = 0;
     }
 
-    executedThreads_ += executed.load();
+    executedThreads_ += executed;
     lastFaultsTotal_ = ctx.totalFaults;
     faultedThreads_ += lastFaultsTotal_;
     if (faultedStop) {
-        // StopTour: all workers have joined; rethrow the first user
-        // exception exactly once on the caller. The guard's unwind
-        // path recycles every bin and zeroes the pending count.
+        // StopTour: all workers have finished the tour; rethrow the
+        // first user exception exactly once on the caller. The guard's
+        // unwind path recycles every bin and zeroes the pending count.
         std::rethrow_exception(ctx.first);
     }
     guard.commit();
-    LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed.load());
-    return executed.load();
+    LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed);
+    return executed;
 }
 
 } // namespace lsched::threads

@@ -33,6 +33,8 @@ struct SchedInstruments
     obs::Counter *runs;
     obs::Counter *binsCreated;
     obs::Counter *faulted;
+    obs::Counter *poolSteals;
+    obs::Counter *poolParks;
     obs::Histogram *hashProbes;
     obs::Histogram *threadsPerBin;
     obs::Histogram *binDwellNs;

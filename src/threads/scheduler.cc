@@ -21,6 +21,8 @@ schedInstruments()
             &r.counter("sched.runs"),
             &r.counter("sched.bins.created"),
             &r.counter("sched.threads.faulted"),
+            &r.counter("sched.pool.steals"),
+            &r.counter("sched.pool.parks"),
             &r.histogram("sched.hash.probes"),
             &r.histogram("sched.bin.threads"),
             &r.histogram("sched.bin.dwell_ns"),
@@ -110,6 +112,8 @@ LocalityScheduler::LocalityScheduler(const SchedulerConfig &config)
 {
 }
 
+LocalityScheduler::~LocalityScheduler() = default;
+
 void
 LocalityScheduler::configure(const SchedulerConfig &config)
 {
@@ -130,6 +134,13 @@ LocalityScheduler::configure(const SchedulerConfig &config)
     pool_ = GroupPool(config_.groupCapacity);
     readyHead_ = nullptr;
     readyTail_ = nullptr;
+    // Retire the worker pool so pool-affecting knobs (pinWorkers,
+    // persistentPool) take effect on the next parallel tour; its
+    // lifetime counters carry over.
+    if (workerPool_) {
+        retiredPoolStats_ += workerPool_->stats();
+        workerPool_.reset();
+    }
 }
 
 void
@@ -371,6 +382,7 @@ LocalityScheduler::stats() const
     }
     s.tourLength = tourLength(
         orderBins(config_.tour, bins, config_.dims), config_.dims);
+    s.pool = workerPoolStats();
 
     // The registry is the export path for these numbers: every
     // snapshot refreshes the scheduler gauges so a --metrics dump (or
@@ -385,6 +397,8 @@ LocalityScheduler::stats() const
         r.gauge("sched.bins.occupied").set(s.occupiedBins);
         r.gauge("sched.hash.max_chain").set(s.maxHashChain);
         r.gauge("sched.tour.length").set(s.tourLength);
+        r.gauge("sched.pool.threads").set(s.pool.threadsSpawned);
+        r.gauge("sched.pool.tours").set(s.pool.tours);
     }
     return s;
 }

@@ -40,6 +40,7 @@
 #include "threads/hints.hh"
 #include "threads/thread_group.hh"
 #include "threads/tour.hh"
+#include "threads/worker_pool.hh"
 
 namespace lsched::threads
 {
@@ -73,6 +74,21 @@ struct SchedulerConfig
      * it never kills anything, it makes the degradation visible.
      */
     std::uint32_t watchdogMillis = 0;
+    /**
+     * Keep runParallel()'s workers parked between tours (the default):
+     * OS threads are created once, at the first parallel tour, and
+     * reused until the scheduler is destroyed or reconfigured. false
+     * restores the historic cold path — spawn and join a fresh set of
+     * threads every tour — kept for comparison (bench/ablation_smp).
+     */
+    bool persistentPool = true;
+    /**
+     * Pin pool workers round-robin over CPUs (Linux; elsewhere a
+     * no-op). Keeps a worker's bins — and their cached working sets —
+     * on one CPU across tours, at the price of ceding load balancing
+     * to the OS-level mix.
+     */
+    bool pinWorkers = false;
 
     /** The block dimension actually used. */
     std::uint64_t
@@ -97,10 +113,12 @@ struct SchedulerStats
     std::uint64_t occupiedBins = 0;
     /** Distribution of threads over non-empty bins. */
     Summary threadsPerBin;
-    /** Longest hash-bucket chain. */
+    /** Longest probe sequence in the bin table. */
     std::uint64_t maxHashChain = 0;
     /** Manhattan tour length over the current ready list. */
     std::uint64_t tourLength = 0;
+    /** Worker-pool lifetime statistics (spawns, steals, parks). */
+    WorkerPoolStats pool;
 };
 
 /** The locality-scheduling thread package. */
@@ -109,6 +127,9 @@ class LocalityScheduler
   public:
     /** Build with the given configuration. */
     explicit LocalityScheduler(const SchedulerConfig &config = {});
+
+    /** Parks and joins the worker pool, if one was ever created. */
+    ~LocalityScheduler();
 
     LocalityScheduler(const LocalityScheduler &) = delete;
     LocalityScheduler &operator=(const LocalityScheduler &) = delete;
@@ -195,6 +216,20 @@ class LocalityScheduler
     /** Total faults in the most recent run, including past the cap. */
     std::uint64_t lastFaultCount() const { return lastFaultsTotal_; }
 
+    /**
+     * Lifetime worker-pool statistics, including pools already retired
+     * (cold-spawn tours, reconfiguration). threadsSpawned stays flat
+     * across warm tours — the observable proof that repeated
+     * runParallel() calls create no OS threads after the first.
+     */
+    WorkerPoolStats workerPoolStats() const
+    {
+        WorkerPoolStats s = retiredPoolStats_;
+        if (workerPool_)
+            s += workerPool_->stats();
+        return s;
+    }
+
     /** Block coordinates a given hint vector maps to (for tests). */
     BlockCoords
     coordsFor(std::span<const Hint> hints) const
@@ -220,6 +255,10 @@ class LocalityScheduler
     BlockMap blockMap_;
     BinTable table_;
     GroupPool pool_;
+    /** Persistent parallel workers; created at first runParallel(). */
+    std::unique_ptr<WorkerPool> workerPool_;
+    /** Stats of pools retired by cold tours or reconfiguration. */
+    WorkerPoolStats retiredPoolStats_;
 
     Bin *readyHead_ = nullptr;
     Bin *readyTail_ = nullptr;

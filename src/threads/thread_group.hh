@@ -4,17 +4,20 @@
  *
  * Grouping threads in fixed-capacity arrays amortizes management cost
  * (paper Section 3.2): forking is usually a pointer bump into the
- * current group, and group objects are recycled between runs so steady
- * state forking performs no allocation.
+ * current group. Group objects come from slab-backed storage — one
+ * allocation covers kSlabGroups descriptors and their spec arrays —
+ * and recycle through an intrusive free list between runs, so steady
+ * state forking performs no allocation and a cold burst performs two
+ * per slab rather than two per group.
  */
 
 #ifndef LSCHED_THREADS_THREAD_GROUP_HH
 #define LSCHED_THREADS_THREAD_GROUP_HH
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <new>
+#include <vector>
 
 #include "support/failpoint.hh"
 #include "support/panic.hh"
@@ -26,8 +29,8 @@ namespace lsched::threads
 /** A chunk of thread specifications chained within one bin. */
 struct ThreadGroup
 {
-    /** Chunk storage; allocated once, recycled across runs. */
-    std::unique_ptr<ThreadSpec[]> specs;
+    /** Chunk storage; points into the owning pool's slab. */
+    ThreadSpec *specs = nullptr;
     /** Capacity of specs. */
     std::uint32_t capacity = 0;
     /** Number of live specs. */
@@ -47,12 +50,16 @@ struct ThreadGroup
 };
 
 /**
- * Allocator/recycler for ThreadGroups. Uses a deque so group addresses
- * stay stable, plus an intrusive free list for constant-time reuse.
+ * Allocator/recycler for ThreadGroups. Fresh groups are carved from
+ * slabs (stable addresses, two allocations per kSlabGroups groups);
+ * recycled groups come off an intrusive free list in constant time.
  */
 class GroupPool
 {
   public:
+    /** Groups carved per slab allocation. */
+    static constexpr std::uint32_t kSlabGroups = 16;
+
     /** @param capacity threads per group (> 0). */
     explicit GroupPool(std::uint32_t capacity)
         : capacity_(capacity)
@@ -69,14 +76,7 @@ class GroupPool
             g = free_;
             free_ = g->next;
         } else {
-            // Fail point standing in for a real out-of-memory from the
-            // group allocation below.
-            if (LSCHED_FAILPOINT_HIT("grouppool.allocate"))
-                throw std::bad_alloc();
-            pool_.emplace_back();
-            g = &pool_.back();
-            g->specs = std::make_unique<ThreadSpec[]>(capacity_);
-            g->capacity = capacity_;
+            g = carve();
         }
         g->count = 0;
         g->next = nullptr;
@@ -99,13 +99,53 @@ class GroupPool
     /** Threads per group. */
     std::uint32_t capacity() const { return capacity_; }
 
-    /** Total groups ever allocated (capacity planning statistic). */
-    std::size_t allocatedGroups() const { return pool_.size(); }
+    /** Groups ever handed out (capacity planning statistic). */
+    std::size_t allocatedGroups() const { return handedOut_; }
+
+    /** Slab allocations performed (each covers kSlabGroups groups). */
+    std::size_t slabCount() const { return slabs_.size(); }
 
   private:
+    /** One slab: group descriptors plus their shared spec storage. */
+    struct Slab
+    {
+        std::unique_ptr<ThreadGroup[]> groups;
+        std::unique_ptr<ThreadSpec[]> specs;
+    };
+
+    /** Hand out the next never-used group, growing by a slab. */
+    ThreadGroup *
+    carve()
+    {
+        if (slabUsed_ == kSlabGroups) {
+            // Fail point standing in for a real out-of-memory from the
+            // slab allocations below.
+            if (LSCHED_FAILPOINT_HIT("grouppool.allocate"))
+                throw std::bad_alloc();
+            Slab slab;
+            slab.groups = std::make_unique<ThreadGroup[]>(kSlabGroups);
+            slab.specs = std::make_unique<ThreadSpec[]>(
+                static_cast<std::size_t>(kSlabGroups) * capacity_);
+            slabs_.push_back(std::move(slab));
+            slabUsed_ = 0;
+        }
+        Slab &slab = slabs_.back();
+        ThreadGroup *g = &slab.groups[slabUsed_];
+        g->specs = slab.specs.get() +
+                   static_cast<std::size_t>(slabUsed_) * capacity_;
+        g->capacity = capacity_;
+        ++slabUsed_;
+        ++handedOut_;
+        return g;
+    }
+
     std::uint32_t capacity_;
-    std::deque<ThreadGroup> pool_;
+    /** Groups carved from the current (last) slab; == kSlabGroups
+     *  forces a new slab on the next carve. */
+    std::uint32_t slabUsed_ = kSlabGroups;
+    std::vector<Slab> slabs_;
     ThreadGroup *free_ = nullptr;
+    std::size_t handedOut_ = 0;
 };
 
 } // namespace lsched::threads

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * WorkerPool implementation: parking protocol, occupancy-weighted
+ * contiguous partitioning, and the take/steal worker loop. See
+ * worker_pool.hh for the design rationale.
+ */
+
+#include "threads/worker_pool.hh"
+
+#include <string>
+
+#include "support/panic.hh"
+#include "threads/sched_obs.hh"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace lsched::threads
+{
+
+namespace
+{
+
+/** Pin the calling thread to one CPU (best effort, Linux only). */
+void
+pinToCpu(unsigned cpu)
+{
+#ifdef __linux__
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu, &set);
+    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+#else
+    (void)cpu;
+#endif
+}
+
+} // namespace
+
+WorkerPool::WorkerPool(bool pinWorkers)
+    : pin_(pinWorkers)
+{
+}
+
+WorkerPool::~WorkerPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wakeCv_.notify_all();
+    for (std::thread &t : helpers_)
+        t.join();
+}
+
+WorkerPoolStats
+WorkerPool::stats() const
+{
+    WorkerPoolStats s;
+    s.threadsSpawned = spawned_.load(std::memory_order_relaxed);
+    s.tours = tours_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.parks = parks_.load(std::memory_order_relaxed);
+    return s;
+}
+
+unsigned
+WorkerPool::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return static_cast<unsigned>(helpers_.size());
+}
+
+void
+WorkerPool::ensureWorkers(unsigned workers)
+{
+    while (slots_.size() < workers)
+        slots_.push_back(std::make_unique<WorkerSlot>());
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (helpers_.size() + 1 < workers) {
+        const unsigned helperIndex =
+            static_cast<unsigned>(helpers_.size());
+        // A helper born between tours must not mistake the *previous*
+        // epoch for a fresh one (its job pointer is dead) nor treat
+        // the upcoming epoch as already seen: hand it the epoch as of
+        // its spawn so it waits for the next bump exactly.
+        helpers_.emplace_back(&WorkerPool::helperMain, this,
+                              helperIndex, epoch_);
+        spawned_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+/**
+ * Contiguous, occupancy-weighted partition: worker w's segment ends
+ * where the running thread count reaches (w+1)/workers of the total.
+ * Contiguity preserves tour-order locality; the occupancy weighting
+ * pre-balances skewed workloads (N-body) so stealing is the fallback,
+ * not the common case.
+ */
+void
+WorkerPool::partition(const detail::PoolJob &job)
+{
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < job.bins; ++i)
+        total += job.tour[i]->threadCount;
+
+    std::size_t start = 0;
+    std::uint64_t seen = 0;
+    for (unsigned w = 0; w < job.workers; ++w) {
+        std::size_t end;
+        if (w + 1 == job.workers) {
+            end = job.bins;
+        } else {
+            const std::uint64_t want = total * (w + 1) / job.workers;
+            end = start;
+            while (end < job.bins && seen < want) {
+                seen += job.tour[end]->threadCount;
+                ++end;
+            }
+        }
+        slots_[w]->deque.reset(job.tour + start,
+                               static_cast<std::uint32_t>(end - start));
+        start = end;
+    }
+}
+
+void
+WorkerPool::runTour(detail::PoolJob &job)
+{
+    LSCHED_ASSERT(job.workers >= 1, "tour with zero workers");
+    LSCHED_ASSERT(job.bins <= 0xffffffffu, "tour too long for a deque");
+
+    ensureWorkers(job.workers);
+    partition(job);
+
+    if (job.workers > 1) {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            job_ = &job;
+            ++epoch_;
+            active_ = job.workers - 1;
+        }
+        wakeCv_.notify_all();
+    }
+
+    try {
+        workerLoop(0, job);
+    } catch (...) {
+        // Worker 0 ran the caller's thread: let its exception reach
+        // the caller (ErrorPolicy::Abort), but only after the helpers
+        // are done with the tour's stack-allocated state.
+        if (job.workers > 1) {
+            std::unique_lock<std::mutex> lock(mutex_);
+            doneCv_.wait(lock, [&] { return active_ == 0; });
+        }
+        tours_.fetch_add(1, std::memory_order_relaxed);
+        throw;
+    }
+
+    if (job.workers > 1) {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [&] { return active_ == 0; });
+    }
+    tours_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+WorkerPool::helperMain(unsigned helperIndex, std::uint64_t startEpoch)
+{
+    const unsigned id = helperIndex + 1;
+    if (pin_) {
+        const unsigned cpus =
+            std::max(1u, std::thread::hardware_concurrency());
+        pinToCpu(id % cpus);
+    }
+
+    std::uint64_t seen = startEpoch;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        if (!shutdown_ && epoch_ == seen) {
+            parks_.fetch_add(1, std::memory_order_relaxed);
+            LSCHED_TRACE_EVENT(obs::EventType::WorkerPark, id, seen);
+            if (obs::metricsOn())
+                detail::schedInstruments().poolParks->add();
+            wakeCv_.wait(lock,
+                         [&] { return shutdown_ || epoch_ != seen; });
+        }
+        if (shutdown_)
+            return;
+        seen = epoch_;
+        detail::PoolJob *job = job_;
+        lock.unlock();
+
+        const bool participates = id < job->workers;
+        if (participates) {
+            // An exception escaping here (a user thread under
+            // ErrorPolicy::Abort) unwinds out of the thread function:
+            // std::terminate, the documented Abort-parallel behavior.
+            workerLoop(id, *job);
+        }
+
+        lock.lock();
+        if (participates && --active_ == 0)
+            doneCv_.notify_one();
+    }
+}
+
+Bin *
+WorkerPool::trySteal(unsigned id, const detail::PoolJob &job,
+                     unsigned *victim)
+{
+    // One full pass over the other workers. Segments are never
+    // refilled mid-tour, so observing every deque empty means the
+    // remaining bins are already being executed — this worker is done.
+    for (unsigned i = 1; i < job.workers; ++i) {
+        const unsigned v = (id + i) % job.workers;
+        if (Bin *bin = slots_[v]->deque.steal()) {
+            *victim = v;
+            return bin;
+        }
+    }
+    return nullptr;
+}
+
+void
+WorkerPool::workerLoop(unsigned id, detail::PoolJob &job)
+{
+    if (obs::traceOn()) {
+        obs::TraceSession::global().setLaneName(
+            "worker " + std::to_string(id));
+    }
+
+    detail::BinDeque &mine = slots_[id]->deque;
+    std::uint64_t ran = 0;
+    for (;;) {
+        if (job.stop && job.stop->load(std::memory_order_relaxed))
+            break;
+        unsigned victim = id;
+        Bin *bin = mine.take();
+        if (!bin)
+            bin = trySteal(id, job, &victim);
+        if (!bin)
+            break;
+
+        if (job.currentBin) {
+            job.currentBin[id].store(bin->id,
+                                     std::memory_order_relaxed);
+        }
+        if (victim != id) {
+            steals_.fetch_add(1, std::memory_order_relaxed);
+            LSCHED_TRACE_EVENT(obs::EventType::StealBin, bin->id,
+                               victim, id);
+            if (obs::metricsOn())
+                detail::schedInstruments().poolSteals->add();
+        }
+        LSCHED_TRACE_EVENT(obs::EventType::WorkerClaimBin, bin->id,
+                           victim, id);
+
+        ran += job.execute(bin, id, job.ctx);
+
+        if (job.currentBin) {
+            job.currentBin[id].store(detail::kWorkerIdle,
+                                     std::memory_order_relaxed);
+        }
+    }
+    job.executed.fetch_add(ran, std::memory_order_relaxed);
+    if (job.currentBin) {
+        job.currentBin[id].store(detail::kWorkerDone,
+                                 std::memory_order_relaxed);
+    }
+}
+
+} // namespace lsched::threads

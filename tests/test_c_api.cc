@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -48,6 +49,36 @@ TEST_F(CApiTest, ForkAndRunExecutesAll)
     }
     th_run(0);
     EXPECT_EQ(g_order.size(), 50u);
+    EXPECT_EQ(th_default_scheduler().pendingThreads(), 0u);
+}
+
+std::atomic<std::uint64_t> g_parallelRuns{0};
+
+void
+bumpParallel(void *, void *)
+{
+    g_parallelRuns.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST_F(CApiTest, RunParallelExecutesAllAndFillsPoolStats)
+{
+    g_parallelRuns.store(0);
+    const th_stats_t before = th_stats(); // SetUp retired any old pool
+    for (std::uintptr_t i = 0; i < 200; ++i) {
+        th_fork(&bumpParallel, nullptr, nullptr,
+                reinterpret_cast<void *>(i * 4096), nullptr, nullptr);
+    }
+    th_run_parallel(2, /*keep=*/1);
+    EXPECT_EQ(g_parallelRuns.load(), 200u);
+    const th_stats_t warm = th_stats();
+    EXPECT_EQ(warm.pool_threads_spawned,
+              before.pool_threads_spawned + 1);
+
+    th_run_parallel(2, /*keep=*/0);
+    EXPECT_EQ(g_parallelRuns.load(), 400u);
+    // Warm tour: the parked helper is reused, not respawned.
+    EXPECT_EQ(th_stats().pool_threads_spawned,
+              warm.pool_threads_spawned);
     EXPECT_EQ(th_default_scheduler().pendingThreads(), 0u);
 }
 

@@ -58,14 +58,16 @@ TEST(BinTable, FindWithoutCreating)
 
 TEST(BinTable, CollisionsChainCorrectly)
 {
-    // A 1-bucket table forces every bin onto one chain; lookups must
-    // still resolve by full coordinates.
+    // A deliberately undersized table must keep lookups resolving by
+    // full coordinates while it grows; probe sequences stay short
+    // because growth holds the load under 3/4.
     BinTable t(3, 1);
     std::vector<Bin *> bins;
     for (std::uint64_t i = 0; i < 50; ++i)
         bins.push_back(t.findOrCreate(coords(i, i * 7, i * 13)).first);
     EXPECT_EQ(t.binCount(), 50u);
-    EXPECT_EQ(t.maxChainLength(), 50u);
+    EXPECT_GE(t.bucketCount(), 64u);
+    EXPECT_LE(t.maxChainLength(), 16u);
     for (std::uint64_t i = 0; i < 50; ++i)
         EXPECT_EQ(t.find(coords(i, i * 7, i * 13)), bins[i]);
 }
@@ -81,9 +83,9 @@ TEST(BinTable, LargerTableSpreadsChains)
     BinTable big(3, 4096);
     for (std::uint64_t i = 0; i < 1000; ++i)
         big.findOrCreate(coords(i, i + 1, i + 2));
-    // With decent hashing, 1000 bins over 4096 buckets should chain
+    // With decent hashing, 1000 bins over 4096 slots should probe
     // only a handful deep.
-    EXPECT_LE(big.maxChainLength(), 6u);
+    EXPECT_LE(big.maxChainLength(), 32u);
 }
 
 TEST(BinTable, ClearDropsBins)

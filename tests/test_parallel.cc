@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "threads/scheduler.hh"
@@ -145,18 +147,53 @@ TEST(ParallelSchedulerDeathTest, ForkFromAWorkerIsFatal)
                 "fork\\(\\) from a thread running under runParallel");
 }
 
-TEST(ParallelSchedulerDeathTest, AbortPolicyTerminatesOnWorkerFault)
+TEST(ParallelSchedulerDeathTest, AbortPolicyTerminatesOnHelperFault)
 {
     // Historic behavior, kept as the Abort policy: an exception
-    // escaping a worker std::thread reaches std::terminate.
+    // escaping a helper worker reaches std::terminate. Bin 0 parks the
+    // caller (worker 0) long enough that the helper owning bin 1 is
+    // guaranteed to be the one that hits the fault.
+    SchedulerConfig c = cfg();
+    c.onError = ErrorPolicy::Abort;
+    LocalityScheduler s(c);
+    static std::atomic<bool> blocked;
+    blocked.store(true);
+    auto blocker = [](void *, void *) {
+        // Bounded wait: if the helper's terminate never comes (the
+        // regression this test guards against), fall through so the
+        // death expectation fails instead of hanging.
+        for (int i = 0; i < 10'000 && blocked.load(); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
+    auto thrower = [](void *, void *) {
+        throw std::runtime_error("unhandled worker fault");
+    };
+    s.fork(blocker, nullptr, nullptr, 0, 0);
+    s.fork(thrower, nullptr, nullptr,
+           static_cast<Hint>(1) << 20, 0);
+    EXPECT_DEATH(s.runParallel(2), "");
+    blocked.store(false);
+}
+
+TEST(ParallelScheduler, AbortPolicyPropagatesCallerWorkerFault)
+{
+    // The caller participates as worker 0; an Abort-policy fault in
+    // its own segment surfaces as an ordinary exception (a single bin
+    // always lands in worker 0's segment).
     SchedulerConfig c = cfg();
     c.onError = ErrorPolicy::Abort;
     LocalityScheduler s(c);
     auto thrower = [](void *, void *) {
-        throw std::runtime_error("unhandled worker fault");
+        throw std::runtime_error("caller worker fault");
     };
     s.fork(thrower, nullptr, nullptr, 0, 0);
-    EXPECT_DEATH(s.runParallel(2), "");
+    EXPECT_THROW(s.runParallel(2), std::runtime_error);
+    // The unwind path abandoned the run: state is clean and reusable.
+    EXPECT_EQ(s.pendingThreads(), 0u);
+    Counter counter;
+    s.fork(&Counter::bump, &counter, nullptr, 0, 0);
+    EXPECT_EQ(s.runParallel(2), 1u);
+    EXPECT_EQ(counter.value.load(), 1u);
 }
 
 } // namespace
