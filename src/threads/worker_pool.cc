@@ -76,9 +76,13 @@ WorkerPool::threadCount() const
 void
 WorkerPool::ensureWorkers(unsigned workers)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Helpers index slots_ without the lock only while running a tour,
+    // and runTour (the sole caller, between tours) waits for every
+    // participant before returning — but grow under mutex_ anyway so
+    // the safety is structural, not inherited from the caller.
     while (slots_.size() < workers)
         slots_.push_back(std::make_unique<WorkerSlot>());
-    std::lock_guard<std::mutex> lock(mutex_);
     while (helpers_.size() + 1 < workers) {
         const unsigned helperIndex =
             static_cast<unsigned>(helpers_.size());
@@ -139,6 +143,7 @@ WorkerPool::runTour(detail::PoolJob &job)
         {
             std::lock_guard<std::mutex> lock(mutex_);
             job_ = &job;
+            tourWorkers_ = job.workers;
             ++epoch_;
             active_ = job.workers - 1;
         }
@@ -190,19 +195,25 @@ WorkerPool::helperMain(unsigned helperIndex, std::uint64_t startEpoch)
         if (shutdown_)
             return;
         seen = epoch_;
-        detail::PoolJob *job = job_;
+        // Participation is decided under mutex_ from tourWorkers_,
+        // never by dereferencing job_: the job lives on runTour's
+        // caller's stack and the active_ handshake keeps it alive only
+        // for helpers the tour waits on. A helper woken past the
+        // tour's width (notify_all wakes everyone) re-parks without
+        // touching it — reading the dead previous job here was a
+        // use-after-free whenever a tour shrank the worker count.
+        if (id >= tourWorkers_)
+            continue;
+        detail::PoolJob &job = *job_;
         lock.unlock();
 
-        const bool participates = id < job->workers;
-        if (participates) {
-            // An exception escaping here (a user thread under
-            // ErrorPolicy::Abort) unwinds out of the thread function:
-            // std::terminate, the documented Abort-parallel behavior.
-            workerLoop(id, *job);
-        }
+        // An exception escaping here (a user thread under
+        // ErrorPolicy::Abort) unwinds out of the thread function:
+        // std::terminate, the documented Abort-parallel behavior.
+        workerLoop(id, job);
 
         lock.lock();
-        if (participates && --active_ == 0)
+        if (--active_ == 0)
             doneCv_.notify_one();
     }
 }

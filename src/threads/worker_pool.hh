@@ -254,6 +254,11 @@ class WorkerPool
     std::condition_variable wakeCv_; ///< helpers park here
     std::condition_variable doneCv_; ///< runTour waits here
     detail::PoolJob *job_ = nullptr; ///< current tour, under mutex_
+    /** Current tour's width, under mutex_. Helpers test participation
+     *  against this — not job_, which they may only dereference when
+     *  participating (the active_ handshake keeps it alive for exactly
+     *  those helpers). */
+    unsigned tourWorkers_ = 0;
     std::uint64_t epoch_ = 0;        ///< bumped per tour, under mutex_
     unsigned active_ = 0;            ///< helpers still in the tour
     bool shutdown_ = false;

@@ -178,15 +178,29 @@ TEST(ParallelSchedulerDeathTest, AbortPolicyTerminatesOnHelperFault)
 TEST(ParallelScheduler, AbortPolicyPropagatesCallerWorkerFault)
 {
     // The caller participates as worker 0; an Abort-policy fault in
-    // its own segment surfaces as an ordinary exception (a single bin
-    // always lands in worker 0's segment).
+    // its own segment surfaces as an ordinary exception. The helper
+    // must be held on a gate bin in its *own* segment until worker 0
+    // has claimed the thrower bin — with a lone bin the helper can
+    // steal it first and the fault then surfaces on the helper
+    // (std::terminate, the death test's territory), a rare flake under
+    // TSan scheduling. The gate only opens after the thrower bin is
+    // claimed, so the steal can never happen. Bounded spin: on a
+    // regression the gate opens after 10 s and EXPECT_THROW reports.
     SchedulerConfig c = cfg();
     c.onError = ErrorPolicy::Abort;
     LocalityScheduler s(c);
+    static std::atomic<bool> claimed;
+    claimed.store(false);
     auto thrower = [](void *, void *) {
+        claimed.store(true);
         throw std::runtime_error("caller worker fault");
     };
+    auto gate = [](void *, void *) {
+        for (int i = 0; i < 10'000 && !claimed.load(); ++i)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    };
     s.fork(thrower, nullptr, nullptr, 0, 0);
+    s.fork(gate, nullptr, nullptr, static_cast<Hint>(1) << 16, 0);
     EXPECT_THROW(s.runParallel(2), std::runtime_error);
     // The unwind path abandoned the run: state is clean and reusable.
     EXPECT_EQ(s.pendingThreads(), 0u);

@@ -93,6 +93,37 @@ TEST(WorkerPool, SkewedBinsExecuteExactlyOnceAtEveryWidth)
     }
 }
 
+TEST(WorkerPool, ShrinkingTourWidthLeavesNoStragglerOnTheDeadJob)
+{
+    // Regression: a tour narrower than its predecessor still wakes
+    // every parked helper (notify_all). Helpers past the new width
+    // must decide participation under the pool lock and re-park —
+    // the original code read the *previous* tour's stack-allocated
+    // job to decide, a use-after-free once that tour returned (TSan
+    // flags it; a garbage width could even re-run the dead job).
+    LocalityScheduler s(cfg());
+    for (int round = 0; round < 20; ++round) {
+        for (unsigned workers : {8u, 2u}) {
+            constexpr std::size_t kBins = 8;
+            BinCounters counters(kBins);
+            const std::vector<std::uint64_t> expected =
+                forkSkewed(s, counters, kBins);
+            std::uint64_t total = 0;
+            for (std::uint64_t e : expected)
+                total += e;
+            EXPECT_EQ(s.runParallel(workers), total)
+                << "round " << round << " workers=" << workers;
+            for (std::size_t b = 0; b < kBins; ++b)
+                EXPECT_EQ(counters.hits[b].load(), expected[b])
+                    << "round " << round << " workers=" << workers
+                    << " bin " << b;
+        }
+    }
+    // The wide tours spawned all helpers; the narrow ones added none.
+    EXPECT_EQ(s.workerPoolStats().threadsSpawned, 7u);
+    EXPECT_EQ(s.workerPoolStats().tours, 40u);
+}
+
 TEST(WorkerPool, RepeatedToursSpawnNoNewThreads)
 {
     // The acceptance property of the persistent pool: OS threads are
