@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# check-all: the one-command CI matrix. Configures, builds, and ctests
+# every supported build flavor via the CMake presets:
+#
+#   default       full RelWithDebInfo suite
+#   tsan          fault + obs + pool suites under ThreadSanitizer
+#   notrace       full suite with tracing compiled out
+#   nofailpoints  full suite with fail points compiled out
+#
+# Runs from anywhere inside the repo; stops at the first failure.
+# Pass -j N to override the build parallelism (default: nproc).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+jobs="$( (nproc || sysctl -n hw.ncpu) 2>/dev/null || echo 4)"
+while getopts "j:" opt; do
+    case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j jobs]" >&2; exit 2 ;;
+    esac
+done
+
+run() {
+    echo "== $* =="
+    "$@"
+}
+
+check() {
+    configure="$1"
+    testpreset="$2"
+    run cmake --preset "$configure"
+    run cmake --build --preset "$configure" -j "$jobs"
+    run ctest --preset "$testpreset"
+}
+
+check default default
+check tsan tsan-fault
+check notrace notrace
+check nofailpoints nofailpoints
+
+echo "== check-all: all presets green =="

@@ -4,6 +4,7 @@
 #include "obs/trace.hh"
 #include "support/error.hh"
 #include "support/panic.hh"
+#include "threads/bin_exec.hh"
 
 namespace lsched::fibers
 {
@@ -145,52 +146,86 @@ GeneralScheduler::run()
         // a bin drains it unless fibers keep yielding.
         bool progressed = false;
         for (std::size_t q = 0; q < queues_.size(); ++q) {
-            while (!queues_[q].empty()) {
-                Task task = queues_[q].front();
-                queues_[q].pop_front();
-                Fiber *fiber = task.fiber;
-                if (!fiber) {
-                    fiber = pool_.acquire(task.entry, task.arg);
-                    home_[fiber] = q;
-                }
-                LSCHED_TRACE_EVENT(obs::EventType::ThreadStart, q);
-                fiber->resume();
-                LSCHED_TRACE_EVENT(obs::EventType::ThreadEnd, q);
-                progressed = true;
-                switch (fiber->state()) {
-                  case FiberState::Finished: {
-                    const std::exception_ptr fault =
-                        fiber->takeException();
-                    home_.erase(fiber);
-                    pool_.release(fiber);
-                    --live_;
-                    if (fault) {
-                        noteFiberFault(q, fault);
-                        if (config_.onError !=
-                            threads::ErrorPolicy::ContinueAndCollect) {
-                            // Abort/StopTour: first fault ends the
-                            // run on the caller; RunReset abandons
-                            // the remaining work.
-                            std::rethrow_exception(fault);
-                        }
-                        break;
+            if (queues_[q].empty())
+                continue;
+            // Each queue drain goes through the one shared bin
+            // execution routine (threads/bin_exec.hh): this cursor is
+            // the fiber-specific work source. run() returns 1 only
+            // for a cleanly finished fiber — yields, blocks, and
+            // contained faults count 0 — so executeBin's return is
+            // the finished count. Fault policy is the fiber
+            // scheduler's own (resume() never throws; faults surface
+            // via takeException()), so executeBin runs uncontained
+            // (Abort) and a rethrown fault propagates to the caller,
+            // where RunReset abandons the remaining work.
+            struct QueueCursor
+            {
+                GeneralScheduler &s;
+                std::size_t q;
+                bool &progressed;
+                Fiber *fiber = nullptr;
+
+                bool
+                next()
+                {
+                    if (s.queues_[q].empty())
+                        return false;
+                    const Task task = s.queues_[q].front();
+                    s.queues_[q].pop_front();
+                    fiber = task.fiber;
+                    if (!fiber) {
+                        fiber = s.pool_.acquire(task.entry, task.arg);
+                        s.home_[fiber] = q;
                     }
-                    ++finished;
-                    if (obs::metricsOn())
-                        fiberInstruments().finished->add();
-                    break;
-                  }
-                  case FiberState::Ready:
-                    requeue(fiber);
-                    if (obs::metricsOn())
-                        fiberInstruments().requeues->add();
-                    break;
-                  case FiberState::Blocked:
-                    break; // the Event holds it
-                  case FiberState::Running:
-                    LSCHED_PANIC("fiber returned in Running state");
+                    return true;
                 }
-            }
+
+                std::uint64_t
+                run()
+                {
+                    fiber->resume();
+                    progressed = true;
+                    switch (fiber->state()) {
+                      case FiberState::Finished: {
+                        const std::exception_ptr fault =
+                            fiber->takeException();
+                        s.home_.erase(fiber);
+                        s.pool_.release(fiber);
+                        --s.live_;
+                        if (fault) {
+                            s.noteFiberFault(q, fault);
+                            if (s.config_.onError !=
+                                threads::ErrorPolicy::
+                                    ContinueAndCollect) {
+                                // Abort/StopTour: first fault ends
+                                // the run on the caller.
+                                std::rethrow_exception(fault);
+                            }
+                            return 0;
+                        }
+                        if (obs::metricsOn())
+                            fiberInstruments().finished->add();
+                        return 1;
+                      }
+                      case FiberState::Ready:
+                        s.requeue(fiber);
+                        if (obs::metricsOn())
+                            fiberInstruments().requeues->add();
+                        return 0;
+                      case FiberState::Blocked:
+                        return 0; // the Event holds it
+                      case FiberState::Running:
+                        LSCHED_PANIC(
+                            "fiber returned in Running state");
+                    }
+                    return 0;
+                }
+            } cursor{*this, q, progressed};
+            threads::detail::FaultCtx binCtx(
+                threads::ErrorPolicy::Abort, nullptr);
+            finished += threads::detail::executeBin(
+                static_cast<std::uint32_t>(q), queues_[q].size(),
+                binCtx, 0, cursor);
         }
         if (!progressed && live_ > 0) {
             throw UsageError(lsched::detail::concatMessage(

@@ -13,6 +13,7 @@ namespace
 {
 
 CliObsHook g_obsHook = nullptr;
+CliSchedHook g_schedHook = nullptr;
 
 } // namespace
 
@@ -20,6 +21,12 @@ void
 setCliObsHook(CliObsHook hook)
 {
     g_obsHook = hook;
+}
+
+void
+setCliSchedHook(CliSchedHook hook)
+{
+    g_schedHook = hook;
 }
 
 Cli::Cli(std::string program, std::string blurb)
@@ -31,6 +38,12 @@ Cli::Cli(std::string program, std::string blurb)
     addString("metrics", "",
               "write the metrics registry to the given file "
               "(.json/.csv/plain text by extension)");
+    addString("placement", "",
+              "scheduler placement policy for every scheduler this "
+              "program configures (blockhash|roundrobin|hierarchical)");
+    addString("backend", "",
+              "parallel execution backend for every scheduler this "
+              "program configures (serial|pooled|coldspawn)");
 }
 
 void
@@ -115,6 +128,16 @@ Cli::parse(int argc, const char *const *argv)
                          "library (lsched_obs) linked in");
         }
         g_obsHook(trace_path, metrics_path);
+    }
+
+    const std::string &placement = getString("placement");
+    const std::string &backend = getString("backend");
+    if (!placement.empty() || !backend.empty()) {
+        if (!g_schedHook) {
+            LSCHED_FATAL("--placement/--backend need the scheduler "
+                         "library (lsched_threads) linked in");
+        }
+        g_schedHook(placement, backend);
     }
 }
 

@@ -8,9 +8,11 @@
  * Every Cli additionally understands the observability flags
  * --trace=<file> (Chrome trace-event JSON of the run) and
  * --metrics=<file> (metrics-registry dump; .json/.csv/text by
- * extension). They are forwarded to the hook the obs library installs
- * at static-initialization time (setCliObsHook), so any binary linking
- * the schedulers honours them with no per-program code.
+ * extension), plus the scheduler selection flags --placement=<policy>
+ * and --backend=<backend>. Each pair is forwarded to the hook its
+ * library installs at static-initialization time (setCliObsHook from
+ * lsched_obs, setCliSchedHook from lsched_threads), so any binary
+ * linking the schedulers honours them with no per-program code.
  */
 
 #ifndef LSCHED_SUPPORT_CLI_HH
@@ -34,6 +36,18 @@ using CliObsHook = void (*)(const std::string &trace_path,
  * flags are used rather than dropping them silently.
  */
 void setCliObsHook(CliObsHook hook);
+
+/** Receiver for the built-in --placement/--backend values. */
+using CliSchedHook = void (*)(const std::string &placement,
+                              const std::string &backend);
+
+/**
+ * Install the scheduler-selection hook Cli::parse() calls when
+ * --placement or --backend was given. Registered by the scheduler
+ * library's static initializer; a program that lacks it fails fatally
+ * when the flags are used rather than dropping them silently.
+ */
+void setCliSchedHook(CliSchedHook hook);
 
 /** Declarative command-line parser. */
 class Cli

@@ -17,6 +17,9 @@
 namespace lsched::threads
 {
 
+/** Super-bin id of bins placed by a non-hierarchical policy. */
+constexpr std::uint32_t kNoSuperBin = 0xffffffffu;
+
 /** One bin of the scheduling space. */
 struct Bin
 {
@@ -25,6 +28,13 @@ struct Bin
 
     /** Stable allocation index, used as the bin's trace identity. */
     std::uint32_t id = 0;
+
+    /**
+     * Second-level placement group (HierarchicalPlacement): bins of
+     * one super-bin are toured contiguously and handed to a parallel
+     * worker as a unit. kNoSuperBin under flat placements.
+     */
+    std::uint32_t superBin = kNoSuperBin;
 
     /** Cached hash of coords (avoids re-mixing on probe and rehash). */
     std::uint64_t hashVal = 0;

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * THE bin-execution routine — the mechanism half of the scheduler.
+ *
+ * Every path that runs a bin's threads routes through executeBin():
+ * the serial run() (streaming and ordered), every parallel backend
+ * (execution.hh), and the fiber scheduler's queue drain. ErrorPolicy
+ * containment, BinStart/ThreadStart/ThreadEnd/BinEnd tracing, the
+ * per-bin dwell metrics, and the "sched.bin.execute" fail-point site
+ * therefore live in exactly one place; PRs that used to patch three
+ * copies in lockstep patch one.
+ *
+ * The routine is a template over a Cursor — the *source* of work
+ * items, which is the only thing the call sites differ in:
+ *
+ *   bool next();          // advance to the next item; false = drained.
+ *                         // Re-evaluated each step, so items appended
+ *                         // mid-execution (nested fork) are picked up.
+ *   std::uint64_t run();  // run the current item; returns completions
+ *                         // (1 per finished thread; 0 for a yielded
+ *                         // fiber). May throw — containment is the
+ *                         // caller branch's job, per ctx.policy.
+ *
+ * GroupCursor below adapts a Bin's thread-group chain; the fiber
+ * scheduler supplies its own queue cursor.
+ */
+
+#ifndef LSCHED_THREADS_BIN_EXEC_HH
+#define LSCHED_THREADS_BIN_EXEC_HH
+
+#include "obs/trace.hh"
+#include "support/failpoint.hh"
+#include "threads/bin.hh"
+#include "threads/fault.hh"
+#include "threads/sched_obs.hh"
+#include "threads/thread_group.hh"
+
+namespace lsched::threads::detail
+{
+
+/** Cursor over a bin's thread-group chain, in fork order. */
+class GroupCursor
+{
+  public:
+    explicit GroupCursor(Bin *bin) : group_(bin->groupsHead) {}
+
+    /** Counts and links are re-read each step so threads forked into
+     *  this very bin during execution (nested fork) are picked up. */
+    bool
+    next()
+    {
+        while (group_) {
+            if (index_ < group_->count) {
+                current_ = &group_->specs[index_++];
+                return true;
+            }
+            group_ = group_->next;
+            index_ = 0;
+        }
+        return false;
+    }
+
+    std::uint64_t
+    run()
+    {
+        current_->fn(current_->arg1, current_->arg2);
+        return 1;
+    }
+
+  private:
+    ThreadGroup *group_;
+    std::uint32_t index_ = 0;
+    const ThreadSpec *current_ = nullptr;
+};
+
+/**
+ * Execute one bin's work items off @p cursor on @p worker.
+ *
+ * @p announced is the item count recorded in the BinStart event (the
+ * bin's thread count; nested forks may run more). Behavior splits on
+ * ctx.policy:
+ *
+ *  - Abort: no containment — the historic fast path. An escaped
+ *    exception (or the "sched.bin.execute" fail point, which fires
+ *    before any per-bin event) propagates to the caller.
+ *  - StopTour / ContinueAndCollect: each item runs under a try/catch;
+ *    faults are recorded through noteFault(). Under StopTour the rest
+ *    of the bin is skipped after the first fault.
+ *
+ * Returns the number of items that completed.
+ */
+template <typename Cursor>
+std::uint64_t
+executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
+           unsigned worker, Cursor &&cursor)
+{
+    const bool contain = ctx.policy != ErrorPolicy::Abort;
+    if (!contain) {
+        // Under ErrorPolicy::Abort this injected failure propagates
+        // like any user-thread exception would (the contained branch
+        // below instead records it, after BinStart — matching where a
+        // real failure at the top of bin execution would surface).
+        LSCHED_FAILPOINT("sched.bin.execute");
+    }
+
+    const bool traced = obs::traceOn();
+    const bool metered = obs::metricsOn();
+    const std::uint64_t t0 = (traced || metered) ? obs::nowNs() : 0;
+
+    std::uint64_t executed = 0;
+    if (traced) {
+        obs::TraceSession::global().record(obs::EventType::BinStart,
+                                           binId, announced);
+    }
+
+    if (!contain) {
+        if (traced) {
+            obs::TraceSession &session = obs::TraceSession::global();
+            while (cursor.next()) {
+                session.record(obs::EventType::ThreadStart, binId);
+                executed += cursor.run();
+                session.record(obs::EventType::ThreadEnd, binId);
+            }
+        } else {
+            while (cursor.next())
+                executed += cursor.run();
+        }
+    } else {
+        bool stopped = false;
+        try {
+            LSCHED_FAILPOINT("sched.bin.execute");
+        } catch (...) {
+            noteFault(ctx, binId, worker);
+            stopped = ctx.policy == ErrorPolicy::StopTour;
+        }
+        while (!stopped && cursor.next()) {
+            try {
+                if (traced) {
+                    obs::TraceSession::global().record(
+                        obs::EventType::ThreadStart, binId);
+                }
+                executed += cursor.run();
+                if (traced) {
+                    obs::TraceSession::global().record(
+                        obs::EventType::ThreadEnd, binId);
+                }
+            } catch (...) {
+                noteFault(ctx, binId, worker);
+                if (ctx.policy == ErrorPolicy::StopTour)
+                    stopped = true;
+            }
+        }
+    }
+
+    if (traced) {
+        obs::TraceSession::global().record(obs::EventType::BinEnd,
+                                           binId, executed);
+    }
+    if (metered) {
+        const SchedInstruments &ins = schedInstruments();
+        ins.executed->add(executed);
+        ins.threadsPerBin->record(executed);
+        ins.binDwellNs->record(obs::nowNs() - t0);
+    }
+    return executed;
+}
+
+/** Execute all threads currently scheduled in @p bin. */
+inline std::uint64_t
+executeBin(Bin *bin, FaultCtx &ctx, unsigned worker)
+{
+    GroupCursor cursor(bin);
+    return executeBin(bin->id, bin->threadCount, ctx, worker, cursor);
+}
+
+} // namespace lsched::threads::detail
+
+#endif // LSCHED_THREADS_BIN_EXEC_HH

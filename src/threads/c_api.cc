@@ -134,12 +134,65 @@ th_stats(void)
     out.pool_threads_spawned = s.pool.threadsSpawned;
     out.pool_steals = s.pool.steals;
     out.pool_parks = s.pool.parks;
+    out.placement = static_cast<int>(instance().config().placement);
+    out.backend = static_cast<int>(instance().config().backend);
     const bool any = s.threadsPerBin.count() > 0;
     out.threads_per_bin_mean = any ? s.threadsPerBin.mean() : 0;
     out.threads_per_bin_min = any ? s.threadsPerBin.min() : 0;
     out.threads_per_bin_max = any ? s.threadsPerBin.max() : 0;
     out.threads_per_bin_stddev = any ? s.threadsPerBin.stddev() : 0;
     return out;
+}
+
+int
+th_set_placement(const char *name)
+{
+    if (!name) {
+        recordError("th_set_placement: NULL name");
+        return -1;
+    }
+    lsched::threads::PlacementKind kind;
+    if (!lsched::threads::tryPlacementFromName(name, &kind)) {
+        recordError(std::string("th_set_placement: unknown policy '") +
+                    name + "' (want blockhash|roundrobin|hierarchical)");
+        return -1;
+    }
+    return guarded([&] {
+               lsched::threads::SchedulerConfig config =
+                   instance().config();
+               config.placement = kind;
+               instance().configure(config);
+           })
+               ? 0
+               : -1;
+}
+
+int
+th_set_backend(const char *name)
+{
+    if (!name) {
+        recordError("th_set_backend: NULL name");
+        return -1;
+    }
+    lsched::threads::BackendKind kind;
+    if (!lsched::threads::tryBackendFromName(name, &kind)) {
+        recordError(std::string("th_set_backend: unknown backend '") +
+                    name + "' (want serial|pooled|coldspawn)");
+        return -1;
+    }
+    return guarded([&] {
+               lsched::threads::SchedulerConfig config =
+                   instance().config();
+               config.backend = kind;
+               // The knob pair stays consistent both ways: picking the
+               // pooled backend back on must re-enable the persistent
+               // pool validated() would otherwise fold it away with.
+               config.persistentPool =
+                   kind != lsched::threads::BackendKind::ColdSpawn;
+               instance().configure(config);
+           })
+               ? 0
+               : -1;
 }
 
 void
@@ -245,6 +298,30 @@ void
 th_run_parallel_(const int *workers, const int *keep)
 {
     th_run_parallel(workers ? *workers : 0, keep ? *keep : 0);
+}
+
+void
+th_set_placement_(const int *kind)
+{
+    static const char *const names[] = {"blockhash", "roundrobin",
+                                        "hierarchical"};
+    if (!kind || *kind < 0 || *kind > 2) {
+        recordError("th_set_placement: kind must be 0..2");
+        return;
+    }
+    th_set_placement(names[*kind]);
+}
+
+void
+th_set_backend_(const int *kind)
+{
+    static const char *const names[] = {"serial", "pooled",
+                                        "coldspawn"};
+    if (!kind || *kind < 0 || *kind > 2) {
+        recordError("th_set_backend: kind must be 0..2");
+        return;
+    }
+    th_set_backend(names[*kind]);
 }
 
 } // extern "C"

@@ -75,6 +75,12 @@ typedef struct th_stats_t
     unsigned long long pool_threads_spawned;
     unsigned long long pool_steals;
     unsigned long long pool_parks;
+    /** Active placement policy: 0 blockhash, 1 roundrobin,
+     *  2 hierarchical (see th_set_placement). */
+    int placement;
+    /** Active execution backend: 0 serial, 1 pooled, 2 coldspawn
+     *  (see th_set_backend). */
+    int backend;
     /** Distribution over non-empty bins; all 0 when no bin is. */
     double threads_per_bin_mean;
     double threads_per_bin_min;
@@ -84,6 +90,22 @@ typedef struct th_stats_t
 
 /** Statistics of the scheduler behind th_fork/th_run. */
 th_stats_t th_stats(void);
+
+/**
+ * Select the placement policy of the global scheduler by name
+ * ("blockhash", "roundrobin", "hierarchical"). Like th_init, this
+ * reconfigures the scheduler and requires no threads pending or
+ * running. Returns 0 on success, -1 on an unknown name or a rejected
+ * reconfiguration (the reason lands in th_last_error()).
+ */
+int th_set_placement(const char *name);
+
+/**
+ * Select the execution backend of the global scheduler by name
+ * ("serial", "pooled", "coldspawn"). Same contract as
+ * th_set_placement. Returns 0 on success, -1 on error.
+ */
+int th_set_backend(const char *name);
 
 /** Turn event tracing and metrics collection on. */
 void th_trace_enable(void);
@@ -161,6 +183,14 @@ void th_run_(const int *keep);
 
 /** Fortran: CALL TH_RUN_PARALLEL(WORKERS, KEEP). */
 void th_run_parallel_(const int *workers, const int *keep);
+
+/** Fortran: CALL TH_SET_PLACEMENT(KIND) — 0 blockhash, 1 roundrobin,
+ *  2 hierarchical (numeric, avoiding Fortran hidden string lengths). */
+void th_set_placement_(const int *kind);
+
+/** Fortran: CALL TH_SET_BACKEND(KIND) — 0 serial, 1 pooled,
+ *  2 coldspawn. */
+void th_set_backend_(const int *kind);
 
 } // extern "C"
 

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Execution backends (execution.hh) and the selection-layer glue: the
+ * worker thread-local marker fork() checks, the shared pool callback
+ * every parallel backend routes through, and the --placement/
+ * --backend CLI hook.
+ */
+
+#include "threads/execution.hh"
+
+#include "support/cli.hh"
+#include "support/panic.hh"
+#include "threads/bin_exec.hh"
+
+namespace lsched::threads
+{
+
+namespace
+{
+
+thread_local bool t_inParallelWorker = false;
+
+/** Scoped thread-local marker for parallel worker bodies. */
+struct ParallelWorkerScope
+{
+    ParallelWorkerScope() { t_inParallelWorker = true; }
+    ~ParallelWorkerScope() { t_inParallelWorker = false; }
+};
+
+/**
+ * The one pool callback (PoolJob::execute) behind every parallel
+ * backend. The thread-local marker covers exactly the span where user
+ * threads run, so fork() can reject the unsynchronized-ready-list
+ * race from any pool worker, persistent or cold. Under
+ * ErrorPolicy::Abort executeBin() does not contain: an escaped
+ * exception hits the worker-thread boundary (std::terminate on a
+ * helper; rethrown on the caller for worker 0).
+ */
+std::uint64_t
+poolExecute(Bin *bin, unsigned worker, void *ctxRaw)
+{
+    auto *fault = static_cast<detail::FaultCtx *>(ctxRaw);
+    ParallelWorkerScope in_worker;
+    return detail::executeBin(bin, *fault, worker);
+}
+
+/** Translate a TourSpec into the pool's job structure. */
+void
+initJob(detail::PoolJob &job, TourSpec &spec)
+{
+    job.tour = spec.tour;
+    job.bins = spec.bins;
+    job.workers = spec.workers;
+    job.execute = &poolExecute;
+    job.ctx = spec.fault;
+    job.stop = spec.fault->policy == ErrorPolicy::StopTour
+                   ? &spec.fault->stop
+                   : nullptr;
+    job.currentBin = spec.currentBin;
+    job.honorSuperBins = spec.honorSuperBins;
+}
+
+/** The caller walks the tour alone, in order. */
+class SerialBackend final : public ExecutionBackend
+{
+  public:
+    std::uint64_t
+    runTour(TourSpec &spec) override
+    {
+        // No ParallelWorkerScope: a serial tour runs on the caller,
+        // where nested fork() is a recoverable UsageError (or legal,
+        // in run()'s streaming mode) — not the parallel data race the
+        // marker exists to make fatal.
+        std::uint64_t executed = 0;
+        for (std::size_t i = 0; i < spec.bins; ++i) {
+            if (spec.fault->stopRequested())
+                break;
+            Bin *bin = spec.tour[i];
+            if (spec.currentBin) {
+                spec.currentBin[0].store(bin->id,
+                                         std::memory_order_relaxed);
+            }
+            executed += detail::executeBin(bin, *spec.fault, 0);
+            if (spec.currentBin) {
+                spec.currentBin[0].store(detail::kWorkerIdle,
+                                         std::memory_order_relaxed);
+            }
+        }
+        if (spec.currentBin) {
+            spec.currentBin[0].store(detail::kWorkerDone,
+                                     std::memory_order_relaxed);
+        }
+        return executed;
+    }
+
+    BackendKind kind() const override { return BackendKind::Serial; }
+};
+
+/** The persistent work-stealing pool (worker_pool.hh). */
+class PooledBackend final : public ExecutionBackend
+{
+  public:
+    std::uint64_t
+    runTour(TourSpec &spec) override
+    {
+        LSCHED_ASSERT(spec.pool != nullptr,
+                      "pooled tour without a worker pool");
+        detail::PoolJob job;
+        initJob(job, spec);
+        spec.pool->runTour(job);
+        return job.executed.load(std::memory_order_relaxed);
+    }
+
+    BackendKind kind() const override { return BackendKind::Pooled; }
+};
+
+/**
+ * Historic cold path: a throwaway pool, so every tour pays thread
+ * creation/join — the baseline ablation_smp compares the warm pool
+ * against. The pool's lifetime counters fold into the scheduler's
+ * retired-pool statistics, success or throw.
+ */
+class ColdSpawnBackend final : public ExecutionBackend
+{
+  public:
+    std::uint64_t
+    runTour(TourSpec &spec) override
+    {
+        LSCHED_ASSERT(spec.retiredStats != nullptr,
+                      "cold-spawn tour without a stats sink");
+        detail::PoolJob job;
+        initJob(job, spec);
+        WorkerPool cold(spec.pinWorkers);
+        try {
+            cold.runTour(job);
+        } catch (...) {
+            *spec.retiredStats += cold.stats();
+            throw;
+        }
+        *spec.retiredStats += cold.stats();
+        return job.executed.load(std::memory_order_relaxed);
+    }
+
+    BackendKind kind() const override { return BackendKind::ColdSpawn; }
+};
+
+PlacementKind g_placementOverride{};
+bool g_hasPlacementOverride = false;
+BackendKind g_backendOverride{};
+bool g_hasBackendOverride = false;
+
+/** Receiver for the built-in --placement/--backend CLI values. */
+void
+applyCliSched(const std::string &placement, const std::string &backend)
+{
+    if (!placement.empty()) {
+        PlacementKind kind;
+        if (!tryPlacementFromName(placement, &kind)) {
+            LSCHED_FATAL("--placement: unknown policy '", placement,
+                         "' (want blockhash|roundrobin|hierarchical)");
+        }
+        g_placementOverride = kind;
+        g_hasPlacementOverride = true;
+    }
+    if (!backend.empty()) {
+        BackendKind kind;
+        if (!tryBackendFromName(backend, &kind)) {
+            LSCHED_FATAL("--backend: unknown backend '", backend,
+                         "' (want serial|pooled|coldspawn)");
+        }
+        g_backendOverride = kind;
+        g_hasBackendOverride = true;
+    }
+}
+
+/**
+ * Install the hook at static-initialization time, mirroring the obs
+ * library's --trace/--metrics registration: any binary linking the
+ * scheduler honours --placement/--backend with no per-program code.
+ */
+[[maybe_unused]] const bool g_cliSchedHookInstalled =
+    (lsched::setCliSchedHook(&applyCliSched), true);
+
+} // namespace
+
+namespace detail
+{
+
+bool
+inParallelWorker()
+{
+    return t_inParallelWorker;
+}
+
+const PlacementKind *
+placementOverride()
+{
+    return g_hasPlacementOverride ? &g_placementOverride : nullptr;
+}
+
+const BackendKind *
+backendOverride()
+{
+    return g_hasBackendOverride ? &g_backendOverride : nullptr;
+}
+
+} // namespace detail
+
+ExecutionBackend::~ExecutionBackend() = default;
+
+const char *
+backendName(BackendKind kind)
+{
+    switch (kind) {
+      case BackendKind::Serial:
+        return "serial";
+      case BackendKind::Pooled:
+        return "pooled";
+      case BackendKind::ColdSpawn:
+        return "coldspawn";
+    }
+    return "?";
+}
+
+bool
+tryBackendFromName(const std::string &name, BackendKind *out)
+{
+    if (name == "serial")
+        *out = BackendKind::Serial;
+    else if (name == "pooled")
+        *out = BackendKind::Pooled;
+    else if (name == "coldspawn")
+        *out = BackendKind::ColdSpawn;
+    else
+        return false;
+    return true;
+}
+
+BackendKind
+backendFromName(const std::string &name)
+{
+    BackendKind kind;
+    if (!tryBackendFromName(name, &kind)) {
+        LSCHED_FATAL("unknown execution backend '", name,
+                     "' (want serial|pooled|coldspawn)");
+    }
+    return kind;
+}
+
+ExecutionBackend &
+executionBackend(BackendKind kind)
+{
+    static SerialBackend serial;
+    static PooledBackend pooled;
+    static ColdSpawnBackend coldSpawn;
+    switch (kind) {
+      case BackendKind::Serial:
+        return serial;
+      case BackendKind::Pooled:
+        return pooled;
+      case BackendKind::ColdSpawn:
+        return coldSpawn;
+    }
+    LSCHED_PANIC("unhandled BackendKind ", static_cast<int>(kind));
+}
+
+} // namespace lsched::threads

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The execution layer: *how* an ordered bin tour is run.
+ *
+ * Complementing the placement layer (placement.hh — where a fork
+ * goes), an ExecutionBackend takes a tour the scheduler has already
+ * ordered and executes every bin exactly once, all of them through
+ * the one executeBin() routine (bin_exec.hh):
+ *
+ *  - SerialBackend — one worker (the caller) walks the tour in order;
+ *    also the body of run()'s ordered branch.
+ *  - PooledBackend — the persistent work-stealing pool
+ *    (worker_pool.hh): workers parked between tours, occupancy-
+ *    weighted contiguous partition, tail stealing.
+ *  - ColdSpawnBackend — the historic spawn-per-tour baseline: a
+ *    throwaway WorkerPool whose statistics fold into the scheduler's
+ *    retired-pool totals.
+ *
+ * Backends are stateless singletons; all per-tour state travels in
+ * the TourSpec. runParallel() (and run()) reduce to building a spec
+ * and dispatching — policy and mechanism meet only here.
+ */
+
+#ifndef LSCHED_THREADS_EXECUTION_HH
+#define LSCHED_THREADS_EXECUTION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "threads/fault.hh"
+#include "threads/placement.hh"
+#include "threads/worker_pool.hh"
+
+namespace lsched::threads
+{
+
+/** Selectable execution backends (SchedulerConfig::backend). */
+enum class BackendKind : std::uint8_t
+{
+    /** The caller walks the tour alone (no helper threads). */
+    Serial,
+    /** Persistent work-stealing worker pool (the default). */
+    Pooled,
+    /** Spawn-and-join a throwaway pool per tour (baseline). */
+    ColdSpawn,
+};
+
+/** Printable name of a backend ("serial", "pooled", "coldspawn"). */
+const char *backendName(BackendKind kind);
+
+/** Parse a backend name; false (and *out untouched) when unknown. */
+bool tryBackendFromName(const std::string &name, BackendKind *out);
+
+/** Parse a backend name; fatal on an unknown one (CLI path). */
+BackendKind backendFromName(const std::string &name);
+
+/** Everything one tour hands its backend. */
+struct TourSpec
+{
+    /** The ordered bin tour (owned by the caller, outlives the tour). */
+    Bin *const *tour = nullptr;
+    std::size_t bins = 0;
+    /** Workers to distribute over (>= 1; the caller is worker 0). */
+    unsigned workers = 1;
+    /** Shared fault state; its policy selects containment. */
+    detail::FaultCtx *fault = nullptr;
+    /** Pin helper threads over CPUs (ColdSpawn pool construction). */
+    bool pinWorkers = false;
+    /** Never split a super-bin across workers (HierarchicalPlacement;
+     *  the tour must already be grouped — see groupBySuperBins). */
+    bool honorSuperBins = false;
+    /** Persistent pool to run on (Pooled; null otherwise). */
+    WorkerPool *pool = nullptr;
+    /** Where a throwaway pool's stats fold (ColdSpawn; null else). */
+    WorkerPoolStats *retiredStats = nullptr;
+    /** Watchdog slots, one per worker; may be null. */
+    std::atomic<std::int64_t> *currentBin = nullptr;
+};
+
+/** Runs an ordered tour; every bin through executeBin() exactly once. */
+class ExecutionBackend
+{
+  public:
+    virtual ~ExecutionBackend();
+
+    /** Execute @p spec's tour; returns the threads completed. */
+    virtual std::uint64_t runTour(TourSpec &spec) = 0;
+
+    /** Which backend this is. */
+    virtual BackendKind kind() const = 0;
+
+    /** Printable backend name. */
+    const char *name() const { return backendName(kind()); }
+};
+
+/** The (stateless, process-shared) backend instance for @p kind. */
+ExecutionBackend &executionBackend(BackendKind kind);
+
+namespace detail
+{
+
+/**
+ * CLI overrides installed by --placement/--backend (support/cli.hh's
+ * sched hook, registered from execution.cc's static initializer).
+ * Null when the flag was not given; SchedulerConfig validation applies
+ * a non-null override to every scheduler configured afterwards.
+ */
+const PlacementKind *placementOverride();
+const BackendKind *backendOverride();
+
+} // namespace detail
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_EXECUTION_HH

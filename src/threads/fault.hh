@@ -119,7 +119,7 @@ void noteFault(FaultCtx &ctx, std::uint32_t binId, unsigned worker);
  * True on a thread currently executing bins for runParallel().
  * fork() uses it to reject the silent ready-list data race that
  * forking from inside a parallel tour would be. Defined in
- * parallel_scheduler.cc.
+ * execution.cc.
  */
 bool inParallelWorker();
 

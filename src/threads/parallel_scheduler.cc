@@ -1,27 +1,22 @@
 /**
  * @file
- * SMP extension of the locality scheduler (paper Section 7).
+ * SMP extension of the locality scheduler (paper Section 7) — now a
+ * thin dispatcher over the execution layer.
  *
  * Bins are the unit of distribution: a worker always runs a whole bin
  * so the per-bin working-set property carries over to each CPU's own
- * cache. The tour is split into contiguous, occupancy-weighted
- * segments — each worker walks neighboring bins, preserving the
- * tour-order locality the paper's ready list provides — and load skew
- * is absorbed by work stealing from segment tails (worker_pool.hh).
- * Workers are persistent: parked between tours and reused, so repeat
- * tours pay no thread creation cost (SchedulerConfig::persistentPool
- * restores the historic spawn-per-tour behavior when false).
+ * cache. runParallel() orders the tour (grouping super-bins together
+ * under a hierarchical placement), arms the optional stall watchdog,
+ * and hands a TourSpec to the configured ExecutionBackend
+ * (execution.hh) — the pooled work-stealing default, the cold
+ * spawn-per-tour baseline, or the serial fallback. All bin execution,
+ * fault containment (ErrorPolicy), tracing, and fail-point sites live
+ * in the one executeBin() routine (bin_exec.hh) the backends share.
  *
- * Fault containment: with ErrorPolicy::StopTour or
- * ::ContinueAndCollect each worker catches user-thread exceptions
- * (sched_obs.hh, executeBinGuarded) instead of letting them hit the
- * worker-thread boundary and std::terminate. Under StopTour workers
- * stop claiming; unclaimed bins stay in the deques, whose segments are
- * per-tour, and the caller's unwind path recycles them off the ready
- * list. The optional watchdog (SchedulerConfig::watchdogMillis) is a
- * monitor thread that warns — and emits a WatchdogStall trace event —
- * when the tour overruns its deadline, naming the stuck workers and
- * the bins they hold.
+ * The watchdog (SchedulerConfig::watchdogMillis) is a monitor thread
+ * that warns — and emits a WatchdogStall trace event — when the tour
+ * overruns its deadline, naming the stuck workers and the bins they
+ * hold. Purely observational; it never stops or kills the tour.
  */
 
 #include <atomic>
@@ -35,6 +30,7 @@
 #include <vector>
 
 #include "support/panic.hh"
+#include "threads/execution.hh"
 #include "threads/sched_obs.hh"
 #include "threads/scheduler.hh"
 #include "threads/worker_pool.hh"
@@ -45,14 +41,18 @@ namespace lsched::threads
 namespace
 {
 
-thread_local bool t_inParallelWorker = false;
-
-/** Scoped thread-local marker for runParallel worker bodies. */
-struct ParallelWorkerScope
+/** Per-backend tour counters (sched.backend.<name>.tours). */
+obs::Counter &
+backendToursCounter(BackendKind kind)
 {
-    ParallelWorkerScope() { t_inParallelWorker = true; }
-    ~ParallelWorkerScope() { t_inParallelWorker = false; }
-};
+    static obs::Counter *const counters[] = {
+        &obs::Registry::global().counter("sched.backend.serial.tours"),
+        &obs::Registry::global().counter("sched.backend.pooled.tours"),
+        &obs::Registry::global().counter(
+            "sched.backend.coldspawn.tours"),
+    };
+    return *counters[static_cast<std::size_t>(kind)];
+}
 
 /** Rendezvous between the tour and its watchdog monitor. */
 struct WatchdogChannel
@@ -145,41 +145,7 @@ struct WatchdogGuard
     }
 };
 
-/** Per-tour context threaded through the pool's execute callback. */
-struct BinExecCtx
-{
-    detail::FaultCtx *fault;
-    bool contain;
-};
-
-std::uint64_t
-executeOneBin(Bin *bin, unsigned worker, void *ctxRaw)
-{
-    auto *ctx = static_cast<BinExecCtx *>(ctxRaw);
-    // The thread-local marker covers exactly the span where user
-    // threads run, so fork() can reject the unsynchronized-ready-list
-    // race from any pool worker, persistent or not.
-    ParallelWorkerScope in_worker;
-    // Abort keeps the historic uncontained fast path: an escaped
-    // exception hits the worker-thread boundary (std::terminate on a
-    // helper; rethrown on the caller for worker 0).
-    return ctx->contain
-               ? detail::executeBinGuarded(bin, *ctx->fault, worker)
-               : detail::executeBin(bin);
-}
-
 } // namespace
-
-namespace detail
-{
-
-bool
-inParallelWorker()
-{
-    return t_inParallelWorker;
-}
-
-} // namespace detail
 
 std::uint64_t
 LocalityScheduler::runParallel(unsigned workers, bool keep)
@@ -187,8 +153,13 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     LSCHED_ASSERT(!running_, "recursive run()");
     if (workers == 0)
         workers = std::thread::hardware_concurrency();
-    if (workers <= 1)
+    if (workers <= 1 || config_.backend == BackendKind::Serial) {
+        // One worker — or the serial backend, whose tour is exactly
+        // run()'s ordered walk (no helpers, so no watchdog either).
+        if (obs::metricsOn() && config_.backend == BackendKind::Serial)
+            backendToursCounter(BackendKind::Serial).add();
         return run(keep);
+    }
 
     running_ = true;
     nestedForkOk_ = false;
@@ -197,15 +168,18 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
 
     detail::RunGuard guard{*this, nullptr};
     detail::FaultCtx ctx(config_.onError, &lastFaults_);
-    const bool contain = ctx.policy != ErrorPolicy::Abort;
 
-    const std::vector<Bin *> tour =
+    std::vector<Bin *> tour =
         orderBins(config_.tour, readyBins(), config_.dims);
+    const bool superBins = placement_->hierarchical();
+    if (superBins)
+        tour = groupBySuperBins(std::move(tour));
 
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
                        table_.binCount(), workers);
     if (obs::metricsOn()) {
         detail::schedInstruments().runs->add();
+        backendToursCounter(config_.backend).add();
         // Hops of the nominal tour; interleaving across workers is
         // visible in the trace, not the histogram.
         detail::recordTourHops(tour, config_.dims);
@@ -217,42 +191,30 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
         currentBin[w].store(detail::kWorkerIdle,
                             std::memory_order_relaxed);
 
-    BinExecCtx execCtx{&ctx, contain};
-    detail::PoolJob job;
-    job.tour = tour.data();
-    job.bins = tour.size();
-    job.workers = workers;
-    job.execute = &executeOneBin;
-    job.ctx = &execCtx;
-    job.stop = ctx.policy == ErrorPolicy::StopTour ? &ctx.stop : nullptr;
-    job.currentBin = currentBin.get();
+    TourSpec spec;
+    spec.tour = tour.data();
+    spec.bins = tour.size();
+    spec.workers = workers;
+    spec.fault = &ctx;
+    spec.pinWorkers = config_.pinWorkers;
+    spec.honorSuperBins = superBins;
+    spec.currentBin = currentBin.get();
+    if (config_.backend == BackendKind::Pooled) {
+        if (!workerPool_)
+            workerPool_ =
+                std::make_unique<WorkerPool>(config_.pinWorkers);
+        spec.pool = workerPool_.get();
+    } else {
+        spec.retiredStats = &retiredPoolStats_;
+    }
 
+    std::uint64_t executed = 0;
     {
         WatchdogGuard watchdog(config_.watchdogMillis, currentBin.get(),
                                workers);
-        if (config_.persistentPool) {
-            if (!workerPool_) {
-                workerPool_ =
-                    std::make_unique<WorkerPool>(config_.pinWorkers);
-            }
-            workerPool_->runTour(job);
-        } else {
-            // Historic cold path: a throwaway pool, so every tour pays
-            // thread creation/join — the baseline ablation_smp compares
-            // the warm pool against.
-            WorkerPool cold(config_.pinWorkers);
-            try {
-                cold.runTour(job);
-            } catch (...) {
-                retiredPoolStats_ += cold.stats();
-                throw;
-            }
-            retiredPoolStats_ += cold.stats();
-        }
+        executed = executionBackend(config_.backend).runTour(spec);
     }
 
-    const std::uint64_t executed =
-        job.executed.load(std::memory_order_relaxed);
     const bool faultedStop = ctx.first != nullptr;
     if (!keep && !faultedStop) {
         for (Bin *bin : tour) {

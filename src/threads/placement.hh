@@ -1,0 +1,201 @@
+/**
+ * @file
+ * The placement layer: *where* a forked thread goes.
+ *
+ * The paper marries a placement policy (hash address hints into
+ * cache-sized blocks) to an execution mechanism (run each bin to
+ * completion). This interface makes the policy half first-class and
+ * swappable — BubbleSched-style — so a new placement is one class, not
+ * a cross-cutting change to fork()/BinTable:
+ *
+ *  - BlockHashPlacement — the paper's algorithm: hints divide into
+ *    block coordinates (block_map.hh), with optional symmetric-hint
+ *    folding. The default, and the only policy that uses the hints'
+ *    *values*.
+ *  - RoundRobinPlacement — the locality-oblivious baseline: forks
+ *    cycle over a fixed set of bins regardless of hints, giving the
+ *    same bin count and occupancy as a hashed placement but scrambled
+ *    membership. Benches previously faked this by zeroing hints.
+ *  - HierarchicalPlacement — two-level: hints map to an L2 block as
+ *    in BlockHash, and blocks additionally group into worker-sized
+ *    super-bins (a bubble at bin granularity). The parallel tour
+ *    keeps a super-bin's bins contiguous and the partitioner hands
+ *    whole super-bins to one worker.
+ *
+ * A policy may be stateful (RoundRobin's cursor, Hierarchical's
+ * super-bin ids); place() is therefore non-const. The scheduler calls
+ * it only from fork(), which is single-threaded by construction.
+ */
+
+#ifndef LSCHED_THREADS_PLACEMENT_HH
+#define LSCHED_THREADS_PLACEMENT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "threads/bin.hh"
+#include "threads/block_map.hh"
+#include "threads/hints.hh"
+
+namespace lsched::threads
+{
+
+/** Selectable placement policies (SchedulerConfig::placement). */
+enum class PlacementKind : std::uint8_t
+{
+    /** The paper's hint→block hash (block_map.hh). */
+    BlockHash,
+    /** Locality-oblivious round-robin over a fixed bin count. */
+    RoundRobin,
+    /** Block hash plus worker-sized super-bin grouping. */
+    Hierarchical,
+};
+
+/** Printable name of a placement ("blockhash", ...). */
+const char *placementName(PlacementKind kind);
+
+/** Parse a placement name; false (and *out untouched) when unknown. */
+bool tryPlacementFromName(const std::string &name, PlacementKind *out);
+
+/** Parse a placement name; fatal on an unknown one (CLI path). */
+PlacementKind placementFromName(const std::string &name);
+
+/** Where one fork lands. */
+struct PlacementDecision
+{
+    /** Block coordinates — the bin's search key. */
+    BlockCoords coords{};
+    /** Super-bin group; kNoSuperBin under flat placements. */
+    std::uint32_t superBin = kNoSuperBin;
+};
+
+/** Hint vector → bin decision (the policy half of the scheduler). */
+class PlacementPolicy
+{
+  public:
+    virtual ~PlacementPolicy();
+
+    /** Decide the bin for a fork with the given hints. */
+    virtual PlacementDecision place(std::span<const Hint> hints) = 0;
+
+    /** Which policy this is. */
+    virtual PlacementKind kind() const = 0;
+
+    /** True when place() assigns super-bins. */
+    virtual bool hierarchical() const { return false; }
+
+    /** Printable policy name. */
+    const char *name() const { return placementName(kind()); }
+};
+
+/** The paper's placement: block-hash the hints (+ symmetric fold). */
+class BlockHashPlacement final : public PlacementPolicy
+{
+  public:
+    BlockHashPlacement(unsigned dims, std::uint64_t blockBytes,
+                       bool symmetric)
+        : map_(dims, blockBytes, symmetric)
+    {
+    }
+
+    PlacementDecision
+    place(std::span<const Hint> hints) override
+    {
+        return {map_.coordsFor(hints), kNoSuperBin};
+    }
+
+    PlacementKind kind() const override
+    {
+        return PlacementKind::BlockHash;
+    }
+
+    /** The underlying hint→block map (tests, fiber scheduler). */
+    const BlockMap &blockMap() const { return map_; }
+
+  private:
+    BlockMap map_;
+};
+
+/** Locality-oblivious baseline: forks cycle over @p bins bins. */
+class RoundRobinPlacement final : public PlacementPolicy
+{
+  public:
+    /** Bins cycled over when the config leaves the count at 0. */
+    static constexpr std::uint64_t kDefaultBins = 64;
+
+    explicit RoundRobinPlacement(std::uint64_t bins)
+        : bins_(bins ? bins : kDefaultBins)
+    {
+    }
+
+    PlacementDecision
+    place(std::span<const Hint>) override
+    {
+        PlacementDecision d;
+        d.coords[0] = next_++ % bins_;
+        return d;
+    }
+
+    PlacementKind kind() const override
+    {
+        return PlacementKind::RoundRobin;
+    }
+
+  private:
+    std::uint64_t bins_;
+    std::uint64_t next_ = 0;
+};
+
+/**
+ * Two-level placement: the paper's block hash for the bin, plus a
+ * coarser super-bin — @p fan adjacent blocks per dimension — that the
+ * parallel partitioner keeps on one worker. Super-bin ids are assigned
+ * in creation order, so grouping the tour by id is deterministic.
+ */
+class HierarchicalPlacement final : public PlacementPolicy
+{
+  public:
+    /** Blocks per super-bin per dimension when the config says 0. */
+    static constexpr std::uint64_t kDefaultFan = 4;
+
+    HierarchicalPlacement(unsigned dims, std::uint64_t blockBytes,
+                          bool symmetric, std::uint64_t fan)
+        : map_(dims, blockBytes, symmetric), fan_(fan ? fan : kDefaultFan)
+    {
+    }
+
+    PlacementDecision place(std::span<const Hint> hints) override;
+
+    PlacementKind kind() const override
+    {
+        return PlacementKind::Hierarchical;
+    }
+
+    bool hierarchical() const override { return true; }
+
+    /** Super-bins created so far. */
+    std::size_t superBinCount() const { return superIds_.size(); }
+
+  private:
+    BlockMap map_;
+    std::uint64_t fan_;
+    /** Super-bin coordinates → creation-order id. */
+    std::map<BlockCoords, std::uint32_t> superIds_;
+};
+
+/**
+ * Build the placement a SchedulerConfig selects. @p roundRobinBins
+ * and @p superBinFan are the policy parameters (0 = policy default);
+ * policies that do not use them ignore them.
+ */
+std::unique_ptr<PlacementPolicy>
+makePlacement(PlacementKind kind, unsigned dims,
+              std::uint64_t blockBytes, bool symmetricHints,
+              std::uint64_t roundRobinBins, std::uint64_t superBinFan);
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_PLACEMENT_HH

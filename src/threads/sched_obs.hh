@@ -1,9 +1,9 @@
 /**
  * @file
  * Internal observability glue for the locality scheduler: the cached
- * registry instruments shared by scheduler.cc and
- * parallel_scheduler.cc, and the instrumented bin-execution loop both
- * run paths use.
+ * registry instruments shared by scheduler.cc, the execution backends,
+ * and the worker pool, plus the tour-hop helpers. The instrumented
+ * bin-execution loop itself lives in bin_exec.hh.
  *
  * Everything here is gated on obs::traceOn() / obs::metricsOn(); with
  * the LSCHED_TRACE_ENABLED build option off those fold to constant
@@ -18,7 +18,6 @@
 
 #include "obs/registry.hh"
 #include "obs/trace.hh"
-#include "support/failpoint.hh"
 #include "threads/bin.hh"
 #include "threads/fault.hh"
 
@@ -43,124 +42,6 @@ struct SchedInstruments
 
 /** Lazily resolved singleton (defined in scheduler.cc). */
 const SchedInstruments &schedInstruments();
-
-/**
- * Execute all threads in @p bin, in fork order. Re-reads group counts
- * and next links each step so threads forked into this very bin during
- * execution (nested fork) are picked up. Emits BinStart/ThreadStart/
- * ThreadEnd/BinEnd events when tracing and the per-bin dwell-time and
- * threads-per-bin histograms when metrics are on.
- */
-inline std::uint64_t
-executeBin(Bin *bin)
-{
-    // Under ErrorPolicy::Abort this injected failure propagates like
-    // any user-thread exception would (the guarded variant below
-    // contains it instead).
-    LSCHED_FAILPOINT("sched.bin.execute");
-    const bool traced = obs::traceOn();
-    const bool metered = obs::metricsOn();
-    const std::uint64_t t0 = (traced || metered) ? obs::nowNs() : 0;
-
-    std::uint64_t executed = 0;
-    if (traced) {
-        obs::TraceSession &session = obs::TraceSession::global();
-        session.record(obs::EventType::BinStart, bin->id,
-                       bin->threadCount);
-        for (ThreadGroup *g = bin->groupsHead; g; g = g->next) {
-            for (std::uint32_t i = 0; i < g->count; ++i) {
-                const ThreadSpec &t = g->specs[i];
-                session.record(obs::EventType::ThreadStart, bin->id);
-                t.fn(t.arg1, t.arg2);
-                session.record(obs::EventType::ThreadEnd, bin->id);
-                ++executed;
-            }
-        }
-        session.record(obs::EventType::BinEnd, bin->id, executed);
-    } else {
-        for (ThreadGroup *g = bin->groupsHead; g; g = g->next) {
-            for (std::uint32_t i = 0; i < g->count; ++i) {
-                const ThreadSpec &t = g->specs[i];
-                t.fn(t.arg1, t.arg2);
-                ++executed;
-            }
-        }
-    }
-
-    if (metered) {
-        const SchedInstruments &ins = schedInstruments();
-        ins.executed->add(executed);
-        ins.threadsPerBin->record(executed);
-        ins.binDwellNs->record(obs::nowNs() - t0);
-    }
-    return executed;
-}
-
-/**
- * executeBin with per-thread exception containment — the run loops
- * select this variant when the policy is StopTour or
- * ContinueAndCollect, so the Abort fast path above stays untouched.
- * Returns the number of threads that completed; faulted threads are
- * recorded through noteFault(). Under StopTour the remainder of the
- * bin is skipped after the first fault.
- */
-inline std::uint64_t
-executeBinGuarded(Bin *bin, FaultCtx &ctx, unsigned worker)
-{
-    const bool traced = obs::traceOn();
-    const bool metered = obs::metricsOn();
-    const std::uint64_t t0 = (traced || metered) ? obs::nowNs() : 0;
-
-    std::uint64_t executed = 0;
-    if (traced) {
-        obs::TraceSession::global().record(obs::EventType::BinStart,
-                                           bin->id, bin->threadCount);
-    }
-    bool stopped = false;
-    try {
-        // Injection site standing in for a failure at the top of bin
-        // execution (a bad bin, a poisoned group chain, ...).
-        LSCHED_FAILPOINT("sched.bin.execute");
-    } catch (...) {
-        noteFault(ctx, bin->id, worker);
-        stopped = ctx.policy == ErrorPolicy::StopTour;
-    }
-    for (ThreadGroup *g = bin->groupsHead; g && !stopped; g = g->next) {
-        for (std::uint32_t i = 0; i < g->count; ++i) {
-            try {
-                if (traced) {
-                    obs::TraceSession::global().record(
-                        obs::EventType::ThreadStart, bin->id);
-                }
-                const ThreadSpec &t = g->specs[i];
-                t.fn(t.arg1, t.arg2);
-                if (traced) {
-                    obs::TraceSession::global().record(
-                        obs::EventType::ThreadEnd, bin->id);
-                }
-                ++executed;
-            } catch (...) {
-                noteFault(ctx, bin->id, worker);
-                if (ctx.policy == ErrorPolicy::StopTour) {
-                    stopped = true;
-                    break;
-                }
-            }
-        }
-    }
-    if (traced) {
-        obs::TraceSession::global().record(obs::EventType::BinEnd,
-                                           bin->id, executed);
-    }
-
-    if (metered) {
-        const SchedInstruments &ins = schedInstruments();
-        ins.executed->add(executed);
-        ins.threadsPerBin->record(executed);
-        ins.binDwellNs->record(obs::nowNs() - t0);
-    }
-    return executed;
-}
 
 /** Manhattan distance between two bins' block coordinates. */
 inline std::uint64_t

@@ -2,6 +2,7 @@
 
 #include "support/error.hh"
 #include "support/panic.hh"
+#include "threads/bin_exec.hh"
 #include "threads/sched_obs.hh"
 
 namespace lsched::threads
@@ -65,6 +66,30 @@ noteFault(FaultCtx &ctx, std::uint32_t binId, unsigned worker)
 namespace
 {
 
+/** Per-placement fork counters (sched.placement.<name>.forked). */
+obs::Counter &
+placementForkedCounter(PlacementKind kind)
+{
+    static obs::Counter *const counters[] = {
+        &obs::Registry::global().counter(
+            "sched.placement.blockhash.forked"),
+        &obs::Registry::global().counter(
+            "sched.placement.roundrobin.forked"),
+        &obs::Registry::global().counter(
+            "sched.placement.hierarchical.forked"),
+    };
+    return *counters[static_cast<std::size_t>(kind)];
+}
+
+/** The placement instance a validated configuration selects. */
+std::unique_ptr<PlacementPolicy>
+placementFor(const SchedulerConfig &config)
+{
+    return makePlacement(config.placement, config.dims,
+                         config.blockBytes, config.symmetricHints,
+                         config.roundRobinBins, config.superBinFan);
+}
+
 /**
  * Normalize defaults and reject unusable configurations. The zeros
  * that the paper's th_init documents as "pick the default" stay
@@ -74,6 +99,21 @@ namespace
 SchedulerConfig
 validated(SchedulerConfig config)
 {
+    // Process-wide --placement/--backend overrides beat per-scheduler
+    // settings, mirroring how --trace turns tracing on globally.
+    if (const PlacementKind *p = detail::placementOverride())
+        config.placement = *p;
+    if (const BackendKind *b = detail::backendOverride())
+        config.backend = *b;
+    // The legacy persistentPool knob and the backend enum describe the
+    // same choice; keep them mutually consistent, with the backend
+    // winning when it was set away from the default.
+    if (config.backend == BackendKind::ColdSpawn)
+        config.persistentPool = false;
+    else if (config.backend == BackendKind::Pooled &&
+             !config.persistentPool)
+        config.backend = BackendKind::ColdSpawn;
+
     if (config.dims < 1 || config.dims > kMaxDims) {
         throw ConfigError(lsched::detail::concatMessage(
             "dims must be in [1, ", kMaxDims, "], got ", config.dims));
@@ -106,7 +146,7 @@ validated(SchedulerConfig config)
 
 LocalityScheduler::LocalityScheduler(const SchedulerConfig &config)
     : config_(validated(config)),
-      blockMap_(config_.dims, config_.blockBytes, config_.symmetricHints),
+      placement_(placementFor(config_)),
       table_(config_.dims, config_.hashBuckets),
       pool_(config_.groupCapacity)
 {
@@ -128,8 +168,7 @@ LocalityScheduler::configure(const SchedulerConfig &config)
     // previous one fully intact.
     const SchedulerConfig next = validated(config);
     config_ = next;
-    blockMap_ = BlockMap(config_.dims, config_.blockBytes,
-                         config_.symmetricHints);
+    placement_ = placementFor(config_);
     table_ = BinTable(config_.dims, config_.hashBuckets);
     pool_ = GroupPool(config_.groupCapacity);
     readyHead_ = nullptr;
@@ -156,6 +195,31 @@ LocalityScheduler::appendReady(Bin *bin)
 }
 
 void
+LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2, Hint hint1,
+                        Hint hint2, Hint hint3)
+{
+    const Hint hints[3] = {hint1, hint2, hint3};
+    unsigned n = 3;
+    if (config_.dims < 3) {
+        // Truncate explicitly: a non-zero hint beyond dims would be
+        // silently ignored (it never reaches the block map), which is
+        // always a caller bug — surface it.
+        for (unsigned d = config_.dims; d < 3; ++d) {
+            if (hints[d] != 0) {
+                throw UsageError(lsched::detail::concatMessage(
+                    "fork: hint ", d + 1, " is non-zero but the "
+                    "scheduler has only ", config_.dims,
+                    " dimension(s); pass 0 or raise dims"));
+            }
+        }
+        n = config_.dims;
+    }
+    // dims > 3: the block map zero-extends the missing trailing
+    // dimensions, per the paper's th_fork.
+    fork(fn, arg1, arg2, std::span<const Hint>(hints, n));
+}
+
+void
 LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
                         std::span<const Hint> hints)
 {
@@ -176,24 +240,27 @@ LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
                          "the creation-order tour");
     }
 
-    const BlockCoords coords = blockMap_.coordsFor(hints);
+    const PlacementDecision where = placement_->place(hints);
     std::uint32_t probes = 0;
-    const auto [bin, created] = table_.findOrCreate(coords, &probes);
+    const auto [bin, created] = table_.findOrCreate(where.coords, &probes);
+    if (created)
+        bin->superBin = where.superBin;
     if (obs::anyOn()) [[unlikely]] {
         if (obs::metricsOn()) {
             const detail::SchedInstruments &ins =
                 detail::schedInstruments();
             ins.forked->add();
+            placementForkedCounter(config_.placement).add();
             ins.hashProbes->record(probes);
             if (created)
                 ins.binsCreated->add();
         }
         if (created) {
             LSCHED_TRACE_EVENT(obs::EventType::BinCreate, bin->id,
-                               coords[0], coords[1]);
+                               where.coords[0], where.coords[1]);
         }
         LSCHED_TRACE_EVENT(obs::EventType::ThreadFork, bin->id,
-                           coords[0], coords[1]);
+                           where.coords[0], where.coords[1]);
     }
 
     ThreadGroup *group = bin->groupsTail;
@@ -226,7 +293,6 @@ LocalityScheduler::run(bool keep)
     Bin *inFlight = nullptr;
     detail::RunGuard guard{*this, &inFlight};
     detail::FaultCtx ctx(config_.onError, &lastFaults_);
-    const bool contain = ctx.policy != ErrorPolicy::Abort;
 
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
                        table_.binCount(), 1);
@@ -253,8 +319,7 @@ LocalityScheduler::run(bool keep)
                 }
                 prev = bin;
             }
-            executed += contain ? detail::executeBinGuarded(bin, ctx, 0)
-                                : detail::executeBin(bin);
+            executed += detail::executeBin(bin, ctx, 0);
             pool_.recycleChain(bin->groupsHead);
             bin->clearGroups();
             inFlight = nullptr;
@@ -273,12 +338,16 @@ LocalityScheduler::run(bool keep)
             orderBins(config_.tour, readyBins(), config_.dims);
         if (obs::metricsOn())
             detail::recordTourHops(tour, config_.dims);
-        for (Bin *bin : tour) {
-            if (ctx.stopRequested())
-                break;
-            executed += contain ? detail::executeBinGuarded(bin, ctx, 0)
-                                : detail::executeBin(bin);
-        }
+        // The ordered tour is exactly a one-worker tour: delegate to
+        // the serial execution backend so this path and runParallel()
+        // share one mechanism.
+        TourSpec spec;
+        spec.tour = tour.data();
+        spec.bins = tour.size();
+        spec.workers = 1;
+        spec.fault = &ctx;
+        executed +=
+            executionBackend(BackendKind::Serial).runTour(spec);
         if (!keep && !ctx.stopRequested()) {
             for (Bin *bin : tour) {
                 pool_.recycleChain(bin->groupsHead);

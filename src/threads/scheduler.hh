@@ -30,14 +30,16 @@
 #define LSCHED_THREADS_SCHEDULER_HH
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "support/stats.hh"
-#include "threads/block_map.hh"
+#include "threads/execution.hh"
 #include "threads/fault.hh"
 #include "threads/hash_table.hh"
 #include "threads/hints.hh"
+#include "threads/placement.hh"
 #include "threads/thread_group.hh"
 #include "threads/tour.hh"
 #include "threads/worker_pool.hh"
@@ -63,6 +65,27 @@ struct SchedulerConfig
     std::uint32_t groupCapacity = 64;
     /** Fold symmetric hint permutations into one bin. */
     bool symmetricHints = false;
+    /**
+     * Hint→bin placement policy (placement.hh). BlockHash is the
+     * paper's algorithm; RoundRobin the locality-oblivious baseline;
+     * Hierarchical adds worker-sized super-bins the parallel
+     * partitioner keeps on one worker. Overridable per process with
+     * the --placement CLI flag.
+     */
+    PlacementKind placement = PlacementKind::BlockHash;
+    /**
+     * Parallel execution backend (execution.hh). Pooled is the
+     * persistent work-stealing pool; ColdSpawn the spawn-per-tour
+     * baseline (implies persistentPool == false); Serial makes
+     * runParallel() run the tour on the caller alone. Overridable per
+     * process with the --backend CLI flag.
+     */
+    BackendKind backend = BackendKind::Pooled;
+    /** RoundRobin placement: bins cycled over (0 = policy default). */
+    std::uint64_t roundRobinBins = 0;
+    /** Hierarchical placement: blocks per super-bin per dimension
+     *  (0 = policy default). */
+    std::uint64_t superBinFan = 0;
     /** Bin traversal order. */
     TourPolicy tour = TourPolicy::CreationOrder;
     /** What to do with an exception escaping a user thread. */
@@ -149,14 +172,16 @@ class LocalityScheduler
      * Create and schedule a thread (the paper's th_fork). Hints are
      * the addresses of the data the thread will reference; unused
      * hints are 0.
+     *
+     * The hint span is adapted to config().dims explicitly: with
+     * dims > 3 the missing trailing dimensions behave as hint 0
+     * (zero-extension, as the paper's th_fork documents); with
+     * dims < 3 the surplus hints are truncated, which is a UsageError
+     * when a truncated hint is non-zero — it would otherwise be
+     * silently ignored.
      */
-    void
-    fork(ThreadFn fn, void *arg1, void *arg2, Hint hint1 = 0,
-         Hint hint2 = 0, Hint hint3 = 0)
-    {
-        const Hint hints[3] = {hint1, hint2, hint3};
-        fork(fn, arg1, arg2, std::span<const Hint>(hints, 3));
-    }
+    void fork(ThreadFn fn, void *arg1, void *arg2, Hint hint1 = 0,
+              Hint hint2 = 0, Hint hint3 = 0);
 
     /** Fork with an arbitrary hint vector (k-dimensional case). */
     void fork(ThreadFn fn, void *arg1, void *arg2,
@@ -230,12 +255,19 @@ class LocalityScheduler
         return s;
     }
 
-    /** Block coordinates a given hint vector maps to (for tests). */
+    /**
+     * Block coordinates a given hint vector maps to (for tests).
+     * Non-const: a stateful placement (RoundRobin's cursor) advances
+     * exactly as a fork with these hints would.
+     */
     BlockCoords
-    coordsFor(std::span<const Hint> hints) const
+    coordsFor(std::span<const Hint> hints)
     {
-        return blockMap_.coordsFor(hints);
+        return placement_->place(hints).coords;
     }
+
+    /** The active placement policy (inspection; tests). */
+    const PlacementPolicy &placementPolicy() const { return *placement_; }
 
   private:
     friend struct detail::RunGuard;
@@ -252,7 +284,8 @@ class LocalityScheduler
     void abandonRun(Bin *inFlight) noexcept;
 
     SchedulerConfig config_;
-    BlockMap blockMap_;
+    /** The placement layer: hint vector → bin decision. */
+    std::unique_ptr<PlacementPolicy> placement_;
     BinTable table_;
     GroupPool pool_;
     /** Persistent parallel workers; created at first runParallel(). */

@@ -183,6 +183,17 @@ orderBins(TourPolicy policy, std::vector<Bin *> bins, unsigned dims)
     return bins;
 }
 
+std::vector<Bin *>
+groupBySuperBins(std::vector<Bin *> bins)
+{
+    // kNoSuperBin is the maximum id, so ungrouped bins sort last.
+    std::stable_sort(bins.begin(), bins.end(),
+                     [](const Bin *a, const Bin *b) {
+                         return a->superBin < b->superBin;
+                     });
+    return bins;
+}
+
 std::uint64_t
 tourLength(const std::vector<Bin *> &bins, unsigned dims)
 {

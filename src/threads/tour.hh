@@ -53,6 +53,15 @@ std::vector<Bin *> orderBins(TourPolicy policy,
  */
 std::uint64_t tourLength(const std::vector<Bin *> &bins, unsigned dims);
 
+/**
+ * Regroup an ordered tour so every super-bin's bins are contiguous
+ * (HierarchicalPlacement): stable sort by super-bin id, so the tour
+ * order within each super-bin — and among bins without one, which
+ * sort last — is preserved. The parallel partitioner can then hand
+ * whole super-bins to one worker (PoolJob::honorSuperBins).
+ */
+std::vector<Bin *> groupBySuperBins(std::vector<Bin *> bins);
+
 } // namespace lsched::threads
 
 #endif // LSCHED_THREADS_TOUR_HH

@@ -123,6 +123,18 @@ WorkerPool::partition(const detail::PoolJob &job)
                 seen += job.tour[end]->threadCount;
                 ++end;
             }
+            if (job.honorSuperBins) {
+                // Snap the boundary forward so a super-bin — bins a
+                // hierarchical placement pinned together — never
+                // splits across two workers' segments.
+                while (end > start && end < job.bins &&
+                       job.tour[end]->superBin != kNoSuperBin &&
+                       job.tour[end]->superBin ==
+                           job.tour[end - 1]->superBin) {
+                    seen += job.tour[end]->threadCount;
+                    ++end;
+                }
+            }
         }
         slots_[w]->deque.reset(job.tour + start,
                                static_cast<std::uint32_t>(end - start));

@@ -183,6 +183,10 @@ struct PoolJob
      *  between bins, kWorkerDone after the segment drains. May be
      *  null. */
     std::atomic<std::int64_t> *currentBin = nullptr;
+    /** Never split a super-bin across segments: the partitioner snaps
+     *  each segment boundary forward to the next super-bin edge. The
+     *  tour must already be grouped (groupBySuperBins). */
+    bool honorSuperBins = false;
     /** Total user threads executed (all workers). */
     std::atomic<std::uint64_t> executed{0};
 };

@@ -162,6 +162,82 @@ TEST_F(CApiTest, StatsReturnsPlainCSnapshot)
     EXPECT_DOUBLE_EQ(after.threads_per_bin_max, 0.0);
 }
 
+TEST_F(CApiTest, SymmetricHintsFoldPermutedForksIntoOneBin)
+{
+    // Paper Section 3.2's symmetric-hint option, driven end to end
+    // through th_fork: every permutation of the same three addresses
+    // must land in one bin once folding is on — and in six distinct
+    // bins when it is off (the global scheduler's config carries
+    // through the C boundary).
+    auto &sched = th_default_scheduler();
+    const auto saved = sched.config();
+    auto cfg = saved;
+    cfg.symmetricHints = true;
+    sched.configure(cfg);
+
+    void *const h[3] = {reinterpret_cast<void *>(0x100000),
+                        reinterpret_cast<void *>(0x900000),
+                        reinterpret_cast<void *>(0x1100000)};
+    const int perms[6][3] = {{0, 1, 2}, {0, 2, 1}, {1, 0, 2},
+                             {1, 2, 0}, {2, 0, 1}, {2, 1, 0}};
+    for (const auto &p : perms)
+        th_fork(&record, nullptr, nullptr, h[p[0]], h[p[1]], h[p[2]]);
+    const th_stats_t folded = th_stats();
+    EXPECT_EQ(folded.pending_threads, 6u);
+    EXPECT_EQ(folded.occupied_bins, 1u);
+    EXPECT_DOUBLE_EQ(folded.threads_per_bin_max, 6.0);
+    th_run(0);
+    EXPECT_EQ(g_order.size(), 6u);
+
+    cfg.symmetricHints = false;
+    sched.configure(cfg);
+    for (const auto &p : perms)
+        th_fork(&record, nullptr, nullptr, h[p[0]], h[p[1]], h[p[2]]);
+    EXPECT_EQ(th_stats().occupied_bins, 6u);
+    th_run(0);
+
+    sched.configure(saved);
+}
+
+TEST_F(CApiTest, SetPlacementAndBackendSelectAtRuntime)
+{
+    const th_stats_t defaults = th_stats();
+    EXPECT_EQ(defaults.placement, 0) << "blockhash by default";
+    EXPECT_EQ(defaults.backend, 1) << "pooled by default";
+
+    EXPECT_EQ(th_set_placement("roundrobin"), 0);
+    EXPECT_EQ(th_stats().placement, 1);
+    // Round-robin really is in charge now: identical hints spread.
+    for (int i = 0; i < 8; ++i)
+        th_fork(&record, nullptr, nullptr,
+                reinterpret_cast<void *>(0x100000), nullptr, nullptr);
+    EXPECT_EQ(th_stats().occupied_bins, 8u);
+    th_run(0);
+    EXPECT_EQ(g_order.size(), 8u);
+
+    EXPECT_EQ(th_set_backend("serial"), 0);
+    EXPECT_EQ(th_stats().backend, 0);
+    EXPECT_EQ(th_set_backend("coldspawn"), 0);
+    EXPECT_EQ(th_stats().backend, 2);
+
+    th_clear_error();
+    EXPECT_EQ(th_set_placement("bogus"), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+    th_clear_error();
+    EXPECT_EQ(th_set_backend("bogus"), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+    th_clear_error();
+    EXPECT_EQ(th_set_placement(nullptr), -1);
+    EXPECT_EQ(th_set_backend(nullptr), -1);
+    th_clear_error();
+
+    // Restore the global scheduler for the other fixtures.
+    EXPECT_EQ(th_set_placement("blockhash"), 0);
+    EXPECT_EQ(th_set_backend("pooled"), 0);
+    EXPECT_EQ(th_stats().placement, 0);
+    EXPECT_EQ(th_stats().backend, 1);
+}
+
 TEST_F(CApiTest, TraceControlsWriteFiles)
 {
     if (!lsched::obs::kTraceCompiled)

@@ -329,7 +329,9 @@ TEST_F(ErrorPolicyTest, WatchdogWarnsWhenATourOverrunsItsDeadline)
         static void
         call(void *, void *)
         {
-            std::this_thread::sleep_for(std::chrono::milliseconds(120));
+            // Long enough that even a starved monitor thread (one-CPU
+            // CI box, parallel TSan jobs) gets a deadline check in.
+            std::this_thread::sleep_for(std::chrono::milliseconds(400));
         }
     };
     s.fork(&Sleeper::call, nullptr, nullptr, 0, 0);

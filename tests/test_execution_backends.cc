@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the execution layer (threads/execution.hh): the three
+ * backends run the same fork set exactly once with identical per-bin
+ * membership, cold-spawn pays threads per tour where pooled does not,
+ * and fault containment behaves identically on every backend (all of
+ * them route through the one executeBin()).
+ *
+ * Lives in the pool test binary: everything here must stay clean under
+ * LSCHED_SANITIZE=thread, so no death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "support/failpoint.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+namespace fp = lsched::failpoint;
+using namespace lsched::threads;
+
+SchedulerConfig
+backendCfg(BackendKind backend)
+{
+    SchedulerConfig c;
+    c.dims = 2;
+    c.blockBytes = 1 << 12;
+    c.backend = backend;
+    c.groupCapacity = 8;
+    return c;
+}
+
+/** Per-fork execution log: count and the bin that ran each tag. */
+struct ForkLog
+{
+    std::vector<std::atomic<std::uint32_t>> count;
+    std::vector<std::atomic<std::uint32_t>> bin;
+
+    explicit ForkLog(std::size_t forks) : count(forks), bin(forks)
+    {
+        for (std::size_t i = 0; i < forks; ++i) {
+            count[i].store(0);
+            bin[i].store(~0u);
+        }
+    }
+};
+
+struct TaggedArg
+{
+    ForkLog *log;
+    std::uint32_t tag;
+    std::uint32_t binTag;
+};
+
+void
+recordRun(void *arg, void *)
+{
+    const TaggedArg &t = *static_cast<const TaggedArg *>(arg);
+    t.log->count[t.tag].fetch_add(1, std::memory_order_relaxed);
+    t.log->bin[t.tag].store(t.binTag, std::memory_order_relaxed);
+}
+
+/** Fork kForks threads over kBlocks address blocks, round-robin. */
+constexpr std::size_t kForks = 96;
+constexpr std::size_t kBlocks = 12;
+
+void
+forkWorkload(LocalityScheduler &s, ForkLog &log,
+             std::vector<TaggedArg> &args)
+{
+    args.resize(kForks);
+    for (std::uint32_t i = 0; i < kForks; ++i) {
+        const std::uint32_t block = i % kBlocks;
+        args[i] = {&log, i, block};
+        s.fork(recordRun, &args[i], nullptr,
+               static_cast<Hint>(block) << 13, 0);
+    }
+}
+
+TEST(ExecutionBackends, SameForkSetSameBinsOnEveryBackend)
+{
+    // The acceptance property of the layer split: with BlockHash
+    // placement, backend choice changes *how* bins run, never *what*
+    // runs or which threads share a bin.
+    std::map<std::uint32_t, std::uint32_t> reference; // tag -> binTag
+    for (const BackendKind backend :
+         {BackendKind::Serial, BackendKind::Pooled,
+          BackendKind::ColdSpawn}) {
+        LocalityScheduler s(backendCfg(backend));
+        ForkLog log(kForks);
+        std::vector<TaggedArg> args;
+        forkWorkload(s, log, args);
+
+        EXPECT_EQ(s.runParallel(4), kForks)
+            << backendName(backend);
+        for (std::uint32_t i = 0; i < kForks; ++i) {
+            EXPECT_EQ(log.count[i].load(), 1u)
+                << backendName(backend) << " fork " << i;
+            if (backend == BackendKind::Serial)
+                reference[i] = log.bin[i].load();
+            else
+                EXPECT_EQ(log.bin[i].load(), reference[i])
+                    << backendName(backend) << " fork " << i
+                    << ": per-bin membership must match serial";
+        }
+        EXPECT_EQ(s.pendingThreads(), 0u);
+    }
+}
+
+TEST(ExecutionBackends, ColdSpawnPaysThreadsPerTourPooledDoesNot)
+{
+    const auto spawnsAfterThreeTours = [](BackendKind backend) {
+        LocalityScheduler s(backendCfg(backend));
+        for (int tour = 0; tour < 3; ++tour) {
+            ForkLog log(kForks);
+            std::vector<TaggedArg> args;
+            forkWorkload(s, log, args);
+            s.runParallel(4);
+        }
+        EXPECT_EQ(s.workerPoolStats().tours, 3u)
+            << backendName(backend);
+        return s.workerPoolStats().threadsSpawned;
+    };
+    EXPECT_EQ(spawnsAfterThreeTours(BackendKind::Pooled), 3u);
+    EXPECT_EQ(spawnsAfterThreeTours(BackendKind::ColdSpawn), 9u);
+}
+
+TEST(ExecutionBackends, SerialBackendIgnoresWorkerCount)
+{
+    // backend=serial must run the tour on the caller even when the
+    // caller asks for parallel workers — no pool is ever built.
+    LocalityScheduler s(backendCfg(BackendKind::Serial));
+    ForkLog log(kForks);
+    std::vector<TaggedArg> args;
+    forkWorkload(s, log, args);
+    EXPECT_EQ(s.runParallel(8), kForks);
+    EXPECT_EQ(s.workerPoolStats().threadsSpawned, 0u);
+    EXPECT_EQ(s.workerPoolStats().tours, 0u);
+}
+
+TEST(ExecutionBackends, StopTourContainsTheFaultOnEveryBackend)
+{
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    for (const BackendKind backend :
+         {BackendKind::Serial, BackendKind::Pooled,
+          BackendKind::ColdSpawn}) {
+        SchedulerConfig c = backendCfg(backend);
+        c.onError = ErrorPolicy::StopTour;
+        LocalityScheduler s(c);
+        fp::disarmAll();
+        ASSERT_TRUE(fp::arm("sched.bin.execute", "hit=2"));
+
+        ForkLog log(kForks);
+        std::vector<TaggedArg> args;
+        forkWorkload(s, log, args);
+        EXPECT_THROW(s.runParallel(4), fp::Injected)
+            << backendName(backend);
+        EXPECT_EQ(s.lastFaultCount(), 1u) << backendName(backend);
+        EXPECT_EQ(s.pendingThreads(), 0u) << backendName(backend);
+        fp::disarmAll();
+
+        // The scheduler (pool included) is immediately reusable.
+        ForkLog fresh(kForks);
+        forkWorkload(s, fresh, args);
+        EXPECT_EQ(s.runParallel(4), kForks) << backendName(backend);
+    }
+}
+
+TEST(ExecutionBackends, ContinueAndCollectRunsTheRestOnEveryBackend)
+{
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    for (const BackendKind backend :
+         {BackendKind::Serial, BackendKind::Pooled,
+          BackendKind::ColdSpawn}) {
+        SchedulerConfig c = backendCfg(backend);
+        c.onError = ErrorPolicy::ContinueAndCollect;
+        LocalityScheduler s(c);
+        fp::disarmAll();
+        // One bin's top-of-execution fault is recorded; every forked
+        // thread still runs (the fault fires before the first item).
+        ASSERT_TRUE(fp::arm("sched.bin.execute", "hit=3"));
+
+        ForkLog log(kForks);
+        std::vector<TaggedArg> args;
+        forkWorkload(s, log, args);
+        EXPECT_EQ(s.runParallel(4), kForks) << backendName(backend);
+        EXPECT_EQ(s.lastFaultCount(), 1u) << backendName(backend);
+        for (std::uint32_t i = 0; i < kForks; ++i)
+            EXPECT_EQ(log.count[i].load(), 1u)
+                << backendName(backend) << " fork " << i;
+        fp::disarmAll();
+    }
+}
+
+TEST(ExecutionBackends, ReconfigureKeepsSpawnCountersMonotone)
+{
+    // Satellite regression: workerPoolStats() must accumulate across
+    // configure() — the retired pool's spawns/steals/parks fold into
+    // the running totals instead of resetting, whichever backend
+    // retires them.
+    LocalityScheduler s(backendCfg(BackendKind::Pooled));
+    std::uint64_t lastSpawned = 0;
+    for (int round = 0; round < 3; ++round) {
+        ForkLog log(kForks);
+        std::vector<TaggedArg> args;
+        forkWorkload(s, log, args);
+        s.runParallel(3);
+        const WorkerPoolStats stats = s.workerPoolStats();
+        EXPECT_GE(stats.threadsSpawned, lastSpawned)
+            << "round " << round << ": threadsSpawned went backwards";
+        EXPECT_EQ(stats.threadsSpawned, 2u * (round + 1))
+            << "round " << round;
+        lastSpawned = stats.threadsSpawned;
+
+        SchedulerConfig next = backendCfg(
+            round % 2 ? BackendKind::Pooled : BackendKind::ColdSpawn);
+        s.configure(next); // retires the pool, stats must survive
+        EXPECT_EQ(s.workerPoolStats().threadsSpawned, lastSpawned)
+            << "round " << round << ": configure() dropped stats";
+    }
+    EXPECT_EQ(s.workerPoolStats().tours, 3u);
+}
+
+} // namespace

@@ -80,6 +80,31 @@ TEST_F(FortranApiTest, KeepByReferenceReRuns)
     EXPECT_EQ(th_default_scheduler().pendingThreads(), 0u);
 }
 
+TEST_F(FortranApiTest, SetPlacementAndBackendByNumericKind)
+{
+    // Fortran passes INTEGER kinds by reference; out-of-range values
+    // are recorded errors, not aborts.
+    const int roundrobin = 1, serial = 0, blockhash = 0, pooled = 1;
+    th_set_placement_(&roundrobin);
+    EXPECT_EQ(th_stats().placement, 1);
+    th_set_backend_(&serial);
+    EXPECT_EQ(th_stats().backend, 0);
+
+    th_clear_error();
+    const int bogus = 7;
+    th_set_placement_(&bogus);
+    EXPECT_NE(th_last_error(), nullptr);
+    th_clear_error();
+    th_set_backend_(&bogus);
+    EXPECT_NE(th_last_error(), nullptr);
+    th_clear_error();
+
+    th_set_placement_(&blockhash);
+    th_set_backend_(&pooled);
+    EXPECT_EQ(th_stats().placement, 0);
+    EXPECT_EQ(th_stats().backend, 1);
+}
+
 TEST_F(FortranApiTest, MixedCAndFortranCallsShareScheduler)
 {
     static double x = 1.0, f = 5.0;
