@@ -112,6 +112,17 @@ sliceArgs(const Event &e)
                       "\"worker\":%" PRIu64 ",\"epoch\":%" PRIu64, e.a,
                       e.b);
         break;
+      case EventType::StreamSeal:
+        std::snprintf(buf, sizeof buf,
+                      "\"bin\":%" PRIu64 ",\"epoch\":%" PRIu64
+                      ",\"threads\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
+      case EventType::Backpressure:
+        std::snprintf(buf, sizeof buf,
+                      "\"pending\":%" PRIu64 ",\"bound\":%" PRIu64, e.a,
+                      e.b);
+        break;
       default:
         return "";
     }

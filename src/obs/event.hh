@@ -56,6 +56,16 @@ enum class EventType : std::uint8_t
     StealBin,
     /** A pool worker parked between tours: (worker id, epoch, 0). */
     WorkerPark,
+    /**
+     * A streaming bin was sealed for draining:
+     * (bin id, seal epoch of that bin, threads in the sealed chain).
+     */
+    StreamSeal,
+    /**
+     * A streaming producer hit the maxPendingThreads bound:
+     * (pending threads at the time, configured bound, 0).
+     */
+    Backpressure,
 };
 
 /** Printable name of an event type. */
@@ -76,6 +86,8 @@ eventTypeName(EventType type)
       case EventType::WatchdogStall:  return "WatchdogStall";
       case EventType::StealBin:       return "StealBin";
       case EventType::WorkerPark:     return "WorkerPark";
+      case EventType::StreamSeal:     return "StreamSeal";
+      case EventType::Backpressure:   return "Backpressure";
     }
     return "?";
 }

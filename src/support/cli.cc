@@ -23,10 +23,12 @@ setCliObsHook(CliObsHook hook)
     g_obsHook = hook;
 }
 
-void
+CliSchedHook
 setCliSchedHook(CliSchedHook hook)
 {
+    const CliSchedHook previous = g_schedHook;
     g_schedHook = hook;
+    return previous;
 }
 
 Cli::Cli(std::string program, std::string blurb)
@@ -44,6 +46,11 @@ Cli::Cli(std::string program, std::string blurb)
     addString("backend", "",
               "parallel execution backend for every scheduler this "
               "program configures (serial|pooled|coldspawn)");
+    addString("sched", "",
+              "comma-separated key=value scheduler config overrides "
+              "applied to every scheduler this program configures "
+              "(any SchedulerConfig key, e.g. "
+              "tour=snake,stream_max_pending=4096)");
 }
 
 void
@@ -132,12 +139,13 @@ Cli::parse(int argc, const char *const *argv)
 
     const std::string &placement = getString("placement");
     const std::string &backend = getString("backend");
-    if (!placement.empty() || !backend.empty()) {
+    const std::string &sched = getString("sched");
+    if (!placement.empty() || !backend.empty() || !sched.empty()) {
         if (!g_schedHook) {
-            LSCHED_FATAL("--placement/--backend need the scheduler "
-                         "library (lsched_threads) linked in");
+            LSCHED_FATAL("--placement/--backend/--sched need the "
+                         "scheduler library (lsched_threads) linked in");
         }
-        g_schedHook(placement, backend);
+        g_schedHook(placement, backend, sched);
     }
 }
 

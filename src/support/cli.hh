@@ -8,11 +8,13 @@
  * Every Cli additionally understands the observability flags
  * --trace=<file> (Chrome trace-event JSON of the run) and
  * --metrics=<file> (metrics-registry dump; .json/.csv/text by
- * extension), plus the scheduler selection flags --placement=<policy>
- * and --backend=<backend>. Each pair is forwarded to the hook its
- * library installs at static-initialization time (setCliObsHook from
- * lsched_obs, setCliSchedHook from lsched_threads), so any binary
- * linking the schedulers honours them with no per-program code.
+ * extension), plus the scheduler flags --placement=<policy>,
+ * --backend=<backend>, and the generic --sched key=value[,key=value...]
+ * which reaches every string-keyed scheduler config knob. Each group is
+ * forwarded to the hook its library installs at static-initialization
+ * time (setCliObsHook from lsched_obs, setCliSchedHook from
+ * lsched_threads), so any binary linking the schedulers honours them
+ * with no per-program code.
  */
 
 #ifndef LSCHED_SUPPORT_CLI_HH
@@ -37,17 +39,20 @@ using CliObsHook = void (*)(const std::string &trace_path,
  */
 void setCliObsHook(CliObsHook hook);
 
-/** Receiver for the built-in --placement/--backend values. */
+/** Receiver for the built-in --placement/--backend/--sched values. */
 using CliSchedHook = void (*)(const std::string &placement,
-                              const std::string &backend);
+                              const std::string &backend,
+                              const std::string &sched);
 
 /**
  * Install the scheduler-selection hook Cli::parse() calls when
- * --placement or --backend was given. Registered by the scheduler
- * library's static initializer; a program that lacks it fails fatally
- * when the flags are used rather than dropping them silently.
+ * --placement, --backend, or --sched was given, returning the hook
+ * previously installed (so a test can capture and restore). Registered
+ * by the scheduler library's static initializer; a program that lacks
+ * it fails fatally when the flags are used rather than dropping them
+ * silently.
  */
-void setCliSchedHook(CliSchedHook hook);
+CliSchedHook setCliSchedHook(CliSchedHook hook);
 
 /** Declarative command-line parser. */
 class Cli

@@ -49,6 +49,14 @@ struct Bin
     /** Threads currently scheduled in this bin. */
     std::uint64_t threadCount = 0;
 
+    /**
+     * Streaming intake: how many times this bin has been sealed this
+     * stream (each seal detaches the group chain and re-opens the
+     * bin for new forks), and total threads admitted across epochs.
+     */
+    std::uint32_t streamEpoch = 0;
+    std::uint64_t streamTotalThreads = 0;
+
     /** True while the bin is linked on the ready list. */
     bool onReadyList = false;
 

@@ -44,6 +44,9 @@ class GroupCursor
   public:
     explicit GroupCursor(Bin *bin) : group_(bin->groupsHead) {}
 
+    /** Cursor over a detached chain (a sealed streaming epoch). */
+    explicit GroupCursor(ThreadGroup *head) : group_(head) {}
+
     /** Counts and links are re-read each step so threads forked into
      *  this very bin during execution (nested fork) are picked up. */
     bool

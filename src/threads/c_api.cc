@@ -1,5 +1,7 @@
 #include "c_api.hh"
 
+#include <cmath>
+#include <cstring>
 #include <mutex>
 #include <new>
 #include <string>
@@ -9,6 +11,7 @@
 #include "obs/trace.hh"
 #include "support/error.hh"
 #include "support/failpoint.hh"
+#include "threads/config_keys.hh"
 
 namespace
 {
@@ -77,10 +80,20 @@ th_default_scheduler()
 void
 th_init(std::size_t blocksize, std::size_t hashsize)
 {
+    // Shim over the unified config surface: one reconfiguration with
+    // both keys applied, same semantics the dedicated code had
+    // (0 selects the default for either size).
     guarded([&] {
         lsched::threads::SchedulerConfig config = instance().config();
-        config.blockBytes = blocksize; // 0 selects cacheBytes / dims
-        config.hashBuckets = hashsize; // 0 selects the default
+        std::string error;
+        if (!lsched::threads::applyConfigKey(
+                config, "block_bytes", std::to_string(blocksize),
+                &error) ||
+            !lsched::threads::applyConfigKey(
+                config, "hash_buckets", std::to_string(hashsize),
+                &error)) {
+            throw lsched::ConfigError(error);
+        }
         instance().configure(config);
     });
 }
@@ -141,7 +154,61 @@ th_stats(void)
     out.threads_per_bin_min = any ? s.threadsPerBin.min() : 0;
     out.threads_per_bin_max = any ? s.threadsPerBin.max() : 0;
     out.threads_per_bin_stddev = any ? s.threadsPerBin.stddev() : 0;
+    out.faulted_threads = s.faultedThreads;
+    out.last_fault_count = instance().lastFaultCount();
+    out.stream_forked = s.stream.forked;
+    out.stream_executed = s.stream.executed;
+    out.stream_seals = s.stream.seals;
+    out.stream_backpressure_waits = s.stream.backpressureWaits;
+    out.stream_inline_drains = s.stream.inlineDrains;
+    out.stream_backlog = s.stream.backlog;
+    out.stream_peak_backlog = s.stream.peakBacklog;
     return out;
+}
+
+int
+th_configure(const char *key, const char *value)
+{
+    if (!key || !value) {
+        recordError("th_configure: NULL key or value");
+        return -1;
+    }
+    return guarded([&] {
+               lsched::threads::SchedulerConfig config =
+                   instance().config();
+               std::string error;
+               if (!lsched::threads::applyConfigKey(config, key, value,
+                                                    &error)) {
+                   throw lsched::ConfigError("th_configure: " +
+                                                      error);
+               }
+               instance().configure(config);
+           })
+               ? 0
+               : -1;
+}
+
+int
+th_config_get(const char *key, char *buf, std::size_t len)
+{
+    if (!key || (!buf && len > 0)) {
+        recordError("th_config_get: NULL key or buffer");
+        return -1;
+    }
+    std::string value;
+    if (!lsched::threads::configKeyValue(instance().config(), key,
+                                         &value)) {
+        recordError(std::string("th_config_get: unknown config key '") +
+                    key + "'");
+        return -1;
+    }
+    if (len > 0) {
+        const std::size_t n = value.size() < len - 1 ? value.size()
+                                                     : len - 1;
+        std::memcpy(buf, value.data(), n);
+        buf[n] = '\0';
+    }
+    return static_cast<int>(value.size());
 }
 
 int
@@ -151,20 +218,9 @@ th_set_placement(const char *name)
         recordError("th_set_placement: NULL name");
         return -1;
     }
-    lsched::threads::PlacementKind kind;
-    if (!lsched::threads::tryPlacementFromName(name, &kind)) {
-        recordError(std::string("th_set_placement: unknown policy '") +
-                    name + "' (want blockhash|roundrobin|hierarchical)");
-        return -1;
-    }
-    return guarded([&] {
-               lsched::threads::SchedulerConfig config =
-                   instance().config();
-               config.placement = kind;
-               instance().configure(config);
-           })
-               ? 0
-               : -1;
+    // Shim: the key table rejects unknown names with the same
+    // token-list message the dedicated parser used to emit.
+    return th_configure("placement", name);
 }
 
 int
@@ -174,25 +230,30 @@ th_set_backend(const char *name)
         recordError("th_set_backend: NULL name");
         return -1;
     }
-    lsched::threads::BackendKind kind;
-    if (!lsched::threads::tryBackendFromName(name, &kind)) {
-        recordError(std::string("th_set_backend: unknown backend '") +
-                    name + "' (want serial|pooled|coldspawn)");
-        return -1;
-    }
+    // Shim: the key table also keeps persistentPool consistent, as
+    // the dedicated setter always did.
+    return th_configure("backend", name);
+}
+
+int
+th_stream_begin(int workers)
+{
     return guarded([&] {
-               lsched::threads::SchedulerConfig config =
-                   instance().config();
-               config.backend = kind;
-               // The knob pair stays consistent both ways: picking the
-               // pooled backend back on must re-enable the persistent
-               // pool validated() would otherwise fold it away with.
-               config.persistentPool =
-                   kind != lsched::threads::BackendKind::ColdSpawn;
-               instance().configure(config);
+               instance().streamBegin(
+                   workers < 0 ? 0u : static_cast<unsigned>(workers));
            })
                ? 0
                : -1;
+}
+
+long long
+th_stream_end(void)
+{
+    long long executed = -1;
+    guarded([&] {
+        executed = static_cast<long long>(instance().streamEnd());
+    });
+    return executed;
 }
 
 void
@@ -322,6 +383,59 @@ th_set_backend_(const int *kind)
         return;
     }
     th_set_backend(names[*kind]);
+}
+
+void
+th_stream_begin_(const int *workers)
+{
+    th_stream_begin(workers ? *workers : 0);
+}
+
+void
+th_stream_end_(long long *executed)
+{
+    const long long result = th_stream_end();
+    if (executed)
+        *executed = result;
+}
+
+void
+th_stats_(long long *values, const int *count)
+{
+    if (!values || !count || *count <= 0)
+        return;
+    const th_stats_t s = th_stats();
+    // Field order mirrors th_stats_t exactly; both are append-only.
+    const long long fields[] = {
+        static_cast<long long>(s.pending_threads),
+        static_cast<long long>(s.executed_threads),
+        static_cast<long long>(s.bins),
+        static_cast<long long>(s.occupied_bins),
+        static_cast<long long>(s.max_hash_chain),
+        static_cast<long long>(s.tour_length),
+        static_cast<long long>(s.pool_threads_spawned),
+        static_cast<long long>(s.pool_steals),
+        static_cast<long long>(s.pool_parks),
+        s.placement,
+        s.backend,
+        std::llround(s.threads_per_bin_mean),
+        std::llround(s.threads_per_bin_min),
+        std::llround(s.threads_per_bin_max),
+        std::llround(s.threads_per_bin_stddev),
+        static_cast<long long>(s.faulted_threads),
+        static_cast<long long>(s.last_fault_count),
+        static_cast<long long>(s.stream_forked),
+        static_cast<long long>(s.stream_executed),
+        static_cast<long long>(s.stream_seals),
+        static_cast<long long>(s.stream_backpressure_waits),
+        static_cast<long long>(s.stream_inline_drains),
+        static_cast<long long>(s.stream_backlog),
+        static_cast<long long>(s.stream_peak_backlog),
+    };
+    const int have = static_cast<int>(sizeof(fields) / sizeof(fields[0]));
+    const int n = *count < have ? *count : have;
+    for (int i = 0; i < n; ++i)
+        values[i] = fields[i];
 }
 
 } // extern "C"

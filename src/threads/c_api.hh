@@ -17,6 +17,14 @@
  * per-thread operations. State lives in one process-global scheduler;
  * th_default_scheduler() exposes it for inspection and statistics.
  *
+ * Beyond the paper's surface, configuration goes through one
+ * string-keyed pair — th_configure(key, value) / th_config_get() —
+ * that reaches every SchedulerConfig knob (th_init and the
+ * th_set_placement/th_set_backend selectors are shims over it), and
+ * th_stream_begin()/th_stream_end() open a streaming admission
+ * session in which th_fork is safe from any OS thread while sealed
+ * bins drain concurrently.
+ *
  * Error model at this boundary: C callers cannot catch C++
  * exceptions, so every recoverable error (bad configuration, API
  * misuse, a StopTour fault, an injected allocation failure) is caught
@@ -61,6 +69,13 @@ extern "C" {
  * Snapshot of the global scheduler's occupancy statistics, as a plain
  * C struct so C and Fortran callers can report the paper's
  * threads-per-bin numbers without touching the C++ types.
+ *
+ * ABI rule: this struct is append-only. New fields go at the END,
+ * never between existing ones and never replacing them, so a caller
+ * compiled against an older header keeps reading the offsets it knows
+ * about from the (larger) struct a newer library returns by value.
+ * The Fortran mirror th_stats_() indexes the same fields in the same
+ * order; extend both together.
  */
 typedef struct th_stats_t
 {
@@ -86,26 +101,87 @@ typedef struct th_stats_t
     double threads_per_bin_min;
     double threads_per_bin_max;
     double threads_per_bin_stddev;
+    /* -- appended fields below; see the ABI rule above -- */
+    /** User threads whose exception was contained (lifetime). */
+    unsigned long long faulted_threads;
+    /** Faults contained by the most recent run/stream (total, not
+     *  just the collected sample). */
+    unsigned long long last_fault_count;
+    /** Streaming admission (th_stream_begin/th_stream_end): threads
+     *  admitted, threads drained, sealed-bin work items produced. */
+    unsigned long long stream_forked;
+    unsigned long long stream_executed;
+    unsigned long long stream_seals;
+    /** Producer blocks at the stream_max_pending bound, and sealed
+     *  bins producers drained inline instead of blocking. */
+    unsigned long long stream_backpressure_waits;
+    unsigned long long stream_inline_drains;
+    /** Live stream backlog (admitted, not yet executed) and the
+     *  highest backlog observed. */
+    unsigned long long stream_backlog;
+    unsigned long long stream_peak_backlog;
 } th_stats_t;
 
 /** Statistics of the scheduler behind th_fork/th_run. */
 th_stats_t th_stats(void);
 
 /**
+ * The unified configuration surface: set one scheduler config knob by
+ * its string key ("placement", "backend", "tour", "stream_max_pending",
+ * ... — every SchedulerConfig field in snake_case; see
+ * threads/config_keys.hh for the table and README for the key list).
+ * Reconfigures the global scheduler like th_init, so it requires no
+ * threads pending or running. Returns 0 on success, -1 on an unknown
+ * key, an unparsable value, or a rejected reconfiguration (the reason
+ * lands in th_last_error()). th_init, th_set_placement, and
+ * th_set_backend are thin shims over this call.
+ */
+int th_configure(const char *key, const char *value);
+
+/**
+ * Read one config knob back. Writes the value (formatted so feeding
+ * it to th_configure reproduces the setting) into @p buf,
+ * NUL-terminated and truncated to @p len bytes. Returns the full
+ * value length (excluding the NUL, à la snprintf) so callers can size
+ * a retry, or -1 on an unknown key or NULL buf with len > 0.
+ */
+int th_config_get(const char *key, char *buf, std::size_t len);
+
+/**
  * Select the placement policy of the global scheduler by name
- * ("blockhash", "roundrobin", "hierarchical"). Like th_init, this
- * reconfigures the scheduler and requires no threads pending or
- * running. Returns 0 on success, -1 on an unknown name or a rejected
- * reconfiguration (the reason lands in th_last_error()).
+ * ("blockhash", "roundrobin", "hierarchical"). Shim over
+ * th_configure("placement", name); same contract. Returns 0 on
+ * success, -1 on an unknown name or a rejected reconfiguration (the
+ * reason lands in th_last_error()).
  */
 int th_set_placement(const char *name);
 
 /**
  * Select the execution backend of the global scheduler by name
- * ("serial", "pooled", "coldspawn"). Same contract as
- * th_set_placement. Returns 0 on success, -1 on error.
+ * ("serial", "pooled", "coldspawn"). Shim over
+ * th_configure("backend", name). Returns 0 on success, -1 on error.
  */
 int th_set_backend(const char *name);
+
+/**
+ * Begin a streaming admission session on the global scheduler
+ * (LocalityScheduler::streamBegin): th_fork becomes safe from any OS
+ * thread, and sealed bins are drained concurrently while producers
+ * keep forking. @p workers is the drain-helper count (0 = hardware
+ * concurrency; ignored by the serial backend, which drains inline).
+ * Returns 0 on success, -1 on error (threads already pending, a run
+ * in progress, or a stream already open).
+ */
+int th_stream_begin(int workers);
+
+/**
+ * End the streaming session: seal every open bin, drain to empty,
+ * and tear the session down. Returns the number of threads executed
+ * by the whole stream, or -1 on error (no stream open, or a fault
+ * under ErrorPolicy::Abort/StopTour — the message lands in
+ * th_last_error()).
+ */
+long long th_stream_end(void);
 
 /** Turn event tracing and metrics collection on. */
 void th_trace_enable(void);
@@ -191,6 +267,22 @@ void th_set_placement_(const int *kind);
 /** Fortran: CALL TH_SET_BACKEND(KIND) — 0 serial, 1 pooled,
  *  2 coldspawn. */
 void th_set_backend_(const int *kind);
+
+/** Fortran: CALL TH_STREAM_BEGIN(WORKERS) — see th_stream_begin. */
+void th_stream_begin_(const int *workers);
+
+/** Fortran: CALL TH_STREAM_END(EXECUTED) — EXECUTED receives the
+ *  thread count, or -1 on error (INTEGER*8). */
+void th_stream_end_(long long *executed);
+
+/**
+ * Fortran: CALL TH_STATS(VALUES, COUNT) — numeric mirror of
+ * th_stats(): VALUES is an INTEGER*8 array of capacity COUNT, filled
+ * with the th_stats_t fields in declaration order (doubles rounded to
+ * the nearest integer), then COUNT-capped. Like the struct, the order
+ * is append-only, so an index that works keeps working.
+ */
+void th_stats_(long long *values, const int *count);
 
 } // extern "C"
 

@@ -1,0 +1,296 @@
+/**
+ * @file
+ * The key table behind applyConfigKey/configKeyValue. One row per
+ * SchedulerConfig field; see config_keys.hh for the contract.
+ */
+
+#include "threads/config_keys.hh"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "threads/scheduler.hh"
+
+namespace lsched::threads
+{
+
+namespace
+{
+
+bool
+parseU64(const std::string &value, std::uint64_t *out)
+{
+    if (value.empty())
+        return false;
+    const char *begin = value.c_str();
+    char *end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(begin, &end, 10);
+    if (errno != 0 || end != begin + value.size())
+        return false;
+    // strtoull silently accepts a leading minus by wrapping.
+    if (value[0] == '-')
+        return false;
+    *out = parsed;
+    return true;
+}
+
+bool
+parseBool(const std::string &value, bool *out)
+{
+    if (value == "1" || value == "true" || value == "on" ||
+        value == "yes") {
+        *out = true;
+        return true;
+    }
+    if (value == "0" || value == "false" || value == "off" ||
+        value == "no") {
+        *out = false;
+        return true;
+    }
+    return false;
+}
+
+/**
+ * Non-fatal counterpart of tourPolicyFromName (which is a CLI-path
+ * LSCHED_FATAL on unknown names).
+ */
+bool
+tryTourFromName(const std::string &name, TourPolicy *out)
+{
+    if (name == "creation")
+        *out = TourPolicy::CreationOrder;
+    else if (name == "snake")
+        *out = TourPolicy::SortedSnake;
+    else if (name == "nearest")
+        *out = TourPolicy::NearestNeighbor;
+    else if (name == "hilbert")
+        *out = TourPolicy::Hilbert;
+    else
+        return false;
+    return true;
+}
+
+bool
+tryErrorPolicyFromName(const std::string &name, ErrorPolicy *out)
+{
+    if (name == "abort")
+        *out = ErrorPolicy::Abort;
+    else if (name == "stoptour")
+        *out = ErrorPolicy::StopTour;
+    else if (name == "continue")
+        *out = ErrorPolicy::ContinueAndCollect;
+    else
+        return false;
+    return true;
+}
+
+const char *
+errorPolicyToken(ErrorPolicy policy)
+{
+    switch (policy) {
+      case ErrorPolicy::Abort:              return "abort";
+      case ErrorPolicy::StopTour:           return "stoptour";
+      case ErrorPolicy::ContinueAndCollect: return "continue";
+    }
+    return "?";
+}
+
+void
+fail(std::string *error, std::string message)
+{
+    if (error)
+        *error = std::move(message);
+}
+
+bool
+badValue(std::string *error, const std::string &key,
+         const std::string &value, const char *want)
+{
+    fail(error, "config key '" + key + "': bad value '" + value +
+                    "' (want " + want + ")");
+    return false;
+}
+
+} // namespace
+
+bool
+applyConfigKey(SchedulerConfig &config, const std::string &key,
+               const std::string &value, std::string *error)
+{
+    std::uint64_t u = 0;
+    bool b = false;
+
+    if (key == "dims") {
+        if (!parseU64(value, &u) || u == 0 || u > kMaxDims)
+            return badValue(error, key, value, "an integer in [1, 8]");
+        config.dims = static_cast<unsigned>(u);
+    } else if (key == "cache_bytes") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value, "a byte count");
+        config.cacheBytes = u;
+    } else if (key == "block_bytes") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "a byte count (0 = cache_bytes / dims)");
+        config.blockBytes = u;
+    } else if (key == "hash_buckets") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "a bucket count (0 = default)");
+        config.hashBuckets = static_cast<std::size_t>(u);
+    } else if (key == "group_capacity") {
+        if (!parseU64(value, &u) || u == 0 || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "a positive 32-bit thread count");
+        config.groupCapacity = static_cast<std::uint32_t>(u);
+    } else if (key == "symmetric_hints") {
+        if (!parseBool(value, &b))
+            return badValue(error, key, value, "a boolean");
+        config.symmetricHints = b;
+    } else if (key == "placement") {
+        PlacementKind kind;
+        if (!tryPlacementFromName(value, &kind))
+            return badValue(error, key, value,
+                            "blockhash|roundrobin|hierarchical");
+        config.placement = kind;
+    } else if (key == "backend") {
+        BackendKind kind;
+        if (!tryBackendFromName(value, &kind))
+            return badValue(error, key, value,
+                            "serial|pooled|coldspawn");
+        config.backend = kind;
+        // The legacy knob pair stays consistent both ways, exactly as
+        // th_set_backend always kept it: picking pooled back on must
+        // re-enable the persistent pool validated() would otherwise
+        // fold the backend away with.
+        config.persistentPool = kind != BackendKind::ColdSpawn;
+    } else if (key == "round_robin_bins") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "a bin count (0 = policy default)");
+        config.roundRobinBins = u;
+    } else if (key == "super_bin_fan") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "blocks per super-bin (0 = policy default)");
+        config.superBinFan = u;
+    } else if (key == "tour") {
+        TourPolicy policy;
+        if (!tryTourFromName(value, &policy))
+            return badValue(error, key, value,
+                            "creation|snake|nearest|hilbert");
+        config.tour = policy;
+    } else if (key == "on_error") {
+        ErrorPolicy policy;
+        if (!tryErrorPolicyFromName(value, &policy))
+            return badValue(error, key, value,
+                            "abort|stoptour|continue");
+        config.onError = policy;
+    } else if (key == "watchdog_millis") {
+        if (!parseU64(value, &u) || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "milliseconds (0 disables)");
+        config.watchdogMillis = static_cast<std::uint32_t>(u);
+    } else if (key == "persistent_pool") {
+        if (!parseBool(value, &b))
+            return badValue(error, key, value, "a boolean");
+        config.persistentPool = b;
+    } else if (key == "pin_workers") {
+        if (!parseBool(value, &b))
+            return badValue(error, key, value, "a boolean");
+        config.pinWorkers = b;
+    } else if (key == "stream_shards") {
+        if (!parseU64(value, &u) || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "a shard count (0 = default)");
+        config.streamShards = static_cast<unsigned>(u);
+    } else if (key == "stream_max_pending") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "a thread bound (0 = unbounded)");
+        config.streamMaxPending = u;
+    } else if (key == "stream_seal_threshold") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "a thread count (0 = seal at end only)");
+        config.streamSealThreshold = u;
+    } else {
+        fail(error, "unknown config key '" + key + "'");
+        return false;
+    }
+    return true;
+}
+
+bool
+configKeyValue(const SchedulerConfig &config, const std::string &key,
+               std::string *out)
+{
+    if (key == "dims")
+        *out = std::to_string(config.dims);
+    else if (key == "cache_bytes")
+        *out = std::to_string(config.cacheBytes);
+    else if (key == "block_bytes")
+        *out = std::to_string(config.blockBytes);
+    else if (key == "hash_buckets")
+        *out = std::to_string(config.hashBuckets);
+    else if (key == "group_capacity")
+        *out = std::to_string(config.groupCapacity);
+    else if (key == "symmetric_hints")
+        *out = config.symmetricHints ? "1" : "0";
+    else if (key == "placement")
+        *out = placementName(config.placement);
+    else if (key == "backend")
+        *out = backendName(config.backend);
+    else if (key == "round_robin_bins")
+        *out = std::to_string(config.roundRobinBins);
+    else if (key == "super_bin_fan")
+        *out = std::to_string(config.superBinFan);
+    else if (key == "tour")
+        *out = tourPolicyName(config.tour);
+    else if (key == "on_error")
+        *out = errorPolicyToken(config.onError);
+    else if (key == "watchdog_millis")
+        *out = std::to_string(config.watchdogMillis);
+    else if (key == "persistent_pool")
+        *out = config.persistentPool ? "1" : "0";
+    else if (key == "pin_workers")
+        *out = config.pinWorkers ? "1" : "0";
+    else if (key == "stream_shards")
+        *out = std::to_string(config.streamShards);
+    else if (key == "stream_max_pending")
+        *out = std::to_string(config.streamMaxPending);
+    else if (key == "stream_seal_threshold")
+        *out = std::to_string(config.streamSealThreshold);
+    else
+        return false;
+    return true;
+}
+
+const std::vector<std::string> &
+configKeys()
+{
+    static const std::vector<std::string> keys = {
+        "dims",
+        "cache_bytes",
+        "block_bytes",
+        "hash_buckets",
+        "group_capacity",
+        "symmetric_hints",
+        "placement",
+        "backend",
+        "round_robin_bins",
+        "super_bin_fan",
+        "tour",
+        "on_error",
+        "watchdog_millis",
+        "persistent_pool",
+        "pin_workers",
+        "stream_shards",
+        "stream_max_pending",
+        "stream_seal_threshold",
+    };
+    return keys;
+}
+
+} // namespace lsched::threads

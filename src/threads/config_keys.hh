@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The unified, string-keyed configuration surface.
+ *
+ * The config surface had sprawled — th_init's two sizes,
+ * th_set_placement/th_set_backend, one CLI flag per knob — and every
+ * new knob (the streaming ones arrived with three) widened every
+ * layer. This is the one parser all of them now route through:
+ * th_configure("key", "value") and th_config_get() at the C boundary,
+ * the generic --sched key=value CLI flag, and the legacy entry points
+ * reimplemented as shims over it.
+ *
+ * The key set mirrors SchedulerConfig field-for-field in snake_case
+ * (configKeys() enumerates it), values round-trip — configKeyValue()
+ * emits exactly the tokens applyConfigKey() accepts — and a new
+ * SchedulerConfig field needs only a row in the table in
+ * config_keys.cc to be reachable from C, Fortran (numerically), and
+ * the command line.
+ */
+
+#ifndef LSCHED_THREADS_CONFIG_KEYS_HH
+#define LSCHED_THREADS_CONFIG_KEYS_HH
+
+#include <string>
+#include <vector>
+
+namespace lsched::threads
+{
+
+struct SchedulerConfig;
+
+/**
+ * Set the field @p key names on @p config from the string @p value.
+ * Returns false — with a caller-facing message in @p error, when
+ * non-null — on an unknown key or an unparsable value; @p config is
+ * untouched on failure. Cross-field consistency (e.g. "backend"
+ * keeping persistentPool in sync) is applied here, so the result is
+ * what the legacy setters would have produced.
+ */
+bool applyConfigKey(SchedulerConfig &config, const std::string &key,
+                    const std::string &value, std::string *error);
+
+/**
+ * Read the field @p key names from @p config, formatted so feeding it
+ * back through applyConfigKey() reproduces the field. Returns false
+ * on an unknown key.
+ */
+bool configKeyValue(const SchedulerConfig &config,
+                    const std::string &key, std::string *out);
+
+/** Every key, in the order they are documented. */
+const std::vector<std::string> &configKeys();
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_CONFIG_KEYS_HH

@@ -3,7 +3,7 @@
  * Execution backends (execution.hh) and the selection-layer glue: the
  * worker thread-local marker fork() checks, the shared pool callback
  * every parallel backend routes through, and the --placement/
- * --backend CLI hook.
+ * --backend/--sched CLI hook.
  */
 
 #include "threads/execution.hh"
@@ -11,6 +11,8 @@
 #include "support/cli.hh"
 #include "support/panic.hh"
 #include "threads/bin_exec.hh"
+#include "threads/config_keys.hh"
+#include "threads/scheduler.hh"
 
 namespace lsched::threads
 {
@@ -19,13 +21,6 @@ namespace
 {
 
 thread_local bool t_inParallelWorker = false;
-
-/** Scoped thread-local marker for parallel worker bodies. */
-struct ParallelWorkerScope
-{
-    ParallelWorkerScope() { t_inParallelWorker = true; }
-    ~ParallelWorkerScope() { t_inParallelWorker = false; }
-};
 
 /**
  * The one pool callback (PoolJob::execute) behind every parallel
@@ -40,7 +35,7 @@ std::uint64_t
 poolExecute(Bin *bin, unsigned worker, void *ctxRaw)
 {
     auto *fault = static_cast<detail::FaultCtx *>(ctxRaw);
-    ParallelWorkerScope in_worker;
+    detail::ParallelWorkerScope in_worker;
     return detail::executeBin(bin, *fault, worker);
 }
 
@@ -144,32 +139,53 @@ class ColdSpawnBackend final : public ExecutionBackend
     BackendKind kind() const override { return BackendKind::ColdSpawn; }
 };
 
-PlacementKind g_placementOverride{};
-bool g_hasPlacementOverride = false;
-BackendKind g_backendOverride{};
-bool g_hasBackendOverride = false;
+std::vector<std::pair<std::string, std::string>> g_schedOverrides;
 
-/** Receiver for the built-in --placement/--backend CLI values. */
+/**
+ * Validate and record one (key, value) override. All three flags
+ * funnel through here so a typo dies at the command line — against a
+ * scratch config, since the real ones don't exist yet — instead of
+ * surfacing as a ConfigError from whichever scheduler is configured
+ * first.
+ */
 void
-applyCliSched(const std::string &placement, const std::string &backend)
+addSchedOverride(const char *flag, const std::string &key,
+                 const std::string &value)
 {
-    if (!placement.empty()) {
-        PlacementKind kind;
-        if (!tryPlacementFromName(placement, &kind)) {
-            LSCHED_FATAL("--placement: unknown policy '", placement,
-                         "' (want blockhash|roundrobin|hierarchical)");
+    SchedulerConfig scratch;
+    std::string error;
+    if (!applyConfigKey(scratch, key, value, &error))
+        LSCHED_FATAL(flag, ": ", error);
+    g_schedOverrides.emplace_back(key, value);
+}
+
+/** Receiver for the built-in --placement/--backend/--sched values. */
+void
+applyCliSched(const std::string &placement, const std::string &backend,
+              const std::string &sched)
+{
+    if (!placement.empty())
+        addSchedOverride("--placement", "placement", placement);
+    if (!backend.empty())
+        addSchedOverride("--backend", "backend", backend);
+    // --sched is comma-separated key=value pairs, later pairs winning
+    // (they replay in order).
+    std::size_t pos = 0;
+    while (pos < sched.size()) {
+        std::size_t comma = sched.find(',', pos);
+        if (comma == std::string::npos)
+            comma = sched.size();
+        const std::string pair = sched.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (pair.empty())
+            continue;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            LSCHED_FATAL("--sched: expected key=value, got '", pair,
+                         "'");
         }
-        g_placementOverride = kind;
-        g_hasPlacementOverride = true;
-    }
-    if (!backend.empty()) {
-        BackendKind kind;
-        if (!tryBackendFromName(backend, &kind)) {
-            LSCHED_FATAL("--backend: unknown backend '", backend,
-                         "' (want serial|pooled|coldspawn)");
-        }
-        g_backendOverride = kind;
-        g_hasBackendOverride = true;
+        addSchedOverride("--sched", pair.substr(0, eq),
+                         pair.substr(eq + 1));
     }
 }
 
@@ -192,16 +208,20 @@ inParallelWorker()
     return t_inParallelWorker;
 }
 
-const PlacementKind *
-placementOverride()
+ParallelWorkerScope::ParallelWorkerScope()
 {
-    return g_hasPlacementOverride ? &g_placementOverride : nullptr;
+    t_inParallelWorker = true;
 }
 
-const BackendKind *
-backendOverride()
+ParallelWorkerScope::~ParallelWorkerScope()
 {
-    return g_hasBackendOverride ? &g_backendOverride : nullptr;
+    t_inParallelWorker = false;
+}
+
+const std::vector<std::pair<std::string, std::string>> &
+schedOverrides()
+{
+    return g_schedOverrides;
 }
 
 } // namespace detail

@@ -27,6 +27,8 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "threads/fault.hh"
 #include "threads/placement.hh"
@@ -101,13 +103,16 @@ namespace detail
 {
 
 /**
- * CLI overrides installed by --placement/--backend (support/cli.hh's
- * sched hook, registered from execution.cc's static initializer).
- * Null when the flag was not given; SchedulerConfig validation applies
- * a non-null override to every scheduler configured afterwards.
+ * CLI overrides installed by --placement/--backend/--sched
+ * (support/cli.hh's sched hook, registered from execution.cc's static
+ * initializer). An ordered list of config (key, value) pairs — the
+ * dedicated flags become their "placement"/"backend" keys, --sched
+ * pairs follow in the order given, later entries winning — already
+ * validated against applyConfigKey() at parse time. SchedulerConfig
+ * validation replays the list onto every scheduler configured
+ * afterwards; empty when no flag was given.
  */
-const PlacementKind *placementOverride();
-const BackendKind *backendOverride();
+const std::vector<std::pair<std::string, std::string>> &schedOverrides();
 
 } // namespace detail
 

@@ -123,6 +123,20 @@ void noteFault(FaultCtx &ctx, std::uint32_t binId, unsigned worker);
  */
 bool inParallelWorker();
 
+/**
+ * Scoped thread-local marker for parallel worker bodies — the span
+ * where inParallelWorker() answers true. Shared by the pool callback
+ * behind every parallel backend and the streaming drain loop; ctor and
+ * dtor are defined in execution.cc next to the thread-local flag.
+ */
+struct ParallelWorkerScope
+{
+    ParallelWorkerScope();
+    ~ParallelWorkerScope();
+    ParallelWorkerScope(const ParallelWorkerScope &) = delete;
+    ParallelWorkerScope &operator=(const ParallelWorkerScope &) = delete;
+};
+
 } // namespace detail
 
 } // namespace lsched::threads

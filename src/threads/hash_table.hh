@@ -27,6 +27,25 @@
 namespace lsched::threads
 {
 
+/**
+ * Mix @p coords into a 64-bit hash (splitmix64-style per coordinate).
+ * Exposed as a free function so the streaming intake can shard a fork
+ * by coordinate hash *before* picking which shard's BinTable to lock.
+ */
+inline std::uint64_t
+hashCoords(const BlockCoords &coords, unsigned dims)
+{
+    std::uint64_t h = 0x9e3779b97f4a7c15ull;
+    for (unsigned d = 0; d < dims; ++d) {
+        std::uint64_t z = coords[d] + 0x9e3779b97f4a7c15ull * (d + 1);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        h ^= z ^ (z >> 31);
+        h *= 0xff51afd7ed558ccdull;
+    }
+    return h ^ (h >> 33);
+}
+
 /** Owns all bins and finds them by block coordinates. */
 class BinTable
 {
@@ -38,9 +57,13 @@ class BinTable
      * @param dims scheduling-space dimensionality.
      * @param buckets initial slot count (rounded up to a power of
      *        two, minimum kMinSlots).
+     * @param idBase offset added to every bin id, so bins from several
+     *        tables (the streaming intake shards) stay distinguishable
+     *        in traces and fault reports.
      */
-    BinTable(unsigned dims, std::size_t buckets)
-        : dims_(dims),
+    BinTable(unsigned dims, std::size_t buckets,
+             std::uint32_t idBase = 0)
+        : dims_(dims), idBase_(idBase),
           mask_(roundUpPowerOfTwo(
                     buckets < kMinSlots ? kMinSlots : buckets) -
                 1),
@@ -62,7 +85,18 @@ class BinTable
     findOrCreate(const BlockCoords &coords,
                  std::uint32_t *probes = nullptr)
     {
-        const std::uint64_t h = hash(coords);
+        return findOrCreateHashed(coords, hash(coords), probes);
+    }
+
+    /**
+     * findOrCreate() with the hash precomputed by the caller (via
+     * hashCoords()) — the streaming intake hashes once to pick a
+     * shard, then reuses the value here instead of re-mixing.
+     */
+    std::pair<Bin *, bool>
+    findOrCreateHashed(const BlockCoords &coords, std::uint64_t h,
+                       std::uint32_t *probes = nullptr)
+    {
         std::size_t i = h & mask_;
         std::uint32_t walked = 1;
         for (; slots_[i]; i = (i + 1) & mask_, ++walked) {
@@ -81,7 +115,7 @@ class BinTable
         Bin *b = &bins_.back();
         b->coords = coords;
         b->hashVal = h;
-        b->id = static_cast<std::uint32_t>(bins_.size() - 1);
+        b->id = idBase_ + static_cast<std::uint32_t>(bins_.size() - 1);
         slots_[i] = b;
         if (probes)
             *probes = walked;
@@ -153,16 +187,7 @@ class BinTable
     std::uint64_t
     hash(const BlockCoords &coords) const
     {
-        // splitmix64-style mixing of each coordinate.
-        std::uint64_t h = 0x9e3779b97f4a7c15ull;
-        for (unsigned d = 0; d < dims_; ++d) {
-            std::uint64_t z = coords[d] + 0x9e3779b97f4a7c15ull * (d + 1);
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            h ^= z ^ (z >> 31);
-            h *= 0xff51afd7ed558ccdull;
-        }
-        return h ^ (h >> 33);
+        return hashCoords(coords, dims_);
     }
 
     /** Double the slot array and reinsert by cached hash. */
@@ -180,6 +205,7 @@ class BinTable
     }
 
     unsigned dims_;
+    std::uint32_t idBase_ = 0;
     std::size_t mask_;
     std::vector<Bin *> slots_;
     std::deque<Bin> bins_;

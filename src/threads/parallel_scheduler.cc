@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "support/error.hh"
 #include "support/panic.hh"
 #include "threads/execution.hh"
 #include "threads/sched_obs.hh"
@@ -150,6 +151,11 @@ struct WatchdogGuard
 std::uint64_t
 LocalityScheduler::runParallel(unsigned workers, bool keep)
 {
+    if (stream_) {
+        throw lsched::UsageError("runParallel() during an active "
+                                 "stream; close it with streamEnd() "
+                                 "first");
+    }
     LSCHED_ASSERT(!running_, "recursive run()");
     if (workers == 0)
         workers = std::thread::hardware_concurrency();

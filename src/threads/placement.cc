@@ -61,6 +61,19 @@ HierarchicalPlacement::place(std::span<const Hint> hints)
     return d;
 }
 
+PlacementDecision
+HierarchicalPlacement::peek(std::span<const Hint> hints) const
+{
+    PlacementDecision d;
+    d.coords = map_.coordsFor(hints);
+    BlockCoords super{};
+    for (unsigned dim = 0; dim < map_.dims(); ++dim)
+        super[dim] = d.coords[dim] / fan_;
+    const auto it = superIds_.find(super);
+    d.superBin = it == superIds_.end() ? kNoSuperBin : it->second;
+    return d;
+}
+
 std::unique_ptr<PlacementPolicy>
 makePlacement(PlacementKind kind, unsigned dims,
               std::uint64_t blockBytes, bool symmetricHints,

@@ -81,8 +81,25 @@ class PlacementPolicy
     /** Decide the bin for a fork with the given hints. */
     virtual PlacementDecision place(std::span<const Hint> hints) = 0;
 
+    /**
+     * Answer where a fork with these hints *would* land without
+     * committing any policy state: RoundRobin's cursor stays put and
+     * Hierarchical assigns no new super-bin id (reporting kNoSuperBin
+     * for a super-bin not yet created by a real place()). Inspection
+     * paths — coordsFor(), stats, tests — must use this, never
+     * place().
+     */
+    virtual PlacementDecision peek(std::span<const Hint> hints) const = 0;
+
     /** Which policy this is. */
     virtual PlacementKind kind() const = 0;
+
+    /**
+     * True when place() touches no mutable policy state, i.e. it is
+     * safe to call concurrently from streaming producers without the
+     * session's placement lock.
+     */
+    virtual bool stateless() const { return false; }
 
     /** True when place() assigns super-bins. */
     virtual bool hierarchical() const { return false; }
@@ -107,10 +124,18 @@ class BlockHashPlacement final : public PlacementPolicy
         return {map_.coordsFor(hints), kNoSuperBin};
     }
 
+    PlacementDecision
+    peek(std::span<const Hint> hints) const override
+    {
+        return {map_.coordsFor(hints), kNoSuperBin};
+    }
+
     PlacementKind kind() const override
     {
         return PlacementKind::BlockHash;
     }
+
+    bool stateless() const override { return true; }
 
     /** The underlying hint→block map (tests, fiber scheduler). */
     const BlockMap &blockMap() const { return map_; }
@@ -136,6 +161,15 @@ class RoundRobinPlacement final : public PlacementPolicy
     {
         PlacementDecision d;
         d.coords[0] = next_++ % bins_;
+        return d;
+    }
+
+    /** Where the *next* fork will land; the cursor does not move. */
+    PlacementDecision
+    peek(std::span<const Hint>) const override
+    {
+        PlacementDecision d;
+        d.coords[0] = next_ % bins_;
         return d;
     }
 
@@ -168,6 +202,8 @@ class HierarchicalPlacement final : public PlacementPolicy
     }
 
     PlacementDecision place(std::span<const Hint> hints) override;
+
+    PlacementDecision peek(std::span<const Hint> hints) const override;
 
     PlacementKind kind() const override
     {

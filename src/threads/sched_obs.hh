@@ -34,6 +34,10 @@ struct SchedInstruments
     obs::Counter *faulted;
     obs::Counter *poolSteals;
     obs::Counter *poolParks;
+    obs::Counter *streamForked;
+    obs::Counter *streamSeals;
+    obs::Counter *streamBackpressure;
+    obs::Counter *streamInline;
     obs::Histogram *hashProbes;
     obs::Histogram *threadsPerBin;
     obs::Histogram *binDwellNs;

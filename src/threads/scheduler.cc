@@ -1,8 +1,12 @@
 #include "scheduler.hh"
 
+#include <mutex>
+#include <thread>
+
 #include "support/error.hh"
 #include "support/panic.hh"
 #include "threads/bin_exec.hh"
+#include "threads/config_keys.hh"
 #include "threads/sched_obs.hh"
 
 namespace lsched::threads
@@ -24,6 +28,10 @@ schedInstruments()
             &r.counter("sched.threads.faulted"),
             &r.counter("sched.pool.steals"),
             &r.counter("sched.pool.parks"),
+            &r.counter("sched.stream.forked"),
+            &r.counter("sched.stream.seals"),
+            &r.counter("sched.stream.backpressure"),
+            &r.counter("sched.stream.inline_drains"),
             &r.histogram("sched.hash.probes"),
             &r.histogram("sched.bin.threads"),
             &r.histogram("sched.bin.dwell_ns"),
@@ -99,12 +107,15 @@ placementFor(const SchedulerConfig &config)
 SchedulerConfig
 validated(SchedulerConfig config)
 {
-    // Process-wide --placement/--backend overrides beat per-scheduler
-    // settings, mirroring how --trace turns tracing on globally.
-    if (const PlacementKind *p = detail::placementOverride())
-        config.placement = *p;
-    if (const BackendKind *b = detail::backendOverride())
-        config.backend = *b;
+    // Process-wide --placement/--backend/--sched overrides beat
+    // per-scheduler settings, mirroring how --trace turns tracing on
+    // globally. The list was already validated at parse time, so a
+    // failure here means the tables drifted.
+    for (const auto &[key, value] : detail::schedOverrides()) {
+        std::string error;
+        if (!applyConfigKey(config, key, value, &error))
+            throw ConfigError(error);
+    }
     // The legacy persistentPool knob and the backend enum describe the
     // same choice; keep them mutually consistent, with the backend
     // winning when it was set away from the default.
@@ -230,10 +241,18 @@ LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
         // the data race this diagnostic exists to prevent. fatal, not
         // throw — unwinding a worker mid-tour is not safe here.
         LSCHED_FATAL(
-            "fork() from a thread running under runParallel() is not "
-            "supported: the ready list is not synchronized during a "
-            "parallel tour. Fork before runParallel(), or use run() "
-            "with keep == false for nested forking.");
+            "fork() from a thread running under runParallel() or a "
+            "streaming drain helper is not supported: the ready list "
+            "is not synchronized during a parallel tour. Fork before "
+            "runParallel(), use run() with keep == false for nested "
+            "forking, or fork from producer threads in a stream.");
+    }
+    if (stream_) {
+        // Streaming mode: admission goes to the sharded intake, which
+        // is safe from any OS thread (and may block at the
+        // backpressure bound).
+        stream_->fork(fn, arg1, arg2, hints);
+        return;
     }
     if (running_ && !nestedForkOk_) {
         throw UsageError("fork during run() requires keep == false and "
@@ -283,6 +302,12 @@ LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
 std::uint64_t
 LocalityScheduler::run(bool keep)
 {
+    if (stream_) {
+        // Recoverable misuse, unlike a recursive run(): a batch run
+        // has no tour to walk while admission streams past it.
+        throw UsageError("run() during an active stream; close it "
+                         "with streamEnd() first");
+    }
     LSCHED_ASSERT(!running_, "recursive run()");
     running_ = true;
     nestedForkOk_ = !keep && config_.tour == TourPolicy::CreationOrder;
@@ -375,6 +400,119 @@ LocalityScheduler::run(bool keep)
 }
 
 void
+LocalityScheduler::streamBegin(unsigned workers)
+{
+    if (running_) {
+        throw UsageError(stream_
+                             ? "streamBegin during an active stream"
+                             : "streamBegin during run()");
+    }
+    if (pendingThreads_ != 0) {
+        throw UsageError(lsched::detail::concatMessage(
+            "streamBegin with ", pendingThreads_,
+            " batch threads pending; run or clear them first"));
+    }
+    WorkerPool *pool = nullptr;
+    unsigned helpers = 0;
+    if (config_.backend != BackendKind::Serial) {
+        helpers = workers
+                      ? workers
+                      : std::max(1u,
+                                 std::thread::hardware_concurrency());
+        if (!workerPool_) {
+            workerPool_ =
+                std::make_unique<WorkerPool>(config_.pinWorkers);
+        }
+        pool = workerPool_.get();
+    }
+    lastFaults_.clear();
+    lastFaultsTotal_ = 0;
+    LSCHED_TRACE_EVENT(obs::EventType::RunBegin, 0, 0, helpers);
+    if (obs::metricsOn())
+        detail::schedInstruments().runs->add();
+    stream_ = std::make_unique<StreamSession>(config_, *placement_,
+                                              pool, helpers);
+    running_ = true;
+}
+
+std::uint64_t
+LocalityScheduler::streamEnd()
+{
+    if (!stream_)
+        throw UsageError("streamEnd without an active stream");
+    std::exception_ptr abortError;
+    try {
+        stream_->finish();
+    } catch (...) {
+        // ErrorPolicy::Abort fault from the caller-side tail drain:
+        // restore scheduler state below, then let it propagate.
+        abortError = std::current_exception();
+    }
+    const StreamStats s = stream_->stats();
+    lifetimeStream_ += s;
+    executedThreads_ += s.executed;
+    lastFaults_ = stream_->faults();
+    lastFaultsTotal_ = stream_->faultCount();
+    faultedThreads_ += lastFaultsTotal_;
+    lastStreamBins_ = stream_->binReports();
+    const std::exception_ptr first = stream_->firstFault();
+    stream_.reset();
+    running_ = false;
+    if (!config_.persistentPool && workerPool_) {
+        // Cold-spawn semantics: no threads stay parked between runs.
+        retiredPoolStats_ += workerPool_->stats();
+        workerPool_.reset();
+    }
+    LSCHED_TRACE_EVENT(obs::EventType::RunEnd, s.executed);
+    if (abortError)
+        std::rethrow_exception(abortError);
+    if (first) {
+        // StopTour: the first contained exception, exactly once.
+        std::rethrow_exception(first);
+    }
+    return s.executed;
+}
+
+std::uint64_t
+LocalityScheduler::runStream(
+    unsigned workers, unsigned producers,
+    const std::function<void(unsigned)> &producer)
+{
+    if (producers == 0)
+        producers = 1;
+    streamBegin(workers);
+    std::mutex errMutex;
+    std::exception_ptr producerError;
+    const auto body = [&](unsigned index) {
+        try {
+            producer(index);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(errMutex);
+            if (!producerError)
+                producerError = std::current_exception();
+        }
+    };
+    {
+        std::vector<std::thread> extras;
+        extras.reserve(producers - 1);
+        for (unsigned i = 1; i < producers; ++i)
+            extras.emplace_back(body, i);
+        body(0);
+        for (std::thread &t : extras)
+            t.join();
+    }
+    if (producerError) {
+        try {
+            streamEnd();
+        } catch (...) {
+            // The producer's own failure is the primary error.
+        }
+        std::rethrow_exception(producerError);
+    }
+    return streamEnd();
+}
+
+void
 LocalityScheduler::abandonRun(Bin *inFlight) noexcept
 {
     if (inFlight && !inFlight->onReadyList) {
@@ -452,6 +590,7 @@ LocalityScheduler::stats() const
     s.tourLength = tourLength(
         orderBins(config_.tour, bins, config_.dims), config_.dims);
     s.pool = workerPoolStats();
+    s.stream = streamStats();
 
     // The registry is the export path for these numbers: every
     // snapshot refreshes the scheduler gauges so a --metrics dump (or
@@ -468,6 +607,9 @@ LocalityScheduler::stats() const
         r.gauge("sched.tour.length").set(s.tourLength);
         r.gauge("sched.pool.threads").set(s.pool.threadsSpawned);
         r.gauge("sched.pool.tours").set(s.pool.tours);
+        r.gauge("sched.stream.backlog").set(s.stream.backlog);
+        r.gauge("sched.stream.peak_backlog")
+            .set(s.stream.peakBacklog);
     }
     return s;
 }

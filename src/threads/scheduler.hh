@@ -30,6 +30,7 @@
 #define LSCHED_THREADS_SCHEDULER_HH
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "threads/hash_table.hh"
 #include "threads/hints.hh"
 #include "threads/placement.hh"
+#include "threads/stream.hh"
 #include "threads/thread_group.hh"
 #include "threads/tour.hh"
 #include "threads/worker_pool.hh"
@@ -112,6 +114,28 @@ struct SchedulerConfig
      * to the OS-level mix.
      */
     bool pinWorkers = false;
+    /**
+     * Streaming (streamBegin/runStream) intake shards: independent
+     * lock+BinTable+GroupPool units producers spread over by
+     * coordinate hash. 0 selects StreamSession::kDefaultShards.
+     */
+    unsigned streamShards = 0;
+    /**
+     * Streaming backpressure bound: the most admitted-but-unexecuted
+     * threads a stream may hold. At the bound a producer drains a
+     * sealed bin inline or blocks until the drain catches up; nested
+     * forks from an inline drain bypass the bound (deadlock
+     * avoidance), making it soft for those workloads only.
+     * 0 = unbounded.
+     */
+    std::uint64_t streamMaxPending = 0;
+    /**
+     * Seal a streaming bin for draining once it holds this many
+     * threads (it re-opens for the next epoch). 0 seals only under
+     * backpressure and at streamEnd — maximum per-bin locality,
+     * minimum overlap.
+     */
+    std::uint64_t streamSealThreshold = 0;
 
     /** The block dimension actually used. */
     std::uint64_t
@@ -142,6 +166,8 @@ struct SchedulerStats
     std::uint64_t tourLength = 0;
     /** Worker-pool lifetime statistics (spawns, steals, parks). */
     WorkerPoolStats pool;
+    /** Streaming statistics (live session, else lifetime totals). */
+    StreamStats stream;
 };
 
 /** The locality-scheduling thread package. */
@@ -214,6 +240,55 @@ class LocalityScheduler
      */
     std::uint64_t runParallel(unsigned workers, bool keep = false);
 
+    /**
+     * Streaming extension (the server-shaped mode): open a
+     * fork-while-run session. Until streamEnd(), fork() is safe from
+     * any OS thread concurrently and admitted threads are drained by
+     * @p workers pool helpers as bins seal — there is no barrier
+     * between forking and running. @p workers == 0 picks
+     * hardware_concurrency; with the Serial backend no helpers run
+     * and all draining happens on producers (backpressure) and in
+     * streamEnd(). Throws UsageError mid-run, mid-stream, or with
+     * batch threads pending.
+     */
+    void streamBegin(unsigned workers = 0);
+
+    /**
+     * Close the session opened by streamBegin(): seals and drains
+     * everything still pending, stops the helpers, folds the
+     * session's counters into the scheduler's lifetime statistics,
+     * and (under StopTour) rethrows the first contained exception
+     * exactly once. Returns the number of threads the stream
+     * executed.
+     */
+    std::uint64_t streamEnd();
+
+    /**
+     * Convenience wrapper: streamBegin(workers), run @p producer on
+     * @p producers OS threads (index 0 runs on the caller), then
+     * streamEnd(). A throwing producer still closes the stream before
+     * its exception is rethrown.
+     */
+    std::uint64_t
+    runStream(unsigned workers, unsigned producers,
+              const std::function<void(unsigned)> &producer);
+
+    /** True between streamBegin() and streamEnd(). */
+    bool streaming() const { return stream_ != nullptr; }
+
+    /** Live session counters, or lifetime totals when idle. */
+    StreamStats
+    streamStats() const
+    {
+        return stream_ ? stream_->stats() : lifetimeStream_;
+    }
+
+    /** Per-bin totals of the most recent finished stream. */
+    const std::vector<StreamBinReport> &lastStreamBins() const
+    {
+        return lastStreamBins_;
+    }
+
     /** Drop all pending threads without running them. */
     void clear();
 
@@ -256,14 +331,15 @@ class LocalityScheduler
     }
 
     /**
-     * Block coordinates a given hint vector maps to (for tests).
-     * Non-const: a stateful placement (RoundRobin's cursor) advances
-     * exactly as a fork with these hints would.
+     * Block coordinates a given hint vector maps to (for tests and
+     * stats). A pure inspection: routed through PlacementPolicy::peek,
+     * so a stateful placement (RoundRobin's cursor) is *not* advanced
+     * — calling this can never perturb where real forks land.
      */
     BlockCoords
-    coordsFor(std::span<const Hint> hints)
+    coordsFor(std::span<const Hint> hints) const
     {
-        return placement_->place(hints).coords;
+        return placement_->peek(hints).coords;
     }
 
     /** The active placement policy (inspection; tests). */
@@ -303,6 +379,16 @@ class LocalityScheduler
     std::uint64_t lastFaultsTotal_ = 0;
     bool running_ = false;
     bool nestedForkOk_ = false;
+
+    /**
+     * Active streaming session; non-null exactly while streaming().
+     * Declared after workerPool_ so teardown finishes the stream
+     * (stopping the drain helpers) before the pool is destroyed.
+     */
+    std::unique_ptr<StreamSession> stream_;
+    /** Accumulated counters of finished streams. */
+    StreamStats lifetimeStream_;
+    std::vector<StreamBinReport> lastStreamBins_;
 };
 
 namespace detail

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * StreamSession implementation: sharded intake, seal/epoch hand-off,
+ * backpressure, and the drain loops. See stream.hh for the design.
+ */
+
+#include "threads/stream.hh"
+
+#include <string>
+
+#include "support/panic.hh"
+#include "threads/bin_exec.hh"
+#include "threads/sched_obs.hh"
+#include "threads/scheduler.hh"
+
+namespace lsched::threads
+{
+
+namespace
+{
+
+/**
+ * True while this producer thread is draining a sealed bin inline
+ * (backpressure help). Nested forks from the user threads it runs
+ * bypass the maxPending bound — blocking would deadlock the one
+ * thread doing the draining.
+ */
+thread_local bool t_inInlineDrain = false;
+
+struct InlineDrainScope
+{
+    InlineDrainScope() { t_inInlineDrain = true; }
+    ~InlineDrainScope() { t_inInlineDrain = false; }
+};
+
+} // namespace
+
+StreamSession::StreamSession(const SchedulerConfig &config,
+                             PlacementPolicy &placement,
+                             WorkerPool *pool, unsigned drainWorkers)
+    : dims_(config.dims),
+      sealThreshold_(config.streamSealThreshold),
+      maxPending_(config.streamMaxPending),
+      placement_(placement),
+      placementStateless_(placement.stateless()),
+      fault_(config.onError, &faults_),
+      pool_(pool)
+{
+    const unsigned shardCount =
+        config.streamShards ? config.streamShards : kDefaultShards;
+    // Split the configured bucket budget over the shards; each shard
+    // still grows independently past 3/4 load.
+    const std::size_t bucketsPerShard =
+        std::max<std::size_t>(BinTable::kMinSlots,
+                              config.hashBuckets / shardCount);
+    shards_.reserve(shardCount);
+    for (unsigned i = 0; i < shardCount; ++i) {
+        // Disjoint id spaces per shard (and away from the batch
+        // table's 0-based ids) keep trace/fault bin ids unambiguous.
+        shards_.push_back(std::make_unique<Shard>(
+            config.dims, bucketsPerShard, (i + 1u) << 24,
+            config.groupCapacity));
+    }
+    if (pool_) {
+        job_.body = &StreamSession::drainMain;
+        job_.ctx = this;
+        job_.workers = std::max(1u, drainWorkers);
+        pool_->beginStream(job_);
+        helpersRunning_ = true;
+    }
+}
+
+StreamSession::~StreamSession()
+{
+    try {
+        finish();
+    } catch (...) {
+        // Teardown without a streamEnd(): there is nobody left to
+        // rethrow a final inline-drain fault to.
+    }
+}
+
+unsigned
+StreamSession::shardOf(std::uint64_t hash) const
+{
+    // Top bits pick the shard; the table uses the low bits for its
+    // slot, so the two selections stay independent.
+    return static_cast<unsigned>((hash >> 48) % shards_.size());
+}
+
+void
+StreamSession::admitThread()
+{
+    if (!maxPending_ || t_inInlineDrain) {
+        const std::uint64_t now =
+            pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+        std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+        while (now > peak &&
+               !peak_.compare_exchange_weak(peak, now,
+                                            std::memory_order_relaxed))
+            ;
+        return;
+    }
+    std::uint64_t cur = pending_.load(std::memory_order_relaxed);
+    for (;;) {
+        if (fault_.stopRequested()) {
+            // Stopping: drainers are discarding, so holding producers
+            // at the bound could wait on progress that never comes.
+            pending_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        if (cur < maxPending_) {
+            // Admission is the CAS itself, so concurrent producers
+            // cannot collectively overshoot the bound.
+            if (pending_.compare_exchange_weak(
+                    cur, cur + 1, std::memory_order_relaxed))
+                break;
+            continue;
+        }
+        onBackpressure();
+        cur = pending_.load(std::memory_order_relaxed);
+    }
+    const std::uint64_t now = cur + 1;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed))
+        ;
+}
+
+void
+StreamSession::onBackpressure()
+{
+    LSCHED_TRACE_EVENT(obs::EventType::Backpressure,
+                       pending_.load(std::memory_order_relaxed),
+                       maxPending_);
+    if (obs::metricsOn())
+        detail::schedInstruments().streamBackpressure->add();
+
+    // First choice: become the drain. One sealed bin run inline frees
+    // at least one admission slot without waiting on anyone.
+    detail::SealedBin item;
+    if (queue_.tryPop(item)) {
+        inlineDrains_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metricsOn())
+            detail::schedInstruments().streamInline->add();
+        InlineDrainScope inDrain;
+        drainOne(item, 0);
+        return;
+    }
+    // Nothing sealed yet: the backlog is sitting in open bins. Seal
+    // one so the drain (pool or our next pass) has work.
+    if (forceSealOne())
+        return;
+    // The backlog is entirely in flight on the drain workers; park
+    // until one of them retires a chain.
+    bpWaits_.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> lock(bpMutex_);
+    bpCv_.wait(lock, [&] {
+        return pending_.load(std::memory_order_relaxed) < maxPending_ ||
+               fault_.stopRequested();
+    });
+}
+
+detail::SealedBin
+StreamSession::sealLocked(Shard &, unsigned shardIndex, Bin *bin)
+{
+    detail::SealedBin s;
+    s.binId = bin->id;
+    s.epoch = ++bin->streamEpoch;
+    s.shard = shardIndex;
+    s.threads = bin->threadCount;
+    s.groups = bin->groupsHead;
+    // The bin stays open (and listed in Shard::open): the next fork
+    // with the same coordinates starts the bin's next epoch.
+    bin->clearGroups();
+    return s;
+}
+
+void
+StreamSession::enqueue(const detail::SealedBin &item)
+{
+    seals_.fetch_add(1, std::memory_order_relaxed);
+    LSCHED_TRACE_EVENT(obs::EventType::StreamSeal, item.binId,
+                       item.epoch, item.threads);
+    if (obs::metricsOn())
+        detail::schedInstruments().streamSeals->add();
+    queue_.push(item);
+}
+
+bool
+StreamSession::forceSealOne()
+{
+    const unsigned n = static_cast<unsigned>(shards_.size());
+    const unsigned start =
+        sealCursor_.fetch_add(1, std::memory_order_relaxed);
+    for (unsigned i = 0; i < n; ++i) {
+        const unsigned index = (start + i) % n;
+        Shard &shard = *shards_[index];
+        detail::SealedBin sealed;
+        bool found = false;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (Bin *bin : shard.open) {
+                if (bin->threadCount) {
+                    sealed = sealLocked(shard, index, bin);
+                    found = true;
+                    break;
+                }
+            }
+        }
+        if (found) {
+            enqueue(sealed);
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+StreamSession::fork(ThreadFn fn, void *arg1, void *arg2,
+                    std::span<const Hint> hints)
+{
+    LSCHED_ASSERT(fn != nullptr, "fork of a null thread function");
+    admitThread();
+
+    PlacementDecision where;
+    if (placementStateless_) {
+        where = placement_.place(hints);
+    } else {
+        std::lock_guard<std::mutex> lock(placementMutex_);
+        where = placement_.place(hints);
+    }
+
+    const std::uint64_t h = hashCoords(where.coords, dims_);
+    const unsigned shardIndex = shardOf(h);
+    Shard &shard = *shards_[shardIndex];
+
+    detail::SealedBin sealed;
+    bool doSeal = false;
+    bool created = false;
+    std::uint32_t binId = 0;
+    try {
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        const auto [bin, fresh] =
+            shard.table.findOrCreateHashed(where.coords, h);
+        created = fresh;
+        if (fresh)
+            bin->superBin = where.superBin;
+        binId = bin->id;
+        ThreadGroup *group = bin->groupsTail;
+        if (!group || group->full()) {
+            group = shard.pool.allocate();
+            if (bin->groupsTail)
+                bin->groupsTail->next = group;
+            else
+                bin->groupsHead = group;
+            bin->groupsTail = group;
+        }
+        group->push(fn, arg1, arg2);
+        ++bin->threadCount;
+        ++bin->streamTotalThreads;
+        if (!bin->onReadyList) {
+            bin->onReadyList = true;
+            shard.open.push_back(bin);
+        }
+        if (sealThreshold_ && bin->threadCount >= sealThreshold_) {
+            sealed = sealLocked(shard, shardIndex, bin);
+            doSeal = true;
+        }
+    } catch (...) {
+        // The admission slot was reserved up front; hand it back so an
+        // allocation failure cannot wedge the bound.
+        pending_.fetch_sub(1, std::memory_order_relaxed);
+        throw;
+    }
+
+    forked_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::anyOn()) [[unlikely]] {
+        if (obs::metricsOn()) {
+            const detail::SchedInstruments &ins =
+                detail::schedInstruments();
+            ins.forked->add();
+            ins.streamForked->add();
+            if (created)
+                ins.binsCreated->add();
+        }
+        if (created) {
+            LSCHED_TRACE_EVENT(obs::EventType::BinCreate, binId,
+                               where.coords[0], where.coords[1]);
+        }
+        LSCHED_TRACE_EVENT(obs::EventType::ThreadFork, binId,
+                           where.coords[0], where.coords[1]);
+    }
+    if (doSeal)
+        enqueue(sealed);
+}
+
+void
+StreamSession::drainOne(const detail::SealedBin &item, unsigned worker)
+{
+    detail::GroupCursor cursor(item.groups);
+    std::uint64_t done = 0;
+    try {
+        done = detail::executeBin(item.binId, item.threads, fault_,
+                                  worker, cursor);
+    } catch (...) {
+        // ErrorPolicy::Abort: still retire the chain so the backlog
+        // accounting (and any producer blocked on it) stays sane
+        // while the exception unwinds.
+        retire(item);
+        throw;
+    }
+    executed_.fetch_add(done, std::memory_order_relaxed);
+    retire(item);
+}
+
+void
+StreamSession::discard(const detail::SealedBin &item)
+{
+    retire(item);
+}
+
+void
+StreamSession::retire(const detail::SealedBin &item)
+{
+    {
+        Shard &shard = *shards_[item.shard];
+        std::lock_guard<std::mutex> lock(shard.mutex);
+        shard.pool.recycleChain(item.groups);
+    }
+    pending_.fetch_sub(item.threads, std::memory_order_relaxed);
+    if (maxPending_) {
+        // Pass through the lock empty-handed so a producer between
+        // its predicate check and its wait cannot miss this wakeup.
+        { std::lock_guard<std::mutex> lock(bpMutex_); }
+        bpCv_.notify_all();
+    }
+}
+
+void
+StreamSession::drainMain(unsigned worker, void *ctx)
+{
+    auto *self = static_cast<StreamSession *>(ctx);
+    if (obs::traceOn()) {
+        obs::TraceSession::global().setLaneName(
+            "stream drain " + std::to_string(worker));
+    }
+    // Same marker as tour workers: fork() from a user thread running
+    // on a drain helper is the unsupported (fatal) case; producers
+    // fork from their own threads.
+    detail::ParallelWorkerScope inWorker;
+    detail::SealedBin item;
+    while (self->queue_.waitPop(item)) {
+        if (self->fault_.stopRequested())
+            self->discard(item);
+        else
+            self->drainOne(item, worker);
+    }
+}
+
+void
+StreamSession::finish()
+{
+    if (finished_)
+        return;
+    finished_ = true;
+
+    // Producers have stopped (the owner's contract): seal every open
+    // chain so the tail of the stream drains like any other epoch.
+    for (unsigned i = 0; i < shards_.size(); ++i) {
+        Shard &shard = *shards_[i];
+        std::vector<detail::SealedBin> tail;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (Bin *bin : shard.open)
+                if (bin->threadCount)
+                    tail.push_back(sealLocked(shard, i, bin));
+        }
+        for (const detail::SealedBin &item : tail)
+            enqueue(item);
+    }
+
+    queue_.finish();
+    if (helpersRunning_) {
+        pool_->endStream();
+        helpersRunning_ = false;
+    }
+    // Inline-only mode (no pool): the caller drains the whole tail as
+    // worker 0. With helpers the queue is already empty — they only
+    // exit waitPop once it is.
+    detail::SealedBin item;
+    while (queue_.tryPop(item)) {
+        if (fault_.stopRequested())
+            discard(item);
+        else
+            drainOne(item, 0);
+    }
+
+    for (const auto &shardPtr : shards_) {
+        for (const Bin *bin : shardPtr->open) {
+            if (!bin->streamTotalThreads)
+                continue;
+            StreamBinReport r;
+            r.coords = bin->coords;
+            r.epochs = bin->streamEpoch;
+            r.threads = bin->streamTotalThreads;
+            bins_.push_back(r);
+        }
+    }
+}
+
+StreamStats
+StreamSession::stats() const
+{
+    StreamStats s;
+    s.forked = forked_.load(std::memory_order_relaxed);
+    s.executed = executed_.load(std::memory_order_relaxed);
+    s.seals = seals_.load(std::memory_order_relaxed);
+    s.backpressureWaits = bpWaits_.load(std::memory_order_relaxed);
+    s.inlineDrains = inlineDrains_.load(std::memory_order_relaxed);
+    s.backlog = pending_.load(std::memory_order_relaxed);
+    s.peakBacklog = peak_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace lsched::threads

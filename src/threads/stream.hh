@@ -1,0 +1,333 @@
+/**
+ * @file
+ * Streaming admission: fork-while-run (the tentpole past the paper's
+ * batch model).
+ *
+ * The paper's package is strictly fork-everything-then-th_run; its §7
+ * leaves concurrency as future work. A StreamSession removes the
+ * barrier: any OS thread may fork while the pool drains, so admission
+ * overlaps execution and the machine never idles waiting for bins to
+ * be built.
+ *
+ * Structure:
+ *
+ *  - Intake is *sharded*: forks hash their block coordinates once
+ *    (hashCoords) — the top bits pick a shard, the rest the slot in
+ *    that shard's own BinTable. Each shard has its own mutex and its
+ *    own GroupPool slab allocator, so producers contend only when
+ *    they hit the same shard, and group storage recycles within the
+ *    shard that allocated it.
+ *
+ *  - Bins gain *seal/epoch* semantics: sealing detaches a bin's
+ *    group chain as one SealedBin work item (bumping the bin's
+ *    streamEpoch) and re-opens the bin for further forks. A bin seals
+ *    when it reaches streamSealThreshold threads, when a producer
+ *    under backpressure force-seals it, or at finish(). Drain workers
+ *    execute *sealed* chains only — they never touch a bin a producer
+ *    may be appending to, which is the whole synchronization story:
+ *    chain hand-off happens under the shard lock and the queue mutex,
+ *    and after that the chain is exclusively the drainer's.
+ *
+ *  - Backpressure bounds memory: with streamMaxPending set, admission
+ *    is a CAS that only succeeds below the bound. A producer at the
+ *    bound first tries to drain one sealed bin inline (becoming
+ *    worker 0 for that bin), then to force-seal an open bin for the
+ *    pool, and only then blocks until the drainers catch up. Nested
+ *    forks from a thread *being drained inline* bypass the bound —
+ *    blocking there would deadlock the very producer doing the
+ *    draining — so for workloads that fork from user threads the
+ *    bound is a soft target, exact otherwise.
+ *
+ * Draining is the fourth execution mode next to Serial/Pooled/
+ * ColdSpawn tours: there is no tour to partition — work arrives
+ * incrementally — so the pool's helpers loop on the sealed queue
+ * (WorkerPool::beginStream) and every chain still runs through THE
+ * one executeBin() routine (bin_exec.hh), keeping ErrorPolicy
+ * containment, tracing, and dwell metrics identical to batch runs.
+ */
+
+#ifndef LSCHED_THREADS_STREAM_HH
+#define LSCHED_THREADS_STREAM_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "threads/fault.hh"
+#include "threads/hash_table.hh"
+#include "threads/hints.hh"
+#include "threads/placement.hh"
+#include "threads/thread_group.hh"
+#include "threads/worker_pool.hh"
+
+namespace lsched::threads
+{
+
+struct SchedulerConfig;
+
+/** Counters of one streaming session (also lifetime-accumulated). */
+struct StreamStats
+{
+    /** Threads admitted through the stream. */
+    std::uint64_t forked = 0;
+    /** Threads executed by the drain (inline or pool). */
+    std::uint64_t executed = 0;
+    /** Sealed-chain work items produced. */
+    std::uint64_t seals = 0;
+    /** Times a producer blocked at the maxPending bound. */
+    std::uint64_t backpressureWaits = 0;
+    /** Sealed bins a producer drained inline under backpressure. */
+    std::uint64_t inlineDrains = 0;
+    /** Threads admitted but not yet executed (live snapshot). */
+    std::uint64_t backlog = 0;
+    /** Highest backlog observed. */
+    std::uint64_t peakBacklog = 0;
+
+    StreamStats &
+    operator+=(const StreamStats &o)
+    {
+        forked += o.forked;
+        executed += o.executed;
+        seals += o.seals;
+        backpressureWaits += o.backpressureWaits;
+        inlineDrains += o.inlineDrains;
+        backlog = o.backlog;
+        peakBacklog = std::max(peakBacklog, o.peakBacklog);
+        return *this;
+    }
+};
+
+/** Per-bin outcome of a finished stream (tests, reports). */
+struct StreamBinReport
+{
+    /** The bin's block coordinates. */
+    BlockCoords coords{};
+    /** Seal epochs the bin went through. */
+    std::uint32_t epochs = 0;
+    /** Threads admitted to the bin across all epochs. */
+    std::uint64_t threads = 0;
+};
+
+namespace detail
+{
+
+/** One sealed chain: a bin epoch's threads, ready to drain. */
+struct SealedBin
+{
+    std::uint32_t binId = 0;
+    std::uint32_t epoch = 0;
+    /** Shard whose GroupPool owns the chain (for recycling). */
+    std::uint32_t shard = 0;
+    std::uint64_t threads = 0;
+    ThreadGroup *groups = nullptr;
+};
+
+/**
+ * MPMC FIFO of sealed chains between producers and drain workers.
+ * Draining in seal order is the streaming analogue of the ready
+ * list's creation-order tour.
+ */
+class SealedQueue
+{
+  public:
+    void
+    push(const SealedBin &item)
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            items_.push_back(item);
+        }
+        cv_.notify_one();
+    }
+
+    /** Non-blocking pop (producer inline drain). */
+    bool
+    tryPop(SealedBin &out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (items_.empty())
+            return false;
+        out = items_.front();
+        items_.pop_front();
+        return true;
+    }
+
+    /** Block until an item arrives or finish(); false = stream over. */
+    bool
+    waitPop(SealedBin &out)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] { return !items_.empty() || finished_; });
+        if (items_.empty())
+            return false;
+        out = items_.front();
+        items_.pop_front();
+        return true;
+    }
+
+    /** No more pushes will come; unblocks every waitPop. */
+    void
+    finish()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            finished_ = true;
+        }
+        cv_.notify_all();
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::condition_variable cv_;
+    std::deque<SealedBin> items_;
+    bool finished_ = false;
+};
+
+} // namespace detail
+
+/**
+ * One fork-while-run session (th_stream_begin .. th_stream_end).
+ * Created by LocalityScheduler::streamBegin(), which also flips the
+ * scheduler into streaming mode so fork() routes here. fork() is safe
+ * from any number of OS threads concurrently; every other method is
+ * the owning scheduler's to call.
+ */
+class StreamSession
+{
+  public:
+    /** Shards used when the config leaves streamShards at 0. */
+    static constexpr unsigned kDefaultShards = 8;
+
+    /**
+     * @param config the owning scheduler's validated configuration.
+     * @param placement the scheduler's placement policy. Stateless
+     *        policies (BlockHash) are called lock-free from producers;
+     *        stateful ones are serialized on an internal mutex.
+     * @param pool the scheduler's worker pool, or nullptr for the
+     *        inline-only mode (Serial backend): no drain helpers, all
+     *        execution happens on producers and at finish().
+     * @param drainWorkers helper threads draining sealed bins
+     *        (ignored when @p pool is null).
+     */
+    StreamSession(const SchedulerConfig &config,
+                  PlacementPolicy &placement, WorkerPool *pool,
+                  unsigned drainWorkers);
+
+    /** Finishes the stream if the owner never did (teardown path). */
+    ~StreamSession();
+
+    StreamSession(const StreamSession &) = delete;
+    StreamSession &operator=(const StreamSession &) = delete;
+
+    /** Admit one thread (thread-safe; may block under backpressure). */
+    void fork(ThreadFn fn, void *arg1, void *arg2,
+              std::span<const Hint> hints);
+
+    /**
+     * Seal every open bin, drain the backlog to empty, and stop the
+     * helpers. Idempotent. Does not rethrow — the owner decides what
+     * to do with firstFault() after restoring its own state.
+     */
+    void finish();
+
+    /** Live (or final) counters. */
+    StreamStats stats() const;
+
+    /** Per-bin totals; valid after finish(). */
+    const std::vector<StreamBinReport> &binReports() const
+    {
+        return bins_;
+    }
+
+    /** Contained faults; valid after finish(). */
+    const std::vector<ThreadFault> &faults() const { return faults_; }
+
+    /** Total faults including past the recording cap. */
+    std::uint64_t faultCount() const { return fault_.totalFaults; }
+
+    /** First StopTour exception, for the owner to rethrow. */
+    std::exception_ptr firstFault() const { return fault_.first; }
+
+  private:
+    /** One intake shard, padded so shard locks do not false-share. */
+    struct alignas(64) Shard
+    {
+        std::mutex mutex;
+        BinTable table;
+        GroupPool pool;
+        /** Every bin ever admitted here (Bin::onReadyList marks
+         *  membership; a seal keeps the bin listed and open). */
+        std::vector<Bin *> open;
+
+        Shard(unsigned dims, std::size_t buckets, std::uint32_t idBase,
+              std::uint32_t groupCapacity)
+            : table(dims, buckets, idBase), pool(groupCapacity)
+        {
+        }
+    };
+
+    static void drainMain(unsigned worker, void *ctx);
+
+    unsigned shardOf(std::uint64_t hash) const;
+    /** Reserve one admission slot, enforcing the maxPending bound. */
+    void admitThread();
+    /** Help at the bound: inline-drain, force-seal, or block. */
+    void onBackpressure();
+    /** Detach the bin's chain as a work item. Shard lock held. */
+    detail::SealedBin sealLocked(Shard &shard, unsigned shardIndex,
+                                 Bin *bin);
+    /** Trace + count + queue one sealed chain. */
+    void enqueue(const detail::SealedBin &item);
+    /** Seal the first non-empty open bin, rotating over shards. */
+    bool forceSealOne();
+    /** Execute one sealed chain as @p worker and retire it. */
+    void drainOne(const detail::SealedBin &item, unsigned worker);
+    /** Retire a chain without running it (StopTour discard). */
+    void discard(const detail::SealedBin &item);
+    /** Return the chain to its shard's pool and shrink the backlog. */
+    void retire(const detail::SealedBin &item);
+
+    const unsigned dims_;
+    const std::uint64_t sealThreshold_;
+    const std::uint64_t maxPending_;
+
+    PlacementPolicy &placement_;
+    /** Serializes place() for stateful policies; unused otherwise. */
+    std::mutex placementMutex_;
+    const bool placementStateless_;
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+    detail::SealedQueue queue_;
+    /** Rotation cursor for forceSealOne's shard scan. */
+    std::atomic<unsigned> sealCursor_{0};
+
+    std::vector<ThreadFault> faults_;
+    detail::FaultCtx fault_;
+
+    std::atomic<std::uint64_t> pending_{0};
+    std::atomic<std::uint64_t> peak_{0};
+    std::atomic<std::uint64_t> forked_{0};
+    std::atomic<std::uint64_t> executed_{0};
+    std::atomic<std::uint64_t> seals_{0};
+    std::atomic<std::uint64_t> bpWaits_{0};
+    std::atomic<std::uint64_t> inlineDrains_{0};
+    /** Producers blocked at the bound park here; drainers notify. */
+    std::mutex bpMutex_;
+    std::condition_variable bpCv_;
+
+    WorkerPool *pool_;
+    detail::StreamJob job_;
+    bool helpersRunning_ = false;
+
+    std::vector<StreamBinReport> bins_;
+    bool finished_ = false;
+};
+
+} // namespace lsched::threads
+
+#endif // LSCHED_THREADS_STREAM_HH

@@ -156,6 +156,7 @@ WorkerPool::runTour(detail::PoolJob &job)
             std::lock_guard<std::mutex> lock(mutex_);
             job_ = &job;
             tourWorkers_ = job.workers;
+            streamActive_ = false;
             ++epoch_;
             active_ = job.workers - 1;
         }
@@ -184,6 +185,38 @@ WorkerPool::runTour(detail::PoolJob &job)
 }
 
 void
+WorkerPool::beginStream(detail::StreamJob &job)
+{
+    LSCHED_ASSERT(job.workers >= 1, "stream with zero drain workers");
+    ensureWorkers(job.workers + 1); // job.workers helpers; 0 = producers
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        streamJob_ = &job;
+        streamWorkers_ = job.workers;
+        streamActive_ = true;
+        ++epoch_;
+        active_ = job.workers;
+    }
+    wakeCv_.notify_all();
+}
+
+void
+WorkerPool::endStream()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        doneCv_.wait(lock, [&] { return active_ == 0; });
+        // streamActive_ deliberately stays true (see the member
+        // comment); the wait above just proved every participant is
+        // past the body, and non-participants never deref streamJob_,
+        // so clearing the pointer is safe even though the job itself
+        // dies with the stream session.
+        streamJob_ = nullptr;
+    }
+    tours_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
 WorkerPool::helperMain(unsigned helperIndex, std::uint64_t startEpoch)
 {
     const unsigned id = helperIndex + 1;
@@ -207,6 +240,21 @@ WorkerPool::helperMain(unsigned helperIndex, std::uint64_t startEpoch)
         if (shutdown_)
             return;
         seen = epoch_;
+        if (streamActive_) {
+            // Streaming epoch. Same discipline as the tour branch
+            // below: participation comes from streamWorkers_ under
+            // mutex_, and only participants — whom endStream waits
+            // for via active_ — may deref streamJob_.
+            if (id > streamWorkers_)
+                continue;
+            detail::StreamJob &job = *streamJob_;
+            lock.unlock();
+            job.body(id, job.ctx);
+            lock.lock();
+            if (--active_ == 0)
+                doneCv_.notify_one();
+            continue;
+        }
         // Participation is decided under mutex_ from tourWorkers_,
         // never by dereferencing job_: the job lives on runTour's
         // caller's stack and the active_ handshake keeps it alive only

@@ -191,6 +191,26 @@ struct PoolJob
     std::atomic<std::uint64_t> executed{0};
 };
 
+/**
+ * One streaming drain handed to the pool (beginStream/endStream):
+ * each participating helper runs @p body once, and the body is
+ * expected to loop popping sealed bins until the stream's queue
+ * finishes. Unlike a PoolJob this has no tour — the work arrives
+ * incrementally from the producers.
+ */
+struct StreamJob
+{
+    /**
+     * Drain loop, run to completion by each participating helper.
+     * @p worker is the pool worker id, 1..workers — id 0 is reserved
+     * for producers draining inline under backpressure.
+     */
+    void (*body)(unsigned worker, void *ctx) = nullptr;
+    void *ctx = nullptr;
+    /** Helper threads draining the stream (>= 1). */
+    unsigned workers = 1;
+};
+
 } // namespace detail
 
 /**
@@ -228,6 +248,20 @@ class WorkerPool
      */
     void runTour(detail::PoolJob &job);
 
+    /**
+     * Wake job.workers helpers and set them looping job.body — the
+     * streaming drain. The caller does *not* participate (it returns
+     * immediately to keep producing); helpers run until the body
+     * returns, which the stream session arranges by finishing its
+     * sealed-bin queue. @p job must stay alive until endStream()
+     * returns. No tour may run between beginStream and endStream
+     * (the scheduler's running_ flag already enforces this).
+     */
+    void beginStream(detail::StreamJob &job);
+
+    /** Wait for every stream helper to finish the drain body. */
+    void endStream();
+
     /** Lifetime statistics. */
     WorkerPoolStats stats() const;
 
@@ -263,6 +297,18 @@ class WorkerPool
      *  participating (the active_ handshake keeps it alive for exactly
      *  those helpers). */
     unsigned tourWorkers_ = 0;
+    /** Current stream, under mutex_; same deref discipline as job_. */
+    detail::StreamJob *streamJob_ = nullptr;
+    /** Stream width, under mutex_ — the streaming tourWorkers_. */
+    unsigned streamWorkers_ = 0;
+    /**
+     * True from beginStream until the *next tour's* epoch bump — not
+     * endStream — so a helper that parked before the stream and wakes
+     * after it cannot fall into the tour branch and test the stale
+     * pre-stream tourWorkers_ (the shrinking-tour use-after-free,
+     * streaming edition).
+     */
+    bool streamActive_ = false;
     std::uint64_t epoch_ = 0;        ///< bumped per tour, under mutex_
     unsigned active_ = 0;            ///< helpers still in the tour
     bool shutdown_ = false;

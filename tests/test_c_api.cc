@@ -9,6 +9,7 @@
 
 #include "obs/trace.hh"
 #include "threads/c_api.hh"
+#include "threads/config_keys.hh"
 
 namespace
 {
@@ -236,6 +237,135 @@ TEST_F(CApiTest, SetPlacementAndBackendSelectAtRuntime)
     EXPECT_EQ(th_set_backend("pooled"), 0);
     EXPECT_EQ(th_stats().placement, 0);
     EXPECT_EQ(th_stats().backend, 1);
+}
+
+TEST_F(CApiTest, ConfigureRoundTripsEveryKey)
+{
+    // Every key reads back a value that th_configure accepts and that
+    // reproduces itself — the unified surface's round-trip contract,
+    // driven through the C boundary.
+    for (const std::string &key : lsched::threads::configKeys()) {
+        char value[64];
+        const int n = th_config_get(key.c_str(), value,
+                                    sizeof(value));
+        ASSERT_GE(n, 0) << key;
+        ASSERT_LT(n, static_cast<int>(sizeof(value))) << key;
+        EXPECT_EQ(th_configure(key.c_str(), value), 0)
+            << key << "=" << value << ": " << th_last_error();
+        char again[64];
+        ASSERT_EQ(th_config_get(key.c_str(), again, sizeof(again)), n);
+        EXPECT_STREQ(again, value) << key;
+    }
+}
+
+TEST_F(CApiTest, ConfigureRejectsUnknownKeysAndBadValues)
+{
+    th_clear_error();
+    EXPECT_EQ(th_configure("bogus_knob", "1"), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+    EXPECT_NE(std::string(th_last_error()).find("bogus_knob"),
+              std::string::npos);
+
+    th_clear_error();
+    EXPECT_EQ(th_configure("dims", "0"), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+
+    th_clear_error();
+    EXPECT_EQ(th_configure("tour", "sideways"), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+
+    th_clear_error();
+    EXPECT_EQ(th_configure(nullptr, "1"), -1);
+    EXPECT_EQ(th_configure("dims", nullptr), -1);
+
+    // A rejected value leaves the configuration untouched.
+    th_clear_error();
+    char dims[16];
+    ASSERT_GT(th_config_get("dims", dims, sizeof(dims)), 0);
+    EXPECT_EQ(th_configure("dims", "99"), -1);
+    char after[16];
+    ASSERT_GT(th_config_get("dims", after, sizeof(after)), 0);
+    EXPECT_STREQ(after, dims);
+    th_clear_error();
+}
+
+TEST_F(CApiTest, ConfigGetReportsLengthAndTruncates)
+{
+    th_clear_error();
+    EXPECT_EQ(th_config_get("bogus_knob", nullptr, 0), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+    th_clear_error();
+
+    ASSERT_EQ(th_configure("placement", "hierarchical"), 0);
+    // Full length comes back regardless of the buffer (snprintf-ish),
+    // and what fits is NUL-terminated.
+    EXPECT_EQ(th_config_get("placement", nullptr, 0), 12);
+    char tiny[5];
+    EXPECT_EQ(th_config_get("placement", tiny, sizeof(tiny)), 12);
+    EXPECT_STREQ(tiny, "hier");
+    ASSERT_EQ(th_configure("placement", "blockhash"), 0);
+}
+
+TEST_F(CApiTest, LegacySettersAreConfigureShims)
+{
+    // th_set_backend("coldspawn") always dropped the persistent pool;
+    // the shim path must keep that coupling, observably through
+    // th_config_get.
+    ASSERT_EQ(th_set_backend("coldspawn"), 0);
+    char value[8];
+    ASSERT_GT(th_config_get("persistent_pool", value, sizeof(value)),
+              0);
+    EXPECT_STREQ(value, "0");
+
+    ASSERT_EQ(th_configure("backend", "pooled"), 0);
+    ASSERT_GT(th_config_get("persistent_pool", value, sizeof(value)),
+              0);
+    EXPECT_STREQ(value, "1");
+
+    // And th_init is a shim over block_bytes/hash_buckets.
+    th_init(8192, 64);
+    ASSERT_GT(th_config_get("block_bytes", value, sizeof(value)), 0);
+    EXPECT_STREQ(value, "8192");
+    ASSERT_GT(th_config_get("hash_buckets", value, sizeof(value)), 0);
+    EXPECT_STREQ(value, "64");
+    th_init(0, 0);
+}
+
+std::atomic<std::uint64_t> g_streamRuns{0};
+
+void
+bumpStream(void *, void *)
+{
+    g_streamRuns.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST_F(CApiTest, StreamSessionThroughTheCBoundary)
+{
+    th_clear_error();
+    EXPECT_EQ(th_stream_end(), -1ll) << "no stream open yet";
+    ASSERT_NE(th_last_error(), nullptr);
+    th_clear_error();
+
+    g_streamRuns.store(0);
+    ASSERT_EQ(th_configure("stream_seal_threshold", "16"), 0);
+    const th_stats_t before = th_stats();
+    ASSERT_EQ(th_stream_begin(1), 0);
+    for (std::uintptr_t i = 0; i < 300; ++i) {
+        th_fork(&bumpStream, nullptr, nullptr,
+                reinterpret_cast<void *>((i % 40) * 0x100000),
+                nullptr, nullptr);
+    }
+    EXPECT_EQ(th_stream_end(), 300ll);
+    EXPECT_EQ(g_streamRuns.load(), 300u);
+
+    // The appended (ABI rule) stream fields report the session.
+    const th_stats_t after = th_stats();
+    EXPECT_EQ(after.stream_forked - before.stream_forked, 300u);
+    EXPECT_EQ(after.stream_executed - before.stream_executed, 300u);
+    EXPECT_GE(after.stream_seals, before.stream_seals);
+    EXPECT_EQ(after.stream_backlog, 0u);
+    EXPECT_EQ(after.executed_threads - before.executed_threads, 300u);
+    ASSERT_EQ(th_configure("stream_seal_threshold", "0"), 0);
 }
 
 TEST_F(CApiTest, TraceControlsWriteFiles)

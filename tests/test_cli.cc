@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "support/cli.hh"
+#include "threads/scheduler.hh"
+#include "threads/tour.hh"
 
 namespace
 {
@@ -70,6 +75,33 @@ TEST(Cli, HelpTextMentionsAllOptions)
     EXPECT_NE(help.find("--help"), std::string::npos);
 }
 
+std::string g_hookPlacement, g_hookBackend, g_hookSched;
+
+void
+captureSched(const std::string &placement, const std::string &backend,
+             const std::string &sched)
+{
+    g_hookPlacement = placement;
+    g_hookBackend = backend;
+    g_hookSched = sched;
+}
+
+TEST(Cli, SchedFlagsForwardToTheHook)
+{
+    // Capture-and-restore: leave the scheduler library's real hook in
+    // place for the rest of the binary.
+    const lsched::CliSchedHook previous =
+        lsched::setCliSchedHook(&captureSched);
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--placement=roundrobin", "--sched",
+                          "tour=snake,stream_max_pending=4096"};
+    cli.parse(4, argv);
+    lsched::setCliSchedHook(previous);
+    EXPECT_EQ(g_hookPlacement, "roundrobin");
+    EXPECT_EQ(g_hookBackend, "");
+    EXPECT_EQ(g_hookSched, "tour=snake,stream_max_pending=4096");
+}
+
 using CliDeathTest = ::testing::Test;
 
 TEST(CliDeathTest, UnknownOptionIsFatal)
@@ -111,6 +143,53 @@ TEST(CliDeathTest, FlagWithValueIsFatal)
     const char *argv[] = {"prog", "--full=1"};
     EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
                 "takes no value");
+}
+
+// The --sched end-to-end checks run in the EXPECT_EXIT child so the
+// process-global override list never leaks into other tests.
+
+[[noreturn]] void
+parseSchedAndExitZeroIfApplied()
+{
+    Cli cli("prog", "t");
+    const char *argv[] = {"prog", "--sched",
+                          "tour=snake,stream_seal_threshold=77"};
+    cli.parse(3, argv);
+    lsched::threads::LocalityScheduler s;
+    const bool applied =
+        s.config().tour == lsched::threads::TourPolicy::SortedSnake &&
+        s.config().streamSealThreshold == 77;
+    std::exit(applied ? 0 : 7);
+}
+
+TEST(CliDeathTest, SchedOverridesReachNewSchedulers)
+{
+    EXPECT_EXIT(parseSchedAndExitZeroIfApplied(),
+                ::testing::ExitedWithCode(0), "");
+}
+
+TEST(CliDeathTest, SchedUnknownKeyIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--sched=bogus_knob=1"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "unknown config key");
+}
+
+TEST(CliDeathTest, SchedBadValueIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--sched=tour=sideways"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "bad value");
+}
+
+TEST(CliDeathTest, SchedPairWithoutEqualsIsFatal)
+{
+    Cli cli = makeCli();
+    const char *argv[] = {"prog", "--sched=snake"};
+    EXPECT_EXIT(cli.parse(2, argv), ::testing::ExitedWithCode(1),
+                "expected key=value");
 }
 
 } // namespace

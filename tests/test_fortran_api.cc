@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <vector>
 
 #include "threads/c_api.hh"
@@ -103,6 +104,77 @@ TEST_F(FortranApiTest, SetPlacementAndBackendByNumericKind)
     th_set_backend_(&pooled);
     EXPECT_EQ(th_stats().placement, 0);
     EXPECT_EQ(th_stats().backend, 1);
+}
+
+std::vector<double> g_streamResults;
+
+void
+recordStream(void *x_ref, void *)
+{
+    // g_results is not thread-safe; the stream test uses one drain
+    // worker and checks only the count on its own vector.
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    g_streamResults.push_back(*static_cast<double *>(x_ref));
+}
+
+TEST_F(FortranApiTest, StreamSessionByReference)
+{
+    g_streamResults.clear();
+    static double array[128];
+    for (int i = 0; i < 128; ++i)
+        array[i] = i;
+
+    const int workers = 1;
+    th_stream_begin_(&workers);
+    for (int i = 0; i < 128; ++i)
+        th_fork_(&recordStream, &array[i], nullptr, &array[i], nullptr,
+                 nullptr);
+    long long executed = 0;
+    th_stream_end_(&executed);
+    EXPECT_EQ(executed, 128);
+    EXPECT_EQ(g_streamResults.size(), 128u);
+
+    // Closing again is an error reported by value, not an abort.
+    th_clear_error();
+    th_stream_end_(&executed);
+    EXPECT_EQ(executed, -1);
+    EXPECT_NE(th_last_error(), nullptr);
+    th_clear_error();
+}
+
+TEST_F(FortranApiTest, StatsArrayMirrorsTheStruct)
+{
+    static double x = 1.0, f = 2.0;
+    for (int i = 0; i < 5; ++i)
+        th_fork_(&scaleElement, &x, &f, &x, nullptr, nullptr);
+
+    const th_stats_t s = th_stats();
+    long long values[32] = {};
+    const int count = 32;
+    th_stats_(values, &count);
+    // Spot-check the mirror against the struct, including an appended
+    // field past the original layout (same append-only order).
+    EXPECT_EQ(values[0],
+              static_cast<long long>(s.pending_threads));
+    EXPECT_EQ(values[0], 5);
+    EXPECT_EQ(values[2], static_cast<long long>(s.bins));
+    EXPECT_EQ(values[9], s.placement);
+    EXPECT_EQ(values[10], s.backend);
+    EXPECT_EQ(values[15],
+              static_cast<long long>(s.faulted_threads));
+    EXPECT_EQ(values[17],
+              static_cast<long long>(s.stream_forked));
+
+    // A short COUNT caps the fill and touches nothing past it.
+    long long partial[4] = {-7, -7, -7, -7};
+    const int three = 3;
+    th_stats_(partial, &three);
+    EXPECT_EQ(partial[0], 5);
+    EXPECT_EQ(partial[3], -7);
+
+    const int keep = 0;
+    th_run_(&keep);
 }
 
 TEST_F(FortranApiTest, MixedCAndFortranCallsShareScheduler)

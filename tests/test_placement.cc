@@ -89,6 +89,58 @@ TEST(RoundRobinPlacement, IgnoresHintsAndCyclesOverBins)
               4u);
 }
 
+TEST(RoundRobinPlacement, PeekDoesNotAdvanceTheCursor)
+{
+    RoundRobinPlacement rr(4);
+    const Hint same[] = {0x1000, 0x1000};
+    // Any number of peeks answer with the NEXT bin without consuming
+    // it: the following place() must land exactly there.
+    for (int round = 0; round < 3; ++round) {
+        const std::uint64_t upcoming = rr.peek(same).coords[0];
+        EXPECT_EQ(rr.peek(same).coords[0], upcoming);
+        EXPECT_EQ(rr.place(same).coords[0], upcoming) << round;
+    }
+    EXPECT_FALSE(rr.stateless());
+}
+
+TEST(SchedulerPlacement, CoordsForDoesNotAdvanceRoundRobin)
+{
+    // The regression this API exists for: coordsFor() used to call
+    // place(), so every inspection silently burned a round-robin slot
+    // and the next fork landed one bin further than reported.
+    SchedulerConfig c;
+    c.placement = PlacementKind::RoundRobin;
+    c.roundRobinBins = 4;
+    LocalityScheduler s(c);
+    const Hint hints[] = {0x1000};
+
+    const BlockCoords predicted = s.coordsFor(hints);
+    EXPECT_EQ(s.coordsFor(hints), predicted) << "peek is idempotent";
+    s.fork([](void *, void *) {}, nullptr, nullptr, hints[0], 0);
+    // The forked thread landed in the bin coordsFor() predicted.
+    ASSERT_EQ(s.binCount(), 1u);
+    EXPECT_EQ(s.run(), 1u);
+}
+
+TEST(SchedulerPlacement, CoordsForCreatesNoHierarchicalState)
+{
+    SchedulerConfig c;
+    c.placement = PlacementKind::Hierarchical;
+    c.blockBytes = 1 << 12;
+    c.superBinFan = 2;
+    LocalityScheduler s(c);
+    const Hint hints[] = {0x1000};
+
+    // Peeking must not allocate super-bins as a side effect.
+    const auto &h = static_cast<const HierarchicalPlacement &>(
+        s.placementPolicy());
+    (void)s.coordsFor(hints);
+    EXPECT_EQ(h.superBinCount(), 0u);
+    s.fork([](void *, void *) {}, nullptr, nullptr, hints[0], 0);
+    EXPECT_EQ(h.superBinCount(), 1u);
+    EXPECT_EQ(s.run(), 1u);
+}
+
 TEST(HierarchicalPlacement, GroupsAdjacentBlocksIntoSuperBins)
 {
     // 1-dim, 4 KB blocks, fan 2: blocks {0,1} share super-bin 0,

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Streaming admission (stream.hh / LocalityScheduler::streamBegin):
+ * concurrent-fork stress with exactly-once execution and batch-equal
+ * bin membership, backpressure bounds, seal epochs, fault policies
+ * under drain, and session-lifecycle misuse. The whole binary must
+ * stay clean under LSCHED_SANITIZE=thread (ctest -L stream).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/error.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+using namespace lsched::threads;
+
+SchedulerConfig
+cfg()
+{
+    SchedulerConfig c;
+    c.dims = 2;
+    c.blockBytes = 1 << 16;
+    c.groupCapacity = 8;
+    return c;
+}
+
+/** One execution flag per forked thread; counts double-runs too. */
+struct Flags
+{
+    std::vector<std::atomic<std::uint32_t>> ran;
+
+    explicit Flags(std::size_t n) : ran(n) {}
+
+    static void
+    mark(void *self, void *index)
+    {
+        auto *flags = static_cast<Flags *>(self);
+        flags->ran[reinterpret_cast<std::uintptr_t>(index)].fetch_add(
+            1, std::memory_order_relaxed);
+    }
+};
+
+/** Hint for thread @p i of producer @p p: a few hundred distinct bins. */
+Hint
+hintFor(unsigned p, unsigned i)
+{
+    return static_cast<Hint>(((p * 7919u + i) % 400u) << 16);
+}
+
+TEST(Stream, ConcurrentForkStressMatchesBatch)
+{
+    constexpr unsigned kProducers = 4;
+    constexpr unsigned kPerProducer = 5000;
+    constexpr unsigned kTotal = kProducers * kPerProducer;
+
+    SchedulerConfig c = cfg();
+    c.streamSealThreshold = 64;
+    LocalityScheduler s(c);
+    Flags flags(kTotal);
+
+    s.streamBegin(2);
+    {
+        std::vector<std::thread> producers;
+        for (unsigned p = 0; p < kProducers; ++p) {
+            producers.emplace_back([&, p] {
+                for (unsigned i = 0; i < kPerProducer; ++i) {
+                    const std::uintptr_t index = p * kPerProducer + i;
+                    s.fork(&Flags::mark, &flags,
+                           reinterpret_cast<void *>(index),
+                           hintFor(p, i), 0);
+                }
+            });
+        }
+        for (std::thread &t : producers)
+            t.join();
+    }
+    EXPECT_EQ(s.streamEnd(), kTotal);
+
+    // Exactly once: every thread ran, none ran twice.
+    for (unsigned i = 0; i < kTotal; ++i)
+        ASSERT_EQ(flags.ran[i].load(), 1u) << "thread " << i;
+
+    // Bin membership is identical to what the batch path would have
+    // produced: coordsFor() is the same placement both paths use.
+    std::map<std::vector<std::uint64_t>, std::uint64_t> expected;
+    for (unsigned p = 0; p < kProducers; ++p) {
+        for (unsigned i = 0; i < kPerProducer; ++i) {
+            const Hint hints[] = {hintFor(p, i), 0};
+            const BlockCoords coords = s.coordsFor(hints);
+            ++expected[{coords.begin(), coords.end()}];
+        }
+    }
+    std::map<std::vector<std::uint64_t>, std::uint64_t> actual;
+    for (const StreamBinReport &bin : s.lastStreamBins())
+        actual[{bin.coords.begin(), bin.coords.end()}] += bin.threads;
+    EXPECT_EQ(actual, expected);
+
+    const StreamStats st = s.streamStats();
+    EXPECT_EQ(st.forked, kTotal);
+    EXPECT_EQ(st.executed, kTotal);
+    EXPECT_EQ(st.backlog, 0u);
+    EXPECT_GE(st.seals, 1u);
+}
+
+TEST(Stream, BackpressureBoundHolds)
+{
+    constexpr std::uint64_t kBound = 64;
+    constexpr unsigned kProducers = 2;
+    constexpr unsigned kPerProducer = 4000;
+
+    SchedulerConfig c = cfg();
+    c.streamMaxPending = kBound;
+    c.streamSealThreshold = 16;
+    LocalityScheduler s(c);
+    std::atomic<std::uint64_t> ran{0};
+
+    const std::uint64_t executed = s.runStream(
+        1, kProducers, [&](unsigned p) {
+            for (unsigned i = 0; i < kPerProducer; ++i) {
+                s.fork(
+                    [](void *counter, void *) {
+                        static_cast<std::atomic<std::uint64_t> *>(
+                            counter)
+                            ->fetch_add(1, std::memory_order_relaxed);
+                    },
+                    &ran, nullptr, hintFor(p, i), 0);
+            }
+        });
+
+    EXPECT_EQ(executed, kProducers * kPerProducer);
+    EXPECT_EQ(ran.load(), kProducers * kPerProducer);
+    // No fork nests here, so the bound is exact, not just a target.
+    EXPECT_LE(s.streamStats().peakBacklog, kBound);
+}
+
+TEST(Stream, SealThresholdProducesEpochs)
+{
+    SchedulerConfig c = cfg();
+    c.streamSealThreshold = 10;
+    LocalityScheduler s(c);
+    std::atomic<std::uint64_t> ran{0};
+
+    s.streamBegin(1);
+    for (unsigned i = 0; i < 100; ++i) {
+        s.fork(
+            [](void *counter, void *) {
+                static_cast<std::atomic<std::uint64_t> *>(counter)
+                    ->fetch_add(1, std::memory_order_relaxed);
+            },
+            &ran, nullptr, static_cast<Hint>(1) << 16, 0);
+    }
+    EXPECT_EQ(s.streamEnd(), 100u);
+    EXPECT_EQ(ran.load(), 100u);
+
+    // All 100 threads share one bin; the threshold sealed it in
+    // epochs of 10 and every epoch landed back in the same report.
+    ASSERT_EQ(s.lastStreamBins().size(), 1u);
+    EXPECT_EQ(s.lastStreamBins()[0].threads, 100u);
+    EXPECT_GE(s.lastStreamBins()[0].epochs, 10u);
+    EXPECT_GE(s.streamStats().seals, 10u);
+}
+
+TEST(Stream, SerialBackendDrainsInline)
+{
+    SchedulerConfig c = cfg();
+    c.backend = BackendKind::Serial;
+    c.persistentPool = false;
+    c.streamSealThreshold = 8;
+    LocalityScheduler s(c);
+    std::atomic<std::uint64_t> ran{0};
+
+    s.streamBegin();
+    for (unsigned i = 0; i < 500; ++i) {
+        s.fork(
+            [](void *counter, void *) {
+                static_cast<std::atomic<std::uint64_t> *>(counter)
+                    ->fetch_add(1, std::memory_order_relaxed);
+            },
+            &ran, nullptr, hintFor(0, i), 0);
+    }
+    EXPECT_EQ(s.streamEnd(), 500u);
+    EXPECT_EQ(ran.load(), 500u);
+    // No helpers existed; everything drained on this thread.
+    EXPECT_EQ(s.stats().pool.threadsSpawned, 0u);
+}
+
+TEST(Stream, StreamThenBatchReusesTheScheduler)
+{
+    SchedulerConfig c = cfg();
+    c.streamSealThreshold = 16;
+    LocalityScheduler s(c);
+    std::atomic<std::uint64_t> ran{0};
+    const auto bump = [](void *counter, void *) {
+        static_cast<std::atomic<std::uint64_t> *>(counter)->fetch_add(
+            1, std::memory_order_relaxed);
+    };
+
+    EXPECT_EQ(s.runStream(2, 2, [&](unsigned p) {
+        for (unsigned i = 0; i < 300; ++i)
+            s.fork(bump, &ran, nullptr, hintFor(p, i), 0);
+    }), 600u);
+
+    // The batch path still works on the same scheduler afterwards,
+    // and vice versa: ids, pools, and stats all survive the switch.
+    for (unsigned i = 0; i < 200; ++i)
+        s.fork(bump, &ran, nullptr, hintFor(0, i), 0);
+    EXPECT_EQ(s.runParallel(2), 200u);
+    EXPECT_EQ(ran.load(), 800u);
+    EXPECT_EQ(s.stats().executedThreads, 800u);
+
+    EXPECT_EQ(s.runStream(2, 1, [&](unsigned) {
+        for (unsigned i = 0; i < 100; ++i)
+            s.fork(bump, &ran, nullptr, hintFor(1, i), 0);
+    }), 100u);
+    EXPECT_EQ(ran.load(), 900u);
+}
+
+TEST(Stream, ContinueAndCollectRecordsStreamFaults)
+{
+    SchedulerConfig c = cfg();
+    c.onError = ErrorPolicy::ContinueAndCollect;
+    c.streamSealThreshold = 8;
+    LocalityScheduler s(c);
+    std::atomic<std::uint64_t> ran{0};
+
+    const std::uint64_t executed = s.runStream(1, 1, [&](unsigned) {
+        for (unsigned i = 0; i < 200; ++i) {
+            if (i % 50 == 3) {
+                s.fork([](void *, void *) {
+                    throw std::runtime_error("stream fault");
+                }, nullptr, nullptr, hintFor(0, i), 0);
+            } else {
+                s.fork(
+                    [](void *counter, void *) {
+                        static_cast<std::atomic<std::uint64_t> *>(
+                            counter)
+                            ->fetch_add(1, std::memory_order_relaxed);
+                    },
+                    &ran, nullptr, hintFor(0, i), 0);
+            }
+        }
+    });
+
+    // Faulted threads are contained and reported, and — exactly as in
+    // a batch run — not counted as executed.
+    EXPECT_EQ(executed, 196u);
+    EXPECT_EQ(ran.load(), 196u);
+    EXPECT_EQ(s.streamStats().forked, 200u);
+    EXPECT_EQ(s.lastFaultCount(), 4u);
+    ASSERT_FALSE(s.lastFaults().empty());
+    EXPECT_EQ(s.lastFaults()[0].message, "stream fault");
+    EXPECT_EQ(s.stats().faultedThreads, 4u);
+}
+
+TEST(Stream, StopTourRethrowsTheFirstStreamFault)
+{
+    SchedulerConfig c = cfg();
+    c.onError = ErrorPolicy::StopTour;
+    c.streamSealThreshold = 4;
+    LocalityScheduler s(c);
+
+    s.streamBegin(1);
+    for (unsigned i = 0; i < 50; ++i) {
+        s.fork([](void *, void *) {
+            throw std::runtime_error("first loss");
+        }, nullptr, nullptr, hintFor(0, i), 0);
+    }
+    EXPECT_THROW(s.streamEnd(), std::runtime_error);
+
+    // The session is closed and the scheduler reusable.
+    EXPECT_FALSE(s.streaming());
+    std::atomic<std::uint64_t> ran{0};
+    s.fork(
+        [](void *counter, void *) {
+            static_cast<std::atomic<std::uint64_t> *>(counter)
+                ->fetch_add(1, std::memory_order_relaxed);
+        },
+        &ran, nullptr, 0, 0);
+    EXPECT_EQ(s.run(), 1u);
+    EXPECT_EQ(ran.load(), 1u);
+}
+
+TEST(Stream, LifecycleMisuseIsReported)
+{
+    LocalityScheduler s(cfg());
+    EXPECT_THROW(s.streamEnd(), lsched::UsageError);
+
+    s.fork([](void *, void *) {}, nullptr, nullptr, 0, 0);
+    EXPECT_THROW(s.streamBegin(1), lsched::UsageError);
+    s.clear();
+
+    s.streamBegin(1);
+    EXPECT_TRUE(s.streaming());
+    EXPECT_THROW(s.streamBegin(1), lsched::UsageError);
+    EXPECT_THROW(s.run(), lsched::UsageError);
+    EXPECT_EQ(s.streamEnd(), 0u);
+    EXPECT_FALSE(s.streaming());
+}
+
+} // namespace
