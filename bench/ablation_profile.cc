@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Online-profiling ablation: show that the continuous profiler's
+ * per-bin attribution (obs/profile.hh) reproduces the offline
+ * placement split of ablation_placement.
+ *
+ * The workload is ablation_placement's slab streamer: T threads per
+ * slab over S disjoint slabs, each slab = L2/2, forked slab-major.
+ * Under blockhash every bin's threads share one slab (misses near the
+ * compulsory floor); under roundrobin each bin mixes slabs and is
+ * capacity-dominated. Here the run executes with profiling enabled,
+ * so every executeBin() window lands in the attribution table
+ * (dwell-only — host PMU counters measure the host, not the simulated
+ * hierarchy), and each thread's simulated L2 delta is then fed
+ * through the same Profiler::recordSample() pipeline, attributed to
+ * the bin the trace says executed it. If the online pipeline is
+ * faithful, the per-bin miss rates must separate the placements
+ * exactly like the offline whole-run numbers do.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "cachesim/hierarchy.hh"
+#include "obs/profile.hh"
+#include "obs/snapshot.hh"
+#include "obs/trace.hh"
+#include "support/cli.hh"
+#include "threads/scheduler.hh"
+#include "workloads/memmodel.hh"
+
+namespace
+{
+
+/** One thread's simulated-L2 delta, pushed in execution order. */
+struct ThreadDelta
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+
+/** One thread's slice of work: stream a whole slab, record deltas. */
+struct SlabJob
+{
+    lsched::workloads::SimModel *model;
+    const lsched::cachesim::Hierarchy *hierarchy;
+    const double *slab;
+    std::size_t doubles;
+    std::vector<ThreadDelta> *order;
+};
+
+void
+streamSlab(void *arg1, void *)
+{
+    const SlabJob &job = *static_cast<SlabJob *>(arg1);
+    const lsched::cachesim::CacheStats before =
+        job.hierarchy->l2Stats();
+    for (std::size_t i = 0; i < job.doubles; ++i)
+        job.model->load(&job.slab[i], sizeof(double));
+    job.model->instructions(job.doubles +
+                            lsched::workloads::kThreadOverheadInstr);
+    const lsched::cachesim::CacheStats after = job.hierarchy->l2Stats();
+    job.order->push_back({after.accesses - before.accesses,
+                          after.misses - before.misses});
+}
+
+/** Per-placement outcome of one profiled run. */
+struct ProfiledRun
+{
+    /** Offline truth: whole-run simulated L2 stats. */
+    lsched::cachesim::CacheStats offline;
+    /** Online attribution rows after the sim-delta feed. */
+    std::vector<lsched::obs::BinProfile> bins;
+    /** Dwell-only windows the executeBin() hook attributed live. */
+    std::uint64_t liveSamples = 0;
+
+    double
+    onlineRatePercent() const
+    {
+        std::uint64_t refs = 0;
+        std::uint64_t misses = 0;
+        for (const auto &b : bins) {
+            refs += b.llcRefs;
+            misses += b.llcMisses;
+        }
+        return refs ? 100.0 * static_cast<double>(misses) /
+                          static_cast<double>(refs)
+                    : 0.0;
+    }
+
+    double
+    minBinRatePercent() const
+    {
+        double v = 100.0;
+        for (const auto &b : bins)
+            v = std::min(v, 100.0 * b.missRate());
+        return bins.empty() ? 0.0 : v;
+    }
+
+    double
+    maxBinRatePercent() const
+    {
+        double v = 0.0;
+        for (const auto &b : bins)
+            v = std::max(v, 100.0 * b.missRate());
+        return v;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsched;
+
+    Cli cli("ablation_profile",
+            "online per-bin miss attribution vs the offline placement "
+            "split (blockhash vs roundrobin)");
+    cli.addInt("slabs", 16, "disjoint data slabs (one block each)");
+    cli.addInt("threads-per-slab", 8, "threads streaming each slab");
+    cli.addString("jsonl", "",
+                  "also write the profiler's JSONL snapshot report here");
+    cli.addString("om", "",
+                  "also write the OpenMetrics exposition here");
+    lsched::bench::addOutputOptions(cli);
+    lsched::bench::addMachineOptions(cli, 64);
+    cli.parse(argc, argv);
+
+    if (!obs::kTraceCompiled) {
+        std::printf("ablation_profile: instrumentation compiled out "
+                    "(LSCHED_TRACE_ENABLED=OFF); nothing to measure\n");
+        return 0;
+    }
+
+    const auto machine = lsched::bench::machineFromCli(cli);
+    const std::size_t slabs =
+        static_cast<std::size_t>(cli.getInt("slabs"));
+    const std::size_t perSlab =
+        static_cast<std::size_t>(cli.getInt("threads-per-slab"));
+    const std::size_t slabBytes = machine.l2Size() / 2;
+    const std::size_t slabDoubles = slabBytes / sizeof(double);
+
+    lsched::bench::banner("Ablation", "online profiling attribution",
+                          machine);
+    std::printf("slabs = %zu x %zu KB (L2/2), threads per slab = %zu\n\n",
+                slabs, slabBytes / 1024, perSlab);
+
+    std::vector<double> data(slabs * slabDoubles, 1.0);
+
+    obs::Profiler &profiler = obs::Profiler::global();
+    obs::ProfileConfig pconfig = profiler.config();
+    pconfig.pmu = false; // host counters measure the host, not the sim
+    std::string perror;
+    if (!profiler.configure(pconfig, &perror)) {
+        std::printf("profiler configure failed: %s\n", perror.c_str());
+        return 1;
+    }
+
+    const auto runWith = [&](threads::PlacementKind kind) {
+        ProfiledRun out;
+
+        obs::setTraceEnabled(true);
+        obs::TraceSession::global().clear();
+        profiler.reset();
+        profiler.setEnabled(true);
+
+        cachesim::Hierarchy hierarchy(machine.caches);
+        workloads::SimModel model(hierarchy);
+
+        threads::SchedulerConfig cfg;
+        cfg.dims = 1;
+        cfg.cacheBytes = machine.l2Size();
+        cfg.blockBytes = slabBytes;
+        cfg.placement = kind;
+        cfg.roundRobinBins = slabs; // same bin count as blockhash
+        threads::LocalityScheduler sched(cfg);
+
+        std::vector<ThreadDelta> order;
+        order.reserve(slabs * perSlab);
+        std::vector<SlabJob> jobs(slabs * perSlab);
+        model.enterKernel(0);
+        for (std::size_t s = 0; s < slabs; ++s) {
+            for (std::size_t t = 0; t < perSlab; ++t) {
+                SlabJob &job = jobs[s * perSlab + t];
+                job = {&model, &hierarchy, &data[s * slabDoubles],
+                       slabDoubles, &order};
+                sched.fork(streamSlab, &job, nullptr,
+                           threads::hintOf(job.slab));
+            }
+        }
+        sched.run();
+
+        profiler.setEnabled(false);
+        obs::setTraceEnabled(false);
+        out.offline = hierarchy.l2Stats();
+        out.liveSamples = profiler.samples();
+
+        // The serial run executed threads in one total order; the
+        // trace's ThreadStart events carry the executing bin in the
+        // same order, so pairing the i-th event with the i-th recorded
+        // delta attributes each thread's simulated misses to its bin.
+        std::vector<obs::Event> starts;
+        for (const obs::LaneSnapshot &lane :
+             obs::TraceSession::global().snapshot()) {
+            for (const obs::Event &e : lane.events)
+                if (e.type == obs::EventType::ThreadStart)
+                    starts.push_back(e);
+        }
+        std::sort(starts.begin(), starts.end(),
+                  [](const obs::Event &a, const obs::Event &b) {
+                      return a.ns < b.ns;
+                  });
+        if (starts.size() != order.size()) {
+            std::printf("trace/run mismatch: %zu ThreadStart events vs "
+                        "%zu executed threads\n",
+                        starts.size(), order.size());
+            return out;
+        }
+
+        profiler.reset();
+        profiler.setEnabled(true);
+        for (std::size_t i = 0; i < order.size(); ++i) {
+            profiler.recordSample(starts[i].a, obs::kProfileNoSuperBin,
+                                  /*worker=*/0, /*threads=*/1,
+                                  /*dwellNs=*/0, /*instructions=*/0,
+                                  /*cycles=*/0, order[i].accesses,
+                                  order[i].misses, /*pmuValid=*/true);
+        }
+        out.bins = profiler.binProfiles();
+        std::sort(out.bins.begin(), out.bins.end(),
+                  [](const obs::BinProfile &a, const obs::BinProfile &b) {
+                      return a.binId < b.binId;
+                  });
+        profiler.setEnabled(false);
+        return out;
+    };
+
+    const ProfiledRun blockhash =
+        runWith(threads::PlacementKind::BlockHash);
+    std::printf("  blockhash done (%llu live profile windows)\n",
+                static_cast<unsigned long long>(blockhash.liveSamples));
+    const ProfiledRun roundrobin =
+        runWith(threads::PlacementKind::RoundRobin);
+    std::printf("  roundrobin done (%llu live profile windows)\n\n",
+                static_cast<unsigned long long>(roundrobin.liveSamples));
+
+    TextTable table("Ablation: online per-bin miss attribution",
+                    {"metric", "BlockHash", "RoundRobin"});
+    auto row = [&](const std::string &label, double a, double b,
+                   int precision) {
+        table.addRow({label, TextTable::num(a, precision),
+                      TextTable::num(b, precision)});
+    };
+    row("bins attributed", static_cast<double>(blockhash.bins.size()),
+        static_cast<double>(roundrobin.bins.size()), 0);
+    row("offline L2 miss %", blockhash.offline.missRatePercent(),
+        roundrobin.offline.missRatePercent(), 2);
+    row("online weighted miss %", blockhash.onlineRatePercent(),
+        roundrobin.onlineRatePercent(), 2);
+    row("min per-bin miss %", blockhash.minBinRatePercent(),
+        roundrobin.minBinRatePercent(), 2);
+    row("max per-bin miss %", blockhash.maxBinRatePercent(),
+        roundrobin.maxBinRatePercent(), 2);
+    lsched::bench::emitTable(cli, table);
+
+    // Snapshot the final (roundrobin) attribution state into report
+    // artifacts so CI uploads a real JSONL/OpenMetrics sample.
+    obs::SnapshotEngine &engine = obs::SnapshotEngine::global();
+    const std::string jsonlPath = cli.getString("jsonl");
+    const std::string omPath = cli.getString("om");
+    if (!jsonlPath.empty()) {
+        std::printf("(profile jsonl %s to %s)\n",
+                    engine.writeReport(jsonlPath) ? "written" : "FAILED",
+                    jsonlPath.c_str());
+    }
+    if (!omPath.empty()) {
+        std::printf("(openmetrics %s to %s)\n",
+                    engine.writeReport(omPath) ? "written" : "FAILED",
+                    omPath.c_str());
+    }
+
+    const double onBh = blockhash.onlineRatePercent();
+    const double onRr = roundrobin.onlineRatePercent();
+    const double offBh = blockhash.offline.missRatePercent();
+    const double offRr = roundrobin.offline.missRatePercent();
+
+    std::printf("\nshape checks:\n");
+    const bool liveOk =
+        blockhash.liveSamples > 0 && roundrobin.liveSamples > 0;
+    std::printf("  executeBin() windows attributed live: %s\n",
+                liveOk ? "yes" : "NO");
+    const bool splitOk = onBh < onRr;
+    std::printf("  online blockhash below roundrobin: %s "
+                "(%.2f%% vs %.2f%%)\n",
+                splitOk ? "yes" : "NO", onBh, onRr);
+    const bool matchBh = std::abs(onBh - offBh) < 0.5;
+    const bool matchRr = std::abs(onRr - offRr) < 0.5;
+    std::printf("  online matches offline: %s "
+                "(blockhash %.2f%% vs %.2f%%, roundrobin %.2f%% vs "
+                "%.2f%%)\n",
+                matchBh && matchRr ? "yes" : "NO", onBh, offBh, onRr,
+                offRr);
+    const bool binsOk = !blockhash.bins.empty() &&
+                        blockhash.bins.size() == roundrobin.bins.size();
+    std::printf("  same bin count across placements: %s\n",
+                binsOk ? "yes" : "NO");
+
+    return liveOk && splitOk && matchBh && matchRr && binsOk ? 0 : 1;
+}

@@ -9,10 +9,15 @@
 #define LSCHED_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "machine/machine_config.hh"
+#include "obs/trace.hh"
+#include "perfcount/perf_counters.hh"
 #include "support/cli.hh"
+#include "support/failpoint.hh"
 #include "support/panic.hh"
 #include "support/table.hh"
 
@@ -73,9 +78,34 @@ addOutputOptions(Cli &cli)
 }
 
 /**
+ * Host metadata stamped into every BENCH_*.json so a perf trajectory
+ * is interpretable across machines and build configurations: CPU
+ * count, the LSCHED build flags that change what a bench measures,
+ * and whether hardware profiling counters are actually usable here.
+ */
+inline std::string
+hostMetadataJson()
+{
+    std::ostringstream os;
+    os << "{\"cpus\":" << std::thread::hardware_concurrency()
+       << ",\"trace_compiled\":" << (obs::kTraceCompiled ? 1 : 0)
+       << ",\"failpoints_compiled\":"
+       << (failpoint::kCompiled ? 1 : 0) << ",\"assertions\":"
+#ifdef NDEBUG
+       << 0
+#else
+       << 1
+#endif
+       << ",\"pmu_available\":"
+       << (perfcount::countersAvailable() ? 1 : 0) << "}";
+    return os.str();
+}
+
+/**
  * Print @p table and, when --csv / --json were given, append the
  * matching rendering to those files (creating them if needed). JSON
- * output is one table object per line (JSON lines).
+ * output is one table object per line (JSON lines), each stamped with
+ * a "host" object (hostMetadataJson) ahead of the table fields.
  */
 inline void
 emitTable(const Cli &cli, const TextTable &table)
@@ -94,7 +124,10 @@ emitTable(const Cli &cli, const TextTable &table)
         std::printf("(%s appended to %s)\n", opt, path.c_str());
     };
     append("csv", table.toCsv());
-    append("json", table.toJson() + "\n");
+    std::string json = table.toJson();
+    if (!json.empty() && json.front() == '{')
+        json.insert(1, "\"host\":" + hostMetadataJson() + ",");
+    append("json", json + "\n");
 }
 
 } // namespace lsched::bench

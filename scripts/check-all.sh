@@ -35,9 +35,30 @@ check() {
     run ctest --preset "$testpreset"
 }
 
+# The notrace preset must compile the profiling hooks out entirely:
+# the scheduler's hot translation units may not reference a single
+# profiler symbol (obs/profile.hh's inline hooks are empty there).
+# config_keys.cc / c_api.cc legitimately keep references — they are
+# the cold configuration surface, not the hot path.
+check_notrace_profiler_free() {
+    dir="build-notrace/src/threads/CMakeFiles/lsched_threads.dir"
+    for obj in worker_pool.cc.o execution.cc.o stream.cc.o \
+               scheduler.cc.o parallel_scheduler.cc.o; do
+        path="$dir/$obj"
+        [ -f "$path" ] || { echo "missing $path" >&2; exit 1; }
+        if nm -u "$path" | grep -qi profil; then
+            echo "FAIL: notrace $obj references profiler symbols:" >&2
+            nm -u "$path" | grep -i profil >&2
+            exit 1
+        fi
+    done
+    echo "== notrace hot path carries no profiler symbols =="
+}
+
 check default default
 check tsan tsan-fault
 check notrace notrace
+check_notrace_profiler_free
 check nofailpoints nofailpoints
 
 echo "== check-all: all presets green =="

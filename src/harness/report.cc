@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/registry.hh"
+#include "obs/snapshot.hh"
 
 namespace lsched::harness
 {
@@ -111,6 +112,32 @@ JsonReport::writeTo(const std::string &path) const
         return false;
     out << str();
     return static_cast<bool>(out);
+}
+
+std::uint64_t
+ProfileReport::capture()
+{
+    return obs::SnapshotEngine::global().take().seq;
+}
+
+std::string
+ProfileReport::str() const
+{
+    std::ostringstream os;
+    const obs::ProfileSnapshot *prev = nullptr;
+    const std::vector<obs::ProfileSnapshot> ring =
+        obs::SnapshotEngine::global().ring();
+    for (const obs::ProfileSnapshot &snap : ring) {
+        os << obs::SnapshotEngine::toJsonl(snap, prev);
+        prev = &snap;
+    }
+    return os.str();
+}
+
+bool
+ProfileReport::writeTo(const std::string &path)
+{
+    return obs::SnapshotEngine::global().writeReport(path);
 }
 
 } // namespace lsched::harness

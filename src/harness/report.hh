@@ -76,6 +76,30 @@ class JsonReport
     std::string metrics_;
 };
 
+/**
+ * Harness sink over the continuous-profiling snapshot engine
+ * (obs/snapshot.hh): capture snapshots at experiment boundaries, then
+ * render the retained ring — JSONL with chained deltas/rates, or
+ * OpenMetrics when the path says so. Harmless when profiling is
+ * disabled or compiled out (writes an empty report).
+ */
+class ProfileReport
+{
+  public:
+    /** Snapshot now; returns the snapshot's sequence number. */
+    std::uint64_t capture();
+
+    /** JSONL rendering of the retained snapshot ring. */
+    std::string str() const;
+
+    /**
+     * Take a final snapshot and write the report to @p path
+     * (".om"/".prom"/".txt" → OpenMetrics, else JSONL; "fd:N" ok).
+     * Returns false on I/O error.
+     */
+    bool writeTo(const std::string &path);
+};
+
 } // namespace lsched::harness
 
 #endif // LSCHED_HARNESS_REPORT_HH

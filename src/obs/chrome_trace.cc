@@ -123,6 +123,18 @@ sliceArgs(const Event &e)
                       "\"pending\":%" PRIu64 ",\"bound\":%" PRIu64, e.a,
                       e.b);
         break;
+      case EventType::BinMissRate:
+        std::snprintf(buf, sizeof buf,
+                      "\"bin\":%" PRIu64 ",\"llc_misses\":%" PRIu64
+                      ",\"llc_refs\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
+      case EventType::SnapshotFlush:
+        std::snprintf(buf, sizeof buf,
+                      "\"seq\":%" PRIu64 ",\"bytes\":%" PRIu64
+                      ",\"interval_ms\":%" PRIu64,
+                      e.a, e.b, e.c);
+        break;
       default:
         return "";
     }

@@ -66,6 +66,16 @@ enum class EventType : std::uint8_t
      * (pending threads at the time, configured bound, 0).
      */
     Backpressure,
+    /**
+     * A profiling window attributed LLC traffic to a bin:
+     * (bin id, LLC misses in the window, LLC references in the window).
+     */
+    BinMissRate,
+    /**
+     * The snapshot flusher emitted a snapshot:
+     * (snapshot seq, bytes written, flush interval ms).
+     */
+    SnapshotFlush,
 };
 
 /** Printable name of an event type. */
@@ -88,6 +98,8 @@ eventTypeName(EventType type)
       case EventType::WorkerPark:     return "WorkerPark";
       case EventType::StreamSeal:     return "StreamSeal";
       case EventType::Backpressure:   return "Backpressure";
+      case EventType::BinMissRate:    return "BinMissRate";
+      case EventType::SnapshotFlush:  return "SnapshotFlush";
     }
     return "?";
 }

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Continuous profiling: per-worker hardware-counter sampling with
+ * per-bin / per-super-bin / per-epoch miss attribution.
+ *
+ * The paper's central claim — block-hash scheduling cuts cache misses
+ * — is measurable offline (cachesim, one-shot perfcount reads in the
+ * benches); this subsystem makes it observable *online*, which is the
+ * sensor layer adaptive placement needs. Each worker thread owns a
+ * perf_event counter group (LLC references/misses, instructions,
+ * cycles) that executeBin() samples around every bin execution, so
+ * misses and dwell land in a lock-free attribution table keyed by bin
+ * id, carrying the bin's super-bin and the tour/stream epoch the
+ * sample belongs to.
+ *
+ * Gating mirrors trace.hh exactly:
+ *  - compile time: with LSCHED_TRACE_ENABLED == 0 the inline hooks
+ *    below are empty and reference no profiler symbol, so the
+ *    scheduler's hot translation units carry nothing of this file
+ *    (scripts/check-all.sh asserts that on the notrace preset);
+ *  - run time: profileOn() is one relaxed load; Profiler::setEnabled()
+ *    flips it.
+ *
+ * Degradation: perf_event_open is frequently unavailable (containers,
+ * perf_event_paranoid, missing PMU virtualization). The first failed
+ * open warns once and every subsequent sample degrades to dwell-only
+ * — timing attribution still works, the LLC columns read zero. The
+ * cache-simulator benches feed the same table through recordSample()
+ * instead, so the attribution pipeline is identical either way.
+ */
+
+#ifndef LSCHED_OBS_PROFILE_HH
+#define LSCHED_OBS_PROFILE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hh"
+
+namespace lsched::obs
+{
+
+/** "No super-bin" marker (matches threads::Bin::kNoSuperBin). */
+constexpr std::uint32_t kProfileNoSuperBin = 0xffffffffu;
+
+/** "Use the profiler's current run/stream epoch" marker. */
+constexpr std::uint32_t kProfileCurrentEpoch = 0xffffffffu;
+
+/** Profiling knobs; all process-global (see the profile.* keys). */
+struct ProfileConfig
+{
+    /** Try the hardware PMU; false forces dwell-only samples. */
+    bool pmu = true;
+    /** Periodic snapshot/flush interval; 0 = manual snapshots only. */
+    std::uint64_t intervalMs = 0;
+    /** JSONL sink the flusher appends to ("" = none; "fd:N" ok). */
+    std::string output;
+    /** OpenMetrics sink rewritten each flush ("" = none; "fd:N" ok). */
+    std::string omOutput;
+    /** Snapshots retained in the in-memory ring. */
+    std::size_t ringDepth = 64;
+    /** Attribution-table capacity (distinct bins). */
+    std::size_t maxBins = 1024;
+};
+
+/** Accumulated attribution for one bin (or one super-bin). */
+struct BinProfile
+{
+    std::uint64_t binId = 0;
+    std::uint32_t superBin = kProfileNoSuperBin;
+    /** Epoch of the most recent sample folded in. */
+    std::uint32_t lastEpoch = 0;
+    /** executeBin() windows (or recordSample calls) attributed. */
+    std::uint64_t executions = 0;
+    /** User threads those windows completed. */
+    std::uint64_t threads = 0;
+    std::uint64_t dwellNs = 0;
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t llcRefs = 0;
+    std::uint64_t llcMisses = 0;
+    /** Windows whose counter read was valid (0 = dwell-only bin). */
+    std::uint64_t pmuSamples = 0;
+
+    /** LLC miss ratio in [0,1]; 0 when no references were counted. */
+    double
+    missRate() const
+    {
+        return llcRefs ? static_cast<double>(llcMisses) /
+                             static_cast<double>(llcRefs)
+                       : 0.0;
+    }
+};
+
+/** Accumulated attribution for one worker thread. */
+struct WorkerProfile
+{
+    unsigned worker = 0;
+    std::uint64_t samples = 0;
+    std::uint64_t dwellNs = 0;
+    std::uint64_t llcRefs = 0;
+    std::uint64_t llcMisses = 0;
+    std::uint64_t pmuSamples = 0;
+};
+
+namespace detail
+{
+extern std::atomic<bool> g_profileOn;
+} // namespace detail
+
+/** Is continuous profiling live right now? Hot-path check. */
+inline bool
+profileOn()
+{
+#if LSCHED_TRACE_ENABLED
+    return detail::g_profileOn.load(std::memory_order_relaxed);
+#else
+    return false;
+#endif
+}
+
+/** One open sampling window around a bin execution. */
+struct ProfileToken
+{
+    std::uint64_t t0 = 0;
+    /** Window is live (profiling was on at begin). */
+    bool active = false;
+    /** The thread's counter group is armed for this window. */
+    bool pmu = false;
+};
+
+/**
+ * The process-wide profiler: configuration, the per-bin / per-worker
+ * attribution store, and the PMU-availability policy. Worker threads
+ * talk to it through the inline hooks at the bottom of this file;
+ * everything here is safe from any thread.
+ */
+class Profiler
+{
+  public:
+    /** Worker slots kept; higher worker ids share the last slot. */
+    static constexpr unsigned kMaxWorkers = 64;
+
+    static Profiler &global();
+
+    Profiler() = default;
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /**
+     * Install @p config. Callable at any time: flusher-affecting
+     * fields (interval, outputs) restart the running flusher; a
+     * maxBins change takes effect at the next enable after reset().
+     * Returns false (with a message in @p error) on a bad config.
+     */
+    bool configure(const ProfileConfig &config,
+                   std::string *error = nullptr);
+
+    /** Current configuration. */
+    ProfileConfig config() const;
+
+    /**
+     * Turn sampling on or off. Enabling allocates the attribution
+     * store and, when intervalMs > 0, starts the snapshot flusher;
+     * disabling stops the flusher but keeps the store for reports.
+     * Returns the resulting enabled state — always false when
+     * instrumentation is compiled out (the call is then a no-op).
+     */
+    bool setEnabled(bool on);
+
+    /** Is sampling enabled? */
+    bool enabled() const { return profileOn(); }
+
+    /** Zero the attribution store and the epoch counter. */
+    void reset();
+
+    /**
+     * Feed one attributed sample. This is the one write path — the
+     * executeBin() hook lands here with PMU (or dwell-only) deltas,
+     * and simulator-driven benches (bench/ablation_profile) land here
+     * with cachesim deltas — so both populate the same table.
+     * @p epoch == kProfileCurrentEpoch uses the current run epoch.
+     */
+    void recordSample(std::uint64_t binId, std::uint32_t superBin,
+                      unsigned worker, std::uint64_t threads,
+                      std::uint64_t dwellNs, std::uint64_t instructions,
+                      std::uint64_t cycles, std::uint64_t llcRefs,
+                      std::uint64_t llcMisses, bool pmuValid,
+                      std::uint32_t epoch = kProfileCurrentEpoch);
+
+    /** Per-bin attribution rows (unordered). */
+    std::vector<BinProfile> binProfiles() const;
+
+    /** Per-super-bin aggregation of binProfiles() (binId = super-bin;
+     *  bins without a super-bin aggregate under kProfileNoSuperBin). */
+    std::vector<BinProfile> superBinProfiles() const;
+
+    /** Per-worker totals (workers that recorded at least one sample). */
+    std::vector<WorkerProfile> workerProfiles() const;
+
+    /** The current tour/stream epoch. */
+    std::uint32_t epoch() const;
+
+    /** Start a new epoch (a run, a parallel tour, or a stream). */
+    void noteEpochBegin();
+
+    /** Samples dropped because the bin table was full. */
+    std::uint64_t droppedBins() const;
+
+    /** Total / PMU-valid / degraded sample counts. */
+    std::uint64_t samples() const;
+    std::uint64_t pmuSampleCount() const;
+    std::uint64_t dwellOnlySamples() const;
+
+    /**
+     * Can sampling use hardware counters? False when the PMU probe
+     * fails, when config().pmu is off, when forcePmuUnavailable(true)
+     * is in effect, or when LSCHED_PROFILE_NO_PMU is set in the
+     * environment.
+     */
+    bool pmuUsable() const;
+
+    /**
+     * Test hook: pretend perf_event_open is unavailable, forcing the
+     * dwell-only degradation path.
+     */
+    void forcePmuUnavailable(bool forced);
+};
+
+namespace detail
+{
+/** Out-of-line hook bodies; only referenced from traced builds. */
+ProfileToken profileBinBeginImpl();
+void profileBinEndImpl(const ProfileToken &token, std::uint64_t binId,
+                       std::uint32_t superBin, std::uint64_t threads,
+                       unsigned worker, std::uint32_t epoch);
+void profileWorkerAttachImpl(unsigned worker);
+void profileNoteEpochImpl();
+} // namespace detail
+
+/**
+ * Open a sampling window on the calling thread (arms its counter
+ * group). Compiles to nothing when instrumentation is compiled out;
+ * returns an inactive token when profiling is off.
+ */
+inline ProfileToken
+profileBinBegin()
+{
+#if LSCHED_TRACE_ENABLED
+    if (profileOn())
+        return detail::profileBinBeginImpl();
+#endif
+    return ProfileToken{};
+}
+
+/** Close the window and attribute its deltas to @p binId. */
+inline void
+profileBinEnd([[maybe_unused]] const ProfileToken &token,
+              [[maybe_unused]] std::uint64_t binId,
+              [[maybe_unused]] std::uint32_t superBin,
+              [[maybe_unused]] std::uint64_t threads,
+              [[maybe_unused]] unsigned worker,
+              [[maybe_unused]] std::uint32_t epoch =
+                  kProfileCurrentEpoch)
+{
+#if LSCHED_TRACE_ENABLED
+    if (token.active)
+        detail::profileBinEndImpl(token, binId, superBin, threads,
+                                  worker, epoch);
+#endif
+}
+
+/**
+ * Pre-open the calling worker thread's counter group (worker_pool /
+ * stream drain entry), so the first bin's window doesn't pay the
+ * perf_event_open cost.
+ */
+inline void
+profileWorkerAttach([[maybe_unused]] unsigned worker)
+{
+#if LSCHED_TRACE_ENABLED
+    if (profileOn())
+        detail::profileWorkerAttachImpl(worker);
+#endif
+}
+
+/** Mark the start of a run/tour/stream epoch. */
+inline void
+profileNoteEpoch()
+{
+#if LSCHED_TRACE_ENABLED
+    if (profileOn())
+        detail::profileNoteEpochImpl();
+#endif
+}
+
+} // namespace lsched::obs
+
+#endif // LSCHED_OBS_PROFILE_HH

@@ -102,6 +102,9 @@ Registry::rows() const
     for (const auto &[name, h] : histograms_) {
         out.push_back({name, "histogram", h->count(), h->sum(), h->min(),
                        h->max(), h->mean()});
+        out.back().buckets.resize(Histogram::kBuckets);
+        for (std::size_t i = 0; i < Histogram::kBuckets; ++i)
+            out.back().buckets[i] = h->bucket(i);
     }
     return out;
 }

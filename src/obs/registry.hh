@@ -177,6 +177,9 @@ class Registry
         std::uint64_t min = 0;
         std::uint64_t max = 0;
         double mean = 0;
+        /** Power-of-two bucket counts (histograms only, else empty);
+         *  feeds percentile estimation in obs/snapshot.hh. */
+        std::vector<std::uint64_t> buckets;
     };
 
     /** Every instrument, sorted by name within kind. */

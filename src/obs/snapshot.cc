@@ -1,0 +1,474 @@
+#include "snapshot.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <unistd.h>
+
+#include "obs/trace.hh"
+#include "support/json.hh"
+
+namespace lsched::obs
+{
+
+namespace
+{
+
+/** Lower bound of histogram bucket @p i (bit-width bucketing). */
+std::uint64_t
+bucketLo(std::size_t i)
+{
+    return i == 0 ? 0 : 1ull << (i - 1);
+}
+
+/** Upper bound (inclusive) of histogram bucket @p i. */
+std::uint64_t
+bucketHi(std::size_t i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~0ull;
+    return (1ull << i) - 1;
+}
+
+/** OpenMetrics metric name: lowercase, [a-z0-9_], lsched_ prefix. */
+std::string
+omName(const std::string &name)
+{
+    std::string out = "lsched_";
+    for (const char ch : name) {
+        if (std::isalnum(static_cast<unsigned char>(ch)))
+            out += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch)));
+        else
+            out += '_';
+    }
+    return out;
+}
+
+void
+appendBin(std::ostringstream &os, const BinProfile &b)
+{
+    os << "{\"bin\":" << b.binId << ",\"super_bin\":";
+    if (b.superBin == kProfileNoSuperBin)
+        os << "null";
+    else
+        os << b.superBin;
+    os << ",\"epoch\":" << b.lastEpoch
+       << ",\"executions\":" << b.executions
+       << ",\"threads\":" << b.threads << ",\"dwell_ns\":" << b.dwellNs
+       << ",\"instructions\":" << b.instructions
+       << ",\"cycles\":" << b.cycles << ",\"llc_refs\":" << b.llcRefs
+       << ",\"llc_misses\":" << b.llcMisses
+       << ",\"pmu_samples\":" << b.pmuSamples
+       << ",\"miss_rate\":" << b.missRate() << "}";
+}
+
+void
+appendWorker(std::ostringstream &os, const WorkerProfile &w)
+{
+    os << "{\"worker\":" << w.worker << ",\"samples\":" << w.samples
+       << ",\"dwell_ns\":" << w.dwellNs << ",\"llc_refs\":" << w.llcRefs
+       << ",\"llc_misses\":" << w.llcMisses
+       << ",\"pmu_samples\":" << w.pmuSamples << "}";
+}
+
+/** The previous snapshot's value of counter @p name, 0 when absent. */
+std::uint64_t
+prevCounter(const ProfileSnapshot *prev, const std::string &name)
+{
+    if (!prev)
+        return 0;
+    for (const Registry::Row &row : prev->rows)
+        if (row.kind == "counter" && row.name == name)
+            return row.value;
+    return 0;
+}
+
+} // namespace
+
+double
+histogramPercentile(const Registry::Row &row, double q)
+{
+    const std::uint64_t n = row.value;
+    if (n == 0 || row.buckets.empty())
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double rank = q * static_cast<double>(n - 1);
+
+    double cum = 0;
+    for (std::size_t i = 0; i < row.buckets.size(); ++i) {
+        const std::uint64_t inBucket = row.buckets[i];
+        if (!inBucket)
+            continue;
+        if (rank < cum + static_cast<double>(inBucket)) {
+            const double frac =
+                inBucket > 1
+                    ? (rank - cum) / static_cast<double>(inBucket - 1)
+                    : 0.0;
+            const double lo = static_cast<double>(bucketLo(i));
+            const double hi = static_cast<double>(bucketHi(i));
+            double v = lo + frac * (hi - lo);
+            v = std::clamp(v, static_cast<double>(row.min),
+                           static_cast<double>(row.max));
+            return v;
+        }
+        cum += static_cast<double>(inBucket);
+    }
+    return static_cast<double>(row.max);
+}
+
+SnapshotEngine &
+SnapshotEngine::global()
+{
+    // Leaked for the same reason as Registry::global(): the --profile
+    // atexit writer must be able to use it arbitrarily late.
+    static SnapshotEngine &engine = *new SnapshotEngine;
+    return engine;
+}
+
+SnapshotEngine::SnapshotEngine(Registry &registry) : registry_(registry)
+{
+}
+
+SnapshotEngine::~SnapshotEngine()
+{
+    stop();
+}
+
+ProfileSnapshot
+SnapshotEngine::take()
+{
+    ProfileSnapshot snap;
+    snap.ns = nowNs();
+    snap.epoch = Profiler::global().epoch();
+    snap.rows = registry_.rows();
+    snap.bins = Profiler::global().binProfiles();
+    snap.workers = Profiler::global().workerProfiles();
+    std::sort(snap.bins.begin(), snap.bins.end(),
+              [](const BinProfile &a, const BinProfile &b) {
+                  return a.binId < b.binId;
+              });
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    snap.seq = nextSeq_++;
+    ring_.push_back(snap);
+    while (ring_.size() > ringDepth_)
+        ring_.pop_front();
+    return snap;
+}
+
+std::size_t
+SnapshotEngine::ringSize() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::vector<ProfileSnapshot>
+SnapshotEngine::ring() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return std::vector<ProfileSnapshot>(ring_.begin(), ring_.end());
+}
+
+void
+SnapshotEngine::setRingDepth(std::size_t depth)
+{
+    if (depth == 0)
+        depth = 1;
+    std::lock_guard<std::mutex> lock(mutex_);
+    ringDepth_ = depth;
+    while (ring_.size() > ringDepth_)
+        ring_.pop_front();
+}
+
+void
+SnapshotEngine::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ring_.clear();
+    nextSeq_ = 1;
+    haveLastFlushed_ = false;
+    lastFlushed_ = ProfileSnapshot{};
+}
+
+std::string
+SnapshotEngine::toJsonl(const ProfileSnapshot &cur,
+                        const ProfileSnapshot *prev)
+{
+    std::ostringstream os;
+    const double dtSec =
+        prev && cur.ns > prev->ns
+            ? static_cast<double>(cur.ns - prev->ns) / 1e9
+            : 0.0;
+
+    os << "{\"seq\":" << cur.seq << ",\"ns\":" << cur.ns
+       << ",\"epoch\":" << cur.epoch << ",\"counters\":{";
+    bool first = true;
+    for (const Registry::Row &row : cur.rows) {
+        if (row.kind != "counter")
+            continue;
+        const std::uint64_t before = prevCounter(prev, row.name);
+        const std::uint64_t delta =
+            row.value >= before ? row.value - before : row.value;
+        const double rate =
+            dtSec > 0 ? static_cast<double>(delta) / dtSec : 0.0;
+        os << (first ? "" : ",") << jsonString(row.name)
+           << ":{\"value\":" << row.value << ",\"delta\":" << delta
+           << ",\"rate\":" << rate << "}";
+        first = false;
+    }
+    os << "},\"gauges\":{";
+    first = true;
+    for (const Registry::Row &row : cur.rows) {
+        if (row.kind != "gauge")
+            continue;
+        os << (first ? "" : ",") << jsonString(row.name) << ":"
+           << row.value;
+        first = false;
+    }
+    os << "},\"histograms\":[";
+    first = true;
+    for (const Registry::Row &row : cur.rows) {
+        if (row.kind != "histogram")
+            continue;
+        os << (first ? "" : ",") << "{\"name\":" << jsonString(row.name)
+           << ",\"count\":" << row.value << ",\"sum\":" << row.sum
+           << ",\"min\":" << row.min << ",\"max\":" << row.max
+           << ",\"mean\":" << row.mean
+           << ",\"p50\":" << histogramPercentile(row, 0.50)
+           << ",\"p90\":" << histogramPercentile(row, 0.90)
+           << ",\"p99\":" << histogramPercentile(row, 0.99) << "}";
+        first = false;
+    }
+    os << "],\"bins\":[";
+    first = true;
+    for (const BinProfile &b : cur.bins) {
+        if (!first)
+            os << ",";
+        appendBin(os, b);
+        first = false;
+    }
+    os << "],\"workers\":[";
+    first = true;
+    for (const WorkerProfile &w : cur.workers) {
+        if (!first)
+            os << ",";
+        appendWorker(os, w);
+        first = false;
+    }
+    os << "]}\n";
+    return os.str();
+}
+
+std::string
+SnapshotEngine::toOpenMetrics(const ProfileSnapshot &cur)
+{
+    std::ostringstream os;
+    for (const Registry::Row &row : cur.rows) {
+        const std::string name = omName(row.name);
+        if (row.kind == "counter") {
+            os << "# TYPE " << name << " counter\n";
+            os << name << "_total " << row.value << "\n";
+        } else if (row.kind == "gauge") {
+            os << "# TYPE " << name << " gauge\n";
+            os << name << " " << row.value << "\n";
+        } else {
+            os << "# TYPE " << name << " summary\n";
+            os << name << "{quantile=\"0.5\"} "
+               << histogramPercentile(row, 0.50) << "\n";
+            os << name << "{quantile=\"0.9\"} "
+               << histogramPercentile(row, 0.90) << "\n";
+            os << name << "{quantile=\"0.99\"} "
+               << histogramPercentile(row, 0.99) << "\n";
+            os << name << "_count " << row.value << "\n";
+            os << name << "_sum " << row.sum << "\n";
+        }
+    }
+    if (!cur.bins.empty()) {
+        os << "# TYPE lsched_profile_bin_llc_misses gauge\n";
+        os << "# TYPE lsched_profile_bin_llc_refs gauge\n";
+        os << "# TYPE lsched_profile_bin_dwell_ns gauge\n";
+        for (const BinProfile &b : cur.bins) {
+            std::ostringstream labels;
+            labels << "{bin=\"" << b.binId << "\",super_bin=\"";
+            if (b.superBin == kProfileNoSuperBin)
+                labels << "none";
+            else
+                labels << b.superBin;
+            labels << "\",epoch=\"" << b.lastEpoch << "\"}";
+            os << "lsched_profile_bin_llc_misses" << labels.str() << " "
+               << b.llcMisses << "\n";
+            os << "lsched_profile_bin_llc_refs" << labels.str() << " "
+               << b.llcRefs << "\n";
+            os << "lsched_profile_bin_dwell_ns" << labels.str() << " "
+               << b.dwellNs << "\n";
+        }
+    }
+    if (!cur.workers.empty()) {
+        os << "# TYPE lsched_profile_worker_llc_misses gauge\n";
+        os << "# TYPE lsched_profile_worker_samples gauge\n";
+        for (const WorkerProfile &w : cur.workers) {
+            os << "lsched_profile_worker_llc_misses{worker=\""
+               << w.worker << "\"} " << w.llcMisses << "\n";
+            os << "lsched_profile_worker_samples{worker=\"" << w.worker
+               << "\"} " << w.samples << "\n";
+        }
+    }
+    os << "# EOF\n";
+    return os.str();
+}
+
+namespace
+{
+
+/** Write @p text to @p path ("fd:N" supported). @p append for files. */
+bool
+writeSink(const std::string &path, const std::string &text, bool append)
+{
+    if (path.rfind("fd:", 0) == 0) {
+        char *end = nullptr;
+        const long fd = std::strtol(path.c_str() + 3, &end, 10);
+        if (end == path.c_str() + 3 || *end != '\0' || fd < 0)
+            return false;
+        std::size_t off = 0;
+        while (off < text.size()) {
+            const ssize_t n =
+                ::write(static_cast<int>(fd), text.data() + off,
+                        text.size() - off);
+            if (n <= 0)
+                return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+    std::FILE *f = std::fopen(path.c_str(), append ? "ab" : "wb");
+    if (!f)
+        return false;
+    const bool ok =
+        std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+bool
+isOpenMetricsPath(const std::string &path)
+{
+    const auto dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = path.substr(dot);
+    return ext == ".om" || ext == ".prom" || ext == ".txt";
+}
+
+} // namespace
+
+bool
+SnapshotEngine::start(std::uint64_t intervalMs)
+{
+    if (intervalMs == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(flushMutex_);
+    if (running_)
+        return false;
+    if (flusher_.joinable())
+        flusher_.join();
+    stopRequested_ = false;
+    running_ = true;
+    intervalMs_ = intervalMs;
+    flusher_ = std::thread([this, intervalMs] {
+        std::unique_lock<std::mutex> lock(flushMutex_);
+        while (!stopRequested_) {
+            flushCv_.wait_for(lock,
+                              std::chrono::milliseconds(intervalMs));
+            if (stopRequested_)
+                break;
+            lock.unlock();
+            flushOnce();
+            lock.lock();
+        }
+    });
+    return true;
+}
+
+void
+SnapshotEngine::stop()
+{
+    std::thread toJoin;
+    {
+        std::lock_guard<std::mutex> lock(flushMutex_);
+        if (!running_ && !flusher_.joinable())
+            return;
+        stopRequested_ = true;
+        flushCv_.notify_all();
+        toJoin = std::move(flusher_);
+    }
+    if (toJoin.joinable())
+        toJoin.join();
+    std::lock_guard<std::mutex> lock(flushMutex_);
+    running_ = false;
+    stopRequested_ = false;
+}
+
+bool
+SnapshotEngine::running() const
+{
+    std::lock_guard<std::mutex> lock(flushMutex_);
+    return running_;
+}
+
+bool
+SnapshotEngine::flushOnce()
+{
+    const ProfileConfig config = Profiler::global().config();
+    const ProfileSnapshot snap = take();
+
+    std::string jsonl;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        jsonl = toJsonl(snap, haveLastFlushed_ ? &lastFlushed_
+                                               : nullptr);
+        lastFlushed_ = snap;
+        haveLastFlushed_ = true;
+    }
+
+    std::size_t bytes = 0;
+    bool ok = true;
+    if (!config.output.empty()) {
+        ok = writeSink(config.output, jsonl, /*append=*/true) && ok;
+        bytes += jsonl.size();
+    }
+    if (!config.omOutput.empty()) {
+        const std::string om = toOpenMetrics(snap);
+        ok = writeSink(config.omOutput, om, /*append=*/false) && ok;
+        bytes += om.size();
+    }
+    LSCHED_TRACE_EVENT(EventType::SnapshotFlush, snap.seq, bytes,
+                       intervalMs_);
+    return ok;
+}
+
+bool
+SnapshotEngine::writeReport(const std::string &path)
+{
+    if (path.empty())
+        return false;
+    const ProfileSnapshot snap = take();
+    if (isOpenMetricsPath(path))
+        return writeSink(path, toOpenMetrics(snap), /*append=*/false);
+
+    const std::vector<ProfileSnapshot> all = ring();
+    std::string text;
+    const ProfileSnapshot *prev = nullptr;
+    for (const ProfileSnapshot &s : all) {
+        text += toJsonl(s, prev);
+        prev = &s;
+    }
+    return writeSink(path, text, /*append=*/false);
+}
+
+} // namespace lsched::obs

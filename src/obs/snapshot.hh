@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Periodic metrics snapshots over the Registry + the profiler's
+ * attribution table: delta/rate computation between consecutive
+ * snapshots, a bounded ring of the last N, and a background flusher
+ * thread that renders each snapshot as JSON lines and/or OpenMetrics
+ * text to a file or fd.
+ *
+ * The engine is deliberately cold-path: take() walks the registry
+ * under its mutex and the profiler store with relaxed loads, so it
+ * never blocks an executeBin() window; the flusher owns its sinks and
+ * emits a SnapshotFlush trace event per flush. Percentiles are
+ * estimated from the Histogram's power-of-two buckets, interpolated
+ * within a bucket and clamped to the exact [min, max] — which makes a
+ * single-sample histogram report that sample for every quantile.
+ */
+
+#ifndef LSCHED_OBS_SNAPSHOT_HH
+#define LSCHED_OBS_SNAPSHOT_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/profile.hh"
+#include "obs/registry.hh"
+
+namespace lsched::obs
+{
+
+/** One point-in-time capture of registry + attribution state. */
+struct ProfileSnapshot
+{
+    /** 1-based sequence number within this engine. */
+    std::uint64_t seq = 0;
+    /** Steady-clock capture time in nanoseconds. */
+    std::uint64_t ns = 0;
+    /** The profiler's run/stream epoch at capture time. */
+    std::uint32_t epoch = 0;
+    std::vector<Registry::Row> rows;
+    std::vector<BinProfile> bins;
+    std::vector<WorkerProfile> workers;
+};
+
+/**
+ * Estimate the @p q quantile (0..1) of a histogram Row from its
+ * power-of-two buckets: linear interpolation inside the covering
+ * bucket, clamped to the exact [min, max]. Returns 0 when empty.
+ */
+double histogramPercentile(const Registry::Row &row, double q);
+
+/** Snapshot engine; one global instance serves the profile surface. */
+class SnapshotEngine
+{
+  public:
+    /** The engine behind the profile.* keys / --profile / C API. */
+    static SnapshotEngine &global();
+
+    /** An engine over @p registry (tests build private ones). */
+    explicit SnapshotEngine(Registry &registry = Registry::global());
+    ~SnapshotEngine();
+
+    SnapshotEngine(const SnapshotEngine &) = delete;
+    SnapshotEngine &operator=(const SnapshotEngine &) = delete;
+
+    /** Capture a snapshot now, append it to the ring, return it. */
+    ProfileSnapshot take();
+
+    /** Snapshots currently retained. */
+    std::size_t ringSize() const;
+
+    /** Copy of the retained ring, oldest first. */
+    std::vector<ProfileSnapshot> ring() const;
+
+    /** Retention bound; trims immediately when shrunk. */
+    void setRingDepth(std::size_t depth);
+
+    /**
+     * Start the background flusher: every @p intervalMs it takes a
+     * snapshot and renders it to the profiler-configured sinks
+     * (ProfileConfig::output as appended JSONL, ::omOutput rewritten
+     * as OpenMetrics). Returns false when already running or
+     * intervalMs == 0. The flusher also runs with no sinks configured
+     * — the ring still populates for th_profile_report.
+     */
+    bool start(std::uint64_t intervalMs);
+
+    /** Stop and join the flusher (no-op when not running). */
+    void stop();
+
+    /** Is the flusher thread running? */
+    bool running() const;
+
+    /** Drop every retained snapshot (flusher must be stopped). */
+    void clear();
+
+    /**
+     * One JSON object (single line, '\n'-terminated) for @p cur:
+     * counters with delta and per-second rate against @p prev (zeros
+     * when prev is null), gauges, histogram summaries with p50/p90/
+     * p99, and the per-bin / per-worker attribution rows.
+     */
+    static std::string toJsonl(const ProfileSnapshot &cur,
+                               const ProfileSnapshot *prev);
+
+    /** OpenMetrics text exposition of @p cur (ends with "# EOF"). */
+    static std::string toOpenMetrics(const ProfileSnapshot &cur);
+
+    /**
+     * Take a fresh snapshot and write a report to @p path: an
+     * ".om" / ".prom" / ".txt" extension gets the OpenMetrics
+     * exposition of that snapshot, anything else the JSONL rendering
+     * of the whole retained ring (rates chained between consecutive
+     * entries). "fd:N" writes JSONL to that file descriptor.
+     */
+    bool writeReport(const std::string &path);
+
+  private:
+    bool flushOnce();
+
+    Registry &registry_;
+    mutable std::mutex mutex_;
+    std::deque<ProfileSnapshot> ring_;
+    std::size_t ringDepth_ = 64;
+    std::uint64_t nextSeq_ = 1;
+    /** Last flushed snapshot, for rate computation across flushes. */
+    ProfileSnapshot lastFlushed_;
+    bool haveLastFlushed_ = false;
+
+    std::thread flusher_;
+    mutable std::mutex flushMutex_;
+    std::condition_variable flushCv_;
+    bool stopRequested_ = false;
+    bool running_ = false;
+    std::uint64_t intervalMs_ = 0;
+};
+
+} // namespace lsched::obs
+
+#endif // LSCHED_OBS_SNAPSHOT_HH

@@ -14,6 +14,7 @@ namespace
 
 CliObsHook g_obsHook = nullptr;
 CliSchedHook g_schedHook = nullptr;
+CliProfileHook g_profileHook = nullptr;
 
 } // namespace
 
@@ -28,6 +29,14 @@ setCliSchedHook(CliSchedHook hook)
 {
     const CliSchedHook previous = g_schedHook;
     g_schedHook = hook;
+    return previous;
+}
+
+CliProfileHook
+setCliProfileHook(CliProfileHook hook)
+{
+    const CliProfileHook previous = g_profileHook;
+    g_profileHook = hook;
     return previous;
 }
 
@@ -51,6 +60,12 @@ Cli::Cli(std::string program, std::string blurb)
               "applied to every scheduler this program configures "
               "(any SchedulerConfig key, e.g. "
               "tour=snake,stream_max_pending=4096)");
+    options_.push_back(
+        {"profile", Kind::OptStr,
+         "enable continuous profiling (per-bin/per-worker PMU "
+         "attribution); optional value is the snapshot-flush interval "
+         "in milliseconds (sinks via --sched profile.output=...)",
+         "", ""});
 }
 
 void
@@ -119,6 +134,10 @@ Cli::parse(int argc, const char *const *argv)
             opt->value = "1";
             continue;
         }
+        if (opt->kind == Kind::OptStr) {
+            opt->value = has_value ? value : "on";
+            continue;
+        }
         if (!has_value) {
             if (i + 1 >= argc)
                 LSCHED_FATAL("option '--", arg, "' needs a value");
@@ -146,6 +165,18 @@ Cli::parse(int argc, const char *const *argv)
                          "scheduler library (lsched_threads) linked in");
         }
         g_schedHook(placement, backend, sched);
+    }
+
+    const Option *profile = nullptr;
+    for (const auto &opt : options_)
+        if (opt.name == "profile")
+            profile = &opt;
+    if (profile && !profile->value.empty()) {
+        if (!g_profileHook) {
+            LSCHED_FATAL("--profile needs the observability library "
+                         "(lsched_obs) linked in");
+        }
+        g_profileHook(profile->value);
     }
 }
 
@@ -205,13 +236,15 @@ Cli::helpText() const
     os << program_ << " — " << blurb_ << "\n\noptions:\n";
     for (const auto &opt : options_) {
         os << "  --" << opt.name;
-        if (opt.kind != Kind::Flag)
+        if (opt.kind == Kind::OptStr)
+            os << "[=<str>]";
+        else if (opt.kind != Kind::Flag)
             os << "=<" << (opt.kind == Kind::Int      ? "int"
                            : opt.kind == Kind::Double ? "float"
                                                       : "str")
                << ">";
         os << "\n        " << opt.help;
-        if (opt.kind != Kind::Flag)
+        if (opt.kind != Kind::Flag && opt.kind != Kind::OptStr)
             os << " (default: " << opt.def << ")";
         os << "\n";
     }

@@ -54,6 +54,21 @@ using CliSchedHook = void (*)(const std::string &placement,
  */
 CliSchedHook setCliSchedHook(CliSchedHook hook);
 
+/**
+ * Receiver for the built-in --profile[=interval] value: "on" when the
+ * flag was given bare, otherwise the text after '='.
+ */
+using CliProfileHook = void (*)(const std::string &value);
+
+/**
+ * Install the profiling hook Cli::parse() calls when --profile was
+ * given, returning the previously installed hook (so a test can
+ * capture and restore). Registered by the obs library's static
+ * initializer; a program that lacks it fails fatally when the flag is
+ * used rather than dropping it silently.
+ */
+CliProfileHook setCliProfileHook(CliProfileHook hook);
+
 /** Declarative command-line parser. */
 class Cli
 {
@@ -89,7 +104,9 @@ class Cli
     std::string helpText() const;
 
   private:
-    enum class Kind { Int, Double, String, Flag };
+    /** OptStr takes an optional =value ("on" when given bare) and
+     *  never consumes the next argv word. */
+    enum class Kind { Int, Double, String, Flag, OptStr };
 
     struct Option
     {

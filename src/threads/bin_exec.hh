@@ -28,6 +28,7 @@
 #ifndef LSCHED_THREADS_BIN_EXEC_HH
 #define LSCHED_THREADS_BIN_EXEC_HH
 
+#include "obs/profile.hh"
 #include "obs/trace.hh"
 #include "support/failpoint.hh"
 #include "threads/bin.hh"
@@ -90,12 +91,19 @@ class GroupCursor
  *    faults are recorded through noteFault(). Under StopTour the rest
  *    of the bin is skipped after the first fault.
  *
+ * @p superBin and @p streamEpoch only feed the profiling attribution
+ * (obs/profile.hh): callers that know the bin's super-bin or the
+ * stream seal epoch pass them so online miss rates aggregate the same
+ * way placement did.
+ *
  * Returns the number of items that completed.
  */
 template <typename Cursor>
 std::uint64_t
 executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
-           unsigned worker, Cursor &&cursor)
+           unsigned worker, Cursor &&cursor,
+           std::uint32_t superBin = obs::kProfileNoSuperBin,
+           std::uint32_t streamEpoch = obs::kProfileCurrentEpoch)
 {
     const bool contain = ctx.policy != ErrorPolicy::Abort;
     if (!contain) {
@@ -109,6 +117,7 @@ executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
     const bool traced = obs::traceOn();
     const bool metered = obs::metricsOn();
     const std::uint64_t t0 = (traced || metered) ? obs::nowNs() : 0;
+    const obs::ProfileToken ptok = obs::profileBinBegin();
 
     std::uint64_t executed = 0;
     if (traced) {
@@ -155,6 +164,8 @@ executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
         }
     }
 
+    obs::profileBinEnd(ptok, binId, superBin, executed, worker,
+                       streamEpoch);
     if (traced) {
         obs::TraceSession::global().record(obs::EventType::BinEnd,
                                            binId, executed);
@@ -173,7 +184,8 @@ inline std::uint64_t
 executeBin(Bin *bin, FaultCtx &ctx, unsigned worker)
 {
     GroupCursor cursor(bin);
-    return executeBin(bin->id, bin->threadCount, ctx, worker, cursor);
+    return executeBin(bin->id, bin->threadCount, ctx, worker, cursor,
+                      bin->superBin);
 }
 
 } // namespace lsched::threads::detail

@@ -8,6 +8,8 @@
 
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "obs/snapshot.hh"
 #include "obs/trace.hh"
 #include "support/error.hh"
 #include "support/failpoint.hh"
@@ -256,6 +258,63 @@ th_stream_end(void)
     return executed;
 }
 
+int
+th_profile_enable(long long interval_ms)
+{
+    if (!lsched::obs::kTraceCompiled) {
+        recordError("th_profile_enable: instrumentation compiled out "
+                    "(LSCHED_TRACE_ENABLED=OFF)");
+        return -1;
+    }
+    if (interval_ms < 0) {
+        recordError("th_profile_enable: negative interval");
+        return -1;
+    }
+    lsched::obs::Profiler &profiler = lsched::obs::Profiler::global();
+    lsched::obs::ProfileConfig config = profiler.config();
+    config.intervalMs = static_cast<std::uint64_t>(interval_ms);
+    std::string error;
+    if (!profiler.configure(config, &error)) {
+        recordError("th_profile_enable: " + error);
+        return -1;
+    }
+    return profiler.setEnabled(true) ? 0 : -1;
+}
+
+void
+th_profile_disable(void)
+{
+    lsched::obs::Profiler::global().setEnabled(false);
+}
+
+long long
+th_profile_snapshot(void)
+{
+    if (!lsched::obs::Profiler::global().enabled())
+        return -1;
+    return static_cast<long long>(
+        lsched::obs::SnapshotEngine::global().take().seq);
+}
+
+int
+th_profile_report(const char *path)
+{
+    if (!path) {
+        recordError("th_profile_report: NULL path");
+        return -1;
+    }
+    if (!lsched::obs::kTraceCompiled) {
+        recordError("th_profile_report: instrumentation compiled out");
+        return -1;
+    }
+    if (!lsched::obs::SnapshotEngine::global().writeReport(path)) {
+        recordError(std::string("th_profile_report: cannot write '") +
+                    path + "'");
+        return -1;
+    }
+    return 0;
+}
+
 void
 th_trace_enable(void)
 {
@@ -397,6 +456,43 @@ th_stream_end_(long long *executed)
     const long long result = th_stream_end();
     if (executed)
         *executed = result;
+}
+
+void
+th_profile_enable_(const int *interval_ms, int *status)
+{
+    const int result =
+        th_profile_enable(interval_ms ? *interval_ms : 0);
+    if (status)
+        *status = result;
+}
+
+void
+th_profile_disable_(void)
+{
+    th_profile_disable();
+}
+
+void
+th_profile_snapshot_(long long *seq)
+{
+    const long long result = th_profile_snapshot();
+    if (seq)
+        *seq = result;
+}
+
+void
+th_profile_report_(int *status)
+{
+    // Numeric-only shim: the path comes from the profile.output key,
+    // defaulting to the same file the --profile flag uses.
+    std::string path =
+        lsched::obs::Profiler::global().config().output;
+    if (path.empty())
+        path = "lsched_profile.jsonl";
+    const int result = th_profile_report(path.c_str());
+    if (status)
+        *status = result;
 }
 
 void

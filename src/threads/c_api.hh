@@ -183,6 +183,37 @@ int th_stream_begin(int workers);
  */
 long long th_stream_end(void);
 
+/**
+ * Enable continuous profiling (per-bin/per-worker PMU and dwell
+ * attribution; obs/profile.hh). @p interval_ms > 0 also starts the
+ * background snapshot flusher at that period; 0 keeps snapshots
+ * manual (th_profile_snapshot / th_profile_report). Sinks and the
+ * other knobs come from the profile.* config keys (th_configure).
+ * Returns 0 on success, -1 when instrumentation is compiled out or
+ * interval_ms is negative (the reason lands in th_last_error()).
+ */
+int th_profile_enable(long long interval_ms);
+
+/** Stop profiling (and the snapshot flusher); data is kept for
+ *  th_profile_report. */
+void th_profile_disable(void);
+
+/**
+ * Take one snapshot into the engine's ring now. Returns its sequence
+ * number, or -1 when profiling was never enabled (nothing to attribute)
+ * or instrumentation is compiled out.
+ */
+long long th_profile_snapshot(void);
+
+/**
+ * Take a final snapshot and write a profiling report to @p path:
+ * ".om"/".prom"/".txt" get OpenMetrics text, anything else JSONL of
+ * the snapshot ring; "fd:N" writes JSONL to a file descriptor.
+ * Returns 0 on success, -1 on a NULL path, I/O error, or when
+ * instrumentation is compiled out.
+ */
+int th_profile_report(const char *path);
+
 /** Turn event tracing and metrics collection on. */
 void th_trace_enable(void);
 
@@ -274,6 +305,25 @@ void th_stream_begin_(const int *workers);
 /** Fortran: CALL TH_STREAM_END(EXECUTED) — EXECUTED receives the
  *  thread count, or -1 on error (INTEGER*8). */
 void th_stream_end_(long long *executed);
+
+/** Fortran: CALL TH_PROFILE_ENABLE(INTERVAL_MS, STATUS) — STATUS
+ *  receives 0 or -1 (see th_profile_enable). */
+void th_profile_enable_(const int *interval_ms, int *status);
+
+/** Fortran: CALL TH_PROFILE_DISABLE(). */
+void th_profile_disable_(void);
+
+/** Fortran: CALL TH_PROFILE_SNAPSHOT(SEQ) — SEQ (INTEGER*8) receives
+ *  the snapshot sequence number, or -1. */
+void th_profile_snapshot_(long long *seq);
+
+/**
+ * Fortran: CALL TH_PROFILE_REPORT(STATUS) — writes the report to the
+ * configured profile.output path ("lsched_profile.jsonl" when unset);
+ * STATUS receives 0 or -1. Numeric-only, like every Fortran shim
+ * (no hidden string lengths).
+ */
+void th_profile_report_(int *status);
 
 /**
  * Fortran: CALL TH_STATS(VALUES, COUNT) — numeric mirror of

@@ -9,6 +9,7 @@
 #include <cerrno>
 #include <cstdlib>
 
+#include "obs/profile.hh"
 #include "threads/scheduler.hh"
 
 namespace lsched::threads
@@ -112,12 +113,86 @@ badValue(std::string *error, const std::string &key,
     return false;
 }
 
+/**
+ * The process-global profile.* family (obs::Profiler), reached through
+ * the same string surface as the SchedulerConfig keys. Idempotent, so
+ * --sched replay onto every scheduler a program builds is harmless.
+ */
+bool
+applyProfileKey(const std::string &key, const std::string &value,
+                std::string *error)
+{
+    std::uint64_t u = 0;
+    bool b = false;
+    obs::ProfileConfig config = obs::Profiler::global().config();
+
+    if (key == "profile.enable") {
+        if (!parseBool(value, &b))
+            return badValue(error, key, value, "a boolean");
+        obs::Profiler::global().setEnabled(b);
+        return true;
+    }
+    if (key == "profile.pmu") {
+        if (!parseBool(value, &b))
+            return badValue(error, key, value, "a boolean");
+        config.pmu = b;
+    } else if (key == "profile.interval_ms") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "milliseconds (0 = manual snapshots)");
+        config.intervalMs = u;
+    } else if (key == "profile.output") {
+        config.output = value;
+    } else if (key == "profile.om_output") {
+        config.omOutput = value;
+    } else if (key == "profile.ring") {
+        if (!parseU64(value, &u) || u == 0)
+            return badValue(error, key, value,
+                            "a positive snapshot count");
+        config.ringDepth = static_cast<std::size_t>(u);
+    } else if (key == "profile.max_bins") {
+        if (!parseU64(value, &u) || u == 0)
+            return badValue(error, key, value, "a positive bin count");
+        config.maxBins = static_cast<std::size_t>(u);
+    } else {
+        fail(error, "unknown config key '" + key + "'");
+        return false;
+    }
+    return obs::Profiler::global().configure(config, error);
+}
+
+bool
+profileKeyValue(const std::string &key, std::string *out)
+{
+    const obs::ProfileConfig config = obs::Profiler::global().config();
+    if (key == "profile.enable")
+        *out = obs::Profiler::global().enabled() ? "1" : "0";
+    else if (key == "profile.pmu")
+        *out = config.pmu ? "1" : "0";
+    else if (key == "profile.interval_ms")
+        *out = std::to_string(config.intervalMs);
+    else if (key == "profile.output")
+        *out = config.output;
+    else if (key == "profile.om_output")
+        *out = config.omOutput;
+    else if (key == "profile.ring")
+        *out = std::to_string(config.ringDepth);
+    else if (key == "profile.max_bins")
+        *out = std::to_string(config.maxBins);
+    else
+        return false;
+    return true;
+}
+
 } // namespace
 
 bool
 applyConfigKey(SchedulerConfig &config, const std::string &key,
                const std::string &value, std::string *error)
 {
+    if (key.rfind("profile.", 0) == 0)
+        return applyProfileKey(key, value, error);
+
     std::uint64_t u = 0;
     bool b = false;
 
@@ -226,6 +301,9 @@ bool
 configKeyValue(const SchedulerConfig &config, const std::string &key,
                std::string *out)
 {
+    if (key.rfind("profile.", 0) == 0)
+        return profileKeyValue(key, out);
+
     if (key == "dims")
         *out = std::to_string(config.dims);
     else if (key == "cache_bytes")
@@ -289,6 +367,13 @@ configKeys()
         "stream_shards",
         "stream_max_pending",
         "stream_seal_threshold",
+        "profile.enable",
+        "profile.pmu",
+        "profile.interval_ms",
+        "profile.output",
+        "profile.om_output",
+        "profile.ring",
+        "profile.max_bins",
     };
     return keys;
 }

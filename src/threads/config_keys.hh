@@ -16,6 +16,13 @@
  * SchedulerConfig field needs only a row in the table in
  * config_keys.cc to be reachable from C, Fortran (numerically), and
  * the command line.
+ *
+ * One prefixed family is process-global rather than per-scheduler:
+ * the "profile.*" keys configure the continuous-profiling subsystem
+ * (obs/profile.hh). They accept writes and round-trip reads through
+ * the same entry points, but the @p config argument is bypassed —
+ * applying the same value twice (e.g. --sched replayed onto several
+ * schedulers) is idempotent.
  */
 
 #ifndef LSCHED_THREADS_CONFIG_KEYS_HH

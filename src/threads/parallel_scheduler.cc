@@ -29,6 +29,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/profile.hh"
 #include "support/error.hh"
 #include "support/panic.hh"
 #include "threads/execution.hh"
@@ -183,6 +184,7 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
 
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
                        table_.binCount(), workers);
+    obs::profileNoteEpoch();
     if (obs::metricsOn()) {
         detail::schedInstruments().runs->add();
         backendToursCounter(config_.backend).add();

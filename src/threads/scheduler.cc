@@ -321,6 +321,7 @@ LocalityScheduler::run(bool keep)
 
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
                        table_.binCount(), 1);
+    obs::profileNoteEpoch();
     if (obs::metricsOn())
         detail::schedInstruments().runs->add();
 
@@ -428,6 +429,7 @@ LocalityScheduler::streamBegin(unsigned workers)
     lastFaults_.clear();
     lastFaultsTotal_ = 0;
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, 0, 0, helpers);
+    obs::profileNoteEpoch();
     if (obs::metricsOn())
         detail::schedInstruments().runs->add();
     stream_ = std::make_unique<StreamSession>(config_, *placement_,

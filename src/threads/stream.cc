@@ -169,6 +169,7 @@ StreamSession::sealLocked(Shard &, unsigned shardIndex, Bin *bin)
     s.binId = bin->id;
     s.epoch = ++bin->streamEpoch;
     s.shard = shardIndex;
+    s.superBin = bin->superBin;
     s.threads = bin->threadCount;
     s.groups = bin->groupsHead;
     // The bin stays open (and listed in Shard::open): the next fork
@@ -303,7 +304,8 @@ StreamSession::drainOne(const detail::SealedBin &item, unsigned worker)
     std::uint64_t done = 0;
     try {
         done = detail::executeBin(item.binId, item.threads, fault_,
-                                  worker, cursor);
+                                  worker, cursor, item.superBin,
+                                  item.epoch);
     } catch (...) {
         // ErrorPolicy::Abort: still retire the chain so the backlog
         // accounting (and any producer blocked on it) stays sane
@@ -346,6 +348,7 @@ StreamSession::drainMain(unsigned worker, void *ctx)
         obs::TraceSession::global().setLaneName(
             "stream drain " + std::to_string(worker));
     }
+    obs::profileWorkerAttach(worker);
     // Same marker as tour workers: fork() from a user thread running
     // on a drain helper is the unsupported (fatal) case; producers
     // fork from their own threads.

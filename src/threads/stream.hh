@@ -123,6 +123,8 @@ struct SealedBin
     std::uint32_t epoch = 0;
     /** Shard whose GroupPool owns the chain (for recycling). */
     std::uint32_t shard = 0;
+    /** The bin's super-bin group (profiling attribution). */
+    std::uint32_t superBin = 0xffffffffu;
     std::uint64_t threads = 0;
     ThreadGroup *groups = nullptr;
 };

@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "obs/profile.hh"
 #include "support/panic.hh"
 #include "threads/sched_obs.hh"
 
@@ -302,6 +303,9 @@ WorkerPool::workerLoop(unsigned id, detail::PoolJob &job)
         obs::TraceSession::global().setLaneName(
             "worker " + std::to_string(id));
     }
+    // Pre-open this worker's HW counter group so the first bin's
+    // profiling window doesn't pay the perf_event_open cost.
+    obs::profileWorkerAttach(id);
 
     detail::BinDeque &mine = slots_[id]->deque;
     std::uint64_t ran = 0;

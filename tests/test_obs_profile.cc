@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Tests for the continuous profiler (obs/profile.hh): the dwell-only
+ * degradation path when hardware counters are unavailable, sample
+ * attribution per bin / super-bin / worker, epoch accounting, the
+ * profile.* config keys, and the th_profile_* C API.
+ *
+ * Everything here must stay clean under LSCHED_SANITIZE=thread — no
+ * death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/profile.hh"
+#include "obs/snapshot.hh"
+#include "threads/c_api.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+using namespace lsched::obs;
+
+/** Reset the global profiler around every test in this suite. */
+class ProfileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Profiler::global().setEnabled(false);
+        Profiler::global().reset();
+    }
+
+    void
+    TearDown() override
+    {
+        Profiler::global().setEnabled(false);
+        Profiler::global().forcePmuUnavailable(false);
+        Profiler::global().reset();
+    }
+};
+
+/** Run a tiny serial workload with bins spread over several blocks. */
+void
+runSerialWorkload(std::size_t threads = 64)
+{
+    using namespace lsched::threads;
+    SchedulerConfig cfg;
+    cfg.dims = 1;
+    cfg.cacheBytes = 1 << 16;
+    cfg.blockBytes = 1 << 12;
+    LocalityScheduler sched(cfg);
+    static std::atomic<std::uint64_t> sink{0};
+    for (std::size_t i = 0; i < threads; ++i) {
+        sched.fork(
+            [](void *, void *) {
+                sink.fetch_add(1, std::memory_order_relaxed);
+            },
+            nullptr, nullptr, static_cast<Hint>(i) * (1u << 12));
+    }
+    sched.run();
+}
+
+TEST_F(ProfileTest, DisabledByDefaultAndCompiledOutIsInert)
+{
+    EXPECT_FALSE(profileOn());
+    if (!kTraceCompiled) {
+        // The whole surface must be a well-behaved no-op.
+        EXPECT_FALSE(Profiler::global().setEnabled(true));
+        EXPECT_FALSE(profileOn());
+        EXPECT_EQ(th_profile_enable(0), -1);
+        EXPECT_EQ(th_profile_snapshot(), -1);
+        th_profile_disable();
+        runSerialWorkload();
+        EXPECT_EQ(Profiler::global().samples(), 0u);
+    }
+}
+
+TEST_F(ProfileTest, DwellOnlyFallbackWhenCountersUnavailable)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    // Regression: with perf_event_open "unavailable" the pipeline must
+    // still attribute every window, just without LLC columns.
+    Profiler &profiler = Profiler::global();
+    profiler.forcePmuUnavailable(true);
+    EXPECT_FALSE(profiler.pmuUsable());
+    ASSERT_TRUE(profiler.setEnabled(true));
+    runSerialWorkload();
+    profiler.setEnabled(false);
+
+    EXPECT_GT(profiler.samples(), 0u);
+    EXPECT_EQ(profiler.pmuSampleCount(), 0u);
+    EXPECT_EQ(profiler.dwellOnlySamples(), profiler.samples());
+
+    const auto bins = profiler.binProfiles();
+    ASSERT_FALSE(bins.empty());
+    std::uint64_t threads = 0;
+    for (const BinProfile &b : bins) {
+        EXPECT_GT(b.executions, 0u);
+        EXPECT_EQ(b.pmuSamples, 0u);
+        EXPECT_EQ(b.llcRefs, 0u);
+        threads += b.threads;
+    }
+    EXPECT_EQ(threads, 64u);
+}
+
+TEST_F(ProfileTest, RecordSampleAggregatesPerBinSuperBinAndWorker)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    Profiler &profiler = Profiler::global();
+    ASSERT_TRUE(profiler.setEnabled(true));
+    profiler.recordSample(/*binId=*/1, /*superBin=*/7, /*worker=*/0,
+                          /*threads=*/2, /*dwellNs=*/100,
+                          /*instructions=*/10, /*cycles=*/20,
+                          /*llcRefs=*/50, /*llcMisses=*/25, true);
+    profiler.recordSample(1, 7, /*worker=*/1, 1, 50, 5, 10, 50, 25,
+                          true);
+    profiler.recordSample(/*binId=*/2, kProfileNoSuperBin, 0, 1, 10, 1,
+                          2, 0, 0, /*pmuValid=*/false);
+
+    const auto bins = profiler.binProfiles();
+    ASSERT_EQ(bins.size(), 2u);
+    const BinProfile &one =
+        bins[0].binId == 1 ? bins[0] : bins[1];
+    EXPECT_EQ(one.binId, 1u);
+    EXPECT_EQ(one.superBin, 7u);
+    EXPECT_EQ(one.executions, 2u);
+    EXPECT_EQ(one.threads, 3u);
+    EXPECT_EQ(one.dwellNs, 150u);
+    EXPECT_EQ(one.instructions, 15u);
+    EXPECT_EQ(one.cycles, 30u);
+    EXPECT_EQ(one.llcRefs, 100u);
+    EXPECT_EQ(one.llcMisses, 50u);
+    EXPECT_EQ(one.pmuSamples, 2u);
+    EXPECT_DOUBLE_EQ(one.missRate(), 0.5);
+
+    const auto supers = profiler.superBinProfiles();
+    ASSERT_EQ(supers.size(), 2u);
+    const BinProfile &seven =
+        supers[0].binId == 7 ? supers[0] : supers[1];
+    EXPECT_EQ(seven.binId, 7u);
+    EXPECT_EQ(seven.llcMisses, 50u);
+    EXPECT_EQ(seven.executions, 2u);
+
+    const auto workers = profiler.workerProfiles();
+    ASSERT_EQ(workers.size(), 2u);
+    EXPECT_EQ(profiler.samples(), 3u);
+    EXPECT_EQ(profiler.pmuSampleCount(), 2u);
+    EXPECT_EQ(profiler.dwellOnlySamples(), 1u);
+}
+
+TEST_F(ProfileTest, EpochAdvancesPerRun)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    Profiler &profiler = Profiler::global();
+    profiler.forcePmuUnavailable(true);
+    ASSERT_TRUE(profiler.setEnabled(true));
+    const std::uint32_t before = profiler.epoch();
+    profiler.noteEpochBegin();
+    EXPECT_EQ(profiler.epoch(), before + 1);
+    runSerialWorkload(8); // run() notes an epoch itself
+    EXPECT_EQ(profiler.epoch(), before + 2);
+    const auto bins = profiler.binProfiles();
+    ASSERT_FALSE(bins.empty());
+    for (const BinProfile &b : bins)
+        EXPECT_EQ(b.lastEpoch, before + 2);
+}
+
+TEST_F(ProfileTest, DropsBinsBeyondTableCapacityWithoutFailing)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    // Overflow the attribution table (default capacity 1024 bins,
+    // never shrunk by reconfiguration) with far more distinct bins
+    // than it can hold: the excess must count as dropped, not crash
+    // or evict.
+    Profiler &profiler = Profiler::global();
+    ASSERT_TRUE(profiler.setEnabled(true));
+    const std::uint64_t kBins = 4096;
+    for (std::uint64_t bin = 0; bin < kBins; ++bin)
+        profiler.recordSample(bin, kProfileNoSuperBin, 0, 1, 1, 0, 0,
+                              0, 0, false);
+    EXPECT_GT(profiler.droppedBins(), 0u);
+    const std::size_t kept = profiler.binProfiles().size();
+    EXPECT_LT(kept, kBins);
+    EXPECT_EQ(kept + profiler.droppedBins(), kBins);
+    EXPECT_EQ(profiler.samples(), kBins);
+}
+
+TEST_F(ProfileTest, ProfileConfigKeysRoundTrip)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    char buf[64];
+    ASSERT_EQ(th_configure("profile.pmu", "false"), 0);
+    ASSERT_GT(th_config_get("profile.pmu", buf, sizeof buf), 0);
+    EXPECT_STREQ(buf, "0");
+    ASSERT_EQ(th_configure("profile.ring", "8"), 0);
+    ASSERT_GT(th_config_get("profile.ring", buf, sizeof buf), 0);
+    EXPECT_STREQ(buf, "8");
+    EXPECT_EQ(th_configure("profile.ring", "0"), -1); // rejected
+    EXPECT_EQ(th_configure("profile.bogus", "1"), -1);
+
+    ASSERT_EQ(th_configure("profile.enable", "true"), 0);
+    EXPECT_TRUE(profileOn());
+    ASSERT_GT(th_config_get("profile.enable", buf, sizeof buf), 0);
+    EXPECT_STREQ(buf, "1");
+    ASSERT_EQ(th_configure("profile.enable", "false"), 0);
+    EXPECT_FALSE(profileOn());
+
+    // Restore defaults touched above.
+    ASSERT_EQ(th_configure("profile.pmu", "true"), 0);
+    ASSERT_EQ(th_configure("profile.ring", "64"), 0);
+}
+
+TEST_F(ProfileTest, CApiEnableSnapshotReportRoundTrip)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    Profiler::global().forcePmuUnavailable(true);
+    EXPECT_EQ(th_profile_enable(-1), -1); // bad interval
+    ASSERT_EQ(th_profile_enable(0), 0);
+    runSerialWorkload(16);
+
+    const long long seq = th_profile_snapshot();
+    EXPECT_GE(seq, 1);
+    EXPECT_GT(th_profile_snapshot(), seq);
+
+    const std::string path =
+        ::testing::TempDir() + "lsched_profile_capi.jsonl";
+    ASSERT_EQ(th_profile_report(path.c_str()), 0);
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    EXPECT_NE(os.str().find("\"bins\""), std::string::npos);
+    std::remove(path.c_str());
+
+    EXPECT_EQ(th_profile_report(nullptr), -1);
+    th_profile_disable();
+    EXPECT_FALSE(profileOn());
+
+    // Fortran shims: same surface, numeric-only.
+    int interval = 0;
+    int status = -2;
+    th_profile_enable_(&interval, &status);
+    EXPECT_EQ(status, 0);
+    long long fseq = 0;
+    th_profile_snapshot_(&fseq);
+    EXPECT_GE(fseq, 1);
+    th_profile_disable_();
+    EXPECT_FALSE(profileOn());
+}
+
+} // namespace

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Tests for the snapshot engine (obs/snapshot.hh): delta/rate
+ * computation between snapshots, ring retention, percentile
+ * estimation from power-of-two histogram buckets, the JSONL and
+ * OpenMetrics renderings, report round-trips, and the background
+ * flusher running concurrently with a pooled scheduler.
+ *
+ * Everything here must stay clean under LSCHED_SANITIZE=thread — no
+ * death tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/profile.hh"
+#include "obs/registry.hh"
+#include "obs/snapshot.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+using namespace lsched::obs;
+
+/** Find one named row in a snapshot; aborts the test when missing. */
+const Registry::Row &
+rowNamed(const ProfileSnapshot &snap, const std::string &name)
+{
+    for (const Registry::Row &r : snap.rows)
+        if (r.name == name)
+            return r;
+    ADD_FAILURE() << "no row named " << name;
+    static Registry::Row missing;
+    return missing;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+TEST(Snapshot, CountersAreMonotoneAndDeltasChain)
+{
+    Registry reg;
+    SnapshotEngine engine(reg);
+    reg.counter("c").add(5);
+    const ProfileSnapshot first = engine.take();
+    reg.counter("c").add(7);
+    const ProfileSnapshot second = engine.take();
+
+    EXPECT_EQ(rowNamed(first, "c").value, 5u);
+    EXPECT_EQ(rowNamed(second, "c").value, 12u);
+    EXPECT_GE(rowNamed(second, "c").value, rowNamed(first, "c").value);
+    EXPECT_LT(first.seq, second.seq);
+    EXPECT_LE(first.ns, second.ns);
+
+    const std::string line = SnapshotEngine::toJsonl(second, &first);
+    EXPECT_NE(line.find("\"value\":12"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"delta\":7"), std::string::npos) << line;
+    EXPECT_EQ(line.back(), '\n');
+
+    // Without a predecessor the delta equals the value.
+    const std::string fresh = SnapshotEngine::toJsonl(first, nullptr);
+    EXPECT_NE(fresh.find("\"delta\":5"), std::string::npos) << fresh;
+}
+
+TEST(Snapshot, RingKeepsTheLastNOnly)
+{
+    Registry reg;
+    SnapshotEngine engine(reg);
+    engine.setRingDepth(3);
+    for (int i = 0; i < 5; ++i)
+        engine.take();
+    EXPECT_EQ(engine.ringSize(), 3u);
+    const auto ring = engine.ring();
+    ASSERT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front().seq, 3u);
+    EXPECT_EQ(ring.back().seq, 5u);
+
+    engine.setRingDepth(1); // shrinking trims immediately
+    EXPECT_EQ(engine.ringSize(), 1u);
+    EXPECT_EQ(engine.ring().front().seq, 5u);
+
+    engine.clear();
+    EXPECT_EQ(engine.ringSize(), 0u);
+}
+
+TEST(Snapshot, PercentileOfEmptyHistogramIsZero)
+{
+    Registry reg;
+    reg.histogram("h"); // registered, never recorded
+    SnapshotEngine engine(reg);
+    const ProfileSnapshot snap = engine.take();
+    const Registry::Row &h = rowNamed(snap, "h");
+    EXPECT_EQ(histogramPercentile(h, 0.5), 0.0);
+    EXPECT_EQ(histogramPercentile(h, 0.99), 0.0);
+}
+
+TEST(Snapshot, PercentileOfSingleSampleIsThatSample)
+{
+    Registry reg;
+    reg.histogram("h").record(37);
+    SnapshotEngine engine(reg);
+    const ProfileSnapshot snap = engine.take();
+    const Registry::Row &h = rowNamed(snap, "h");
+    EXPECT_EQ(histogramPercentile(h, 0.5), 37.0);
+    EXPECT_EQ(histogramPercentile(h, 0.9), 37.0);
+    EXPECT_EQ(histogramPercentile(h, 0.99), 37.0);
+}
+
+TEST(Snapshot, PercentilesAreOrderedAndClampedToMinMax)
+{
+    Registry reg;
+    Histogram &h = reg.histogram("h");
+    for (std::uint64_t v = 1; v <= 1000; ++v)
+        h.record(v);
+    SnapshotEngine engine(reg);
+    const ProfileSnapshot snap = engine.take();
+    const Registry::Row &row = rowNamed(snap, "h");
+    const double p50 = histogramPercentile(row, 0.5);
+    const double p90 = histogramPercentile(row, 0.9);
+    const double p99 = histogramPercentile(row, 0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_GE(p50, 1.0);
+    EXPECT_LE(p99, 1000.0);
+    // Power-of-two buckets are coarse, but the median of 1..1000 must
+    // land in the right bucket neighborhood.
+    EXPECT_GT(p50, 250.0);
+    EXPECT_LT(p50, 1000.0);
+}
+
+TEST(Snapshot, OpenMetricsExpositionIsWellFormed)
+{
+    Registry reg;
+    reg.counter("runs.total").add(3);
+    reg.gauge("pool.size").set(4);
+    reg.histogram("dwell").record(10);
+    SnapshotEngine engine(reg);
+    const std::string om =
+        SnapshotEngine::toOpenMetrics(engine.take());
+    EXPECT_NE(om.find("# TYPE lsched_runs_total counter"),
+              std::string::npos)
+        << om;
+    EXPECT_NE(om.find("lsched_runs_total_total 3"), std::string::npos);
+    EXPECT_NE(om.find("lsched_pool_size 4"), std::string::npos);
+    EXPECT_NE(om.find("quantile=\"0.5\""), std::string::npos);
+    EXPECT_NE(om.find("_count 1"), std::string::npos);
+    EXPECT_EQ(om.rfind("# EOF\n"), om.size() - 6);
+}
+
+TEST(Snapshot, WriteReportRoundTripsJsonlAndOpenMetrics)
+{
+    Registry reg;
+    reg.counter("c").add(9);
+    SnapshotEngine engine(reg);
+    engine.take();
+
+    const std::string jsonl =
+        ::testing::TempDir() + "lsched_snapshot_test.jsonl";
+    const std::string om =
+        ::testing::TempDir() + "lsched_snapshot_test.om";
+    ASSERT_TRUE(engine.writeReport(jsonl));
+    ASSERT_TRUE(engine.writeReport(om));
+
+    const std::string jl = slurp(jsonl);
+    EXPECT_NE(jl.find("\"seq\":1"), std::string::npos) << jl;
+    EXPECT_NE(jl.find("\"counters\""), std::string::npos);
+    // The ring gained a snapshot per writeReport call; every retained
+    // entry is one line.
+    EXPECT_GE(engine.ringSize(), 3u);
+
+    const std::string omText = slurp(om);
+    EXPECT_NE(omText.find("# TYPE"), std::string::npos);
+    EXPECT_NE(omText.rfind("# EOF\n"), std::string::npos);
+    std::remove(jsonl.c_str());
+    std::remove(om.c_str());
+}
+
+TEST(Snapshot, StartStopFlusherLifecycle)
+{
+    Registry reg;
+    SnapshotEngine engine(reg);
+    EXPECT_FALSE(engine.running());
+    EXPECT_FALSE(engine.start(0)); // 0 = manual snapshots only
+    ASSERT_TRUE(engine.start(1));
+    EXPECT_TRUE(engine.running());
+    EXPECT_FALSE(engine.start(1)); // already running
+    engine.stop();
+    EXPECT_FALSE(engine.running());
+    engine.stop(); // idempotent
+    EXPECT_GE(engine.ringSize(), 0u);
+}
+
+/**
+ * The TSan target: the background flusher snapshots the profiler's
+ * attribution store while a pooled run is writing it. PMU access is
+ * forced off so the test exercises the pure dwell path everywhere.
+ */
+TEST(Snapshot, FlusherIsCleanUnderConcurrentExecuteBin)
+{
+    if (!kTraceCompiled)
+        GTEST_SKIP() << "instrumentation compiled out";
+
+    Profiler &profiler = Profiler::global();
+    profiler.forcePmuUnavailable(true);
+    profiler.reset();
+    profiler.setEnabled(true);
+
+    SnapshotEngine engine; // private engine over the global registry
+    ASSERT_TRUE(engine.start(1));
+
+    using namespace lsched::threads;
+    SchedulerConfig cfg;
+    cfg.dims = 1;
+    cfg.cacheBytes = 1 << 16;
+    cfg.blockBytes = 1 << 12;
+    for (int tour = 0; tour < 4; ++tour) {
+        LocalityScheduler sched(cfg);
+        static std::atomic<std::uint64_t> sink{0};
+        for (int i = 0; i < 256; ++i) {
+            sched.fork(
+                [](void *, void *) {
+                    sink.fetch_add(1, std::memory_order_relaxed);
+                },
+                nullptr, nullptr,
+                static_cast<Hint>(i) * (1u << 12));
+        }
+        sched.runParallel(4);
+        engine.take(); // manual snapshots interleave with the flusher
+    }
+
+    engine.stop();
+    profiler.setEnabled(false);
+    profiler.forcePmuUnavailable(false);
+
+    EXPECT_GT(profiler.samples(), 0u);
+    EXPECT_EQ(profiler.pmuSampleCount(), 0u);
+    const auto ring = engine.ring();
+    ASSERT_FALSE(ring.empty());
+    // Rendering the concurrent captures must be safe and non-empty.
+    const std::string line =
+        SnapshotEngine::toJsonl(ring.back(), nullptr);
+    EXPECT_NE(line.find("\"bins\""), std::string::npos);
+    profiler.reset();
+}
+
+} // namespace
