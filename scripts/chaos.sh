@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# chaos: sweep the randomized chaos harness (tests/test_chaos.cc)
+# across a range of seeds. Each seed is one LSCHED_CHAOS_SEED schedule
+# of injected faults, wedged-worker stalls, deadlines, and producer
+# bursts; a failure prints the seed so the schedule replays exactly:
+#
+#   LSCHED_CHAOS_SEED=<seed> <build>/tests/lsched_chaos_tests
+#
+# Usage: chaos.sh [-p preset] [-n seeds] [-s first-seed] [-o outdir]
+#
+#   -p preset      ctest/build preset to use (default: tsan — the
+#                  harness is meant to run under ThreadSanitizer;
+#                  pass "default" for a quick unsanitized sweep)
+#   -n seeds       number of seeds to run (default: 20)
+#   -s first-seed  first seed of the sweep (default: 1)
+#   -o outdir      where failing-seed logs are written
+#                  (default: chaos-artifacts)
+#
+# The caller is expected to have configured and built the preset
+# already (scripts/check-all.sh and the CI chaos job both do); the
+# script builds the chaos target itself as a cheap no-op check.
+# Per-seed runs are wall-clock bounded: a hang is a failure, not a
+# stuck sweep.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+preset=tsan
+seeds=20
+first=1
+outdir=chaos-artifacts
+while getopts "p:n:s:o:" opt; do
+    case "$opt" in
+    p) preset="$OPTARG" ;;
+    n) seeds="$OPTARG" ;;
+    s) first="$OPTARG" ;;
+    o) outdir="$OPTARG" ;;
+    *) echo "usage: $0 [-p preset] [-n seeds] [-s first] [-o outdir]" >&2
+       exit 2 ;;
+    esac
+done
+
+case "$preset" in
+default) builddir=build ;;
+*) builddir="build-$preset" ;;
+esac
+binary="$builddir/tests/lsched_chaos_tests"
+
+cmake --build --preset "$preset" --target lsched_chaos_tests
+[ -x "$binary" ] || { echo "chaos: $binary not built" >&2; exit 1; }
+
+# Per-seed wall-clock bound (seconds). A schedule is ~10 short rounds;
+# even under TSan it finishes in well under a minute — anything past
+# the bound is the hang the harness exists to catch.
+bound=300
+have_timeout=0
+command -v timeout >/dev/null 2>&1 && have_timeout=1
+
+mkdir -p "$outdir"
+failed=0
+last=$((first + seeds - 1))
+seed="$first"
+while [ "$seed" -le "$last" ]; do
+    log="$outdir/seed-$seed.log"
+    if [ "$have_timeout" -eq 1 ]; then
+        LSCHED_CHAOS_SEED="$seed" timeout "$bound" \
+            "$binary" >"$log" 2>&1 && ok=1 || ok=0
+    else
+        LSCHED_CHAOS_SEED="$seed" "$binary" >"$log" 2>&1 && ok=1 || ok=0
+    fi
+    if [ "$ok" -eq 1 ]; then
+        echo "chaos seed $seed: OK"
+        rm -f "$log"
+    else
+        echo "chaos seed $seed: FAILED (log: $log)" >&2
+        failed=$((failed + 1))
+    fi
+    seed=$((seed + 1))
+done
+
+if [ "$failed" -gt 0 ]; then
+    echo "chaos: $failed of $seeds seed(s) failed; replay with" >&2
+    echo "  LSCHED_CHAOS_SEED=<seed> $binary" >&2
+    exit 1
+fi
+rmdir "$outdir" 2>/dev/null || true
+echo "chaos: all $seeds seed(s) green ($preset preset)"

@@ -43,7 +43,8 @@ check() {
 check_notrace_profiler_free() {
     dir="build-notrace/src/threads/CMakeFiles/lsched_threads.dir"
     for obj in worker_pool.cc.o execution.cc.o stream.cc.o \
-               scheduler.cc.o parallel_scheduler.cc.o; do
+               scheduler.cc.o parallel_scheduler.cc.o \
+               recovery.cc.o; do
         path="$dir/$obj"
         [ -f "$path" ] || { echo "missing $path" >&2; exit 1; }
         if nm -u "$path" | grep -qi profil; then
@@ -60,5 +61,10 @@ check tsan tsan-fault
 check notrace notrace
 check_notrace_profiler_free
 check nofailpoints nofailpoints
+
+# Seeded chaos sweep under TSan (the tsan preset was built above):
+# randomized fault/stall/deadline schedules through batch and
+# streaming tours, wall-clock bounded per seed.
+run scripts/chaos.sh -p tsan -n 20
 
 echo "== check-all: all presets green =="

@@ -76,6 +76,31 @@ enum class EventType : std::uint8_t
      * (snapshot seq, bytes written, flush interval ms).
      */
     SnapshotFlush,
+    /**
+     * A tour or stream-epoch deadline expired and cancellation was
+     * requested: (deadline ms, cancel reason, pending/remaining work).
+     */
+    DeadlineExpire,
+    /**
+     * A bin (or its un-run tail) was dropped by a cancellation:
+     * (bin id, worker, threads dropped).
+     */
+    BinCancelled,
+    /**
+     * A producer exhausted its admission retries at the backpressure
+     * bound: (pending threads, configured bound, retries).
+     */
+    AdmissionTimeout,
+    /**
+     * The overload governor changed state:
+     * (new state, previous state, consecutive-epoch streak).
+     */
+    RecoveryStep,
+    /**
+     * The governor shed streaming load by force-sealing every open
+     * shard: (bins sealed, pending threads, configured bound).
+     */
+    LoadShed,
 };
 
 /** Printable name of an event type. */
@@ -100,6 +125,11 @@ eventTypeName(EventType type)
       case EventType::Backpressure:   return "Backpressure";
       case EventType::BinMissRate:    return "BinMissRate";
       case EventType::SnapshotFlush:  return "SnapshotFlush";
+      case EventType::DeadlineExpire:  return "DeadlineExpire";
+      case EventType::BinCancelled:    return "BinCancelled";
+      case EventType::AdmissionTimeout: return "AdmissionTimeout";
+      case EventType::RecoveryStep:    return "RecoveryStep";
+      case EventType::LoadShed:        return "LoadShed";
     }
     return "?";
 }

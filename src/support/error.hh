@@ -50,6 +50,30 @@ class UsageError : public RecoverableError
     using RecoverableError::RecoverableError;
 };
 
+/**
+ * A tour or stream epoch overran its configured deadline (or the
+ * watchdog cancelled it) and was cooperatively cancelled. The
+ * scheduler is back in a clean, reusable state; the un-run work was
+ * dropped and accounted in the recovery statistics.
+ */
+class DeadlineError : public RecoverableError
+{
+  public:
+    using RecoverableError::RecoverableError;
+};
+
+/**
+ * A streaming producer exhausted its admission retries at the
+ * backpressure bound without the drain making progress — the wedged-
+ * pool diagnosis that replaces an unbounded producer hang. The stream
+ * stays open; the caller may retry, shed the work, or end the stream.
+ */
+class AdmissionTimeout : public RecoverableError
+{
+  public:
+    using RecoverableError::RecoverableError;
+};
+
 } // namespace lsched
 
 #endif // LSCHED_SUPPORT_ERROR_HH

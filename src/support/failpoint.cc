@@ -1,7 +1,9 @@
 #include "failpoint.hh"
 
+#include <chrono>
 #include <cstdlib>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 #include "support/panic.hh"
@@ -27,12 +29,14 @@ enum class Mode : std::uint8_t
     Nth,   ///< fire on exactly the param-th evaluation
     Every, ///< fire on every param-th evaluation
     Prob,  ///< fire with probability param / 2^32, seeded
+    Stall, ///< sleep param ms every param2-th evaluation; no throw
 };
 
 struct Site
 {
     Mode mode = Mode::Always;
     std::uint64_t param = 0;
+    std::uint64_t param2 = 0;
     std::uint64_t hits = 0;
     std::uint64_t fires = 0;
     Prng prng{1};
@@ -98,6 +102,23 @@ parseSpec(const std::string &spec, Site *site, bool *off,
         site->param = n;
         return true;
     }
+    if (spec.rfind("stall=", 0) == 0) {
+        std::string body = spec.substr(6);
+        std::uint64_t every = 1;
+        if (const std::size_t at = body.find('@');
+            at != std::string::npos) {
+            if (!parseUint(body.substr(at + 1), &every) || every == 0)
+                return fail("expected a positive period after '@'");
+            body = body.substr(0, at);
+        }
+        std::uint64_t ms = 0;
+        if (!parseUint(body, &ms) || ms == 0)
+            return fail("expected positive stall milliseconds");
+        site->mode = Mode::Stall;
+        site->param = ms;
+        site->param2 = every;
+        return true;
+    }
     if (spec.rfind("prob=", 0) == 0) {
         std::string body = spec.substr(5);
         std::uint64_t seed = 1;
@@ -118,7 +139,7 @@ parseSpec(const std::string &spec, Site *site, bool *off,
         return true;
     }
     return fail("unknown form (want off|always|once|hit=N|every=N|"
-                "prob=P[@seed])");
+                "prob=P[@seed]|stall=MS[@N])");
 }
 
 /**
@@ -144,34 +165,53 @@ namespace detail
 bool
 evaluate(const char *name)
 {
-    Registry &r = registry();
-    std::lock_guard<std::mutex> lock(r.mutex);
-    const auto it = r.sites.find(name);
-    if (it == r.sites.end())
-        return false;
-    Site &site = it->second;
-    ++site.hits;
-    bool fire = false;
-    switch (site.mode) {
-      case Mode::Always:
-        fire = true;
-        break;
-      case Mode::Once:
-        fire = site.fires == 0;
-        break;
-      case Mode::Nth:
-        fire = site.hits == site.param;
-        break;
-      case Mode::Every:
-        fire = site.hits % site.param == 0;
-        break;
-      case Mode::Prob:
-        fire = (site.prng.next() >> 32) < site.param;
-        break;
+    std::uint64_t stallMs = 0;
+    {
+        Registry &r = registry();
+        std::lock_guard<std::mutex> lock(r.mutex);
+        const auto it = r.sites.find(name);
+        if (it == r.sites.end())
+            return false;
+        Site &site = it->second;
+        ++site.hits;
+        bool fire = false;
+        switch (site.mode) {
+          case Mode::Always:
+            fire = true;
+            break;
+          case Mode::Once:
+            fire = site.fires == 0;
+            break;
+          case Mode::Nth:
+            fire = site.hits == site.param;
+            break;
+          case Mode::Every:
+            fire = site.hits % site.param == 0;
+            break;
+          case Mode::Prob:
+            fire = (site.prng.next() >> 32) < site.param;
+            break;
+          case Mode::Stall:
+            if (site.hits % site.param2 == 0) {
+                ++site.fires;
+                stallMs = site.param;
+            }
+            // Never reports true: a stall delays the caller, it does
+            // not inject a thrown fault.
+            break;
+        }
+        if (fire) {
+            ++site.fires;
+            return true;
+        }
     }
-    if (fire)
-        ++site.fires;
-    return fire;
+    // Sleep outside the registry lock so one stalled site cannot
+    // serialize evaluation of every other site in the process.
+    if (stallMs > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(stallMs));
+    }
+    return false;
 }
 
 } // namespace detail

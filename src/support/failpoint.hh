@@ -18,6 +18,11 @@
  *             | 'every=' N         fire on every Nth evaluation
  *             | 'prob=' P ['@' S]  fire with probability P (seed S,
  *                                  default seed 1; deterministic)
+ *             | 'stall=' MS ['@' N] sleep MS milliseconds on every Nth
+ *                                  evaluation (default every one) and
+ *                                  continue — a wedged-worker stall,
+ *                                  not a thrown fault; counts as a
+ *                                  fire but shouldFail stays false
  *
  * Gating mirrors the tracing layer's two levels:
  *  - compile time: the LSCHED_FAILPOINTS_ENABLED CMake option

@@ -105,6 +105,13 @@ executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
            std::uint32_t superBin = obs::kProfileNoSuperBin,
            std::uint32_t streamEpoch = obs::kProfileCurrentEpoch)
 {
+    // One pointer test when no deadline/watchdog token is armed; with
+    // a token, one relaxed load per user thread — the cooperative
+    // cancellation boundary the recovery layer relies on.
+    const CancelToken *cancelTok = ctx.cancel;
+    const auto cancelled = [cancelTok] {
+        return cancelTok && cancelTok->requested();
+    };
     const bool contain = ctx.policy != ErrorPolicy::Abort;
     if (!contain) {
         // Under ErrorPolicy::Abort this injected failure propagates
@@ -125,16 +132,17 @@ executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
                                            binId, announced);
     }
 
+    std::uint64_t faulted = 0;
     if (!contain) {
         if (traced) {
             obs::TraceSession &session = obs::TraceSession::global();
-            while (cursor.next()) {
+            while (!cancelled() && cursor.next()) {
                 session.record(obs::EventType::ThreadStart, binId);
                 executed += cursor.run();
                 session.record(obs::EventType::ThreadEnd, binId);
             }
         } else {
-            while (cursor.next())
+            while (!cancelled() && cursor.next())
                 executed += cursor.run();
         }
     } else {
@@ -143,9 +151,10 @@ executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
             LSCHED_FAILPOINT("sched.bin.execute");
         } catch (...) {
             noteFault(ctx, binId, worker);
+            ++faulted;
             stopped = ctx.policy == ErrorPolicy::StopTour;
         }
-        while (!stopped && cursor.next()) {
+        while (!stopped && !cancelled() && cursor.next()) {
             try {
                 if (traced) {
                     obs::TraceSession::global().record(
@@ -158,10 +167,17 @@ executeBin(std::uint32_t binId, std::uint64_t announced, FaultCtx &ctx,
                 }
             } catch (...) {
                 noteFault(ctx, binId, worker);
+                ++faulted;
                 if (ctx.policy == ErrorPolicy::StopTour)
                     stopped = true;
             }
         }
+    }
+    if (cancelled() && announced > executed + faulted) {
+        // The cancellation cut this bin short mid-flight: account the
+        // un-run tail (bins never claimed are swept by the backends).
+        noteCancelledBin(ctx, binId, worker,
+                         announced - executed - faulted);
     }
 
     obs::profileBinEnd(ptok, binId, superBin, executed, worker,

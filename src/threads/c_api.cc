@@ -165,7 +165,29 @@ th_stats(void)
     out.stream_inline_drains = s.stream.inlineDrains;
     out.stream_backlog = s.stream.backlog;
     out.stream_peak_backlog = s.stream.peakBacklog;
+    out.recover_deadlines = s.recover.deadlines;
+    out.recover_watchdog_cancels = s.recover.watchdogCancels;
+    out.recover_cancelled_bins = s.recover.cancelledBins;
+    out.recover_cancelled_threads = s.recover.cancelledThreads;
+    out.recover_admission_retries = s.recover.admissionRetries;
+    out.recover_admission_timeouts = s.recover.admissionTimeouts;
+    out.recover_load_sheds = s.recover.loadSheds;
+    out.recover_degraded_tours = s.recover.degradedTours;
+    out.recover_recoveries = s.recover.recoveries;
+    out.recover_state = static_cast<int>(s.recover.state);
     return out;
+}
+
+int
+th_set_deadline(long long millis)
+{
+    if (millis < 0) {
+        recordError("th_set_deadline: negative deadline");
+        return -1;
+    }
+    // Shim over the unified config surface, like th_set_backend.
+    return th_configure("deadline_millis",
+                        std::to_string(millis).c_str());
 }
 
 int
@@ -445,6 +467,12 @@ th_set_backend_(const int *kind)
 }
 
 void
+th_set_deadline_(const long long *millis)
+{
+    th_set_deadline(millis ? *millis : 0);
+}
+
+void
 th_stream_begin_(const int *workers)
 {
     th_stream_begin(workers ? *workers : 0);
@@ -527,6 +555,16 @@ th_stats_(long long *values, const int *count)
         static_cast<long long>(s.stream_inline_drains),
         static_cast<long long>(s.stream_backlog),
         static_cast<long long>(s.stream_peak_backlog),
+        static_cast<long long>(s.recover_deadlines),
+        static_cast<long long>(s.recover_watchdog_cancels),
+        static_cast<long long>(s.recover_cancelled_bins),
+        static_cast<long long>(s.recover_cancelled_threads),
+        static_cast<long long>(s.recover_admission_retries),
+        static_cast<long long>(s.recover_admission_timeouts),
+        static_cast<long long>(s.recover_load_sheds),
+        static_cast<long long>(s.recover_degraded_tours),
+        static_cast<long long>(s.recover_recoveries),
+        s.recover_state,
     };
     const int have = static_cast<int>(sizeof(fields) / sizeof(fields[0]));
     const int n = *count < have ? *count : have;

@@ -120,6 +120,26 @@ typedef struct th_stats_t
      *  highest backlog observed. */
     unsigned long long stream_backlog;
     unsigned long long stream_peak_backlog;
+    /** Recovery layer (threads/recovery.hh): deadline expiries and
+     *  watchdog-escalated cancellations (lifetime). */
+    unsigned long long recover_deadlines;
+    unsigned long long recover_watchdog_cancels;
+    /** Bins and threads dropped by cooperative cancellation. */
+    unsigned long long recover_cancelled_bins;
+    unsigned long long recover_cancelled_threads;
+    /** Streaming admission backoff rounds that made no progress, and
+     *  admissions that exhausted stream_admit_retries. */
+    unsigned long long recover_admission_retries;
+    unsigned long long recover_admission_timeouts;
+    /** Overload governor: load-shedding episodes (force-sealed stream
+     *  shards), tours stepped down to the serial path, and completed
+     *  Degraded -> Recovered transitions. */
+    unsigned long long recover_load_sheds;
+    unsigned long long recover_degraded_tours;
+    unsigned long long recover_recoveries;
+    /** Governor state now: 0 healthy, 1 backoff, 2 degraded,
+     *  3 recovered. */
+    int recover_state;
 } th_stats_t;
 
 /** Statistics of the scheduler behind th_fork/th_run. */
@@ -162,6 +182,18 @@ int th_set_placement(const char *name);
  * th_configure("backend", name). Returns 0 on success, -1 on error.
  */
 int th_set_backend(const char *name);
+
+/**
+ * Arm (or disarm, with 0) the tour/epoch deadline of the global
+ * scheduler: after @p millis milliseconds a running tour — or a
+ * streaming epoch that retires nothing while a backlog stands — is
+ * cooperatively cancelled at the next bin boundary and surfaced as a
+ * recoverable deadline error (see SchedulerConfig::deadlineMillis).
+ * Shim over th_configure("deadline_millis", ...); same contract.
+ * Returns 0 on success, -1 on a negative value or a rejected
+ * reconfiguration (the reason lands in th_last_error()).
+ */
+int th_set_deadline(long long millis);
 
 /**
  * Begin a streaming admission session on the global scheduler
@@ -298,6 +330,10 @@ void th_set_placement_(const int *kind);
 /** Fortran: CALL TH_SET_BACKEND(KIND) — 0 serial, 1 pooled,
  *  2 coldspawn. */
 void th_set_backend_(const int *kind);
+
+/** Fortran: CALL TH_SET_DEADLINE(MILLIS) — MILLIS is INTEGER*8;
+ *  0 disarms (see th_set_deadline). */
+void th_set_deadline_(const long long *millis);
 
 /** Fortran: CALL TH_STREAM_BEGIN(WORKERS) — see th_stream_begin. */
 void th_stream_begin_(const int *workers);

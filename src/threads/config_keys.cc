@@ -267,6 +267,31 @@ applyConfigKey(SchedulerConfig &config, const std::string &key,
             return badValue(error, key, value,
                             "milliseconds (0 disables)");
         config.watchdogMillis = static_cast<std::uint32_t>(u);
+    } else if (key == "watchdog_action") {
+        WatchdogAction action;
+        if (!tryWatchdogActionFromName(value, &action))
+            return badValue(error, key, value, "event|cancel");
+        config.watchdogAction = action;
+    } else if (key == "deadline_millis") {
+        if (!parseU64(value, &u) || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "milliseconds (0 disables)");
+        config.deadlineMillis = static_cast<std::uint32_t>(u);
+    } else if (key == "stream_admit_retries") {
+        if (!parseU64(value, &u) || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "a retry bound (0 = retry forever)");
+        config.streamAdmitRetries = static_cast<std::uint32_t>(u);
+    } else if (key == "overload_epochs") {
+        if (!parseU64(value, &u) || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "an epoch count (0 disables the governor)");
+        config.overloadEpochs = static_cast<unsigned>(u);
+    } else if (key == "recover_epochs") {
+        if (!parseU64(value, &u) || u == 0 || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "a positive epoch count");
+        config.recoverEpochs = static_cast<unsigned>(u);
     } else if (key == "persistent_pool") {
         if (!parseBool(value, &b))
             return badValue(error, key, value, "a boolean");
@@ -330,6 +355,16 @@ configKeyValue(const SchedulerConfig &config, const std::string &key,
         *out = errorPolicyToken(config.onError);
     else if (key == "watchdog_millis")
         *out = std::to_string(config.watchdogMillis);
+    else if (key == "watchdog_action")
+        *out = watchdogActionName(config.watchdogAction);
+    else if (key == "deadline_millis")
+        *out = std::to_string(config.deadlineMillis);
+    else if (key == "stream_admit_retries")
+        *out = std::to_string(config.streamAdmitRetries);
+    else if (key == "overload_epochs")
+        *out = std::to_string(config.overloadEpochs);
+    else if (key == "recover_epochs")
+        *out = std::to_string(config.recoverEpochs);
     else if (key == "persistent_pool")
         *out = config.persistentPool ? "1" : "0";
     else if (key == "pin_workers")
@@ -362,6 +397,11 @@ configKeys()
         "tour",
         "on_error",
         "watchdog_millis",
+        "watchdog_action",
+        "deadline_millis",
+        "stream_admit_retries",
+        "overload_epochs",
+        "recover_epochs",
         "persistent_pool",
         "pin_workers",
         "stream_shards",

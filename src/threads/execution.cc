@@ -39,6 +39,15 @@ poolExecute(Bin *bin, unsigned worker, void *ctxRaw)
     return detail::executeBin(bin, *fault, worker);
 }
 
+/** PoolJob::cancelledBin — account a bin the cancellation dropped. */
+void
+poolCancelled(Bin *bin, void *ctxRaw)
+{
+    auto *fault = static_cast<detail::FaultCtx *>(ctxRaw);
+    if (bin->threadCount > 0)
+        detail::noteCancelledBin(*fault, bin->id, 0, bin->threadCount);
+}
+
 /** Translate a TourSpec into the pool's job structure. */
 void
 initJob(detail::PoolJob &job, TourSpec &spec)
@@ -51,6 +60,8 @@ initJob(detail::PoolJob &job, TourSpec &spec)
     job.stop = spec.fault->policy == ErrorPolicy::StopTour
                    ? &spec.fault->stop
                    : nullptr;
+    job.cancel = spec.fault->cancel;
+    job.cancelledBin = &poolCancelled;
     job.currentBin = spec.currentBin;
     job.honorSuperBins = spec.honorSuperBins;
 }
@@ -67,10 +78,11 @@ class SerialBackend final : public ExecutionBackend
         // in run()'s streaming mode) — not the parallel data race the
         // marker exists to make fatal.
         std::uint64_t executed = 0;
-        for (std::size_t i = 0; i < spec.bins; ++i) {
+        std::size_t next = 0;
+        for (; next < spec.bins; ++next) {
             if (spec.fault->stopRequested())
                 break;
-            Bin *bin = spec.tour[i];
+            Bin *bin = spec.tour[next];
             if (spec.currentBin) {
                 spec.currentBin[0].store(bin->id,
                                          std::memory_order_relaxed);
@@ -80,6 +92,12 @@ class SerialBackend final : public ExecutionBackend
                 spec.currentBin[0].store(detail::kWorkerIdle,
                                          std::memory_order_relaxed);
             }
+        }
+        if (spec.fault->cancelRequested()) {
+            // Account the un-walked tail; the parallel backends do the
+            // same with their post-join deque sweep.
+            for (; next < spec.bins; ++next)
+                poolCancelled(spec.tour[next], spec.fault);
         }
         if (spec.currentBin) {
             spec.currentBin[0].store(detail::kWorkerDone,

@@ -72,10 +72,72 @@ struct ThreadFault
     std::string message;
 };
 
+/** Why a tour or stream epoch was cooperatively cancelled. */
+enum class CancelReason : std::uint8_t
+{
+    None = 0,
+    /** The deadlineMillis deadline expired. */
+    Deadline,
+    /** The watchdog fired with watchdogAction == cancel. */
+    Watchdog,
+    /** The overload governor shed the work. */
+    Overload,
+};
+
+/** Printable name of a cancel reason. */
+inline const char *
+cancelReasonName(CancelReason reason)
+{
+    switch (reason) {
+      case CancelReason::None:     return "none";
+      case CancelReason::Deadline: return "deadline";
+      case CancelReason::Watchdog: return "watchdog";
+      case CancelReason::Overload: return "overload";
+    }
+    return "?";
+}
+
+/**
+ * Cooperative cancellation token shared by one tour (or stream) and
+ * its monitors. Workers observe it at bin and thread boundaries and
+ * stop claiming work once it is raised; the first request wins, so the
+ * recorded reason names what actually pulled the trigger.
+ */
+struct CancelToken
+{
+    std::atomic<std::uint8_t> reason{0};
+
+    /** Has a cancellation been requested? */
+    bool
+    requested() const
+    {
+        return reason.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** The winning reason (None while not cancelled). */
+    CancelReason
+    why() const
+    {
+        return static_cast<CancelReason>(
+            reason.load(std::memory_order_relaxed));
+    }
+
+    /** Raise the token; only the first caller's reason sticks. */
+    void
+    request(CancelReason r)
+    {
+        std::uint8_t expected = 0;
+        reason.compare_exchange_strong(
+            expected, static_cast<std::uint8_t>(r),
+            std::memory_order_relaxed);
+    }
+};
+
 namespace detail
 {
 
-struct RunGuard; // RAII unwind protection, defined in scheduler.cc
+struct RunGuard;      // RAII unwind protection, defined in scheduler.cc
+struct RecoveryStats; // per-scheduler recovery counters (recovery.hh)
 
 /** Shared fault-collection state for one run()/runParallel() call. */
 struct FaultCtx
@@ -90,6 +152,15 @@ struct FaultCtx
     std::vector<ThreadFault> *faults = nullptr;
     /** Total faults, including those past the cap. */
     std::uint64_t totalFaults = 0;
+    /** Cancellation token of the tour's monitors; null = no deadline
+     *  armed, and every cancel check folds to one pointer test. */
+    const CancelToken *cancel = nullptr;
+    /** Owning scheduler's recovery counters; may be null (tests). */
+    RecoveryStats *recovery = nullptr;
+    /** Bins dropped (whole or mid-bin) by a cancellation. */
+    std::atomic<std::uint64_t> cancelledBins{0};
+    /** User threads dropped un-run by a cancellation. */
+    std::atomic<std::uint64_t> cancelledThreads{0};
 
     /** Faults retained with full detail per run. */
     static constexpr std::size_t kMaxRecordedFaults = 64;
@@ -99,12 +170,20 @@ struct FaultCtx
     {
     }
 
+    /** Has a monitor cancelled this tour? */
+    bool
+    cancelRequested() const
+    {
+        return cancel && cancel->requested();
+    }
+
     /** Should this worker stop claiming bins? */
     bool
     stopRequested() const
     {
-        return policy == ErrorPolicy::StopTour &&
-               stop.load(std::memory_order_relaxed);
+        return cancelRequested() ||
+               (policy == ErrorPolicy::StopTour &&
+                stop.load(std::memory_order_relaxed));
     }
 };
 
@@ -114,6 +193,17 @@ struct FaultCtx
  * first exception and raises the stop flag. Defined in scheduler.cc.
  */
 void noteFault(FaultCtx &ctx, std::uint32_t binId, unsigned worker);
+
+/**
+ * Account @p threads of @p binId dropped un-run by a cancellation:
+ * bumps the context's cancelled counters (and the scheduler's recovery
+ * stats through ctx.recovery), emits a BinCancelled trace event, and —
+ * under ContinueAndCollect, where the run returns normally — records
+ * one ThreadFault naming the cancel reason so lastFaults() reports
+ * what was dropped. Defined in scheduler.cc next to noteFault.
+ */
+void noteCancelledBin(FaultCtx &ctx, std::uint32_t binId,
+                      unsigned worker, std::uint64_t threads);
 
 /**
  * True on a thread currently executing bins for runParallel().

@@ -13,19 +13,17 @@
  * fault containment (ErrorPolicy), tracing, and fail-point sites live
  * in the one executeBin() routine (bin_exec.hh) the backends share.
  *
- * The watchdog (SchedulerConfig::watchdogMillis) is a monitor thread
- * that warns — and emits a WatchdogStall trace event — when the tour
- * overruns its deadline, naming the stuck workers and the bins they
- * hold. Purely observational; it never stops or kills the tour.
+ * The tour monitor (threads/recovery.hh) supervises each parallel
+ * tour: SchedulerConfig::deadlineMillis arms a hard deadline whose
+ * expiry requests cooperative cancellation through the tour's
+ * CancelToken, and watchdogMillis a periodic stall report that — with
+ * watchdogAction == cancel — escalates to the same token. When the
+ * overload governor is degraded, pooled tours step down to the serial
+ * path until it recovers.
  */
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
-#include <sstream>
-#include <string>
 #include <thread>
 #include <vector>
 
@@ -33,6 +31,7 @@
 #include "support/error.hh"
 #include "support/panic.hh"
 #include "threads/execution.hh"
+#include "threads/recovery.hh"
 #include "threads/sched_obs.hh"
 #include "threads/scheduler.hh"
 #include "threads/worker_pool.hh"
@@ -56,97 +55,6 @@ backendToursCounter(BackendKind kind)
     return *counters[static_cast<std::size_t>(kind)];
 }
 
-/** Rendezvous between the tour and its watchdog monitor. */
-struct WatchdogChannel
-{
-    std::mutex mutex;
-    std::condition_variable cv;
-    bool done = false;
-};
-
-/**
- * Monitor body: wake every deadline period; while workers are still
- * running past a deadline, warn with the stuck worker/bin ids and
- * record a WatchdogStall event. Purely observational — it never stops
- * or kills the tour.
- */
-void
-watchdogBody(WatchdogChannel &channel, std::uint32_t deadlineMillis,
-             const std::atomic<std::int64_t> *currentBin,
-             unsigned workers)
-{
-    if (obs::traceOn())
-        obs::TraceSession::global().setLaneName("watchdog");
-    std::unique_lock<std::mutex> lock(channel.mutex);
-    const auto period = std::chrono::milliseconds(deadlineMillis);
-    while (!channel.done) {
-        if (channel.cv.wait_for(lock, period,
-                                [&] { return channel.done; }))
-            return;
-        // Deadline passed with workers still out there.
-        std::uint64_t stalled = 0;
-        std::int64_t firstStuckBin = detail::kWorkerIdle;
-        std::ostringstream who;
-        for (unsigned w = 0; w < workers; ++w) {
-            const std::int64_t bin =
-                currentBin[w].load(std::memory_order_relaxed);
-            if (bin == detail::kWorkerDone)
-                continue;
-            ++stalled;
-            if (who.tellp() > 0)
-                who << ", ";
-            if (bin == detail::kWorkerIdle)
-                who << "worker " << w << " (between bins)";
-            else
-                who << "worker " << w << " (bin " << bin << ")";
-            if (firstStuckBin == detail::kWorkerIdle && bin >= 0)
-                firstStuckBin = bin;
-        }
-        LSCHED_WARN("runParallel watchdog: tour still running after ",
-                    deadlineMillis, " ms deadline; ", stalled,
-                    " worker(s) busy: ", who.str());
-        LSCHED_TRACE_EVENT(
-            obs::EventType::WatchdogStall, stalled,
-            firstStuckBin >= 0
-                ? static_cast<std::uint64_t>(firstStuckBin)
-                : 0,
-            deadlineMillis);
-    }
-}
-
-/**
- * RAII watchdog: armed when the config asks for one, always stopped
- * and joined on scope exit — including the unwind when a worker-0
- * exception propagates out of the tour.
- */
-struct WatchdogGuard
-{
-    WatchdogChannel channel;
-    std::thread monitor;
-
-    WatchdogGuard(std::uint32_t deadlineMillis,
-                  const std::atomic<std::int64_t> *currentBin,
-                  unsigned workers)
-    {
-        if (deadlineMillis > 0) {
-            monitor = std::thread(watchdogBody, std::ref(channel),
-                                  deadlineMillis, currentBin, workers);
-        }
-    }
-
-    ~WatchdogGuard()
-    {
-        if (monitor.joinable()) {
-            {
-                std::lock_guard<std::mutex> lock(channel.mutex);
-                channel.done = true;
-            }
-            channel.cv.notify_one();
-            monitor.join();
-        }
-    }
-};
-
 } // namespace
 
 std::uint64_t
@@ -160,6 +68,22 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     LSCHED_ASSERT(!running_, "recursive run()");
     if (workers == 0)
         workers = std::thread::hardware_concurrency();
+    if (workers > 1 && config_.backend != BackendKind::Serial &&
+        governor_.degraded()) {
+        // Graceful degradation: while the governor is degraded, the
+        // tour steps down to the serial path (which still arms the
+        // deadline) instead of fanning out over a pool that is not
+        // keeping up. run() feeds the governor, so sustained healthy
+        // tours step back up.
+        recovery_.degradedTours.fetch_add(1, std::memory_order_relaxed);
+        if (obs::metricsOn())
+            detail::schedInstruments().recoverDegradedTours->add();
+        LSCHED_WARN("overload governor degraded: runParallel(", workers,
+                    ") stepping down to the serial path");
+        LSCHED_TRACE_EVENT(
+            obs::EventType::LoadShed, 0, pendingThreads_, workers);
+        workers = 1;
+    }
     if (workers <= 1 || config_.backend == BackendKind::Serial) {
         // One worker — or the serial backend, whose tour is exactly
         // run()'s ordered walk (no helpers, so no watchdog either).
@@ -175,6 +99,13 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
 
     detail::RunGuard guard{*this, nullptr};
     detail::FaultCtx ctx(config_.onError, &lastFaults_);
+    ctx.recovery = &recovery_;
+    CancelToken cancelToken;
+    if (config_.deadlineMillis > 0 ||
+        (config_.watchdogMillis > 0 &&
+         config_.watchdogAction == WatchdogAction::Cancel)) {
+        ctx.cancel = &cancelToken;
+    }
 
     std::vector<Bin *> tour =
         orderBins(config_.tour, readyBins(), config_.dims);
@@ -218,11 +149,21 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
 
     std::uint64_t executed = 0;
     {
-        WatchdogGuard watchdog(config_.watchdogMillis, currentBin.get(),
-                               workers);
+        detail::TourMonitorSpec mspec;
+        mspec.deadlineMillis = config_.deadlineMillis;
+        mspec.watchdogMillis = config_.watchdogMillis;
+        mspec.watchdogAction = config_.watchdogAction;
+        mspec.cancel = &cancelToken;
+        mspec.recovery = &recovery_;
+        mspec.currentBin = currentBin.get();
+        mspec.workers = workers;
+        detail::TourMonitor monitor(mspec);
         executed = executionBackend(config_.backend).runTour(spec);
     }
 
+    const bool cancelled = ctx.cancelRequested();
+    if (governor_.enabled())
+        governor_.observe(cancelled);
     const bool faultedStop = ctx.first != nullptr;
     if (!keep && !faultedStop) {
         for (Bin *bin : tour) {
@@ -244,6 +185,22 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
         // first user exception exactly once on the caller. The guard's
         // unwind path recycles every bin and zeroes the pending count.
         std::rethrow_exception(ctx.first);
+    }
+    if (cancelled && config_.onError != ErrorPolicy::ContinueAndCollect) {
+        // Deadline/watchdog cancellation under Abort/StopTour: all
+        // workers have joined and the dropped work is accounted;
+        // surface a recoverable error on the caller.
+        throw DeadlineError(lsched::detail::concatMessage(
+            "parallel tour cancelled (",
+            cancelReasonName(cancelToken.why()), ") after ",
+            cancelToken.why() == CancelReason::Watchdog
+                ? config_.watchdogMillis
+                : config_.deadlineMillis,
+            " ms: ",
+            ctx.cancelledBins.load(std::memory_order_relaxed),
+            " bin(s), ",
+            ctx.cancelledThreads.load(std::memory_order_relaxed),
+            " thread(s) dropped"));
     }
     guard.commit();
     LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed);

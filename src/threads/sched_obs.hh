@@ -38,6 +38,15 @@ struct SchedInstruments
     obs::Counter *streamSeals;
     obs::Counter *streamBackpressure;
     obs::Counter *streamInline;
+    obs::Counter *recoverDeadlines;
+    obs::Counter *recoverWatchdogCancels;
+    obs::Counter *recoverCancelledBins;
+    obs::Counter *recoverCancelledThreads;
+    obs::Counter *recoverAdmissionRetries;
+    obs::Counter *recoverAdmissionTimeouts;
+    obs::Counter *recoverLoadSheds;
+    obs::Counter *recoverDegradedTours;
+    obs::Counter *recoverRecoveries;
     obs::Histogram *hashProbes;
     obs::Histogram *threadsPerBin;
     obs::Histogram *binDwellNs;

@@ -32,6 +32,15 @@ schedInstruments()
             &r.counter("sched.stream.seals"),
             &r.counter("sched.stream.backpressure"),
             &r.counter("sched.stream.inline_drains"),
+            &r.counter("sched.recover.deadlines"),
+            &r.counter("sched.recover.watchdog_cancels"),
+            &r.counter("sched.recover.cancelled_bins"),
+            &r.counter("sched.recover.cancelled_threads"),
+            &r.counter("sched.recover.admission_retries"),
+            &r.counter("sched.recover.admission_timeouts"),
+            &r.counter("sched.recover.load_sheds"),
+            &r.counter("sched.recover.degraded_tours"),
+            &r.counter("sched.recover.recoveries"),
             &r.histogram("sched.hash.probes"),
             &r.histogram("sched.bin.threads"),
             &r.histogram("sched.bin.dwell_ns"),
@@ -67,6 +76,44 @@ noteFault(FaultCtx &ctx, std::uint32_t binId, unsigned worker)
     LSCHED_TRACE_EVENT(obs::EventType::ThreadFault, binId, worker);
     if (obs::metricsOn())
         schedInstruments().faulted->add();
+}
+
+void
+noteCancelledBin(FaultCtx &ctx, std::uint32_t binId, unsigned worker,
+                 std::uint64_t threads)
+{
+    ctx.cancelledBins.fetch_add(1, std::memory_order_relaxed);
+    ctx.cancelledThreads.fetch_add(threads, std::memory_order_relaxed);
+    if (ctx.recovery) {
+        ctx.recovery->cancelledBins.fetch_add(
+            1, std::memory_order_relaxed);
+        ctx.recovery->cancelledThreads.fetch_add(
+            threads, std::memory_order_relaxed);
+    }
+    if (ctx.policy == ErrorPolicy::ContinueAndCollect) {
+        // This run returns normally, so the dropped work must be
+        // visible where contained faults are: one recorded fault per
+        // cancelled bin, counting every dropped thread.
+        const CancelReason reason =
+            ctx.cancel ? ctx.cancel->why() : CancelReason::None;
+        std::lock_guard<std::mutex> lock(ctx.mutex);
+        ctx.totalFaults += threads;
+        if (ctx.faults &&
+            ctx.faults->size() < FaultCtx::kMaxRecordedFaults) {
+            ctx.faults->push_back(
+                {binId, worker,
+                 lsched::detail::concatMessage(
+                     "bin cancelled (", cancelReasonName(reason), "): ",
+                     threads, " thread(s) dropped")});
+        }
+    }
+    LSCHED_TRACE_EVENT(obs::EventType::BinCancelled, binId, worker,
+                       threads);
+    if (obs::metricsOn()) {
+        const SchedInstruments &ins = schedInstruments();
+        ins.recoverCancelledBins->add();
+        ins.recoverCancelledThreads->add(threads);
+    }
 }
 
 } // namespace detail
@@ -161,6 +208,8 @@ LocalityScheduler::LocalityScheduler(const SchedulerConfig &config)
       table_(config_.dims, config_.hashBuckets),
       pool_(config_.groupCapacity)
 {
+    governor_.configure(config_.overloadEpochs, config_.recoverEpochs,
+                        &recovery_);
 }
 
 LocalityScheduler::~LocalityScheduler() = default;
@@ -191,6 +240,10 @@ LocalityScheduler::configure(const SchedulerConfig &config)
         retiredPoolStats_ += workerPool_->stats();
         workerPool_.reset();
     }
+    // Re-arming the governor resets its state machine to Healthy; the
+    // lifetime recovery counters are deliberately preserved.
+    governor_.configure(config_.overloadEpochs, config_.recoverEpochs,
+                        &recovery_);
 }
 
 void
@@ -318,12 +371,25 @@ LocalityScheduler::run(bool keep)
     Bin *inFlight = nullptr;
     detail::RunGuard guard{*this, &inFlight};
     detail::FaultCtx ctx(config_.onError, &lastFaults_);
+    ctx.recovery = &recovery_;
+    CancelToken cancelToken;
+    if (config_.deadlineMillis > 0)
+        ctx.cancel = &cancelToken;
 
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
                        table_.binCount(), 1);
     obs::profileNoteEpoch();
     if (obs::metricsOn())
         detail::schedInstruments().runs->add();
+
+    // Deadline monitor for the serial tour (runParallel arms its own,
+    // with the watchdog on top). The monitor's dtor joins before the
+    // guard runs, so a cancel can never race the unwind path.
+    detail::TourMonitorSpec mspec;
+    mspec.deadlineMillis = config_.deadlineMillis;
+    mspec.cancel = &cancelToken;
+    mspec.recovery = &recovery_;
+    detail::TourMonitor monitor(mspec);
 
     if (nestedForkOk_) {
         // Streaming traversal: pop bins off the ready list as they
@@ -351,8 +417,24 @@ LocalityScheduler::run(bool keep)
             inFlight = nullptr;
         }
         if (ctx.stopRequested()) {
-            // Un-run bins stay on the ready list; the rethrow below
-            // lets the guard recycle them.
+            if (ctx.cancelRequested()) {
+                // Account the bins the cancellation left on the ready
+                // list (the backend sweeps only bins it was handed).
+                for (Bin *bin = readyHead_; bin; bin = bin->readyNext) {
+                    if (bin->threadCount > 0) {
+                        detail::noteCancelledBin(ctx, bin->id, 0,
+                                                 bin->threadCount);
+                    }
+                }
+                if (config_.onError == ErrorPolicy::ContinueAndCollect) {
+                    // This path returns normally: drop the remainder
+                    // now so the scheduler comes back clean.
+                    abandonRun(nullptr);
+                    running_ = true; // guard.commit() clears it
+                }
+            }
+            // Otherwise un-run bins stay on the ready list; the
+            // rethrow below lets the guard recycle them.
         } else {
             LSCHED_ASSERT(pendingThreads_ <=
                               executed + ctx.totalFaults,
@@ -374,7 +456,13 @@ LocalityScheduler::run(bool keep)
         spec.fault = &ctx;
         executed +=
             executionBackend(BackendKind::Serial).runTour(spec);
-        if (!keep && !ctx.stopRequested()) {
+        // A cancelled ContinueAndCollect run returns normally, so its
+        // remainder (already accounted by the backend's sweep) must be
+        // recycled here like any completed tour's.
+        const bool cancelledButReturning =
+            ctx.cancelRequested() &&
+            config_.onError == ErrorPolicy::ContinueAndCollect;
+        if (!keep && (!ctx.stopRequested() || cancelledButReturning)) {
             for (Bin *bin : tour) {
                 pool_.recycleChain(bin->groupsHead);
                 bin->clearGroups();
@@ -390,10 +478,24 @@ LocalityScheduler::run(bool keep)
     executedThreads_ += executed;
     lastFaultsTotal_ = ctx.totalFaults;
     faultedThreads_ += lastFaultsTotal_;
+    const bool cancelled = ctx.cancelRequested();
+    if (governor_.enabled())
+        governor_.observe(cancelled);
     if (ctx.first) {
         // StopTour: rethrow the first user exception exactly once on
         // the caller; the guard's unwind path drops what never ran.
         std::rethrow_exception(ctx.first);
+    }
+    if (cancelled && config_.onError != ErrorPolicy::ContinueAndCollect) {
+        // Abort/StopTour surface the cancellation as a recoverable
+        // error; the guard's unwind path drops what never ran.
+        throw DeadlineError(lsched::detail::concatMessage(
+            "run cancelled (", cancelReasonName(cancelToken.why()),
+            ") after ", config_.deadlineMillis, " ms: ",
+            ctx.cancelledBins.load(std::memory_order_relaxed),
+            " bin(s), ",
+            ctx.cancelledThreads.load(std::memory_order_relaxed),
+            " thread(s) dropped"));
     }
     guard.commit();
     LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed);
@@ -433,7 +535,8 @@ LocalityScheduler::streamBegin(unsigned workers)
     if (obs::metricsOn())
         detail::schedInstruments().runs->add();
     stream_ = std::make_unique<StreamSession>(config_, *placement_,
-                                              pool, helpers);
+                                              pool, helpers, &recovery_,
+                                              &governor_);
     running_ = true;
 }
 
@@ -458,6 +561,7 @@ LocalityScheduler::streamEnd()
     faultedThreads_ += lastFaultsTotal_;
     lastStreamBins_ = stream_->binReports();
     const std::exception_ptr first = stream_->firstFault();
+    const CancelReason streamCancel = stream_->cancelReason();
     stream_.reset();
     running_ = false;
     if (!config_.persistentPool && workerPool_) {
@@ -471,6 +575,15 @@ LocalityScheduler::streamEnd()
     if (first) {
         // StopTour: the first contained exception, exactly once.
         std::rethrow_exception(first);
+    }
+    if (streamCancel != CancelReason::None &&
+        config_.onError != ErrorPolicy::ContinueAndCollect) {
+        // The epoch deadline cancelled the stream; surface it here,
+        // after the session's counters were folded in.
+        throw DeadlineError(lsched::detail::concatMessage(
+            "stream cancelled (", cancelReasonName(streamCancel),
+            "): no epoch progress within ", config_.deadlineMillis,
+            " ms"));
     }
     return s.executed;
 }
@@ -593,6 +706,7 @@ LocalityScheduler::stats() const
         orderBins(config_.tour, bins, config_.dims), config_.dims);
     s.pool = workerPoolStats();
     s.stream = streamStats();
+    s.recover = recoverySnapshot();
 
     // The registry is the export path for these numbers: every
     // snapshot refreshes the scheduler gauges so a --metrics dump (or
@@ -612,6 +726,10 @@ LocalityScheduler::stats() const
         r.gauge("sched.stream.backlog").set(s.stream.backlog);
         r.gauge("sched.stream.peak_backlog")
             .set(s.stream.peakBacklog);
+        r.gauge("sched.recover.state")
+            .set(static_cast<std::uint64_t>(s.recover.state));
+        r.gauge("sched.recover.deadline_millis")
+            .set(config_.deadlineMillis);
     }
     return s;
 }

@@ -41,6 +41,7 @@
 #include "threads/hash_table.hh"
 #include "threads/hints.hh"
 #include "threads/placement.hh"
+#include "threads/recovery.hh"
 #include "threads/stream.hh"
 #include "threads/thread_group.hh"
 #include "threads/tour.hh"
@@ -95,10 +96,50 @@ struct SchedulerConfig
     /**
      * runParallel() watchdog deadline in milliseconds; 0 disables.
      * When a tour overruns the deadline a monitor thread warns with
-     * the stuck worker/bin ids and emits a WatchdogStall trace event —
-     * it never kills anything, it makes the degradation visible.
+     * the stuck worker/bin ids and emits a WatchdogStall trace event;
+     * watchdogAction selects what happens next.
      */
     std::uint32_t watchdogMillis = 0;
+    /**
+     * What the watchdog does when it fires (recovery.hh): Event (the
+     * default) only warns and traces, preserving the historic
+     * observe-only behavior; Cancel additionally raises the tour's
+     * cancellation token — the same cooperative cancel a deadline
+     * uses — so a wedged tour is cut short instead of merely reported.
+     */
+    WatchdogAction watchdogAction = WatchdogAction::Event;
+    /**
+     * Tour/epoch deadline in milliseconds; 0 disables. A batch tour
+     * (run()/runParallel()) that overruns it is cooperatively
+     * cancelled: workers stop at the next bin boundary, dropped work
+     * is accounted in stats().recover, and the call throws
+     * DeadlineError (under ErrorPolicy::ContinueAndCollect it returns
+     * normally with the cancellation recorded as contained faults).
+     * While streaming, the deadline instead bounds *epoch progress*:
+     * a standing backlog that retires nothing for a full deadline
+     * period cancels the stream the same way, surfacing at
+     * streamEnd().
+     */
+    std::uint32_t deadlineMillis = 0;
+    /**
+     * Bound on consecutive no-progress backpressure waits a streaming
+     * producer tolerates before admission fails with AdmissionTimeout
+     * (each wait backs off exponentially with jitter). 0 = retry
+     * forever — but the wait is still timed, so a wedged pool produces
+     * periodic warnings instead of a silent hang.
+     */
+    std::uint32_t streamAdmitRetries = 0;
+    /**
+     * Overload governor (recovery.hh): consecutive overloaded epochs
+     * — cancelled tours, or stream ticks pinned at the backpressure
+     * bound — before the scheduler degrades (parallel tours step down
+     * to serial; streams shed load by force-sealing). 0 disables the
+     * governor.
+     */
+    unsigned overloadEpochs = 0;
+    /** Consecutive healthy epochs before a degraded scheduler steps
+     *  back up. */
+    unsigned recoverEpochs = 2;
     /**
      * Keep runParallel()'s workers parked between tours (the default):
      * OS threads are created once, at the first parallel tour, and
@@ -168,6 +209,8 @@ struct SchedulerStats
     WorkerPoolStats pool;
     /** Streaming statistics (live session, else lifetime totals). */
     StreamStats stream;
+    /** Recovery-layer counters and governor state (lifetime). */
+    RecoverySnapshot recover;
 };
 
 /** The locality-scheduling thread package. */
@@ -345,6 +388,27 @@ class LocalityScheduler
     /** The active placement policy (inspection; tests). */
     const PlacementPolicy &placementPolicy() const { return *placement_; }
 
+    /**
+     * Arm (or disarm, ms == 0) the tour/epoch deadline without a full
+     * reconfigure — the th_set_deadline C shim. Takes effect at the
+     * next run()/runParallel()/streamBegin(); an in-flight tour keeps
+     * the deadline it was armed with. Not thread-safe against a
+     * concurrent configure().
+     */
+    void setDeadlineMillis(std::uint32_t ms) { config_.deadlineMillis = ms; }
+
+    /** Current overload-governor state (Healthy when disabled). */
+    RecoveryState recoveryState() const { return governor_.state(); }
+
+    /** Lifetime recovery counters (also embedded in stats()). */
+    RecoverySnapshot
+    recoverySnapshot() const
+    {
+        RecoverySnapshot s = recovery_.snapshot();
+        s.state = governor_.state();
+        return s;
+    }
+
   private:
     friend struct detail::RunGuard;
 
@@ -389,6 +453,12 @@ class LocalityScheduler
     /** Accumulated counters of finished streams. */
     StreamStats lifetimeStream_;
     std::vector<StreamBinReport> lastStreamBins_;
+
+    /** Lifetime recovery counters (deadlines, cancels, sheds). */
+    detail::RecoveryStats recovery_;
+    /** Overload → degrade → recover state machine; disabled unless
+     *  config_.overloadEpochs > 0. */
+    OverloadGovernor governor_;
 };
 
 namespace detail

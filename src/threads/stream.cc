@@ -6,9 +6,12 @@
 
 #include "threads/stream.hh"
 
+#include <chrono>
 #include <string>
 
+#include "support/error.hh"
 #include "support/panic.hh"
+#include "support/prng.hh"
 #include "threads/bin_exec.hh"
 #include "threads/sched_obs.hh"
 #include "threads/scheduler.hh"
@@ -18,6 +21,15 @@ namespace lsched::threads
 
 namespace
 {
+
+/** Backpressure backoff: first wait, doubling per no-progress round. */
+constexpr std::uint64_t kBackoffBaseUs = 500;
+/** Backoff ceiling, so a long stall still polls for liveness. */
+constexpr std::uint64_t kBackoffCapUs = 50'000;
+/** Governor tick when no deadline sets the epoch length. */
+constexpr std::uint32_t kGovernorTickMillis = 20;
+/** Warn every this many no-progress rounds when retries are ∞. */
+constexpr unsigned kStallWarnPeriod = 32;
 
 /**
  * True while this producer thread is draining a sealed bin inline
@@ -37,15 +49,24 @@ struct InlineDrainScope
 
 StreamSession::StreamSession(const SchedulerConfig &config,
                              PlacementPolicy &placement,
-                             WorkerPool *pool, unsigned drainWorkers)
+                             WorkerPool *pool, unsigned drainWorkers,
+                             detail::RecoveryStats *recovery,
+                             OverloadGovernor *governor)
     : dims_(config.dims),
       sealThreshold_(config.streamSealThreshold),
       maxPending_(config.streamMaxPending),
+      deadlineMillis_(config.deadlineMillis),
+      admitRetries_(config.streamAdmitRetries),
       placement_(placement),
       placementStateless_(placement.stateless()),
       fault_(config.onError, &faults_),
-      pool_(pool)
+      pool_(pool),
+      recovery_(recovery),
+      governor_(governor)
 {
+    fault_.recovery = recovery_;
+    if (deadlineMillis_ > 0)
+        fault_.cancel = &cancel_;
     const unsigned shardCount =
         config.streamShards ? config.streamShards : kDefaultShards;
     // Split the configured bucket budget over the shards; each shard
@@ -68,6 +89,8 @@ StreamSession::StreamSession(const SchedulerConfig &config,
         pool_->beginStream(job_);
         helpersRunning_ = true;
     }
+    if (deadlineMillis_ > 0 || (governor_ && governor_->enabled()))
+        monitor_ = std::thread(&StreamSession::monitorMain, this);
 }
 
 StreamSession::~StreamSession()
@@ -102,6 +125,10 @@ StreamSession::admitThread()
         return;
     }
     std::uint64_t cur = pending_.load(std::memory_order_relaxed);
+    unsigned noProgress = 0;
+    std::uint64_t waitUs = kBackoffBaseUs;
+    Prng jitter(0x5bd1e995u +
+                jitterSeed_.fetch_add(1, std::memory_order_relaxed));
     for (;;) {
         if (fault_.stopRequested()) {
             // Stopping: drainers are discarding, so holding producers
@@ -117,8 +144,81 @@ StreamSession::admitThread()
                 break;
             continue;
         }
-        onBackpressure();
+        LSCHED_TRACE_EVENT(obs::EventType::Backpressure, cur,
+                           maxPending_);
+        if (obs::metricsOn())
+            detail::schedInstruments().streamBackpressure->add();
+        // First choice: help. An inline drain or a force-seal is
+        // forward progress this producer made itself.
+        if (tryHelp()) {
+            noProgress = 0;
+            waitUs = kBackoffBaseUs;
+            cur = pending_.load(std::memory_order_relaxed);
+            continue;
+        }
+        if (degraded_.load(std::memory_order_relaxed)) {
+            // Load shedding: a degraded session never blocks its
+            // producers — admission overshoots the bound (soft) and
+            // the governor's force-seals keep the drain fed.
+            cur = pending_.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        // The backlog is entirely in flight on the drain workers: park
+        // with a timed, jittered exponential backoff instead of the
+        // historic unbounded wait, so a wedged pool surfaces as a
+        // diagnosable timeout rather than a hang.
+        bpWaits_.fetch_add(1, std::memory_order_relaxed);
+        const std::uint64_t retiredBefore =
+            retired_.load(std::memory_order_relaxed);
+        const std::uint64_t sleepUs =
+            waitUs / 2 + jitter.nextBelow(waitUs / 2 + 1);
+        {
+            std::unique_lock<std::mutex> lock(bpMutex_);
+            bpCv_.wait_for(lock, std::chrono::microseconds(sleepUs),
+                           [&] {
+                               return pending_.load(
+                                          std::memory_order_relaxed) <
+                                          maxPending_ ||
+                                      fault_.stopRequested();
+                           });
+        }
         cur = pending_.load(std::memory_order_relaxed);
+        if (cur < maxPending_ ||
+            retired_.load(std::memory_order_relaxed) != retiredBefore) {
+            // The drain moved; reset the retry budget and the backoff.
+            noProgress = 0;
+            waitUs = kBackoffBaseUs;
+            continue;
+        }
+        ++noProgress;
+        if (recovery_) {
+            recovery_->admissionRetries.fetch_add(
+                1, std::memory_order_relaxed);
+        }
+        if (obs::metricsOn())
+            detail::schedInstruments().recoverAdmissionRetries->add();
+        if (admitRetries_ && noProgress >= admitRetries_) {
+            if (recovery_) {
+                recovery_->admissionTimeouts.fetch_add(
+                    1, std::memory_order_relaxed);
+            }
+            if (obs::metricsOn()) {
+                detail::schedInstruments()
+                    .recoverAdmissionTimeouts->add();
+            }
+            LSCHED_TRACE_EVENT(obs::EventType::AdmissionTimeout, cur,
+                               maxPending_, noProgress);
+            throw AdmissionTimeout(lsched::detail::concatMessage(
+                "stream admission timed out after ", noProgress,
+                " no-progress backoff round(s): ", cur,
+                " thread(s) pending at bound ", maxPending_));
+        }
+        if (!admitRetries_ && noProgress % kStallWarnPeriod == 0) {
+            LSCHED_WARN("stream admission stalled: ", noProgress,
+                        " no-progress wait(s) at bound ", maxPending_,
+                        " (streamAdmitRetries == 0 retries forever)");
+        }
+        waitUs = std::min(waitUs * 2, kBackoffCapUs);
     }
     const std::uint64_t now = cur + 1;
     std::uint64_t peak = peak_.load(std::memory_order_relaxed);
@@ -128,17 +228,11 @@ StreamSession::admitThread()
         ;
 }
 
-void
-StreamSession::onBackpressure()
+bool
+StreamSession::tryHelp()
 {
-    LSCHED_TRACE_EVENT(obs::EventType::Backpressure,
-                       pending_.load(std::memory_order_relaxed),
-                       maxPending_);
-    if (obs::metricsOn())
-        detail::schedInstruments().streamBackpressure->add();
-
-    // First choice: become the drain. One sealed bin run inline frees
-    // at least one admission slot without waiting on anyone.
+    // Become the drain: one sealed bin run inline frees at least one
+    // admission slot without waiting on anyone.
     detail::SealedBin item;
     if (queue_.tryPop(item)) {
         inlineDrains_.fetch_add(1, std::memory_order_relaxed);
@@ -146,20 +240,11 @@ StreamSession::onBackpressure()
             detail::schedInstruments().streamInline->add();
         InlineDrainScope inDrain;
         drainOne(item, 0);
-        return;
+        return true;
     }
     // Nothing sealed yet: the backlog is sitting in open bins. Seal
     // one so the drain (pool or our next pass) has work.
-    if (forceSealOne())
-        return;
-    // The backlog is entirely in flight on the drain workers; park
-    // until one of them retires a chain.
-    bpWaits_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> lock(bpMutex_);
-    bpCv_.wait(lock, [&] {
-        return pending_.load(std::memory_order_relaxed) < maxPending_ ||
-               fault_.stopRequested();
-    });
+    return forceSealOne();
 }
 
 detail::SealedBin
@@ -320,6 +405,11 @@ StreamSession::drainOne(const detail::SealedBin &item, unsigned worker)
 void
 StreamSession::discard(const detail::SealedBin &item)
 {
+    if (fault_.cancelRequested() && item.threads > 0) {
+        // Cancellation (not a StopTour fault) dropped this chain:
+        // account it like any cancelled bin.
+        detail::noteCancelledBin(fault_, item.binId, 0, item.threads);
+    }
     retire(item);
 }
 
@@ -331,6 +421,7 @@ StreamSession::retire(const detail::SealedBin &item)
         std::lock_guard<std::mutex> lock(shard.mutex);
         shard.pool.recycleChain(item.groups);
     }
+    retired_.fetch_add(1, std::memory_order_relaxed);
     pending_.fetch_sub(item.threads, std::memory_order_relaxed);
     if (maxPending_) {
         // Pass through the lock empty-handed so a producer between
@@ -363,11 +454,125 @@ StreamSession::drainMain(unsigned worker, void *ctx)
 }
 
 void
+StreamSession::monitorMain()
+{
+    if (obs::traceOn())
+        obs::TraceSession::global().setLaneName("stream monitor");
+    const auto tick = std::chrono::milliseconds(
+        deadlineMillis_ > 0 ? deadlineMillis_ : kGovernorTickMillis);
+    std::uint64_t lastRetired = retired_.load(std::memory_order_relaxed);
+    bool sawBacklog = false;
+    std::unique_lock<std::mutex> lock(monMutex_);
+    while (!monCv_.wait_for(lock, tick, [&] { return monDone_; })) {
+        const std::uint64_t pend =
+            pending_.load(std::memory_order_relaxed);
+        const std::uint64_t ret =
+            retired_.load(std::memory_order_relaxed);
+        if (deadlineMillis_ > 0 && !cancel_.requested()) {
+            if (sawBacklog && pend > 0 && ret == lastRetired) {
+                // A standing backlog retired nothing for a whole
+                // deadline period: the epoch is wedged. Cancel
+                // cooperatively; drains discard, blocked producers
+                // wake through stopRequested().
+                LSCHED_WARN("stream deadline: backlog of ", pend,
+                            " thread(s) made no progress for ",
+                            deadlineMillis_,
+                            " ms; cancelling the stream");
+                LSCHED_TRACE_EVENT(
+                    obs::EventType::DeadlineExpire, deadlineMillis_,
+                    static_cast<std::uint64_t>(CancelReason::Deadline),
+                    pend);
+                if (recovery_) {
+                    recovery_->deadlines.fetch_add(
+                        1, std::memory_order_relaxed);
+                }
+                if (obs::metricsOn())
+                    detail::schedInstruments().recoverDeadlines->add();
+                cancel_.request(CancelReason::Deadline);
+                {
+                    std::lock_guard<std::mutex> bpLock(bpMutex_);
+                }
+                bpCv_.notify_all();
+            }
+            sawBacklog = pend > 0;
+        }
+        lastRetired = ret;
+        if (governor_ && governor_->enabled()) {
+            const bool overloaded =
+                cancel_.requested() ||
+                (maxPending_ > 0 && pend >= maxPending_);
+            const RecoveryState state = governor_->observe(overloaded);
+            const bool nowDegraded =
+                state == RecoveryState::Degraded;
+            if (nowDegraded &&
+                !degraded_.load(std::memory_order_relaxed)) {
+                degraded_.store(true, std::memory_order_relaxed);
+                shedLoad();
+                // Unblock producers parked at the bound: degraded
+                // admission stops blocking.
+                {
+                    std::lock_guard<std::mutex> bpLock(bpMutex_);
+                }
+                bpCv_.notify_all();
+            } else if (!nowDegraded &&
+                       degraded_.load(std::memory_order_relaxed)) {
+                degraded_.store(false, std::memory_order_relaxed);
+            }
+        }
+    }
+}
+
+void
+StreamSession::stopMonitor()
+{
+    if (!monitor_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(monMutex_);
+        monDone_ = true;
+    }
+    monCv_.notify_one();
+    monitor_.join();
+}
+
+void
+StreamSession::shedLoad()
+{
+    std::uint64_t shedBins = 0;
+    for (unsigned i = 0; i < shards_.size(); ++i) {
+        Shard &shard = *shards_[i];
+        std::vector<detail::SealedBin> tail;
+        {
+            std::lock_guard<std::mutex> lock(shard.mutex);
+            for (Bin *bin : shard.open)
+                if (bin->threadCount)
+                    tail.push_back(sealLocked(shard, i, bin));
+        }
+        for (const detail::SealedBin &item : tail)
+            enqueue(item);
+        shedBins += tail.size();
+    }
+    if (recovery_)
+        recovery_->loadSheds.fetch_add(1, std::memory_order_relaxed);
+    if (obs::metricsOn())
+        detail::schedInstruments().recoverLoadSheds->add();
+    LSCHED_WARN("stream overload: degraded; force-sealed ", shedBins,
+                " open bin(s) for the drain");
+    LSCHED_TRACE_EVENT(obs::EventType::LoadShed, shedBins,
+                       pending_.load(std::memory_order_relaxed),
+                       maxPending_);
+}
+
+void
 StreamSession::finish()
 {
     if (finished_)
         return;
     finished_ = true;
+    // The monitor must stop before the tail drain: finish()'s own
+    // sealing and draining would otherwise read as one more wedged
+    // (or overloaded) epoch.
+    stopMonitor();
 
     // Producers have stopped (the owner's contract): seal every open
     // chain so the tail of the stream drains like any other epoch.

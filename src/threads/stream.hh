@@ -56,12 +56,14 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "threads/fault.hh"
 #include "threads/hash_table.hh"
 #include "threads/hints.hh"
 #include "threads/placement.hh"
+#include "threads/recovery.hh"
 #include "threads/thread_group.hh"
 #include "threads/worker_pool.hh"
 
@@ -215,10 +217,17 @@ class StreamSession
      *        execution happens on producers and at finish().
      * @param drainWorkers helper threads draining sealed bins
      *        (ignored when @p pool is null).
+     * @param recovery the owning scheduler's recovery counters; may be
+     *        null (standalone tests).
+     * @param governor the owning scheduler's overload governor; may be
+     *        null. When enabled, the session's monitor feeds it one
+     *        observation per tick and sheds load while it is degraded.
      */
     StreamSession(const SchedulerConfig &config,
                   PlacementPolicy &placement, WorkerPool *pool,
-                  unsigned drainWorkers);
+                  unsigned drainWorkers,
+                  detail::RecoveryStats *recovery = nullptr,
+                  OverloadGovernor *governor = nullptr);
 
     /** Finishes the stream if the owner never did (teardown path). */
     ~StreamSession();
@@ -255,6 +264,16 @@ class StreamSession
     /** First StopTour exception, for the owner to rethrow. */
     std::exception_ptr firstFault() const { return fault_.first; }
 
+    /** Why the stream was cancelled (None while healthy). The owner
+     *  turns a non-None reason into a DeadlineError at streamEnd(). */
+    CancelReason cancelReason() const { return cancel_.why(); }
+
+    /** Is the session currently shedding load (governor degraded)? */
+    bool degraded() const
+    {
+        return degraded_.load(std::memory_order_relaxed);
+    }
+
   private:
     /** One intake shard, padded so shard locks do not false-share. */
     struct alignas(64) Shard
@@ -278,8 +297,9 @@ class StreamSession
     unsigned shardOf(std::uint64_t hash) const;
     /** Reserve one admission slot, enforcing the maxPending bound. */
     void admitThread();
-    /** Help at the bound: inline-drain, force-seal, or block. */
-    void onBackpressure();
+    /** Help at the bound: inline-drain a sealed bin or force-seal an
+     *  open one. False when the backlog is entirely in flight. */
+    bool tryHelp();
     /** Detach the bin's chain as a work item. Shard lock held. */
     detail::SealedBin sealLocked(Shard &shard, unsigned shardIndex,
                                  Bin *bin);
@@ -289,14 +309,25 @@ class StreamSession
     bool forceSealOne();
     /** Execute one sealed chain as @p worker and retire it. */
     void drainOne(const detail::SealedBin &item, unsigned worker);
-    /** Retire a chain without running it (StopTour discard). */
+    /** Retire a chain without running it (StopTour/cancel discard). */
     void discard(const detail::SealedBin &item);
     /** Return the chain to its shard's pool and shrink the backlog. */
     void retire(const detail::SealedBin &item);
+    /** Epoch-progress monitor body (deadline + overload governor). */
+    void monitorMain();
+    /** Stop and join the monitor thread (idempotent). */
+    void stopMonitor();
+    /** Degraded: force-seal every open bin so the drain has it all. */
+    void shedLoad();
 
     const unsigned dims_;
     const std::uint64_t sealThreshold_;
     const std::uint64_t maxPending_;
+    /** Epoch deadline: cancel when a standing backlog retires nothing
+     *  for a full period. 0 = no deadline. */
+    const std::uint32_t deadlineMillis_;
+    /** No-progress backoff rounds before AdmissionTimeout; 0 = ∞. */
+    const std::uint32_t admitRetries_;
 
     PlacementPolicy &placement_;
     /** Serializes place() for stateful policies; unused otherwise. */
@@ -328,6 +359,24 @@ class StreamSession
 
     std::vector<StreamBinReport> bins_;
     bool finished_ = false;
+
+    /** Raised by the monitor on epoch-deadline expiry; fault_.cancel
+     *  points here when a deadline is armed, so drains and blocked
+     *  producers observe it through stopRequested(). */
+    CancelToken cancel_;
+    /** Chains retired so far — the monitor's progress signal. */
+    std::atomic<std::uint64_t> retired_{0};
+    /** True while the governor holds the session degraded: producers
+     *  stop blocking (soft bound) and open bins are force-sealed. */
+    std::atomic<bool> degraded_{false};
+    /** Seed mix-in so concurrent producers jitter independently. */
+    std::atomic<std::uint64_t> jitterSeed_{0};
+    detail::RecoveryStats *recovery_;
+    OverloadGovernor *governor_;
+    std::mutex monMutex_;
+    std::condition_variable monCv_;
+    bool monDone_ = false;
+    std::thread monitor_;
 };
 
 } // namespace lsched::threads

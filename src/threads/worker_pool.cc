@@ -183,6 +183,15 @@ WorkerPool::runTour(detail::PoolJob &job)
         doneCv_.wait(lock, [&] { return active_ == 0; });
     }
     tours_.fetch_add(1, std::memory_order_relaxed);
+
+    if (job.cancel && job.cancel->requested() && job.cancelledBin) {
+        // Every worker has joined, so the deques are quiescent: drain
+        // the unclaimed remainder and account each dropped bin.
+        for (unsigned w = 0; w < job.workers; ++w) {
+            while (Bin *bin = slots_[w]->deque.take())
+                job.cancelledBin(bin, job.ctx);
+        }
+    }
 }
 
 void
@@ -311,6 +320,8 @@ WorkerPool::workerLoop(unsigned id, detail::PoolJob &job)
     std::uint64_t ran = 0;
     for (;;) {
         if (job.stop && job.stop->load(std::memory_order_relaxed))
+            break;
+        if (job.cancel && job.cancel->requested())
             break;
         unsigned victim = id;
         Bin *bin = mine.take();

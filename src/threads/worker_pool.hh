@@ -42,6 +42,7 @@
 #include <vector>
 
 #include "threads/bin.hh"
+#include "threads/fault.hh"
 
 namespace lsched::threads
 {
@@ -179,6 +180,14 @@ struct PoolJob
      *  are dropped when the tour's segments are reset — the caller's
      *  unwind path recycles them off the ready list. */
     const std::atomic<bool> *stop = nullptr;
+    /** When non-null, workers also stop claiming once the token is
+     *  raised (deadline/watchdog cancellation). After the join,
+     *  runTour drains every deque and reports each unclaimed bin
+     *  through @p cancelledBin, so dropped work is accounted. */
+    const CancelToken *cancel = nullptr;
+    /** Per-bin cancellation sink (called from runTour's caller thread
+     *  after all workers joined; race-free). May be null. */
+    void (*cancelledBin)(Bin *bin, void *ctx) = nullptr;
     /** Watchdog slots, one per worker: current bin id, kWorkerIdle
      *  between bins, kWorkerDone after the segment drains. May be
      *  null. */

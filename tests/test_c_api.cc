@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "obs/trace.hh"
+#include "support/failpoint.hh"
 #include "threads/c_api.hh"
 #include "threads/config_keys.hh"
 
@@ -366,6 +367,59 @@ TEST_F(CApiTest, StreamSessionThroughTheCBoundary)
     EXPECT_EQ(after.stream_backlog, 0u);
     EXPECT_EQ(after.executed_threads - before.executed_threads, 300u);
     ASSERT_EQ(th_configure("stream_seal_threshold", "0"), 0);
+}
+
+TEST_F(CApiTest, SetDeadlineIsAConfigureShim)
+{
+    ASSERT_EQ(th_set_deadline(250), 0);
+    char value[16];
+    ASSERT_GT(th_config_get("deadline_millis", value, sizeof(value)),
+              0);
+    EXPECT_STREQ(value, "250");
+
+    th_clear_error();
+    EXPECT_EQ(th_set_deadline(-1), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+    th_clear_error();
+
+    // Fortran mirror: INTEGER*8 by reference; 0 disarms.
+    const long long off = 0;
+    th_set_deadline_(&off);
+    ASSERT_GT(th_config_get("deadline_millis", value, sizeof(value)),
+              0);
+    EXPECT_STREQ(value, "0");
+}
+
+TEST_F(CApiTest, DeadlineSurfacesAsRecordedErrorAndRecoveryStats)
+{
+    if (!lsched::failpoint::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    // A wedged run at the C boundary: th_run reports the deadline
+    // through th_last_error (C callers cannot catch DeadlineError)
+    // and the appended th_stats recovery fields record it.
+    const th_stats_t before = th_stats();
+    ASSERT_EQ(th_set_deadline(50), 0);
+    ASSERT_EQ(th_failpoint_arm("sched.bin.execute", "stall=150"), 0);
+    for (std::uintptr_t i = 0; i < 32; ++i) {
+        th_fork(&record, nullptr, reinterpret_cast<void *>(i),
+                reinterpret_cast<void *>(i * 0x100000), nullptr,
+                nullptr);
+    }
+    th_clear_error();
+    th_run(0);
+    th_failpoint_disarm_all();
+    ASSERT_NE(th_last_error(), nullptr);
+    EXPECT_NE(std::string(th_last_error()).find("cancelled"),
+              std::string::npos);
+    th_clear_error();
+
+    const th_stats_t after = th_stats();
+    EXPECT_EQ(after.recover_deadlines, before.recover_deadlines + 1);
+    EXPECT_GT(after.recover_cancelled_threads,
+              before.recover_cancelled_threads);
+    EXPECT_EQ(after.recover_state, 0) << "governor disabled: healthy";
+    EXPECT_EQ(th_default_scheduler().pendingThreads(), 0u);
+    ASSERT_EQ(th_set_deadline(0), 0);
 }
 
 TEST_F(CApiTest, TraceControlsWriteFiles)

@@ -17,6 +17,7 @@
 #include <map>
 #include <vector>
 
+#include "support/error.hh"
 #include "support/failpoint.hh"
 #include "threads/scheduler.hh"
 
@@ -199,6 +200,172 @@ TEST(ExecutionBackends, ContinueAndCollectRunsTheRestOnEveryBackend)
                 << backendName(backend) << " fork " << i;
         fp::disarmAll();
     }
+}
+
+TEST(ExecutionBackends, DeadlineCancelsAWedgedTourOnEveryBackend)
+{
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    // Abort and StopTour surface an expired deadline as DeadlineError;
+    // the scheduler is clean and reusable afterwards — on all three
+    // backends, since every one routes through the same executeBin()
+    // cancellation boundary.
+    for (const ErrorPolicy policy :
+         {ErrorPolicy::Abort, ErrorPolicy::StopTour}) {
+        for (const BackendKind backend :
+             {BackendKind::Serial, BackendKind::Pooled,
+              BackendKind::ColdSpawn}) {
+            SchedulerConfig c = backendCfg(backend);
+            c.onError = policy;
+            c.deadlineMillis = 50;
+            LocalityScheduler s(c);
+            fp::disarmAll();
+            // Every bin execution stalls well past the deadline: a
+            // wedged worker, not a thrown fault.
+            ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=150"));
+
+            ForkLog log(kForks);
+            std::vector<TaggedArg> args;
+            forkWorkload(s, log, args);
+            const RecoverySnapshot before = s.recoverySnapshot();
+            EXPECT_THROW(s.runParallel(4), lsched::DeadlineError)
+                << backendName(backend);
+            fp::disarmAll();
+
+            const RecoverySnapshot after = s.recoverySnapshot();
+            EXPECT_EQ(after.deadlines, before.deadlines + 1)
+                << backendName(backend);
+            EXPECT_GT(after.cancelledThreads, before.cancelledThreads)
+                << backendName(backend);
+            EXPECT_EQ(s.pendingThreads(), 0u) << backendName(backend);
+
+            // Immediately reusable: the cancelled tour left no debris.
+            ForkLog fresh(kForks);
+            forkWorkload(s, fresh, args);
+            EXPECT_EQ(s.runParallel(4), kForks)
+                << backendName(backend);
+        }
+    }
+}
+
+TEST(ExecutionBackends, DeadlineUnderContinueAndCollectIsRecorded)
+{
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    // ContinueAndCollect returns normally from a cancelled tour: the
+    // dropped threads are accounted as per-bin cancellation faults and
+    // executed + faults covers every fork exactly once.
+    for (const BackendKind backend :
+         {BackendKind::Serial, BackendKind::Pooled,
+          BackendKind::ColdSpawn}) {
+        SchedulerConfig c = backendCfg(backend);
+        c.onError = ErrorPolicy::ContinueAndCollect;
+        c.deadlineMillis = 50;
+        LocalityScheduler s(c);
+        fp::disarmAll();
+        ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=150"));
+
+        ForkLog log(kForks);
+        std::vector<TaggedArg> args;
+        forkWorkload(s, log, args);
+        std::uint64_t executed = 0;
+        EXPECT_NO_THROW(executed = s.runParallel(4))
+            << backendName(backend);
+        fp::disarmAll();
+
+        EXPECT_LT(executed, kForks) << backendName(backend);
+        EXPECT_EQ(executed + s.lastFaultCount(), kForks)
+            << backendName(backend);
+        EXPECT_GT(s.recoverySnapshot().cancelledBins, 0u)
+            << backendName(backend);
+        EXPECT_EQ(s.pendingThreads(), 0u) << backendName(backend);
+        for (std::uint32_t i = 0; i < kForks; ++i)
+            EXPECT_LE(log.count[i].load(), 1u)
+                << backendName(backend) << " fork " << i
+                << ": ran twice";
+    }
+}
+
+TEST(ExecutionBackends, WatchdogActionCancelEscalatesToDeadlineError)
+{
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    SchedulerConfig c = backendCfg(BackendKind::Pooled);
+    c.watchdogMillis = 40;
+    c.watchdogAction = WatchdogAction::Cancel;
+    LocalityScheduler s(c);
+    fp::disarmAll();
+    ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=150"));
+
+    ForkLog log(kForks);
+    std::vector<TaggedArg> args;
+    forkWorkload(s, log, args);
+    EXPECT_THROW(s.runParallel(4), lsched::DeadlineError);
+    fp::disarmAll();
+    EXPECT_EQ(s.recoverySnapshot().watchdogCancels, 1u);
+    EXPECT_EQ(s.pendingThreads(), 0u);
+
+    // The default watchdog action still only reports: same stall, a
+    // longer leash, and the tour completes with zero cancellations.
+    SchedulerConfig observe = backendCfg(BackendKind::Pooled);
+    observe.watchdogMillis = 40;
+    LocalityScheduler s2(observe);
+    ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=30"));
+    ForkLog fresh(kForks);
+    forkWorkload(s2, fresh, args);
+    EXPECT_EQ(s2.runParallel(4), kForks);
+    fp::disarmAll();
+    EXPECT_EQ(s2.recoverySnapshot().watchdogCancels, 0u);
+}
+
+TEST(ExecutionBackends, GovernorDegradesToSerialAndRecovers)
+{
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    // Two consecutive deadline-cancelled tours degrade the governor;
+    // degraded tours step down to the serial path (no new pool tours)
+    // until two healthy tours in a row recover it.
+    SchedulerConfig c = backendCfg(BackendKind::Pooled);
+    c.onError = ErrorPolicy::ContinueAndCollect;
+    c.deadlineMillis = 40;
+    c.overloadEpochs = 2;
+    c.recoverEpochs = 2;
+    LocalityScheduler s(c);
+    fp::disarmAll();
+
+    for (int round = 0; round < 2; ++round) {
+        ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=120"));
+        ForkLog log(kForks);
+        std::vector<TaggedArg> args;
+        forkWorkload(s, log, args);
+        s.runParallel(4);
+        fp::disarmAll();
+    }
+    EXPECT_EQ(s.recoveryState(), RecoveryState::Degraded);
+    const std::uint64_t poolTours = s.workerPoolStats().tours;
+
+    // Degraded: the next two tours run serially (and healthily).
+    for (int round = 0; round < 2; ++round) {
+        EXPECT_EQ(s.recoveryState(), RecoveryState::Degraded)
+            << "round " << round;
+        ForkLog log(kForks);
+        std::vector<TaggedArg> args;
+        forkWorkload(s, log, args);
+        EXPECT_EQ(s.runParallel(4), kForks) << "round " << round;
+    }
+    EXPECT_EQ(s.workerPoolStats().tours, poolTours)
+        << "degraded tours must not fan out over the pool";
+    EXPECT_EQ(s.recoverySnapshot().degradedTours, 2u);
+    EXPECT_EQ(s.recoveryState(), RecoveryState::Recovered);
+    EXPECT_EQ(s.recoverySnapshot().recoveries, 1u);
+
+    // Recovered behaves as healthy: the pool fans out again.
+    ForkLog log(kForks);
+    std::vector<TaggedArg> args;
+    forkWorkload(s, log, args);
+    EXPECT_EQ(s.runParallel(4), kForks);
+    EXPECT_EQ(s.workerPoolStats().tours, poolTours + 1);
+    EXPECT_EQ(s.recoveryState(), RecoveryState::Healthy);
 }
 
 TEST(ExecutionBackends, ReconfigureKeepsSpawnCountersMonotone)

@@ -150,8 +150,8 @@ TEST_F(FortranApiTest, StatsArrayMirrorsTheStruct)
         th_fork_(&scaleElement, &x, &f, &x, nullptr, nullptr);
 
     const th_stats_t s = th_stats();
-    long long values[32] = {};
-    const int count = 32;
+    long long values[40] = {};
+    const int count = 40;
     th_stats_(values, &count);
     // Spot-check the mirror against the struct, including an appended
     // field past the original layout (same append-only order).
@@ -165,6 +165,9 @@ TEST_F(FortranApiTest, StatsArrayMirrorsTheStruct)
               static_cast<long long>(s.faulted_threads));
     EXPECT_EQ(values[17],
               static_cast<long long>(s.stream_forked));
+    EXPECT_EQ(values[24],
+              static_cast<long long>(s.recover_deadlines));
+    EXPECT_EQ(values[33], s.recover_state);
 
     // A short COUNT caps the fill and touches nothing past it.
     long long partial[4] = {-7, -7, -7, -7};

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <stdexcept>
@@ -17,6 +18,7 @@
 #include <vector>
 
 #include "support/error.hh"
+#include "support/failpoint.hh"
 #include "threads/scheduler.hh"
 
 namespace
@@ -288,6 +290,192 @@ TEST(Stream, StopTourRethrowsTheFirstStreamFault)
         &ran, nullptr, 0, 0);
     EXPECT_EQ(s.run(), 1u);
     EXPECT_EQ(ran.load(), 1u);
+}
+
+TEST(Stream, AdmissionTimesOutInsteadOfHangingOnAWedgedPool)
+{
+    if (!lsched::failpoint::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    namespace fp = lsched::failpoint;
+    // Satellite regression for the historic unbounded backpressure
+    // wait: with the one drain helper wedged mid-bin and the whole
+    // backlog in flight, a producer at the bound must surface
+    // AdmissionTimeout after its bounded backoff — never hang.
+    SchedulerConfig c = cfg();
+    c.streamSealThreshold = 2;
+    c.streamMaxPending = 2;
+    c.streamAdmitRetries = 4;
+    LocalityScheduler s(c);
+    fp::disarmAll();
+    ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=800"));
+
+    std::atomic<std::uint64_t> ran{0};
+    const auto bump = [](void *counter, void *) {
+        static_cast<std::atomic<std::uint64_t> *>(counter)->fetch_add(
+            1, std::memory_order_relaxed);
+    };
+    s.streamBegin(1);
+    // Two forks fill one bin to the seal threshold; the helper claims
+    // the sealed epoch and stalls inside it, holding pending at the
+    // bound with nothing left to seal or drain inline. The fail-point
+    // hit count is the observable proof the helper entered the stall.
+    s.fork(bump, &ran, nullptr, static_cast<Hint>(1) << 16, 0);
+    s.fork(bump, &ran, nullptr, static_cast<Hint>(1) << 16, 0);
+    const auto claimStart = std::chrono::steady_clock::now();
+    while (fp::hitCount("sched.bin.execute") == 0 &&
+           std::chrono::steady_clock::now() - claimStart <
+               std::chrono::seconds(5)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(fp::hitCount("sched.bin.execute"), 1u);
+
+    EXPECT_THROW(
+        s.fork(bump, &ran, nullptr, static_cast<Hint>(1) << 16, 0),
+        lsched::AdmissionTimeout);
+
+    const RecoverySnapshot r = s.recoverySnapshot();
+    EXPECT_GE(r.admissionRetries, 4u);
+    EXPECT_EQ(r.admissionTimeouts, 1u);
+
+    // The stream is still healthy: once the stall clears, the wedged
+    // epoch drains and the session closes normally.
+    EXPECT_EQ(s.streamEnd(), 2u);
+    EXPECT_EQ(ran.load(), 2u);
+    fp::disarmAll();
+}
+
+TEST(Stream, EpochDeadlineCancelsAWedgedStream)
+{
+    if (!lsched::failpoint::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    namespace fp = lsched::failpoint;
+    // Tentpole: a standing backlog that retires nothing for a whole
+    // deadline period is cancelled cooperatively and streamEnd()
+    // surfaces DeadlineError (under Abort/StopTour).
+    SchedulerConfig c = cfg();
+    c.streamSealThreshold = 2;
+    c.deadlineMillis = 80;
+    LocalityScheduler s(c);
+    fp::disarmAll();
+    ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=900"));
+
+    std::atomic<std::uint64_t> ran{0};
+    const auto bump = [](void *counter, void *) {
+        static_cast<std::atomic<std::uint64_t> *>(counter)->fetch_add(
+            1, std::memory_order_relaxed);
+    };
+    s.streamBegin(1);
+    for (int i = 0; i < 4; ++i)
+        s.fork(bump, &ran, nullptr, static_cast<Hint>(1) << 16, 0);
+    // Keep the session open past two deadline periods so the monitor
+    // can observe the wedged epoch (streamEnd stops the monitor).
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    EXPECT_THROW(s.streamEnd(), lsched::DeadlineError);
+    fp::disarmAll();
+
+    // Nothing ran (the helper was wedged until after the cancel), and
+    // every dropped thread is accounted.
+    EXPECT_EQ(ran.load(), 0u);
+    const RecoverySnapshot r = s.recoverySnapshot();
+    EXPECT_GE(r.deadlines, 1u);
+    EXPECT_EQ(r.cancelledThreads, 4u);
+
+    // The scheduler survives: a fresh batch run works immediately.
+    EXPECT_FALSE(s.streaming());
+    s.fork(bump, &ran, nullptr, 0, 0);
+    EXPECT_EQ(s.run(), 1u);
+    EXPECT_EQ(ran.load(), 1u);
+}
+
+TEST(Stream, EpochDeadlineUnderContinueAndCollectReturnsNormally)
+{
+    if (!lsched::failpoint::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    namespace fp = lsched::failpoint;
+    SchedulerConfig c = cfg();
+    c.onError = ErrorPolicy::ContinueAndCollect;
+    c.streamSealThreshold = 2;
+    c.deadlineMillis = 80;
+    LocalityScheduler s(c);
+    fp::disarmAll();
+    ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=900"));
+
+    std::atomic<std::uint64_t> ran{0};
+    const auto bump = [](void *counter, void *) {
+        static_cast<std::atomic<std::uint64_t> *>(counter)->fetch_add(
+            1, std::memory_order_relaxed);
+    };
+    s.streamBegin(1);
+    for (int i = 0; i < 4; ++i)
+        s.fork(bump, &ran, nullptr, static_cast<Hint>(1) << 16, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    // ContinueAndCollect: the cancelled stream closes normally with
+    // the dropped threads recorded as contained faults.
+    std::uint64_t executed = 0;
+    EXPECT_NO_THROW(executed = s.streamEnd());
+    fp::disarmAll();
+    EXPECT_EQ(executed, ran.load());
+    EXPECT_EQ(executed + s.lastFaultCount(), 4u);
+    EXPECT_GE(s.recoverySnapshot().deadlines, 1u);
+}
+
+TEST(Stream, DegradedStreamShedsLoadAndStopsBlockingProducers)
+{
+    if (!lsched::failpoint::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    namespace fp = lsched::failpoint;
+    // Governor in the stream: with the whole backlog wedged in flight
+    // on the one drain helper, the monitor degrades the session and
+    // admission overshoots the bound (soft) instead of blocking — even
+    // with a retry budget that would otherwise time out. Every thread
+    // still runs exactly once.
+    SchedulerConfig c = cfg();
+    c.streamSealThreshold = 2;
+    c.streamMaxPending = 2;
+    c.streamAdmitRetries = 2;
+    c.overloadEpochs = 2;
+    c.recoverEpochs = 1;
+    LocalityScheduler s(c);
+    fp::disarmAll();
+    ASSERT_TRUE(fp::arm("sched.bin.execute", "stall=1200"));
+
+    std::atomic<std::uint64_t> ran{0};
+    const auto bump = [](void *counter, void *) {
+        static_cast<std::atomic<std::uint64_t> *>(counter)->fetch_add(
+            1, std::memory_order_relaxed);
+    };
+    s.streamBegin(1);
+    s.fork(bump, &ran, nullptr, static_cast<Hint>(1) << 16, 0);
+    s.fork(bump, &ran, nullptr, static_cast<Hint>(1) << 16, 0);
+    const auto start = std::chrono::steady_clock::now();
+    while (fp::hitCount("sched.bin.execute") == 0 &&
+           std::chrono::steady_clock::now() - start <
+               std::chrono::seconds(5)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(fp::hitCount("sched.bin.execute"), 1u)
+        << "helper never claimed the sealed epoch";
+    while (s.recoveryState() != RecoveryState::Degraded &&
+           std::chrono::steady_clock::now() - start <
+               std::chrono::seconds(5)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_EQ(s.recoveryState(), RecoveryState::Degraded);
+    // Only the already-sleeping helper keeps stalling from here.
+    fp::disarmAll();
+
+    // A degraded session admits past the bound without blocking or
+    // timing out, while the helper is still wedged.
+    for (int i = 0; i < 6; ++i)
+        s.fork(bump, &ran, nullptr, static_cast<Hint>(2) << 16, 0);
+    EXPECT_GT(s.streamStats().peakBacklog, 2u)
+        << "degraded admission must overshoot the bound, not block";
+    EXPECT_EQ(s.streamEnd(), 8u);
+    EXPECT_EQ(ran.load(), 8u);
+
+    const RecoverySnapshot r = s.recoverySnapshot();
+    EXPECT_GE(r.loadSheds, 1u);
+    EXPECT_EQ(r.admissionTimeouts, 0u);
 }
 
 TEST(Stream, LifecycleMisuseIsReported)
