@@ -38,8 +38,9 @@ check() {
 # The notrace preset must compile the profiling hooks out entirely:
 # the scheduler's hot translation units may not reference a single
 # profiler symbol (obs/profile.hh's inline hooks are empty there).
-# config_keys.cc / c_api.cc legitimately keep references — they are
-# the cold configuration surface, not the hot path.
+# config_keys.cc / c_api.cc / adapt.cc legitimately keep references —
+# they are the cold configuration/retune surface, not the hot path
+# (adapt.cc polls the profiler only at tour and epoch boundaries).
 check_notrace_profiler_free() {
     dir="build-notrace/src/threads/CMakeFiles/lsched_threads.dir"
     for obj in worker_pool.cc.o execution.cc.o stream.cc.o \

@@ -101,6 +101,12 @@ enum class EventType : std::uint8_t
      * shard: (bins sealed, pending threads, configured bound).
      */
     LoadShed,
+    /**
+     * The adaptive placement tuner changed its parameters:
+     * (new block bytes, new super-bin fan — or bin count under a
+     * round-robin base —, regime after the change (AdaptRegime)).
+     */
+    AdaptRetune,
 };
 
 /** Printable name of an event type. */
@@ -130,6 +136,7 @@ eventTypeName(EventType type)
       case EventType::AdmissionTimeout: return "AdmissionTimeout";
       case EventType::RecoveryStep:    return "RecoveryStep";
       case EventType::LoadShed:        return "LoadShed";
+      case EventType::AdaptRetune:     return "AdaptRetune";
     }
     return "?";
 }

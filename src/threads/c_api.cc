@@ -175,6 +175,11 @@ th_stats(void)
     out.recover_degraded_tours = s.recover.degradedTours;
     out.recover_recoveries = s.recover.recoveries;
     out.recover_state = static_cast<int>(s.recover.state);
+    out.adapt_retunes = s.adapt.retunes;
+    out.adapt_observations = s.adapt.observations;
+    out.adapt_block_bytes = s.adapt.blockBytes;
+    out.adapt_super_bin_fan = s.adapt.superBinFan;
+    out.adapt_regime = static_cast<int>(s.adapt.regime);
     return out;
 }
 
@@ -446,9 +451,9 @@ void
 th_set_placement_(const int *kind)
 {
     static const char *const names[] = {"blockhash", "roundrobin",
-                                        "hierarchical"};
-    if (!kind || *kind < 0 || *kind > 2) {
-        recordError("th_set_placement: kind must be 0..2");
+                                        "hierarchical", "adaptive"};
+    if (!kind || *kind < 0 || *kind > 3) {
+        recordError("th_set_placement: kind must be 0..3");
         return;
     }
     th_set_placement(names[*kind]);
@@ -565,6 +570,11 @@ th_stats_(long long *values, const int *count)
         static_cast<long long>(s.recover_degraded_tours),
         static_cast<long long>(s.recover_recoveries),
         s.recover_state,
+        static_cast<long long>(s.adapt_retunes),
+        static_cast<long long>(s.adapt_observations),
+        static_cast<long long>(s.adapt_block_bytes),
+        static_cast<long long>(s.adapt_super_bin_fan),
+        s.adapt_regime,
     };
     const int have = static_cast<int>(sizeof(fields) / sizeof(fields[0]));
     const int n = *count < have ? *count : have;

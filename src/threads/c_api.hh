@@ -140,6 +140,16 @@ typedef struct th_stats_t
     /** Governor state now: 0 healthy, 1 backoff, 2 degraded,
      *  3 recovered. */
     int recover_state;
+    /** Adaptive placement (placement "adaptive"): parameter swaps
+     *  applied and profiler epochs consumed; 0 when not adaptive. */
+    unsigned long long adapt_retunes;
+    unsigned long long adapt_observations;
+    /** Block dims / super-bin fan currently in force (adaptive). */
+    unsigned long long adapt_block_bytes;
+    unsigned long long adapt_super_bin_fan;
+    /** Tuner regime: 0 warmup, 1 floor, 2 neutral, 3 capacity,
+     *  4 probing (dwell-only probe in flight). */
+    int adapt_regime;
 } th_stats_t;
 
 /** Statistics of the scheduler behind th_fork/th_run. */
@@ -169,7 +179,7 @@ int th_config_get(const char *key, char *buf, std::size_t len);
 
 /**
  * Select the placement policy of the global scheduler by name
- * ("blockhash", "roundrobin", "hierarchical"). Shim over
+ * ("blockhash", "roundrobin", "hierarchical", "adaptive"). Shim over
  * th_configure("placement", name); same contract. Returns 0 on
  * success, -1 on an unknown name or a rejected reconfiguration (the
  * reason lands in th_last_error()).
@@ -324,7 +334,8 @@ void th_run_(const int *keep);
 void th_run_parallel_(const int *workers, const int *keep);
 
 /** Fortran: CALL TH_SET_PLACEMENT(KIND) — 0 blockhash, 1 roundrobin,
- *  2 hierarchical (numeric, avoiding Fortran hidden string lengths). */
+ *  2 hierarchical, 3 adaptive (numeric, avoiding Fortran hidden
+ *  string lengths). */
 void th_set_placement_(const int *kind);
 
 /** Fortran: CALL TH_SET_BACKEND(KIND) — 0 serial, 1 pooled,

@@ -7,6 +7,8 @@
 #include "threads/config_keys.hh"
 
 #include <cerrno>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 #include "obs/profile.hh"
@@ -34,6 +36,32 @@ parseU64(const std::string &value, std::uint64_t *out)
         return false;
     *out = parsed;
     return true;
+}
+
+bool
+parseDouble(const std::string &value, double *out)
+{
+    if (value.empty())
+        return false;
+    const char *begin = value.c_str();
+    char *end = nullptr;
+    errno = 0;
+    const double parsed = std::strtod(begin, &end);
+    if (errno != 0 || end != begin + value.size())
+        return false;
+    if (!std::isfinite(parsed) || parsed < 0.0)
+        return false;
+    *out = parsed;
+    return true;
+}
+
+/** %g keeps the round-trip short ("0.05", not "0.050000"). */
+std::string
+doubleToken(double value)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    return buf;
 }
 
 bool
@@ -227,7 +255,7 @@ applyConfigKey(SchedulerConfig &config, const std::string &key,
         PlacementKind kind;
         if (!tryPlacementFromName(value, &kind))
             return badValue(error, key, value,
-                            "blockhash|roundrobin|hierarchical");
+                            "blockhash|roundrobin|hierarchical|adaptive");
         config.placement = kind;
     } else if (key == "backend") {
         BackendKind kind;
@@ -315,6 +343,62 @@ applyConfigKey(SchedulerConfig &config, const std::string &key,
             return badValue(error, key, value,
                             "a thread count (0 = seal at end only)");
         config.streamSealThreshold = u;
+    } else if (key == "adapt.base") {
+        PlacementKind kind;
+        if (!tryPlacementFromName(value, &kind) ||
+            kind == PlacementKind::Adaptive)
+            return badValue(error, key, value,
+                            "blockhash|roundrobin|hierarchical");
+        config.adaptBase = kind;
+    } else if (key == "adapt.target_miss") {
+        double d = 0.0;
+        if (!parseDouble(value, &d) || d > 1.0)
+            return badValue(error, key, value,
+                            "a miss rate in [0, 1]");
+        config.adaptTargetMiss = d;
+    } else if (key == "adapt.high_miss") {
+        double d = 0.0;
+        if (!parseDouble(value, &d) || d > 1.0)
+            return badValue(error, key, value,
+                            "a miss rate in [0, 1]");
+        config.adaptHighMiss = d;
+    } else if (key == "adapt.converge") {
+        double d = 0.0;
+        if (!parseDouble(value, &d) || d < 1.0)
+            return badValue(error, key, value,
+                            "a factor >= 1 over the tuned miss rate");
+        config.adaptConverge = d;
+    } else if (key == "adapt.epochs") {
+        if (!parseU64(value, &u) || u == 0 || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "a positive epoch count");
+        config.adaptEpochs = static_cast<unsigned>(u);
+    } else if (key == "adapt.hold") {
+        if (!parseU64(value, &u) || u > 0xffffffffull)
+            return badValue(error, key, value,
+                            "an epoch count (0 = react immediately)");
+        config.adaptHold = static_cast<unsigned>(u);
+    } else if (key == "adapt.min_block") {
+        if (!parseU64(value, &u) || u == 0)
+            return badValue(error, key, value,
+                            "a positive byte floor");
+        config.adaptMinBlock = u;
+    } else if (key == "adapt.max_block") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "a byte ceiling (0 = cache_bytes)");
+        config.adaptMaxBlock = u;
+    } else if (key == "adapt.min_refs") {
+        if (!parseU64(value, &u))
+            return badValue(error, key, value,
+                            "an LLC-reference floor per epoch");
+        config.adaptMinRefs = u;
+    } else if (key == "adapt.dwell_improve") {
+        double d = 0.0;
+        if (!parseDouble(value, &d) || d > 1.0)
+            return badValue(error, key, value,
+                            "an improvement fraction in [0, 1]");
+        config.adaptDwellImprove = d;
     } else {
         fail(error, "unknown config key '" + key + "'");
         return false;
@@ -375,6 +459,26 @@ configKeyValue(const SchedulerConfig &config, const std::string &key,
         *out = std::to_string(config.streamMaxPending);
     else if (key == "stream_seal_threshold")
         *out = std::to_string(config.streamSealThreshold);
+    else if (key == "adapt.base")
+        *out = placementName(config.adaptBase);
+    else if (key == "adapt.target_miss")
+        *out = doubleToken(config.adaptTargetMiss);
+    else if (key == "adapt.high_miss")
+        *out = doubleToken(config.adaptHighMiss);
+    else if (key == "adapt.converge")
+        *out = doubleToken(config.adaptConverge);
+    else if (key == "adapt.epochs")
+        *out = std::to_string(config.adaptEpochs);
+    else if (key == "adapt.hold")
+        *out = std::to_string(config.adaptHold);
+    else if (key == "adapt.min_block")
+        *out = std::to_string(config.adaptMinBlock);
+    else if (key == "adapt.max_block")
+        *out = std::to_string(config.adaptMaxBlock);
+    else if (key == "adapt.min_refs")
+        *out = std::to_string(config.adaptMinRefs);
+    else if (key == "adapt.dwell_improve")
+        *out = doubleToken(config.adaptDwellImprove);
     else
         return false;
     return true;
@@ -407,6 +511,16 @@ configKeys()
         "stream_shards",
         "stream_max_pending",
         "stream_seal_threshold",
+        "adapt.base",
+        "adapt.target_miss",
+        "adapt.high_miss",
+        "adapt.converge",
+        "adapt.epochs",
+        "adapt.hold",
+        "adapt.min_block",
+        "adapt.max_block",
+        "adapt.min_refs",
+        "adapt.dwell_improve",
         "profile.enable",
         "profile.pmu",
         "profile.interval_ms",

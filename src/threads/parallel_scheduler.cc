@@ -202,6 +202,10 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
             ctx.cancelledThreads.load(std::memory_order_relaxed),
             " thread(s) dropped"));
     }
+    // Tour boundary: let the adaptive placement re-derive its block
+    // dims from this tour's profiler feedback before the next run.
+    placement_->maybeRetune();
+    placeHot_ = placement_->hotPolicy();
     guard.commit();
     LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed);
     return executed;

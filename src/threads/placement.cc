@@ -17,6 +17,21 @@ placementName(PlacementKind kind)
         return "roundrobin";
       case PlacementKind::Hierarchical:
         return "hierarchical";
+      case PlacementKind::Adaptive:
+        return "adaptive";
+    }
+    return "?";
+}
+
+const char *
+adaptRegimeName(AdaptRegime regime)
+{
+    switch (regime) {
+      case AdaptRegime::Warmup:   return "warmup";
+      case AdaptRegime::Floor:    return "floor";
+      case AdaptRegime::Neutral:  return "neutral";
+      case AdaptRegime::Capacity: return "capacity";
+      case AdaptRegime::Probing:  return "probing";
     }
     return "?";
 }
@@ -30,6 +45,8 @@ tryPlacementFromName(const std::string &name, PlacementKind *out)
         *out = PlacementKind::RoundRobin;
     else if (name == "hierarchical")
         *out = PlacementKind::Hierarchical;
+    else if (name == "adaptive")
+        *out = PlacementKind::Adaptive;
     else
         return false;
     return true;
@@ -40,8 +57,9 @@ placementFromName(const std::string &name)
 {
     PlacementKind kind;
     if (!tryPlacementFromName(name, &kind)) {
-        LSCHED_FATAL("unknown placement policy '", name,
-                     "' (want blockhash|roundrobin|hierarchical)");
+        LSCHED_FATAL(
+            "unknown placement policy '", name,
+            "' (want blockhash|roundrobin|hierarchical|adaptive)");
     }
     return kind;
 }
@@ -88,6 +106,12 @@ makePlacement(PlacementKind kind, unsigned dims,
       case PlacementKind::Hierarchical:
         return std::make_unique<HierarchicalPlacement>(
             dims, blockBytes, symmetricHints, superBinFan);
+      case PlacementKind::Adaptive:
+        // The adaptive wrapper needs the whole SchedulerConfig (tuner
+        // thresholds, base policy); build it via makeAdaptivePlacement
+        // (threads/adapt.hh) instead.
+        LSCHED_PANIC("PlacementKind::Adaptive requires "
+                     "makeAdaptivePlacement(config)");
     }
     LSCHED_PANIC("unhandled PlacementKind ",
                  static_cast<int>(kind));

@@ -21,6 +21,12 @@
  *    super-bins (a bubble at bin granularity). The parallel tour
  *    keeps a super-bin's bins contiguous and the partitioner hands
  *    whole super-bins to one worker.
+ *  - AdaptivePlacement (threads/adapt.hh) — wraps any of the above
+ *    and re-derives its parameters (blockBytes, superBinFan, bin
+ *    count) from the online miss attribution the continuous profiler
+ *    collects. Retuning happens only at safe boundaries — the owner
+ *    calls maybeRetune() between tours / at stream epoch ticks, never
+ *    mid-tour.
  *
  * A policy may be stateful (RoundRobin's cursor, Hierarchical's
  * super-bin ids); place() is therefore non-const. The scheduler calls
@@ -52,6 +58,8 @@ enum class PlacementKind : std::uint8_t
     RoundRobin,
     /** Block hash plus worker-sized super-bin grouping. */
     Hierarchical,
+    /** Self-tuning wrapper over a base policy (threads/adapt.hh). */
+    Adaptive,
 };
 
 /** Printable name of a placement ("blockhash", ...). */
@@ -70,6 +78,53 @@ struct PlacementDecision
     BlockCoords coords{};
     /** Super-bin group; kNoSuperBin under flat placements. */
     std::uint32_t superBin = kNoSuperBin;
+};
+
+/**
+ * What the adaptive tuner thinks the workload's cache behavior is.
+ * Numeric values are ABI (th_stats_t::adapt_regime, the
+ * sched.adapt.regime gauge) — append only.
+ */
+enum class AdaptRegime : std::uint8_t
+{
+    /** Not enough observations yet (or the placement isn't adaptive). */
+    Warmup = 0,
+    /** Miss rate at or below the target: the compulsory floor. */
+    Floor = 1,
+    /** Between the target and the capacity threshold; holding. */
+    Neutral = 2,
+    /** Miss rate above the capacity threshold: blocks overflow L2. */
+    Capacity = 3,
+    /** Dwell-only mode: a probe retune is in flight, being judged. */
+    Probing = 4,
+};
+
+/** Printable regime name ("warmup", "floor", ...). */
+const char *adaptRegimeName(AdaptRegime regime);
+
+/** State of an AdaptivePlacement (all-zero for other policies). */
+struct AdaptSnapshot
+{
+    /** True when the reporting policy is adaptive. */
+    bool active = false;
+    /** Current regime classification. */
+    AdaptRegime regime = AdaptRegime::Warmup;
+    /** Block dimension currently in force. */
+    std::uint64_t blockBytes = 0;
+    /** Super-bin fan currently in force (hierarchical base only). */
+    std::uint64_t superBinFan = 0;
+    /** Bin count currently in force (round-robin base only). */
+    std::uint64_t roundRobinBins = 0;
+    /** Profiler epochs the tuner consumed. */
+    std::uint64_t observations = 0;
+    /** Parameter swaps applied (shrinks + grows + reverts). */
+    std::uint64_t retunes = 0;
+    /** Block halvings (or round-robin bin doublings). */
+    std::uint64_t shrinks = 0;
+    /** Block doublings back toward the configured maximum. */
+    std::uint64_t grows = 0;
+    /** Dwell-only probes rolled back for not improving. */
+    std::uint64_t reverts = 0;
 };
 
 /** Hint vector → bin decision (the policy half of the scheduler). */
@@ -103,6 +158,27 @@ class PlacementPolicy
 
     /** True when place() assigns super-bins. */
     virtual bool hierarchical() const { return false; }
+
+    /**
+     * Give the policy a chance to retune itself from online feedback.
+     * Only the adaptive policy does anything; the owner must call this
+     * exclusively at safe boundaries (between tours, at stream epoch
+     * ticks), never while a tour is placing against fixed block dims.
+     * Returns true when the placement parameters changed.
+     */
+    virtual bool maybeRetune() { return false; }
+
+    /** Adaptive-tuner state; all-zero for non-adaptive policies. */
+    virtual AdaptSnapshot adaptSnapshot() const { return {}; }
+
+    /**
+     * The policy place() should dispatch to right now. The adaptive
+     * wrapper returns its current inner generation so the batch fork
+     * path skips the wrapper's indirection entirely; everything else
+     * returns itself. Only stable until the next maybeRetune(), so
+     * callers must re-fetch wherever they call that.
+     */
+    virtual PlacementPolicy *hotPolicy() { return this; }
 
     /** Printable policy name. */
     const char *name() const { return placementName(kind()); }

@@ -5,6 +5,7 @@
 
 #include "support/error.hh"
 #include "support/panic.hh"
+#include "threads/adapt.hh"
 #include "threads/bin_exec.hh"
 #include "threads/config_keys.hh"
 #include "threads/sched_obs.hh"
@@ -132,6 +133,8 @@ placementForkedCounter(PlacementKind kind)
             "sched.placement.roundrobin.forked"),
         &obs::Registry::global().counter(
             "sched.placement.hierarchical.forked"),
+        &obs::Registry::global().counter(
+            "sched.placement.adaptive.forked"),
     };
     return *counters[static_cast<std::size_t>(kind)];
 }
@@ -140,6 +143,8 @@ placementForkedCounter(PlacementKind kind)
 std::unique_ptr<PlacementPolicy>
 placementFor(const SchedulerConfig &config)
 {
+    if (config.placement == PlacementKind::Adaptive)
+        return makeAdaptivePlacement(config);
     return makePlacement(config.placement, config.dims,
                          config.blockBytes, config.symmetricHints,
                          config.roundRobinBins, config.superBinFan);
@@ -197,6 +202,23 @@ validated(SchedulerConfig config)
     }
     if (config.hashBuckets == 0)
         config.hashBuckets = 4096;
+    if (config.adaptBase == PlacementKind::Adaptive) {
+        throw ConfigError(
+            "adapt.base must name a concrete policy "
+            "(blockhash|roundrobin|hierarchical), not adaptive");
+    }
+    if (config.placement == PlacementKind::Adaptive) {
+        if (config.adaptHighMiss < config.adaptTargetMiss) {
+            throw ConfigError(lsched::detail::concatMessage(
+                "adapt.high_miss (", config.adaptHighMiss,
+                ") must be >= adapt.target_miss (",
+                config.adaptTargetMiss, ")"));
+        }
+        if (config.adaptEpochs == 0)
+            throw ConfigError("adapt.epochs must be non-zero");
+        if (config.adaptMinBlock == 0)
+            throw ConfigError("adapt.min_block must be non-zero");
+    }
     return config;
 }
 
@@ -208,6 +230,7 @@ LocalityScheduler::LocalityScheduler(const SchedulerConfig &config)
       table_(config_.dims, config_.hashBuckets),
       pool_(config_.groupCapacity)
 {
+    placeHot_ = placement_->hotPolicy();
     governor_.configure(config_.overloadEpochs, config_.recoverEpochs,
                         &recovery_);
 }
@@ -217,8 +240,16 @@ LocalityScheduler::~LocalityScheduler() = default;
 void
 LocalityScheduler::configure(const SchedulerConfig &config)
 {
-    if (running_)
-        throw UsageError("cannot reconfigure a running scheduler");
+    if (running_) {
+        // Placement geometry (blockBytes, superBinFan, placement kind)
+        // is load-bearing while a stream is open: bins already placed
+        // under the old dims would stop matching new forks. Reject
+        // rather than silently remap.
+        throw UsageError(stream_
+                             ? "cannot reconfigure while a stream is "
+                               "open; close it with streamEnd() first"
+                             : "cannot reconfigure a running scheduler");
+    }
     if (pendingThreads_ != 0) {
         throw UsageError(lsched::detail::concatMessage(
             "cannot reconfigure with ", pendingThreads_,
@@ -229,6 +260,7 @@ LocalityScheduler::configure(const SchedulerConfig &config)
     const SchedulerConfig next = validated(config);
     config_ = next;
     placement_ = placementFor(config_);
+    placeHot_ = placement_->hotPolicy();
     table_ = BinTable(config_.dims, config_.hashBuckets);
     pool_ = GroupPool(config_.groupCapacity);
     readyHead_ = nullptr;
@@ -312,7 +344,7 @@ LocalityScheduler::fork(ThreadFn fn, void *arg1, void *arg2,
                          "the creation-order tour");
     }
 
-    const PlacementDecision where = placement_->place(hints);
+    const PlacementDecision where = placeHot_->place(hints);
     std::uint32_t probes = 0;
     const auto [bin, created] = table_.findOrCreate(where.coords, &probes);
     if (created)
@@ -497,6 +529,10 @@ LocalityScheduler::run(bool keep)
             ctx.cancelledThreads.load(std::memory_order_relaxed),
             " thread(s) dropped"));
     }
+    // Tour boundary: the one place a serial tour lets the adaptive
+    // placement re-derive its block dims from profiler feedback.
+    placement_->maybeRetune();
+    placeHot_ = placement_->hotPolicy();
     guard.commit();
     LSCHED_TRACE_EVENT(obs::EventType::RunEnd, executed);
     return executed;
@@ -530,6 +566,10 @@ LocalityScheduler::streamBegin(unsigned workers)
     }
     lastFaults_.clear();
     lastFaultsTotal_ = 0;
+    // Safe boundary: no bins exist yet, so a retune here only changes
+    // where the upcoming stream's forks land.
+    placement_->maybeRetune();
+    placeHot_ = placement_->hotPolicy();
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, 0, 0, helpers);
     obs::profileNoteEpoch();
     if (obs::metricsOn())
@@ -564,6 +604,10 @@ LocalityScheduler::streamEnd()
     const CancelReason streamCancel = stream_->cancelReason();
     stream_.reset();
     running_ = false;
+    // The stream just drained: fold its profiler epochs into the
+    // adaptive placement before the next run begins.
+    placement_->maybeRetune();
+    placeHot_ = placement_->hotPolicy();
     if (!config_.persistentPool && workerPool_) {
         // Cold-spawn semantics: no threads stay parked between runs.
         retiredPoolStats_ += workerPool_->stats();
@@ -707,6 +751,7 @@ LocalityScheduler::stats() const
     s.pool = workerPoolStats();
     s.stream = streamStats();
     s.recover = recoverySnapshot();
+    s.adapt = placement_->adaptSnapshot();
 
     // The registry is the export path for these numbers: every
     // snapshot refreshes the scheduler gauges so a --metrics dump (or
@@ -730,8 +775,29 @@ LocalityScheduler::stats() const
             .set(static_cast<std::uint64_t>(s.recover.state));
         r.gauge("sched.recover.deadline_millis")
             .set(config_.deadlineMillis);
+        if (s.adapt.active) {
+            r.gauge("sched.adapt.block_bytes").set(s.adapt.blockBytes);
+            r.gauge("sched.adapt.super_bin_fan")
+                .set(s.adapt.superBinFan);
+            r.gauge("sched.adapt.regime")
+                .set(static_cast<std::uint64_t>(s.adapt.regime));
+            r.gauge("sched.adapt.retunes").set(s.adapt.retunes);
+        }
     }
     return s;
+}
+
+bool
+LocalityScheduler::pollAdaptivePlacement()
+{
+    if (running_ && !stream_) {
+        throw UsageError(
+            "pollAdaptivePlacement during run(); retuning happens at "
+            "tour boundaries only");
+    }
+    const bool changed = placement_->maybeRetune();
+    placeHot_ = placement_->hotPolicy();
+    return changed;
 }
 
 } // namespace lsched::threads

@@ -177,6 +177,48 @@ struct SchedulerConfig
      * minimum overlap.
      */
     std::uint64_t streamSealThreshold = 0;
+    /**
+     * Adaptive placement (placement == Adaptive; threads/adapt.hh):
+     * the base policy the tuner wraps and re-parameterizes. Must not
+     * itself be Adaptive.
+     */
+    PlacementKind adaptBase = PlacementKind::BlockHash;
+    /**
+     * Miss rate at or below which an epoch counts as the compulsory
+     * floor (PMU mode); adaptEpochs consecutive floor epochs allow the
+     * tuner to grow the block back toward adaptMaxBlock.
+     */
+    double adaptTargetMiss = 0.05;
+    /**
+     * Miss rate above which an epoch is capacity-dominated; after
+     * adaptEpochs consecutive such epochs the tuner halves the block
+     * (doubles the bin count under a round-robin base).
+     */
+    double adaptHighMiss = 0.10;
+    /**
+     * Convergence factor over the target miss rate: the band
+     * [target, target * converge] reads as converged-enough. Also the
+     * bound bench/ablation_adaptive gates on.
+     */
+    double adaptConverge = 1.5;
+    /** Consecutive same-regime epochs before the tuner acts. */
+    unsigned adaptEpochs = 2;
+    /** Post-retune hold: epochs of no action while the new parameters
+     *  settle (prevents reacting to a half-old epoch). */
+    unsigned adaptHold = 4;
+    /** Smallest block the tuner may shrink to. */
+    std::uint64_t adaptMinBlock = 4096;
+    /** Largest block the tuner may grow to; 0 = cacheBytes. */
+    std::uint64_t adaptMaxBlock = 0;
+    /** Minimum LLC references per epoch for a PMU classification;
+     *  epochs below it are ignored as noise. */
+    std::uint64_t adaptMinRefs = 1024;
+    /**
+     * Dwell-only mode (no PMU): fractional dwell-per-thread
+     * improvement a probe retune must deliver to be kept; otherwise
+     * it is reverted and that parameter marked bad.
+     */
+    double adaptDwellImprove = 0.05;
 
     /** The block dimension actually used. */
     std::uint64_t
@@ -211,6 +253,8 @@ struct SchedulerStats
     StreamStats stream;
     /** Recovery-layer counters and governor state (lifetime). */
     RecoverySnapshot recover;
+    /** Adaptive-placement tuner state (all-zero unless adaptive). */
+    AdaptSnapshot adapt;
 };
 
 /** The locality-scheduling thread package. */
@@ -389,6 +433,18 @@ class LocalityScheduler
     const PlacementPolicy &placementPolicy() const { return *placement_; }
 
     /**
+     * Give an adaptive placement (placement == Adaptive) a chance to
+     * retune from the profiler's attribution right now, in addition to
+     * the automatic hooks (end of run()/runParallel(), streamBegin/
+     * streamEnd, the stream monitor's tick). For benches and tests
+     * that feed Profiler::recordSample() between tours. Legal while
+     * idle or streaming; throws UsageError mid-run (a tour must place
+     * against fixed parameters). Returns true when the parameters
+     * changed; always false for non-adaptive placements.
+     */
+    bool pollAdaptivePlacement();
+
+    /**
      * Arm (or disarm, ms == 0) the tour/epoch deadline without a full
      * reconfigure — the th_set_deadline C shim. Takes effect at the
      * next run()/runParallel()/streamBegin(); an in-flight tour keeps
@@ -426,6 +482,11 @@ class LocalityScheduler
     SchedulerConfig config_;
     /** The placement layer: hint vector → bin decision. */
     std::unique_ptr<PlacementPolicy> placement_;
+    /** Cached placement_->hotPolicy(): the batch fork path dispatches
+     *  straight to the adaptive wrapper's inner generation, so a
+     *  quiescent tuner adds nothing per fork. Refreshed wherever
+     *  maybeRetune() runs and on reconfiguration. */
+    PlacementPolicy *placeHot_ = nullptr;
     BinTable table_;
     GroupPool pool_;
     /** Persistent parallel workers; created at first runParallel(). */

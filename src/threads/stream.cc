@@ -59,6 +59,7 @@ StreamSession::StreamSession(const SchedulerConfig &config,
       admitRetries_(config.streamAdmitRetries),
       placement_(placement),
       placementStateless_(placement.stateless()),
+      placementAdaptive_(placement.kind() == PlacementKind::Adaptive),
       fault_(config.onError, &faults_),
       pool_(pool),
       recovery_(recovery),
@@ -89,7 +90,8 @@ StreamSession::StreamSession(const SchedulerConfig &config,
         pool_->beginStream(job_);
         helpersRunning_ = true;
     }
-    if (deadlineMillis_ > 0 || (governor_ && governor_->enabled()))
+    if (deadlineMillis_ > 0 || (governor_ && governor_->enabled()) ||
+        placementAdaptive_)
         monitor_ = std::thread(&StreamSession::monitorMain, this);
 }
 
@@ -518,6 +520,14 @@ StreamSession::monitorMain()
                        degraded_.load(std::memory_order_relaxed)) {
                 degraded_.store(false, std::memory_order_relaxed);
             }
+        }
+        if (placementAdaptive_) {
+            // Stream epoch tick: a safe retune boundary. The adaptive
+            // placement serializes against concurrent producers on its
+            // own internal mutex; already-placed bins keep their
+            // coordinates, so only subsequent forks land in the new
+            // geometry.
+            placement_.maybeRetune();
         }
     }
 }

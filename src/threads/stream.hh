@@ -333,6 +333,8 @@ class StreamSession
     /** Serializes place() for stateful policies; unused otherwise. */
     std::mutex placementMutex_;
     const bool placementStateless_;
+    /** Adaptive placement: the monitor ticks maybeRetune(). */
+    const bool placementAdaptive_;
 
     std::vector<std::unique_ptr<Shard>> shards_;
     detail::SealedQueue queue_;

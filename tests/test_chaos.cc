@@ -168,6 +168,17 @@ TEST(Chaos, SeededFaultScheduleKeepsTheInvariants)
             c.overloadEpochs = 1 + rng.nextBelow(3);
             c.recoverEpochs = 1 + rng.nextBelow(3);
         }
+        if (rng.nextBelow(2)) {
+            // Adaptive placement rounds: the tuner retunes at tour and
+            // stream-epoch boundaries while faults fire; exactly-once
+            // and conservation must survive every parameter swap.
+            c.placement = PlacementKind::Adaptive;
+            c.adaptBase = rng.nextBelow(2)
+                              ? PlacementKind::BlockHash
+                              : PlacementKind::Hierarchical;
+            c.adaptEpochs = 1 + rng.nextBelow(2);
+            c.adaptHold = rng.nextBelow(3);
+        }
         s.configure(c);
 
         const std::string spec = randomSpec(
