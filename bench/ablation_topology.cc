@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Topology-placement ablation: flat super-bin placement vs placement
+ * derived from a cache-topology tree, measured as cross-domain miss
+ * attribution on a cachesim-backed multi-L2 synthetic machine.
+ *
+ * The workload forks T threads per slab over S disjoint slabs; slabs
+ * come in pairs, and both slabs of a pair also stream one shared
+ * per-pair buffer (a halo). Each L2 group of the synthetic topology is
+ * modelled as its own cache hierarchy: every domain gets a fresh
+ * simulateOn() run over exactly the bins assigned to it, and the
+ * arm's total misses are the sum across domains.
+ *
+ *  - flat deals bins round-robin across domains (what steal-anywhere
+ *    workers give a flat placement): every pair is split, so its
+ *    shared buffer is loaded compulsorily in two different L2s.
+ *  - topology maps bins through TopologyPlacement::domainOf with the
+ *    super-bin fan the tree derives (L2 groups per L3 cluster), so a
+ *    pair's blocks stay in one domain and the second slab's halo
+ *    pass hits.
+ *
+ * The difference against a run-everything-in-one-domain baseline is
+ * the cross-domain miss attribution the topology-aware placement is
+ * supposed to shrink. The bench also resolves topology=auto against
+ * the real host sysfs tree and prints both TopologySummary lines, so
+ * it exercises discovery and the forced synthetic path in one run.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "machine/topology.hh"
+#include "support/cli.hh"
+#include "support/panic.hh"
+#include "threads/placement.hh"
+#include "threads/scheduler.hh"
+#include "workloads/memmodel.hh"
+
+namespace
+{
+
+/** One thread's slice of work: stream a slab, then the pair's halo. */
+struct SlabJob
+{
+    lsched::workloads::SimModel *model;
+    const double *slab;
+    const double *shared;
+    std::size_t slabDoubles;
+    std::size_t sharedDoubles;
+};
+
+void
+streamSlab(void *arg1, void *)
+{
+    const SlabJob &job = *static_cast<SlabJob *>(arg1);
+    for (std::size_t i = 0; i < job.slabDoubles; ++i)
+        job.model->load(&job.slab[i], sizeof(double));
+    for (std::size_t i = 0; i < job.sharedDoubles; ++i)
+        job.model->load(&job.shared[i], sizeof(double));
+    job.model->instructions(job.slabDoubles + job.sharedDoubles +
+                            lsched::workloads::kThreadOverheadInstr);
+}
+
+/** Sum per-domain outcomes into one table column. */
+lsched::harness::SimOutcome
+accumulate(const std::vector<lsched::harness::SimOutcome> &parts)
+{
+    lsched::harness::SimOutcome total;
+    for (const auto &p : parts) {
+        total.ifetches += p.ifetches;
+        total.dataRefs += p.dataRefs;
+        total.l1 += p.l1;
+        total.l2 += p.l2;
+    }
+    const std::uint64_t l1Refs = total.ifetches + total.dataRefs;
+    total.l1RatePercent =
+        l1Refs ? 100.0 * static_cast<double>(total.l1.misses) /
+                     static_cast<double>(l1Refs)
+               : 0.0;
+    total.l2RatePercent = total.l2.missRatePercent();
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsched;
+
+    Cli cli("ablation_topology",
+            "topology-aware placement ablation: cross-domain misses "
+            "under flat vs topology-derived super-bin placement");
+    cli.addInt("slabs", 8, "disjoint data slabs (one block each; even)");
+    cli.addInt("threads-per-slab", 4, "threads streaming each slab");
+    lsched::bench::addOutputOptions(cli);
+    lsched::bench::addMachineOptions(cli, 64);
+    cli.parse(argc, argv);
+
+    const auto machine = lsched::bench::machineFromCli(cli);
+    const std::size_t slabs =
+        static_cast<std::size_t>(cli.getInt("slabs")) & ~std::size_t{1};
+    const std::size_t perSlab =
+        static_cast<std::size_t>(cli.getInt("threads-per-slab"));
+    LSCHED_ASSERT(slabs >= 2, "need at least one slab pair");
+    const std::size_t slabBytes = machine.l2Size() / 4;
+    const std::size_t slabDoubles = slabBytes / sizeof(double);
+
+    lsched::bench::banner("Ablation", "topology-aware placement",
+                          machine);
+    std::printf("slabs = %zu x %zu KB (L2/4) in pairs sharing a %zu KB "
+                "halo, threads per slab = %zu\n",
+                slabs, slabBytes / 1024, slabBytes / 1024, perSlab);
+
+    // The forced synthetic machine: 1 package, 2 L3 clusters, 2 L2
+    // groups per cluster, no SMT — 4 cache domains, derived fan 2.
+    const std::string spec =
+        "1x2x2x1/l2=" + std::to_string(machine.l2Size()) +
+        "/l3=" + std::to_string(machine.l2Size() * 4);
+
+    threads::SchedulerConfig cfg;
+    cfg.dims = 1;
+    cfg.cacheBytes = 0; // derived from the topology's L2 size
+    cfg.blockBytes = slabBytes;
+    cfg.placement = threads::PlacementKind::Hierarchical;
+    cfg.superBinFan = 0; // derived: L2 groups per L3 cluster
+    cfg.topology = spec;
+    threads::LocalityScheduler forced(cfg);
+
+    const auto topo = forced.topologyTree();
+    LSCHED_ASSERT(topo != nullptr, "forced spec did not resolve");
+    const std::size_t domains = topo->l2Groups();
+    const std::size_t fan = forced.config().superBinFan;
+    std::printf("%s\n",
+                harness::topologySummaryLine(topo.get()).c_str());
+    std::printf("derived: cache_bytes = %llu, super_bin_fan = %zu, "
+                "domains = %zu\n",
+                static_cast<unsigned long long>(
+                    forced.config().cacheBytes),
+                fan, domains);
+
+    // Discovery against the real host sysfs tree (nullptr on hosts
+    // without one — the flat fallback is part of what's exercised).
+    threads::SchedulerConfig autoCfg;
+    autoCfg.topology = "auto";
+    threads::LocalityScheduler discovered(autoCfg);
+    std::printf("host %s\n\n",
+                harness::topologySummaryLine(
+                    discovered.topologyTree().get())
+                    .c_str());
+
+    std::vector<double> data(slabs * slabDoubles, 1.0);
+    std::vector<double> halos((slabs / 2) * slabDoubles, 1.0);
+
+    // Run the slabs mapped to one cache domain, bins in slab order —
+    // each domain is its own hierarchy, so misses a split pair causes
+    // in two domains are counted in both.
+    const auto runDomain = [&](const std::vector<std::size_t> &members) {
+        return harness::simulateOn(machine, [&](workloads::SimModel &m) {
+            threads::SchedulerConfig dcfg = cfg;
+            threads::LocalityScheduler sched(dcfg);
+            std::vector<SlabJob> jobs(members.size() * perSlab);
+            m.enterKernel(0);
+            std::size_t j = 0;
+            for (const std::size_t s : members) {
+                for (std::size_t t = 0; t < perSlab; ++t, ++j) {
+                    SlabJob &job = jobs[j];
+                    job = {&m, &data[s * slabDoubles],
+                           &halos[(s / 2) * slabDoubles], slabDoubles,
+                           slabDoubles};
+                    sched.fork(streamSlab, &job, nullptr,
+                               threads::hintOf(job.slab));
+                }
+            }
+            sched.run();
+        });
+    };
+
+    const auto runArm = [&](auto domainOf) {
+        std::vector<harness::SimOutcome> parts;
+        for (std::size_t d = 0; d < domains; ++d) {
+            std::vector<std::size_t> members;
+            for (std::size_t s = 0; s < slabs; ++s) {
+                if (domainOf(s) == d)
+                    members.push_back(s);
+            }
+            if (!members.empty())
+                parts.push_back(runDomain(members));
+        }
+        return accumulate(parts);
+    };
+
+    // Ideal baseline: every slab in one domain — the compulsory floor
+    // the arms are attributed against.
+    std::vector<std::size_t> all(slabs);
+    for (std::size_t s = 0; s < slabs; ++s)
+        all[s] = s;
+    const auto ideal = runDomain(all);
+    std::printf("  one-domain baseline done\n");
+
+    const auto flat = runArm([&](std::size_t s) { return s % domains; });
+    std::printf("  flat (round-robin domains) done\n");
+
+    const auto topoArm = runArm([&](std::size_t s) {
+        return static_cast<std::size_t>(threads::TopologyPlacement::domainOf(
+            static_cast<std::uint32_t>(s / fan),
+            static_cast<std::uint32_t>(s),
+            static_cast<std::uint32_t>(domains)));
+    });
+    std::printf("  topology (domainOf, fan %zu) done\n\n", fan);
+
+    const auto table = harness::cacheTable(
+        "Ablation: topology-aware placement (paired slab streaming)",
+        {{"OneDomain", ideal}, {"Flat", flat}, {"Topology", topoArm}});
+    lsched::bench::emitTable(cli, table);
+
+    const std::uint64_t flatCross = flat.l2.misses - ideal.l2.misses;
+    const std::uint64_t topoCross = topoArm.l2.misses - ideal.l2.misses;
+    std::printf("\ncross-domain miss attribution (L2 misses over the "
+                "one-domain baseline):\n");
+    std::printf("  flat placement:     %llu\n",
+                static_cast<unsigned long long>(flatCross));
+    std::printf("  topology placement: %llu\n",
+                static_cast<unsigned long long>(topoCross));
+    std::printf("  topology below flat: %s\n",
+                topoCross < flatCross ? "yes" : "NO");
+    return topoCross < flatCross ? 0 : 1;
+}

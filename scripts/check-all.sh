@@ -2,7 +2,9 @@
 # check-all: the one-command CI matrix. Configures, builds, and ctests
 # every supported build flavor via the CMake presets:
 #
-#   default       full RelWithDebInfo suite
+#   default       full RelWithDebInfo suite (run twice: once as-is,
+#                 once with LSCHED_TOPOLOGY=flat forcing legacy flat
+#                 placement)
 #   tsan          fault + obs + pool suites under ThreadSanitizer
 #   notrace       full suite with tracing compiled out
 #   nofailpoints  full suite with fail points compiled out
@@ -58,6 +60,12 @@ check_notrace_profiler_free() {
 }
 
 check default default
+
+# The full default suite again with topology discovery forced off:
+# LSCHED_TOPOLOGY=flat must reproduce the legacy flat placement
+# byte for byte on any host, whatever its sysfs exposes.
+run env LSCHED_TOPOLOGY=flat ctest --preset default
+
 check tsan tsan-fault
 check notrace notrace
 check_notrace_profiler_free

@@ -78,6 +78,14 @@ perfTable(const std::string &title,
     return table;
 }
 
+std::string
+topologySummaryLine(const machine::CacheTopology *topo)
+{
+    std::string line = "TopologySummary: ";
+    line += topo ? topo->summary() : "flat (no cache tree)";
+    return line;
+}
+
 void
 JsonReport::addTable(const TextTable &table)
 {

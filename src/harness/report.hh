@@ -16,6 +16,7 @@
 
 #include "harness/experiment.hh"
 #include "machine/machine_config.hh"
+#include "machine/topology.hh"
 #include "support/table.hh"
 
 namespace lsched::harness
@@ -49,6 +50,13 @@ struct PerfRow
 TextTable perfTable(const std::string &title,
                     const std::vector<std::string> &machines,
                     const std::vector<PerfRow> &rows);
+
+/**
+ * One "TopologySummary: ..." report line for the cache tree a
+ * scheduler resolved (LocalityScheduler::topologyTree()); a null tree
+ * reports flat legacy placement.
+ */
+std::string topologySummaryLine(const machine::CacheTopology *topo);
 
 /**
  * Machine-readable companion to the text tables: collects the same

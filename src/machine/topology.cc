@@ -1,0 +1,578 @@
+#include "machine/topology.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace lsched::machine
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Sanity cap: a spec asking for more logical CPUs than this is a
+ *  typo, not a machine. */
+constexpr unsigned kMaxSpecCpus = 4096;
+
+std::string trimmed(const std::string &text)
+{
+    std::size_t first = 0;
+    std::size_t last = text.size();
+    while (first < last &&
+           std::isspace(static_cast<unsigned char>(text[first])) != 0)
+        ++first;
+    while (last > first &&
+           std::isspace(static_cast<unsigned char>(text[last - 1])) != 0)
+        --last;
+    return text.substr(first, last - first);
+}
+
+bool parseUnsigned(const std::string &text, std::uint64_t *out)
+{
+    const std::string t = trimmed(text);
+    if (t.empty())
+        return false;
+    std::uint64_t value = 0;
+    for (const char ch : t)
+    {
+        if (ch < '0' || ch > '9')
+            return false;
+        if (value > (UINT64_MAX - 9) / 10)
+            return false;
+        value = value * 10 + static_cast<std::uint64_t>(ch - '0');
+    }
+    *out = value;
+    return true;
+}
+
+/** Read a one-line sysfs attribute; false when absent/unreadable. */
+bool readLine(const fs::path &path, std::string *out)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return false;
+    std::string line;
+    std::getline(in, line);
+    *out = trimmed(line);
+    return !out->empty();
+}
+
+bool readUnsigned(const fs::path &path, std::uint64_t *out)
+{
+    std::string line;
+    return readLine(path, &line) && parseUnsigned(line, out);
+}
+
+std::string formatBytes(std::uint64_t bytes)
+{
+    std::ostringstream out;
+    if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+        out << (bytes >> 20) << "M";
+    else if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0)
+        out << (bytes >> 10) << "K";
+    else
+        out << bytes;
+    return out.str();
+}
+
+/** Raw per-CPU facts gathered from one cpu<N> directory before the
+ *  ids are densified. Keys are "lowest CPU sharing the cache", the
+ *  stable identity sysfs gives a sharing set. */
+struct CpuFacts
+{
+    unsigned id = 0;
+    /** Lowest member of the L2 sharing set (or own id when absent). */
+    unsigned l2Key = 0;
+    /** Lowest member of the L3 set; kNoCache when the CPU has no L3. */
+    unsigned l3Key = 0;
+    unsigned package = 0;
+    unsigned coreId = 0;
+    bool hasL3 = false;
+};
+
+} // namespace
+
+const char *topologySourceName(TopologySource source)
+{
+    switch (source)
+    {
+    case TopologySource::Flat:
+        return "flat";
+    case TopologySource::Sysfs:
+        return "sysfs";
+    case TopologySource::Spec:
+        return "spec";
+    }
+    return "unknown";
+}
+
+bool parseCpuList(const std::string &list, std::vector<unsigned> *out)
+{
+    out->clear();
+    const std::string t = trimmed(list);
+    if (t.empty())
+        return false;
+    std::size_t pos = 0;
+    while (pos < t.size())
+    {
+        std::size_t end = t.find(',', pos);
+        if (end == std::string::npos)
+            end = t.size();
+        const std::string item = t.substr(pos, end - pos);
+        const std::size_t dash = item.find('-');
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        if (dash == std::string::npos)
+        {
+            if (!parseUnsigned(item, &lo))
+                return false;
+            hi = lo;
+        }
+        else
+        {
+            if (!parseUnsigned(item.substr(0, dash), &lo) ||
+                !parseUnsigned(item.substr(dash + 1), &hi) || hi < lo)
+                return false;
+        }
+        if (hi - lo >= kMaxSpecCpus)
+            return false;
+        for (std::uint64_t cpu = lo; cpu <= hi; ++cpu)
+            out->push_back(static_cast<unsigned>(cpu));
+        pos = end + 1;
+    }
+    std::sort(out->begin(), out->end());
+    out->erase(std::unique(out->begin(), out->end()), out->end());
+    return !out->empty();
+}
+
+bool parseSizeString(const std::string &text, std::uint64_t *out)
+{
+    std::string t = trimmed(text);
+    if (t.empty())
+        return false;
+    std::uint64_t multiplier = 1;
+    const char suffix =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(t.back())));
+    if (suffix == 'K' || suffix == 'M' || suffix == 'G')
+    {
+        multiplier = suffix == 'K'   ? (1ull << 10)
+                     : suffix == 'M' ? (1ull << 20)
+                                     : (1ull << 30);
+        t.pop_back();
+    }
+    std::uint64_t value = 0;
+    if (!parseUnsigned(t, &value) || value > UINT64_MAX / multiplier)
+        return false;
+    *out = value * multiplier;
+    return true;
+}
+
+CacheTopology CacheTopology::flat(unsigned cpus, std::uint64_t l2Bytes)
+{
+    CacheTopology topo;
+    topo.source_ = TopologySource::Flat;
+    const unsigned n = cpus == 0 ? 1 : cpus;
+    topo.cpuL2_.assign(n, 0);
+    topo.cpuL3_.assign(n, 0);
+    topo.cpuPackage_.assign(n, 0);
+    topo.cpuCore_.resize(n);
+    for (unsigned cpu = 0; cpu < n; ++cpu)
+        topo.cpuCore_[cpu] = cpu;
+    topo.l2Bytes_ = l2Bytes;
+    topo.l3Bytes_ = 0;
+    topo.finalize();
+    return topo;
+}
+
+bool CacheTopology::fromSpec(const std::string &spec, CacheTopology *out,
+                             std::string *error)
+{
+    const auto fail = [error](const std::string &why) {
+        if (error != nullptr)
+            *error = why;
+        return false;
+    };
+
+    // Split "PxCxGxS[/l2=N][/l3=N]" on '/': shape first, sizes after.
+    std::vector<std::string> parts;
+    std::size_t pos = 0;
+    const std::string t = trimmed(spec);
+    while (pos <= t.size())
+    {
+        std::size_t end = t.find('/', pos);
+        if (end == std::string::npos)
+            end = t.size();
+        parts.push_back(t.substr(pos, end - pos));
+        pos = end + 1;
+    }
+    if (parts.empty() || parts[0].empty())
+        return fail("topology spec is empty");
+
+    std::uint64_t dims[4];
+    std::size_t dim = 0;
+    pos = 0;
+    const std::string &shape = parts[0];
+    while (pos <= shape.size() && dim < 4)
+    {
+        std::size_t end = shape.find('x', pos);
+        if (end == std::string::npos)
+            end = shape.size();
+        if (!parseUnsigned(shape.substr(pos, end - pos), &dims[dim]) ||
+            dims[dim] == 0)
+            return fail("topology spec shape must be PxCxGxS with positive "
+                        "counts: '" +
+                        shape + "'");
+        ++dim;
+        pos = end + 1;
+        if (end == shape.size())
+            break;
+    }
+    if (dim != 4 || pos <= shape.size())
+        return fail("topology spec shape must have exactly four "
+                    "x-separated counts: '" +
+                    shape + "'");
+    const std::uint64_t packages = dims[0];
+    const std::uint64_t clustersPer = dims[1];
+    const std::uint64_t groupsPer = dims[2];
+    const std::uint64_t smt = dims[3];
+    const std::uint64_t cpus = packages * clustersPer * groupsPer * smt;
+    if (cpus > kMaxSpecCpus)
+        return fail("topology spec asks for " + std::to_string(cpus) +
+                    " cpus (max " + std::to_string(kMaxSpecCpus) + ")");
+
+    std::uint64_t l2Bytes = 256 * 1024;
+    std::uint64_t l3Bytes = 0;
+    bool l3Given = false;
+    for (std::size_t i = 1; i < parts.size(); ++i)
+    {
+        const std::string &part = parts[i];
+        if (part.rfind("l2=", 0) == 0)
+        {
+            if (!parseSizeString(part.substr(3), &l2Bytes) || l2Bytes == 0)
+                return fail("bad topology l2 size: '" + part + "'");
+        }
+        else if (part.rfind("l3=", 0) == 0)
+        {
+            if (!parseSizeString(part.substr(3), &l3Bytes))
+                return fail("bad topology l3 size: '" + part + "'");
+            l3Given = true;
+        }
+        else
+        {
+            return fail("unknown topology spec field: '" + part + "'");
+        }
+    }
+    if (!l3Given)
+        l3Bytes = l2Bytes * groupsPer * 4;
+
+    CacheTopology topo;
+    topo.source_ = TopologySource::Spec;
+    topo.l2Bytes_ = l2Bytes;
+    topo.l3Bytes_ = l3Bytes;
+    topo.cpuL2_.reserve(cpus);
+    // One physical core per L2 group: CPU ids are assigned
+    // package-major, so SMT siblings are adjacent.
+    for (std::uint64_t p = 0; p < packages; ++p)
+        for (std::uint64_t c = 0; c < clustersPer; ++c)
+            for (std::uint64_t g = 0; g < groupsPer; ++g)
+                for (std::uint64_t s = 0; s < smt; ++s)
+                {
+                    (void)s;
+                    const unsigned group =
+                        static_cast<unsigned>((p * clustersPer + c) *
+                                                  groupsPer +
+                                              g);
+                    topo.cpuL2_.push_back(group);
+                    topo.cpuL3_.push_back(
+                        static_cast<unsigned>(p * clustersPer + c));
+                    topo.cpuPackage_.push_back(static_cast<unsigned>(p));
+                    topo.cpuCore_.push_back(group);
+                }
+    topo.finalize();
+    *out = topo;
+    return true;
+}
+
+bool CacheTopology::fromSysfs(const std::string &root, CacheTopology *out)
+{
+    std::error_code ec;
+    if (!fs::is_directory(root, ec) || ec)
+        return false;
+
+    constexpr unsigned kNoCache = ~0u;
+    std::uint64_t l2SizeSeen = 0;
+    std::uint64_t l3SizeSeen = 0;
+    std::map<unsigned, CpuFacts> cpus;
+    for (const auto &entry : fs::directory_iterator(root, ec))
+    {
+        if (ec)
+            return false;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("cpu", 0) != 0)
+            continue;
+        std::uint64_t id = 0;
+        if (!parseUnsigned(name.substr(3), &id) || id >= kMaxSpecCpus)
+            continue;
+        if (!fs::is_directory(entry.path(), ec) || ec)
+            continue;
+
+        CpuFacts facts;
+        facts.id = static_cast<unsigned>(id);
+        facts.l2Key = facts.id;
+        facts.l3Key = kNoCache;
+        facts.coreId = facts.id;
+
+        std::uint64_t value = 0;
+        if (readUnsigned(entry.path() / "topology" / "physical_package_id",
+                         &value))
+            facts.package = static_cast<unsigned>(value);
+        if (readUnsigned(entry.path() / "topology" / "core_id", &value))
+            facts.coreId = static_cast<unsigned>(value);
+
+        const fs::path cacheDir = entry.path() / "cache";
+        if (fs::is_directory(cacheDir, ec) && !ec)
+        {
+            for (const auto &cache : fs::directory_iterator(cacheDir, ec))
+            {
+                if (ec)
+                    break;
+                const std::string cacheName =
+                    cache.path().filename().string();
+                if (cacheName.rfind("index", 0) != 0)
+                    continue;
+                std::uint64_t level = 0;
+                if (!readUnsigned(cache.path() / "level", &level))
+                    continue;
+                std::string type;
+                if (readLine(cache.path() / "type", &type) &&
+                    type == "Instruction")
+                    continue;
+                std::string shared;
+                std::vector<unsigned> members;
+                if (!readLine(cache.path() / "shared_cpu_list", &shared) ||
+                    !parseCpuList(shared, &members))
+                    members = {facts.id};
+                std::string sizeText;
+                std::uint64_t sizeBytes = 0;
+                if (readLine(cache.path() / "size", &sizeText))
+                    (void)parseSizeString(sizeText, &sizeBytes);
+                if (level == 2)
+                {
+                    facts.l2Key = members.front();
+                    l2SizeSeen = std::max(l2SizeSeen, sizeBytes);
+                }
+                else if (level == 3)
+                {
+                    facts.hasL3 = true;
+                    facts.l3Key = members.front();
+                    l3SizeSeen = std::max(l3SizeSeen, sizeBytes);
+                }
+            }
+        }
+        cpus[facts.id] = facts;
+    }
+    if (cpus.empty())
+        return false;
+
+    // NUMA node directories (fixture layout: <root>/node<N>/cpulist)
+    // override the package assignment when present.
+    for (const auto &entry : fs::directory_iterator(root, ec))
+    {
+        if (ec)
+            break;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("node", 0) != 0)
+            continue;
+        std::uint64_t node = 0;
+        if (!parseUnsigned(name.substr(4), &node))
+            continue;
+        std::string list;
+        std::vector<unsigned> members;
+        if (!readLine(entry.path() / "cpulist", &list) ||
+            !parseCpuList(list, &members))
+            continue;
+        for (const unsigned cpu : members)
+        {
+            auto it = cpus.find(cpu);
+            if (it != cpus.end())
+                it->second.package = static_cast<unsigned>(node);
+        }
+    }
+
+    CacheTopology topo;
+    topo.source_ = TopologySource::Sysfs;
+    topo.l2Bytes_ = l2SizeSeen;
+    topo.l3Bytes_ = l3SizeSeen;
+
+    // Densify: sysfs CPU ids may be sparse; sharing keys become dense
+    // group/cluster/package ids in ascending-lowest-member order.
+    std::map<unsigned, unsigned> groupIds;
+    std::map<std::pair<unsigned, unsigned>, unsigned> clusterIds;
+    std::map<unsigned, unsigned> packageIds;
+    std::map<std::pair<unsigned, unsigned>, unsigned> coreIds;
+    for (const auto &[id, facts] : cpus)
+    {
+        (void)id;
+        const unsigned package = static_cast<unsigned>(
+            packageIds.try_emplace(facts.package, packageIds.size())
+                .first->second);
+        topo.cpuPackage_.push_back(package);
+        topo.cpuL2_.push_back(static_cast<unsigned>(
+            groupIds.try_emplace(facts.l2Key, groupIds.size())
+                .first->second));
+        // CPUs with no L3 fall back to one cluster per package.
+        const std::pair<unsigned, unsigned> clusterKey =
+            facts.hasL3 ? std::make_pair(0u, facts.l3Key)
+                        : std::make_pair(1u, facts.package);
+        topo.cpuL3_.push_back(static_cast<unsigned>(
+            clusterIds.try_emplace(clusterKey, clusterIds.size())
+                .first->second));
+        topo.cpuCore_.push_back(static_cast<unsigned>(
+            coreIds
+                .try_emplace(std::make_pair(facts.package, facts.coreId),
+                             coreIds.size())
+                .first->second));
+    }
+    topo.finalize();
+    *out = topo;
+    return true;
+}
+
+std::shared_ptr<const CacheTopology> CacheTopology::host()
+{
+    static const std::shared_ptr<const CacheTopology> cached = [] {
+        auto topo = std::make_shared<CacheTopology>();
+        if (!fromSysfs("/sys/devices/system/cpu", topo.get()))
+            *topo = flat(std::max(1u, std::thread::hardware_concurrency()));
+        return std::shared_ptr<const CacheTopology>(std::move(topo));
+    }();
+    return cached;
+}
+
+void CacheTopology::finalize()
+{
+    packages_ = 0;
+    clusters_ = 0;
+    groups_ = 0;
+    for (std::size_t cpu = 0; cpu < cpuL2_.size(); ++cpu)
+    {
+        packages_ = std::max(packages_, cpuPackage_[cpu] + 1);
+        clusters_ = std::max(clusters_, cpuL3_[cpu] + 1);
+        groups_ = std::max(groups_, cpuL2_[cpu] + 1);
+    }
+    std::map<unsigned, unsigned> threadsPerCore;
+    for (const unsigned core : cpuCore_)
+        ++threadsPerCore[core];
+    smtPerCore_ = 1;
+    for (const auto &[core, threads] : threadsPerCore)
+    {
+        (void)core;
+        smtPerCore_ = std::max(smtPerCore_, threads);
+    }
+}
+
+unsigned CacheTopology::groupsPerCluster() const
+{
+    if (clusters_ == 0 || groups_ == 0)
+        return 1;
+    std::map<unsigned, std::vector<bool>> groupsIn;
+    for (std::size_t cpu = 0; cpu < cpuL2_.size(); ++cpu)
+    {
+        auto &seen = groupsIn[cpuL3_[cpu]];
+        if (seen.size() < groups_)
+            seen.resize(groups_, false);
+        seen[cpuL2_[cpu]] = true;
+    }
+    unsigned best = 1;
+    for (const auto &[cluster, seen] : groupsIn)
+    {
+        (void)cluster;
+        unsigned count = 0;
+        for (const bool present : seen)
+            count += present ? 1u : 0u;
+        best = std::max(best, count);
+    }
+    return best;
+}
+
+std::vector<unsigned> CacheTopology::pinPlan() const
+{
+    if (cpus() <= 1)
+        return {};
+    // Per-group CPU lists ordered distinct-cores-first: round-robin
+    // over the group's cores so SMT siblings come after every core has
+    // one thread in the list.
+    std::vector<std::vector<unsigned>> byGroup(groups_);
+    {
+        std::vector<std::map<unsigned, std::vector<unsigned>>> cores(groups_);
+        for (unsigned cpu = 0; cpu < cpus(); ++cpu)
+            cores[cpuL2_[cpu]][cpuCore_[cpu]].push_back(cpu);
+        for (unsigned g = 0; g < groups_; ++g)
+        {
+            bool more = true;
+            for (std::size_t round = 0; more; ++round)
+            {
+                more = false;
+                for (auto &[core, threads] : cores[g])
+                {
+                    (void)core;
+                    if (round < threads.size())
+                    {
+                        byGroup[g].push_back(threads[round]);
+                        more = round + 1 < threads.size() || more;
+                    }
+                }
+            }
+        }
+    }
+    // Domain-major interleave; small groups wrap so plan[i] is always
+    // a CPU of group i % groups_ (workers pin by plan[w % size]).
+    std::size_t rounds = 0;
+    for (const auto &group : byGroup)
+        rounds = std::max(rounds, group.size());
+    std::vector<unsigned> plan;
+    plan.reserve(rounds * groups_);
+    for (std::size_t round = 0; round < rounds; ++round)
+        for (unsigned g = 0; g < groups_; ++g)
+            if (!byGroup[g].empty())
+                plan.push_back(byGroup[g][round % byGroup[g].size()]);
+    return plan;
+}
+
+std::string CacheTopology::summary() const
+{
+    std::ostringstream out;
+    out << topologySourceName(source_) << ": " << packages_ << " package"
+        << (packages_ == 1 ? "" : "s") << ", " << clusters_ << " L3 cluster"
+        << (clusters_ == 1 ? "" : "s") << ", " << groups_ << " L2 group"
+        << (groups_ == 1 ? "" : "s") << ", " << cpus() << " cpu"
+        << (cpus() == 1 ? "" : "s");
+    if (smtPerCore_ > 1)
+        out << " (SMT" << smtPerCore_ << ")";
+    if (l2Bytes_ > 0)
+        out << ", L2 " << formatBytes(l2Bytes_);
+    if (l3Bytes_ > 0)
+        out << ", L3 " << formatBytes(l3Bytes_);
+    return out.str();
+}
+
+std::string CacheTopology::specString() const
+{
+    const unsigned packages = std::max(1u, packages_);
+    const unsigned clustersPer =
+        std::max(1u, (clusters_ + packages - 1) / packages);
+    std::ostringstream out;
+    out << packages << "x" << clustersPer << "x" << groupsPerCluster() << "x"
+        << smtPerCore_ << "/l2=" << formatBytes(l2Bytes_)
+        << "/l3=" << formatBytes(l3Bytes_);
+    return out.str();
+}
+
+} // namespace lsched::machine

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Cache-hierarchy topology discovery (package → L3 cluster → L2 group
+ * → SMT core), the hardware tree the topology-aware placement maps
+ * super-bins onto.
+ *
+ * The paper's scheduler assumes one shared L2; real machines have
+ * per-core L2s, clustered L3s, and NUMA packages. A CacheTopology
+ * describes that tree three ways:
+ *
+ *  - fromSysfs(root) — discovered from a Linux sysfs cpu directory
+ *    (/sys/devices/system/cpu): cpu* / cache/index* {level, type,
+ *    shared_cpu_list, size} give the L2/L3 sharing sets, topology/
+ *    {core_id, physical_package_id} the SMT and package structure, and
+ *    node* directories (when present under @p root, as NUMA fixtures
+ *    lay them out) override the package assignment. The root is a
+ *    parameter so golden-file tests can point it at fixture trees.
+ *  - fromSpec("PxCxGxS[/l2=N][/l3=N]") — a synthetic, fully regular
+ *    tree: P packages × C L3 clusters × G L2 groups × S SMT threads,
+ *    with optional L2/L3 byte sizes (K/M suffixes). Deterministic on
+ *    any host, which is what tests, the chaos harness, and the 1-CPU
+ *    CI machine need. Commas are deliberately absent from the grammar:
+ *    the spec must survive --sched's comma-separated key=value list.
+ *  - flat(cpus, l2Bytes) — the degenerate single-domain tree: one
+ *    package, one cluster, one L2 group over every CPU. The fallback
+ *    when sysfs discovery fails, and the shape that makes every
+ *    topology-derived decision collapse to the legacy behavior.
+ *
+ * The scheduler derives from the tree: block bytes from l2Bytes(),
+ * super-bin fan from groupsPerCluster(), the worker pin plan from
+ * pinPlan(), and the super-bin → domain map from l2Groups().
+ */
+
+#ifndef LSCHED_MACHINE_TOPOLOGY_HH
+#define LSCHED_MACHINE_TOPOLOGY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lsched::machine
+{
+
+/** How a CacheTopology was obtained (numeric: th_topology ABI). */
+enum class TopologySource : std::uint8_t
+{
+    /** Single-domain fallback; carries no real hierarchy. */
+    Flat = 0,
+    /** Discovered from a sysfs cpu directory. */
+    Sysfs = 1,
+    /** Built from a "PxCxGxS[/l2=N][/l3=N]" spec string. */
+    Spec = 2,
+};
+
+/** Printable source name ("flat", "sysfs", "spec"). */
+const char *topologySourceName(TopologySource source);
+
+/**
+ * The discovered cache-domain tree, flattened to per-CPU maps. CPUs
+ * are dense 0..cpus()-1; L2 groups, L3 clusters, and packages are
+ * dense ids in discovery order (sysfs: ascending lowest member CPU).
+ * Immutable once built — the scheduler shares one instance across
+ * tours via shared_ptr.
+ */
+class CacheTopology
+{
+  public:
+    /** Degenerate tree: one L2 group over @p cpus CPUs (>= 1). */
+    static CacheTopology flat(unsigned cpus, std::uint64_t l2Bytes = 0);
+
+    /**
+     * Parse a synthetic spec "PxCxGxS[/l2=N][/l3=N]" (sizes accept
+     * K/M suffixes; defaults 256K / l2 * G * 4). Returns false and
+     * sets *error on a malformed spec.
+     */
+    static bool fromSpec(const std::string &spec, CacheTopology *out,
+                         std::string *error);
+
+    /**
+     * Discover from a sysfs-shaped directory holding cpu<N> entries
+     * (and optionally node<N> NUMA entries). Returns false when @p
+     * root holds no parsable cpu directory — the caller falls back to
+     * flat().
+     */
+    static bool fromSysfs(const std::string &root, CacheTopology *out);
+
+    /** fromSysfs("/sys/devices/system/cpu"), flat() fallback; cached
+     *  process-wide (discovery cost paid once). Never null. */
+    static std::shared_ptr<const CacheTopology> host();
+
+    CacheTopology() = default;
+
+    TopologySource source() const { return source_; }
+    unsigned cpus() const { return static_cast<unsigned>(cpuL2_.size()); }
+    unsigned packages() const { return packages_; }
+    unsigned l3Clusters() const { return clusters_; }
+    /** L2 sharing domains — the scheduler's placement domains. */
+    unsigned l2Groups() const { return groups_; }
+    /** Largest SMT way count of any core (1 = no SMT). */
+    unsigned smtPerCore() const { return smtPerCore_; }
+    /** Per-core L2 capacity in bytes (0 = unknown). */
+    std::uint64_t l2Bytes() const { return l2Bytes_; }
+    /** Per-cluster L3 capacity in bytes (0 = none/unknown). */
+    std::uint64_t l3Bytes() const { return l3Bytes_; }
+
+    /** Largest L2-groups-per-L3-cluster ratio — the derived super-bin
+     *  fan of the topology placement (>= 1). */
+    unsigned groupsPerCluster() const;
+
+    /** L2 group a CPU belongs to. */
+    unsigned l2GroupOf(unsigned cpu) const { return cpuL2_[cpu]; }
+    /** L3 cluster a CPU belongs to. */
+    unsigned l3ClusterOf(unsigned cpu) const { return cpuL3_[cpu]; }
+    /** Package a CPU belongs to. */
+    unsigned packageOf(unsigned cpu) const { return cpuPackage_[cpu]; }
+
+    /**
+     * Domain-major CPU order for worker pinning: position i holds a
+     * CPU of L2 group i % l2Groups(), rotating over the groups with
+     * each group's distinct physical cores before their SMT siblings.
+     * Pinning worker w to plan[w % plan.size()] therefore lands worker
+     * w in cache domain w % l2Groups() — exactly the domain the
+     * partitioner assigns it. Empty when cpus() <= 1 (nothing to plan).
+     */
+    std::vector<unsigned> pinPlan() const;
+
+    /** One-line human summary (the harness TopologySummary row). */
+    std::string summary() const;
+
+    /**
+     * Regular spec string reproducing this tree's shape
+     * ("PxCxGxS/l2=N/l3=N"). Heterogeneous sysfs trees round up to
+     * their largest per-level counts (an approximation, flagged by
+     * source() staying Sysfs).
+     */
+    std::string specString() const;
+
+  private:
+    TopologySource source_ = TopologySource::Flat;
+    unsigned packages_ = 0;
+    unsigned clusters_ = 0;
+    unsigned groups_ = 0;
+    unsigned smtPerCore_ = 1;
+    std::uint64_t l2Bytes_ = 0;
+    std::uint64_t l3Bytes_ = 0;
+    /** Per-CPU dense ids (index = CPU). */
+    std::vector<unsigned> cpuL2_;
+    std::vector<unsigned> cpuL3_;
+    std::vector<unsigned> cpuPackage_;
+    /** Per-CPU physical core id (SMT siblings share one). */
+    std::vector<unsigned> cpuCore_;
+
+    void finalize();
+};
+
+/** Parse "0-3,8,10-11" into ascending CPU ids; false on garbage. */
+bool parseCpuList(const std::string &list, std::vector<unsigned> *out);
+
+/** Parse "32768", "256K", "2M" into bytes; false on garbage. */
+bool parseSizeString(const std::string &text, std::uint64_t *out);
+
+} // namespace lsched::machine
+
+#endif // LSCHED_MACHINE_TOPOLOGY_HH

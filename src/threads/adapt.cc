@@ -405,7 +405,7 @@ makeAdaptivePlacement(const SchedulerConfig &config)
     if (config.adaptBase == PlacementKind::Hierarchical) {
         p.superBinFan = config.superBinFan
                             ? config.superBinFan
-                            : HierarchicalPlacement::kDefaultFan;
+                            : TopologyPlacement::kDefaultFan;
     }
     if (config.adaptBase == PlacementKind::RoundRobin) {
         p.roundRobinBins = config.roundRobinBins

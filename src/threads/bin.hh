@@ -30,7 +30,7 @@ struct Bin
     std::uint32_t id = 0;
 
     /**
-     * Second-level placement group (HierarchicalPlacement): bins of
+     * Second-level placement group (TopologyPlacement): bins of
      * one super-bin are toured contiguously and handed to a parallel
      * worker as a unit. kNoSuperBin under flat placements.
      */

@@ -180,7 +180,47 @@ th_stats(void)
     out.adapt_block_bytes = s.adapt.blockBytes;
     out.adapt_super_bin_fan = s.adapt.superBinFan;
     out.adapt_regime = static_cast<int>(s.adapt.regime);
+    out.pool_pin_failed = s.pool.pinFailed;
+    out.pool_cross_domain_steals = s.pool.crossSteals;
     return out;
+}
+
+th_topology_t
+th_topology(void)
+{
+    const lsched::threads::TopologySnapshot t =
+        instance().stats().topology;
+    th_topology_t out;
+    out.active = t.active ? 1 : 0;
+    out.source = static_cast<int>(t.source);
+    out.packages = t.packages;
+    out.l3_clusters = t.l3Clusters;
+    out.l2_groups = t.l2Groups;
+    out.cpus = t.cpus;
+    out.smt_per_core = t.smtPerCore;
+    out.l2_bytes = t.l2Bytes;
+    out.l3_bytes = t.l3Bytes;
+    out.derived_fan = t.derivedFan;
+    out.domains = t.domains;
+    out.domain_workers = t.domainWorkers;
+    return out;
+}
+
+int
+th_topology_summary(char *buf, std::size_t len)
+{
+    if (!buf && len > 0) {
+        recordError("th_topology_summary: NULL buffer");
+        return -1;
+    }
+    const std::string summary = instance().stats().topology.summary;
+    if (len > 0) {
+        const std::size_t n =
+            summary.size() < len - 1 ? summary.size() : len - 1;
+        std::memcpy(buf, summary.data(), n);
+        buf[n] = '\0';
+    }
+    return static_cast<int>(summary.size());
 }
 
 int
@@ -575,6 +615,35 @@ th_stats_(long long *values, const int *count)
         static_cast<long long>(s.adapt_block_bytes),
         static_cast<long long>(s.adapt_super_bin_fan),
         s.adapt_regime,
+        static_cast<long long>(s.pool_pin_failed),
+        static_cast<long long>(s.pool_cross_domain_steals),
+    };
+    const int have = static_cast<int>(sizeof(fields) / sizeof(fields[0]));
+    const int n = *count < have ? *count : have;
+    for (int i = 0; i < n; ++i)
+        values[i] = fields[i];
+}
+
+void
+th_topology_(long long *values, const int *count)
+{
+    if (!values || !count || *count <= 0)
+        return;
+    const th_topology_t t = th_topology();
+    // Field order mirrors th_topology_t exactly; both are append-only.
+    const long long fields[] = {
+        t.active,
+        t.source,
+        static_cast<long long>(t.packages),
+        static_cast<long long>(t.l3_clusters),
+        static_cast<long long>(t.l2_groups),
+        static_cast<long long>(t.cpus),
+        static_cast<long long>(t.smt_per_core),
+        static_cast<long long>(t.l2_bytes),
+        static_cast<long long>(t.l3_bytes),
+        static_cast<long long>(t.derived_fan),
+        static_cast<long long>(t.domains),
+        static_cast<long long>(t.domain_workers),
     };
     const int have = static_cast<int>(sizeof(fields) / sizeof(fields[0]));
     const int n = *count < have ? *count : have;

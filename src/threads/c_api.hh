@@ -150,10 +150,54 @@ typedef struct th_stats_t
     /** Tuner regime: 0 warmup, 1 floor, 2 neutral, 3 capacity,
      *  4 probing (dwell-only probe in flight). */
     int adapt_regime;
+    /** Workers whose CPU-affinity pin failed (they run unpinned), and
+     *  pool steals that crossed a cache-domain boundary under
+     *  topology-aware placement. */
+    unsigned long long pool_pin_failed;
+    unsigned long long pool_cross_domain_steals;
 } th_stats_t;
 
 /** Statistics of the scheduler behind th_fork/th_run. */
 th_stats_t th_stats(void);
+
+/**
+ * Snapshot of the cache topology driving the global scheduler's
+ * placement (the "topology" config key; threads/scheduler.hh's
+ * TopologySnapshot). Append-only like th_stats_t. All counts are zero
+ * when placement is flat — topology "flat", or "auto" on a host whose
+ * sysfs exposes no cache tree.
+ */
+typedef struct th_topology_t
+{
+    /** 1 when a cache tree is active, 0 for flat placement. */
+    int active;
+    /** Where the tree came from: 0 flat, 1 sysfs, 2 spec string. */
+    int source;
+    unsigned packages;
+    unsigned l3_clusters;
+    unsigned l2_groups;
+    unsigned cpus;
+    unsigned smt_per_core;
+    unsigned long long l2_bytes;
+    unsigned long long l3_bytes;
+    /** super_bin_fan the tree derives when that knob is left 0. */
+    unsigned long long derived_fan;
+    /** Cache-domain teams of the most recent parallel tour (0 until a
+     *  topology-partitioned tour has run). */
+    unsigned domains;
+    unsigned domain_workers;
+} th_topology_t;
+
+/** Topology snapshot of the scheduler behind th_fork/th_run. */
+th_topology_t th_topology(void);
+
+/**
+ * Write the human-readable one-line topology summary (source, shape,
+ * cache sizes) into @p buf, NUL-terminated and truncated to @p len
+ * bytes. Returns the full summary length (excluding the NUL, à la
+ * snprintf), or -1 on NULL buf with len > 0.
+ */
+int th_topology_summary(char *buf, std::size_t len);
 
 /**
  * The unified configuration surface: set one scheduler config knob by
@@ -380,6 +424,14 @@ void th_profile_report_(int *status);
  * is append-only, so an index that works keeps working.
  */
 void th_stats_(long long *values, const int *count);
+
+/**
+ * Fortran: CALL TH_TOPOLOGY(VALUES, COUNT) — numeric mirror of
+ * th_topology(): VALUES is an INTEGER*8 array of capacity COUNT,
+ * filled with the th_topology_t fields in declaration order, then
+ * COUNT-capped. Append-only, like every stats shim.
+ */
+void th_topology_(long long *values, const int *count);
 
 } // extern "C"
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "machine/topology.hh"
 #include "obs/profile.hh"
 #include "threads/scheduler.hh"
 
@@ -273,6 +274,15 @@ applyConfigKey(SchedulerConfig &config, const std::string &key,
             return badValue(error, key, value,
                             "a bin count (0 = policy default)");
         config.roundRobinBins = u;
+    } else if (key == "topology") {
+        if (value != "auto" && value != "flat") {
+            machine::CacheTopology probe;
+            std::string why;
+            if (!machine::CacheTopology::fromSpec(value, &probe, &why))
+                return badValue(error, key, value,
+                                "auto|flat|PxCxGxS[/l2=N][/l3=N]");
+        }
+        config.topology = value;
     } else if (key == "super_bin_fan") {
         if (!parseU64(value, &u))
             return badValue(error, key, value,
@@ -431,6 +441,8 @@ configKeyValue(const SchedulerConfig &config, const std::string &key,
         *out = backendName(config.backend);
     else if (key == "round_robin_bins")
         *out = std::to_string(config.roundRobinBins);
+    else if (key == "topology")
+        *out = config.topology;
     else if (key == "super_bin_fan")
         *out = std::to_string(config.superBinFan);
     else if (key == "tour")
@@ -498,6 +510,7 @@ configKeys()
         "backend",
         "round_robin_bins",
         "super_bin_fan",
+        "topology",
         "tour",
         "on_error",
         "watchdog_millis",

@@ -64,6 +64,9 @@ initJob(detail::PoolJob &job, TourSpec &spec)
     job.cancelledBin = &poolCancelled;
     job.currentBin = spec.currentBin;
     job.honorSuperBins = spec.honorSuperBins;
+    job.binDomain = spec.binDomain;
+    job.workerDomain = spec.workerDomain;
+    job.domains = spec.domains;
 }
 
 /** The caller walks the tour alone, in order. */
@@ -143,7 +146,7 @@ class ColdSpawnBackend final : public ExecutionBackend
                       "cold-spawn tour without a stats sink");
         detail::PoolJob job;
         initJob(job, spec);
-        WorkerPool cold(spec.pinWorkers);
+        WorkerPool cold(spec.pinWorkers, spec.pinPlan);
         try {
             cold.runTour(job);
         } catch (...) {

@@ -69,9 +69,23 @@ struct TourSpec
     detail::FaultCtx *fault = nullptr;
     /** Pin helper threads over CPUs (ColdSpawn pool construction). */
     bool pinWorkers = false;
-    /** Never split a super-bin across workers (HierarchicalPlacement;
+    /** Never split a super-bin across workers (TopologyPlacement;
      *  the tour must already be grouped — see groupBySuperBins). */
     bool honorSuperBins = false;
+    /**
+     * Cache-domain affinity (topology-aware tours; all unset when the
+     * topology is flat or pinning is off): binDomain[i] is the L2
+     * domain of tour[i] — the tour must already be sorted so each
+     * domain's bins are one contiguous run — and workerDomain[w] the
+     * domain worker w is pinned into; both sized by the caller and
+     * outliving the tour. domains is the active domain count.
+     */
+    const std::uint32_t *binDomain = nullptr;
+    const std::uint32_t *workerDomain = nullptr;
+    std::uint32_t domains = 0;
+    /** Domain-major CPU order for ColdSpawn pinning (empty = id %
+     *  cpus legacy order); see CacheTopology::pinPlan(). */
+    std::vector<unsigned> pinPlan;
     /** Persistent pool to run on (Pooled; null otherwise). */
     WorkerPool *pool = nullptr;
     /** Where a throwaway pool's stats fold (ColdSpawn; null else). */

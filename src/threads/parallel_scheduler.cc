@@ -22,6 +22,7 @@
  * path until it recovers.
  */
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -31,6 +32,7 @@
 #include "support/error.hh"
 #include "support/panic.hh"
 #include "threads/execution.hh"
+#include "threads/placement.hh"
 #include "threads/recovery.hh"
 #include "threads/sched_obs.hh"
 #include "threads/scheduler.hh"
@@ -113,6 +115,43 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     if (superBins)
         tour = groupBySuperBins(std::move(tour));
 
+    // Topology-aware domain partition: with a resolved cache tree that
+    // exposes more than one L2 group, deal super-bins across cache
+    // domains and split the workers into matching teams, so each
+    // super-bin's blocks execute on workers pinned inside one domain.
+    // Gated on pinWorkers — without pinning the teams would be
+    // arbitrary thread subsets with no cache in common.
+    std::vector<std::uint32_t> binDomain;
+    std::vector<std::uint32_t> workerDomain;
+    std::uint32_t domains = 0;
+    lastTourDomains_ = 0;
+    lastTourDomainWorkers_ = 0;
+    if (superBins && topo_ && topo_->l2Groups() > 1 && workers > 1 &&
+        config_.pinWorkers) {
+        domains = std::min<std::uint32_t>(topo_->l2Groups(), workers);
+        // Stable, so super-bin groups stay contiguous inside their
+        // domain's run — the pool's partition requires one contiguous
+        // range per domain.
+        std::stable_sort(
+            tour.begin(), tour.end(),
+            [domains](const Bin *a, const Bin *b) {
+                return TopologyPlacement::domainOf(a->superBin, a->id,
+                                                   domains) <
+                       TopologyPlacement::domainOf(b->superBin, b->id,
+                                                   domains);
+            });
+        binDomain.reserve(tour.size());
+        for (const Bin *bin : tour) {
+            binDomain.push_back(TopologyPlacement::domainOf(
+                bin->superBin, bin->id, domains));
+        }
+        workerDomain.resize(workers);
+        for (unsigned w = 0; w < workers; ++w)
+            workerDomain[w] = w % domains;
+        lastTourDomains_ = domains;
+        lastTourDomainWorkers_ = (workers + domains - 1) / domains;
+    }
+
     LSCHED_TRACE_EVENT(obs::EventType::RunBegin, pendingThreads_,
                        table_.binCount(), workers);
     obs::profileNoteEpoch();
@@ -138,13 +177,22 @@ LocalityScheduler::runParallel(unsigned workers, bool keep)
     spec.pinWorkers = config_.pinWorkers;
     spec.honorSuperBins = superBins;
     spec.currentBin = currentBin.get();
+    if (domains > 0) {
+        spec.binDomain = binDomain.data();
+        spec.workerDomain = workerDomain.data();
+        spec.domains = domains;
+    }
     if (config_.backend == BackendKind::Pooled) {
-        if (!workerPool_)
-            workerPool_ =
-                std::make_unique<WorkerPool>(config_.pinWorkers);
+        if (!workerPool_) {
+            workerPool_ = std::make_unique<WorkerPool>(
+                config_.pinWorkers,
+                topo_ ? topo_->pinPlan() : std::vector<unsigned>{});
+        }
         spec.pool = workerPool_.get();
     } else {
         spec.retiredStats = &retiredPoolStats_;
+        if (topo_)
+            spec.pinPlan = topo_->pinPlan();
     }
 
     std::uint64_t executed = 0;

@@ -65,7 +65,7 @@ placementFromName(const std::string &name)
 }
 
 PlacementDecision
-HierarchicalPlacement::place(std::span<const Hint> hints)
+TopologyPlacement::place(std::span<const Hint> hints)
 {
     PlacementDecision d;
     d.coords = map_.coordsFor(hints);
@@ -80,7 +80,7 @@ HierarchicalPlacement::place(std::span<const Hint> hints)
 }
 
 PlacementDecision
-HierarchicalPlacement::peek(std::span<const Hint> hints) const
+TopologyPlacement::peek(std::span<const Hint> hints) const
 {
     PlacementDecision d;
     d.coords = map_.coordsFor(hints);
@@ -104,7 +104,7 @@ makePlacement(PlacementKind kind, unsigned dims,
       case PlacementKind::RoundRobin:
         return std::make_unique<RoundRobinPlacement>(roundRobinBins);
       case PlacementKind::Hierarchical:
-        return std::make_unique<HierarchicalPlacement>(
+        return std::make_unique<TopologyPlacement>(
             dims, blockBytes, symmetricHints, superBinFan);
       case PlacementKind::Adaptive:
         // The adaptive wrapper needs the whole SchedulerConfig (tuner

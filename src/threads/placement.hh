@@ -16,11 +16,16 @@
  *    cycle over a fixed set of bins regardless of hints, giving the
  *    same bin count and occupancy as a hashed placement but scrambled
  *    membership. Benches previously faked this by zeroing hints.
- *  - HierarchicalPlacement — two-level: hints map to an L2 block as
- *    in BlockHash, and blocks additionally group into worker-sized
- *    super-bins (a bubble at bin granularity). The parallel tour
- *    keeps a super-bin's bins contiguous and the partitioner hands
- *    whole super-bins to one worker.
+ *  - TopologyPlacement — two-level: hints map to an L2 block as in
+ *    BlockHash, and blocks additionally group into super-bins (a
+ *    bubble at bin granularity) sized to the machine's cache-domain
+ *    tree: with topology=auto the block bytes come from the
+ *    discovered L2 size and the fan from the L2-groups-per-L3-cluster
+ *    ratio (machine/topology.hh), with the blockBytes/superBinFan
+ *    knobs kept as overrides. The parallel tour keeps a super-bin's
+ *    bins contiguous, the partitioner hands whole super-bins to one
+ *    worker, and domainOf() maps each super-bin onto an L2 domain so
+ *    the workers pinned into that domain execute it.
  *  - AdaptivePlacement (threads/adapt.hh) — wraps any of the above
  *    and re-derives its parameters (blockBytes, superBinFan, bin
  *    count) from the online miss attribution the continuous profiler
@@ -264,17 +269,37 @@ class RoundRobinPlacement final : public PlacementPolicy
  * coarser super-bin — @p fan adjacent blocks per dimension — that the
  * parallel partitioner keeps on one worker. Super-bin ids are assigned
  * in creation order, so grouping the tour by id is deterministic.
+ * Under topology=auto the constructor parameters arrive pre-derived
+ * from the discovered cache tree (validated() materializes blockBytes
+ * from the L2 size and fan from the groups-per-cluster ratio); the
+ * policy itself stays hardware-agnostic. Config/ABI name remains
+ * "hierarchical" (PlacementKind::Hierarchical).
  */
-class HierarchicalPlacement final : public PlacementPolicy
+class TopologyPlacement final : public PlacementPolicy
 {
   public:
-    /** Blocks per super-bin per dimension when the config says 0. */
+    /** Blocks per super-bin per dimension when the config says 0 and
+     *  no topology ratio applies. */
     static constexpr std::uint64_t kDefaultFan = 4;
 
-    HierarchicalPlacement(unsigned dims, std::uint64_t blockBytes,
-                          bool symmetric, std::uint64_t fan)
+    TopologyPlacement(unsigned dims, std::uint64_t blockBytes,
+                      bool symmetric, std::uint64_t fan)
         : map_(dims, blockBytes, symmetric), fan_(fan ? fan : kDefaultFan)
     {
+    }
+
+    /**
+     * The L2 domain a bin executes in when @p domains cache domains
+     * are active: super-bins spread round-robin, flat bins fall back
+     * to their tour id. The partitioner and the pin plan agree on this
+     * map, which is what makes cluster-aware pinning line up.
+     */
+    static std::uint32_t domainOf(std::uint32_t superBin,
+                                  std::uint32_t binId,
+                                  std::uint32_t domains)
+    {
+        const std::uint32_t key = superBin == kNoSuperBin ? binId : superBin;
+        return domains == 0 ? 0 : key % domains;
     }
 
     PlacementDecision place(std::span<const Hint> hints) override;

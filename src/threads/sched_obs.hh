@@ -34,6 +34,8 @@ struct SchedInstruments
     obs::Counter *faulted;
     obs::Counter *poolSteals;
     obs::Counter *poolParks;
+    obs::Counter *poolCrossSteals;
+    obs::Counter *poolPinFailed;
     obs::Counter *streamForked;
     obs::Counter *streamSeals;
     obs::Counter *streamBackpressure;

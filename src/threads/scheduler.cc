@@ -1,5 +1,6 @@
 #include "scheduler.hh"
 
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 
@@ -29,6 +30,8 @@ schedInstruments()
             &r.counter("sched.threads.faulted"),
             &r.counter("sched.pool.steals"),
             &r.counter("sched.pool.parks"),
+            &r.counter("sched.pool.cross_steals"),
+            &r.counter("sched.pool.pin_failed"),
             &r.counter("sched.stream.forked"),
             &r.counter("sched.stream.seals"),
             &r.counter("sched.stream.backpressure"),
@@ -151,13 +154,60 @@ placementFor(const SchedulerConfig &config)
 }
 
 /**
+ * Resolve the topology config key into a tree (machine/topology.hh):
+ * null for "flat" (and for failed auto-discovery — the legacy
+ * single-domain behavior), a discovered tree for "auto", a synthetic
+ * one for a spec string. The LSCHED_TOPOLOGY environment variable
+ * overrides *only* "auto" — configs that pinned a spec (tests,
+ * benches) are immune to the CI matrix forcing a path.
+ */
+std::shared_ptr<const machine::CacheTopology>
+resolveTopology(const SchedulerConfig &config)
+{
+    std::string spec = config.topology.empty() ? "auto" : config.topology;
+    bool fromEnv = false;
+    if (spec == "auto") {
+        if (const char *env = std::getenv("LSCHED_TOPOLOGY");
+            env != nullptr && *env != '\0') {
+            spec = env;
+            fromEnv = true;
+        }
+    }
+    if (spec == "flat")
+        return nullptr;
+    if (spec != "auto") {
+        auto topo = std::make_shared<machine::CacheTopology>();
+        std::string error;
+        if (machine::CacheTopology::fromSpec(spec, topo.get(), &error))
+            return topo;
+        if (!fromEnv) {
+            throw ConfigError(
+                lsched::detail::concatMessage("topology: ", error));
+        }
+        // A broken environment override must not take schedulers down;
+        // warn and fall through to real discovery.
+        LSCHED_WARN("ignoring LSCHED_TOPOLOGY: ", error);
+    }
+    auto topo = std::make_shared<machine::CacheTopology>();
+    if (machine::CacheTopology::fromSysfs("/sys/devices/system/cpu",
+                                          topo.get()))
+        return topo;
+    return nullptr;
+}
+
+/**
  * Normalize defaults and reject unusable configurations. The zeros
  * that the paper's th_init documents as "pick the default" stay
  * defaults (blockBytes, hashBuckets); everything that would flow into
- * a div-by-zero or a degenerate block map is a ConfigError.
+ * a div-by-zero or a degenerate block map is a ConfigError. When
+ * @p topoOut is non-null it receives the resolved cache topology,
+ * which also fills in what the knobs left at 0: cacheBytes from the
+ * discovered L2 size, superBinFan (hierarchical placements, multi-L2
+ * trees) from the groups-per-cluster ratio.
  */
 SchedulerConfig
-validated(SchedulerConfig config)
+validated(SchedulerConfig config,
+          std::shared_ptr<const machine::CacheTopology> *topoOut = nullptr)
 {
     // Process-wide --placement/--backend/--sched overrides beat
     // per-scheduler settings, mirroring how --trace turns tracing on
@@ -181,10 +231,33 @@ validated(SchedulerConfig config)
         throw ConfigError(lsched::detail::concatMessage(
             "dims must be in [1, ", kMaxDims, "], got ", config.dims));
     }
+    const std::shared_ptr<const machine::CacheTopology> topo =
+        resolveTopology(config);
+    if (config.cacheBytes == 0 && topo && topo->l2Bytes() > 0) {
+        // The knob said "whatever the hardware has": size blocks to
+        // the discovered per-core L2, the cache bins actually live in.
+        config.cacheBytes = topo->l2Bytes();
+    }
     if (config.cacheBytes == 0)
         throw ConfigError("cacheBytes must be non-zero");
     if (config.groupCapacity == 0)
         throw ConfigError("groupCapacity must be non-zero");
+    const bool hierarchicalish =
+        config.placement == PlacementKind::Hierarchical ||
+        (config.placement == PlacementKind::Adaptive &&
+         config.adaptBase == PlacementKind::Hierarchical);
+    if (config.superBinFan == 0 && hierarchicalish && topo &&
+        topo->l2Groups() > 1) {
+        // Super-bins spread over L3 clusters: one super-bin spans as
+        // many blocks per dimension as the cluster has L2 domains, so
+        // a cluster's worth of bins is one scheduling unit. The
+        // adaptive tuner starts from this value (makeAdaptivePlacement
+        // reads the materialized config) and stays bounded by
+        // cacheBytes, which the same tree sized to one L2 domain.
+        config.superBinFan = topo->groupsPerCluster();
+    }
+    if (topoOut)
+        *topoOut = topo;
     if (config.blockBytes == 0)
         config.blockBytes = config.cacheBytes / config.dims;
     if (config.blockBytes == 0) {
@@ -225,7 +298,7 @@ validated(SchedulerConfig config)
 } // namespace
 
 LocalityScheduler::LocalityScheduler(const SchedulerConfig &config)
-    : config_(validated(config)),
+    : config_(validated(config, &topo_)),
       placement_(placementFor(config_)),
       table_(config_.dims, config_.hashBuckets),
       pool_(config_.groupCapacity)
@@ -257,8 +330,12 @@ LocalityScheduler::configure(const SchedulerConfig &config)
     }
     // Validate before touching anything so a bad config leaves the
     // previous one fully intact.
-    const SchedulerConfig next = validated(config);
+    std::shared_ptr<const machine::CacheTopology> nextTopo;
+    const SchedulerConfig next = validated(config, &nextTopo);
     config_ = next;
+    topo_ = std::move(nextTopo);
+    lastTourDomains_ = 0;
+    lastTourDomainWorkers_ = 0;
     placement_ = placementFor(config_);
     placeHot_ = placement_->hotPolicy();
     table_ = BinTable(config_.dims, config_.hashBuckets);
@@ -559,8 +636,9 @@ LocalityScheduler::streamBegin(unsigned workers)
                       : std::max(1u,
                                  std::thread::hardware_concurrency());
         if (!workerPool_) {
-            workerPool_ =
-                std::make_unique<WorkerPool>(config_.pinWorkers);
+            workerPool_ = std::make_unique<WorkerPool>(
+                config_.pinWorkers,
+                topo_ ? topo_->pinPlan() : std::vector<unsigned>{});
         }
         pool = workerPool_.get();
     }
@@ -752,6 +830,22 @@ LocalityScheduler::stats() const
     s.stream = streamStats();
     s.recover = recoverySnapshot();
     s.adapt = placement_->adaptSnapshot();
+    s.topology.active = topo_ != nullptr;
+    if (topo_) {
+        s.topology.source = static_cast<std::uint8_t>(topo_->source());
+        s.topology.packages = topo_->packages();
+        s.topology.l3Clusters = topo_->l3Clusters();
+        s.topology.l2Groups = topo_->l2Groups();
+        s.topology.cpus = topo_->cpus();
+        s.topology.smtPerCore = topo_->smtPerCore();
+        s.topology.l2Bytes = topo_->l2Bytes();
+        s.topology.l3Bytes = topo_->l3Bytes();
+        s.topology.derivedFan =
+            topo_->l2Groups() > 1 ? topo_->groupsPerCluster() : 0;
+        s.topology.summary = topo_->summary();
+    }
+    s.topology.domains = lastTourDomains_;
+    s.topology.domainWorkers = lastTourDomainWorkers_;
 
     // The registry is the export path for these numbers: every
     // snapshot refreshes the scheduler gauges so a --metrics dump (or
@@ -782,6 +876,15 @@ LocalityScheduler::stats() const
             r.gauge("sched.adapt.regime")
                 .set(static_cast<std::uint64_t>(s.adapt.regime));
             r.gauge("sched.adapt.retunes").set(s.adapt.retunes);
+        }
+        r.gauge("sched.pool.pin_failed").set(s.pool.pinFailed);
+        if (s.topology.active) {
+            r.gauge("sched.topology.l2_groups").set(s.topology.l2Groups);
+            r.gauge("sched.topology.domains").set(s.topology.domains);
+            r.gauge("sched.topology.domain_workers")
+                .set(s.topology.domainWorkers);
+            r.gauge("sched.topology.cross_steals")
+                .set(s.pool.crossSteals);
         }
     }
     return s;

@@ -33,8 +33,10 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "machine/topology.hh"
 #include "support/stats.hh"
 #include "threads/execution.hh"
 #include "threads/fault.hh"
@@ -87,8 +89,25 @@ struct SchedulerConfig
     /** RoundRobin placement: bins cycled over (0 = policy default). */
     std::uint64_t roundRobinBins = 0;
     /** Hierarchical placement: blocks per super-bin per dimension
-     *  (0 = policy default). */
+     *  (0 = derive from the topology when it has more than one L2
+     *  group, else the policy default). */
     std::uint64_t superBinFan = 0;
+    /**
+     * Cache-hierarchy discovery (machine/topology.hh):
+     *  - "auto" (the default) discovers the host tree from sysfs
+     *    (overridable per process with the LSCHED_TOPOLOGY environment
+     *    variable), falling back to flat when discovery fails;
+     *  - "flat" disables the topology entirely — the pre-topology
+     *    behavior, byte for byte;
+     *  - a "PxCxGxS[/l2=N][/l3=N]" spec forces a synthetic tree
+     *    (deterministic benches/tests; ConfigError when malformed).
+     * A resolved multi-L2 tree derives what the knobs leave at 0:
+     * cacheBytes == 0 takes the discovered L2 size, superBinFan == 0
+     * the L2-groups-per-L3-cluster ratio (hierarchical placements),
+     * and pinWorkers upgrades to the tree's domain-major pin plan with
+     * super-bins routed to the workers sharing their cache domain.
+     */
+    std::string topology = "auto";
     /** Bin traversal order. */
     TourPolicy tour = TourPolicy::CreationOrder;
     /** What to do with an exception escaping a user thread. */
@@ -228,6 +247,33 @@ struct SchedulerConfig
     }
 };
 
+/** The cache topology in force (SchedulerStats::topology). */
+struct TopologySnapshot
+{
+    /** True when a non-flat topology resolved (config topology !=
+     *  "flat" and discovery/spec produced a tree). */
+    bool active = false;
+    /** machine::TopologySource numeric (flat=0, sysfs=1, spec=2). */
+    std::uint8_t source = 0;
+    unsigned packages = 0;
+    unsigned l3Clusters = 0;
+    unsigned l2Groups = 0;
+    unsigned cpus = 0;
+    unsigned smtPerCore = 0;
+    std::uint64_t l2Bytes = 0;
+    std::uint64_t l3Bytes = 0;
+    /** Fan the tree derives (groups per cluster); 0 when the tree is
+     *  single-domain. The config's superBinFan still overrides. */
+    std::uint64_t derivedFan = 0;
+    /** Cache domains the most recent parallel tour partitioned over
+     *  (0: no topology-aware tour yet). */
+    std::uint32_t domains = 0;
+    /** Workers per domain in that tour (ceiling when uneven). */
+    std::uint32_t domainWorkers = 0;
+    /** One-line human summary (harness TopologySummary row). */
+    std::string summary;
+};
+
 /** Occupancy and shape statistics for reporting. */
 struct SchedulerStats
 {
@@ -255,6 +301,8 @@ struct SchedulerStats
     RecoverySnapshot recover;
     /** Adaptive-placement tuner state (all-zero unless adaptive). */
     AdaptSnapshot adapt;
+    /** Cache topology in force and last tour's domain shape. */
+    TopologySnapshot topology;
 };
 
 /** The locality-scheduling thread package. */
@@ -456,6 +504,16 @@ class LocalityScheduler
     /** Current overload-governor state (Healthy when disabled). */
     RecoveryState recoveryState() const { return governor_.state(); }
 
+    /**
+     * The resolved cache topology, or null when the config forced
+     * "flat" (or auto-discovery found nothing and fell back). Shared:
+     * callers may hold it past a reconfigure.
+     */
+    std::shared_ptr<const machine::CacheTopology> topologyTree() const
+    {
+        return topo_;
+    }
+
     /** Lifetime recovery counters (also embedded in stats()). */
     RecoverySnapshot
     recoverySnapshot() const
@@ -479,6 +537,13 @@ class LocalityScheduler
      */
     void abandonRun(Bin *inFlight) noexcept;
 
+    /**
+     * Resolved cache topology; null when flat. Declared before
+     * config_: the constructor resolves it as an out-parameter of the
+     * same validated() call that initializes config_, so it must be
+     * constructed first.
+     */
+    std::shared_ptr<const machine::CacheTopology> topo_;
     SchedulerConfig config_;
     /** The placement layer: hint vector → bin decision. */
     std::unique_ptr<PlacementPolicy> placement_;
@@ -514,6 +579,11 @@ class LocalityScheduler
     /** Accumulated counters of finished streams. */
     StreamStats lifetimeStream_;
     std::vector<StreamBinReport> lastStreamBins_;
+
+    /** Domain shape of the most recent topology-aware parallel tour
+     *  (0 until one runs); surfaced via stats().topology. */
+    std::uint32_t lastTourDomains_ = 0;
+    std::uint32_t lastTourDomainWorkers_ = 0;
 
     /** Lifetime recovery counters (deadlines, cancels, sheds). */
     detail::RecoveryStats recovery_;

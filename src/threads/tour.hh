@@ -55,7 +55,7 @@ std::uint64_t tourLength(const std::vector<Bin *> &bins, unsigned dims);
 
 /**
  * Regroup an ordered tour so every super-bin's bins are contiguous
- * (HierarchicalPlacement): stable sort by super-bin id, so the tour
+ * (TopologyPlacement): stable sort by super-bin id, so the tour
  * order within each super-bin — and among bins without one, which
  * sort last — is preserved. The parallel partitioner can then hand
  * whole super-bins to one worker (PoolJob::honorSuperBins).

@@ -24,24 +24,26 @@ namespace lsched::threads
 namespace
 {
 
-/** Pin the calling thread to one CPU (best effort, Linux only). */
-void
+/** Pin the calling thread to one CPU; false when the affinity
+ *  syscall failed (or the platform has none). */
+bool
 pinToCpu(unsigned cpu)
 {
 #ifdef __linux__
     cpu_set_t set;
     CPU_ZERO(&set);
     CPU_SET(cpu, &set);
-    pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
 #else
     (void)cpu;
+    return false;
 #endif
 }
 
 } // namespace
 
-WorkerPool::WorkerPool(bool pinWorkers)
-    : pin_(pinWorkers)
+WorkerPool::WorkerPool(bool pinWorkers, std::vector<unsigned> pinPlan)
+    : pin_(pinWorkers), pinPlan_(std::move(pinPlan))
 {
 }
 
@@ -64,6 +66,8 @@ WorkerPool::stats() const
     s.tours = tours_.load(std::memory_order_relaxed);
     s.steals = steals_.load(std::memory_order_relaxed);
     s.parks = parks_.load(std::memory_order_relaxed);
+    s.crossSteals = crossSteals_.load(std::memory_order_relaxed);
+    s.pinFailed = pinFailed_.load(std::memory_order_relaxed);
     return s;
 }
 
@@ -105,30 +109,32 @@ WorkerPool::ensureWorkers(unsigned workers)
  * not the common case.
  */
 void
-WorkerPool::partition(const detail::PoolJob &job)
+WorkerPool::splitSegment(const detail::PoolJob &job, std::size_t first,
+                         std::size_t last, const unsigned *workers,
+                         unsigned count)
 {
     std::uint64_t total = 0;
-    for (std::size_t i = 0; i < job.bins; ++i)
+    for (std::size_t i = first; i < last; ++i)
         total += job.tour[i]->threadCount;
 
-    std::size_t start = 0;
+    std::size_t start = first;
     std::uint64_t seen = 0;
-    for (unsigned w = 0; w < job.workers; ++w) {
+    for (unsigned k = 0; k < count; ++k) {
         std::size_t end;
-        if (w + 1 == job.workers) {
-            end = job.bins;
+        if (k + 1 == count) {
+            end = last;
         } else {
-            const std::uint64_t want = total * (w + 1) / job.workers;
+            const std::uint64_t want = total * (k + 1) / count;
             end = start;
-            while (end < job.bins && seen < want) {
+            while (end < last && seen < want) {
                 seen += job.tour[end]->threadCount;
                 ++end;
             }
             if (job.honorSuperBins) {
                 // Snap the boundary forward so a super-bin — bins a
-                // hierarchical placement pinned together — never
-                // splits across two workers' segments.
-                while (end > start && end < job.bins &&
+                // topology placement pinned together — never splits
+                // across two workers' segments.
+                while (end > start && end < last &&
                        job.tour[end]->superBin != kNoSuperBin &&
                        job.tour[end]->superBin ==
                            job.tour[end - 1]->superBin) {
@@ -137,9 +143,64 @@ WorkerPool::partition(const detail::PoolJob &job)
                 }
             }
         }
-        slots_[w]->deque.reset(job.tour + start,
-                               static_cast<std::uint32_t>(end - start));
+        slots_[workers[k]]->deque.reset(
+            job.tour + start, static_cast<std::uint32_t>(end - start));
         start = end;
+    }
+}
+
+void
+WorkerPool::partition(const detail::PoolJob &job)
+{
+    const bool domainAware = job.binDomain != nullptr &&
+                             job.workerDomain != nullptr &&
+                             job.domains > 0;
+    if (!domainAware) {
+        std::vector<unsigned> everyone(job.workers);
+        for (unsigned w = 0; w < job.workers; ++w)
+            everyone[w] = w;
+        splitSegment(job, 0, job.bins, everyone.data(), job.workers);
+        return;
+    }
+
+    // Domain-aware: the caller sorted the tour so each domain's bins
+    // are one contiguous run; split each run only among the workers
+    // pinned into that domain. Validate the shape first (one run per
+    // domain, every populated domain has a worker) and fall back to
+    // the flat split when it doesn't hold — mispartitioning would
+    // strand bins, and correctness beats affinity.
+    std::vector<std::vector<unsigned>> byDomain(job.domains);
+    for (unsigned w = 0; w < job.workers; ++w)
+        byDomain[job.workerDomain[w] % job.domains].push_back(w);
+    std::vector<std::size_t> runStart(job.domains, job.bins);
+    std::vector<std::size_t> runEnd(job.domains, job.bins);
+    bool valid = true;
+    for (std::size_t i = 0; i < job.bins && valid; ++i) {
+        const std::uint32_t d = job.binDomain[i] % job.domains;
+        if (runStart[d] == job.bins) {
+            runStart[d] = i;
+            runEnd[d] = i + 1;
+            valid = !byDomain[d].empty();
+        } else if (runEnd[d] == i) {
+            runEnd[d] = i + 1;
+        } else {
+            valid = false; // second run of the same domain
+        }
+    }
+    if (!valid) {
+        std::vector<unsigned> everyone(job.workers);
+        for (unsigned w = 0; w < job.workers; ++w)
+            everyone[w] = w;
+        splitSegment(job, 0, job.bins, everyone.data(), job.workers);
+        return;
+    }
+    for (unsigned w = 0; w < job.workers; ++w)
+        slots_[w]->deque.reset(nullptr, 0);
+    for (std::uint32_t d = 0; d < job.domains; ++d) {
+        if (runStart[d] == job.bins)
+            continue; // domain got no bins this tour
+        splitSegment(job, runStart[d], runEnd[d], byDomain[d].data(),
+                     static_cast<unsigned>(byDomain[d].size()));
     }
 }
 
@@ -231,9 +292,28 @@ WorkerPool::helperMain(unsigned helperIndex, std::uint64_t startEpoch)
 {
     const unsigned id = helperIndex + 1;
     if (pin_) {
-        const unsigned cpus =
-            std::max(1u, std::thread::hardware_concurrency());
-        pinToCpu(id % cpus);
+        unsigned cpu;
+        if (!pinPlan_.empty()) {
+            cpu = pinPlan_[id % pinPlan_.size()];
+        } else {
+            const unsigned cpus =
+                std::max(1u, std::thread::hardware_concurrency());
+            cpu = id % cpus;
+        }
+        if (!pinToCpu(cpu)) {
+            // Recoverable: the worker runs unpinned; cluster-aware
+            // partitioning degrades to plain stealing. Count every
+            // failure, diagnose once per process.
+            pinFailed_.fetch_add(1, std::memory_order_relaxed);
+            if (obs::metricsOn())
+                detail::schedInstruments().poolPinFailed->add();
+            static std::atomic<bool> warned{false};
+            if (!warned.exchange(true, std::memory_order_relaxed)) {
+                LSCHED_WARN("pinning worker ", id, " to cpu ", cpu,
+                            " failed; workers run unpinned "
+                            "(sched.pool.pin_failed counts these)");
+            }
+        }
     }
 
     std::uint64_t seen = startEpoch;
@@ -292,6 +372,22 @@ Bin *
 WorkerPool::trySteal(unsigned id, const detail::PoolJob &job,
                      unsigned *victim)
 {
+    // Same-cache-domain victims first (topology-aware tours): a steal
+    // within the thief's L2 domain keeps the bin's working set in a
+    // cache the thief already shares. Only when the whole domain is
+    // dry does the thief go cross-domain.
+    if (job.workerDomain != nullptr && job.domains > 0) {
+        const std::uint32_t mine = job.workerDomain[id];
+        for (unsigned i = 1; i < job.workers; ++i) {
+            const unsigned v = (id + i) % job.workers;
+            if (job.workerDomain[v] != mine)
+                continue;
+            if (Bin *bin = slots_[v]->deque.steal()) {
+                *victim = v;
+                return bin;
+            }
+        }
+    }
     // One full pass over the other workers. Segments are never
     // refilled mid-tour, so observing every deque empty means the
     // remaining bins are already being executed — this worker is done.
@@ -340,6 +436,12 @@ WorkerPool::workerLoop(unsigned id, detail::PoolJob &job)
                                victim, id);
             if (obs::metricsOn())
                 detail::schedInstruments().poolSteals->add();
+            if (job.workerDomain != nullptr && job.domains > 0 &&
+                job.workerDomain[victim] != job.workerDomain[id]) {
+                crossSteals_.fetch_add(1, std::memory_order_relaxed);
+                if (obs::metricsOn())
+                    detail::schedInstruments().poolCrossSteals->add();
+            }
         }
         LSCHED_TRACE_EVENT(obs::EventType::WorkerClaimBin, bin->id,
                            victim, id);

@@ -58,6 +58,12 @@ struct WorkerPoolStats
     std::uint64_t steals = 0;
     /** Times a worker parked waiting for the next tour. */
     std::uint64_t parks = 0;
+    /** Steals whose victim was pinned into another cache domain
+     *  (subset of steals; topology-aware tours only). */
+    std::uint64_t crossSteals = 0;
+    /** CPU-affinity syscalls that failed; workers fell back to
+     *  unpinned execution. */
+    std::uint64_t pinFailed = 0;
 
     WorkerPoolStats &
     operator+=(const WorkerPoolStats &o)
@@ -66,6 +72,8 @@ struct WorkerPoolStats
         tours += o.tours;
         steals += o.steals;
         parks += o.parks;
+        crossSteals += o.crossSteals;
+        pinFailed += o.pinFailed;
         return *this;
     }
 };
@@ -196,6 +204,18 @@ struct PoolJob
      *  each segment boundary forward to the next super-bin edge. The
      *  tour must already be grouped (groupBySuperBins). */
     bool honorSuperBins = false;
+    /**
+     * Cache-domain affinity (topology-aware tours; null/0 otherwise).
+     * binDomain[i] is the L2 domain of tour[i] — each domain's bins
+     * must form one contiguous run of the tour — and workerDomain[w]
+     * the domain worker w is pinned into. The partitioner then splits
+     * each domain's run only among that domain's workers, and
+     * trySteal prefers same-domain victims; steals that do cross
+     * count into WorkerPoolStats::crossSteals.
+     */
+    const std::uint32_t *binDomain = nullptr;
+    const std::uint32_t *workerDomain = nullptr;
+    std::uint32_t domains = 0;
     /** Total user threads executed (all workers). */
     std::atomic<std::uint64_t> executed{0};
 };
@@ -237,8 +257,14 @@ struct StreamJob
 class WorkerPool
 {
   public:
-    /** @param pinWorkers pin helper threads round-robin over CPUs. */
-    explicit WorkerPool(bool pinWorkers);
+    /**
+     * @param pinWorkers pin helper threads over CPUs.
+     * @param pinPlan domain-major CPU order from CacheTopology::
+     *     pinPlan(); helper id pins to pinPlan[id % size]. Empty =
+     *     the legacy id % cpus round-robin.
+     */
+    explicit WorkerPool(bool pinWorkers,
+                        std::vector<unsigned> pinPlan = {});
 
     /** Parks, wakes, and joins every helper. */
     ~WorkerPool();
@@ -286,12 +312,17 @@ class WorkerPool
 
     void ensureWorkers(unsigned workers);
     void partition(const detail::PoolJob &job);
+    void splitSegment(const detail::PoolJob &job, std::size_t first,
+                      std::size_t last, const unsigned *workers,
+                      unsigned count);
     void helperMain(unsigned helperIndex, std::uint64_t startEpoch);
     void workerLoop(unsigned id, detail::PoolJob &job);
     Bin *trySteal(unsigned id, const detail::PoolJob &job,
                   unsigned *victim);
 
     const bool pin_;
+    /** Domain-major CPU order (may be empty; see the constructor). */
+    const std::vector<unsigned> pinPlan_;
 
     /** Index == worker id; unique_ptr keeps slot addresses stable. */
     std::vector<std::unique_ptr<WorkerSlot>> slots_;
@@ -326,6 +357,8 @@ class WorkerPool
     std::atomic<std::uint64_t> parks_{0};
     std::atomic<std::uint64_t> spawned_{0};
     std::atomic<std::uint64_t> tours_{0};
+    std::atomic<std::uint64_t> crossSteals_{0};
+    std::atomic<std::uint64_t> pinFailed_{0};
 };
 
 } // namespace lsched::threads

@@ -179,6 +179,20 @@ TEST(Chaos, SeededFaultScheduleKeepsTheInvariants)
             c.adaptEpochs = 1 + rng.nextBelow(2);
             c.adaptHold = rng.nextBelow(3);
         }
+        if (rng.nextBelow(2)) {
+            // Topology-forced rounds: a random synthetic cache tree
+            // drives domain-partitioned tours (and cluster-aware
+            // pinning, which mostly fails on small CI hosts — the
+            // graceful-fallback path) while the same faults fire.
+            c.topology =
+                "1x" + std::to_string(1 + rng.nextBelow(2)) + "x" +
+                std::to_string(1 + rng.nextBelow(3)) + "x" +
+                std::to_string(1 + rng.nextBelow(2)) +
+                "/l2=" + std::to_string(1u << (14 + rng.nextBelow(3)));
+            c.pinWorkers = rng.nextBelow(2) == 1;
+        } else {
+            c.topology = "flat";
+        }
         s.configure(c);
 
         const std::string spec = randomSpec(
@@ -196,7 +210,8 @@ TEST(Chaos, SeededFaultScheduleKeepsTheInvariants)
                      std::string(streaming ? "stream" : "batch") +
                      " backend=" + backendName(c.backend) +
                      " spec=" + (spec.empty() ? "none" : spec) +
-                     " deadline=" + std::to_string(c.deadlineMillis));
+                     " deadline=" + std::to_string(c.deadlineMillis) +
+                     " topo=" + c.topology);
 
         const std::uint64_t forks = 40 + rng.nextBelow(161);
         Ledger ledger(forks);

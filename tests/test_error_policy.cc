@@ -104,6 +104,9 @@ TEST(ConfigValidation, ZeroCacheBytesIsRejected)
     SchedulerConfig c = smallConfig();
     c.cacheBytes = 0;
     c.blockBytes = 0;
+    // Forced flat: with topology=auto a discovered L2 size would fill
+    // cacheBytes in and the rejection under test would never fire.
+    c.topology = "flat";
     EXPECT_THROW(LocalityScheduler{c}, lsched::ConfigError);
 }
 

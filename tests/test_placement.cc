@@ -132,7 +132,7 @@ TEST(SchedulerPlacement, CoordsForCreatesNoHierarchicalState)
     const Hint hints[] = {0x1000};
 
     // Peeking must not allocate super-bins as a side effect.
-    const auto &h = static_cast<const HierarchicalPlacement &>(
+    const auto &h = static_cast<const TopologyPlacement &>(
         s.placementPolicy());
     (void)s.coordsFor(hints);
     EXPECT_EQ(h.superBinCount(), 0u);
@@ -141,11 +141,11 @@ TEST(SchedulerPlacement, CoordsForCreatesNoHierarchicalState)
     EXPECT_EQ(s.run(), 1u);
 }
 
-TEST(HierarchicalPlacement, GroupsAdjacentBlocksIntoSuperBins)
+TEST(TopologyPlacement, GroupsAdjacentBlocksIntoSuperBins)
 {
     // 1-dim, 4 KB blocks, fan 2: blocks {0,1} share super-bin 0,
     // blocks {2,3} super-bin 1, ids in creation order.
-    HierarchicalPlacement h(1, 1 << 12, false, /*fan=*/2);
+    TopologyPlacement h(1, 1 << 12, false, /*fan=*/2);
     const auto superOf = [&](Hint hint) {
         const Hint hints[] = {hint};
         return h.place(hints).superBin;
@@ -159,7 +159,7 @@ TEST(HierarchicalPlacement, GroupsAdjacentBlocksIntoSuperBins)
     EXPECT_TRUE(h.hierarchical());
 }
 
-TEST(HierarchicalPlacement, GroupBySuperBinsKeepsGroupsContiguous)
+TEST(TopologyPlacement, GroupBySuperBinsKeepsGroupsContiguous)
 {
     // An interleaved tour regroups by super-bin, stably within one.
     std::deque<Bin> storage(6);
@@ -220,7 +220,7 @@ TEST(SchedulerPlacement, HierarchicalRunsEveryThreadOnceInParallel)
     EXPECT_EQ(s.runParallel(4), 32u);
     for (std::size_t i = 0; i < hits.size(); ++i)
         EXPECT_EQ(hits[i].load(), 1) << "thread " << i;
-    const auto &policy = dynamic_cast<const HierarchicalPlacement &>(
+    const auto &policy = dynamic_cast<const TopologyPlacement &>(
         s.placementPolicy());
     EXPECT_EQ(policy.superBinCount(), 4u); // 8 blocks / fan 2
 }
