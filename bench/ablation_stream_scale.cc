@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Admission-scaling ablation for the lock-free streaming intake: the
+ * same total fork count pushed through a streaming session by 1, 2, 4,
+ * ... concurrent producers, with deliberately tiny thread bodies so
+ * wall time is dominated by the admission path itself (bin lookup /
+ * CAS insert, group claim, ticket gate) rather than by user work.
+ *
+ * Under the old lock-striped intake every producer serialized on its
+ * shard mutex, so producer scaling flattened immediately; the
+ * lock-free path's exit proof is the producer sweep staying near
+ * linear (efficiency >= 0.7x at 4 producers) — on hosts with enough
+ * cores to run the producers concurrently at all. On fewer cores the
+ * sweep documents the host ceiling instead: producers time-slice one
+ * another and efficiency degrades as 1/p by construction, which the
+ * report calls out rather than hiding.
+ *
+ * The recorded single-producer baseline from the lock-striped
+ * implementation (BENCH_streaming.json / EXPERIMENTS.md: streaming
+ * 1.15-1.24x faster than the barrier, midpoint 1.21x) is carried in
+ * the report so the two implementations stay comparable across the
+ * redesign.
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "harness/report.hh"
+#include "support/cli.hh"
+#include "support/panic.hh"
+#include "support/table.hh"
+#include "support/timer.hh"
+#include "threads/scheduler.hh"
+
+namespace
+{
+
+/** Recorded lock-striped baseline (see the file comment). */
+constexpr double kLockStripedSingleProducerSpeedup = 1.21;
+
+void
+bumpCounter(void *counter, void *)
+{
+    static_cast<std::atomic<std::uint64_t> *>(counter)->fetch_add(
+        1, std::memory_order_relaxed);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lsched;
+
+    Cli cli("ablation_stream_scale",
+            "streaming admission throughput vs concurrent producer "
+            "count (lock-free intake scaling)");
+    cli.addInt("threads", 1 << 16, "total threads per sweep point");
+    cli.addInt("bins", 512, "distinct bins the hints spread over");
+    cli.addInt("max-producers", 4,
+               "sweep producers 1,2,4,... up to this");
+    cli.addInt("workers", 1, "drain workers");
+    cli.addInt("seal", 16, "stream_seal_threshold");
+    cli.addInt("max-pending", 0, "stream backlog bound (0 = off)");
+    cli.addInt("repeats", 3, "take the best of this many runs");
+    cli.addString("json", "", "also write the table as JSON here");
+    cli.parse(argc, argv);
+
+    const auto threads =
+        static_cast<std::uint64_t>(cli.getInt("threads"));
+    const auto bins = static_cast<std::uint64_t>(cli.getInt("bins"));
+    const auto maxProducers =
+        static_cast<unsigned>(cli.getInt("max-producers"));
+    if (maxProducers == 0)
+        LSCHED_FATAL("--max-producers must be at least 1");
+    const auto workers = static_cast<unsigned>(cli.getInt("workers"));
+    const int repeats = static_cast<int>(cli.getInt("repeats"));
+
+    threads::SchedulerConfig cfg;
+    cfg.dims = 1;
+    cfg.blockBytes = 1 << 16;
+    cfg.streamSealThreshold =
+        static_cast<std::uint64_t>(cli.getInt("seal"));
+    cfg.streamMaxPending =
+        static_cast<std::uint64_t>(cli.getInt("max-pending"));
+
+    const unsigned hostCpus = std::thread::hardware_concurrency();
+    std::printf("== Ablation: streaming admission scaling ==\n");
+    std::printf("%llu threads over %llu bins per point, %u drain "
+                "worker(s), seal=%llu, max_pending=%llu, best of %d; "
+                "host has %u CPU(s)\n\n",
+                static_cast<unsigned long long>(threads),
+                static_cast<unsigned long long>(bins), workers,
+                static_cast<unsigned long long>(
+                    cfg.streamSealThreshold),
+                static_cast<unsigned long long>(cfg.streamMaxPending),
+                repeats, hostCpus);
+
+    // One sweep point: --threads total forks split over p producers,
+    // each hinted into one of --bins blocks, bodies a single relaxed
+    // increment. Returns best-of wall seconds; conservation checked
+    // on every run.
+    std::atomic<std::uint64_t> ran{0};
+    bool conserved = true;
+    const auto sweepPoint = [&](unsigned producers) {
+        double best = 0.0;
+        for (int r = 0; r < repeats; ++r) {
+            threads::LocalityScheduler s(cfg);
+            ran.store(0, std::memory_order_relaxed);
+            const std::uint64_t chunk =
+                (threads + producers - 1) / producers;
+            WallTimer timer;
+            const std::uint64_t executed = s.runStream(
+                workers, producers, [&](unsigned p) {
+                    const std::uint64_t begin = p * chunk;
+                    const std::uint64_t end =
+                        begin + chunk < threads ? begin + chunk
+                                                : threads;
+                    for (std::uint64_t i = begin; i < end; ++i) {
+                        s.fork(bumpCounter, &ran, nullptr,
+                               static_cast<threads::Hint>(
+                                   (i % bins) * cfg.blockBytes * 2),
+                               0);
+                    }
+                });
+            const double t = timer.seconds();
+            if (executed != threads ||
+                ran.load(std::memory_order_relaxed) != threads)
+                conserved = false;
+            if (r == 0 || t < best)
+                best = t;
+        }
+        return best;
+    };
+
+    std::vector<unsigned> sweep;
+    for (unsigned p = 1; p <= maxProducers; p *= 2)
+        sweep.push_back(p);
+
+    TextTable table("Ablation: admission scaling (wall seconds)",
+                    {"producers", "wall s", "forks/s", "speedup",
+                     "efficiency"});
+    harness::JsonReport report;
+    double t1 = 0.0;
+    double effAtFour = -1.0;
+    for (const unsigned p : sweep) {
+        const double t = sweepPoint(p);
+        if (p == 1)
+            t1 = t;
+        const double speedup = t1 / t;
+        const double efficiency = speedup / p;
+        if (p == 4)
+            effAtFour = efficiency;
+        table.addRow({std::to_string(p), TextTable::num(t, 6),
+                      TextTable::num(threads / t, 0),
+                      TextTable::num(speedup, 2) + "x",
+                      TextTable::num(efficiency, 2)});
+        report.addValue("scale.p" + std::to_string(p) + ".seconds", t);
+        report.addValue(
+            "scale.p" + std::to_string(p) + ".efficiency", efficiency);
+        std::printf("  %u producer(s) done\n", p);
+    }
+    std::printf("\n%s\n", table.toText().c_str());
+
+    // The producers need their own cores (plus one for the drain) for
+    // linear admission scaling to be physically possible.
+    const bool hostCanScale = hostCpus >= maxProducers + workers;
+    std::printf("shape checks:\n");
+    std::printf("  every run conserved its threads: %s\n",
+                conserved ? "yes" : "NO");
+    if (effAtFour >= 0 && hostCanScale) {
+        std::printf("  efficiency at 4 producers: %.2f (target "
+                    ">= 0.70)\n",
+                    effAtFour);
+    } else if (effAtFour >= 0) {
+        std::printf("  efficiency at 4 producers: %.2f — host "
+                    "core-count ceiling: %u CPU(s) for %u producers "
+                    "+ %u worker(s); producers time-slice, so "
+                    "efficiency degrades as 1/p regardless of the "
+                    "admission path\n",
+                    effAtFour, hostCpus, maxProducers, workers);
+    }
+    std::printf("  recorded lock-striped baseline (BENCH_streaming):"
+                " single-producer streaming vs barrier %.2fx\n",
+                kLockStripedSingleProducerSpeedup);
+
+    const std::string jsonPath = cli.getString("json");
+    if (!jsonPath.empty()) {
+        report.addTable(table);
+        report.addValue("host_cpus", hostCpus);
+        report.addValue("baseline.lock_striped.single_producer_speedup",
+                        kLockStripedSingleProducerSpeedup);
+        if (!report.writeTo(jsonPath)) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         jsonPath.c_str());
+            return 1;
+        }
+        std::printf("JSON written to %s\n", jsonPath.c_str());
+    }
+    return conserved ? 0 : 1;
+}

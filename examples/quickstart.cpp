@@ -85,14 +85,17 @@ main(int argc, char **argv)
     // Run all threads, bins in creation order.
     th_run(0);
 
-    // Show how the scheduler clustered the work, via the plain-C
-    // statistics interface.
-    const th_stats_t stats = th_stats();
+    // Show how the scheduler clustered the work, via the named
+    // metric surface (th_stats() still works, but its struct is
+    // frozen — new telemetry only appears here).
+    unsigned long long executed = 0, bins = 0;
+    th_metric_get("sched.executed_threads", &executed);
+    th_metric_get("sched.bins", &bins);
     std::printf("quickstart: C = A * B with %zu x %zu fine-grained "
                 "threads\n",
                 n, n);
-    std::printf("  threads executed : %llu\n", stats.executed_threads);
-    std::printf("  bins used        : %llu\n", stats.bins);
+    std::printf("  threads executed : %llu\n", executed);
+    std::printf("  bins used        : %llu\n", bins);
     std::printf("  spot check       : C[0,0] = %.6f\n", c(0, 0));
 
     // Verify against a plain triple loop.

@@ -6,6 +6,8 @@
 #                 once with LSCHED_TOPOLOGY=flat forcing legacy flat
 #                 placement)
 #   tsan          fault + obs + pool suites under ThreadSanitizer
+#   asan          stream + chaos suites under ASan/UBSan (the
+#                 lock-free admission path's reclamation story)
 #   notrace       full suite with tracing compiled out
 #   nofailpoints  full suite with fail points compiled out
 #
@@ -67,6 +69,13 @@ check default default
 run env LSCHED_TOPOLOGY=flat ctest --preset default
 
 check tsan tsan-fault
+
+# The streaming suites again under ASan/UBSan: TSan proves the
+# admission path race-free, this leg proves the epoch reclamation
+# (retired tables, recycled groups, spare bins) never frees early
+# and the lock-free pointer arithmetic stays defined.
+check asan asan-stream
+
 check notrace notrace
 check_notrace_profiler_free
 check nofailpoints nofailpoints

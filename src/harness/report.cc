@@ -93,6 +93,18 @@ JsonReport::addTable(const TextTable &table)
 }
 
 void
+JsonReport::addValue(const std::string &name, double value)
+{
+    for (auto &[existing, v] : values_) {
+        if (existing == name) {
+            v = value;
+            return;
+        }
+    }
+    values_.emplace_back(name, value);
+}
+
+void
 JsonReport::includeMetrics()
 {
     metrics_ = obs::Registry::global().toJson();
@@ -106,6 +118,14 @@ JsonReport::str() const
     for (std::size_t i = 0; i < tables_.size(); ++i)
         os << (i ? "," : "") << tables_[i];
     os << "]";
+    if (!values_.empty()) {
+        os << ",\"values\":{";
+        for (std::size_t i = 0; i < values_.size(); ++i) {
+            os << (i ? "," : "") << '"' << values_[i].first
+               << "\":" << values_[i].second;
+        }
+        os << "}";
+    }
     if (!metrics_.empty())
         os << ",\"metrics\":" << metrics_;
     os << "}\n";

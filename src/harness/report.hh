@@ -60,15 +60,24 @@ std::string topologySummaryLine(const machine::CacheTopology *topo);
 
 /**
  * Machine-readable companion to the text tables: collects the same
- * TextTable objects (via their JSON form) plus, optionally, the global
- * metrics registry, and renders one JSON document
- * `{"tables":[...],"metrics":{...}}`.
+ * TextTable objects (via their JSON form), optional named scalar
+ * values (sweep results, recorded baselines), plus, optionally, the
+ * global metrics registry, and renders one JSON document
+ * `{"tables":[...],"values":{...},"metrics":{...}}`.
  */
 class JsonReport
 {
   public:
     /** Append a table (same object handed to the text renderer). */
     void addTable(const TextTable &table);
+
+    /**
+     * Record one named scalar under the document's "values" object —
+     * the machine-readable channel for sweep points and recorded
+     * baselines that have no natural table cell. Repeated names keep
+     * the last value.
+     */
+    void addValue(const std::string &name, double value);
 
     /** Include a snapshot of the global metrics registry. */
     void includeMetrics();
@@ -81,6 +90,7 @@ class JsonReport
 
   private:
     std::vector<std::string> tables_;
+    std::vector<std::pair<std::string, double>> values_;
     std::string metrics_;
 };
 

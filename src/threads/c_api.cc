@@ -2,13 +2,17 @@
 
 #include <cmath>
 #include <cstring>
+#include <map>
 #include <mutex>
 #include <new>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/chrome_trace.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
+#include "obs/registry.hh"
 #include "obs/snapshot.hh"
 #include "obs/trace.hh"
 #include "support/error.hh"
@@ -69,6 +73,109 @@ guarded(Fn &&fn)
         recordError("unknown error");
     }
     return false;
+}
+
+/**
+ * Copy @p value into the caller's buffer with the th_config_get
+ * protocol: truncate to len-1, always NUL-terminate when len > 0,
+ * return the full (untruncated) length.
+ */
+int
+copyOut(const std::string &value, char *buf, std::size_t len)
+{
+    if (len > 0) {
+        const std::size_t n =
+            value.size() < len - 1 ? value.size() : len - 1;
+        std::memcpy(buf, value.data(), n);
+        buf[n] = '\0';
+    }
+    return static_cast<int>(value.size());
+}
+
+/**
+ * The merged name -> value table behind th_metric_*, sorted by name.
+ *
+ * Two sources, synthesized rows winning on a name collision so the
+ * stats snapshot and the metric surface can never disagree:
+ *
+ *  - every obs Registry instrument: counters and gauges under their
+ *    own names, histograms flattened to name.count / name.sum;
+ *  - every th_stats_t field, synthesized from the scheduler's live
+ *    SchedulerStats under its established registry name. These rows
+ *    exist even when metrics are disabled or compiled out, so the
+ *    named surface is never weaker than the frozen struct.
+ */
+std::vector<std::pair<std::string, unsigned long long>>
+metricTable()
+{
+    std::map<std::string, unsigned long long> table;
+    for (const lsched::obs::Registry::Row &row :
+         lsched::obs::Registry::global().rows()) {
+        if (row.kind == "histogram") {
+            table[row.name + ".count"] = row.value;
+            table[row.name + ".sum"] = row.sum;
+        } else {
+            table[row.name] = row.value;
+        }
+    }
+    const th_stats_t s = th_stats();
+    const auto put = [&table](const char *name,
+                              unsigned long long value) {
+        table[name] = value;
+    };
+    put("sched.pending_threads", s.pending_threads);
+    put("sched.executed_threads", s.executed_threads);
+    put("sched.bins", s.bins);
+    put("sched.bins.occupied", s.occupied_bins);
+    put("sched.hash.max_chain", s.max_hash_chain);
+    put("sched.tour.length", s.tour_length);
+    put("sched.pool.threads", s.pool_threads_spawned);
+    put("sched.pool.steals", s.pool_steals);
+    put("sched.pool.parks", s.pool_parks);
+    put("sched.placement",
+        static_cast<unsigned long long>(s.placement));
+    put("sched.backend", static_cast<unsigned long long>(s.backend));
+    put("sched.bin.threads.mean", static_cast<unsigned long long>(
+                                      std::llround(s.threads_per_bin_mean)));
+    put("sched.bin.threads.min", static_cast<unsigned long long>(
+                                     std::llround(s.threads_per_bin_min)));
+    put("sched.bin.threads.max", static_cast<unsigned long long>(
+                                     std::llround(s.threads_per_bin_max)));
+    put("sched.bin.threads.stddev",
+        static_cast<unsigned long long>(
+            std::llround(s.threads_per_bin_stddev)));
+    put("sched.faulted_threads", s.faulted_threads);
+    put("sched.last_fault_count", s.last_fault_count);
+    put("sched.stream.forked", s.stream_forked);
+    put("sched.stream.executed", s.stream_executed);
+    put("sched.stream.seals", s.stream_seals);
+    put("sched.stream.backpressure", s.stream_backpressure_waits);
+    put("sched.stream.inline_drains", s.stream_inline_drains);
+    put("sched.stream.backlog", s.stream_backlog);
+    put("sched.stream.peak_backlog", s.stream_peak_backlog);
+    put("sched.recover.deadlines", s.recover_deadlines);
+    put("sched.recover.watchdog_cancels", s.recover_watchdog_cancels);
+    put("sched.recover.cancelled_bins", s.recover_cancelled_bins);
+    put("sched.recover.cancelled_threads",
+        s.recover_cancelled_threads);
+    put("sched.recover.admission_retries",
+        s.recover_admission_retries);
+    put("sched.recover.admission_timeouts",
+        s.recover_admission_timeouts);
+    put("sched.recover.load_sheds", s.recover_load_sheds);
+    put("sched.recover.degraded_tours", s.recover_degraded_tours);
+    put("sched.recover.recoveries", s.recover_recoveries);
+    put("sched.recover.state",
+        static_cast<unsigned long long>(s.recover_state));
+    put("sched.adapt.retunes", s.adapt_retunes);
+    put("sched.adapt.observations", s.adapt_observations);
+    put("sched.adapt.block_bytes", s.adapt_block_bytes);
+    put("sched.adapt.super_bin_fan", s.adapt_super_bin_fan);
+    put("sched.adapt.regime",
+        static_cast<unsigned long long>(s.adapt_regime));
+    put("sched.pool.pin_failed", s.pool_pin_failed);
+    put("sched.pool.cross_steals", s.pool_cross_domain_steals);
+    return {table.begin(), table.end()};
 }
 
 } // namespace
@@ -278,6 +385,95 @@ th_config_get(const char *key, char *buf, std::size_t len)
         buf[n] = '\0';
     }
     return static_cast<int>(value.size());
+}
+
+int
+th_config_keys(void)
+{
+    return static_cast<int>(lsched::threads::configKeys().size());
+}
+
+int
+th_config_key(int index, char *buf, std::size_t len)
+{
+    if (!buf && len > 0) {
+        recordError("th_config_key: NULL buffer");
+        return -1;
+    }
+    const std::vector<std::string> &keys =
+        lsched::threads::configKeys();
+    if (index < 0 || index >= static_cast<int>(keys.size())) {
+        recordError("th_config_key: index " + std::to_string(index) +
+                    " out of range [0, " +
+                    std::to_string(keys.size()) + ")");
+        return -1;
+    }
+    return copyOut(keys[static_cast<std::size_t>(index)], buf, len);
+}
+
+int
+th_metric_count(void)
+{
+    int count = -1;
+    guarded([&] {
+        count = static_cast<int>(metricTable().size());
+    });
+    return count;
+}
+
+int
+th_metric_name(int index, char *buf, std::size_t len)
+{
+    if (!buf && len > 0) {
+        recordError("th_metric_name: NULL buffer");
+        return -1;
+    }
+    int size = -1;
+    if (!guarded([&] {
+            const auto table = metricTable();
+            if (index < 0 ||
+                index >= static_cast<int>(table.size())) {
+                throw lsched::ConfigError(
+                    "th_metric_name: index " + std::to_string(index) +
+                    " out of range [0, " +
+                    std::to_string(table.size()) + ")");
+            }
+            size = copyOut(table[static_cast<std::size_t>(index)].first,
+                           buf, len);
+        }))
+        return -1;
+    return size;
+}
+
+int
+th_metric_get(const char *name, unsigned long long *value)
+{
+    if (!name || !value) {
+        recordError("th_metric_get: NULL name or value");
+        return -1;
+    }
+    return guarded([&] {
+               const auto table = metricTable();
+               const std::string key(name);
+               // The table is sorted by name; binary search.
+               std::size_t lo = 0, hi = table.size();
+               while (lo < hi) {
+                   const std::size_t mid = lo + (hi - lo) / 2;
+                   if (table[mid].first < key)
+                       lo = mid + 1;
+                   else
+                       hi = mid;
+               }
+               if (lo == table.size() || table[lo].first != key) {
+                   throw lsched::ConfigError(
+                       std::string(
+                           "th_metric_get: unknown metric '") +
+                       name + "'");
+               }
+               *value = table[lo].second;
+           })
+               ? 0
+               : -1;
 }
 
 int
@@ -622,6 +818,29 @@ th_stats_(long long *values, const int *count)
     const int n = *count < have ? *count : have;
     for (int i = 0; i < n; ++i)
         values[i] = fields[i];
+}
+
+void
+th_metric_count_(int *count)
+{
+    if (count)
+        *count = th_metric_count();
+}
+
+void
+th_metric_value_(const int *index, long long *value)
+{
+    if (!value)
+        return;
+    *value = -1;
+    if (!index)
+        return;
+    guarded([&] {
+        const auto table = metricTable();
+        if (*index >= 0 && *index < static_cast<int>(table.size()))
+            *value = static_cast<long long>(
+                table[static_cast<std::size_t>(*index)].second);
+    });
 }
 
 void

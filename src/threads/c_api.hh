@@ -41,7 +41,15 @@
 
 #include "threads/scheduler.hh"
 
-/** Set block size and hash table size (0 = default). */
+/**
+ * Set block size and hash table size (0 = default).
+ *
+ * @deprecated Legacy shim, kept for source and ABI compatibility with
+ * the paper's interface. New code should call
+ * th_configure("block_bytes", ...) / th_configure("hash_buckets", ...)
+ * — the one surface that reaches every knob and reports errors
+ * through th_last_error(). See the README deprecation table.
+ */
 void th_init(std::size_t blocksize, std::size_t hashsize);
 
 /** Create and schedule a thread to call f(arg1, arg2). */
@@ -76,6 +84,12 @@ extern "C" {
  * about from the (larger) struct a newer library returns by value.
  * The Fortran mirror th_stats_() indexes the same fields in the same
  * order; extend both together.
+ *
+ * FROZEN (v1): after five releases of appended fields this struct is
+ * the legacy snapshot — it keeps working exactly as documented, but
+ * no further fields will be added. New and future counters are
+ * published through the named-metric surface instead:
+ * th_metric_count() / th_metric_name() / th_metric_get().
  */
 typedef struct th_stats_t
 {
@@ -222,11 +236,67 @@ int th_configure(const char *key, const char *value);
 int th_config_get(const char *key, char *buf, std::size_t len);
 
 /**
+ * Number of canonical configuration keys th_configure understands
+ * (the "profile.*" family included), so clients can discover the
+ * surface programmatically instead of hard-coding the key list.
+ * Enumerate them with th_config_key().
+ */
+int th_config_keys(void);
+
+/**
+ * Write the canonical name of configuration key @p index
+ * (0 <= index < th_config_keys(), documentation order) into @p buf,
+ * NUL-terminated and truncated to @p len bytes. Returns the full name
+ * length (excluding the NUL, à la snprintf), or -1 on an
+ * out-of-range index or NULL buf with len > 0. Legacy camelCase
+ * spellings are accepted as aliases by th_configure/th_config_get but
+ * are not enumerated here.
+ */
+int th_config_key(int index, char *buf, std::size_t len);
+
+/**
+ * Named-metric surface over the scheduler's observability registry —
+ * the replacement for growing th_stats_t (which is frozen as the v1
+ * snapshot; no new fields will be appended). Every "sched.*" counter
+ * and gauge th_stats_t carries is available here under its registry
+ * name ("sched.threads.forked", "sched.stream.backlog", ...), plus
+ * whatever instruments are live when metrics collection is on
+ * (histograms surface as name.count / name.sum). Values the scheduler
+ * synthesizes from its own statistics are always available, metrics
+ * collection on or off.
+ *
+ * Number of metrics currently visible. Enumerate with
+ * th_metric_name(); read with th_metric_get(). The count (and the
+ * index order) can change when instruments appear — e.g. after the
+ * first traced run — so enumerate by name, not by cached index.
+ */
+int th_metric_count(void);
+
+/**
+ * Write the name of metric @p index (0 <= index < th_metric_count())
+ * into @p buf, NUL-terminated and truncated to @p len bytes. Returns
+ * the full name length (excluding the NUL, à la snprintf), or -1 on
+ * an out-of-range index or NULL buf with len > 0.
+ */
+int th_metric_name(int index, char *buf, std::size_t len);
+
+/**
+ * Read one metric by name into @p value (counters and integer gauges
+ * verbatim; floating-point gauges rounded to the nearest integer).
+ * Returns 0 on success, -1 on an unknown name or NULL argument (the
+ * reason lands in th_last_error()).
+ */
+int th_metric_get(const char *name, unsigned long long *value);
+
+/**
  * Select the placement policy of the global scheduler by name
  * ("blockhash", "roundrobin", "hierarchical", "adaptive"). Shim over
  * th_configure("placement", name); same contract. Returns 0 on
  * success, -1 on an unknown name or a rejected reconfiguration (the
  * reason lands in th_last_error()).
+ *
+ * @deprecated Call th_configure("placement", name) directly; the shim
+ * survives for compatibility only. See the README deprecation table.
  */
 int th_set_placement(const char *name);
 
@@ -234,6 +304,9 @@ int th_set_placement(const char *name);
  * Select the execution backend of the global scheduler by name
  * ("serial", "pooled", "coldspawn"). Shim over
  * th_configure("backend", name). Returns 0 on success, -1 on error.
+ *
+ * @deprecated Call th_configure("backend", name) directly; the shim
+ * survives for compatibility only. See the README deprecation table.
  */
 int th_set_backend(const char *name);
 
@@ -246,6 +319,10 @@ int th_set_backend(const char *name);
  * Shim over th_configure("deadline_millis", ...); same contract.
  * Returns 0 on success, -1 on a negative value or a rejected
  * reconfiguration (the reason lands in th_last_error()).
+ *
+ * @deprecated Call th_configure("deadline_millis", ...) directly; the
+ * shim survives for compatibility only. See the README deprecation
+ * table.
  */
 int th_set_deadline(long long millis);
 
@@ -424,6 +501,21 @@ void th_profile_report_(int *status);
  * is append-only, so an index that works keeps working.
  */
 void th_stats_(long long *values, const int *count);
+
+/**
+ * Fortran: CALL TH_METRIC_COUNT(COUNT) — COUNT (INTEGER) receives
+ * th_metric_count().
+ */
+void th_metric_count_(int *count);
+
+/**
+ * Fortran: CALL TH_METRIC_VALUE(INDEX, VALUE) — VALUE (INTEGER*8)
+ * receives the value of metric INDEX (0-based, th_metric_name order),
+ * or -1 on an out-of-range index. Numeric-only, like every Fortran
+ * shim (no hidden string lengths); resolve names on the C side when
+ * needed.
+ */
+void th_metric_value_(const int *index, long long *value);
 
 /**
  * Fortran: CALL TH_TOPOLOGY(VALUES, COUNT) — numeric mirror of

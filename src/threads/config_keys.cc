@@ -215,10 +215,36 @@ profileKeyValue(const std::string &key, std::string *out)
 
 } // namespace
 
+std::string
+canonicalConfigKey(const std::string &raw)
+{
+    bool hasUpper = false;
+    for (char c : raw) {
+        if (c >= 'A' && c <= 'Z') {
+            hasUpper = true;
+            break;
+        }
+    }
+    if (!hasUpper)
+        return raw;
+    std::string key;
+    key.reserve(raw.size() + 4);
+    for (char c : raw) {
+        if (c >= 'A' && c <= 'Z') {
+            key.push_back('_');
+            key.push_back(static_cast<char>(c - 'A' + 'a'));
+        } else {
+            key.push_back(c);
+        }
+    }
+    return key;
+}
+
 bool
-applyConfigKey(SchedulerConfig &config, const std::string &key,
+applyConfigKey(SchedulerConfig &config, const std::string &rawKey,
                const std::string &value, std::string *error)
 {
+    const std::string key = canonicalConfigKey(rawKey);
     if (key.rfind("profile.", 0) == 0)
         return applyProfileKey(key, value, error);
 
@@ -417,9 +443,10 @@ applyConfigKey(SchedulerConfig &config, const std::string &key,
 }
 
 bool
-configKeyValue(const SchedulerConfig &config, const std::string &key,
-               std::string *out)
+configKeyValue(const SchedulerConfig &config,
+               const std::string &rawKey, std::string *out)
 {
+    const std::string key = canonicalConfigKey(rawKey);
     if (key.rfind("profile.", 0) == 0)
         return profileKeyValue(key, out);
 

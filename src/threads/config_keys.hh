@@ -17,6 +17,13 @@
  * config_keys.cc to be reachable from C, Fortran (numerically), and
  * the command line.
  *
+ * Canonical names are snake_case. The camelCase spellings that
+ * predate the audit (the SchedulerConfig field names themselves —
+ * "streamMaxPending", "cacheBytes", "adapt.targetMiss", ...) are
+ * accepted as read/write aliases: canonicalConfigKey() folds any key
+ * with an uppercase letter to its snake_case form before dispatch.
+ * configKeys() enumerates canonical names only.
+ *
  * One prefixed family is process-global rather than per-scheduler:
  * the "profile.*" keys configure the continuous-profiling subsystem
  * (obs/profile.hh). They accept writes and round-trip reads through
@@ -55,8 +62,16 @@ bool applyConfigKey(SchedulerConfig &config, const std::string &key,
 bool configKeyValue(const SchedulerConfig &config,
                     const std::string &key, std::string *out);
 
-/** Every key, in the order they are documented. */
+/** Every canonical key, in the order they are documented. */
 const std::vector<std::string> &configKeys();
+
+/**
+ * Fold a legacy camelCase spelling to the canonical snake_case key
+ * ("streamMaxPending" → "stream_max_pending"). Keys without an
+ * uppercase letter come back unchanged, so canonical names pay one
+ * scan and no allocation-shape change.
+ */
+std::string canonicalConfigKey(const std::string &key);
 
 } // namespace lsched::threads
 

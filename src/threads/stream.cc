@@ -1,7 +1,8 @@
 /**
  * @file
- * StreamSession implementation: sharded intake, seal/epoch hand-off,
- * backpressure, and the drain loops. See stream.hh for the design.
+ * StreamSession implementation: lock-free sharded intake, seal/epoch
+ * hand-off, ticket backpressure, and the drain loops. See stream.hh
+ * and DESIGN.md §16 for the design.
  */
 
 #include "threads/stream.hh"
@@ -13,6 +14,7 @@
 #include "support/panic.hh"
 #include "support/prng.hh"
 #include "threads/bin_exec.hh"
+#include "threads/hash_table.hh"
 #include "threads/sched_obs.hh"
 #include "threads/scheduler.hh"
 
@@ -33,9 +35,9 @@ constexpr unsigned kStallWarnPeriod = 32;
 
 /**
  * True while this producer thread is draining a sealed bin inline
- * (backpressure help). Nested forks from the user threads it runs
- * bypass the maxPending bound — blocking would deadlock the one
- * thread doing the draining.
+ * (backpressure help or queue-full relief). Nested forks from the
+ * user threads it runs bypass the maxPending bound — blocking would
+ * deadlock the one thread doing the draining.
  */
 thread_local bool t_inInlineDrain = false;
 
@@ -60,6 +62,7 @@ StreamSession::StreamSession(const SchedulerConfig &config,
       placement_(placement),
       placementStateless_(placement.stateless()),
       placementAdaptive_(placement.kind() == PlacementKind::Adaptive),
+      groupPool_(config.groupCapacity),
       fault_(config.onError, &faults_),
       pool_(pool),
       recovery_(recovery),
@@ -73,15 +76,14 @@ StreamSession::StreamSession(const SchedulerConfig &config,
     // Split the configured bucket budget over the shards; each shard
     // still grows independently past 3/4 load.
     const std::size_t bucketsPerShard =
-        std::max<std::size_t>(BinTable::kMinSlots,
+        std::max<std::size_t>(ConcurrentBinTable::kMinSlots,
                               config.hashBuckets / shardCount);
     shards_.reserve(shardCount);
     for (unsigned i = 0; i < shardCount; ++i) {
         // Disjoint id spaces per shard (and away from the batch
         // table's 0-based ids) keep trace/fault bin ids unambiguous.
         shards_.push_back(std::make_unique<Shard>(
-            config.dims, bucketsPerShard, (i + 1u) << 24,
-            config.groupCapacity));
+            config.dims, bucketsPerShard, (i + 1u) << 24));
     }
     if (pool_) {
         job_.body = &StreamSession::drainMain;
@@ -114,19 +116,29 @@ StreamSession::shardOf(std::uint64_t hash) const
 }
 
 void
+StreamSession::notePending()
+{
+    const std::uint64_t now =
+        pending_.fetch_add(1, std::memory_order_relaxed) + 1;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now,
+                                        std::memory_order_relaxed))
+        ;
+}
+
+void
 StreamSession::admitThread()
 {
+    // Every admission takes a ticket, bypass or not: bypassed
+    // admissions then count against the gate arithmetic, so gated
+    // producers automatically absorb any overshoot they caused.
+    const std::uint64_t ticket =
+        tickets_.fetch_add(1, std::memory_order_relaxed);
     if (!maxPending_ || t_inInlineDrain) {
-        const std::uint64_t now =
-            pending_.fetch_add(1, std::memory_order_relaxed) + 1;
-        std::uint64_t peak = peak_.load(std::memory_order_relaxed);
-        while (now > peak &&
-               !peak_.compare_exchange_weak(peak, now,
-                                            std::memory_order_relaxed))
-            ;
+        notePending();
         return;
     }
-    std::uint64_t cur = pending_.load(std::memory_order_relaxed);
     unsigned noProgress = 0;
     std::uint64_t waitUs = kBackoffBaseUs;
     Prng jitter(0x5bd1e995u +
@@ -134,19 +146,17 @@ StreamSession::admitThread()
     for (;;) {
         if (fault_.stopRequested()) {
             // Stopping: drainers are discarding, so holding producers
-            // at the bound could wait on progress that never comes.
-            pending_.fetch_add(1, std::memory_order_relaxed);
-            return;
+            // at the gate could wait on progress that never comes.
+            break;
         }
-        if (cur < maxPending_) {
-            // Admission is the CAS itself, so concurrent producers
-            // cannot collectively overshoot the bound.
-            if (pending_.compare_exchange_weak(
-                    cur, cur + 1, std::memory_order_relaxed))
-                break;
-            continue;
-        }
-        LSCHED_TRACE_EVENT(obs::EventType::Backpressure, cur,
+        // The gate: this ticket fits under the bound once the drain
+        // has retired enough threads. Tickets pass in FIFO order and
+        // the admitted-unretired backlog can never exceed the bound.
+        if (ticket < retiredThreads_.load(std::memory_order_acquire) +
+                         maxPending_)
+            break;
+        LSCHED_TRACE_EVENT(obs::EventType::Backpressure,
+                           pending_.load(std::memory_order_relaxed),
                            maxPending_);
         if (obs::metricsOn())
             detail::schedInstruments().streamBackpressure->add();
@@ -155,38 +165,28 @@ StreamSession::admitThread()
         if (tryHelp()) {
             noProgress = 0;
             waitUs = kBackoffBaseUs;
-            cur = pending_.load(std::memory_order_relaxed);
             continue;
         }
         if (degraded_.load(std::memory_order_relaxed)) {
             // Load shedding: a degraded session never blocks its
             // producers — admission overshoots the bound (soft) and
             // the governor's force-seals keep the drain fed.
-            cur = pending_.fetch_add(1, std::memory_order_relaxed);
             break;
         }
-        // The backlog is entirely in flight on the drain workers: park
-        // with a timed, jittered exponential backoff instead of the
-        // historic unbounded wait, so a wedged pool surfaces as a
-        // diagnosable timeout rather than a hang.
+        // The backlog is entirely in flight on the drain workers: back
+        // off with a timed, jittered exponential sleep instead of the
+        // historic unbounded condvar wait, so a wedged pool surfaces
+        // as a diagnosable timeout rather than a hang — and no lock is
+        // shared with the admission fast path.
         bpWaits_.fetch_add(1, std::memory_order_relaxed);
         const std::uint64_t retiredBefore =
-            retired_.load(std::memory_order_relaxed);
+            retiredThreads_.load(std::memory_order_relaxed);
         const std::uint64_t sleepUs =
             waitUs / 2 + jitter.nextBelow(waitUs / 2 + 1);
-        {
-            std::unique_lock<std::mutex> lock(bpMutex_);
-            bpCv_.wait_for(lock, std::chrono::microseconds(sleepUs),
-                           [&] {
-                               return pending_.load(
-                                          std::memory_order_relaxed) <
-                                          maxPending_ ||
-                                      fault_.stopRequested();
-                           });
-        }
-        cur = pending_.load(std::memory_order_relaxed);
-        if (cur < maxPending_ ||
-            retired_.load(std::memory_order_relaxed) != retiredBefore) {
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(sleepUs));
+        if (retiredThreads_.load(std::memory_order_relaxed) !=
+            retiredBefore) {
             // The drain moved; reset the retry budget and the backoff.
             noProgress = 0;
             waitUs = kBackoffBaseUs;
@@ -208,8 +208,13 @@ StreamSession::admitThread()
                 detail::schedInstruments()
                     .recoverAdmissionTimeouts->add();
             }
+            const std::uint64_t cur =
+                pending_.load(std::memory_order_relaxed);
             LSCHED_TRACE_EVENT(obs::EventType::AdmissionTimeout, cur,
                                maxPending_, noProgress);
+            // The ticket this admission took never retires on its
+            // own; refund it so the gate stays consistent.
+            retiredThreads_.fetch_add(1, std::memory_order_release);
             throw AdmissionTimeout(lsched::detail::concatMessage(
                 "stream admission timed out after ", noProgress,
                 " no-progress backoff round(s): ", cur,
@@ -222,12 +227,7 @@ StreamSession::admitThread()
         }
         waitUs = std::min(waitUs * 2, kBackoffCapUs);
     }
-    const std::uint64_t now = cur + 1;
-    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
-    while (now > peak &&
-           !peak_.compare_exchange_weak(peak, now,
-                                        std::memory_order_relaxed))
-        ;
+    notePending();
 }
 
 bool
@@ -250,18 +250,15 @@ StreamSession::tryHelp()
 }
 
 detail::SealedBin
-StreamSession::sealLocked(Shard &, unsigned shardIndex, Bin *bin)
+StreamSession::makeItem(const StreamBin &bin,
+                        const SealedChain &chain) const
 {
     detail::SealedBin s;
-    s.binId = bin->id;
-    s.epoch = ++bin->streamEpoch;
-    s.shard = shardIndex;
-    s.superBin = bin->superBin;
-    s.threads = bin->threadCount;
-    s.groups = bin->groupsHead;
-    // The bin stays open (and listed in Shard::open): the next fork
-    // with the same coordinates starts the bin's next epoch.
-    bin->clearGroups();
+    s.binId = bin.id;
+    s.epoch = chain.epoch;
+    s.superBin = bin.superBin;
+    s.threads = chain.threads;
+    s.groups = chain.head;
     return s;
 }
 
@@ -273,7 +270,26 @@ StreamSession::enqueue(const detail::SealedBin &item)
                        item.epoch, item.threads);
     if (obs::metricsOn())
         detail::schedInstruments().streamSeals->add();
-    queue_.push(item);
+    while (!queue_.tryPush(item)) {
+        // Ring full: relieve it ourselves instead of spinning — in
+        // the inline-only mode (no pool) nobody else ever would.
+        detail::SealedBin victim;
+        if (!queue_.tryPop(victim))
+            continue; // racing consumers made room already
+        try {
+            if (fault_.stopRequested()) {
+                discard(victim);
+            } else {
+                InlineDrainScope inDrain;
+                drainOne(victim, 0);
+            }
+        } catch (...) {
+            // Abort unwinding: retire our own chain too so the
+            // backlog accounting stays sane.
+            discard(item);
+            throw;
+        }
+    }
 }
 
 bool
@@ -284,21 +300,16 @@ StreamSession::forceSealOne()
         sealCursor_.fetch_add(1, std::memory_order_relaxed);
     for (unsigned i = 0; i < n; ++i) {
         const unsigned index = (start + i) % n;
-        Shard &shard = *shards_[index];
-        detail::SealedBin sealed;
-        bool found = false;
-        {
-            std::lock_guard<std::mutex> lock(shard.mutex);
-            for (Bin *bin : shard.open) {
-                if (bin->threadCount) {
-                    sealed = sealLocked(shard, index, bin);
-                    found = true;
-                    break;
-                }
-            }
-        }
-        if (found) {
-            enqueue(sealed);
+        ConcurrentBinTable &table = shards_[index]->table;
+        const std::size_t bins = table.binCount();
+        for (std::size_t b = 0; b < bins; ++b) {
+            StreamBin *bin = table.binAt(b);
+            if (!bin->epochThreads.load(std::memory_order_relaxed))
+                continue;
+            const SealedChain chain = sealStreamBin(*bin);
+            if (!chain.head)
+                continue; // a racing sealer beat us to it
+            enqueue(makeItem(*bin, chain));
             return true;
         }
     }
@@ -313,53 +324,39 @@ StreamSession::fork(ThreadFn fn, void *arg1, void *arg2,
     admitThread();
 
     PlacementDecision where;
-    if (placementStateless_) {
-        where = placement_.place(hints);
-    } else {
-        std::lock_guard<std::mutex> lock(placementMutex_);
-        where = placement_.place(hints);
-    }
-
-    const std::uint64_t h = hashCoords(where.coords, dims_);
-    const unsigned shardIndex = shardOf(h);
-    Shard &shard = *shards_[shardIndex];
-
-    detail::SealedBin sealed;
     bool doSeal = false;
     bool created = false;
     std::uint32_t binId = 0;
+    detail::SealedBin sealed;
     try {
-        std::lock_guard<std::mutex> lock(shard.mutex);
+        if (placementStateless_) {
+            where = placement_.place(hints);
+        } else {
+            std::lock_guard<std::mutex> lock(placementMutex_);
+            where = placement_.place(hints);
+        }
+
+        const std::uint64_t h = hashCoords(where.coords, dims_);
+        Shard &shard = *shards_[shardOf(h)];
+
         const auto [bin, fresh] =
-            shard.table.findOrCreateHashed(where.coords, h);
+            shard.table.findOrCreate(where.coords, h, where.superBin);
         created = fresh;
-        if (fresh)
-            bin->superBin = where.superBin;
         binId = bin->id;
-        ThreadGroup *group = bin->groupsTail;
-        if (!group || group->full()) {
-            group = shard.pool.allocate();
-            if (bin->groupsTail)
-                bin->groupsTail->next = group;
-            else
-                bin->groupsHead = group;
-            bin->groupsTail = group;
-        }
-        group->push(fn, arg1, arg2);
-        ++bin->threadCount;
-        ++bin->streamTotalThreads;
-        if (!bin->onReadyList) {
-            bin->onReadyList = true;
-            shard.open.push_back(bin);
-        }
-        if (sealThreshold_ && bin->threadCount >= sealThreshold_) {
-            sealed = sealLocked(shard, shardIndex, bin);
-            doSeal = true;
+        const std::uint64_t epochCount =
+            appendStreamSpec(*bin, groupPool_, fn, arg1, arg2);
+        if (sealThreshold_ && epochCount >= sealThreshold_) {
+            const SealedChain chain = sealStreamBin(*bin);
+            if (chain.head) {
+                sealed = makeItem(*bin, chain);
+                doSeal = true;
+            }
         }
     } catch (...) {
         // The admission slot was reserved up front; hand it back so an
-        // allocation failure cannot wedge the bound.
+        // allocation failure cannot wedge the gate or the backlog.
         pending_.fetch_sub(1, std::memory_order_relaxed);
+        retiredThreads_.fetch_add(1, std::memory_order_release);
         throw;
     }
 
@@ -395,7 +392,7 @@ StreamSession::drainOne(const detail::SealedBin &item, unsigned worker)
                                   item.epoch);
     } catch (...) {
         // ErrorPolicy::Abort: still retire the chain so the backlog
-        // accounting (and any producer blocked on it) stays sane
+        // accounting (and any producer backed off on it) stays sane
         // while the exception unwinds.
         retire(item);
         throw;
@@ -418,19 +415,13 @@ StreamSession::discard(const detail::SealedBin &item)
 void
 StreamSession::retire(const detail::SealedBin &item)
 {
-    {
-        Shard &shard = *shards_[item.shard];
-        std::lock_guard<std::mutex> lock(shard.mutex);
-        shard.pool.recycleChain(item.groups);
-    }
+    groupPool_.recycleChain(item.groups);
     retired_.fetch_add(1, std::memory_order_relaxed);
     pending_.fetch_sub(item.threads, std::memory_order_relaxed);
-    if (maxPending_) {
-        // Pass through the lock empty-handed so a producer between
-        // its predicate check and its wait cannot miss this wakeup.
-        { std::lock_guard<std::mutex> lock(bpMutex_); }
-        bpCv_.notify_all();
-    }
+    // The release pairs with the gate's acquire: a producer that
+    // passes on these retirements also sees the recycled groups'
+    // state reach the free tiers coherently.
+    retiredThreads_.fetch_add(item.threads, std::memory_order_release);
 }
 
 void
@@ -474,8 +465,8 @@ StreamSession::monitorMain()
             if (sawBacklog && pend > 0 && ret == lastRetired) {
                 // A standing backlog retired nothing for a whole
                 // deadline period: the epoch is wedged. Cancel
-                // cooperatively; drains discard, blocked producers
-                // wake through stopRequested().
+                // cooperatively; drains discard, backed-off producers
+                // notice through stopRequested() within one backoff.
                 LSCHED_WARN("stream deadline: backlog of ", pend,
                             " thread(s) made no progress for ",
                             deadlineMillis_,
@@ -491,10 +482,6 @@ StreamSession::monitorMain()
                 if (obs::metricsOn())
                     detail::schedInstruments().recoverDeadlines->add();
                 cancel_.request(CancelReason::Deadline);
-                {
-                    std::lock_guard<std::mutex> bpLock(bpMutex_);
-                }
-                bpCv_.notify_all();
             }
             sawBacklog = pend > 0;
         }
@@ -508,14 +495,10 @@ StreamSession::monitorMain()
                 state == RecoveryState::Degraded;
             if (nowDegraded &&
                 !degraded_.load(std::memory_order_relaxed)) {
+                // Backed-off producers poll degraded_ each round, so
+                // the flag alone unblocks them within one backoff.
                 degraded_.store(true, std::memory_order_relaxed);
                 shedLoad();
-                // Unblock producers parked at the bound: degraded
-                // admission stops blocking.
-                {
-                    std::lock_guard<std::mutex> bpLock(bpMutex_);
-                }
-                bpCv_.notify_all();
             } else if (!nowDegraded &&
                        degraded_.load(std::memory_order_relaxed)) {
                 degraded_.store(false, std::memory_order_relaxed);
@@ -550,17 +533,18 @@ StreamSession::shedLoad()
 {
     std::uint64_t shedBins = 0;
     for (unsigned i = 0; i < shards_.size(); ++i) {
-        Shard &shard = *shards_[i];
-        std::vector<detail::SealedBin> tail;
-        {
-            std::lock_guard<std::mutex> lock(shard.mutex);
-            for (Bin *bin : shard.open)
-                if (bin->threadCount)
-                    tail.push_back(sealLocked(shard, i, bin));
+        ConcurrentBinTable &table = shards_[i]->table;
+        const std::size_t bins = table.binCount();
+        for (std::size_t b = 0; b < bins; ++b) {
+            StreamBin *bin = table.binAt(b);
+            if (!bin->epochThreads.load(std::memory_order_relaxed))
+                continue;
+            const SealedChain chain = sealStreamBin(*bin);
+            if (!chain.head)
+                continue;
+            enqueue(makeItem(*bin, chain));
+            ++shedBins;
         }
-        for (const detail::SealedBin &item : tail)
-            enqueue(item);
-        shedBins += tail.size();
     }
     if (recovery_)
         recovery_->loadSheds.fetch_add(1, std::memory_order_relaxed);
@@ -587,16 +571,14 @@ StreamSession::finish()
     // Producers have stopped (the owner's contract): seal every open
     // chain so the tail of the stream drains like any other epoch.
     for (unsigned i = 0; i < shards_.size(); ++i) {
-        Shard &shard = *shards_[i];
-        std::vector<detail::SealedBin> tail;
-        {
-            std::lock_guard<std::mutex> lock(shard.mutex);
-            for (Bin *bin : shard.open)
-                if (bin->threadCount)
-                    tail.push_back(sealLocked(shard, i, bin));
+        ConcurrentBinTable &table = shards_[i]->table;
+        const std::size_t bins = table.binCount();
+        for (std::size_t b = 0; b < bins; ++b) {
+            StreamBin *bin = table.binAt(b);
+            const SealedChain chain = sealStreamBin(*bin);
+            if (chain.head)
+                enqueue(makeItem(*bin, chain));
         }
-        for (const detail::SealedBin &item : tail)
-            enqueue(item);
     }
 
     queue_.finish();
@@ -616,13 +598,18 @@ StreamSession::finish()
     }
 
     for (const auto &shardPtr : shards_) {
-        for (const Bin *bin : shardPtr->open) {
-            if (!bin->streamTotalThreads)
-                continue;
+        const ConcurrentBinTable &table = shardPtr->table;
+        const std::size_t bins = table.binCount();
+        for (std::size_t b = 0; b < bins; ++b) {
+            const StreamBin *bin = table.binAt(b);
+            const std::uint64_t threads =
+                bin->totalThreads.load(std::memory_order_relaxed);
+            if (!threads)
+                continue; // spare or never-forked bin
             StreamBinReport r;
             r.coords = bin->coords;
-            r.epochs = bin->streamEpoch;
-            r.threads = bin->streamTotalThreads;
+            r.epochs = bin->epochs.load(std::memory_order_relaxed);
+            r.threads = threads;
             bins_.push_back(r);
         }
     }

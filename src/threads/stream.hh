@@ -9,34 +9,41 @@
  * overlaps execution and the machine never idles waiting for bins to
  * be built.
  *
- * Structure:
+ * Structure (lock-free admission path — see DESIGN.md §16):
  *
  *  - Intake is *sharded*: forks hash their block coordinates once
  *    (hashCoords) — the top bits pick a shard, the rest the slot in
- *    that shard's own BinTable. Each shard has its own mutex and its
- *    own GroupPool slab allocator, so producers contend only when
- *    they hit the same shard, and group storage recycles within the
- *    shard that allocated it.
+ *    that shard's ConcurrentBinTable. Shards no longer carry a mutex:
+ *    lookup/insert is a CAS into the shard's open-addressing table,
+ *    and sharding survives purely to split the id spaces and spread
+ *    growth freezes. Group storage comes from ONE shared
+ *    ConcurrentGroupPool whose fast path is a per-producer
+ *    thread-local cache over a lock-free global refill.
  *
- *  - Bins gain *seal/epoch* semantics: sealing detaches a bin's
- *    group chain as one SealedBin work item (bumping the bin's
- *    streamEpoch) and re-opens the bin for further forks. A bin seals
- *    when it reaches streamSealThreshold threads, when a producer
- *    under backpressure force-seals it, or at finish(). Drain workers
- *    execute *sealed* chains only — they never touch a bin a producer
- *    may be appending to, which is the whole synchronization story:
- *    chain hand-off happens under the shard lock and the queue mutex,
- *    and after that the chain is exclusively the drainer's.
+ *  - Bins gain *seal/epoch* semantics: a bin anchors its current
+ *    epoch's thread groups in a single atomic tail pointer; producers
+ *    append with a claim/ready reservation protocol and sealing is
+ *    one exchange that hands the chain to exactly one caller
+ *    (concurrent_bin_table.hh). A bin seals when it reaches
+ *    streamSealThreshold threads, when a producer under backpressure
+ *    force-seals it, or at finish(). Drain workers execute *sealed*
+ *    chains only — the seal is the hand-off point, after which the
+ *    chain is exclusively the drainer's.
  *
- *  - Backpressure bounds memory: with streamMaxPending set, admission
- *    is a CAS that only succeeds below the bound. A producer at the
- *    bound first tries to drain one sealed bin inline (becoming
- *    worker 0 for that bin), then to force-seal an open bin for the
- *    pool, and only then blocks until the drainers catch up. Nested
- *    forks from a thread *being drained inline* bypass the bound —
- *    blocking there would deadlock the very producer doing the
- *    draining — so for workloads that fork from user threads the
- *    bound is a soft target, exact otherwise.
+ *  - Backpressure bounds memory through a *ticket gate*: every
+ *    admission takes a ticket (one fetch_add); with streamMaxPending
+ *    set, a producer passes only once the drain has retired enough
+ *    threads that its ticket fits under the bound, which keeps the
+ *    backlog exactly bounded and FIFO-fair without any mutex. A
+ *    producer held at the gate first tries to drain one sealed bin
+ *    inline (becoming worker 0 for that bin), then to force-seal an
+ *    open bin for the pool, and only then backs off with a timed,
+ *    jittered exponential sleep — the slow path that preserves the
+ *    stream_admit_retries / AdmissionTimeout semantics. Nested forks
+ *    from a thread *being drained inline* bypass the bound — blocking
+ *    there would deadlock the very producer doing the draining — so
+ *    for workloads that fork from user threads the bound is a soft
+ *    target, exact otherwise.
  *
  * Draining is the fourth execution mode next to Serial/Pooled/
  * ColdSpawn tours: there is no tour to partition — work arrives
@@ -52,15 +59,15 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 #include <vector>
 
+#include "threads/concurrent_bin_table.hh"
+#include "threads/concurrent_group_pool.hh"
 #include "threads/fault.hh"
-#include "threads/hash_table.hh"
 #include "threads/hints.hh"
 #include "threads/placement.hh"
 #include "threads/recovery.hh"
@@ -81,7 +88,7 @@ struct StreamStats
     std::uint64_t executed = 0;
     /** Sealed-chain work items produced. */
     std::uint64_t seals = 0;
-    /** Times a producer blocked at the maxPending bound. */
+    /** Times a producer backed off at the maxPending bound. */
     std::uint64_t backpressureWaits = 0;
     /** Sealed bins a producer drained inline under backpressure. */
     std::uint64_t inlineDrains = 0;
@@ -123,8 +130,6 @@ struct SealedBin
 {
     std::uint32_t binId = 0;
     std::uint32_t epoch = 0;
-    /** Shard whose GroupPool owns the chain (for recycling). */
-    std::uint32_t shard = 0;
     /** The bin's super-bin group (profiling attribution). */
     std::uint32_t superBin = 0xffffffffu;
     std::uint64_t threads = 0;
@@ -135,61 +140,153 @@ struct SealedBin
  * MPMC FIFO of sealed chains between producers and drain workers.
  * Draining in seal order is the streaming analogue of the ready
  * list's creation-order tour.
+ *
+ * The ring is Vyukov's bounded MPMC queue: per-cell sequence numbers
+ * carry the acquire/release hand-off, so push and pop are lock-free.
+ * The mutex exists only to park idle drain helpers: a push touches it
+ * solely when the sleepers count says somebody is (about to be)
+ * parked, so the admission path stays mutex-free while the queue has
+ * active consumers. The missed-wakeup race (sleeper registering while
+ * a pusher checks) is closed Dekker-style with seq_cst fences on both
+ * sides of the counter.
  */
 class SealedQueue
 {
   public:
-    void
-    push(const SealedBin &item)
+    /** Ring capacity (power of two). On full, callers drain inline. */
+    static constexpr std::size_t kCells = 4096;
+
+    SealedQueue()
     {
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            items_.push_back(item);
-        }
-        cv_.notify_one();
+        for (std::size_t i = 0; i < kCells; ++i)
+            cells_[i].seq.store(i, std::memory_order_relaxed);
     }
 
-    /** Non-blocking pop (producer inline drain). */
+    /** Lock-free push; false when the ring is full. */
+    bool
+    tryPush(const SealedBin &item)
+    {
+        std::size_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & (kCells - 1)];
+            const std::size_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const std::intptr_t dif =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos);
+            if (dif == 0) {
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // full
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+        Cell &cell = cells_[pos & (kCells - 1)];
+        cell.item = item;
+        cell.seq.store(pos + 1, std::memory_order_release);
+        wakeOne();
+        return true;
+    }
+
+    /** Lock-free non-blocking pop (inline drains, finish tail). */
     bool
     tryPop(SealedBin &out)
     {
-        std::lock_guard<std::mutex> lock(mutex_);
-        if (items_.empty())
-            return false;
-        out = items_.front();
-        items_.pop_front();
+        std::size_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Cell &cell = cells_[pos & (kCells - 1)];
+            const std::size_t seq =
+                cell.seq.load(std::memory_order_acquire);
+            const std::intptr_t dif =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos + 1);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed))
+                    break;
+            } else if (dif < 0) {
+                return false; // empty (or the pusher mid-publish)
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+        Cell &cell = cells_[pos & (kCells - 1)];
+        out = cell.item;
+        cell.seq.store(pos + kCells, std::memory_order_release);
         return true;
     }
 
-    /** Block until an item arrives or finish(); false = stream over. */
+    /** Park until an item arrives or finish(); false = stream over. */
     bool
     waitPop(SealedBin &out)
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [&] { return !items_.empty() || finished_; });
-        if (items_.empty())
-            return false;
-        out = items_.front();
-        items_.pop_front();
-        return true;
+        for (;;) {
+            if (tryPop(out))
+                return true;
+            std::unique_lock<std::mutex> lock(mutex_);
+            sleepers_.fetch_add(1, std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+            // Re-check after registering: a pusher that missed our
+            // registration must have published before our fence, so
+            // this pop sees its item.
+            if (tryPop(out)) {
+                sleepers_.fetch_sub(1, std::memory_order_relaxed);
+                return true;
+            }
+            if (finished_.load(std::memory_order_acquire)) {
+                sleepers_.fetch_sub(1, std::memory_order_relaxed);
+                // Every push happened before finish(); one last pop
+                // sweeps anything a racing helper has not claimed.
+                return tryPop(out);
+            }
+            cv_.wait(lock);
+            sleepers_.fetch_sub(1, std::memory_order_relaxed);
+        }
     }
 
     /** No more pushes will come; unblocks every waitPop. */
     void
     finish()
     {
+        finished_.store(true, std::memory_order_release);
         {
             std::lock_guard<std::mutex> lock(mutex_);
-            finished_ = true;
         }
         cv_.notify_all();
     }
 
   private:
-    mutable std::mutex mutex_;
+    struct alignas(64) Cell
+    {
+        std::atomic<std::size_t> seq{0};
+        SealedBin item;
+    };
+
+    void
+    wakeOne()
+    {
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        if (sleepers_.load(std::memory_order_relaxed) > 0) {
+            // Pass through the lock so a sleeper between its re-check
+            // and its wait cannot miss this notify.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+            }
+            cv_.notify_one();
+        }
+    }
+
+    std::unique_ptr<Cell[]> cells_ =
+        std::make_unique<Cell[]>(kCells);
+    alignas(64) std::atomic<std::size_t> tail_{0};
+    alignas(64) std::atomic<std::size_t> head_{0};
+    alignas(64) std::atomic<unsigned> sleepers_{0};
+    std::atomic<bool> finished_{false};
+    std::mutex mutex_;
     std::condition_variable cv_;
-    std::deque<SealedBin> items_;
-    bool finished_ = false;
 };
 
 } // namespace detail
@@ -275,19 +372,17 @@ class StreamSession
     }
 
   private:
-    /** One intake shard, padded so shard locks do not false-share. */
+    /**
+     * One intake shard: its own concurrent table (disjoint id space),
+     * no lock. Padded so the tables' hot heads do not false-share.
+     */
     struct alignas(64) Shard
     {
-        std::mutex mutex;
-        BinTable table;
-        GroupPool pool;
-        /** Every bin ever admitted here (Bin::onReadyList marks
-         *  membership; a seal keeps the bin listed and open). */
-        std::vector<Bin *> open;
+        ConcurrentBinTable table;
 
-        Shard(unsigned dims, std::size_t buckets, std::uint32_t idBase,
-              std::uint32_t groupCapacity)
-            : table(dims, buckets, idBase), pool(groupCapacity)
+        Shard(unsigned dims, std::size_t buckets,
+              std::uint32_t idBase)
+            : table(dims, buckets, idBase)
         {
         }
     };
@@ -295,15 +390,18 @@ class StreamSession
     static void drainMain(unsigned worker, void *ctx);
 
     unsigned shardOf(std::uint64_t hash) const;
-    /** Reserve one admission slot, enforcing the maxPending bound. */
+    /** Take a ticket and wait out the maxPending gate. */
     void admitThread();
+    /** Record the post-admission backlog (peak tracking). */
+    void notePending();
     /** Help at the bound: inline-drain a sealed bin or force-seal an
      *  open one. False when the backlog is entirely in flight. */
     bool tryHelp();
-    /** Detach the bin's chain as a work item. Shard lock held. */
-    detail::SealedBin sealLocked(Shard &shard, unsigned shardIndex,
-                                 Bin *bin);
-    /** Trace + count + queue one sealed chain. */
+    /** Package a detached chain as a queue work item. */
+    detail::SealedBin makeItem(const StreamBin &bin,
+                               const SealedChain &chain) const;
+    /** Trace + count + queue one sealed chain (drains inline when the
+     *  ring is full, so a push can never deadlock). */
     void enqueue(const detail::SealedBin &item);
     /** Seal the first non-empty open bin, rotating over shards. */
     bool forceSealOne();
@@ -311,7 +409,7 @@ class StreamSession
     void drainOne(const detail::SealedBin &item, unsigned worker);
     /** Retire a chain without running it (StopTour/cancel discard). */
     void discard(const detail::SealedBin &item);
-    /** Return the chain to its shard's pool and shrink the backlog. */
+    /** Return the chain to the pool and shrink the backlog. */
     void retire(const detail::SealedBin &item);
     /** Epoch-progress monitor body (deadline + overload governor). */
     void monitorMain();
@@ -337,12 +435,24 @@ class StreamSession
     const bool placementAdaptive_;
 
     std::vector<std::unique_ptr<Shard>> shards_;
+    /** Group storage, shared by every shard and drain worker. */
+    ConcurrentGroupPool groupPool_;
     detail::SealedQueue queue_;
     /** Rotation cursor for forceSealOne's shard scan. */
     std::atomic<unsigned> sealCursor_{0};
 
     std::vector<ThreadFault> faults_;
     detail::FaultCtx fault_;
+
+    /**
+     * Ticket gate. tickets_ numbers every admission; retiredThreads_
+     * counts threads the drain has retired (plus fork-rollback
+     * refunds). A gated producer passes once
+     * ticket < retiredThreads_ + maxPending_, which bounds the
+     * admitted-unretired backlog by maxPending_ exactly.
+     */
+    std::atomic<std::uint64_t> tickets_{0};
+    std::atomic<std::uint64_t> retiredThreads_{0};
 
     std::atomic<std::uint64_t> pending_{0};
     std::atomic<std::uint64_t> peak_{0};
@@ -351,9 +461,6 @@ class StreamSession
     std::atomic<std::uint64_t> seals_{0};
     std::atomic<std::uint64_t> bpWaits_{0};
     std::atomic<std::uint64_t> inlineDrains_{0};
-    /** Producers blocked at the bound park here; drainers notify. */
-    std::mutex bpMutex_;
-    std::condition_variable bpCv_;
 
     WorkerPool *pool_;
     detail::StreamJob job_;
@@ -363,7 +470,7 @@ class StreamSession
     bool finished_ = false;
 
     /** Raised by the monitor on epoch-deadline expiry; fault_.cancel
-     *  points here when a deadline is armed, so drains and blocked
+     *  points here when a deadline is armed, so drains and backed-off
      *  producers observe it through stopRequested(). */
     CancelToken cancel_;
     /** Chains retired so far — the monitor's progress signal. */

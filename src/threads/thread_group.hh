@@ -14,6 +14,7 @@
 #ifndef LSCHED_THREADS_THREAD_GROUP_HH
 #define LSCHED_THREADS_THREAD_GROUP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <new>
@@ -29,6 +30,13 @@ namespace lsched::threads
 /** A chunk of thread specifications chained within one bin. */
 struct ThreadGroup
 {
+    /**
+     * Streaming claim word: bit set once a sealer has closed the group.
+     * Producers that fetch_add past it see the bit in their slot index
+     * and retry against a fresh group (concurrent_bin_table.hh).
+     */
+    static constexpr std::uint32_t kClosed = 0x80000000u;
+
     /** Chunk storage; points into the owning pool's slab. */
     ThreadSpec *specs = nullptr;
     /** Capacity of specs. */
@@ -37,6 +45,27 @@ struct ThreadGroup
     std::uint32_t count = 0;
     /** Next group in the same bin (fork order). */
     ThreadGroup *next = nullptr;
+
+    /**
+     * Streaming (lock-free intake) protocol, unused by the batch path:
+     * producers reserve a slot with claim.fetch_add(1) and publish the
+     * written spec by bumping ready; the sealer ORs kClosed into claim,
+     * then waits until ready covers every reservation below capacity
+     * before the chain is handed to a drain worker. prev links a bin's
+     * current-epoch chain newest-first (the only direction a lock-free
+     * append can build); sealing reverses it into the fork-order next
+     * chain the GroupCursor walks.
+     */
+    std::atomic<std::uint32_t> claim{0};
+    std::atomic<std::uint32_t> ready{0};
+    ThreadGroup *prev = nullptr;
+    /** Index in the owning ConcurrentGroupPool's slab directory (the
+     *  ABA-safe free list links groups by index, not pointer). */
+    std::uint32_t poolIndex = 0;
+    /** Free-list successor index (+1; 0 = end). Atomic only because a
+     *  racing pop may read it while a re-push writes it; the stack
+     *  head's tag makes such stale reads harmless. */
+    std::atomic<std::uint32_t> freeNext{0};
 
     /** True when no further spec fits. */
     bool full() const { return count == capacity; }

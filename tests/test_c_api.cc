@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -305,6 +307,174 @@ TEST_F(CApiTest, ConfigGetReportsLengthAndTruncates)
     EXPECT_EQ(th_config_get("placement", tiny, sizeof(tiny)), 12);
     EXPECT_STREQ(tiny, "hier");
     ASSERT_EQ(th_configure("placement", "blockhash"), 0);
+}
+
+TEST_F(CApiTest, ConfigKeyEnumerationMatchesTheTable)
+{
+    const auto &keys = lsched::threads::configKeys();
+    ASSERT_EQ(th_config_keys(), static_cast<int>(keys.size()));
+    char buf[128];
+    for (int i = 0; i < th_config_keys(); ++i) {
+        const int n = th_config_key(i, buf, sizeof(buf));
+        ASSERT_GE(n, 0) << "index " << i;
+        EXPECT_EQ(std::string(buf), keys[static_cast<std::size_t>(i)]);
+        // Every enumerated key is readable.
+        char value[128];
+        EXPECT_GE(th_config_get(buf, value, sizeof(value)), 0) << buf;
+    }
+    th_clear_error();
+    EXPECT_EQ(th_config_key(-1, buf, sizeof(buf)), -1);
+    EXPECT_EQ(th_config_key(th_config_keys(), buf, sizeof(buf)), -1);
+    EXPECT_NE(th_last_error(), nullptr);
+    // The truncation protocol matches th_config_get: full length
+    // returned, copy truncated and NUL-terminated.
+    char tiny[3];
+    const int full = th_config_key(0, tiny, sizeof(tiny));
+    ASSERT_GE(full, 0);
+    EXPECT_EQ(full, static_cast<int>(
+                        lsched::threads::configKeys()[0].size()));
+    EXPECT_EQ(tiny[2], '\0');
+}
+
+TEST_F(CApiTest, CamelCaseConfigAliasesReadAndWrite)
+{
+    // The pre-audit camelCase spellings stay live as aliases of the
+    // canonical snake_case keys, on both the write and read paths.
+    ASSERT_EQ(th_configure("streamMaxPending", "7"), 0)
+        << th_last_error();
+    char value[64];
+    ASSERT_GE(th_config_get("stream_max_pending", value,
+                            sizeof(value)), 0);
+    EXPECT_STREQ(value, "7");
+    ASSERT_GE(th_config_get("streamMaxPending", value, sizeof(value)),
+              0);
+    EXPECT_STREQ(value, "7");
+    ASSERT_EQ(th_configure("adapt.targetMiss", "0.125"), 0)
+        << th_last_error();
+    ASSERT_GE(th_config_get("adapt.target_miss", value,
+                            sizeof(value)), 0);
+    EXPECT_STREQ(value, "0.125");
+    // configKeys() enumerates canonical names only — no camelCase.
+    for (const std::string &key : lsched::threads::configKeys())
+        EXPECT_EQ(key, lsched::threads::canonicalConfigKey(key));
+}
+
+TEST_F(CApiTest, MetricSurfaceMirrorsTheFrozenStatsStruct)
+{
+    // Run a little work so the interesting counters are non-zero.
+    for (std::uintptr_t i = 0; i < 50; ++i) {
+        th_fork(&record, nullptr, reinterpret_cast<void *>(i),
+                reinterpret_cast<void *>(i * 64), nullptr, nullptr);
+    }
+    th_run(0);
+
+    // The named surface carries at least every th_stats_t field; the
+    // struct is frozen (v1) and new telemetry lands here instead.
+    const th_stats_t s = th_stats();
+    const struct
+    {
+        const char *name;
+        unsigned long long want;
+    } parity[] = {
+        {"sched.pending_threads", s.pending_threads},
+        {"sched.executed_threads", s.executed_threads},
+        {"sched.bins", s.bins},
+        {"sched.bins.occupied", s.occupied_bins},
+        {"sched.hash.max_chain", s.max_hash_chain},
+        {"sched.tour.length", s.tour_length},
+        {"sched.pool.threads", s.pool_threads_spawned},
+        {"sched.pool.steals", s.pool_steals},
+        {"sched.pool.parks", s.pool_parks},
+        {"sched.placement",
+         static_cast<unsigned long long>(s.placement)},
+        {"sched.backend", static_cast<unsigned long long>(s.backend)},
+        {"sched.bin.threads.mean",
+         static_cast<unsigned long long>(
+             std::llround(s.threads_per_bin_mean))},
+        {"sched.bin.threads.min",
+         static_cast<unsigned long long>(
+             std::llround(s.threads_per_bin_min))},
+        {"sched.bin.threads.max",
+         static_cast<unsigned long long>(
+             std::llround(s.threads_per_bin_max))},
+        {"sched.bin.threads.stddev",
+         static_cast<unsigned long long>(
+             std::llround(s.threads_per_bin_stddev))},
+        {"sched.faulted_threads", s.faulted_threads},
+        {"sched.last_fault_count", s.last_fault_count},
+        {"sched.stream.forked", s.stream_forked},
+        {"sched.stream.executed", s.stream_executed},
+        {"sched.stream.seals", s.stream_seals},
+        {"sched.stream.backpressure", s.stream_backpressure_waits},
+        {"sched.stream.inline_drains", s.stream_inline_drains},
+        {"sched.stream.backlog", s.stream_backlog},
+        {"sched.stream.peak_backlog", s.stream_peak_backlog},
+        {"sched.recover.deadlines", s.recover_deadlines},
+        {"sched.recover.watchdog_cancels", s.recover_watchdog_cancels},
+        {"sched.recover.cancelled_bins", s.recover_cancelled_bins},
+        {"sched.recover.cancelled_threads",
+         s.recover_cancelled_threads},
+        {"sched.recover.admission_retries",
+         s.recover_admission_retries},
+        {"sched.recover.admission_timeouts",
+         s.recover_admission_timeouts},
+        {"sched.recover.load_sheds", s.recover_load_sheds},
+        {"sched.recover.degraded_tours", s.recover_degraded_tours},
+        {"sched.recover.recoveries", s.recover_recoveries},
+        {"sched.recover.state",
+         static_cast<unsigned long long>(s.recover_state)},
+        {"sched.adapt.retunes", s.adapt_retunes},
+        {"sched.adapt.observations", s.adapt_observations},
+        {"sched.adapt.block_bytes", s.adapt_block_bytes},
+        {"sched.adapt.super_bin_fan", s.adapt_super_bin_fan},
+        {"sched.adapt.regime",
+         static_cast<unsigned long long>(s.adapt_regime)},
+        {"sched.pool.pin_failed", s.pool_pin_failed},
+        {"sched.pool.cross_steals", s.pool_cross_domain_steals},
+    };
+    for (const auto &row : parity) {
+        unsigned long long value = ~0ull;
+        ASSERT_EQ(th_metric_get(row.name, &value), 0)
+            << row.name << ": " << th_last_error();
+        EXPECT_EQ(value, row.want) << row.name;
+    }
+    EXPECT_EQ(th_metric_get("sched.executed_threads", nullptr), -1)
+        << "NULL value pointer must be rejected";
+}
+
+TEST_F(CApiTest, MetricEnumerationRoundTripsEveryName)
+{
+    for (std::uintptr_t i = 0; i < 10; ++i) {
+        th_fork(&record, nullptr, reinterpret_cast<void *>(i),
+                reinterpret_cast<void *>(i * 4096), nullptr, nullptr);
+    }
+    th_run(0);
+
+    const int count = th_metric_count();
+    ASSERT_GT(count, 0);
+    char prev[160] = "";
+    for (int i = 0; i < count; ++i) {
+        char name[160];
+        ASSERT_GE(th_metric_name(i, name, sizeof(name)), 0)
+            << "index " << i;
+        // Sorted, duplicate-free enumeration: stable for pollers.
+        EXPECT_LT(std::string(prev), std::string(name)) << i;
+        std::memcpy(prev, name, sizeof(prev));
+        unsigned long long value = 0;
+        EXPECT_EQ(th_metric_get(name, &value), 0)
+            << name << ": " << th_last_error();
+    }
+    char buf[8];
+    th_clear_error();
+    EXPECT_EQ(th_metric_name(count, buf, sizeof(buf)), -1);
+    EXPECT_NE(th_last_error(), nullptr);
+
+    th_clear_error();
+    unsigned long long value = 0;
+    EXPECT_EQ(th_metric_get("sched.no_such_metric", &value), -1);
+    ASSERT_NE(th_last_error(), nullptr);
+    EXPECT_NE(std::string(th_last_error()).find("sched.no_such_metric"),
+              std::string::npos);
 }
 
 TEST_F(CApiTest, LegacySettersAreConfigureShims)

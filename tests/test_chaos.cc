@@ -303,4 +303,65 @@ TEST(Chaos, SeededFaultScheduleKeepsTheInvariants)
     EXPECT_EQ(ledger.total(), 64u);
 }
 
+TEST(Chaos, EightProducerAdmissionStressConservesThreads)
+{
+    if (!fp::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    // Lock-free admission under fire: eight producers force the
+    // per-shard tables through concurrent growth cycles (minimum
+    // starting slots, thousands of distinct bins) while a periodic
+    // injected fault throws at bin tops and a tight ticket bound
+    // keeps producers cycling through the backoff slow path. The
+    // conservation ledger must balance exactly even so.
+    const std::uint64_t seed = chaosSeed();
+    SCOPED_TRACE("LSCHED_CHAOS_SEED=" + std::to_string(seed));
+    lsched::Prng rng(seed);
+
+    SchedulerConfig c;
+    c.dims = 2;
+    c.blockBytes = 1 << 14;
+    c.groupCapacity = 4;
+    c.hashBuckets = 16;
+    c.streamShards = 2;
+    c.streamMaxPending = 32;
+    c.streamSealThreshold = 4;
+    c.onError = ErrorPolicy::ContinueAndCollect;
+    LocalityScheduler s(c);
+
+    constexpr unsigned kProducers = 8;
+    constexpr std::uint64_t kForks = 8 * 1500;
+    Ledger ledger(kForks);
+    const std::uint64_t hintSalt = rng.next();
+
+    fp::disarmAll();
+    ASSERT_TRUE(fp::arm("sched.bin.execute",
+                        "every=" + std::to_string(5 + rng.nextBelow(8))));
+    std::uint64_t executed = 0;
+    EXPECT_NO_THROW(executed = s.runStream(
+                        2, kProducers, [&](unsigned p) {
+                            for (std::uint64_t i = p; i < kForks;
+                                 i += kProducers) {
+                                const Hint h = static_cast<Hint>(
+                                    ((i * 2654435761u + hintSalt) %
+                                     2048) << 14);
+                                s.fork(&Ledger::mark, &ledger,
+                                       reinterpret_cast<void *>(i), h,
+                                       0);
+                            }
+                        }));
+    const std::uint64_t synthetic = fp::fireCount("sched.bin.execute");
+    fp::disarmAll();
+
+    // Exactly-once and conservation: every fork ran once or is a
+    // recorded fault; injected fires add faults but consume no fork.
+    for (std::uint64_t i = 0; i < kForks; ++i) {
+        ASSERT_LE(ledger.ran[i].load(), 1u)
+            << "thread " << i << " ran twice";
+    }
+    EXPECT_EQ(ledger.total(), executed);
+    EXPECT_EQ(executed + s.lastFaultCount(), kForks + synthetic);
+    EXPECT_EQ(s.pendingThreads(), 0u);
+    EXPECT_FALSE(s.streaming());
+}
+
 } // namespace

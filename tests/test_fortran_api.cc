@@ -180,6 +180,40 @@ TEST_F(FortranApiTest, StatsArrayMirrorsTheStruct)
     th_run_(&keep);
 }
 
+TEST_F(FortranApiTest, MetricArrayMirrorsTheNamedSurface)
+{
+    static double x = 1.0, f = 2.0;
+    for (int i = 0; i < 5; ++i)
+        th_fork_(&scaleElement, &x, &f, &x, nullptr, nullptr);
+    const int keep = 0;
+    th_run_(&keep);
+
+    // Numeric-only mirror: COUNT matches the C side, and each VALUE
+    // is the metric at the same index in th_metric_name order.
+    int count = 0;
+    th_metric_count_(&count);
+    ASSERT_EQ(count, th_metric_count());
+    ASSERT_GT(count, 0);
+    for (int i = 0; i < count; i += 7) {
+        char name[160];
+        ASSERT_GE(th_metric_name(i, name, sizeof(name)), 0);
+        unsigned long long fromName = 0;
+        ASSERT_EQ(th_metric_get(name, &fromName), 0) << name;
+        long long fromIndex = -1;
+        th_metric_value_(&i, &fromIndex);
+        EXPECT_EQ(fromIndex, static_cast<long long>(fromName))
+            << name;
+    }
+
+    // Out-of-range and NULL inputs are inert, not fatal.
+    long long value = 0;
+    th_metric_value_(&count, &value);
+    EXPECT_EQ(value, -1);
+    th_metric_value_(nullptr, &value);
+    EXPECT_EQ(value, -1);
+    th_metric_count_(nullptr);
+}
+
 TEST_F(FortranApiTest, MixedCAndFortranCallsShareScheduler)
 {
     static double x = 1.0, f = 5.0;

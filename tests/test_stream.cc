@@ -114,6 +114,65 @@ TEST(Stream, ConcurrentForkStressMatchesBatch)
     EXPECT_GE(st.seals, 1u);
 }
 
+TEST(Stream, EightProducerAdmissionStress)
+{
+    // Tentpole stress for the lock-free admission path: eight
+    // producers hammer two shards whose tables start at the minimum
+    // slot count (so concurrent freeze-growth cycles are forced), a
+    // tight maxPending saturates the ticket gate, and a small seal
+    // threshold keeps groups recycling through the shared pool.
+    constexpr unsigned kProducers = 8;
+    constexpr unsigned kPerProducer = 3000;
+    constexpr unsigned kTotal = kProducers * kPerProducer;
+    constexpr std::uint64_t kBound = 48;
+
+    SchedulerConfig c = cfg();
+    c.hashBuckets = 16;
+    c.streamShards = 2;
+    c.streamMaxPending = kBound;
+    c.streamSealThreshold = 4;
+    c.groupCapacity = 4;
+    LocalityScheduler s(c);
+    Flags flags(kTotal);
+
+    s.streamBegin(2);
+    {
+        std::vector<std::thread> producers;
+        for (unsigned p = 0; p < kProducers; ++p) {
+            producers.emplace_back([&, p] {
+                for (unsigned i = 0; i < kPerProducer; ++i) {
+                    const std::uintptr_t index = p * kPerProducer + i;
+                    // Thousands of distinct bins, interleaved across
+                    // producers so insert races hit the same slots.
+                    const Hint h = static_cast<Hint>(
+                        ((p * kPerProducer + i) % 2048u) << 16);
+                    s.fork(&Flags::mark, &flags,
+                           reinterpret_cast<void *>(index), h, 0);
+                }
+            });
+        }
+        for (std::thread &t : producers)
+            t.join();
+    }
+    EXPECT_EQ(s.streamEnd(), kTotal);
+
+    // Exactly once, across every growth cycle and ticket stall.
+    for (unsigned i = 0; i < kTotal; ++i)
+        ASSERT_EQ(flags.ran[i].load(), 1u) << "thread " << i;
+
+    // Conservation: admissions, executions, and the per-bin report
+    // all account for the same threads; the ticket gate held exactly.
+    const StreamStats st = s.streamStats();
+    EXPECT_EQ(st.forked, kTotal);
+    EXPECT_EQ(st.executed, kTotal);
+    EXPECT_EQ(st.backlog, 0u);
+    EXPECT_LE(st.peakBacklog, kBound);
+    std::uint64_t reported = 0;
+    for (const StreamBinReport &bin : s.lastStreamBins())
+        reported += bin.threads;
+    EXPECT_EQ(reported, kTotal);
+}
+
 TEST(Stream, BackpressureBoundHolds)
 {
     constexpr std::uint64_t kBound = 64;
