@@ -32,18 +32,23 @@
  *    destructor, the session-end quiescent point, so a probe that
  *    still holds the old array never reads freed memory.
  *
- *  - *Appending threads to a bin is wait-free in the common case.*
- *    Each bin anchors a prev-linked chain of ThreadGroups in a single
- *    atomic tail pointer. A producer reserves a slot in the tail
- *    group with claim.fetch_add, writes the spec, and publishes it by
- *    bumping ready (release). When the group is full — or a sealer
- *    closed it — the producer installs a fresh group with one CAS on
- *    the tail anchor. Sealing is tail.exchange(nullptr): exactly one
- *    caller gets the chain, closes each group (claim |= kClosed),
- *    waits for the in-flight ready publications it counted, and
- *    reverses the prev links into the fork-order next chain that
- *    GroupCursor walks. Producers and drainers never share a group:
- *    the hand-off point is the seal.
+ *  - *Appending threads to a bin is lock-free and ABA-proof.* Each
+ *    bin anchors a prev-linked chain of ThreadGroups in a single
+ *    atomic tail word tagged with the tail group's life generation
+ *    ([generation:32][pool index + 1:32]). A producer reserves a slot
+ *    with a CAS on the group's claim word whose expected value
+ *    carries that generation — a producer preempted across the
+ *    group's seal/drain/recycle cycle fails the CAS (the new life
+ *    re-stamped the generation) instead of claiming into a group
+ *    that now belongs to another bin — then writes the spec and
+ *    publishes it by bumping ready (release). When the group is full
+ *    or a sealer closed it, the producer installs a fresh group with
+ *    one CAS on the tail anchor. Sealing is tail.exchange(0):
+ *    exactly one caller gets the chain, closes each group
+ *    (claim |= kClosed), waits for the in-flight ready publications
+ *    it counted, and reverses the prev links into the fork-order
+ *    next chain that GroupCursor walks. Producers and drainers never
+ *    share a group: the hand-off point is the seal.
  */
 
 #ifndef LSCHED_THREADS_CONCURRENT_BIN_TABLE_HH
@@ -84,11 +89,15 @@ struct alignas(64) StreamBin
     std::uint32_t superBin = kNoSuperBin;
 
     /**
-     * Newest group of the current epoch's prev-linked chain; null
-     * while the bin has no unsealed threads. The single anchor both
-     * producers (CAS install) and sealers (exchange) contend on.
+     * Newest group of the current epoch's prev-linked chain, as a
+     * tagged word [life generation:32][pool index + 1:32]; 0 while
+     * the bin has no unsealed threads. Carrying the generation the
+     * group had when it was installed lets a producer's claim CAS
+     * prove the group still belongs to this bin's current epoch
+     * (appendStreamSpec). The single anchor both producers (CAS
+     * install) and sealers (exchange) contend on.
      */
-    std::atomic<ThreadGroup *> tail{nullptr};
+    std::atomic<std::uint64_t> tail{0};
     /** Threads admitted to the current epoch (threshold sealing). */
     std::atomic<std::uint64_t> epochThreads{0};
     /** Seal epochs this bin has gone through. */
@@ -116,10 +125,21 @@ struct SealedChain
  * sealStreamBin(). Returns the bin's epoch thread count *including*
  * this spec, the threshold-seal trigger.
  *
- * The epoch/total counters are bumped *before* the spec is published:
- * a sealer that captures the spec has, through the publication's
- * release/acquire edge, already seen the bumps, so its fetch_sub of
- * the sealed count can never transiently underflow the counter.
+ * Slot reservation is a CAS on the tail group's claim word whose
+ * expected value carries the life generation named by the bin's tail
+ * word: a producer preempted between reading the tail and reserving —
+ * long enough for the group to be sealed, drained, recycled, and
+ * re-published elsewhere — fails the CAS (allocate() re-stamped the
+ * generation) and retries from the tail, so a spec can never be
+ * written into a group that moved on. The CAS also bounds claims at
+ * capacity, so every reservation is matched by exactly one ready
+ * publication the sealer can wait on.
+ *
+ * The epoch/total counters are bumped *before* the spec is published
+ * (and rolled back if the group allocation throws): a sealer that
+ * captures the spec has, through the publication's release/acquire
+ * edge, already seen the bumps, so its fetch_sub of the sealed count
+ * can never transiently underflow the counter.
  */
 inline std::uint64_t
 appendStreamSpec(StreamBin &bin, ConcurrentGroupPool &pool,
@@ -130,29 +150,70 @@ appendStreamSpec(StreamBin &bin, ConcurrentGroupPool &pool,
     bin.totalThreads.fetch_add(1, std::memory_order_relaxed);
     ThreadGroup *fresh = nullptr;
     for (;;) {
-        ThreadGroup *g = bin.tail.load(std::memory_order_acquire);
-        if (g) {
-            const std::uint32_t idx =
-                g->claim.fetch_add(1, std::memory_order_relaxed);
-            if (!(idx & ThreadGroup::kClosed) && idx < g->capacity) {
-                g->specs[idx] = {fn, arg1, arg2};
-                g->ready.fetch_add(1, std::memory_order_release);
-                if (fresh)
-                    pool.recycleChain(fresh);
-                return epochCount;
+        const std::uint64_t t =
+            bin.tail.load(std::memory_order_acquire);
+        ThreadGroup *g = nullptr;
+        if (t) {
+            g = pool.groupAt(static_cast<std::uint32_t>(t) - 1);
+            const std::uint64_t gen = t >> 32;
+            std::uint64_t c = g->claim.load(std::memory_order_acquire);
+            bool divert = false;
+            while ((c >> 32) == gen) {
+                const std::uint32_t used =
+                    static_cast<std::uint32_t>(c);
+                if ((used & ThreadGroup::kClosed) ||
+                    used >= g->capacity) {
+                    divert = true; // sealed or full: fresh group
+                    break;
+                }
+                if (g->claim.compare_exchange_weak(
+                        c, c + 1, std::memory_order_acq_rel,
+                        std::memory_order_acquire)) {
+                    g->specs[used] = {fn, arg1, arg2};
+                    g->ready.fetch_add(1, std::memory_order_release);
+                    if (fresh)
+                        pool.recycleChain(fresh);
+                    return epochCount;
+                }
             }
-            // Full (overflow reservation) or sealed mid-claim: the
-            // inflated claim is harmless — sealers cap the count at
-            // capacity — and this spec goes to a fresh group.
+            if (!divert) {
+                // The generation moved: the group was recycled under
+                // us, which implies the bin's tail changed too (a
+                // seal emptied it first). Reload the tail.
+                continue;
+            }
         }
-        if (!fresh)
-            fresh = pool.allocate();
+        if (!fresh) {
+            try {
+                fresh = pool.allocate();
+            } catch (...) {
+                // Roll the speculative bumps back: a failed admission
+                // must not leave a phantom thread inflating the bin's
+                // report or keeping force-seal sweeps rescanning it.
+                bin.epochThreads.fetch_sub(1,
+                                           std::memory_order_relaxed);
+                bin.totalThreads.fetch_sub(1,
+                                           std::memory_order_relaxed);
+                throw;
+            }
+            // allocate() stamped the new life's generation; keep it
+            // and pre-publish one reserved, ready slot.
+            fresh->specs[0] = {fn, arg1, arg2};
+            fresh->claim.store(
+                (fresh->claim.load(std::memory_order_relaxed) &
+                 ~std::uint64_t{0xffffffffu}) |
+                    1,
+                std::memory_order_relaxed);
+            fresh->ready.store(1, std::memory_order_relaxed);
+        }
         fresh->prev = g;
-        fresh->specs[0] = {fn, arg1, arg2};
-        fresh->claim.store(1, std::memory_order_relaxed);
-        fresh->ready.store(1, std::memory_order_relaxed);
+        const std::uint64_t freshWord =
+            (fresh->claim.load(std::memory_order_relaxed) &
+             ~std::uint64_t{0xffffffffu}) |
+            (fresh->poolIndex + 1);
+        std::uint64_t expected = t;
         // Success publishes the spec and counters via the CAS release.
-        if (bin.tail.compare_exchange_strong(g, fresh,
+        if (bin.tail.compare_exchange_strong(expected, freshWord,
                                              std::memory_order_acq_rel,
                                              std::memory_order_relaxed))
             return epochCount;
@@ -169,24 +230,27 @@ appendStreamSpec(StreamBin &bin, ConcurrentGroupPool &pool,
  * was nothing to seal.
  */
 inline SealedChain
-sealStreamBin(StreamBin &bin)
+sealStreamBin(StreamBin &bin, ConcurrentGroupPool &pool)
 {
-    ThreadGroup *g = bin.tail.exchange(nullptr, std::memory_order_acq_rel);
-    if (!g)
+    const std::uint64_t t =
+        bin.tail.exchange(0, std::memory_order_acq_rel);
+    if (!t)
         return {};
+    ThreadGroup *g = pool.groupAt(static_cast<std::uint32_t>(t) - 1);
     SealedChain chain;
     ThreadGroup *head = nullptr;
     while (g) {
         // Closing returns the reservations made so far; late claimers
-        // see the bit and divert to the next epoch. Reservations past
-        // capacity never wrote a spec, hence the min.
-        const std::uint32_t raw = g->claim.fetch_or(
+        // see the bit and divert to the next epoch. The claim CAS
+        // bounds reservations at capacity; the min is belt and braces.
+        const std::uint64_t raw = g->claim.fetch_or(
             ThreadGroup::kClosed, std::memory_order_acq_rel);
-        const std::uint32_t n =
-            std::min(raw & ~ThreadGroup::kClosed, g->capacity);
-        // Wait out in-flight writers: each reservation below capacity
-        // publishes exactly one ready bump (release), so once ready
-        // covers n every captured spec is visible here.
+        const std::uint32_t n = std::min(
+            static_cast<std::uint32_t>(raw & ~ThreadGroup::kClosed),
+            g->capacity);
+        // Wait out in-flight writers: each reservation publishes
+        // exactly one ready bump (release), so once ready covers n
+        // every captured spec is visible here.
         while (g->ready.load(std::memory_order_acquire) < n)
             std::this_thread::yield();
         g->count = n;
@@ -344,16 +408,21 @@ class ConcurrentBinTable
     }
 
     /**
-     * The bin at arena @p index (< binCount()). Iteration visits
-     * spare, never-published bins too — they have totalThreads == 0
-     * and a null tail, so seal/report sweeps skip them naturally.
+     * The bin at arena @p index (< binCount()), or nullptr while the
+     * segment holding it is not installed: carve() bumps the count
+     * before CAS-publishing a fresh segment, so a concurrent sweep
+     * can reach an index whose segment is still in flight (or, after
+     * a failed segment allocation, will never arrive) — callers must
+     * skip a null return. Iteration visits spare, never-published
+     * bins too — they have totalThreads == 0 and a zero tail, so
+     * seal/report sweeps skip them naturally.
      */
     StreamBin *
     binAt(std::size_t index) const
     {
         Segment seg = segments_[index / kSegmentBins].load(
             std::memory_order_acquire);
-        return &seg[index % kSegmentBins];
+        return seg ? &seg[index % kSegmentBins] : nullptr;
     }
 
     /** Number of slots in the live probe array. */
@@ -461,6 +530,9 @@ class ConcurrentBinTable
             if (slot == 0)
                 return nullptr;
             StreamBin *b = binAt(slot - 1);
+            // A pushed spare was fully carved first; the push's
+            // release edge makes its segment visible here.
+            LSCHED_ASSERT(b, "spare-stack entry precedes its segment");
             const std::uint32_t next =
                 b->spareNext.load(std::memory_order_relaxed);
             const std::uint64_t tagged =
@@ -473,11 +545,17 @@ class ConcurrentBinTable
         }
     }
 
-    /** Spin-yield until the grower replaces @p old. */
+    /**
+     * Spin-yield until the grower replaces @p old — or gives up: a
+     * growth that failed to allocate thaws its frozen slots and
+     * clears growing_, after which retrying the probe in the still-
+     * live old array is correct.
+     */
     void
     waitForGrowth(const Table *old)
     {
-        while (current_.load(std::memory_order_acquire) == old)
+        while (current_.load(std::memory_order_acquire) == old &&
+               growing_.load(std::memory_order_acquire))
             std::this_thread::yield();
     }
 
@@ -505,7 +583,28 @@ class ConcurrentBinTable
                 expected, frozenSlot(), std::memory_order_acq_rel,
                 std::memory_order_acquire);
         }
-        Table *bigger = makeTable((t->mask + 1) * 2);
+        Table *bigger = nullptr;
+        try {
+            // Fail point standing in for the doubled-array OOM below
+            // (same site name as the probe-path carve, so chaos specs
+            // reach the unwind too).
+            if (LSCHED_FAILPOINT_HIT("bintable.grow"))
+                throw std::bad_alloc();
+            bigger = makeTable((t->mask + 1) * 2);
+        } catch (...) {
+            // Unwind to a live table: thaw the slots this freeze
+            // claimed and hand the grower role back, so the failure
+            // propagates as a recoverable bad_alloc instead of
+            // wedging every prober in waitForGrowth() forever.
+            for (std::size_t i = 0; i <= t->mask; ++i) {
+                StreamBin *expected = frozenSlot();
+                t->slots[i].compare_exchange_strong(
+                    expected, nullptr, std::memory_order_acq_rel,
+                    std::memory_order_acquire);
+            }
+            growing_.store(false, std::memory_order_release);
+            throw;
+        }
         for (std::size_t i = 0; i <= t->mask; ++i) {
             StreamBin *b =
                 t->slots[i].load(std::memory_order_acquire);

@@ -105,7 +105,17 @@ class ConcurrentGroupPool
         g->count = 0;
         g->next = nullptr;
         g->prev = nullptr;
-        g->claim.store(0, std::memory_order_relaxed);
+        // Start a new life: bump the generation half of the claim word
+        // and zero the slot half. A producer still holding a tail word
+        // from this group's previous life can never reserve a slot —
+        // its claim CAS carries the old generation and must fail
+        // (appendStreamSpec). 32-bit generations wrap after 2^32 lives
+        // of one group, the same tagging assumption the free stacks
+        // already make.
+        const std::uint64_t gen =
+            ((g->claim.load(std::memory_order_relaxed) >> 32) + 1) &
+            0xffffffffu;
+        g->claim.store(gen << 32, std::memory_order_relaxed);
         g->ready.store(0, std::memory_order_relaxed);
         return g;
     }
@@ -156,6 +166,20 @@ class ConcurrentGroupPool
         return (carved + kSlabGroups - 1) / kSlabGroups;
     }
 
+    /**
+     * The group at slab-directory @p index. Valid for any index a
+     * published tail word or free-stack entry names: both are written
+     * after carve() installed the slab, with a release edge the
+     * reader's acquire pairs with.
+     */
+    ThreadGroup *
+    groupAt(std::uint32_t index) const
+    {
+        Slab *slab =
+            slabs_[index / kSlabGroups].load(std::memory_order_acquire);
+        return &slab->groups[index % kSlabGroups];
+    }
+
   private:
     /** One slab: group descriptors plus their shared spec storage. */
     struct Slab
@@ -185,14 +209,6 @@ class ConcurrentGroupPool
     {
         static std::atomic<std::uint64_t> counter{0};
         return counter.fetch_add(1, std::memory_order_relaxed) + 1;
-    }
-
-    ThreadGroup *
-    groupAt(std::uint32_t index) const
-    {
-        Slab *slab =
-            slabs_[index / kSlabGroups].load(std::memory_order_acquire);
-        return &slab->groups[index % kSlabGroups];
     }
 
     /** Pop one group off the tagged free stack; null when empty. */

@@ -304,9 +304,11 @@ StreamSession::forceSealOne()
         const std::size_t bins = table.binCount();
         for (std::size_t b = 0; b < bins; ++b) {
             StreamBin *bin = table.binAt(b);
+            if (!bin) // segment install still in flight
+                continue;
             if (!bin->epochThreads.load(std::memory_order_relaxed))
                 continue;
-            const SealedChain chain = sealStreamBin(*bin);
+            const SealedChain chain = sealStreamBin(*bin, groupPool_);
             if (!chain.head)
                 continue; // a racing sealer beat us to it
             enqueue(makeItem(*bin, chain));
@@ -346,7 +348,7 @@ StreamSession::fork(ThreadFn fn, void *arg1, void *arg2,
         const std::uint64_t epochCount =
             appendStreamSpec(*bin, groupPool_, fn, arg1, arg2);
         if (sealThreshold_ && epochCount >= sealThreshold_) {
-            const SealedChain chain = sealStreamBin(*bin);
+            const SealedChain chain = sealStreamBin(*bin, groupPool_);
             if (chain.head) {
                 sealed = makeItem(*bin, chain);
                 doSeal = true;
@@ -537,9 +539,11 @@ StreamSession::shedLoad()
         const std::size_t bins = table.binCount();
         for (std::size_t b = 0; b < bins; ++b) {
             StreamBin *bin = table.binAt(b);
+            if (!bin) // segment install still in flight
+                continue;
             if (!bin->epochThreads.load(std::memory_order_relaxed))
                 continue;
-            const SealedChain chain = sealStreamBin(*bin);
+            const SealedChain chain = sealStreamBin(*bin, groupPool_);
             if (!chain.head)
                 continue;
             enqueue(makeItem(*bin, chain));
@@ -575,7 +579,9 @@ StreamSession::finish()
         const std::size_t bins = table.binCount();
         for (std::size_t b = 0; b < bins; ++b) {
             StreamBin *bin = table.binAt(b);
-            const SealedChain chain = sealStreamBin(*bin);
+            if (!bin) // a failed carve left a permanent gap
+                continue;
+            const SealedChain chain = sealStreamBin(*bin, groupPool_);
             if (chain.head)
                 enqueue(makeItem(*bin, chain));
         }
@@ -602,6 +608,8 @@ StreamSession::finish()
         const std::size_t bins = table.binCount();
         for (std::size_t b = 0; b < bins; ++b) {
             const StreamBin *bin = table.binAt(b);
+            if (!bin)
+                continue;
             const std::uint64_t threads =
                 bin->totalThreads.load(std::memory_order_relaxed);
             if (!threads)

@@ -31,11 +31,11 @@ namespace lsched::threads
 struct ThreadGroup
 {
     /**
-     * Streaming claim word: bit set once a sealer has closed the group.
-     * Producers that fetch_add past it see the bit in their slot index
-     * and retry against a fresh group (concurrent_bin_table.hh).
+     * Streaming claim word, low half: bit set once a sealer has closed
+     * the group. Producers that meet it in the claim word divert to a
+     * fresh group (concurrent_bin_table.hh).
      */
-    static constexpr std::uint32_t kClosed = 0x80000000u;
+    static constexpr std::uint64_t kClosed = 0x80000000u;
 
     /** Chunk storage; points into the owning pool's slab. */
     ThreadSpec *specs = nullptr;
@@ -47,16 +47,23 @@ struct ThreadGroup
     ThreadGroup *next = nullptr;
 
     /**
-     * Streaming (lock-free intake) protocol, unused by the batch path:
-     * producers reserve a slot with claim.fetch_add(1) and publish the
-     * written spec by bumping ready; the sealer ORs kClosed into claim,
-     * then waits until ready covers every reservation below capacity
-     * before the chain is handed to a drain worker. prev links a bin's
-     * current-epoch chain newest-first (the only direction a lock-free
-     * append can build); sealing reverses it into the fork-order next
-     * chain the GroupCursor walks.
+     * Streaming (lock-free intake) protocol, unused by the batch path.
+     * The claim word packs [life generation:32][kClosed | slots:31]:
+     * ConcurrentGroupPool::allocate() starts each life by bumping the
+     * generation half and zeroing the rest, and producers reserve a
+     * slot with a CAS whose expected value carries the generation
+     * their bin's tail word named — a producer that slept across this
+     * group's seal/drain/recycle always fails the CAS (new life, new
+     * generation) instead of writing into somebody else's group. The
+     * winner writes its spec and publishes it by bumping ready; the
+     * sealer ORs kClosed into claim, then waits until ready covers
+     * every reserved slot before the chain is handed to a drain
+     * worker. prev links a bin's current-epoch chain newest-first
+     * (the only direction a lock-free append can build); sealing
+     * reverses it into the fork-order next chain the GroupCursor
+     * walks.
      */
-    std::atomic<std::uint32_t> claim{0};
+    std::atomic<std::uint64_t> claim{0};
     std::atomic<std::uint32_t> ready{0};
     ThreadGroup *prev = nullptr;
     /** Index in the owning ConcurrentGroupPool's slab directory (the

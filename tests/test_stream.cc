@@ -351,6 +351,52 @@ TEST(Stream, StopTourRethrowsTheFirstStreamFault)
     EXPECT_EQ(ran.load(), 1u);
 }
 
+TEST(Stream, TableGrowthAllocationFailureUnwindsInsteadOfWedging)
+{
+    if (!lsched::failpoint::kCompiled)
+        GTEST_SKIP() << "fail points compiled out";
+    namespace fp = lsched::failpoint;
+    // Regression for the grow() unwind: an OOM while allocating the
+    // doubled slot array must surface as a recoverable bad_alloc and
+    // leave the table live (slots thawed, grower flag released) — not
+    // leave every later probe spinning on frozen sentinels.
+    //
+    // Deterministic site arithmetic (one producer, one shard, 16
+    // slots): bin creations 1..12 each evaluate the probe-path
+    // "bintable.grow" site once, and the 12th publish crosses 3/4
+    // load, so the growth-path evaluation is hit 13.
+    constexpr unsigned kTrigger = 12;
+    constexpr unsigned kTotal = 40;
+    SchedulerConfig c = cfg();
+    c.hashBuckets = 16;
+    c.streamShards = 1;
+    c.streamMaxPending = 0;
+    LocalityScheduler s(c);
+    Flags flags(kTotal);
+    fp::disarmAll();
+    ASSERT_TRUE(fp::arm("bintable.grow", "hit=13"));
+
+    const auto forkIndex = [&](unsigned i) {
+        s.fork(&Flags::mark, &flags,
+               reinterpret_cast<void *>(static_cast<std::uintptr_t>(i)),
+               static_cast<Hint>(i) << 16, 0);
+    };
+    s.streamBegin(1);
+    for (unsigned i = 0; i + 1 < kTrigger; ++i)
+        forkIndex(i);
+    EXPECT_THROW(forkIndex(kTrigger - 1), std::bad_alloc);
+    fp::disarmAll();
+
+    // The table survived the failed growth: the interrupted fork
+    // retries fine, later creations grow the table for real, and the
+    // session closes with exactly-once execution.
+    for (unsigned i = kTrigger - 1; i < kTotal; ++i)
+        forkIndex(i);
+    EXPECT_EQ(s.streamEnd(), kTotal);
+    for (unsigned i = 0; i < kTotal; ++i)
+        ASSERT_EQ(flags.ran[i].load(), 1u) << "thread " << i;
+}
+
 TEST(Stream, AdmissionTimesOutInsteadOfHangingOnAWedgedPool)
 {
     if (!lsched::failpoint::kCompiled)
